@@ -1,0 +1,116 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Reproduces the **§8.3 accuracy comparison** on XMark: the SLT synopsis
+// (lower/upper bounds at several κ) against the reimplemented baselines —
+// TreeSketch-lite, Markov tables, and pruned path trees — at comparable
+// synopsis sizes. As in the paper, the comparison workload excludes
+// order-sensitive axes (TreeSketch does not support them).
+//
+// Paper reference: TreeSketch achieved 9–12% relative error across its
+// size range; the SLT synopsis converges to it at moderate sizes while
+// additionally returning guaranteed bounds and supporting updates and
+// order axes.
+
+#include <cmath>
+#include <cstdio>
+
+#include "baseline/exact.h"
+#include "baseline/markov_table.h"
+#include "baseline/path_tree.h"
+#include "baseline/treesketch_lite.h"
+#include "data/generator.h"
+#include "estimator/estimator.h"
+#include "workload/query_gen.h"
+#include "workload/runner.h"
+
+namespace xmlsel {
+namespace {
+
+double PointError(double est, double exact) {
+  return std::abs(est - exact) / exact;
+}
+
+void Run() {
+  Document doc = GenerateDataset(DatasetId::kXmark, 78000, 3);
+  ExactEvaluator oracle(doc);
+  WorkloadOptions wopts;
+  wopts.count = 100;
+  wopts.seed = 77;
+  std::vector<Query> queries = GenerateWorkload(doc, wopts);
+  std::vector<int64_t> exact(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    exact[i] = oracle.Count(queries[i]);
+  }
+
+  std::printf("%-28s %10s %12s %12s\n", "estimator", "size(KB)",
+              "avg err(%)", "notes");
+
+  // --- SLT synopsis at several lossiness levels.
+  SynopsisOptions base;
+  base.kappa = 0;
+  Synopsis lossless = Synopsis::Build(doc, base);
+  for (double frac : {0.0, 0.25, 0.5, 0.8}) {
+    Synopsis s = lossless;
+    s.RecomputeLossy(
+        static_cast<int32_t>(frac * lossless.lossless().rule_count()));
+    SelectivityEstimator est(std::move(s));
+    WorkloadResult r = RunWorkload(&est, oracle, queries, doc.names());
+    char name[64];
+    std::snprintf(name, sizeof(name), "SLT synopsis (kappa=%.0f%%)",
+                  100 * frac);
+    char notes[64];
+    std::snprintf(notes, sizeof(notes), "lo %.1f / hi %.1f",
+                  100.0 * r.avg_lower_rel_error,
+                  100.0 * r.avg_upper_rel_error);
+    std::printf("%-28s %10.1f %12.2f %12s\n", name,
+                static_cast<double>(est.SizeBytes()) / 1024.0,
+                100.0 * (r.avg_lower_rel_error + r.avg_upper_rel_error) / 2,
+                notes);
+  }
+
+  // --- Baselines (point estimators, no guarantees).
+  auto run_baseline = [&](const char* name, auto&& estimate,
+                          int64_t size_bytes, const char* notes) {
+    double sum = 0;
+    int64_t counted = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (exact[i] == 0) continue;
+      sum += PointError(estimate(queries[i]),
+                        static_cast<double>(exact[i]));
+      ++counted;
+    }
+    std::printf("%-28s %10.1f %12.2f %12s\n", name,
+                static_cast<double>(size_bytes) / 1024.0,
+                100.0 * sum / static_cast<double>(counted), notes);
+  };
+
+  TreeSketchLite ts_big(doc, 4000);
+  run_baseline("TreeSketch-lite (4000)",
+               [&](const Query& q) { return ts_big.EstimateCount(q); },
+               ts_big.SizeBytes(), "point est");
+  TreeSketchLite ts_small(doc, 500);
+  run_baseline("TreeSketch-lite (500)",
+               [&](const Query& q) { return ts_small.EstimateCount(q); },
+               ts_small.SizeBytes(), "point est");
+  MarkovTable markov(doc, 0);
+  run_baseline("Markov table (order 2)",
+               [&](const Query& q) { return markov.EstimateCount(q); },
+               markov.SizeBytes(), "point est");
+  PathTree pt(doc, 400);
+  run_baseline("Pruned path tree (400)",
+               [&](const Query& q) { return pt.EstimateCount(q); },
+               pt.SizeBytes(), "point est");
+}
+
+}  // namespace
+}  // namespace xmlsel
+
+int main() {
+  std::printf(
+      "Section 8.3 comparison on XMark (100 order-free branching path "
+      "queries).\nPaper reference: TreeSketch 9-12%% error; CST ~50%%; the "
+      "SLT synopsis is competitive while giving guaranteed bounds.\n\n");
+  xmlsel::Run();
+  return 0;
+}

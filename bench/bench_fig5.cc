@@ -1,0 +1,72 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Reproduces **Figure 5(a)–(d)** — average relative error of the lower and
+// upper bound estimates versus the number of deleted patterns (κ), with
+// the packed synopsis size annotated, for DBLP, SwissProt, XMark, and PSD.
+//
+// Workload per §8.1: 100 random branching path queries with 3–5 nodes,
+// match nodes sampled proportionally to selectivity. The reproduction
+// target is the *shape*: errors start at 0 for κ=0, grow with κ, lower
+// bounds stay markedly more accurate than upper bounds, and the synopsis
+// shrinks as κ grows. Bound violations must be zero — the guarantee.
+
+#include <cstdio>
+
+#include "baseline/exact.h"
+#include "data/generator.h"
+#include "estimator/estimator.h"
+#include "workload/query_gen.h"
+#include "workload/runner.h"
+
+namespace xmlsel {
+namespace {
+
+void RunDataset(DatasetId id, int64_t elements, char subfig) {
+  Document doc = GenerateDataset(id, elements, 7);
+  ExactEvaluator oracle(doc);
+  WorkloadOptions wopts;
+  wopts.count = 100;
+  wopts.seed = 1234;
+  std::vector<Query> queries = GenerateWorkload(doc, wopts);
+
+  // κ ladder: fractions of the lossless rule count.
+  SynopsisOptions base;
+  base.kappa = 0;
+  Synopsis lossless = Synopsis::Build(doc, base);
+  int32_t rules = lossless.lossless().rule_count();
+
+  std::printf("\nFigure 5(%c): %s (%lld elements, %d grammar rules)\n",
+              subfig, DatasetName(id),
+              static_cast<long long>(doc.element_count()), rules);
+  std::printf("%8s %9s %12s %14s %14s %6s\n", "kappa", "deleted",
+              "size(KB)", "lower err(%)", "upper err(%)", "viol");
+  for (double frac : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9}) {
+    int32_t kappa = static_cast<int32_t>(frac * rules);
+    Synopsis synopsis = lossless;  // copy, then re-derive the lossy layer
+    synopsis.RecomputeLossy(kappa);
+    SelectivityEstimator est(std::move(synopsis));
+    WorkloadResult r = RunWorkload(&est, oracle, queries, doc.names());
+    std::printf("%8d %9d %12.1f %14.2f %14.2f %6lld\n", kappa,
+                est.synopsis().deleted_productions(),
+                static_cast<double>(est.SizeBytes()) / 1024.0,
+                100.0 * r.avg_lower_rel_error, 100.0 * r.avg_upper_rel_error,
+                static_cast<long long>(r.bound_violations));
+  }
+}
+
+}  // namespace
+}  // namespace xmlsel
+
+int main() {
+  std::printf(
+      "Figure 5: relative error vs number of deleted patterns "
+      "(100 branching path queries, 3-5 nodes, per Section 8.1)\n"
+      "Paper reference points: DBLP <2%% lower / ~10%% upper at 120KB "
+      "(0.27%%); SwissProt ~2%% / ~5%% at 62KB (0.24%%).\n");
+  xmlsel::RunDataset(xmlsel::DatasetId::kDblp, 110000, 'a');
+  xmlsel::RunDataset(xmlsel::DatasetId::kSwissProt, 75000, 'b');
+  xmlsel::RunDataset(xmlsel::DatasetId::kXmark, 78000, 'c');
+  xmlsel::RunDataset(xmlsel::DatasetId::kPsd, 100000, 'd');
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Reproduces **Figure 6** — update performance on the catalog dataset
+// (§8.2):
+//   (a/b) relative size of the incrementally updated synopsis versus a
+//         synopsis recomputed from scratch, over a random update sequence
+//         reconstructing the document from a seed subset; one run with
+//         insertions only, one with 20% deletions;
+//   (c)   the same with periodic recompression every 400 updates.
+//
+// Reproduction target: the incremental overhead spikes initially (grammar
+// unrolling) and then stays roughly constant (the paper observes ~1.4x),
+// never drifting upward — recomputation from the database is unnecessary.
+
+#include <cstdio>
+#include <vector>
+
+#include "data/generator.h"
+#include "estimator/update.h"
+#include "grammar/bplex.h"
+#include "xml/binary_tree.h"
+
+namespace xmlsel {
+namespace {
+
+/// One §8.2-style run: reconstruct toward the full document by inserting
+/// depth-2 subtrees of a reference catalog (and optionally deleting).
+void RunUpdates(double delete_fraction, int32_t recompress_every,
+                const char* title) {
+  Rng rng(99);
+  // Seed document: a smaller catalog; insertions take depth-2 subtrees
+  // from a disjoint reference catalog (scaled-down §8.2 protocol).
+  Document doc = GenerateCatalog(8000, 5);
+  Document reference = GenerateCatalog(12000, 6);
+  // Depth-2 subtrees of the reference (children of top-level items).
+  std::vector<Document> pool;
+  for (NodeId item = reference.first_child(reference.document_element());
+       item != kNullNode && pool.size() < 3000;
+       item = reference.next_sibling(item)) {
+    for (NodeId c = reference.first_child(item); c != kNullNode;
+         c = reference.next_sibling(c)) {
+      Document t;
+      NodeId root = t.AppendChild(
+          t.virtual_root(),
+          reference.names().Name(reference.label(c)));
+      for (NodeId g = reference.first_child(c); g != kNullNode;
+           g = reference.next_sibling(g)) {
+        t.AppendChild(root, reference.names().Name(reference.label(g)));
+      }
+      pool.push_back(std::move(t));
+    }
+  }
+
+  BplexOptions opts;
+  opts.window_size = 1000;  // §8's update window
+  SltGrammar g = BplexCompress(doc, opts);
+  NameTable names = doc.names();
+
+  std::printf("\n%s\n", title);
+  std::printf("%8s %12s %12s %10s\n", "updates", "incremental",
+              "recomputed", "ratio");
+  const int total = delete_fraction > 0 ? 2300 : 1700;
+  size_t next_insert = 0;
+  for (int step = 1; step <= total; ++step) {
+    // Address a random node of the current document state.
+    Document current = g.Expand(names);
+    std::vector<NodeId> nodes =
+        current.SubtreeNodes(current.virtual_root());
+    NodeId target = nodes[static_cast<size_t>(
+        rng.Uniform(1, static_cast<int64_t>(nodes.size()) - 1))];
+    BinddPath path = BinddOf(current, target);
+    UpdateOp op = UpdateOp::Delete(path);
+    bool do_delete = rng.Chance(delete_fraction) &&
+                     target != current.document_element();
+    if (!do_delete) {
+      const Document& tree = pool[next_insert % pool.size()];
+      ++next_insert;
+      op = rng.Chance(0.5) ? UpdateOp::FirstChild(path, tree)
+                           : UpdateOp::NextSibling(path, tree);
+    }
+    Status st = ApplyUpdateToGrammar(&g, &names, op, opts);
+    XMLSEL_CHECK(st.ok());
+    if (recompress_every > 0 && step % recompress_every == 0) {
+      g = BplexCompress(g.Expand(names), opts);
+    }
+    if (step % 200 == 0 || step == total) {
+      SltGrammar fresh = BplexCompress(g.Expand(names), opts);
+      double ratio = static_cast<double>(g.NodeCount()) /
+                     static_cast<double>(fresh.NodeCount());
+      std::printf("%8d %12lld %12lld %10.2f\n", step,
+                  static_cast<long long>(g.NodeCount()),
+                  static_cast<long long>(fresh.NodeCount()), ratio);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xmlsel
+
+int main() {
+  std::printf(
+      "Figure 6: update performance on the catalog dataset (§8.2).\n"
+      "Paper reference: overhead stabilises around ~1.4x after an initial "
+      "unrolling spike; periodic recompression saves little.\n");
+  xmlsel::RunUpdates(0.0, 0,
+                     "Figure 6(a): insertions only (1700 updates)");
+  xmlsel::RunUpdates(0.2, 0,
+                     "Figure 6(b): 20% deletions (2300 updates)");
+  xmlsel::RunUpdates(0.0, 400,
+                     "Figure 6(c): recompression every 400 updates");
+  return 0;
+}

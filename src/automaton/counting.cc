@@ -1,0 +1,17 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "automaton/counting.h"
+
+namespace xmlsel {
+
+// The counting transition itself is a header template (it is instantiated
+// with int64 and LinearForm counters); this TU provides the out-of-line
+// helpers.
+
+int64_t EvalLinearFormConstant(const LinearForm& f) {
+  XMLSEL_CHECK(f.IsConstant());
+  return f.constant;
+}
+
+}  // namespace xmlsel

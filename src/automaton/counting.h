@@ -1,0 +1,430 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// The counting transition function (Algorithm 2), generic over the counter
+// type. Document evaluation instantiates it with int64 counters; grammar
+// evaluation (§5.3) instantiates it with *linear forms* over the counters
+// of parameter states — Algorithm 2 only ever adds and zeroes counters, so
+// selectivity counts of a rule are linear functions of its parameters'
+// counters, exactly as the paper observes.
+
+#ifndef XMLSEL_AUTOMATON_COUNTING_H_
+#define XMLSEL_AUTOMATON_COUNTING_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "automaton/state.h"
+#include "automaton/transition.h"
+
+namespace xmlsel {
+
+/// A linear function  c₀ + Σ aᵢ·X(param, pair)  over parameter counters.
+/// Variables are keyed by (parameter index << 32) | QPair.
+struct LinearForm {
+  int64_t constant = 0;
+  /// Sorted by key; no zero coefficients, no duplicate keys.
+  std::vector<std::pair<uint64_t, int64_t>> terms;
+
+  static uint64_t VarKey(int32_t param, QPair pair) {
+    return (static_cast<uint64_t>(param) << 32) | pair;
+  }
+  static LinearForm Constant(int64_t c) { return {c, {}}; }
+  static LinearForm Var(int32_t param, QPair pair) {
+    return {0, {{VarKey(param, pair), 1}}};
+  }
+
+  bool IsConstant() const { return terms.empty(); }
+
+  void Add(const LinearForm& o) {
+    constant += o.constant;
+    if (constant > (int64_t{1} << 56)) constant = int64_t{1} << 56;
+    if (o.terms.empty()) return;
+    std::vector<std::pair<uint64_t, int64_t>> merged;
+    merged.reserve(terms.size() + o.terms.size());
+    size_t i = 0, j = 0;
+    while (i < terms.size() || j < o.terms.size()) {
+      if (j == o.terms.size() ||
+          (i < terms.size() && terms[i].first < o.terms[j].first)) {
+        merged.push_back(terms[i++]);
+      } else if (i == terms.size() || o.terms[j].first < terms[i].first) {
+        merged.push_back(o.terms[j++]);
+      } else {
+        int64_t coeff = terms[i].second + o.terms[j].second;
+        if (coeff != 0) merged.push_back({terms[i].first, coeff});
+        ++i;
+        ++j;
+      }
+    }
+    terms = std::move(merged);
+  }
+
+  bool operator==(const LinearForm& o) const {
+    return constant == o.constant && terms == o.terms;
+  }
+};
+
+/// Counter operations for plain integer counting (document evaluation).
+struct Int64Ops {
+  using Counter = int64_t;
+  /// Saturation bound: no-dedup (upper bound) evaluation counts
+  /// embeddings, whose number can explode on recursive documents.
+  static constexpr int64_t kSaturate = int64_t{1} << 56;
+  static Counter Zero() { return 0; }
+  static Counter One() { return 1; }
+  static void Add(Counter* a, const Counter& b) {
+    *a += b;
+    if (*a > kSaturate) *a = kSaturate;
+  }
+};
+
+/// Counter operations for symbolic counting (grammar evaluation).
+struct LinearOps {
+  using Counter = LinearForm;
+  static Counter Zero() { return {}; }
+  static Counter One() { return LinearForm::Constant(1); }
+  static void Add(Counter* a, const Counter& b) { a->Add(b); }
+};
+
+/// An annotated state ⟨p, C⟩: an interned pair set plus one counter per
+/// pair (parallel to StateRegistry::pairs(state)).
+template <typename Counter>
+struct AnnState {
+  StateId state = 0;  // the empty state by default
+  std::vector<Counter> counts;
+
+  /// Counter of `pair`, or zero if absent.
+  Counter CountOf(const StateRegistry& reg, QPair pair) const {
+    const std::vector<QPair>& pairs = reg.pairs(state);
+    auto it = std::lower_bound(pairs.begin(), pairs.end(), pair);
+    if (it == pairs.end() || *it != pair) return Counter{};
+    return counts[static_cast<size_t>(it - pairs.begin())];
+  }
+};
+
+namespace internal {
+
+/// Mutable working state during one transition: flat parallel vectors
+/// (states are tiny, so linear search beats hashing).
+template <typename Counter>
+struct WorkState {
+  std::vector<QPair> keys;
+  std::vector<Counter> vals;
+
+  int32_t Find(QPair p) const {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (keys[i] == p) return static_cast<int32_t>(i);
+    }
+    return -1;
+  }
+  /// Adds `c` to the counter of `p`, inserting the pair if absent.
+  template <typename Ops>
+  void Add(QPair p, const Counter& c, const Ops&) {
+    int32_t idx = Find(p);
+    if (idx < 0) {
+      keys.push_back(p);
+      vals.push_back(Counter{});
+      idx = static_cast<int32_t>(keys.size()) - 1;
+    }
+    Ops::Add(&vals[static_cast<size_t>(idx)], c);
+  }
+};
+
+inline bool KeepInP1(Axis axis) {
+  return axis == Axis::kDescendant || axis == Axis::kDescendantOrSelf ||
+         axis == Axis::kFollowing;
+}
+inline bool KeepInP2(Axis axis) {
+  return axis == Axis::kFollowingSibling || axis == Axis::kFollowing;
+}
+
+}  // namespace internal
+
+/// Algorithm 2: the counting transition δ(⟨p1,C1⟩, ⟨p2,C2⟩, label). `p1`
+/// is the state of the binary left child (first child), `p2` of the binary
+/// right child (next sibling). Works for Algorithm 1 too — acceptance is
+/// just the pair set of the result.
+/// `dedup` selects the counting discipline. true (default): Algorithm 2's
+/// strict consume-and-zero with RESTORE-COUNTS — counts never exceed the
+/// number of distinct matches, so the result is exact in the common case
+/// and a guaranteed *lower* bound when count restoration cannot recover a
+/// dead-end consumption (deep re-embedding chains). false (optimistic):
+/// pairs dropped by p'1 are *kept* in the output state — "matched at this
+/// level" over-approximates "matched below", so every true match stays
+/// visible to every potential consumer; counts are still zeroed on
+/// consumption (the lowest — and on real embeddings the correct —
+/// consumer takes them), which keeps the over-approximation tight. The
+/// result never undercounts: a guaranteed *upper* bound.
+template <typename Ops>
+AnnState<typename Ops::Counter> CountingTransition(
+    const CompiledQuery& cq, StateRegistry* reg,
+    const AnnState<typename Ops::Counter>& p1,
+    const AnnState<typename Ops::Counter>& p2, LabelId label,
+    bool dedup = true) {
+  using Counter = typename Ops::Counter;
+  const Query& q = cq.query();
+  const std::vector<QPair>& pairs1 = reg->pairs(p1.state);
+  const std::vector<QPair>& pairs2 = reg->pairs(p2.state);
+
+  // Line 1: F — following-axis query nodes fully matched to the right.
+  uint32_t fmask = 0;
+  for (QPair pr : pairs2) {
+    int32_t n = QPairNode(pr);
+    if (q.node(n).axis == Axis::kFollowing &&
+        QPairMask(pr) == cq.following_mask(n)) {
+      fmask |= 1u << n;
+    }
+  }
+
+  // Work state buckets by provenance:
+  //   main     — p'1-propagated pairs and pairs matched at this node;
+  //   right    — p'2-propagated pairs (matched strictly to the right),
+  //              the only legal witnesses for following-sibling/following
+  //              children;
+  //   residual1 — p1 pairs dropped by p'1 (child/self/following-sibling
+  //              axes); their counters remain consumable (Algorithm 2's
+  //              counter array spans them) and flow through
+  //              RESTORE-COUNTS.
+  internal::WorkState<Counter> main_ws;
+  internal::WorkState<Counter> right_ws;
+  internal::WorkState<Counter> residual1;
+  Ops ops;
+  // Lines 2-5: p'1 ∪ p'2 with rewritten F-sets and carried counters.
+  for (size_t i = 0; i < pairs1.size(); ++i) {
+    int32_t n = QPairNode(pairs1[i]);
+    if (!internal::KeepInP1(q.node(n).axis)) {
+      residual1.Add(pairs1[i], p1.counts[i], ops);
+      continue;
+    }
+    uint32_t s = (QPairMask(pairs1[i]) | fmask) & cq.following_mask(n);
+    main_ws.Add(MakeQPair(n, s), p1.counts[i], ops);
+  }
+  for (size_t i = 0; i < pairs2.size(); ++i) {
+    int32_t n = QPairNode(pairs2[i]);
+    if (!internal::KeepInP2(q.node(n).axis)) continue;
+    uint32_t s = (QPairMask(pairs2[i]) | fmask) & cq.following_mask(n);
+    right_ws.Add(MakeQPair(n, s), p2.counts[i], ops);
+  }
+
+  // RESTORE-COUNTS (the paper's line 14): residual counts of dropped p1
+  // pairs whose subtree contains the match node transfer to the deepest
+  // surviving pair on the path toward m_Q. Only descendant-or-self /
+  // following pairs may receive a transfer — their semantics cover the
+  // whole forest, so a future ancestor consuming them cannot claim
+  // matches outside the pair's region. We run the transfer both before
+  // the match loop (so a re-match of the dropped node's own parent at
+  // this node can consume the restored counts — the pseudocode's
+  // after-the-loop placement strands them) and again afterwards for
+  // counts whose target pair only appears during the loop.
+  auto restore_counts = [&](bool before_loop) {
+    // Process shallow spine pairs first so a transfer into a deeper
+    // residual pair cascades onward within the same pass.
+    std::vector<size_t> order;
+    for (size_t i = 0; i < residual1.keys.size(); ++i) {
+      if (cq.spine_index(QPairNode(residual1.keys[i])) >= 0) {
+        order.push_back(i);
+      }
+    }
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return cq.spine_index(QPairNode(residual1.keys[a])) <
+             cq.spine_index(QPairNode(residual1.keys[b]));
+    });
+    for (size_t i : order) {
+      int32_t c = QPairNode(residual1.keys[i]);
+      int32_t si = cq.spine_index(c);
+      if (si < 0) continue;  // m_Q is not a descendant of c
+      if (before_loop) {
+        // The pair's parent may still match at this node and consume the
+        // counter directly (line 9); only pour early when it cannot.
+        int32_t parent = q.node(c).parent;
+        if (parent >= 0 && cq.TestMatches(parent, label)) continue;
+      }
+      uint32_t s = QPairMask(residual1.keys[i]);
+      for (size_t j = static_cast<size_t>(si) + 1; j < cq.spine().size();
+           ++j) {
+        int32_t qi = cq.spine()[j];
+        Axis qi_axis = q.node(qi).axis;
+        // A target must be able to re-expose the restored matches to a
+        // future consumer without positional claims the matches cannot
+        // honour: only descendant-or-self / following pairs qualify —
+        // their region covers the whole forest, so any consumer's claim
+        // ("somewhere below", "somewhere after a preceding node") holds
+        // for the restored matches' own embeddings. Child-axis targets
+        // are NOT safe: a future parent consuming them asserts a specific
+        // parent/child position the restored embeddings need not have
+        // (this undercounts some deep wildcard re-embedding chains; the
+        // result stays a guaranteed lower bound).
+        if (qi_axis != Axis::kDescendantOrSelf &&
+            qi_axis != Axis::kFollowing) {
+          continue;
+        }
+        QPair target = MakeQPair(qi, s & cq.following_mask(qi));
+        int32_t idx = main_ws.Find(target);
+        internal::WorkState<Counter>* bucket = &main_ws;
+        if (idx < 0) {
+          idx = right_ws.Find(target);
+          bucket = &right_ws;
+        }
+        if (idx >= 0) {
+          Ops::Add(&bucket->vals[static_cast<size_t>(idx)],
+                   residual1.vals[i]);
+          residual1.vals[i] = Counter{};
+          break;
+        }
+      }
+    }
+  };
+  if (dedup) restore_counts(/*before_loop=*/true);
+
+  // Lines 6-13: match query nodes at this label, in post-order.
+  //
+  // SATISFIED deviates from the paper's pseudocode in one respect: the
+  // pseudocode looks up each child pair with the *exact* mask
+  // F∩FOLLOWING(c), which loses following-subquery completions that
+  // happened inside the subtree (their bits are in the stored pair's mask
+  // but not in the current F, which is computed from p2 only). We accept
+  // any pair whose mask is a superset and inherit its bits into the
+  // parent's mask — the bits are valid completion claims carried by the
+  // chosen sub-embedding.
+  for (int32_t qa : cq.post_order()) {
+    if (!cq.TestMatches(qa, label)) continue;
+    bool ok = true;
+    uint32_t inherited = 0;
+    // Chosen pair (per child) whose counter will be consumed.
+    struct Chosen {
+      internal::WorkState<Counter>* source;
+      int32_t idx;
+    };
+    std::vector<Chosen> chosen;
+    for (int32_t c : q.node(qa).children) {
+      uint32_t need = fmask & cq.following_mask(c);
+      internal::WorkState<Counter>* source = nullptr;
+      switch (q.node(c).axis) {
+        case Axis::kChild:
+          source = &residual1;  // matched strictly below this node
+          break;
+        case Axis::kDescendantOrSelf:
+        case Axis::kSelf:
+          source = &main_ws;  // matched here or below
+          break;
+        case Axis::kFollowingSibling:
+        case Axis::kFollowing:
+          source = &right_ws;  // matched strictly to the right
+          break;
+        default:
+          XMLSEL_CHECK(false && "unexpanded axis in compiled query");
+      }
+      int32_t best = -1;
+      int best_bits = -1;
+      auto scan = [&](internal::WorkState<Counter>* bucket) {
+        for (size_t k = 0; k < bucket->keys.size(); ++k) {
+          if (QPairNode(bucket->keys[k]) != c) continue;
+          uint32_t s = QPairMask(bucket->keys[k]);
+          if ((s & need) != need) continue;  // not a superset of F's view
+          int bits = __builtin_popcount(s);
+          if (bits > best_bits) {
+            best = static_cast<int32_t>(k);
+            best_bits = bits;
+            source = bucket;
+          }
+        }
+      };
+      internal::WorkState<Counter>* primary = source;
+      scan(primary);
+      if (!dedup) {
+        // Optimistic discipline: kept pairs over-approximate positions,
+        // so every bucket is a legal witness for every axis.
+        if (primary != &residual1) scan(&residual1);
+        if (primary != &main_ws) scan(&main_ws);
+        if (primary != &right_ws) scan(&right_ws);
+      }
+      if (best < 0) {
+        ok = false;
+        break;
+      }
+      inherited |= QPairMask(source->keys[static_cast<size_t>(best)]);
+      chosen.push_back({source, best});
+    }
+    if (!ok) continue;
+    QPair self =
+        MakeQPair(qa, (fmask | inherited) & cq.following_mask(qa));
+    Counter sum = Ops::Zero();
+    // Consume-and-zero the chosen child counters (lines 9 and 13).
+    for (const Chosen& ch : chosen) {
+      Ops::Add(&sum, ch.source->vals[static_cast<size_t>(ch.idx)]);
+      ch.source->vals[static_cast<size_t>(ch.idx)] = Counter{};
+    }
+    if (qa == cq.match_node()) {
+      Ops::Add(&sum, Ops::One());  // lines 10-11
+    }
+    main_ws.Add(self, sum, ops);
+  }
+
+  if (dedup) restore_counts(/*before_loop=*/false);  // leftovers
+
+  // Lines 15-16: carry over p2 \ p'2 unchanged, and merge the buckets.
+  internal::WorkState<Counter> m;
+  for (size_t i = 0; i < main_ws.keys.size(); ++i) {
+    m.Add(main_ws.keys[i], main_ws.vals[i], ops);
+  }
+  for (size_t i = 0; i < right_ws.keys.size(); ++i) {
+    m.Add(right_ws.keys[i], right_ws.vals[i], ops);
+  }
+  for (size_t i = 0; i < pairs2.size(); ++i) {
+    int32_t n = QPairNode(pairs2[i]);
+    if (internal::KeepInP2(q.node(n).axis)) continue;
+    m.Add(pairs2[i], p2.counts[i], ops);
+  }
+  if (!dedup) {
+    // Optimistic discipline: keep the pairs p'1 dropped, with whatever
+    // counts their consumers left them. Restoration is unnecessary —
+    // unconsumed counts ride along in the kept pair itself.
+    for (size_t i = 0; i < residual1.keys.size(); ++i) {
+      m.Add(residual1.keys[i], residual1.vals[i], ops);
+    }
+  }
+
+  // Canonicalize: sort pairs (with their counters) and intern.
+  std::vector<size_t> idx(m.keys.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(),
+            [&m](size_t a, size_t b) { return m.keys[a] < m.keys[b]; });
+  AnnState<Counter> out;
+  std::vector<QPair> sorted_keys;
+  sorted_keys.reserve(idx.size());
+  out.counts.reserve(idx.size());
+  for (size_t i : idx) {
+    sorted_keys.push_back(m.keys[i]);
+    out.counts.push_back(std::move(m.vals[i]));
+  }
+  out.state = reg->Intern(std::move(sorted_keys));
+  return out;
+}
+
+/// Extracts the final result after the virtual-root transition: the count
+/// of ⟨r_Q, FOLLOWING(r_Q)⟩ and whether the automaton accepts.
+template <typename Counter>
+struct FinalResult {
+  bool accepted = false;
+  Counter count{};
+};
+
+template <typename Counter>
+FinalResult<Counter> ExtractResult(const CompiledQuery& cq,
+                                   const StateRegistry& reg,
+                                   const AnnState<Counter>& root_state) {
+  FinalResult<Counter> out;
+  QPair accept = MakeQPair(0, cq.following_mask(0));
+  const std::vector<QPair>& pairs = reg.pairs(root_state.state);
+  auto it = std::lower_bound(pairs.begin(), pairs.end(), accept);
+  if (it != pairs.end() && *it == accept) {
+    out.accepted = true;
+    out.count = root_state.counts[static_cast<size_t>(it - pairs.begin())];
+  }
+  return out;
+}
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_AUTOMATON_COUNTING_H_

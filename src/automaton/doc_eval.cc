@@ -1,0 +1,42 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "automaton/doc_eval.h"
+
+#include "xml/binary_tree.h"
+
+namespace xmlsel {
+
+DocEvalResult EvaluateOnDocument(const CompiledQuery& cq,
+                                 const Document& doc, bool dedup) {
+  StateRegistry reg;
+  DocEvalResult out;
+  using Ann = AnnState<int64_t>;
+  Ann root_ann;  // empty document ⇒ empty state
+  if (doc.document_element() != kNullNode) {
+    std::vector<Ann> value(static_cast<size_t>(doc.arena_size()));
+    for (NodeId v : BinaryPostOrder(doc)) {
+      NodeId l = BinaryLeft(doc, v);
+      NodeId r = BinaryRight(doc, v);
+      Ann empty;
+      Ann& lv = (l == kNullNode) ? empty : value[static_cast<size_t>(l)];
+      Ann& rv = (r == kNullNode) ? empty : value[static_cast<size_t>(r)];
+      value[static_cast<size_t>(v)] = CountingTransition<Int64Ops>(
+          cq, &reg, lv, rv, doc.label(v), dedup);
+      // Children are consumed exactly once; reclaim their memory.
+      if (l != kNullNode) value[static_cast<size_t>(l)] = Ann{};
+      if (r != kNullNode) value[static_cast<size_t>(r)] = Ann{};
+    }
+    root_ann = value[static_cast<size_t>(doc.document_element())];
+  }
+  // Final transition at the virtual root (#root label, no sibling).
+  Ann final_ann = CountingTransition<Int64Ops>(cq, &reg, root_ann, Ann{},
+                                               kRootLabel, dedup);
+  FinalResult<int64_t> fr = ExtractResult(cq, reg, final_ann);
+  out.accepted = fr.accepted;
+  out.count = fr.count;
+  out.distinct_states = reg.size();
+  return out;
+}
+
+}  // namespace xmlsel

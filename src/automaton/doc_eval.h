@@ -1,0 +1,33 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Running the counting tree automaton directly over a document's binary
+// view (§5.1–5.2). On a lossless input this computes the *exact* |Q(D)| —
+// it exists mainly to validate the automaton against the brute-force
+// evaluator and as the reference point for grammar evaluation.
+
+#ifndef XMLSEL_AUTOMATON_DOC_EVAL_H_
+#define XMLSEL_AUTOMATON_DOC_EVAL_H_
+
+#include "automaton/counting.h"
+#include "xml/document.h"
+
+namespace xmlsel {
+
+/// Result of an automaton run.
+struct DocEvalResult {
+  bool accepted = false;
+  int64_t count = 0;
+  int64_t distinct_states = 0;  ///< |P| actually materialized
+};
+
+/// Evaluates the compiled query bottom-up over bin(D), including the final
+/// virtual-root transition. `dedup` selects the counting discipline (see
+/// CountingTransition): true yields the exact/lower-bound count, false the
+/// embedding-counting upper bound.
+DocEvalResult EvaluateOnDocument(const CompiledQuery& cq,
+                                 const Document& doc, bool dedup = true);
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_AUTOMATON_DOC_EVAL_H_

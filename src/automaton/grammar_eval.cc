@@ -1,0 +1,248 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "automaton/grammar_eval.h"
+
+#include <algorithm>
+
+namespace xmlsel {
+
+namespace {
+
+/// Substitutes argument counter forms into a σ result form: the callee's
+/// variables (arg index, pair) are replaced by the argument's own linear
+/// form for that pair (which is expressed over the *caller's* parameters).
+LinearForm Substitute(const LinearForm& f,
+                      const std::vector<AnnState<LinearForm>>& args,
+                      const StateRegistry& reg) {
+  LinearForm out = LinearForm::Constant(f.constant);
+  for (const auto& [key, coeff] : f.terms) {
+    int32_t arg = static_cast<int32_t>(key >> 32);
+    QPair pair = static_cast<QPair>(key & 0xffffffffull);
+    LinearForm sub = args[static_cast<size_t>(arg)].CountOf(reg, pair);
+    sub.constant *= coeff;
+    for (auto& t : sub.terms) t.second *= coeff;
+    out.Add(sub);
+  }
+  return out;
+}
+
+}  // namespace
+
+GrammarEvaluator::GrammarEvaluator(const SltGrammar* grammar,
+                                   const CompiledQuery* cq,
+                                   const LabelMaps* maps, BoundMode mode)
+    : g_(grammar), cq_(cq), maps_(maps), mode_(mode),
+      star_(cq, &reg_, maps) {}
+
+const std::vector<std::vector<LabelId>>& GrammarEvaluator::StarRootLabels(
+    int32_t rule) {
+  auto it = star_roots_cache_.find(rule);
+  if (it != star_roots_cache_.end()) return it->second;
+  const GrammarRule& r = g_->rule(rule);
+  std::vector<std::vector<LabelId>> roots(r.nodes.size());
+  if (maps_ != nullptr) {
+    for (const GrammarNode& n : r.nodes) {
+      if (n.kind != GrammarNode::Kind::kTerminal) continue;
+      LabelId a = n.sym;
+      // Star as a first child of an a-element: hidden roots are children
+      // of a. Star as a next sibling of an a-element: hidden roots are
+      // children of any possible parent of a.
+      for (int side = 0; side < 2; ++side) {
+        int32_t c = n.children[static_cast<size_t>(side)];
+        if (c == kNullNode) continue;
+        const GrammarNode& cn = r.nodes[static_cast<size_t>(c)];
+        if (cn.kind != GrammarNode::Kind::kStar) continue;
+        std::vector<bool> allowed(
+            static_cast<size_t>(maps_->label_count), false);
+        if (side == 0) {
+          allowed = maps_->child[static_cast<size_t>(a)];
+        } else {
+          for (int32_t p = 0; p < maps_->label_count; ++p) {
+            if (!maps_->parent[static_cast<size_t>(a)][static_cast<size_t>(p)])
+              continue;
+            for (int32_t b = 0; b < maps_->label_count; ++b) {
+              if (maps_->child[static_cast<size_t>(p)][static_cast<size_t>(b)])
+                allowed[static_cast<size_t>(b)] = true;
+            }
+          }
+        }
+        std::vector<LabelId>& out = roots[static_cast<size_t>(c)];
+        for (int32_t b = 0; b < maps_->label_count; ++b) {
+          if (allowed[static_cast<size_t>(b)]) out.push_back(b);
+        }
+        if (out.empty()) {
+          // No label is possible in this position according to the maps;
+          // keep the empty set (the star then admits no hidden matches).
+          // Mark it as explicitly-empty with a sentinel so Upper() does
+          // not treat it as "unrestricted".
+          out.push_back(-1);
+        }
+      }
+    }
+  }
+  return star_roots_cache_.emplace(rule, std::move(roots)).first->second;
+}
+
+GrammarEvalResult GrammarEvaluator::Evaluate() {
+  GrammarEvalResult result;
+  using Ann = AnnState<LinearForm>;
+  Ann top;  // empty grammar ⇒ empty state
+  if (g_->rule_count() > 0) {
+    // Iterative evaluation: a stack of rule-evaluation tasks. Each task
+    // walks its RHS in post-order; when it reaches an unmemoized
+    // nonterminal call it pushes a sub-task and retries the node later.
+    struct Task {
+      std::vector<int32_t> key;          // [rule, param state ids…]
+      std::vector<int32_t> order;        // post-order RHS node ids
+      size_t next = 0;
+      std::vector<Ann> value;            // per RHS node (indexed by id)
+    };
+    auto post_order_of = [this](int32_t rule) {
+      const GrammarRule& r = g_->rule(rule);
+      std::vector<int32_t> order;
+      if (r.root == kNullNode) return order;
+      struct Frame {
+        int32_t node;
+        size_t next;
+      };
+      std::vector<Frame> stack = {{r.root, 0}};
+      while (!stack.empty()) {
+        Frame& f = stack.back();
+        const GrammarNode& n = r.nodes[static_cast<size_t>(f.node)];
+        bool desc = false;
+        while (f.next < n.children.size()) {
+          int32_t c = n.children[f.next++];
+          if (c != kNullNode) {
+            stack.push_back({c, 0});
+            desc = true;
+            break;
+          }
+        }
+        if (desc) continue;
+        order.push_back(f.node);
+        stack.pop_back();
+      }
+      return order;
+    };
+    auto make_task = [&](std::vector<int32_t> key) {
+      Task t;
+      t.order = post_order_of(key[0]);
+      t.value.resize(g_->rule(key[0]).nodes.size());
+      t.key = std::move(key);
+      return t;
+    };
+
+    std::vector<Task> tasks;
+    tasks.push_back(make_task({g_->start_rule()}));
+    while (!tasks.empty()) {
+      Task& t = tasks.back();
+      int32_t rule = t.key[0];
+      const GrammarRule& r = g_->rule(rule);
+      if (t.next == t.order.size()) {
+        // Rule done: record σ and pop.
+        Sigma sigma;
+        if (r.root != kNullNode) {
+          Ann& root = t.value[static_cast<size_t>(r.root)];
+          sigma.state = root.state;
+          sigma.counts = std::move(root.counts);
+        }
+        memo_.emplace(std::move(t.key), std::move(sigma));
+        ++result.sigma_entries;
+        tasks.pop_back();
+        continue;
+      }
+      int32_t id = t.order[t.next];
+      const GrammarNode& n = r.nodes[static_cast<size_t>(id)];
+      auto child_ann = [&](int32_t c) -> const Ann& {
+        static const Ann kEmpty;
+        if (c == kNullNode) return kEmpty;
+        return t.value[static_cast<size_t>(c)];
+      };
+      switch (n.kind) {
+        case GrammarNode::Kind::kParam: {
+          Ann a;
+          // The parameter's state is given; its counters are the symbolic
+          // variables X(param, pair).
+          a.state = t.key[static_cast<size_t>(n.sym) + 1];
+          for (QPair pr : reg_.pairs(a.state)) {
+            a.counts.push_back(LinearForm::Var(n.sym, pr));
+          }
+          t.value[static_cast<size_t>(id)] = std::move(a);
+          ++t.next;
+          break;
+        }
+        case GrammarNode::Kind::kTerminal: {
+          t.value[static_cast<size_t>(id)] = CountingTransition<LinearOps>(
+              *cq_, &reg_, child_ann(n.children[0]), child_ann(n.children[1]),
+              n.sym, /*dedup=*/mode_ == BoundMode::kLower);
+          ++t.next;
+          break;
+        }
+        case GrammarNode::Kind::kStar: {
+          std::vector<Ann> kids;
+          kids.reserve(n.children.size());
+          for (int32_t c : n.children) kids.push_back(child_ann(c));
+          if (mode_ == BoundMode::kLower) {
+            t.value[static_cast<size_t>(id)] = star_.Lower(kids);
+          } else {
+            const auto& roots = StarRootLabels(rule);
+            std::vector<LabelId> root_set =
+                roots.empty() ? std::vector<LabelId>{}
+                              : roots[static_cast<size_t>(id)];
+            if (root_set.size() == 1 && root_set[0] == -1) {
+              root_set.clear();
+              root_set.push_back(-1);  // explicitly empty: keep sentinel
+            }
+            t.value[static_cast<size_t>(id)] = star_.Upper(
+                kids, g_->star_stats()[static_cast<size_t>(n.sym)], root_set);
+          }
+          ++t.next;
+          break;
+        }
+        case GrammarNode::Kind::kNonterminal: {
+          std::vector<int32_t> key;
+          key.reserve(n.children.size() + 1);
+          key.push_back(n.sym);
+          std::vector<Ann> args;
+          args.reserve(n.children.size());
+          for (int32_t c : n.children) {
+            args.push_back(child_ann(c));
+            key.push_back(args.back().state);
+          }
+          auto it = memo_.find(key);
+          if (it == memo_.end()) {
+            tasks.push_back(make_task(std::move(key)));
+            // Retry this node once the sub-task has filled the memo.
+            break;
+          }
+          const Sigma& sigma = it->second;
+          Ann a;
+          a.state = sigma.state;
+          a.counts.reserve(sigma.counts.size());
+          for (const LinearForm& f : sigma.counts) {
+            a.counts.push_back(Substitute(f, args, reg_));
+          }
+          t.value[static_cast<size_t>(id)] = std::move(a);
+          ++t.next;
+          break;
+        }
+      }
+    }
+    auto it = memo_.find(std::vector<int32_t>{g_->start_rule()});
+    XMLSEL_CHECK(it != memo_.end());
+    top.state = it->second.state;
+    top.counts = it->second.counts;
+  }
+  Ann final_ann = CountingTransition<LinearOps>(
+      *cq_, &reg_, top, Ann{}, kRootLabel,
+      /*dedup=*/mode_ == BoundMode::kLower);
+  FinalResult<LinearForm> fr = ExtractResult(*cq_, reg_, final_ann);
+  result.accepted = fr.accepted;
+  XMLSEL_CHECK(fr.count.IsConstant());
+  result.count = fr.count.constant;
+  result.distinct_states = reg_.size();
+  return result;
+}
+
+}  // namespace xmlsel

@@ -1,0 +1,86 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Selectivity counting over SLT grammars (§5.3–5.4): evaluate the counting
+// automaton directly on the grammar in time O(|P|^k · |G|), memoizing the
+// state functions σ_i per (rule, parameter-state) combination and keeping
+// counters as linear forms over parameter counters. Lossy grammars are
+// handled through the star evaluator, yielding guaranteed lower/upper
+// bounds.
+
+#ifndef XMLSEL_AUTOMATON_GRAMMAR_EVAL_H_
+#define XMLSEL_AUTOMATON_GRAMMAR_EVAL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "automaton/counting.h"
+#include "automaton/star.h"
+#include "grammar/lossy.h"
+#include "grammar/slt.h"
+
+namespace xmlsel {
+
+/// How star nodes are treated (irrelevant for lossless grammars).
+enum class BoundMode {
+  kLower,  ///< ignore hidden nodes (guaranteed lower bound)
+  kUpper,  ///< admit all consistent hidden trees (guaranteed upper bound)
+};
+
+/// Result of a grammar evaluation.
+struct GrammarEvalResult {
+  bool accepted = false;
+  int64_t count = 0;
+  int64_t sigma_entries = 0;    ///< memoized σ_i evaluations performed
+  int64_t distinct_states = 0;  ///< automaton states materialized
+};
+
+/// Evaluates one compiled query over a grammar. A fresh evaluator is
+/// cheap; the σ memo lives for the lifetime of the evaluator, so repeated
+/// Evaluate() calls (e.g. during updates) reuse nothing across queries by
+/// design — each query has its own automaton.
+class GrammarEvaluator {
+ public:
+  /// `maps` may be null (upper bounds then skip label pruning).
+  GrammarEvaluator(const SltGrammar* grammar, const CompiledQuery* cq,
+                   const LabelMaps* maps, BoundMode mode);
+
+  /// Runs the automaton over the whole grammar, including the final
+  /// virtual-root transition.
+  GrammarEvalResult Evaluate();
+
+ private:
+  struct Sigma {
+    StateId state = 0;
+    std::vector<LinearForm> counts;  // in terms of (param index, pair)
+  };
+  struct KeyHash {
+    size_t operator()(const std::vector<int32_t>& v) const {
+      uint64_t h = 1469598103934665603ull;
+      for (int32_t x : v) {
+        h ^= static_cast<uint64_t>(x) + 0x9e3779b97f4a7c15ull;
+        h *= 1099511628211ull;
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+
+  /// Root label sets for star nodes of a rule, derived from their parent
+  /// position in the RHS and the label maps (cached per rule).
+  const std::vector<std::vector<LabelId>>& StarRootLabels(int32_t rule);
+
+  const SltGrammar* g_;
+  const CompiledQuery* cq_;
+  const LabelMaps* maps_;
+  BoundMode mode_;
+  StateRegistry reg_;
+  StarEvaluator star_;
+  /// Memo key: [rule, param state ids…].
+  std::unordered_map<std::vector<int32_t>, Sigma, KeyHash> memo_;
+  std::unordered_map<int32_t, std::vector<std::vector<LabelId>>>
+      star_roots_cache_;
+};
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_AUTOMATON_GRAMMAR_EVAL_H_

@@ -1,0 +1,197 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "automaton/star.h"
+
+#include <algorithm>
+
+namespace xmlsel {
+
+AnnState<LinearForm> StarEvaluator::Lower(
+    const std::vector<AnnState<LinearForm>>& children) const {
+  AnnState<LinearForm> acc;  // empty state
+  for (const AnnState<LinearForm>& c : children) {
+    acc = CountingTransition<LinearOps>(*cq_, reg_, acc, c, kStarLabel,
+                                        /*dedup=*/true);
+  }
+  if (children.empty()) {
+    acc = CountingTransition<LinearOps>(*cq_, reg_, acc,
+                                        AnnState<LinearForm>{}, kStarLabel,
+                                        /*dedup=*/true);
+  }
+  return acc;
+}
+
+AnnState<LinearForm> StarEvaluator::Upper(
+    const std::vector<AnnState<LinearForm>>& children, const StarStats& stats,
+    const std::vector<LabelId>& root_labels) const {
+  const Query& q = cq_->query();
+
+  // --- Label reachability within the hidden pattern: grow the root label
+  // set through the child map for up to `stats.height` levels (§5.4's
+  // pruning optimization).
+  int32_t label_count = maps_ == nullptr ? 0 : maps_->label_count;
+  std::vector<bool> reachable;
+  bool all_reachable = false;
+  if (maps_ == nullptr || root_labels.empty()) {
+    all_reachable = true;
+  } else {
+    reachable.assign(static_cast<size_t>(label_count), false);
+    std::vector<bool> frontier(static_cast<size_t>(label_count), false);
+    for (LabelId l : root_labels) {
+      if (l >= 0 && l < label_count) {
+        frontier[static_cast<size_t>(l)] = true;
+      }
+    }
+    for (int32_t depth = 0; depth < stats.height; ++depth) {
+      std::vector<bool> next(static_cast<size_t>(label_count), false);
+      bool any_new = false;
+      for (int32_t a = 0; a < label_count; ++a) {
+        if (!frontier[static_cast<size_t>(a)]) continue;
+        if (!reachable[static_cast<size_t>(a)]) {
+          reachable[static_cast<size_t>(a)] = true;
+          any_new = true;
+        }
+        if (depth + 1 < stats.height) {
+          for (int32_t b = 0; b < label_count; ++b) {
+            if (maps_->child[static_cast<size_t>(a)][static_cast<size_t>(b)]) {
+              next[static_cast<size_t>(b)] = true;
+            }
+          }
+        }
+      }
+      frontier.swap(next);
+      if (!any_new && depth > 0) break;
+    }
+  }
+  auto label_possible = [&](LabelId test) {
+    if (all_reachable) return true;
+    if (test == kWildcardTest || test == kAnyTest) {
+      return std::find(reachable.begin(), reachable.end(), true) !=
+             reachable.end();
+    }
+    if (test <= 0) return false;  // the virtual root is never hidden
+    if (test >= label_count) return false;
+    return static_cast<bool>(reachable[static_cast<size_t>(test)]);
+  };
+
+  // --- Which query nodes appear (with any F-set) in some child state?
+  std::vector<bool> child_sat(static_cast<size_t>(q.size()), false);
+  for (const AnnState<LinearForm>& c : children) {
+    for (QPair pr : reg_->pairs(c.state)) {
+      child_sat[static_cast<size_t>(QPairNode(pr))] = true;
+    }
+  }
+
+  // --- Hidden feasibility: can subquery(q) embed with h(q) a hidden
+  // node, given label reachability and the height/size budget? Axis
+  // constraints inside the hidden region are relaxed (sound for an upper
+  // bound); depth/size needs prune the impossible cases.
+  std::vector<bool> feasible(static_cast<size_t>(q.size()), false);
+  std::vector<int32_t> depth_need(static_cast<size_t>(q.size()), 0);
+  std::vector<int64_t> size_need(static_cast<size_t>(q.size()), 0);
+  for (int32_t n : cq_->post_order()) {
+    if (n == 0) continue;  // the virtual root is never hidden
+    bool ok = label_possible(q.node(n).test);
+    int32_t dn = 1;
+    int64_t sn = 1;
+    for (int32_t c : q.node(n).children) {
+      bool c_ok =
+          feasible[static_cast<size_t>(c)] || child_sat[static_cast<size_t>(c)];
+      if (!c_ok) {
+        ok = false;
+        break;
+      }
+      if (!child_sat[static_cast<size_t>(c)]) {
+        Axis ax = q.node(c).axis;
+        bool may_share =
+            ax == Axis::kDescendantOrSelf || ax == Axis::kSelf;
+        int32_t extra = may_share ? depth_need[static_cast<size_t>(c)] - 1
+                                  : depth_need[static_cast<size_t>(c)];
+        dn = std::max(dn, 1 + std::max(0, extra));
+        // A descendant-or-self/self child can map onto the same hidden
+        // node as its parent, so it needs one node fewer.
+        sn += size_need[static_cast<size_t>(c)] - (may_share ? 1 : 0);
+      }
+    }
+    depth_need[static_cast<size_t>(n)] = dn;
+    size_need[static_cast<size_t>(n)] = sn;
+    feasible[static_cast<size_t>(n)] =
+        ok && dn <= stats.height && sn <= stats.size;
+  }
+
+  // --- Assemble the upper state: child pairs with all F-superset
+  // variants, plus all-F variants of feasible hidden pairs.
+  internal::WorkState<LinearForm> m;
+  LinearOps ops;
+  auto add_supersets = [&](int32_t n, uint32_t base, const LinearForm& c) {
+    uint32_t follow = cq_->following_mask(n);
+    base &= follow;
+    uint32_t free = follow & ~base;
+    // Enumerate sub ⊆ free (standard submask walk, including 0).
+    uint32_t sub = free;
+    while (true) {
+      m.Add(MakeQPair(n, base | sub), c, ops);
+      if (sub == 0) break;
+      sub = (sub - 1) & free;
+    }
+  };
+  for (const AnnState<LinearForm>& c : children) {
+    const std::vector<QPair>& pairs = reg_->pairs(c.state);
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      add_supersets(QPairNode(pairs[i]), QPairMask(pairs[i]), c.counts[i]);
+    }
+  }
+  for (int32_t n = 1; n < q.size(); ++n) {
+    if (feasible[static_cast<size_t>(n)]) {
+      add_supersets(n, 0, LinearForm{});
+    }
+  }
+  // Count flow into hidden spine matches. The hidden region's internal
+  // consumption chain never replays, so every spine pair that hidden
+  // nodes could satisfy must carry (a) the match counts already pending
+  // in the plugged subtrees at its spine *descendants* — a hidden q_i
+  // match would consume them — and (b) the ≤ stats.size budget of match
+  // nodes hidden inside the pattern itself (§5.4's cap). Crediting every
+  // level double-counts across levels, which only loosens the bound.
+  const std::vector<int32_t>& spine = cq_->spine();
+  // suffix_flow[i] = Σ child-state counters of pairs for spine[j], j ≥ i.
+  std::vector<LinearForm> suffix_flow(spine.size() + 1);
+  for (size_t i = spine.size(); i-- > 0;) {
+    suffix_flow[i] = suffix_flow[i + 1];
+    for (const AnnState<LinearForm>& c : children) {
+      const std::vector<QPair>& pairs = reg_->pairs(c.state);
+      for (size_t k = 0; k < pairs.size(); ++k) {
+        if (QPairNode(pairs[k]) == spine[i]) {
+          suffix_flow[i].Add(c.counts[k]);
+        }
+      }
+    }
+  }
+  bool hidden_match = feasible[static_cast<size_t>(cq_->match_node())];
+  for (size_t i = 0; i < spine.size(); ++i) {
+    int32_t qi = spine[i];
+    if (qi == 0) continue;  // the virtual root is never hidden
+    if (!feasible[static_cast<size_t>(qi)]) continue;
+    LinearForm credit = suffix_flow[i + 1];
+    if (hidden_match) credit.Add(LinearForm::Constant(stats.size));
+    if (credit.IsConstant() && credit.constant == 0) continue;
+    add_supersets(qi, 0, credit);
+  }
+
+  std::vector<size_t> idx(m.keys.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(),
+            [&m](size_t a, size_t b) { return m.keys[a] < m.keys[b]; });
+  AnnState<LinearForm> out;
+  std::vector<QPair> keys;
+  keys.reserve(idx.size());
+  for (size_t i : idx) {
+    keys.push_back(m.keys[i]);
+    out.counts.push_back(std::move(m.vals[i]));
+  }
+  out.state = reg_->Intern(std::move(keys));
+  return out;
+}
+
+}  // namespace xmlsel

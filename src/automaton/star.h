@@ -1,0 +1,61 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Star-node handling for lossy grammars (§5.4).
+//
+// Lower bound: hidden nodes are ignored — each star is folded through the
+// ordinary transition function with the reserved kStarLabel (which matches
+// no node test), i.e. the tree *(…*( *(t1,t2), t3)…, tn) of the paper.
+// The fold demotes every child but the last to "plugged deep inside the
+// pattern" (only descendant-or-self/following information survives), while
+// the last child — the sequence tail t_{k} or the explicit ⊥ terminator —
+// keeps sibling-level information. This is sound: the estimate can only
+// miss matches involving hidden nodes.
+//
+// Upper bound: every query pair that *could* be satisfied by some hidden
+// tree consistent with the (h, s) statistics and the child-label map is
+// added, and the match-node counter is credited with at most s hidden
+// matches (the paper's cap). Child-state pairs are kept with all F-set
+// over-approximations. This can only overestimate.
+
+#ifndef XMLSEL_AUTOMATON_STAR_H_
+#define XMLSEL_AUTOMATON_STAR_H_
+
+#include <vector>
+
+#include "automaton/counting.h"
+#include "grammar/lossy.h"
+#include "grammar/slt.h"
+
+namespace xmlsel {
+
+/// Evaluates star nodes for one compiled query. `maps` may be null, in
+/// which case the upper bound assumes all labels are reachable (sound but
+/// looser — this is the "no pruning" ablation of §5.4).
+class StarEvaluator {
+ public:
+  StarEvaluator(const CompiledQuery* cq, StateRegistry* reg,
+                const LabelMaps* maps)
+      : cq_(cq), reg_(reg), maps_(maps) {}
+
+  /// Lower-bound state of *(children…): left fold through the transition
+  /// function with kStarLabel. `children` entries corresponding to ⊥ are
+  /// default (empty) states.
+  AnnState<LinearForm> Lower(
+      const std::vector<AnnState<LinearForm>>& children) const;
+
+  /// Upper-bound state. `root_labels` is the set of labels the hidden
+  /// roots may carry (empty vector = unrestricted).
+  AnnState<LinearForm> Upper(
+      const std::vector<AnnState<LinearForm>>& children,
+      const StarStats& stats, const std::vector<LabelId>& root_labels) const;
+
+ private:
+  const CompiledQuery* cq_;
+  StateRegistry* reg_;
+  const LabelMaps* maps_;
+};
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_AUTOMATON_STAR_H_

@@ -1,0 +1,27 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "automaton/state.h"
+
+#include <algorithm>
+
+namespace xmlsel {
+
+StateId StateRegistry::Intern(std::vector<QPair> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  XMLSEL_DCHECK(std::adjacent_find(pairs.begin(), pairs.end()) ==
+                pairs.end());
+  auto it = ids_.find(pairs);
+  if (it != ids_.end()) return it->second;
+  StateId id = static_cast<StateId>(states_.size());
+  states_.push_back(pairs);
+  ids_.emplace(std::move(pairs), id);
+  return id;
+}
+
+bool StateRegistry::Contains(StateId id, QPair pair) const {
+  const std::vector<QPair>& v = states_[static_cast<size_t>(id)];
+  return std::binary_search(v.begin(), v.end(), pair);
+}
+
+}  // namespace xmlsel

@@ -1,0 +1,74 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Automaton states (§5.1): a state is a set of pairs ⟨q, S⟩ where q is a
+// query node and S ⊆ FOLLOWING(q) records which following-marked
+// subqueries of q have already been matched to the right. States are
+// canonicalized (sorted) and interned in a registry, so a state is a dense
+// int32 id — which makes the σ_i memoization of §5.3 a hash lookup.
+
+#ifndef XMLSEL_AUTOMATON_STATE_H_
+#define XMLSEL_AUTOMATON_STATE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "xmlsel/common.h"
+
+namespace xmlsel {
+
+/// Maximum number of nodes in a compiled query (pair packing uses 16-bit
+/// F-set bitmasks indexed by query-node id).
+inline constexpr int32_t kMaxQueryNodes = 16;
+
+/// A ⟨query node, F-set⟩ pair packed as (q << 16) | fmask.
+using QPair = uint32_t;
+
+inline QPair MakeQPair(int32_t q, uint32_t fmask) {
+  XMLSEL_DCHECK(q >= 0 && q < kMaxQueryNodes && fmask < (1u << 16));
+  return (static_cast<uint32_t>(q) << 16) | fmask;
+}
+inline int32_t QPairNode(QPair p) { return static_cast<int32_t>(p >> 16); }
+inline uint32_t QPairMask(QPair p) { return p & 0xffffu; }
+
+/// Interned automaton state id. Id 0 is always the empty state.
+using StateId = int32_t;
+
+/// Registry of canonical states. Not thread-safe (one per evaluation).
+class StateRegistry {
+ public:
+  StateRegistry() { Intern({}); }  // id 0 = ∅
+
+  /// Interns a pair set (need not be sorted; duplicates are forbidden).
+  StateId Intern(std::vector<QPair> pairs);
+
+  /// The sorted pair vector of a state.
+  const std::vector<QPair>& pairs(StateId id) const {
+    return states_[static_cast<size_t>(id)];
+  }
+
+  /// Whether `pair` belongs to state `id` (binary search).
+  bool Contains(StateId id, QPair pair) const;
+
+  StateId empty_state() const { return 0; }
+  int64_t size() const { return static_cast<int64_t>(states_.size()); }
+
+ private:
+  struct VecHash {
+    size_t operator()(const std::vector<QPair>& v) const {
+      uint64_t h = 1469598103934665603ull;
+      for (QPair p : v) {
+        h ^= p + 0x9e3779b97f4a7c15ull;
+        h *= 1099511628211ull;
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+  std::vector<std::vector<QPair>> states_;
+  std::unordered_map<std::vector<QPair>, StateId, VecHash> ids_;
+};
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_AUTOMATON_STATE_H_

@@ -1,0 +1,203 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "automaton/transition.h"
+
+#include <algorithm>
+
+namespace xmlsel {
+
+bool HasOrderAxes(const Query& query) {
+  for (int32_t i = 1; i < query.size(); ++i) {
+    Axis a = query.node(i).axis;
+    if (a == Axis::kFollowing || a == Axis::kFollowingSibling) return true;
+  }
+  return false;
+}
+
+Query RelaxOrderConstraints(const Query& query) {
+  Query out;
+  std::vector<int32_t> new_id(static_cast<size_t>(query.size()), 0);
+  std::vector<int32_t> stack;
+  for (auto it = query.node(0).children.rbegin();
+       it != query.node(0).children.rend(); ++it) {
+    stack.push_back(*it);
+  }
+  while (!stack.empty()) {
+    int32_t n = stack.back();
+    stack.pop_back();
+    const QueryNode& qn = query.node(n);
+    Axis axis = qn.axis;
+    int32_t parent = new_id[static_cast<size_t>(qn.parent)];
+    if (axis == Axis::kFollowing || axis == Axis::kFollowingSibling) {
+      // Drop the ordering constraint: the subtree may match anywhere.
+      axis = Axis::kDescendant;
+      parent = out.root();
+    }
+    new_id[static_cast<size_t>(n)] = out.AddNode(parent, axis, qn.test);
+    for (auto it = qn.children.rbegin(); it != qn.children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  out.SetMatchNode(new_id[static_cast<size_t>(query.match_node())]);
+  out.Validate();
+  return out;
+}
+
+namespace {
+
+/// Intersects two node tests; kNeverTest when they conflict.
+LabelId IntersectTests(LabelId a, LabelId b) {
+  if (a == kNeverTest || b == kNeverTest) return kNeverTest;
+  if (a == kAnyTest) return b;
+  if (b == kAnyTest) return a;
+  if (a == kWildcardTest) return b == kRootLabel ? kNeverTest : b;
+  if (b == kWildcardTest) return a == kRootLabel ? kNeverTest : a;
+  return a == b ? a : kNeverTest;
+}
+
+/// Folds self edges away: u ─self→ v means h(u) = h(v), so v's test
+/// intersects into u and v's children re-attach to u. An exact rewrite;
+/// conflicts produce kNeverTest (the subquery is unsatisfiable there).
+Query FoldSelfAxes(const Query& in) {
+  // Union-find upward: representative of each node after collapsing
+  // self-edges into parents.
+  std::vector<int32_t> rep(static_cast<size_t>(in.size()));
+  std::vector<LabelId> test(static_cast<size_t>(in.size()));
+  for (int32_t i = 0; i < in.size(); ++i) {
+    rep[static_cast<size_t>(i)] = i;
+    test[static_cast<size_t>(i)] = in.node(i).test;
+  }
+  for (int32_t i = 1; i < in.size(); ++i) {
+    if (in.node(i).axis != Axis::kSelf) continue;
+    int32_t target = rep[static_cast<size_t>(in.node(i).parent)];
+    rep[static_cast<size_t>(i)] = target;
+    test[static_cast<size_t>(target)] = IntersectTests(
+        test[static_cast<size_t>(target)], test[static_cast<size_t>(i)]);
+  }
+  Query out;
+  std::vector<int32_t> new_id(static_cast<size_t>(in.size()), -1);
+  new_id[0] = 0;
+  for (int32_t i = 1; i < in.size(); ++i) {
+    if (rep[static_cast<size_t>(i)] != i) {
+      new_id[static_cast<size_t>(i)] =
+          new_id[static_cast<size_t>(rep[static_cast<size_t>(i)])];
+      continue;
+    }
+    int32_t parent = in.node(i).parent;
+    int32_t new_parent =
+        new_id[static_cast<size_t>(rep[static_cast<size_t>(parent)])];
+    // Children are added after parents (ids ascend), so new_parent is set.
+    new_id[static_cast<size_t>(i)] =
+        out.AddNode(new_parent, in.node(i).axis, test[static_cast<size_t>(i)]);
+  }
+  int32_t m = new_id[static_cast<size_t>(in.match_node())];
+  XMLSEL_CHECK(m >= 0);
+  if (m == 0) {
+    // The match node collapsed into the virtual root (e.g. "/self::a"):
+    // give it an explicit never-matching node so counting yields 0.
+    m = out.AddNode(0, Axis::kSelf, kNeverTest);
+  }
+  out.SetMatchNode(m);
+  out.Validate();
+  return out;
+}
+
+/// Expands every (strict) descendant edge into the §3 rewrite
+/// descendant-or-self::node()/child::test. The counting algorithm only
+/// handles the paper's five axes; a direct strict-descendant consumption
+/// would conflate "matched here" with "matched strictly below".
+Query ExpandDescendantAxes(const Query& in) {
+  Query out;
+  std::vector<int32_t> new_id(static_cast<size_t>(in.size()), 0);
+  struct Frame {
+    int32_t node;
+  };
+  std::vector<int32_t> stack;
+  for (auto it = in.node(0).children.rbegin();
+       it != in.node(0).children.rend(); ++it) {
+    stack.push_back(*it);
+  }
+  while (!stack.empty()) {
+    int32_t n = stack.back();
+    stack.pop_back();
+    const QueryNode& qn = in.node(n);
+    int32_t parent = new_id[static_cast<size_t>(qn.parent)];
+    int32_t id;
+    if (qn.axis == Axis::kDescendant) {
+      int32_t mid =
+          out.AddNode(parent, Axis::kDescendantOrSelf, kAnyTest);
+      id = out.AddNode(mid, Axis::kChild, qn.test);
+    } else {
+      id = out.AddNode(parent, qn.axis, qn.test);
+    }
+    new_id[static_cast<size_t>(n)] = id;
+    for (auto it = qn.children.rbegin(); it != qn.children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  out.SetMatchNode(new_id[static_cast<size_t>(in.match_node())]);
+  out.Validate();
+  return out;
+}
+
+}  // namespace
+
+Result<CompiledQuery> CompiledQuery::Compile(const Query& original) {
+  original.Validate();
+  if (!original.ForwardOnly()) {
+    return Status::Unsupported(
+        "query contains reverse axes; run RewriteReverseAxes first");
+  }
+  Query query = ExpandDescendantAxes(FoldSelfAxes(original));
+  if (query.size() > kMaxQueryNodes) {
+    return Status::Unsupported("query exceeds " +
+                               std::to_string(kMaxQueryNodes) +
+                               " nodes after descendant expansion");
+  }
+  CompiledQuery cq;
+  cq.query_ = query;
+  cq.post_order_ = query.PostOrder();
+
+  // FOLLOWING frontiers, computed bottom-up (Algorithm 1's FOLLOWING).
+  cq.following_mask_.assign(static_cast<size_t>(query.size()), 0);
+  for (int32_t q : cq.post_order_) {
+    uint32_t mask = 0;
+    for (int32_t c : query.node(q).children) {
+      if (query.node(c).axis == Axis::kFollowing) {
+        mask |= 1u << c;
+      } else {
+        mask |= cq.following_mask_[static_cast<size_t>(c)];
+      }
+    }
+    cq.following_mask_[static_cast<size_t>(q)] = mask;
+  }
+  for (int32_t q = 1; q < query.size(); ++q) {
+    if (query.node(q).axis == Axis::kFollowing) {
+      cq.all_following_bits_ |= 1u << q;
+    }
+  }
+
+  // Spine root→match node.
+  cq.spine_index_.assign(static_cast<size_t>(query.size()), -1);
+  for (int32_t q = query.match_node(); q != -1; q = query.node(q).parent) {
+    cq.spine_.push_back(q);
+  }
+  std::reverse(cq.spine_.begin(), cq.spine_.end());
+  for (size_t i = 0; i < cq.spine_.size(); ++i) {
+    cq.spine_index_[static_cast<size_t>(cq.spine_[i])] =
+        static_cast<int32_t>(i);
+  }
+  return cq;
+}
+
+bool CompiledQuery::TestMatches(int32_t q, LabelId label) const {
+  if (label == kStarLabel) return false;
+  LabelId test = query_.node(q).test;
+  if (test == kNeverTest) return false;  // conflicting self-folded tests
+  if (test == kAnyTest) return true;  // node(): any node, root included
+  if (test == kWildcardTest) return label > 0;
+  return test == label;  // includes the kRootLabel/virtual-root case
+}
+
+}  // namespace xmlsel

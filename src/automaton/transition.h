@@ -1,0 +1,85 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Query compilation for the tree automaton (§5.1): per-node FOLLOWING
+// frontiers, post-order, the root→match-node spine, and the label sentinel
+// used when folding star nodes.
+
+#ifndef XMLSEL_AUTOMATON_TRANSITION_H_
+#define XMLSEL_AUTOMATON_TRANSITION_H_
+
+#include <vector>
+
+#include "automaton/state.h"
+#include "query/ast.h"
+#include "xmlsel/status.h"
+
+namespace xmlsel {
+
+/// Label passed to the transition function for star pseudo-nodes; it
+/// matches no node test (not even '*'), which is exactly the paper's
+/// lower-bound construction of §5.4.
+inline constexpr LabelId kStarLabel = -3;
+
+/// Returns a sound order-relaxation of `query`: every following /
+/// following-sibling edge is replaced by re-attaching its target subtree
+/// under the virtual root via descendant, dropping the ordering (and the
+/// anchoring) constraint. The relaxed query's match set is a superset of
+/// the original's, so evaluating it yields an upper bound — this is how
+/// the estimator bounds order-sensitive queries from above, while the
+/// strict transition (which only accepts following-witnesses already
+/// visible in the right context) bounds them from below. For order-free
+/// queries both coincide and are exact.
+Query RelaxOrderConstraints(const Query& query);
+
+/// True if the query uses following / following-sibling edges (i.e.
+/// RelaxOrderConstraints would change it).
+bool HasOrderAxes(const Query& query);
+
+/// A query preprocessed for automaton evaluation.
+class CompiledQuery {
+ public:
+  /// Compiles a validated, forward-only query with ≤ kMaxQueryNodes nodes.
+  /// Fails with kUnsupported if the query is too large.
+  static Result<CompiledQuery> Compile(const Query& query);
+
+  const Query& query() const { return query_; }
+  int32_t size() const { return query_.size(); }
+  int32_t match_node() const { return query_.match_node(); }
+
+  /// FOLLOWING(q): the frontier of following-axis edges below q, as a
+  /// bitmask over query-node ids (Algorithm 1).
+  uint32_t following_mask(int32_t q) const {
+    return following_mask_[static_cast<size_t>(q)];
+  }
+
+  /// Query nodes in post-order (children before parents, root last).
+  const std::vector<int32_t>& post_order() const { return post_order_; }
+
+  /// The root→match-node path; spine_index(q) is q's position on it, or
+  /// -1 when q is not an ancestor-or-self of the match node.
+  const std::vector<int32_t>& spine() const { return spine_; }
+  int32_t spine_index(int32_t q) const {
+    return spine_index_[static_cast<size_t>(q)];
+  }
+
+  /// True if the node test of q accepts `label` (kStarLabel never
+  /// matches; '*' matches any element but not the virtual root).
+  bool TestMatches(int32_t q, LabelId label) const;
+
+  /// Union of all F-set bits that can ever occur (bits of following-axis
+  /// query nodes); used by the upper-bound star to enumerate variants.
+  uint32_t all_following_bits() const { return all_following_bits_; }
+
+ private:
+  Query query_;
+  std::vector<uint32_t> following_mask_;
+  std::vector<int32_t> post_order_;
+  std::vector<int32_t> spine_;
+  std::vector<int32_t> spine_index_;
+  uint32_t all_following_bits_ = 0;
+};
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_AUTOMATON_TRANSITION_H_

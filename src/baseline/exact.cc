@@ -1,0 +1,259 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "baseline/exact.h"
+
+#include <algorithm>
+
+namespace xmlsel {
+
+ExactEvaluator::ExactEvaluator(const Document& doc) : doc_(doc) {
+  preorder_ = doc.SubtreeNodes(doc.virtual_root());
+  pre_pos_.assign(static_cast<size_t>(doc.arena_size()), -1);
+  subtree_size_.assign(static_cast<size_t>(doc.arena_size()), 0);
+  for (size_t i = 0; i < preorder_.size(); ++i) {
+    pre_pos_[static_cast<size_t>(preorder_[i])] = static_cast<int64_t>(i);
+  }
+  // Reverse pre-order visits children before parents.
+  for (auto it = preorder_.rbegin(); it != preorder_.rend(); ++it) {
+    int64_t sz = 1;
+    for (NodeId c = doc.first_child(*it); c != kNullNode;
+         c = doc.next_sibling(c)) {
+      sz += subtree_size_[static_cast<size_t>(c)];
+    }
+    subtree_size_[static_cast<size_t>(*it)] = sz;
+  }
+}
+
+std::vector<std::vector<uint8_t>> ExactEvaluator::MatchTables(
+    const Query& query) const {
+  const size_t arena = static_cast<size_t>(doc_.arena_size());
+  std::vector<std::vector<uint8_t>> match(
+      static_cast<size_t>(query.size()));
+  // One derived array per query node: whether, from document node v, the
+  // node's own subquery is reachable via the node's *incoming* axis.
+  std::vector<std::vector<uint8_t>> derived(
+      static_cast<size_t>(query.size()));
+
+  auto test_ok = [&](LabelId test, NodeId v) {
+    LabelId l = doc_.label(v);
+    if (test == kWildcardTest) return l > 0;  // any element, not the root
+    return l == test;
+  };
+
+  for (int32_t q : query.PostOrder()) {
+    const QueryNode& qn = query.node(q);
+    std::vector<uint8_t>& m = match[static_cast<size_t>(q)];
+    m.assign(arena, 0);
+    for (NodeId v : preorder_) {
+      if (!test_ok(qn.test, v) && !(q == query.root() &&
+                                    v == doc_.virtual_root())) {
+        continue;
+      }
+      bool ok = true;
+      for (int32_t c : qn.children) {
+        if (!derived[static_cast<size_t>(c)][static_cast<size_t>(v)]) {
+          ok = false;
+          break;
+        }
+      }
+      m[static_cast<size_t>(v)] = ok ? 1 : 0;
+    }
+    if (q == query.root()) break;  // root has no incoming axis
+
+    // Build the derived array for q's incoming axis.
+    std::vector<uint8_t>& d = derived[static_cast<size_t>(q)];
+    d.assign(arena, 0);
+    switch (qn.axis) {
+      case Axis::kSelf:
+        d = m;
+        break;
+      case Axis::kChild:
+        for (NodeId v : preorder_) {
+          for (NodeId c = doc_.first_child(v); c != kNullNode;
+               c = doc_.next_sibling(c)) {
+            if (m[static_cast<size_t>(c)]) {
+              d[static_cast<size_t>(v)] = 1;
+              break;
+            }
+          }
+        }
+        break;
+      case Axis::kDescendant:
+      case Axis::kDescendantOrSelf: {
+        // sub[v] = match anywhere in v's subtree (self included).
+        std::vector<uint8_t> sub(arena, 0);
+        for (auto it = preorder_.rbegin(); it != preorder_.rend(); ++it) {
+          NodeId v = *it;
+          uint8_t below = 0;
+          for (NodeId c = doc_.first_child(v); c != kNullNode;
+               c = doc_.next_sibling(c)) {
+            if (sub[static_cast<size_t>(c)]) {
+              below = 1;
+              break;
+            }
+          }
+          d[static_cast<size_t>(v)] =
+              (qn.axis == Axis::kDescendant)
+                  ? below
+                  : (below || m[static_cast<size_t>(v)]);
+          sub[static_cast<size_t>(v)] =
+              below || m[static_cast<size_t>(v)];
+        }
+        break;
+      }
+      case Axis::kFollowingSibling:
+        // Right-to-left suffix OR along each sibling chain.
+        for (NodeId v : preorder_) {
+          uint8_t running = 0;
+          for (NodeId c = doc_.last_child(v); c != kNullNode;
+               c = doc_.prev_sibling(c)) {
+            d[static_cast<size_t>(c)] = running;
+            running = running || m[static_cast<size_t>(c)];
+          }
+        }
+        break;
+      case Axis::kFollowing: {
+        // following(v) = nodes with pre position >= pre(v) + size(v).
+        std::vector<uint8_t> suffix_any(preorder_.size() + 1, 0);
+        for (size_t i = preorder_.size(); i-- > 0;) {
+          suffix_any[i] =
+              suffix_any[i + 1] || m[static_cast<size_t>(preorder_[i])];
+        }
+        for (NodeId v : preorder_) {
+          size_t cut = static_cast<size_t>(
+              pre_pos_[static_cast<size_t>(v)] +
+              subtree_size_[static_cast<size_t>(v)]);
+          d[static_cast<size_t>(v)] = suffix_any[std::min(
+              cut, preorder_.size())];
+        }
+        break;
+      }
+      default:
+        XMLSEL_CHECK(false && "reverse axis reached the exact evaluator");
+    }
+  }
+  return match;
+}
+
+std::vector<uint8_t> ExactEvaluator::AnchoredMatches(
+    const Query& query,
+    const std::vector<std::vector<uint8_t>>& match) const {
+  const size_t arena = static_cast<size_t>(doc_.arena_size());
+  // Spine: path from the query root down to the match node.
+  std::vector<int32_t> spine;
+  for (int32_t q = query.match_node(); q != -1; q = query.node(q).parent) {
+    spine.push_back(q);
+  }
+  std::reverse(spine.begin(), spine.end());
+  XMLSEL_CHECK(spine.front() == query.root());
+
+  std::vector<uint8_t> anchored(arena, 0);
+  anchored[static_cast<size_t>(doc_.virtual_root())] =
+      match[static_cast<size_t>(query.root())]
+           [static_cast<size_t>(doc_.virtual_root())];
+
+  for (size_t i = 1; i < spine.size(); ++i) {
+    int32_t q = spine[i];
+    const QueryNode& qn = query.node(q);
+    const std::vector<uint8_t>& m = match[static_cast<size_t>(q)];
+    std::vector<uint8_t> next(arena, 0);
+    switch (qn.axis) {
+      case Axis::kSelf:
+        for (NodeId v : preorder_) {
+          size_t sv = static_cast<size_t>(v);
+          next[sv] = anchored[sv] && m[sv];
+        }
+        break;
+      case Axis::kChild:
+        for (NodeId v : preorder_) {
+          NodeId p = doc_.parent(v);
+          if (p != kNullNode && anchored[static_cast<size_t>(p)] &&
+              m[static_cast<size_t>(v)]) {
+            next[static_cast<size_t>(v)] = 1;
+          }
+        }
+        break;
+      case Axis::kDescendant:
+      case Axis::kDescendantOrSelf: {
+        // under[v]: some (proper, or proper-or-self) ancestor is anchored.
+        // Pre-order guarantees parents are visited before children.
+        std::vector<uint8_t> under(arena, 0);
+        for (NodeId v : preorder_) {
+          size_t sv = static_cast<size_t>(v);
+          NodeId p = doc_.parent(v);
+          uint8_t from_parent =
+              (p == kNullNode)
+                  ? 0
+                  : (under[static_cast<size_t>(p)] ||
+                     anchored[static_cast<size_t>(p)]);
+          under[sv] = from_parent;
+          uint8_t reach = (qn.axis == Axis::kDescendant)
+                              ? from_parent
+                              : (from_parent || anchored[sv]);
+          next[sv] = reach && m[sv];
+        }
+        break;
+      }
+      case Axis::kFollowingSibling:
+        for (NodeId v : preorder_) {
+          uint8_t running = 0;
+          for (NodeId c = doc_.first_child(v); c != kNullNode;
+               c = doc_.next_sibling(c)) {
+            size_t sc = static_cast<size_t>(c);
+            if (running && m[sc]) next[sc] = 1;
+            running = running || anchored[sc];
+          }
+        }
+        break;
+      case Axis::kFollowing: {
+        // v qualifies if pre(v) >= min over anchored u of pre(u)+size(u).
+        int64_t threshold = static_cast<int64_t>(preorder_.size()) + 1;
+        for (NodeId u : preorder_) {
+          if (anchored[static_cast<size_t>(u)]) {
+            threshold = std::min(
+                threshold, pre_pos_[static_cast<size_t>(u)] +
+                               subtree_size_[static_cast<size_t>(u)]);
+          }
+        }
+        for (NodeId v : preorder_) {
+          if (pre_pos_[static_cast<size_t>(v)] >= threshold &&
+              m[static_cast<size_t>(v)]) {
+            next[static_cast<size_t>(v)] = 1;
+          }
+        }
+        break;
+      }
+      default:
+        XMLSEL_CHECK(false && "reverse axis reached the exact evaluator");
+    }
+    anchored.swap(next);
+  }
+  return anchored;
+}
+
+int64_t ExactEvaluator::Count(const Query& query) const {
+  query.Validate();
+  XMLSEL_CHECK(query.ForwardOnly());
+  auto match = MatchTables(query);
+  auto anchored = AnchoredMatches(query, match);
+  int64_t count = 0;
+  for (NodeId v : preorder_) {
+    count += anchored[static_cast<size_t>(v)];
+  }
+  return count;
+}
+
+std::vector<NodeId> ExactEvaluator::Matches(const Query& query) const {
+  query.Validate();
+  XMLSEL_CHECK(query.ForwardOnly());
+  auto match = MatchTables(query);
+  auto anchored = AnchoredMatches(query, match);
+  std::vector<NodeId> out;
+  for (NodeId v : preorder_) {
+    if (anchored[static_cast<size_t>(v)]) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace xmlsel

@@ -1,0 +1,54 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Exact Core XPath evaluation over a document: |Q(D)| and the match set,
+// computed in O(|Q|·|D|) by a bottom-up subquery-matching pass followed by
+// a top-down anchoring pass. This is the ground-truth oracle against which
+// the synopsis estimates (and the automaton implementation itself) are
+// validated, and it doubles as the "exact selectivity" source that §8.1
+// obtains from the full F/B index.
+
+#ifndef XMLSEL_BASELINE_EXACT_H_
+#define XMLSEL_BASELINE_EXACT_H_
+
+#include <vector>
+
+#include "query/ast.h"
+#include "xml/document.h"
+
+namespace xmlsel {
+
+/// Exact evaluator bound to one document. Construction precomputes
+/// pre-order positions and subtree sizes; each query evaluates in
+/// O(|Q|·|D|).
+class ExactEvaluator {
+ public:
+  explicit ExactEvaluator(const Document& doc);
+
+  /// Exact |Q(D)|. `query` must be forward-only (run RewriteReverseAxes
+  /// first); the wildcard test matches any element but not the root.
+  int64_t Count(const Query& query) const;
+
+  /// The exact match set Q(D) in document order.
+  std::vector<NodeId> Matches(const Query& query) const;
+
+ private:
+  /// Computes, for every document node v, whether the subquery rooted at
+  /// each query node embeds at v; returns one flag array per query node.
+  std::vector<std::vector<uint8_t>> MatchTables(const Query& query) const;
+
+  /// Top-down anchoring along the root→match-node spine; returns the flag
+  /// array of anchored matches of the match node.
+  std::vector<uint8_t> AnchoredMatches(
+      const Query& query,
+      const std::vector<std::vector<uint8_t>>& match) const;
+
+  const Document& doc_;
+  std::vector<NodeId> preorder_;       // all live nodes, virtual root first
+  std::vector<int64_t> pre_pos_;       // node id -> pre-order index (-1 dead)
+  std::vector<int64_t> subtree_size_;  // node id -> subtree node count
+};
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_BASELINE_EXACT_H_

@@ -1,0 +1,193 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "baseline/markov_table.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace xmlsel {
+
+MarkovTable::MarkovTable(const Document& doc, int64_t prune_threshold) {
+  // One pass with an explicit (node, ancestor-label-multiset) stack for
+  // descendant pairs: we track, per label, how many ancestors of the
+  // current node carry it, incrementing desc_pairs once per (ancestor
+  // occurrence, node).
+  std::vector<int64_t> on_path(static_cast<size_t>(doc.names().size()), 0);
+  struct Frame {
+    NodeId node;
+    bool entering;
+  };
+  std::vector<Frame> stack;
+  for (NodeId c = doc.last_child(doc.virtual_root()); c != kNullNode;
+       c = doc.prev_sibling(c)) {
+    stack.push_back({c, true});
+  }
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    LabelId l = doc.label(f.node);
+    if (!f.entering) {
+      --on_path[static_cast<size_t>(l)];
+      continue;
+    }
+    ++freq_[l];
+    ++total_elements_;
+    NodeId p = doc.parent(f.node);
+    ++child_pairs_[PairKey(doc.label(p), l)];
+    for (LabelId a = 1; a < doc.names().size(); ++a) {
+      if (on_path[static_cast<size_t>(a)] > 0) {
+        desc_pairs_[PairKey(a, l)] += on_path[static_cast<size_t>(a)];
+      }
+    }
+    ++on_path[static_cast<size_t>(l)];
+    stack.push_back({f.node, false});
+    for (NodeId c = doc.last_child(f.node); c != kNullNode;
+         c = doc.prev_sibling(c)) {
+      stack.push_back({c, true});
+    }
+  }
+
+  if (prune_threshold > 0) {
+    int64_t pruned_child = 0, pruned_child_cells = 0;
+    for (auto it = child_pairs_.begin(); it != child_pairs_.end();) {
+      if (it->second < prune_threshold) {
+        pruned_child += it->second;
+        ++pruned_child_cells;
+        it = child_pairs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (pruned_child_cells > 0) {
+      default_child_ = static_cast<double>(pruned_child) /
+                       static_cast<double>(pruned_child_cells);
+    }
+    int64_t pruned_desc = 0, pruned_desc_cells = 0;
+    for (auto it = desc_pairs_.begin(); it != desc_pairs_.end();) {
+      if (it->second < prune_threshold) {
+        pruned_desc += it->second;
+        ++pruned_desc_cells;
+        it = desc_pairs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (pruned_desc_cells > 0) {
+      default_desc_ = static_cast<double>(pruned_desc) /
+                      static_cast<double>(pruned_desc_cells);
+    }
+  }
+}
+
+double MarkovTable::Freq(LabelId label) const {
+  if (label == kWildcardTest) return static_cast<double>(total_elements_);
+  auto it = freq_.find(label);
+  return it == freq_.end() ? 0.0 : static_cast<double>(it->second);
+}
+
+double MarkovTable::ChildPairs(LabelId a, LabelId b) const {
+  auto it = child_pairs_.find(PairKey(a, b));
+  return it == child_pairs_.end() ? default_child_
+                                  : static_cast<double>(it->second);
+}
+
+double MarkovTable::DescPairs(LabelId a, LabelId b) const {
+  auto it = desc_pairs_.find(PairKey(a, b));
+  return it == desc_pairs_.end() ? default_desc_
+                                 : static_cast<double>(it->second);
+}
+
+double MarkovTable::EstimateFrom(const Query& query, int32_t q,
+                                 double context) const {
+  // context: estimated number of matches of q's parent. Returns the
+  // estimated matches of q; predicates scale by capped probabilities.
+  const QueryNode& node = query.node(q);
+  int32_t parent = node.parent;
+  LabelId ptest = query.node(parent).test;
+  double est;
+  auto pair_estimate = [&](auto&& pair_fn, double fallback_total) {
+    if (node.test == kWildcardTest || ptest == kWildcardTest ||
+        parent == query.root()) {
+      // Mixed/wildcard contexts: fall back to label frequency scaled by
+      // the parent fraction.
+      double denom = ptest == kWildcardTest || parent == query.root()
+                         ? static_cast<double>(total_elements_)
+                         : Freq(ptest);
+      double numer =
+          node.test == kWildcardTest ? fallback_total : Freq(node.test);
+      return denom > 0 ? context * numer / std::max(1.0, denom)
+                       : 0.0;
+    }
+    double pf = Freq(ptest);
+    if (pf <= 0) return 0.0;
+    return context * pair_fn(ptest, node.test) / pf;
+  };
+  switch (node.axis) {
+    case Axis::kChild:
+      if (parent == query.root()) {
+        // Top-level elements: there is exactly one document element.
+        est = node.test == kWildcardTest ? 1.0
+              : Freq(node.test) > 0      ? 1.0
+                                         : 0.0;
+      } else {
+        est = pair_estimate(
+            [this](LabelId a, LabelId b) { return ChildPairs(a, b); },
+            static_cast<double>(total_elements_));
+      }
+      break;
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf:
+      if (parent == query.root()) {
+        est = Freq(node.test);
+      } else {
+        est = pair_estimate(
+            [this](LabelId a, LabelId b) { return DescPairs(a, b); },
+            static_cast<double>(total_elements_));
+      }
+      break;
+    case Axis::kSelf:
+      est = context;
+      break;
+    default:
+      // Order axes are beyond the Markov model; approximate with the
+      // descendant table from the common parent (a rough guess, which is
+      // the point of this baseline).
+      est = Freq(node.test) > 0 ? context : 0.0;
+      break;
+  }
+  // Predicates: each child branch succeeds with estimated probability
+  // min(1, branch estimate per context match).
+  for (int32_t c : node.children) {
+    if (query.IsAncestorOrSelf(c, query.match_node())) continue;
+    double branch = EstimateFrom(query, c, 1.0);
+    est *= std::min(1.0, branch);
+  }
+  return est;
+}
+
+double MarkovTable::EstimateCount(const Query& query) const {
+  // Walk the spine from the root to the match node.
+  std::vector<int32_t> spine;
+  for (int32_t q = query.match_node(); q != -1; q = query.node(q).parent) {
+    spine.push_back(q);
+  }
+  std::reverse(spine.begin(), spine.end());
+  double est = 1.0;
+  // Predicates on the query root itself.
+  for (int32_t c : query.node(0).children) {
+    if (query.IsAncestorOrSelf(c, query.match_node())) continue;
+    est *= std::min(1.0, EstimateFrom(query, c, 1.0));
+  }
+  for (size_t i = 1; i < spine.size(); ++i) {
+    est = EstimateFrom(query, spine[i], est);
+  }
+  return est;
+}
+
+int64_t MarkovTable::SizeBytes() const {
+  return 10 * static_cast<int64_t>(freq_.size() + child_pairs_.size() +
+                                   desc_pairs_.size());
+}
+
+}  // namespace xmlsel

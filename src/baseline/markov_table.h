@@ -1,0 +1,56 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Markov table baseline (Aboulnaga et al. [1]): first-order statistics
+// f(a) plus child-pair and descendant-pair tables; path selectivity is
+// estimated under the Markov assumption
+//   sel(t1/t2/…/tn) ≈ f(t1) · Π c(tᵢ, tᵢ₊₁) / f(tᵢ),
+// with predicates folded in as independent probabilities. Low-count pairs
+// can be pruned to meet a budget (the pruned mass moves to a default).
+
+#ifndef XMLSEL_BASELINE_MARKOV_TABLE_H_
+#define XMLSEL_BASELINE_MARKOV_TABLE_H_
+
+#include <unordered_map>
+
+#include "query/ast.h"
+#include "xml/document.h"
+
+namespace xmlsel {
+
+/// Order-2 Markov table over label pairs.
+class MarkovTable {
+ public:
+  /// Builds the tables; pairs with count < `prune_threshold` collapse
+  /// into a shared default cell (0 = keep everything).
+  MarkovTable(const Document& doc, int64_t prune_threshold);
+
+  /// Point estimate of |Q(D)| (a guess, no guarantees).
+  double EstimateCount(const Query& query) const;
+
+  /// Size in bytes: 10 bytes per retained table cell.
+  int64_t SizeBytes() const;
+
+ private:
+  static uint64_t PairKey(LabelId a, LabelId b) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+           static_cast<uint32_t>(b);
+  }
+  double Freq(LabelId label) const;
+  double ChildPairs(LabelId a, LabelId b) const;
+  double DescPairs(LabelId a, LabelId b) const;
+  /// Estimated count of nodes matching the subquery rooted at `q`, given
+  /// `context` matches of its parent.
+  double EstimateFrom(const Query& query, int32_t q, double context) const;
+
+  std::unordered_map<LabelId, int64_t> freq_;
+  std::unordered_map<uint64_t, int64_t> child_pairs_;
+  std::unordered_map<uint64_t, int64_t> desc_pairs_;
+  double default_child_ = 0.0;
+  double default_desc_ = 0.0;
+  int64_t total_elements_ = 0;
+};
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_BASELINE_MARKOV_TABLE_H_

@@ -1,0 +1,153 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "baseline/path_tree.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace xmlsel {
+
+PathTree::PathTree(const Document& doc, int64_t node_budget) {
+  nodes_.push_back({kRootLabel, 1, -1, {}});
+  // Map document nodes to path-tree nodes while traversing pre-order.
+  std::vector<int32_t> pt_of(static_cast<size_t>(doc.arena_size()), -1);
+  pt_of[static_cast<size_t>(doc.virtual_root())] = 0;
+  for (NodeId v : doc.SubtreeNodes(doc.virtual_root())) {
+    if (v == doc.virtual_root()) continue;
+    int32_t parent_pt = pt_of[static_cast<size_t>(doc.parent(v))];
+    LabelId l = doc.label(v);
+    int32_t found = -1;
+    for (int32_t c : nodes_[static_cast<size_t>(parent_pt)].children) {
+      if (nodes_[static_cast<size_t>(c)].label == l) {
+        found = c;
+        break;
+      }
+    }
+    if (found == -1) {
+      found = static_cast<int32_t>(nodes_.size());
+      nodes_.push_back({l, 0, parent_pt, {}});
+      nodes_[static_cast<size_t>(parent_pt)].children.push_back(found);
+    }
+    ++nodes_[static_cast<size_t>(found)].count;
+    pt_of[static_cast<size_t>(v)] = found;
+  }
+  if (node_budget > 0) Prune(node_budget);
+}
+
+void PathTree::Prune(int64_t node_budget) {
+  // Repeatedly fold the lowest-count leaf into a '*' sibling bucket until
+  // within budget. (Aboulnaga et al.'s sibling-* pruning.)
+  auto live_count = [this]() {
+    int64_t n = 0;
+    for (const Node& node : nodes_) {
+      if (node.count >= 0) ++n;  // count -1 marks folded nodes
+    }
+    return n;
+  };
+  while (live_count() > node_budget) {
+    int32_t victim = -1;
+    for (int32_t i = 1; i < static_cast<int32_t>(nodes_.size()); ++i) {
+      const Node& n = nodes_[static_cast<size_t>(i)];
+      if (n.count < 0 || !n.children.empty()) continue;
+      if (n.label == kWildcardTest) continue;  // buckets are kept
+      if (victim == -1 ||
+          n.count < nodes_[static_cast<size_t>(victim)].count) {
+        victim = i;
+      }
+    }
+    if (victim == -1) break;
+    Node& v = nodes_[static_cast<size_t>(victim)];
+    Node& parent = nodes_[static_cast<size_t>(v.parent)];
+    // Find or create the parent's '*' bucket.
+    int32_t bucket = -1;
+    for (int32_t c : parent.children) {
+      if (nodes_[static_cast<size_t>(c)].label == kWildcardTest) {
+        bucket = c;
+        break;
+      }
+    }
+    if (bucket == -1) {
+      bucket = static_cast<int32_t>(nodes_.size());
+      nodes_.push_back({kWildcardTest, 0, v.parent, {}});
+      nodes_[static_cast<size_t>(
+                 nodes_[static_cast<size_t>(bucket)].parent)]
+          .children.push_back(bucket);
+    }
+    nodes_[static_cast<size_t>(bucket)].count +=
+        nodes_[static_cast<size_t>(victim)].count;
+    // Unlink the victim.
+    Node& vp = nodes_[static_cast<size_t>(
+        nodes_[static_cast<size_t>(victim)].parent)];
+    vp.children.erase(
+        std::remove(vp.children.begin(), vp.children.end(), victim),
+        vp.children.end());
+    nodes_[static_cast<size_t>(victim)].count = -1;
+  }
+}
+
+double PathTree::EstimateCount(const Query& query) const {
+  // Walk the match path; '*' buckets contribute proportionally.
+  std::vector<int32_t> spine;
+  for (int32_t q = query.match_node(); q != -1; q = query.node(q).parent) {
+    spine.push_back(q);
+  }
+  std::reverse(spine.begin(), spine.end());  // starts at the query root
+
+  std::unordered_map<int32_t, double> frontier = {{0, 1.0}};
+  for (size_t i = 1; i < spine.size(); ++i) {
+    const QueryNode& step = query.node(spine[i]);
+    std::unordered_map<int32_t, double> next;
+    auto match_label = [&](const Node& n) {
+      if (n.count < 0) return false;
+      if (step.test == kWildcardTest) return true;
+      // '*' buckets match any test (their share is an average guess).
+      return n.label == step.test || n.label == kWildcardTest;
+    };
+    for (const auto& [pt, weight] : frontier) {
+      (void)weight;
+      if (step.axis == Axis::kChild || step.axis == Axis::kSelf) {
+        if (step.axis == Axis::kSelf) {
+          next[pt] += 1.0;
+          continue;
+        }
+        for (int32_t c : nodes_[static_cast<size_t>(pt)].children) {
+          if (match_label(nodes_[static_cast<size_t>(c)])) next[c] += 1.0;
+        }
+      } else {
+        // descendant / descendant-or-self: all (proper) descendants.
+        std::vector<int32_t> stack(
+            nodes_[static_cast<size_t>(pt)].children);
+        if (step.axis == Axis::kDescendantOrSelf && match_label(nodes_[static_cast<size_t>(pt)])) {
+          next[pt] += 1.0;
+        }
+        while (!stack.empty()) {
+          int32_t c = stack.back();
+          stack.pop_back();
+          if (nodes_[static_cast<size_t>(c)].count < 0) continue;
+          if (match_label(nodes_[static_cast<size_t>(c)])) next[c] += 1.0;
+          for (int32_t cc : nodes_[static_cast<size_t>(c)].children) {
+            stack.push_back(cc);
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  double total = 0.0;
+  for (const auto& [pt, weight] : frontier) {
+    (void)weight;
+    total += static_cast<double>(nodes_[static_cast<size_t>(pt)].count);
+  }
+  return total;
+}
+
+int64_t PathTree::SizeBytes() const {
+  int64_t live = 0;
+  for (const Node& n : nodes_) {
+    if (n.count >= 0) ++live;
+  }
+  return live * 12;  // label (2) + count (6) + parent link (4), packed
+}
+
+}  // namespace xmlsel

@@ -1,0 +1,51 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Pruned path tree baseline (Aboulnaga et al. [1]): the tree of distinct
+// root-to-node label paths annotated with counts, pruned to a node budget
+// by folding low-count siblings into a '*' bucket. Estimates the match
+// path of a query (child/descendant steps); predicates are applied under
+// an independence assumption.
+
+#ifndef XMLSEL_BASELINE_PATH_TREE_H_
+#define XMLSEL_BASELINE_PATH_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "query/ast.h"
+#include "xml/document.h"
+
+namespace xmlsel {
+
+/// Path tree synopsis with a configurable node budget.
+class PathTree {
+ public:
+  /// Builds the full path tree and prunes it to at most `node_budget`
+  /// nodes (0 = unpruned).
+  PathTree(const Document& doc, int64_t node_budget);
+
+  /// Point estimate of |Q(D)| (no guarantees — baselines return guesses).
+  double EstimateCount(const Query& query) const;
+
+  /// Approximate size in bytes (nodes × (label + count + child pointer)).
+  int64_t SizeBytes() const;
+
+  int64_t node_count() const { return static_cast<int64_t>(nodes_.size()); }
+
+ private:
+  struct Node {
+    LabelId label;        // kWildcardTest for a pruned '*' bucket
+    int64_t count = 0;    // documents nodes on this label path
+    int32_t parent = -1;
+    std::vector<int32_t> children;
+  };
+
+  void Prune(int64_t node_budget);
+
+  std::vector<Node> nodes_;  // node 0 = virtual root
+};
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_BASELINE_PATH_TREE_H_

@@ -1,0 +1,339 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "baseline/treesketch_lite.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xmlsel {
+
+namespace {
+
+constexpr int kDescendantDepthCap = 24;
+
+struct PairHash {
+  size_t operator()(const std::pair<int64_t, int64_t>& p) const {
+    return static_cast<size_t>(p.first * 1000003 + p.second);
+  }
+};
+
+}  // namespace
+
+TreeSketchLite::TreeSketchLite(const Document& doc, int64_t node_budget) {
+  const size_t arena = static_cast<size_t>(doc.arena_size());
+  std::vector<NodeId> nodes = doc.SubtreeNodes(doc.virtual_root());
+
+  // --- Phase 1: refine to a backward-stable partition (label + parent
+  // class, iterated to fixpoint) — the fine partition TreeSketch-style
+  // clustering starts from.
+  std::vector<int32_t> cls(arena, 0);
+  {
+    std::unordered_map<int64_t, int32_t> by_label;
+    int32_t next = 0;
+    for (NodeId v : nodes) {
+      auto [it, inserted] = by_label.emplace(doc.label(v), next);
+      if (inserted) ++next;
+      cls[static_cast<size_t>(v)] = it->second;
+    }
+    // Count-stable-style refinement: split by parent class *and* the set
+    // of child classes (the real TreeSketch starts from the count-stable
+    // partition, which is as fine as an F/B index).
+    struct VecHash {
+      size_t operator()(const std::vector<int64_t>& v) const {
+        uint64_t h = 1469598103934665603ull;
+        for (int64_t x : v) {
+          h ^= static_cast<uint64_t>(x) + 0x9e3779b97f4a7c15ull;
+          h *= 1099511628211ull;
+        }
+        return static_cast<size_t>(h);
+      }
+    };
+    for (int round = 0; round < 64; ++round) {
+      std::unordered_map<std::vector<int64_t>, int32_t, VecHash> sig;
+      std::vector<int32_t> refined(arena, 0);
+      int32_t count = 0;
+      for (NodeId v : nodes) {
+        NodeId p = doc.parent(v);
+        std::vector<int64_t> key = {
+            cls[static_cast<size_t>(v)],
+            p == kNullNode ? -1 : cls[static_cast<size_t>(p)]};
+        std::vector<int64_t> kids;
+        for (NodeId c = doc.first_child(v); c != kNullNode;
+             c = doc.next_sibling(c)) {
+          kids.push_back(cls[static_cast<size_t>(c)]);
+        }
+        std::sort(kids.begin(), kids.end());
+        kids.erase(std::unique(kids.begin(), kids.end()), kids.end());
+        key.insert(key.end(), kids.begin(), kids.end());
+        auto [it, inserted] = sig.emplace(std::move(key), count);
+        if (inserted) ++count;
+        refined[static_cast<size_t>(v)] = it->second;
+      }
+      bool stable = count == next;
+      cls.swap(refined);
+      next = count;
+      if (stable) break;
+    }
+    // Build fine groups.
+    groups_.assign(static_cast<size_t>(next), {});
+    for (NodeId v : nodes) {
+      Group& g = groups_[static_cast<size_t>(cls[static_cast<size_t>(v)])];
+      g.label = doc.label(v);
+      ++g.extent;
+      NodeId p = doc.parent(v);
+      if (p != kNullNode) {
+        ++groups_[static_cast<size_t>(cls[static_cast<size_t>(p)])]
+              .edges[cls[static_cast<size_t>(v)]];
+      }
+    }
+    root_group_ = cls[static_cast<size_t>(doc.virtual_root())];
+  }
+
+  // --- Phase 2: agglomerative merging toward the budget. Candidates are
+  // same-label groups adjacent under a 1-D signature (average fanout);
+  // each merge picks the candidate pair with the smallest extent-weighted
+  // count error — the count-stability objective, relaxed.
+  while (static_cast<int64_t>(groups_.size()) > node_budget) {
+    // Signature sort.
+    std::vector<int32_t> order(groups_.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<int32_t>(i);
+    }
+    auto signature = [this](int32_t g) {
+      const Group& grp = groups_[static_cast<size_t>(g)];
+      double total = 0;
+      for (const auto& [h, c] : grp.edges) {
+        (void)h;
+        total += static_cast<double>(c);
+      }
+      return grp.extent > 0 ? total / static_cast<double>(grp.extent) : 0.0;
+    };
+    std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+      const Group& ga = groups_[static_cast<size_t>(a)];
+      const Group& gb = groups_[static_cast<size_t>(b)];
+      if (ga.label != gb.label) return ga.label < gb.label;
+      return signature(a) < signature(b);
+    });
+    // Greedy count-stability-style merging: per pass, evaluate every
+    // adjacent same-label candidate pair's merge error (extent-weighted
+    // average-fanout discrepancy — the count-stability objective, relaxed
+    // to the 1-D signature) and merge only the best pair per label. This
+    // is what makes graph-synopsis construction expensive relative to the
+    // one-pass grammar build (§8.3): the candidate evaluation repeats for
+    // every merge step.
+    std::vector<int32_t> remap(groups_.size());
+    for (size_t i = 0; i < remap.size(); ++i) {
+      remap[i] = static_cast<int32_t>(i);
+    }
+    bool merged_any = false;
+    int64_t remaining = static_cast<int64_t>(groups_.size());
+    size_t run_start = 0;
+    while (run_start + 1 < order.size() && remaining > node_budget) {
+      // Identify the run of groups sharing a label.
+      size_t run_end = run_start + 1;
+      LabelId label = groups_[static_cast<size_t>(order[run_start])].label;
+      while (run_end < order.size() &&
+             groups_[static_cast<size_t>(order[run_end])].label == label) {
+        ++run_end;
+      }
+      // Best adjacent pair within the run by merge error.
+      double best_err = -1;
+      size_t best_i = order.size();
+      for (size_t i = run_start; i + 1 < run_end; ++i) {
+        int32_t a = order[i];
+        int32_t b = order[i + 1];
+        if (a == root_group_ || b == root_group_) continue;
+        double wa = static_cast<double>(
+            groups_[static_cast<size_t>(a)].extent);
+        double wb = static_cast<double>(
+            groups_[static_cast<size_t>(b)].extent);
+        double err =
+            (signature(a) - signature(b)) * (signature(a) - signature(b)) *
+            (wa * wb) / std::max(1.0, wa + wb);
+        if (best_i == order.size() || err < best_err) {
+          best_err = err;
+          best_i = i;
+        }
+      }
+      if (best_i != order.size()) {
+        remap[static_cast<size_t>(order[best_i + 1])] = order[best_i];
+        merged_any = true;
+        --remaining;
+      }
+      run_start = run_end;
+    }
+    if (!merged_any) break;
+    // Apply the merges: rebuild the group vector.
+    std::vector<int32_t> new_index(groups_.size(), -1);
+    std::vector<Group> merged;
+    for (size_t i = 0; i < groups_.size(); ++i) {
+      if (remap[i] == static_cast<int32_t>(i)) {
+        new_index[i] = static_cast<int32_t>(merged.size());
+        merged.push_back({groups_[i].label, groups_[i].extent, {}});
+      }
+    }
+    for (size_t i = 0; i < groups_.size(); ++i) {
+      int32_t target = new_index[static_cast<size_t>(remap[i])];
+      if (remap[i] != static_cast<int32_t>(i)) {
+        merged[static_cast<size_t>(target)].extent += groups_[i].extent;
+      }
+      for (const auto& [h, c] : groups_[i].edges) {
+        int32_t th = new_index[static_cast<size_t>(
+            remap[static_cast<size_t>(h)])];
+        merged[static_cast<size_t>(target)].edges[th] += c;
+      }
+    }
+    root_group_ = new_index[static_cast<size_t>(root_group_)];
+    groups_ = std::move(merged);
+  }
+}
+
+double TreeSketchLite::EstimateBranch(const Query& query, int32_t q,
+                                      int32_t g) const {
+  const QueryNode& node = query.node(q);
+  auto test_ok = [&](int32_t h) {
+    if (node.test == kWildcardTest) {
+      return groups_[static_cast<size_t>(h)].label > 0;
+    }
+    return groups_[static_cast<size_t>(h)].label == node.test;
+  };
+  auto subtree_factor = [&](int32_t h) {
+    double f = 1.0;
+    for (int32_t c : node.children) {
+      f *= std::min(1.0, EstimateBranch(query, c, h));
+    }
+    return f;
+  };
+  double est = 0.0;
+  const Group& grp = groups_[static_cast<size_t>(g)];
+  switch (node.axis) {
+    case Axis::kSelf:
+      return test_ok(g) ? subtree_factor(g) : 0.0;
+    case Axis::kChild:
+      for (const auto& [h, c] : grp.edges) {
+        if (!test_ok(h)) continue;
+        double avg = static_cast<double>(c) /
+                     std::max<double>(1.0, static_cast<double>(grp.extent));
+        est += avg * subtree_factor(h);
+      }
+      return est;
+    default: {
+      // descendant / descendant-or-self / order axes: breadth-first
+      // expansion with fanout products (order axes degrade to descendant
+      // reachability — TreeSketch does not support them at all).
+      std::unordered_map<int32_t, double> level = {{g, 1.0}};
+      if (node.axis == Axis::kDescendantOrSelf && test_ok(g)) {
+        est += subtree_factor(g);
+      }
+      for (int depth = 0; depth < kDescendantDepthCap && !level.empty();
+           ++depth) {
+        std::unordered_map<int32_t, double> next;
+        for (const auto& [gg, w] : level) {
+          const Group& cur = groups_[static_cast<size_t>(gg)];
+          for (const auto& [h, c] : cur.edges) {
+            double avg =
+                static_cast<double>(c) /
+                std::max<double>(1.0, static_cast<double>(cur.extent));
+            double wc = w * avg;
+            if (wc < 1e-9) continue;
+            next[h] += wc;
+          }
+        }
+        for (const auto& [h, w] : next) {
+          if (test_ok(h)) est += w * subtree_factor(h);
+        }
+        level = std::move(next);
+      }
+      return est;
+    }
+  }
+}
+
+double TreeSketchLite::EstimateCount(const Query& query) const {
+  // Spine walk with per-group frontiers; predicates fold in as capped
+  // probabilities.
+  std::vector<int32_t> spine;
+  for (int32_t q = query.match_node(); q != -1; q = query.node(q).parent) {
+    spine.push_back(q);
+  }
+  std::reverse(spine.begin(), spine.end());
+
+  auto pred_factor = [&](int32_t q, int32_t g) {
+    double f = 1.0;
+    for (int32_t c : query.node(q).children) {
+      if (query.IsAncestorOrSelf(c, query.match_node())) continue;
+      f *= std::min(1.0, EstimateBranch(query, c, g));
+    }
+    return f;
+  };
+
+  std::unordered_map<int32_t, double> frontier = {
+      {root_group_, pred_factor(0, root_group_)}};
+  for (size_t i = 1; i < spine.size(); ++i) {
+    const QueryNode& step = query.node(spine[i]);
+    auto test_ok = [&](int32_t h) {
+      if (step.test == kWildcardTest) {
+        return groups_[static_cast<size_t>(h)].label > 0;
+      }
+      return groups_[static_cast<size_t>(h)].label == step.test;
+    };
+    std::unordered_map<int32_t, double> next;
+    for (const auto& [g, w] : frontier) {
+      if (w < 1e-12) continue;
+      const Group& grp = groups_[static_cast<size_t>(g)];
+      if (step.axis == Axis::kChild) {
+        for (const auto& [h, c] : grp.edges) {
+          if (!test_ok(h)) continue;
+          double avg = static_cast<double>(c) /
+                       std::max<double>(1.0,
+                                        static_cast<double>(grp.extent));
+          next[h] += w * avg * pred_factor(spine[i], h);
+        }
+      } else if (step.axis == Axis::kSelf) {
+        if (test_ok(g)) next[g] += w * pred_factor(spine[i], g);
+      } else {
+        std::unordered_map<int32_t, double> level = {{g, w}};
+        if (step.axis == Axis::kDescendantOrSelf && test_ok(g)) {
+          next[g] += w * pred_factor(spine[i], g);
+        }
+        for (int depth = 0; depth < kDescendantDepthCap && !level.empty();
+             ++depth) {
+          std::unordered_map<int32_t, double> deeper;
+          for (const auto& [gg, ww] : level) {
+            const Group& cur = groups_[static_cast<size_t>(gg)];
+            for (const auto& [h, c] : cur.edges) {
+              double avg =
+                  static_cast<double>(c) /
+                  std::max<double>(1.0, static_cast<double>(cur.extent));
+              double wc = ww * avg;
+              if (wc < 1e-9) continue;
+              deeper[h] += wc;
+            }
+          }
+          for (const auto& [h, ww] : deeper) {
+            if (test_ok(h)) next[h] += ww * pred_factor(spine[i], h);
+          }
+          level = std::move(deeper);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  double total = 0.0;
+  for (const auto& [g, w] : frontier) {
+    (void)g;
+    total += w;
+  }
+  return total;
+}
+
+int64_t TreeSketchLite::SizeBytes() const {
+  int64_t entries = static_cast<int64_t>(groups_.size());
+  for (const Group& g : groups_) {
+    entries += static_cast<int64_t>(g.edges.size());
+  }
+  return entries * 12;
+}
+
+}  // namespace xmlsel

@@ -1,0 +1,58 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// TreeSketch-lite: a simplified reimplementation of the TreeSketch graph
+// synopsis of Polyzotis et al. [17] used for the §8.3 comparison (the
+// original implementation was privately provided to the paper's authors
+// and is not available). Like TreeSketch it clusters document nodes into
+// a count-stable-ish graph synopsis: nodes are built bottom-up by
+// agglomerative merging from a fine partition toward a node budget, and
+// twig estimates multiply average per-edge child counts. Construction is
+// deliberately the clustering algorithm, not a one-pass stream, which is
+// why it is orders of magnitude slower to build than the SLT synopsis —
+// reproducing the construction-cost gap reported in §8.3.
+
+#ifndef XMLSEL_BASELINE_TREESKETCH_LITE_H_
+#define XMLSEL_BASELINE_TREESKETCH_LITE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "query/ast.h"
+#include "xml/document.h"
+
+namespace xmlsel {
+
+/// Graph synopsis with average-count edges.
+class TreeSketchLite {
+ public:
+  /// Builds the synopsis with at most `node_budget` synopsis nodes.
+  TreeSketchLite(const Document& doc, int64_t node_budget);
+
+  /// Point estimate of |Q(D)| (no guarantees).
+  double EstimateCount(const Query& query) const;
+
+  /// Size in bytes (nodes + edges, 12 bytes per entry).
+  int64_t SizeBytes() const;
+
+  int64_t node_count() const { return static_cast<int64_t>(groups_.size()); }
+
+ private:
+  struct Group {
+    LabelId label = kRootLabel;
+    int64_t extent = 0;  // number of document nodes in the group
+    /// child edges: target group -> total child count (avg = total/extent)
+    std::unordered_map<int32_t, int64_t> edges;
+  };
+
+  /// Estimated matches of the subquery rooted at `q` per single context
+  /// node of group `g`.
+  double EstimateBranch(const Query& query, int32_t q, int32_t g) const;
+
+  std::vector<Group> groups_;
+  int32_t root_group_ = 0;
+};
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_BASELINE_TREESKETCH_LITE_H_

@@ -1,0 +1,82 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "data/fb_index.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace xmlsel {
+
+namespace {
+
+struct SigHash {
+  size_t operator()(const std::vector<int64_t>& v) const {
+    uint64_t h = 1469598103934665603ull;
+    for (int64_t x : v) {
+      h ^= static_cast<uint64_t>(x) + 0x9e3779b97f4a7c15ull;
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+FbIndex::FbIndex(const Document& doc) {
+  const size_t arena = static_cast<size_t>(doc.arena_size());
+  class_of_.assign(arena, -1);
+  std::vector<NodeId> nodes = doc.SubtreeNodes(doc.virtual_root());
+
+  // Initial partition: by label (the virtual root is its own class 0).
+  std::unordered_map<int64_t, int32_t> label_class;
+  int32_t next_class = 0;
+  for (NodeId v : nodes) {
+    int64_t key = doc.label(v);
+    auto [it, inserted] = label_class.emplace(key, next_class);
+    if (inserted) ++next_class;
+    class_of_[static_cast<size_t>(v)] = it->second;
+  }
+
+  // Refine until stable: signature = (own class, parent class, sorted set
+  // of child classes). Forward-and-backward stability in one signature.
+  rounds_ = 0;
+  while (true) {
+    ++rounds_;
+    std::unordered_map<std::vector<int64_t>, int32_t, SigHash> sig_class;
+    std::vector<int32_t> next(arena, -1);
+    int32_t count = 0;
+    for (NodeId v : nodes) {
+      std::vector<int64_t> sig;
+      sig.push_back(class_of_[static_cast<size_t>(v)]);
+      NodeId p = doc.parent(v);
+      sig.push_back(p == kNullNode ? -1
+                                   : class_of_[static_cast<size_t>(p)]);
+      std::vector<int64_t> kids;
+      for (NodeId c = doc.first_child(v); c != kNullNode;
+           c = doc.next_sibling(c)) {
+        kids.push_back(class_of_[static_cast<size_t>(c)]);
+      }
+      std::sort(kids.begin(), kids.end());
+      kids.erase(std::unique(kids.begin(), kids.end()), kids.end());
+      sig.insert(sig.end(), kids.begin(), kids.end());
+      auto [it, inserted] = sig_class.emplace(std::move(sig), count);
+      if (inserted) ++count;
+      next[static_cast<size_t>(v)] = it->second;
+    }
+    bool changed = count != next_class;
+    class_of_.swap(next);
+    next_class = count;
+    if (!changed) break;
+    if (rounds_ > 1000) break;  // safety valve; depth bounds rounds anyway
+  }
+
+  extent_size_.assign(static_cast<size_t>(next_class), 0);
+  for (NodeId v : nodes) {
+    ++extent_size_[static_cast<size_t>(class_of_[static_cast<size_t>(v)])];
+  }
+  // Exclude the root's singleton class from the reported size.
+  class_count_ = next_class - 1;
+}
+
+}  // namespace xmlsel

@@ -1,0 +1,52 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// The full F/B index (forward & backward bisimulation) of a document,
+// computed by partition refinement. §8.1 uses it to characterize datasets
+// (Table 1's "F/B Size" column) and to drive workload generation: the
+// extent size of an index node is the exact selectivity of the branching
+// path queries it answers.
+
+#ifndef XMLSEL_DATA_FB_INDEX_H_
+#define XMLSEL_DATA_FB_INDEX_H_
+
+#include <vector>
+
+#include "xml/document.h"
+
+namespace xmlsel {
+
+/// The F/B bisimulation partition of a document's element nodes.
+class FbIndex {
+ public:
+  /// Computes the coarsest partition stable under labels, parents
+  /// (backward) and children (forward) by iterated refinement.
+  explicit FbIndex(const Document& doc);
+
+  /// Number of index nodes (equivalence classes), excluding the root
+  /// class — Table 1's "F/B Size".
+  int64_t size() const { return class_count_; }
+
+  /// Class of a document node.
+  int32_t ClassOf(NodeId node) const {
+    return class_of_[static_cast<size_t>(node)];
+  }
+
+  /// Extent size (number of document nodes) of a class.
+  int64_t ExtentSize(int32_t cls) const {
+    return extent_size_[static_cast<size_t>(cls)];
+  }
+
+  /// Number of refinement rounds until fixpoint (diagnostics).
+  int32_t rounds() const { return rounds_; }
+
+ private:
+  std::vector<int32_t> class_of_;
+  std::vector<int64_t> extent_size_;
+  int64_t class_count_ = 0;
+  int32_t rounds_ = 0;
+};
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_DATA_FB_INDEX_H_

@@ -1,0 +1,42 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "data/generator.h"
+
+namespace xmlsel {
+
+const char* DatasetName(DatasetId id) {
+  switch (id) {
+    case DatasetId::kDblp:
+      return "DBLP";
+    case DatasetId::kSwissProt:
+      return "SwissProt";
+    case DatasetId::kXmark:
+      return "XMark";
+    case DatasetId::kPsd:
+      return "PSD";
+    case DatasetId::kCatalog:
+      return "Catalog";
+  }
+  return "?";
+}
+
+Document GenerateDataset(DatasetId id, int64_t target_elements,
+                         uint64_t seed) {
+  switch (id) {
+    case DatasetId::kDblp:
+      return GenerateDblp(target_elements, seed);
+    case DatasetId::kSwissProt:
+      return GenerateSwissProt(target_elements, seed);
+    case DatasetId::kXmark:
+      return GenerateXmark(target_elements, seed);
+    case DatasetId::kPsd:
+      return GeneratePsd(target_elements, seed);
+    case DatasetId::kCatalog:
+      return GenerateCatalog(target_elements, seed);
+  }
+  XMLSEL_CHECK(false);
+  return Document();
+}
+
+}  // namespace xmlsel

@@ -1,0 +1,73 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Shared infrastructure for the synthetic dataset generators. The paper
+// evaluates on DBLP, SwissProt, XMark, the Protein Sequence Database, and
+// the XBench catalog; those exact files are not redistributable here, so
+// each generator reproduces the corresponding dataset's *structural*
+// profile (vocabulary, fanout, depth distribution, repetitiveness) — which
+// is all a purely structural estimator can see (§3 ignores values).
+
+#ifndef XMLSEL_DATA_GENERATOR_H_
+#define XMLSEL_DATA_GENERATOR_H_
+
+#include <random>
+#include <string>
+
+#include "xml/document.h"
+
+namespace xmlsel {
+
+/// Deterministic random source for generators and workloads.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    XMLSEL_DCHECK(lo <= hi);
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(engine_);
+  }
+  /// Bernoulli event with probability p.
+  bool Chance(double p) {
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+  /// Geometric-ish count: at least `lo`, mean about `mean`.
+  int64_t Count(int64_t lo, double mean) {
+    std::poisson_distribution<int64_t> d(mean);
+    return lo + d(engine_);
+  }
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Identifies one of the paper's five datasets.
+enum class DatasetId {
+  kDblp,
+  kSwissProt,
+  kXmark,
+  kPsd,
+  kCatalog,
+};
+
+const char* DatasetName(DatasetId id);
+
+/// Generates the dataset with roughly `target_elements` element nodes.
+/// Deterministic in (id, target_elements, seed).
+Document GenerateDataset(DatasetId id, int64_t target_elements,
+                         uint64_t seed);
+
+/// Per-dataset generators (see the corresponding .cc for the schema).
+Document GenerateDblp(int64_t target_elements, uint64_t seed);
+Document GenerateSwissProt(int64_t target_elements, uint64_t seed);
+Document GenerateXmark(int64_t target_elements, uint64_t seed);
+Document GeneratePsd(int64_t target_elements, uint64_t seed);
+Document GenerateCatalog(int64_t target_elements, uint64_t seed);
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_DATA_GENERATOR_H_

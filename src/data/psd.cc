@@ -1,0 +1,81 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Protein Sequence Database-like entries (Table 1: the largest dataset —
+// 683 MB, 21M elements, max depth 7, average depth 5.45). Entry records
+// with nested protein/organism/reference/feature blocks. Benchmarks use a
+// scaled-down element count; the structural profile is scale-invariant.
+
+#include "data/generator.h"
+
+namespace xmlsel {
+
+Document GeneratePsd(int64_t target_elements, uint64_t seed) {
+  Rng rng(seed);
+  Document doc;
+  NodeId db = doc.AppendChild(doc.virtual_root(), "ProteinDatabase");
+  while (doc.element_count() < target_elements) {
+    NodeId entry = doc.AppendChild(db, "ProteinEntry");
+    NodeId header = doc.AppendChild(entry, "header");
+    doc.AppendChild(header, "uid");
+    doc.AppendChild(header, "accession");
+    doc.AppendChild(header, "created_date");
+    doc.AppendChild(header, "seq-rev_date");
+    NodeId protein = doc.AppendChild(entry, "protein");
+    doc.AppendChild(protein, "name");
+    NodeId organism = doc.AppendChild(entry, "organism");
+    doc.AppendChild(organism, "source");
+    if (rng.Chance(0.5)) {
+      doc.AppendChild(organism, "common");
+      doc.AppendChild(organism, "formal");
+    }
+    static const int64_t kRefChoices[] = {1, 2, 2, 4};
+    int64_t refs = kRefChoices[rng.Uniform(0, 3)];
+    for (int64_t r = 0; r < refs; ++r) {
+      NodeId reference = doc.AppendChild(entry, "reference");
+      NodeId refinfo = doc.AppendChild(reference, "refinfo");
+      NodeId authors = doc.AppendChild(refinfo, "authors");
+      static const int64_t kAuthChoices[] = {2, 3, 3, 5};
+      int64_t auth = kAuthChoices[rng.Uniform(0, 3)];
+      for (int64_t a = 0; a < auth; ++a) {
+        doc.AppendChild(authors, "author");
+      }
+      doc.AppendChild(refinfo, "citation");
+      doc.AppendChild(refinfo, "year");
+      doc.AppendChild(refinfo, "title");
+      NodeId accinfo = doc.AppendChild(reference, "accinfo");
+      doc.AppendChild(accinfo, "accession");
+      if (rng.Chance(0.4)) {
+        doc.AppendChild(accinfo, "mol-type");
+        doc.AppendChild(accinfo, "seq-spec");
+      }
+    }
+    if (rng.Chance(0.7)) {
+      NodeId genetics = doc.AppendChild(entry, "genetics");
+      doc.AppendChild(genetics, "gene");
+      doc.AppendChild(genetics, "genome");
+    }
+    if (rng.Chance(0.5)) {
+      NodeId classification = doc.AppendChild(entry, "classification");
+      doc.AppendChild(classification, "superfamily");
+    }
+    static const int64_t kFeatChoices[] = {0, 2, 2, 3};
+    int64_t features = kFeatChoices[rng.Uniform(0, 3)];
+    for (int64_t f = 0; f < features; ++f) {
+      NodeId feature = doc.AppendChild(entry, "feature");
+      doc.AppendChild(feature, "feature-type");
+      doc.AppendChild(feature, "description");
+      NodeId range = doc.AppendChild(feature, "range");
+      doc.AppendChild(range, "begin");
+      doc.AppendChild(range, "end");
+    }
+    NodeId summary = doc.AppendChild(entry, "summary");
+    doc.AppendChild(summary, "length");
+    doc.AppendChild(summary, "type");
+    NodeId sequence = doc.AppendChild(entry, "sequence");
+    (void)sequence;
+  }
+  return doc;
+}
+
+}  // namespace xmlsel

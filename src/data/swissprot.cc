@@ -1,0 +1,61 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// SwissProt-like protein entries (Table 1: max depth 6, average depth
+// 4.39, large F/B index). Entries carry citation blocks and a feature
+// table whose keys vary — structurally richer than DBLP but still shallow.
+
+#include "data/generator.h"
+
+namespace xmlsel {
+
+Document GenerateSwissProt(int64_t target_elements, uint64_t seed) {
+  Rng rng(seed);
+  Document doc;
+  NodeId root = doc.AppendChild(doc.virtual_root(), "sptr");
+  static const char* kFeatureKeys[] = {
+      "DOMAIN", "TRANSMEM", "CHAIN",  "SIGNAL", "BINDING",
+      "CARBOHYD", "DISULFID", "MUTAGEN", "CONFLICT", "VARIANT"};
+  while (doc.element_count() < target_elements) {
+    NodeId entry = doc.AppendChild(root, "Entry");
+    // Counts come from small discrete sets: entries follow a handful of
+    // templates, as real SwissProt records do.
+    static const int64_t kRefChoices[] = {1, 1, 2, 3};
+    static const int64_t kAuthChoices[] = {2, 2, 4, 6};
+    static const int64_t kFeatChoices[] = {2, 2, 4, 6};
+    static const int64_t kKeywordChoices[] = {0, 2, 2, 4};
+    int64_t acs = rng.Chance(0.3) ? 2 : 1;
+    for (int64_t i = 0; i < acs; ++i) doc.AppendChild(entry, "AC");
+    doc.AppendChild(entry, "Mod");
+    doc.AppendChild(entry, "Descr");
+    NodeId species = doc.AppendChild(entry, "Species");
+    if (rng.Chance(0.3)) doc.AppendChild(species, "Common");
+    NodeId org = doc.AppendChild(entry, "Org");
+    int64_t taxa = rng.Chance(0.5) ? 2 : 3;
+    for (int64_t i = 0; i < taxa; ++i) doc.AppendChild(org, "Taxon");
+    int64_t refs = kRefChoices[rng.Uniform(0, 3)];
+    for (int64_t r = 0; r < refs; ++r) {
+      NodeId ref = doc.AppendChild(entry, "Ref");
+      int64_t auth = kAuthChoices[rng.Uniform(0, 3)];
+      for (int64_t a = 0; a < auth; ++a) doc.AppendChild(ref, "Author");
+      doc.AppendChild(ref, "Cite");
+      doc.AppendChild(ref, "MedlineID");
+    }
+    int64_t keywords = kKeywordChoices[rng.Uniform(0, 3)];
+    for (int64_t k = 0; k < keywords; ++k) {
+      doc.AppendChild(entry, "Keyword");
+    }
+    NodeId features = doc.AppendChild(entry, "Features");
+    int64_t feats = kFeatChoices[rng.Uniform(0, 3)];
+    for (int64_t f = 0; f < feats; ++f) {
+      NodeId key = doc.AppendChild(
+          features, kFeatureKeys[rng.Uniform(0, 9)]);
+      doc.AppendChild(key, "From");
+      doc.AppendChild(key, "To");
+      doc.AppendChild(key, "Descr");
+    }
+  }
+  return doc;
+}
+
+}  // namespace xmlsel

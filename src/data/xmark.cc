@@ -1,0 +1,192 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// XMark-like auction site (Table 1: max depth 12, average depth 5.56 —
+// the structurally most complicated dataset). Follows the real XMark
+// schema: regions/items, people, open and closed auctions, categories and
+// the category graph; recursive parlist/listitem description markup
+// provides the depth-12 tail.
+
+#include "data/generator.h"
+
+namespace xmlsel {
+
+namespace {
+
+/// Emits XMark's recursive "text | parlist(listitem(text|parlist)…)"
+/// description content under `parent`, to at most `depth` further levels.
+void EmitDescription(Document* doc, Rng* rng, NodeId parent, int depth) {
+  if (depth <= 0 || rng->Chance(0.6)) {
+    NodeId text = doc->AppendChild(parent, "text");
+    // One coin selects the markup template (plain / bold+keyword / emph).
+    int64_t tpl = rng->Uniform(0, 3);
+    if (tpl == 1) {
+      doc->AppendChild(text, "bold");
+      doc->AppendChild(text, "keyword");
+    } else if (tpl == 2) {
+      doc->AppendChild(text, "emph");
+    }
+    return;
+  }
+  NodeId parlist = doc->AppendChild(parent, "parlist");
+  int64_t items = rng->Chance(0.5) ? 1 : 2;
+  for (int64_t i = 0; i < items; ++i) {
+    NodeId listitem = doc->AppendChild(parlist, "listitem");
+    EmitDescription(doc, rng, listitem, depth - 1);
+  }
+}
+
+void EmitItem(Document* doc, Rng* rng, NodeId region) {
+  NodeId item = doc->AppendChild(region, "item");
+  doc->AppendChild(item, "location");
+  doc->AppendChild(item, "quantity");
+  doc->AppendChild(item, "name");
+  NodeId payment = doc->AppendChild(item, "payment");
+  (void)payment;
+  NodeId description = doc->AppendChild(item, "description");
+  EmitDescription(doc, rng, description, 3);
+  doc->AppendChild(item, "shipping");
+  int64_t cats = rng->Chance(0.6) ? 1 : 2;
+  for (int64_t c = 0; c < cats; ++c) {
+    doc->AppendChild(item, "incategory");
+  }
+  if (rng->Chance(0.7)) {
+    NodeId mailbox = doc->AppendChild(item, "mailbox");
+    int64_t mails = rng->Chance(0.5) ? 1 : 2;
+    for (int64_t m = 0; m < mails; ++m) {
+      NodeId mail = doc->AppendChild(mailbox, "mail");
+      doc->AppendChild(mail, "from");
+      doc->AppendChild(mail, "to");
+      doc->AppendChild(mail, "date");
+      doc->AppendChild(mail, "text");
+    }
+  }
+}
+
+void EmitPerson(Document* doc, Rng* rng, NodeId people) {
+  NodeId person = doc->AppendChild(people, "person");
+  doc->AppendChild(person, "name");
+  doc->AppendChild(person, "emailaddress");
+  // One template coin drives the optional block (real person records
+  // cluster into a few shapes).
+  int64_t tpl = rng->Uniform(0, 3);
+  if (tpl >= 1) {
+    doc->AppendChild(person, "phone");
+    NodeId address = doc->AppendChild(person, "address");
+    doc->AppendChild(address, "street");
+    doc->AppendChild(address, "city");
+    doc->AppendChild(address, "country");
+    doc->AppendChild(address, "zipcode");
+  }
+  if (tpl == 2) {
+    doc->AppendChild(person, "homepage");
+    doc->AppendChild(person, "creditcard");
+  }
+  if (rng->Chance(0.6)) {
+    NodeId profile = doc->AppendChild(person, "profile");
+    int64_t interests = rng->Chance(0.5) ? 0 : 2;
+    for (int64_t i = 0; i < interests; ++i) {
+      doc->AppendChild(profile, "interest");
+    }
+    doc->AppendChild(profile, "education");
+    doc->AppendChild(profile, "gender");
+    doc->AppendChild(profile, "business");
+    doc->AppendChild(profile, "age");
+  }
+  if (rng->Chance(0.3)) {
+    NodeId watches = doc->AppendChild(person, "watches");
+    int64_t n = rng->Chance(0.5) ? 1 : 2;
+    for (int64_t i = 0; i < n; ++i) doc->AppendChild(watches, "watch");
+  }
+}
+
+void EmitOpenAuction(Document* doc, Rng* rng, NodeId open_auctions) {
+  NodeId auction = doc->AppendChild(open_auctions, "open_auction");
+  doc->AppendChild(auction, "initial");
+  if (rng->Chance(0.4)) doc->AppendChild(auction, "reserve");
+  static const int64_t kBidderChoices[] = {0, 1, 2, 2, 4};
+  int64_t bidders = kBidderChoices[rng->Uniform(0, 4)];
+  for (int64_t b = 0; b < bidders; ++b) {
+    NodeId bidder = doc->AppendChild(auction, "bidder");
+    doc->AppendChild(bidder, "date");
+    doc->AppendChild(bidder, "time");
+    doc->AppendChild(bidder, "personref");
+    doc->AppendChild(bidder, "increase");
+  }
+  doc->AppendChild(auction, "current");
+  if (rng->Chance(0.3)) doc->AppendChild(auction, "privacy");
+  doc->AppendChild(auction, "itemref");
+  doc->AppendChild(auction, "seller");
+  NodeId annotation = doc->AppendChild(auction, "annotation");
+  doc->AppendChild(annotation, "author");
+  NodeId adesc = doc->AppendChild(annotation, "description");
+  EmitDescription(doc, rng, adesc, 2);
+  doc->AppendChild(annotation, "happiness");
+  doc->AppendChild(auction, "quantity");
+  doc->AppendChild(auction, "type");
+  NodeId interval = doc->AppendChild(auction, "interval");
+  doc->AppendChild(interval, "start");
+  doc->AppendChild(interval, "end");
+}
+
+void EmitClosedAuction(Document* doc, Rng* rng, NodeId closed_auctions) {
+  NodeId auction = doc->AppendChild(closed_auctions, "closed_auction");
+  doc->AppendChild(auction, "seller");
+  doc->AppendChild(auction, "buyer");
+  doc->AppendChild(auction, "itemref");
+  doc->AppendChild(auction, "price");
+  doc->AppendChild(auction, "date");
+  doc->AppendChild(auction, "quantity");
+  doc->AppendChild(auction, "type");
+  NodeId annotation = doc->AppendChild(auction, "annotation");
+  doc->AppendChild(annotation, "author");
+  NodeId adesc = doc->AppendChild(annotation, "description");
+  EmitDescription(doc, rng, adesc, 2);
+  doc->AppendChild(annotation, "happiness");
+}
+
+}  // namespace
+
+Document GenerateXmark(int64_t target_elements, uint64_t seed) {
+  Rng rng(seed);
+  Document doc;
+  NodeId site = doc.AppendChild(doc.virtual_root(), "site");
+  NodeId regions = doc.AppendChild(site, "regions");
+  static const char* kRegions[] = {"africa",   "asia",    "australia",
+                                   "europe",   "namerica", "samerica"};
+  std::vector<NodeId> region_nodes;
+  for (const char* r : kRegions) {
+    region_nodes.push_back(doc.AppendChild(regions, r));
+  }
+  NodeId categories = doc.AppendChild(site, "categories");
+  NodeId catgraph = doc.AppendChild(site, "catgraph");
+  NodeId people = doc.AppendChild(site, "people");
+  NodeId open_auctions = doc.AppendChild(site, "open_auctions");
+  NodeId closed_auctions = doc.AppendChild(site, "closed_auctions");
+
+  // XMark's entity proportions: per generated "slice", a handful of
+  // items, one person, ~0.5 open and ~0.25 closed auctions, a category.
+  while (doc.element_count() < target_elements) {
+    int64_t items = rng.Uniform(2, 4);
+    for (int64_t i = 0; i < items; ++i) {
+      EmitItem(&doc, &rng,
+               region_nodes[static_cast<size_t>(rng.Uniform(0, 5))]);
+    }
+    EmitPerson(&doc, &rng, people);
+    if (rng.Chance(0.6)) EmitOpenAuction(&doc, &rng, open_auctions);
+    if (rng.Chance(0.35)) EmitClosedAuction(&doc, &rng, closed_auctions);
+    if (rng.Chance(0.25)) {
+      NodeId category = doc.AppendChild(categories, "category");
+      doc.AppendChild(category, "name");
+      NodeId cdesc = doc.AppendChild(category, "description");
+      EmitDescription(&doc, &rng, cdesc, 1);
+    }
+    if (rng.Chance(0.25)) {
+      NodeId edge = doc.AppendChild(catgraph, "edge");
+      (void)edge;
+    }
+  }
+  return doc;
+}
+
+}  // namespace xmlsel

@@ -1,0 +1,123 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "estimator/estimator.h"
+
+#include "automaton/grammar_eval.h"
+#include "query/parser.h"
+#include "query/rewrite.h"
+
+#include <algorithm>
+
+namespace xmlsel {
+
+SelectivityEstimator SelectivityEstimator::Build(
+    const Document& doc, const SynopsisOptions& options) {
+  return SelectivityEstimator(Synopsis::Build(doc, options));
+}
+
+Result<SelectivityEstimate> SelectivityEstimator::Estimate(
+    std::string_view xpath) {
+  Result<Query> parsed = ParseQuery(xpath, &synopsis_.names());
+  if (!parsed.ok()) return parsed.status();
+  return EstimateQuery(parsed.value());
+}
+
+Result<SelectivityEstimate> SelectivityEstimator::EstimateQuery(
+    const Query& query) {
+  Result<RewriteOutcome> rewritten = RewriteReverseAxes(query);
+  if (!rewritten.ok()) return rewritten.status();
+  if (rewritten.value().unsatisfiable) {
+    return SelectivityEstimate{0, 0};  // provably empty: exact answer
+  }
+  const Query& fwd = rewritten.value().query;
+  Result<CompiledQuery> compiled = CompiledQuery::Compile(fwd);
+  if (!compiled.ok()) return compiled.status();
+
+  SelectivityEstimate est;
+  {
+    GrammarEvaluator lower(&synopsis_.lossy(), &compiled.value(),
+                           &synopsis_.label_maps(), BoundMode::kLower);
+    est.lower = lower.Evaluate().count;
+  }
+  // Upper bound: evaluate in kUpper mode (no-dedup counting plus star
+  // over-approximation); order-sensitive queries are additionally relaxed
+  // (the strict transition under-approximates deferred following
+  // witnesses, so the over-approximation drops the ordering constraints).
+  {
+    Query upper_query =
+        HasOrderAxes(fwd) ? RelaxOrderConstraints(fwd) : fwd;
+    Result<CompiledQuery> upper_compiled =
+        CompiledQuery::Compile(upper_query);
+    if (!upper_compiled.ok()) return upper_compiled.status();
+    GrammarEvaluator upper(&synopsis_.lossy(), &upper_compiled.value(),
+                           &synopsis_.label_maps(), BoundMode::kUpper);
+    est.upper = upper.Evaluate().count;
+  }
+  // Global cap (§5.4's spirit, "the total contribution is bounded"): no
+  // query can select more nodes than carry the match node's label.
+  LabelId mq_test = fwd.node(fwd.match_node()).test;
+  int64_t cap = mq_test > 0 ? synopsis_.LabelTotal(mq_test)
+                            : synopsis_.ElementTotal();
+  est.upper = std::min(est.upper, cap);
+  est.upper = std::max(est.upper, est.lower);
+  return est;
+}
+
+Status SelectivityEstimator::ApplyUpdate(const UpdateOp& op) {
+  XMLSEL_RETURN_IF_ERROR(ApplyUpdateDeferred(op));
+  RecomputeLossy();
+  return Status::OK();
+}
+
+Status SelectivityEstimator::ApplyUpdateDeferred(const UpdateOp& op) {
+  LabelId seam_parent = -1;
+  XMLSEL_RETURN_IF_ERROR(ApplyUpdateToGrammar(
+      synopsis_.mutable_lossless(), &synopsis_.names(), op,
+      synopsis_.options().bplex, &seam_parent));
+  // Keep the label maps sound: union in the inserted tree's internal
+  // adjacencies plus the seam edge (insertion parent → inserted root).
+  // Deletions only shrink true adjacency, so the old maps stay sound.
+  if (op.kind != UpdateOp::Kind::kDelete &&
+      op.tree.document_element() != kNullNode) {
+    LabelMaps tree_maps = ComputeLabelMaps(op.tree);
+    LabelMaps translated;
+    translated.label_count = synopsis_.names().size();
+    translated.child.assign(
+        static_cast<size_t>(translated.label_count),
+        std::vector<bool>(static_cast<size_t>(translated.label_count),
+                          false));
+    translated.parent = translated.child;
+    auto translate = [this, &op](int32_t l) -> LabelId {
+      return synopsis_.names().Lookup(op.tree.names().Name(l));
+    };
+    // Rows for the tree's own virtual root are skipped: the inserted root
+    // hangs under the seam parent, not under the document root.
+    for (int32_t a = 1; a < tree_maps.label_count; ++a) {
+      LabelId ta = translate(a);
+      if (ta < 0) continue;
+      for (int32_t b = 1; b < tree_maps.label_count; ++b) {
+        LabelId tb = translate(b);
+        if (tb < 0) continue;
+        if (tree_maps.child[static_cast<size_t>(a)][static_cast<size_t>(b)]) {
+          translated.child[static_cast<size_t>(ta)][static_cast<size_t>(tb)] =
+              true;
+          translated.parent[static_cast<size_t>(tb)][static_cast<size_t>(ta)] =
+              true;
+        }
+      }
+    }
+    LabelId root_label = synopsis_.names().Lookup(
+        op.tree.names().Name(op.tree.label(op.tree.document_element())));
+    if (seam_parent >= 0 && root_label > 0) {
+      translated.child[static_cast<size_t>(seam_parent)]
+                      [static_cast<size_t>(root_label)] = true;
+      translated.parent[static_cast<size_t>(root_label)]
+                       [static_cast<size_t>(seam_parent)] = true;
+    }
+    MergeLabelMaps(synopsis_.mutable_label_maps(), translated);
+  }
+  return Status::OK();
+}
+
+}  // namespace xmlsel

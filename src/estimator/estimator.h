@@ -1,0 +1,82 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Public facade of the library: build a synopsis from a document, estimate
+// the selectivity of Core XPath queries as a guaranteed [lower, upper]
+// range, and apply incremental updates.
+//
+// Typical use:
+//
+//   Result<SelectivityEstimator> est =
+//       SelectivityEstimator::Build(doc, {.kappa = 50});
+//   Result<SelectivityEstimate> r = est.value().Estimate("//a[.//b]//c");
+//   // r.value().lower <= |Q(D)| <= r.value().upper — guaranteed.
+
+#ifndef XMLSEL_ESTIMATOR_ESTIMATOR_H_
+#define XMLSEL_ESTIMATOR_ESTIMATOR_H_
+
+#include <string_view>
+
+#include "estimator/synopsis.h"
+#include "estimator/update.h"
+#include "query/ast.h"
+#include "xmlsel/status.h"
+
+namespace xmlsel {
+
+/// A guaranteed selectivity range (§5.4): lower ≤ |Q(D)| ≤ upper.
+struct SelectivityEstimate {
+  int64_t lower = 0;
+  int64_t upper = 0;
+
+  /// The range collapses to the exact answer.
+  bool exact() const { return lower == upper; }
+  /// Midpoint, the natural point estimate.
+  double midpoint() const {
+    return (static_cast<double>(lower) + static_cast<double>(upper)) / 2.0;
+  }
+  /// Range width — the implicit confidence measure: smaller is better.
+  int64_t width() const { return upper - lower; }
+};
+
+/// The estimator: synopsis + query front end + automaton evaluation.
+class SelectivityEstimator {
+ public:
+  /// Builds the synopsis from `doc` in one pass.
+  static SelectivityEstimator Build(const Document& doc,
+                                    const SynopsisOptions& options);
+
+  /// Wraps an externally built synopsis.
+  explicit SelectivityEstimator(Synopsis synopsis)
+      : synopsis_(std::move(synopsis)) {}
+
+  /// Parses, rewrites, compiles, and evaluates an XPath string; returns
+  /// kUnsupported/kInvalidArgument for queries outside the fragment.
+  Result<SelectivityEstimate> Estimate(std::string_view xpath);
+
+  /// Evaluates an already-built query tree (reverse axes are rewritten
+  /// internally).
+  Result<SelectivityEstimate> EstimateQuery(const Query& query);
+
+  /// Applies one §6 update (first_child / next_sibling / delete) to the
+  /// lossless layer and re-derives the lossy layer.
+  Status ApplyUpdate(const UpdateOp& op);
+
+  /// Applies an update without recomputing the lossy layer (§6's queued
+  /// mode); call RecomputeLossy() when the batch is done.
+  Status ApplyUpdateDeferred(const UpdateOp& op);
+  void RecomputeLossy() { synopsis_.RecomputeLossy(synopsis_.options().kappa); }
+
+  const Synopsis& synopsis() const { return synopsis_; }
+  Synopsis& mutable_synopsis() { return synopsis_; }
+
+  /// Size of the estimation structure in bytes (packed encoding, §7).
+  int64_t SizeBytes() const { return synopsis_.PackedSizeBytes(); }
+
+ private:
+  Synopsis synopsis_;
+};
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_ESTIMATOR_ESTIMATOR_H_

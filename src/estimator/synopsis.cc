@@ -1,0 +1,65 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "estimator/synopsis.h"
+
+#include "grammar/analysis.h"
+#include "storage/packed.h"
+
+namespace xmlsel {
+
+Synopsis Synopsis::Build(const Document& doc, const SynopsisOptions& options) {
+  Synopsis s;
+  s.options_ = options;
+  for (LabelId i = 1; i < doc.names().size(); ++i) {
+    s.names_.Intern(doc.names().Name(i));
+  }
+  s.lossless_ = BplexCompress(doc, options.bplex);
+  s.maps_ = ComputeLabelMaps(doc);
+  s.RecomputeLossy(options.kappa);
+  return s;
+}
+
+void Synopsis::RecomputeLossy(int32_t kappa) {
+  options_.kappa = kappa;
+  RecomputeLabelTotals();
+  if (kappa <= 0) {
+    lossy_ = lossless_;
+    deleted_ = 0;
+    return;
+  }
+  LossyGrammar lg = MakeLossy(lossless_, kappa);
+  lossy_ = std::move(lg.grammar);
+  deleted_ = lg.deleted;
+}
+
+int64_t Synopsis::PackedSizeBytes() const {
+  return PackedEncodedSize(lossy_, names_.size());
+}
+
+void Synopsis::RecomputeLabelTotals() {
+  label_totals_.assign(static_cast<size_t>(names_.size()), 0);
+  element_total_ = 0;
+  if (lossless_.rule_count() == 0) return;
+  GrammarAnalysis analysis = AnalyzeGrammar(lossless_);
+  for (int32_t i = 0; i < lossless_.rule_count(); ++i) {
+    int64_t mult = analysis.multiplicity[static_cast<size_t>(i)];
+    if (mult == 0) continue;
+    for (const GrammarNode& n : lossless_.rule(i).nodes) {
+      if (n.kind == GrammarNode::Kind::kTerminal &&
+          n.sym < names_.size()) {
+        label_totals_[static_cast<size_t>(n.sym)] += mult;
+      }
+    }
+  }
+  for (int64_t c : label_totals_) element_total_ += c;
+}
+
+int64_t Synopsis::LabelTotal(LabelId label) const {
+  if (label < 0 || label >= static_cast<LabelId>(label_totals_.size())) {
+    return element_total_;
+  }
+  return label_totals_[static_cast<size_t>(label)];
+}
+
+}  // namespace xmlsel

@@ -1,0 +1,78 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// The two-layer synopsis of §6: a lossless SLT grammar (the paper keeps
+// this layer on disk) plus the κ-lossy grammar actually used for
+// estimation (kept in memory, stored packed per §7), together with the
+// label maps that sharpen upper bounds.
+
+#ifndef XMLSEL_ESTIMATOR_SYNOPSIS_H_
+#define XMLSEL_ESTIMATOR_SYNOPSIS_H_
+
+#include <vector>
+
+#include "grammar/bplex.h"
+#include "grammar/lossy.h"
+#include "grammar/slt.h"
+#include "xml/document.h"
+
+namespace xmlsel {
+
+/// Construction parameters for a synopsis.
+struct SynopsisOptions {
+  BplexOptions bplex;
+  /// Lossy threshold κ: number of productions to delete (§4.2). 0 keeps
+  /// the grammar lossless (estimates are then exact).
+  int32_t kappa = 0;
+};
+
+/// A built synopsis. Copyable; the estimation layer is self-contained.
+class Synopsis {
+ public:
+  /// Builds the synopsis from a document in one pass (§4).
+  static Synopsis Build(const Document& doc, const SynopsisOptions& options);
+
+  const SltGrammar& lossless() const { return lossless_; }
+  const SltGrammar& lossy() const { return lossy_; }
+  const LabelMaps& label_maps() const { return maps_; }
+  const NameTable& names() const { return names_; }
+  NameTable& names() { return names_; }
+  const SynopsisOptions& options() const { return options_; }
+
+  /// Number of productions actually deleted by the lossy pass.
+  int32_t deleted_productions() const { return deleted_; }
+
+  /// Re-derives the lossy layer from the (possibly updated) lossless
+  /// layer; called after a batch of updates (§6).
+  void RecomputeLossy(int32_t kappa);
+
+  /// Direct access for the update engine.
+  SltGrammar* mutable_lossless() { return &lossless_; }
+  LabelMaps* mutable_label_maps() { return &maps_; }
+
+  /// Size of the lossy layer in bytes under the packed encoding of §7.
+  int64_t PackedSizeBytes() const;
+
+  /// Exact number of elements carrying `label` (computed from the
+  /// lossless grammar; refreshed by RecomputeLossy). Used to cap upper
+  /// bounds: |Q(D)| never exceeds the population of the match label.
+  int64_t LabelTotal(LabelId label) const;
+  /// Total number of elements.
+  int64_t ElementTotal() const { return element_total_; }
+
+ private:
+  void RecomputeLabelTotals();
+
+  SltGrammar lossless_;
+  SltGrammar lossy_;
+  std::vector<int64_t> label_totals_;
+  int64_t element_total_ = 0;
+  LabelMaps maps_;
+  NameTable names_;
+  SynopsisOptions options_;
+  int32_t deleted_ = 0;
+};
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_ESTIMATOR_SYNOPSIS_H_

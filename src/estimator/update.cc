@@ -1,0 +1,204 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "estimator/update.h"
+
+#include <vector>
+
+namespace xmlsel {
+
+namespace {
+
+/// Inlines the nonterminal call at `node_id` of the start rule: the
+/// callee's RHS is copied into the rule's arena with parameters spliced to
+/// the call's arguments. Returns the id of the copied RHS root. The call
+/// node and parameter placeholders become dead (cleaned up by the final
+/// NormalizedCopy).
+int32_t InlineCall(SltGrammar* g, int32_t rule, int32_t node_id) {
+  GrammarRule& r = g->mutable_rule(rule);
+  GrammarNode call = r.nodes[static_cast<size_t>(node_id)];
+  XMLSEL_CHECK(call.kind == GrammarNode::Kind::kNonterminal);
+  const GrammarRule& callee = g->rule(call.sym);
+  XMLSEL_CHECK(callee.root != kNullNode);
+
+  // Copy callee nodes in post-order (children before parents).
+  std::vector<int32_t> remap(callee.nodes.size(), kNullNode);
+  struct Frame {
+    int32_t node;
+    size_t next;
+  };
+  std::vector<Frame> stack = {{callee.root, 0}};
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const GrammarNode& n = callee.nodes[static_cast<size_t>(f.node)];
+    bool desc = false;
+    while (f.next < n.children.size()) {
+      int32_t c = n.children[f.next++];
+      if (c != kNullNode) {
+        stack.push_back({c, 0});
+        desc = true;
+        break;
+      }
+    }
+    if (desc) continue;
+    int32_t copied;
+    if (n.kind == GrammarNode::Kind::kParam) {
+      // Splice the argument directly (each parameter occurs exactly once).
+      copied = call.children[static_cast<size_t>(n.sym)];
+    } else {
+      GrammarNode copy = n;
+      for (int32_t& c : copy.children) {
+        if (c != kNullNode) c = remap[static_cast<size_t>(c)];
+      }
+      r.nodes.push_back(std::move(copy));
+      copied = static_cast<int32_t>(r.nodes.size()) - 1;
+    }
+    remap[static_cast<size_t>(f.node)] = copied;
+    stack.pop_back();
+  }
+  return remap[static_cast<size_t>(callee.root)];
+}
+
+/// Builds grammar nodes for the binary encoding of the subtree rooted at
+/// `element`, with the binary root's right child wired to `hook`
+/// (kNullNode for ⊥). Labels are re-interned into `names`.
+int32_t BuildTreeNodes(GrammarRule* rule, const Document& tree,
+                       NodeId element, int32_t hook, NameTable* names) {
+  RhsBuilder builder(rule);
+  std::vector<NodeId> nodes = tree.SubtreeNodes(element);
+  std::vector<int32_t> gid(static_cast<size_t>(tree.arena_size()), kNullNode);
+  for (auto it = nodes.rbegin(); it != nodes.rend(); ++it) {
+    NodeId e = *it;
+    LabelId label = names->Intern(tree.names().Name(tree.label(e)));
+    NodeId fc = tree.first_child(e);
+    int32_t left = fc == kNullNode ? kNullNode : gid[static_cast<size_t>(fc)];
+    int32_t right;
+    if (e == element) {
+      right = hook;
+    } else {
+      NodeId ns = tree.next_sibling(e);
+      right = ns == kNullNode ? kNullNode : gid[static_cast<size_t>(ns)];
+    }
+    gid[static_cast<size_t>(e)] = builder.Terminal(label, left, right);
+  }
+  return gid[static_cast<size_t>(element)];
+}
+
+/// Cursor into the start rule during unrolling.
+struct Cursor {
+  int32_t node = kNullNode;
+  int32_t parent = kNullNode;  // kNullNode: node is the rule root
+  int32_t slot = -1;
+};
+
+/// Replaces the node under the cursor (in its parent slot or as the rule
+/// root) by `replacement`.
+void ReplaceAtCursor(GrammarRule* r, const Cursor& cur, int32_t replacement) {
+  if (cur.parent == kNullNode) {
+    r->root = replacement;
+  } else {
+    r->nodes[static_cast<size_t>(cur.parent)]
+        .children[static_cast<size_t>(cur.slot)] = replacement;
+  }
+}
+
+}  // namespace
+
+Status ApplyUpdateToGrammar(SltGrammar* g, NameTable* names,
+                            const UpdateOp& op, const BplexOptions& options,
+                            LabelId* inserted_parent_label) {
+  XMLSEL_CHECK(!g->IsLossy());  // updates run on the lossless layer (§6)
+  if (g->rule_count() == 0) {
+    return Status::InvalidArgument("cannot update an empty grammar");
+  }
+  int32_t start = g->start_rule();
+  GrammarRule& r = g->mutable_rule(start);
+  if (r.root == kNullNode) {
+    return Status::InvalidArgument("cannot update an empty document");
+  }
+
+  // Unroll until the addressed node is terminally available (§6).
+  Cursor cur{r.root, kNullNode, -1};
+  auto make_terminal = [&]() -> Status {
+    while (true) {
+      GrammarNode::Kind kind =
+          r.nodes[static_cast<size_t>(cur.node)].kind;
+      if (kind == GrammarNode::Kind::kTerminal) return Status::OK();
+      if (kind == GrammarNode::Kind::kNonterminal) {
+        int32_t inlined = InlineCall(g, start, cur.node);
+        ReplaceAtCursor(&r, cur, inlined);
+        cur.node = inlined;
+        continue;
+      }
+      return Status::Internal("unexpected node kind during unrolling");
+    }
+  };
+  XMLSEL_RETURN_IF_ERROR(make_terminal());
+  // Track the unranked parent: a slot-1 (first-child) step descends below
+  // the current element; a slot-2 (next-sibling) step stays at its level.
+  LabelId unranked_parent = kRootLabel;
+  for (uint8_t step : op.path.steps()) {
+    int32_t slot = step - 1;
+    if (slot == 0) {
+      unranked_parent = r.nodes[static_cast<size_t>(cur.node)].sym;
+    }
+    int32_t next = r.nodes[static_cast<size_t>(cur.node)]
+                       .children[static_cast<size_t>(slot)];
+    if (next == kNullNode) {
+      return Status::NotFound("bindd path " + op.path.ToString() +
+                              " walks off the tree");
+    }
+    cur = {next, cur.node, slot};
+    XMLSEL_RETURN_IF_ERROR(make_terminal());
+  }
+
+  // Apply the operation at the (now terminal) node.
+  switch (op.kind) {
+    case UpdateOp::Kind::kDelete: {
+      int32_t tail =
+          r.nodes[static_cast<size_t>(cur.node)].children[1];
+      if (cur.parent == kNullNode && tail == kNullNode) {
+        return Status::InvalidArgument(
+            "deleting the document element would empty the document");
+      }
+      ReplaceAtCursor(&r, cur, tail);
+      break;
+    }
+    case UpdateOp::Kind::kFirstChild: {
+      if (op.tree.document_element() == kNullNode) {
+        return Status::InvalidArgument("insertion tree is empty");
+      }
+      int32_t old_first = r.nodes[static_cast<size_t>(cur.node)].children[0];
+      if (inserted_parent_label != nullptr) {
+        *inserted_parent_label = r.nodes[static_cast<size_t>(cur.node)].sym;
+      }
+      int32_t inserted = BuildTreeNodes(&r, op.tree,
+                                        op.tree.document_element(),
+                                        old_first, names);
+      r.nodes[static_cast<size_t>(cur.node)].children[0] = inserted;
+      break;
+    }
+    case UpdateOp::Kind::kNextSibling: {
+      if (op.tree.document_element() == kNullNode) {
+        return Status::InvalidArgument("insertion tree is empty");
+      }
+      int32_t old_next = r.nodes[static_cast<size_t>(cur.node)].children[1];
+      if (inserted_parent_label != nullptr) {
+        *inserted_parent_label = unranked_parent;
+      }
+      int32_t inserted = BuildTreeNodes(&r, op.tree,
+                                        op.tree.document_element(),
+                                        old_next, names);
+      r.nodes[static_cast<size_t>(cur.node)].children[1] = inserted;
+      break;
+    }
+  }
+
+  // Re-compress: replay existing rules, then search for new patterns in
+  // the rewritten start rule only (§6).
+  SharePatterns(g, options, start);
+  *g = NormalizedCopy(*g, start);
+  return Status::OK();
+}
+
+}  // namespace xmlsel

@@ -1,0 +1,63 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Incremental updates on lossless SLT grammars (§6, Theorem 5): the start
+// rule is rewritten until the bindd-addressed node is terminally available
+// (no nonterminal on its path to the root), the update is applied there,
+// and BPLEX re-compresses the start rule — replaying existing rules first,
+// then introducing new patterns. All in O(|G| + |t|).
+//
+// The three §6 operations:
+//   first_child   <bindd> <tree>   — insert as first child
+//   next_sibling  <bindd> <tree>   — insert as next sibling
+//   delete        <bindd>          — delete the node and its subtree
+
+#ifndef XMLSEL_ESTIMATOR_UPDATE_H_
+#define XMLSEL_ESTIMATOR_UPDATE_H_
+
+#include <optional>
+
+#include "grammar/bplex.h"
+#include "grammar/slt.h"
+#include "xml/binary_tree.h"
+#include "xml/document.h"
+
+namespace xmlsel {
+
+/// One update operation against the grammar.
+struct UpdateOp {
+  enum class Kind { kFirstChild, kNextSibling, kDelete };
+
+  Kind kind = Kind::kDelete;
+  /// Node address in the ranked tree (binary Dewey notation).
+  BinddPath path;
+  /// For insertions: the tree to insert — the subtree rooted at the
+  /// document element of `tree` (ignored for kDelete).
+  Document tree;
+
+  static UpdateOp FirstChild(BinddPath path, Document tree) {
+    return {Kind::kFirstChild, std::move(path), std::move(tree)};
+  }
+  static UpdateOp NextSibling(BinddPath path, Document tree) {
+    return {Kind::kNextSibling, std::move(path), std::move(tree)};
+  }
+  static UpdateOp Delete(BinddPath path) {
+    return {Kind::kDelete, std::move(path), Document()};
+  }
+};
+
+/// Applies `op` to the lossless grammar `g` in place. New element names in
+/// the inserted tree are interned into `names`. Fails with kNotFound when
+/// the bindd path does not resolve, and with kInvalidArgument for
+/// degenerate operations (e.g. deleting the only node of the document).
+///
+/// For insertions, `*inserted_parent_label` (when non-null) receives the
+/// label of the unranked parent under which the new tree was placed — the
+/// caller needs it to keep the child-label maps sound at the seam.
+Status ApplyUpdateToGrammar(SltGrammar* g, NameTable* names,
+                            const UpdateOp& op, const BplexOptions& options,
+                            LabelId* inserted_parent_label = nullptr);
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_ESTIMATOR_UPDATE_H_

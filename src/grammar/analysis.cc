@@ -1,0 +1,197 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "grammar/analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace xmlsel {
+
+namespace {
+
+/// Bottom-up value computed per RHS node.
+struct NodeInfo {
+  int64_t size = 0;
+  int32_t height = 0;
+  /// Parameter index -> unranked depth offset within this subtree.
+  std::vector<std::pair<int32_t, int32_t>> offsets;
+};
+
+}  // namespace
+
+GrammarAnalysis AnalyzeGrammar(const SltGrammar& g) {
+  GrammarAnalysis out;
+  const int32_t n = g.rule_count();
+  out.multiplicity.assign(static_cast<size_t>(n), 0);
+  out.gen_size.assign(static_cast<size_t>(n), 0);
+  out.gen_height.assign(static_cast<size_t>(n), 0);
+  out.hole_offset.resize(static_cast<size_t>(n));
+  out.rightmost_is_last_param.assign(static_cast<size_t>(n), false);
+  if (n == 0) return out;
+
+  // ---- Bottom-up pass: size / height / hole offsets per rule.
+  for (int32_t i = 0; i < n; ++i) {
+    const GrammarRule& r = g.rule(i);
+    std::unordered_map<int32_t, NodeInfo> info;  // RHS node id -> info
+    auto child_info = [&](int32_t c) -> NodeInfo {
+      if (c == kNullNode) return NodeInfo{};
+      auto it = info.find(c);
+      XMLSEL_CHECK(it != info.end());
+      return it->second;
+    };
+    // Post-order traversal of live RHS nodes.
+    std::vector<int32_t> order;
+    if (r.root != kNullNode) {
+      struct Frame {
+        int32_t node;
+        size_t next;
+      };
+      std::vector<Frame> stack = {{r.root, 0}};
+      while (!stack.empty()) {
+        Frame& f = stack.back();
+        const GrammarNode& nd = r.nodes[static_cast<size_t>(f.node)];
+        bool desc = false;
+        while (f.next < nd.children.size()) {
+          int32_t c = nd.children[f.next++];
+          if (c != kNullNode) {
+            stack.push_back({c, 0});
+            desc = true;
+            break;
+          }
+        }
+        if (desc) continue;
+        order.push_back(f.node);
+        stack.pop_back();
+      }
+    }
+    for (int32_t id : order) {
+      const GrammarNode& nd = r.nodes[static_cast<size_t>(id)];
+      NodeInfo v;
+      switch (nd.kind) {
+        case GrammarNode::Kind::kParam:
+          v.offsets.push_back({nd.sym, 0});
+          break;
+        case GrammarNode::Kind::kTerminal: {
+          NodeInfo l = child_info(nd.children[0]);
+          NodeInfo rr = child_info(nd.children[1]);
+          v.size = 1 + l.size + rr.size;
+          v.height = std::max(1 + l.height, rr.height);
+          for (auto [p, off] : l.offsets) v.offsets.push_back({p, off + 1});
+          for (auto [p, off] : rr.offsets) v.offsets.push_back({p, off});
+          break;
+        }
+        case GrammarNode::Kind::kNonterminal: {
+          int32_t j = nd.sym;
+          v.size = out.gen_size[static_cast<size_t>(j)];
+          v.height = out.gen_height[static_cast<size_t>(j)];
+          for (size_t a = 0; a < nd.children.size(); ++a) {
+            NodeInfo ai = child_info(nd.children[a]);
+            int32_t hoff = out.hole_offset[static_cast<size_t>(j)][a];
+            v.size += ai.size;
+            if (ai.height > 0) {
+              v.height = std::max(v.height, hoff + ai.height);
+            }
+            for (auto [p, off] : ai.offsets) {
+              v.offsets.push_back({p, off + hoff});
+            }
+          }
+          break;
+        }
+        case GrammarNode::Kind::kStar: {
+          const StarStats& st = g.star_stats()[static_cast<size_t>(nd.sym)];
+          v.size = st.size;
+          v.height = st.height;
+          // Hole offsets inside a star are unknown; use the star's height
+          // as a conservative offset (only relevant when re-analyzing an
+          // already-lossy grammar).
+          for (int32_t c : nd.children) {
+            NodeInfo ci = child_info(c);
+            v.size += ci.size;
+            if (ci.height > 0) {
+              v.height = std::max(v.height, st.height + ci.height);
+            }
+            for (auto [p, off] : ci.offsets) {
+              v.offsets.push_back({p, off + st.height});
+            }
+          }
+          break;
+        }
+      }
+      info[id] = std::move(v);
+    }
+    if (r.root != kNullNode) {
+      const NodeInfo& root = info[r.root];
+      out.gen_size[static_cast<size_t>(i)] = root.size;
+      out.gen_height[static_cast<size_t>(i)] = root.height;
+      std::vector<int32_t> holes(static_cast<size_t>(r.rank), 0);
+      for (auto [p, off] : root.offsets) {
+        holes[static_cast<size_t>(p)] = off;
+      }
+      out.hole_offset[static_cast<size_t>(i)] = std::move(holes);
+    } else {
+      out.hole_offset[static_cast<size_t>(i)].assign(
+          static_cast<size_t>(r.rank), 0);
+    }
+
+    // Right-most leaf of ex(RHS_i): follow the right-most spine through
+    // nonterminal calls (decided in rule order, so callees are known).
+    int32_t cur_rule = i;
+    int32_t cur = r.root;
+    bool rightmost = false;
+    while (cur != kNullNode) {
+      const GrammarNode& nd =
+          g.rule(cur_rule).nodes[static_cast<size_t>(cur)];
+      if (nd.kind == GrammarNode::Kind::kParam) {
+        rightmost = (nd.sym == g.rule(cur_rule).rank - 1) && cur_rule == i;
+        // If we descended into a callee argument, the parameter belongs to
+        // rule i only when cur_rule == i; arguments are rule-i nodes, so
+        // cur_rule stays i throughout (see below) — assert that:
+        break;
+      }
+      if (nd.kind == GrammarNode::Kind::kTerminal) {
+        if (nd.children[1] == kNullNode) break;  // ends at a terminal
+        cur = nd.children[1];
+        continue;
+      }
+      if (nd.kind == GrammarNode::Kind::kNonterminal) {
+        if (nd.children.empty() ||
+            !out.rightmost_is_last_param[static_cast<size_t>(nd.sym)]) {
+          break;  // ends inside the callee's own pattern
+        }
+        cur = nd.children.back();  // continue into the last argument
+        continue;
+      }
+      // Star: a trailing ⊥ terminates the sequence; otherwise continue
+      // into the last child.
+      if (nd.children.empty() || nd.children.back() == kNullNode) break;
+      cur = nd.children.back();
+    }
+    out.rightmost_is_last_param[static_cast<size_t>(i)] = rightmost;
+  }
+
+  // ---- Top-down pass: multiplicities.
+  out.multiplicity[static_cast<size_t>(n - 1)] = 1;
+  for (int32_t i = n - 1; i >= 0; --i) {
+    int64_t m = out.multiplicity[static_cast<size_t>(i)];
+    if (m == 0) continue;
+    const GrammarRule& r = g.rule(i);
+    // Count occurrences over live nodes only.
+    std::vector<int32_t> stack;
+    if (r.root != kNullNode) stack.push_back(r.root);
+    while (!stack.empty()) {
+      int32_t id = stack.back();
+      stack.pop_back();
+      const GrammarNode& nd = r.nodes[static_cast<size_t>(id)];
+      if (nd.kind == GrammarNode::Kind::kNonterminal) {
+        out.multiplicity[static_cast<size_t>(nd.sym)] += m;
+      }
+      for (int32_t c : nd.children) {
+        if (c != kNullNode) stack.push_back(c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace xmlsel

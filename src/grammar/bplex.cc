@@ -1,0 +1,496 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "grammar/bplex.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "grammar/dag.h"
+
+namespace xmlsel {
+
+namespace {
+
+constexpr uint64_t kChildNull = 2;  // child kind code for ⊥
+
+/// Packs a digram (parent symbol, slot, child symbol) into a hash key.
+/// Parent kind: 0 terminal, 1 nonterminal. Child kind: 0 terminal,
+/// 1 nonterminal, 2 ⊥.
+uint64_t MakeKey(uint64_t pkind, uint64_t psym, uint64_t slot, uint64_t ckind,
+                 uint64_t csym) {
+  XMLSEL_DCHECK(psym < (1ull << 28) && csym < (1ull << 28) && slot < 16);
+  return (pkind << 62) | (psym << 34) | (slot << 30) | (ckind << 28) | csym;
+}
+
+struct DigramParts {
+  uint64_t pkind, psym, slot, ckind, csym;
+};
+
+DigramParts SplitKey(uint64_t key) {
+  return {key >> 62, (key >> 34) & ((1ull << 28) - 1), (key >> 30) & 15,
+          (key >> 28) & 3, key & ((1ull << 28) - 1)};
+}
+
+/// Digram-replacement engine over one grammar.
+class PatternSharer {
+ public:
+  PatternSharer(SltGrammar* g, const BplexOptions& opts)
+      : g_(g), opts_(opts) {
+    XMLSEL_CHECK(opts.max_rank >= 1 && opts.max_rank <= 15);
+    ComputePatternSizes();
+    BuildDictionary();
+  }
+
+  void Run(int32_t only_rule) {
+    for (int pass = 0; pass < opts_.max_passes; ++pass) {
+      if (!RunPass(only_rule)) break;
+    }
+  }
+
+ private:
+  int32_t Arity(const GrammarNode& n) const {
+    if (n.kind == GrammarNode::Kind::kTerminal) return 2;
+    XMLSEL_DCHECK(n.kind == GrammarNode::Kind::kNonterminal);
+    return g_->rule(n.sym).rank;
+  }
+
+  int64_t PatternSize(const GrammarNode& n) const {
+    if (n.kind == GrammarNode::Kind::kTerminal) return 1;
+    return pattern_sizes_[static_cast<size_t>(n.sym)];
+  }
+
+  /// pattern_sizes_[i] = number of terminal symbols in the full expansion
+  /// of rule i's pattern (star nodes count their hidden size).
+  void ComputePatternSizes() {
+    pattern_sizes_.assign(static_cast<size_t>(g_->rule_count()), 0);
+    for (int32_t i = 0; i < g_->rule_count(); ++i) {
+      int64_t size = 0;
+      for (const GrammarNode& n : LiveNodes(i)) {
+        switch (n.kind) {
+          case GrammarNode::Kind::kTerminal:
+            ++size;
+            break;
+          case GrammarNode::Kind::kNonterminal:
+            size += pattern_sizes_[static_cast<size_t>(n.sym)];
+            break;
+          case GrammarNode::Kind::kStar:
+            size += g_->star_stats()[static_cast<size_t>(n.sym)].size;
+            break;
+          case GrammarNode::Kind::kParam:
+            break;
+        }
+      }
+      pattern_sizes_[static_cast<size_t>(i)] = size;
+    }
+  }
+
+  /// Nodes of rule i reachable from its root (dead nodes skipped).
+  std::vector<GrammarNode> LiveNodes(int32_t i) const {
+    std::vector<GrammarNode> out;
+    for (int32_t id : LiveNodeIdsPostOrder(i)) {
+      out.push_back(g_->rule(i).nodes[static_cast<size_t>(id)]);
+    }
+    return out;
+  }
+
+  std::vector<int32_t> LiveNodeIdsPostOrder(int32_t i) const {
+    const GrammarRule& r = g_->rule(i);
+    std::vector<int32_t> out;
+    if (r.root == kNullNode) return out;
+    struct Frame {
+      int32_t node;
+      size_t next_child;
+    };
+    std::vector<Frame> stack = {{r.root, 0}};
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const GrammarNode& n = r.nodes[static_cast<size_t>(f.node)];
+      bool descended = false;
+      while (f.next_child < n.children.size()) {
+        int32_t c = n.children[f.next_child++];
+        if (c != kNullNode) {
+          stack.push_back({c, 0});
+          descended = true;
+          break;
+        }
+      }
+      if (descended) continue;
+      out.push_back(f.node);
+      stack.pop_back();
+    }
+    return out;
+  }
+
+  /// Recognizes rules whose RHS is exactly one digram pattern and seeds
+  /// the dictionary with them (used when re-compressing after updates).
+  void BuildDictionary() {
+    dictionary_.clear();
+    for (int32_t i = 0; i < g_->rule_count(); ++i) {
+      const GrammarRule& r = g_->rule(i);
+      if (r.root == kNullNode) continue;
+      const GrammarNode& p = r.nodes[static_cast<size_t>(r.root)];
+      if (p.kind != GrammarNode::Kind::kTerminal &&
+          p.kind != GrammarNode::Kind::kNonterminal) {
+        continue;
+      }
+      int fixed_slot = -1;
+      bool shape_ok = true;
+      for (size_t s = 0; s < p.children.size() && shape_ok; ++s) {
+        int32_t c = p.children[s];
+        bool is_param =
+            c != kNullNode &&
+            r.nodes[static_cast<size_t>(c)].kind == GrammarNode::Kind::kParam;
+        if (is_param) continue;
+        if (fixed_slot != -1) {
+          shape_ok = false;  // more than one fixed slot: not a digram
+          break;
+        }
+        fixed_slot = static_cast<int>(s);
+        if (c == kNullNode) continue;  // ⊥-digram
+        const GrammarNode& ch = r.nodes[static_cast<size_t>(c)];
+        if (ch.kind != GrammarNode::Kind::kTerminal &&
+            ch.kind != GrammarNode::Kind::kNonterminal) {
+          shape_ok = false;
+          break;
+        }
+        for (int32_t cc : ch.children) {
+          if (cc == kNullNode ||
+              r.nodes[static_cast<size_t>(cc)].kind !=
+                  GrammarNode::Kind::kParam) {
+            shape_ok = false;
+            break;
+          }
+        }
+      }
+      if (!shape_ok || fixed_slot == -1) continue;
+      int32_t c = p.children[static_cast<size_t>(fixed_slot)];
+      uint64_t pkind = p.kind == GrammarNode::Kind::kTerminal ? 0 : 1;
+      uint64_t key;
+      if (c == kNullNode) {
+        key = MakeKey(pkind, static_cast<uint64_t>(p.sym),
+                      static_cast<uint64_t>(fixed_slot), kChildNull, 0);
+      } else {
+        const GrammarNode& ch = r.nodes[static_cast<size_t>(c)];
+        uint64_t ckind = ch.kind == GrammarNode::Kind::kTerminal ? 0 : 1;
+        key = MakeKey(pkind, static_cast<uint64_t>(p.sym),
+                      static_cast<uint64_t>(fixed_slot), ckind,
+                      static_cast<uint64_t>(ch.sym));
+      }
+      dictionary_.emplace(key, i);
+    }
+  }
+
+  /// One count-and-replace pass; returns true if anything was replaced.
+  bool RunPass(int32_t only_rule) {
+    // --- Count digrams.
+    std::unordered_map<uint64_t, int64_t> counts;
+    auto count_rule = [&](int32_t i) {
+      const GrammarRule& r = g_->rule(i);
+      for (int32_t id : LiveNodeIdsPostOrder(i)) {
+        const GrammarNode& u = r.nodes[static_cast<size_t>(id)];
+        if (u.kind != GrammarNode::Kind::kTerminal &&
+            u.kind != GrammarNode::Kind::kNonterminal) {
+          continue;
+        }
+        uint64_t pkind = u.kind == GrammarNode::Kind::kTerminal ? 0 : 1;
+        for (size_t s = 0; s < u.children.size(); ++s) {
+          int32_t c = u.children[s];
+          if (c == kNullNode) {
+            ++counts[MakeKey(pkind, static_cast<uint64_t>(u.sym), s,
+                             kChildNull, 0)];
+            continue;
+          }
+          const GrammarNode& ch = r.nodes[static_cast<size_t>(c)];
+          if (ch.kind == GrammarNode::Kind::kTerminal ||
+              ch.kind == GrammarNode::Kind::kNonterminal) {
+            uint64_t ckind =
+                ch.kind == GrammarNode::Kind::kTerminal ? 0 : 1;
+            ++counts[MakeKey(pkind, static_cast<uint64_t>(u.sym), s, ckind,
+                             static_cast<uint64_t>(ch.sym))];
+          }
+        }
+      }
+    };
+    int32_t rules_before = g_->rule_count();
+    if (only_rule >= 0) {
+      count_rule(only_rule);
+    } else {
+      for (int32_t i = 0; i < rules_before; ++i) count_rule(i);
+    }
+
+    // --- Select candidates: count threshold, rank/size constraints,
+    // bounded by the search window.
+    std::vector<std::pair<int64_t, uint64_t>> candidates;
+    for (const auto& [key, count] : counts) {
+      DigramParts d = SplitKey(key);
+      int64_t threshold = opts_.min_digram_count;
+      if (d.ckind == kChildNull) threshold = std::max<int64_t>(threshold, 3);
+      if (count < threshold) continue;
+      if (dictionary_.count(key)) {
+        candidates.push_back({count, key});  // replay is always worthwhile
+        continue;
+      }
+      if (DigramRank(d) > opts_.max_rank) continue;
+      if (DigramPatternSize(d) > opts_.max_pattern_size) continue;
+      candidates.push_back({count, key});
+    }
+    if (candidates.empty()) return false;
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    if (static_cast<int64_t>(candidates.size()) > opts_.window_size) {
+      candidates.resize(static_cast<size_t>(opts_.window_size));
+    }
+    std::unordered_set<uint64_t> selected;
+    for (const auto& [count, key] : candidates) selected.insert(key);
+
+    // --- Replace bottom-up.
+    bool changed = false;
+    auto replace_rule = [&](int32_t i) {
+      for (int32_t id : LiveNodeIdsPostOrder(i)) {
+        // NOTE: re-fetch the rule/node on every access — CreateDigramRule
+        // below appends to the rule vector and invalidates references.
+        {
+          const GrammarNode& u =
+              g_->rule(i).nodes[static_cast<size_t>(id)];
+          if (u.kind != GrammarNode::Kind::kTerminal &&
+              u.kind != GrammarNode::Kind::kNonterminal) {
+            continue;
+          }
+        }
+        size_t num_children =
+            g_->rule(i).nodes[static_cast<size_t>(id)].children.size();
+        for (size_t s = 0; s < num_children; ++s) {
+          const GrammarRule& r = g_->rule(i);
+          const GrammarNode& u = r.nodes[static_cast<size_t>(id)];
+          uint64_t pkind = u.kind == GrammarNode::Kind::kTerminal ? 0 : 1;
+          int32_t c = u.children[s];
+          uint64_t key;
+          if (c == kNullNode) {
+            key = MakeKey(pkind, static_cast<uint64_t>(u.sym), s, kChildNull,
+                          0);
+          } else {
+            const GrammarNode& ch = r.nodes[static_cast<size_t>(c)];
+            if (ch.kind != GrammarNode::Kind::kTerminal &&
+                ch.kind != GrammarNode::Kind::kNonterminal) {
+              continue;
+            }
+            uint64_t ckind =
+                ch.kind == GrammarNode::Kind::kTerminal ? 0 : 1;
+            key = MakeKey(pkind, static_cast<uint64_t>(u.sym), s, ckind,
+                          static_cast<uint64_t>(ch.sym));
+          }
+          // Replay the dictionary first; only then new candidates (§6).
+          auto dict_it = dictionary_.find(key);
+          int32_t digram_rule;
+          if (dict_it != dictionary_.end()) {
+            if (dict_it->second == i) continue;  // a rule is its own RHS
+            digram_rule = dict_it->second;
+          } else if (selected.count(key)) {
+            digram_rule = CreateDigramRule(key);  // may reallocate rules
+          } else {
+            continue;
+          }
+          // Rewrite u into a call of digram_rule (references re-fetched).
+          GrammarRule& r2 = g_->mutable_rule(i);
+          GrammarNode& u2 = r2.nodes[static_cast<size_t>(id)];
+          std::vector<int32_t> args;
+          args.reserve(u2.children.size() + 1);
+          for (size_t t = 0; t < u2.children.size(); ++t) {
+            if (t == s) {
+              if (c != kNullNode) {
+                const GrammarNode& ch = r2.nodes[static_cast<size_t>(c)];
+                for (int32_t cc : ch.children) args.push_back(cc);
+              }
+            } else {
+              args.push_back(u2.children[t]);
+            }
+          }
+          u2.kind = GrammarNode::Kind::kNonterminal;
+          u2.sym = digram_rule;
+          u2.children = std::move(args);
+          changed = true;
+          break;  // u rewritten; remaining slots belong to the new call
+        }
+      }
+    };
+    if (only_rule >= 0) {
+      replace_rule(only_rule);
+    } else {
+      for (int32_t i = 0; i < rules_before; ++i) replace_rule(i);
+    }
+    return changed;
+  }
+
+  int32_t DigramRank(const DigramParts& d) const {
+    int32_t parent_arity =
+        d.pkind == 0 ? 2 : g_->rule(static_cast<int32_t>(d.psym)).rank;
+    int32_t child_arity = 0;
+    if (d.ckind == 0) child_arity = 2;
+    if (d.ckind == 1) child_arity = g_->rule(static_cast<int32_t>(d.csym)).rank;
+    return parent_arity - 1 + child_arity;
+  }
+
+  int64_t DigramPatternSize(const DigramParts& d) const {
+    int64_t p = d.pkind == 0
+                    ? 1
+                    : pattern_sizes_[static_cast<size_t>(d.psym)];
+    int64_t c = 0;
+    if (d.ckind == 0) c = 1;
+    if (d.ckind == 1) c = pattern_sizes_[static_cast<size_t>(d.csym)];
+    return p + c;
+  }
+
+  /// Materializes the rule A(y_1,…,y_k) → parent(..., child(...), ...) for
+  /// a selected digram; registers it in the dictionary.
+  int32_t CreateDigramRule(uint64_t key) {
+    DigramParts d = SplitKey(key);
+    GrammarRule rule;
+    rule.rank = DigramRank(d);
+    RhsBuilder b(&rule);
+    int32_t parent_arity =
+        d.pkind == 0 ? 2 : g_->rule(static_cast<int32_t>(d.psym)).rank;
+    int32_t child_arity = 0;
+    if (d.ckind == 0) child_arity = 2;
+    if (d.ckind == 1) child_arity = g_->rule(static_cast<int32_t>(d.csym)).rank;
+
+    int32_t next_param = 0;
+    std::vector<int32_t> pkids;
+    for (int32_t s = 0; s < parent_arity; ++s) {
+      if (static_cast<uint64_t>(s) == d.slot) {
+        if (d.ckind == kChildNull) {
+          pkids.push_back(kNullNode);
+        } else {
+          std::vector<int32_t> ckids;
+          for (int32_t t = 0; t < child_arity; ++t) {
+            ckids.push_back(b.Param(next_param++));
+          }
+          int32_t cnode =
+              d.ckind == 0
+                  ? b.Terminal(static_cast<LabelId>(d.csym), ckids[0],
+                               ckids[1])
+                  : b.Nonterminal(static_cast<int32_t>(d.csym),
+                                  std::move(ckids));
+          pkids.push_back(cnode);
+        }
+      } else {
+        pkids.push_back(b.Param(next_param++));
+      }
+    }
+    int32_t root =
+        d.pkind == 0
+            ? b.Terminal(static_cast<LabelId>(d.psym), pkids[0], pkids[1])
+            : b.Nonterminal(static_cast<int32_t>(d.psym), std::move(pkids));
+    b.SetRoot(root);
+    int32_t index = g_->AddRule(std::move(rule));
+    pattern_sizes_.push_back(DigramPatternSize(d));
+    dictionary_.emplace(key, index);
+    return index;
+  }
+
+  SltGrammar* g_;
+  BplexOptions opts_;
+  std::unordered_map<uint64_t, int32_t> dictionary_;  // digram key -> rule
+  std::vector<int64_t> pattern_sizes_;
+};
+
+}  // namespace
+
+void SharePatterns(SltGrammar* g, const BplexOptions& options,
+                   int32_t only_rule) {
+  PatternSharer sharer(g, options);
+  sharer.Run(only_rule);
+}
+
+SltGrammar NormalizedCopy(const SltGrammar& g, int32_t start) {
+  SltGrammar out;
+  if (g.rule_count() == 0) return out;
+  if (start < 0) start = g.start_rule();
+  XMLSEL_CHECK(start < g.rule_count() && g.rule(start).rank == 0);
+  // Copy star statistics verbatim (indices stay stable).
+  for (const StarStats& s : g.star_stats()) {
+    out.InternStarStats(s);
+  }
+  // Post-order DFS over rule references from the start rule: dependencies
+  // receive smaller indices; unreachable rules are dropped.
+  std::vector<int32_t> new_index(static_cast<size_t>(g.rule_count()), -1);
+  std::vector<std::pair<int32_t, bool>> stack = {{start, false}};
+  std::vector<int32_t> order;
+  std::vector<bool> visited(static_cast<size_t>(g.rule_count()), false);
+  while (!stack.empty()) {
+    auto [rule, expanded] = stack.back();
+    stack.pop_back();
+    if (expanded) {
+      order.push_back(rule);
+      continue;
+    }
+    if (visited[static_cast<size_t>(rule)]) continue;
+    visited[static_cast<size_t>(rule)] = true;
+    stack.push_back({rule, true});
+    const GrammarRule& r = g.rule(rule);
+    for (const GrammarNode& n : r.nodes) {
+      if (n.kind == GrammarNode::Kind::kNonterminal &&
+          !visited[static_cast<size_t>(n.sym)]) {
+        stack.push_back({n.sym, false});
+      }
+    }
+  }
+  XMLSEL_CHECK(order.back() == start);
+  // Rebuild each rule with a compact pre-order node arena.
+  for (int32_t old_rule : order) {
+    const GrammarRule& r = g.rule(old_rule);
+    GrammarRule nr;
+    nr.rank = r.rank;
+    if (r.root != kNullNode) {
+      // Copy live nodes in post-order so children exist before parents.
+      std::vector<int32_t> remap(r.nodes.size(), kNullNode);
+      struct Frame {
+        int32_t node;
+        size_t next_child;
+      };
+      std::vector<Frame> st = {{r.root, 0}};
+      while (!st.empty()) {
+        Frame& f = st.back();
+        const GrammarNode& n = r.nodes[static_cast<size_t>(f.node)];
+        bool descended = false;
+        while (f.next_child < n.children.size()) {
+          int32_t c = n.children[f.next_child++];
+          if (c != kNullNode) {
+            st.push_back({c, 0});
+            descended = true;
+            break;
+          }
+        }
+        if (descended) continue;
+        GrammarNode copy = n;
+        if (copy.kind == GrammarNode::Kind::kNonterminal) {
+          copy.sym = new_index[static_cast<size_t>(copy.sym)];
+          XMLSEL_CHECK(copy.sym >= 0);
+        }
+        for (int32_t& c : copy.children) {
+          if (c != kNullNode) c = remap[static_cast<size_t>(c)];
+        }
+        remap[static_cast<size_t>(f.node)] =
+            static_cast<int32_t>(nr.nodes.size());
+        nr.nodes.push_back(std::move(copy));
+        st.pop_back();
+      }
+      nr.root = remap[static_cast<size_t>(r.root)];
+    }
+    new_index[static_cast<size_t>(old_rule)] = out.AddRule(std::move(nr));
+  }
+  out.Validate();
+  return out;
+}
+
+SltGrammar BplexCompress(const Document& doc, const BplexOptions& options) {
+  SltGrammar g = BuildDagGrammar(doc);
+  if (g.rule_count() == 0) return g;
+  int32_t start = g.start_rule();  // SharePatterns appends behind it
+  SharePatterns(&g, options, -1);
+  return NormalizedCopy(g, start);
+}
+
+}  // namespace xmlsel

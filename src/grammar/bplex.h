@@ -1,0 +1,66 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// BPLEX-style linear-time sharing of repeated tree patterns (§4.1).
+//
+// Phase 1 shares repeated subtrees (the minimal DAG, see dag.h). Phase 2
+// shares repeated *connected patterns* bottom-up: we implement the pattern
+// search as iterated digram replacement — a digram is (parent symbol,
+// child slot, child symbol) — which is the strategy of TreeRePair, the
+// successor of BPLEX by the same group; it produces SLT grammars of the
+// identical class with the same three control knobs:
+//
+//   * max_rank          — maximal rank given to fresh nonterminals;
+//   * max_pattern_size  — maximal size (in terminal symbols of its full
+//                         expansion) of the pattern behind a nonterminal;
+//   * window_size       — bound on the candidate patterns tracked per
+//                         pass (BPLEX's bounded search window).
+//
+// The sharer first replays patterns that already exist as rules of the
+// grammar and only then introduces new rules, exactly as §6 prescribes for
+// the incremental-update path.
+
+#ifndef XMLSEL_GRAMMAR_BPLEX_H_
+#define XMLSEL_GRAMMAR_BPLEX_H_
+
+#include "grammar/slt.h"
+#include "xml/document.h"
+
+namespace xmlsel {
+
+/// Knobs of the compressor; defaults follow the paper's §8 settings
+/// (maximal rank 10, maximal RHS size 20, window 40000).
+struct BplexOptions {
+  int32_t max_rank = 10;
+  int32_t max_pattern_size = 20;
+  int32_t window_size = 40000;
+  /// Upper bound on digram-replacement passes; compression converges much
+  /// earlier on real documents.
+  int32_t max_passes = 64;
+  /// Minimal occurrence count for introducing a pattern rule.
+  int32_t min_digram_count = 2;
+};
+
+/// One-pass construction of an SLT grammar for bin(D): DAG sharing
+/// followed by pattern sharing. The result is validated and normalized
+/// (rule references strictly decreasing, start rule last).
+SltGrammar BplexCompress(const Document& doc, const BplexOptions& options = {});
+
+/// In-place pattern sharing over an existing grammar. When `only_rule` is
+/// >= 0, both the pattern search and the replacement are restricted to
+/// that rule (the §6 update path re-compresses just the rewritten start
+/// rule); existing rules are replayed as a dictionary first. The caller
+/// must run NormalizedCopy afterwards to restore rule ordering.
+void SharePatterns(SltGrammar* g, const BplexOptions& options,
+                   int32_t only_rule = -1);
+
+/// Returns a cleaned copy of `g`: rules reachable from the start rule
+/// only, topologically renumbered (every reference points to an earlier
+/// rule), RHS node arenas compacted to pre-order with no dead nodes.
+/// `start` selects the start rule (-1 = the last rule); pass it explicitly
+/// after SharePatterns, which appends fresh rules *behind* the start.
+SltGrammar NormalizedCopy(const SltGrammar& g, int32_t start = -1);
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_GRAMMAR_BPLEX_H_

@@ -1,0 +1,137 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "grammar/dag.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "xml/binary_tree.h"
+
+namespace xmlsel {
+
+namespace {
+
+/// Hash-cons key: (label, left cons id, right cons id).
+struct ConsKey {
+  int64_t label, left, right;
+  bool operator==(const ConsKey& o) const {
+    return label == o.label && left == o.left && right == o.right;
+  }
+};
+
+struct ConsKeyHash {
+  size_t operator()(const ConsKey& k) const {
+    uint64_t h = 1469598103934665603ull;
+    for (int64_t v : {k.label, k.left, k.right}) {
+      h ^= static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ull;
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+struct ConsNode {
+  LabelId label;
+  int64_t left;   // cons id or -1 (⊥)
+  int64_t right;  // cons id or -1
+  int64_t count = 0;
+};
+
+}  // namespace
+
+SltGrammar BuildDagGrammar(const Document& doc, int32_t min_occurrences) {
+  XMLSEL_CHECK(min_occurrences >= 2);
+  SltGrammar g;
+  std::vector<ConsNode> cons;
+  std::unordered_map<ConsKey, int64_t, ConsKeyHash> table;
+  std::vector<int64_t> cons_of(static_cast<size_t>(doc.arena_size()), -1);
+
+  // Hash-cons bottom-up: binary post-order guarantees children first.
+  int64_t root_cons = -1;
+  for (NodeId v : BinaryPostOrder(doc)) {
+    NodeId l = BinaryLeft(doc, v);
+    NodeId r = BinaryRight(doc, v);
+    ConsKey key{doc.label(v),
+                l == kNullNode ? -1 : cons_of[static_cast<size_t>(l)],
+                r == kNullNode ? -1 : cons_of[static_cast<size_t>(r)]};
+    auto it = table.find(key);
+    int64_t id;
+    if (it != table.end()) {
+      id = it->second;
+    } else {
+      id = static_cast<int64_t>(cons.size());
+      cons.push_back({static_cast<LabelId>(key.label), key.left, key.right, 0});
+      table.emplace(key, id);
+    }
+    ++cons[static_cast<size_t>(id)].count;
+    cons_of[static_cast<size_t>(v)] = id;
+    root_cons = id;  // post-order ends at the binary root
+  }
+  if (root_cons == -1) return g;  // empty document: no rules
+
+  std::vector<int32_t> rule_of(cons.size(), -1);
+
+  // Builds the RHS for the pattern rooted at cons node `top` into `rule`:
+  // shared descendants become rank-0 rule references, everything else is
+  // inlined (per occurrence — no aliasing). Iterative post-order so deep
+  // right spines (flat XML) cannot overflow the C stack.
+  auto build_rhs = [&](GrammarRule* rule, int64_t top) -> int32_t {
+    RhsBuilder builder(rule);
+    struct Frame {
+      int64_t cons_id;
+      int stage;
+      int32_t kids[2];
+    };
+    std::vector<Frame> stack = {{top, 0, {kNullNode, kNullNode}}};
+    int32_t result = kNullNode;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const ConsNode& n = cons[static_cast<size_t>(f.cons_id)];
+      if (f.stage < 2) {
+        int64_t ch = (f.stage == 0) ? n.left : n.right;
+        int slot = f.stage++;
+        if (ch == -1) {
+          f.kids[slot] = kNullNode;
+          continue;
+        }
+        int32_t shared = rule_of[static_cast<size_t>(ch)];
+        if (shared != -1) {
+          f.kids[slot] = builder.Nonterminal(shared, {});
+          continue;
+        }
+        stack.push_back({ch, 0, {kNullNode, kNullNode}});
+      } else {
+        int32_t id = builder.Terminal(n.label, f.kids[0], f.kids[1]);
+        stack.pop_back();
+        if (stack.empty()) {
+          result = id;
+        } else {
+          Frame& p = stack.back();
+          p.kids[p.stage - 1] = id;
+        }
+      }
+    }
+    return result;
+  };
+
+  // Create rules for shared cons nodes in cons-id order (bottom-up), so
+  // references always point to earlier rules.
+  for (size_t c = 0; c < cons.size(); ++c) {
+    if (static_cast<int64_t>(c) == root_cons) continue;
+    if (cons[c].count < min_occurrences) continue;
+    GrammarRule rule;
+    rule.rank = 0;
+    rule.root = build_rhs(&rule, static_cast<int64_t>(c));
+    rule_of[c] = g.AddRule(std::move(rule));
+  }
+  // Start rule derives the whole of bin(D).
+  GrammarRule start;
+  start.rank = 0;
+  start.root = build_rhs(&start, root_cons);
+  g.AddRule(std::move(start));
+  g.Validate();
+  return g;
+}
+
+}  // namespace xmlsel

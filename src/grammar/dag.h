@@ -1,0 +1,23 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Minimal-DAG sharing of repeated subtrees (§4.1, first phase of BPLEX):
+// subtrees of bin(D) occurring more than once become rank-0 rules of an
+// SLT grammar, computed in one pass by hash consing.
+
+#ifndef XMLSEL_GRAMMAR_DAG_H_
+#define XMLSEL_GRAMMAR_DAG_H_
+
+#include "grammar/slt.h"
+#include "xml/document.h"
+
+namespace xmlsel {
+
+/// Builds the DAG grammar of `doc`: every binary subtree that occurs at
+/// least `min_occurrences` times becomes a rank-0 rule; everything else is
+/// inlined. The start rule derives bin(D) exactly.
+SltGrammar BuildDagGrammar(const Document& doc, int32_t min_occurrences = 2);
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_GRAMMAR_DAG_H_

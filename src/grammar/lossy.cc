@@ -1,0 +1,138 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "grammar/lossy.h"
+
+#include <algorithm>
+
+#include "grammar/analysis.h"
+#include "grammar/bplex.h"
+
+namespace xmlsel {
+
+namespace {
+
+/// Recomputes multiplicities over the current (partially deleted) grammar.
+/// Deleted rules are exactly the ones no longer referenced from the start
+/// rule, so reachability-based multiplicity handles them for free.
+std::vector<int64_t> CurrentMultiplicities(const SltGrammar& g) {
+  std::vector<int64_t> mult(static_cast<size_t>(g.rule_count()), 0);
+  if (g.rule_count() == 0) return mult;
+  mult[static_cast<size_t>(g.start_rule())] = 1;
+  for (int32_t i = g.rule_count() - 1; i >= 0; --i) {
+    int64_t m = mult[static_cast<size_t>(i)];
+    if (m == 0) continue;
+    const GrammarRule& r = g.rule(i);
+    std::vector<int32_t> stack;
+    if (r.root != kNullNode) stack.push_back(r.root);
+    while (!stack.empty()) {
+      int32_t id = stack.back();
+      stack.pop_back();
+      const GrammarNode& nd = r.nodes[static_cast<size_t>(id)];
+      if (nd.kind == GrammarNode::Kind::kNonterminal) {
+        mult[static_cast<size_t>(nd.sym)] += m;
+      }
+      for (int32_t c : nd.children) {
+        if (c != kNullNode) stack.push_back(c);
+      }
+    }
+  }
+  return mult;
+}
+
+/// Replaces every occurrence of rule `victim` in `g` by a star node with
+/// statistics index `stats_index`; `append_bottom` adds the trailing ⊥
+/// (the "right-most leaf is not y_k" case of §4.2).
+void ReplaceWithStars(SltGrammar* g, int32_t victim, int32_t stats_index,
+                      bool append_bottom) {
+  for (int32_t i = 0; i < g->rule_count(); ++i) {
+    if (i == victim) continue;
+    GrammarRule& r = g->mutable_rule(i);
+    for (GrammarNode& nd : r.nodes) {
+      if (nd.kind == GrammarNode::Kind::kNonterminal && nd.sym == victim) {
+        nd.kind = GrammarNode::Kind::kStar;
+        nd.sym = stats_index;
+        if (append_bottom) nd.children.push_back(kNullNode);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+LossyGrammar MakeLossy(const SltGrammar& lossless, int32_t kappa) {
+  XMLSEL_CHECK(!lossless.IsLossy());
+  LossyGrammar out;
+  out.grammar = NormalizedCopy(lossless);
+  SltGrammar& g = out.grammar;
+  if (g.rule_count() == 0) return out;
+
+  // Height/size of each pattern come from the *lossless* analysis; rule
+  // indices are stable during deletion (rules become unreachable in place
+  // and are dropped by the final NormalizedCopy), so the arrays stay
+  // aligned.
+  GrammarAnalysis base = AnalyzeGrammar(g);
+
+  for (int32_t round = 0; round < kappa; ++round) {
+    std::vector<int64_t> mult = CurrentMultiplicities(g);
+    int32_t victim = -1;
+    int64_t best = 0;
+    for (int32_t i = 0; i < g.start_rule(); ++i) {
+      if (mult[static_cast<size_t>(i)] <= 0) continue;  // already deleted
+      if (victim == -1 || mult[static_cast<size_t>(i)] < best) {
+        victim = i;
+        best = mult[static_cast<size_t>(i)];
+      }
+    }
+    if (victim == -1) break;  // only the start production remains
+    StarStats stats{base.gen_height[static_cast<size_t>(victim)],
+                    base.gen_size[static_cast<size_t>(victim)]};
+    int32_t stats_index = g.InternStarStats(stats);
+    bool rightmost =
+        base.rightmost_is_last_param[static_cast<size_t>(victim)];
+    ReplaceWithStars(&g, victim, stats_index, /*append_bottom=*/!rightmost);
+    ++out.deleted;
+  }
+  out.grammar = NormalizedCopy(out.grammar);
+  return out;
+}
+
+LabelMaps ComputeLabelMaps(const Document& doc) {
+  LabelMaps maps;
+  maps.label_count = doc.names().size();
+  maps.child.assign(static_cast<size_t>(maps.label_count),
+                    std::vector<bool>(static_cast<size_t>(maps.label_count),
+                                      false));
+  maps.parent = maps.child;
+  for (NodeId v : doc.SubtreeNodes(doc.virtual_root())) {
+    LabelId pl = doc.label(v);
+    for (NodeId c = doc.first_child(v); c != kNullNode;
+         c = doc.next_sibling(c)) {
+      LabelId cl = doc.label(c);
+      maps.child[static_cast<size_t>(pl)][static_cast<size_t>(cl)] = true;
+      maps.parent[static_cast<size_t>(cl)][static_cast<size_t>(pl)] = true;
+    }
+  }
+  return maps;
+}
+
+void MergeLabelMaps(LabelMaps* base, const LabelMaps& other) {
+  int32_t n = std::max(base->label_count, other.label_count);
+  base->child.resize(static_cast<size_t>(n));
+  base->parent.resize(static_cast<size_t>(n));
+  for (auto& row : base->child) row.resize(static_cast<size_t>(n), false);
+  for (auto& row : base->parent) row.resize(static_cast<size_t>(n), false);
+  for (int32_t a = 0; a < other.label_count; ++a) {
+    for (int32_t b = 0; b < other.label_count; ++b) {
+      if (other.child[static_cast<size_t>(a)][static_cast<size_t>(b)]) {
+        base->child[static_cast<size_t>(a)][static_cast<size_t>(b)] = true;
+      }
+      if (other.parent[static_cast<size_t>(a)][static_cast<size_t>(b)]) {
+        base->parent[static_cast<size_t>(a)][static_cast<size_t>(b)] = true;
+      }
+    }
+  }
+  base->label_count = n;
+}
+
+}  // namespace xmlsel

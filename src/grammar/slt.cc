@@ -1,0 +1,310 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "grammar/slt.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+namespace xmlsel {
+
+int32_t SltGrammar::InternStarStats(StarStats s) {
+  for (size_t i = 0; i < star_stats_.size(); ++i) {
+    if (star_stats_[i] == s) return static_cast<int32_t>(i);
+  }
+  star_stats_.push_back(s);
+  return static_cast<int32_t>(star_stats_.size()) - 1;
+}
+
+bool SltGrammar::IsLossy() const {
+  for (const GrammarRule& r : rules_) {
+    for (const GrammarNode& n : r.nodes) {
+      if (n.kind == GrammarNode::Kind::kStar) return true;
+    }
+  }
+  return false;
+}
+
+int64_t SltGrammar::EdgeCount() const {
+  int64_t edges = 0;
+  for (const GrammarRule& r : rules_) {
+    for (const GrammarNode& n : r.nodes) {
+      for (int32_t c : n.children) {
+        if (c != kNullNode) ++edges;
+      }
+    }
+  }
+  return edges;
+}
+
+int64_t SltGrammar::NodeCount() const {
+  int64_t nodes = 0;
+  for (const GrammarRule& r : rules_) {
+    nodes += static_cast<int64_t>(r.nodes.size());
+  }
+  return nodes;
+}
+
+void SltGrammar::Validate() const {
+  for (int32_t i = 0; i < rule_count(); ++i) {
+    const GrammarRule& r = rules_[i];
+    XMLSEL_CHECK(r.rank >= 0);
+    XMLSEL_CHECK(r.root != kNullNode);
+    XMLSEL_CHECK(r.root >= 0 &&
+                 r.root < static_cast<int32_t>(r.nodes.size()));
+    // Reachability + parameter order check via pre-order walk from root.
+    std::vector<bool> reached(r.nodes.size(), false);
+    std::vector<int32_t> params_seen;
+    std::vector<int32_t> stack = {r.root};
+    // Pre-order with explicit stack: push children reversed.
+    while (!stack.empty()) {
+      int32_t id = stack.back();
+      stack.pop_back();
+      XMLSEL_CHECK(id >= 0 && id < static_cast<int32_t>(r.nodes.size()));
+      XMLSEL_CHECK(!reached[static_cast<size_t>(id)]);  // tree, not DAG
+      reached[static_cast<size_t>(id)] = true;
+      const GrammarNode& n = r.nodes[static_cast<size_t>(id)];
+      switch (n.kind) {
+        case GrammarNode::Kind::kTerminal:
+          XMLSEL_CHECK(n.sym > 0);  // a real element label
+          XMLSEL_CHECK(n.children.size() == 2);
+          break;
+        case GrammarNode::Kind::kNonterminal:
+          XMLSEL_CHECK(n.sym >= 0 && n.sym < i);  // strict order: j < i
+          XMLSEL_CHECK(static_cast<int32_t>(n.children.size()) ==
+                       rules_[n.sym].rank);
+          break;
+        case GrammarNode::Kind::kParam:
+          XMLSEL_CHECK(n.sym >= 0 && n.sym < r.rank);
+          XMLSEL_CHECK(n.children.empty());
+          params_seen.push_back(n.sym);
+          break;
+        case GrammarNode::Kind::kStar:
+          XMLSEL_CHECK(n.sym >= 0 &&
+                       n.sym < static_cast<int32_t>(star_stats_.size()));
+          break;
+      }
+      for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+        if (*it != kNullNode) stack.push_back(*it);
+      }
+    }
+    // Each parameter exactly once, in pre-order (0, 1, 2, …).
+    XMLSEL_CHECK(static_cast<int32_t>(params_seen.size()) == r.rank);
+    for (int32_t p = 0; p < r.rank; ++p) {
+      XMLSEL_CHECK(params_seen[static_cast<size_t>(p)] == p);
+    }
+  }
+  XMLSEL_CHECK(rule_count() == 0 || rules_.back().rank == 0);
+}
+
+namespace {
+
+/// A node of the expanded binary tree.
+struct BinNode {
+  LabelId label;
+  int64_t left = -1;
+  int64_t right = -1;
+};
+
+}  // namespace
+
+Document SltGrammar::Expand(const NameTable& names) const {
+  XMLSEL_CHECK(!IsLossy());
+  XMLSEL_CHECK(rule_count() > 0);
+  // Expand into an explicit binary tree with an iterative machine. Every
+  // produced subtree root is written into a numbered slot; terminal and
+  // nonterminal frames allocate a block of slots for their children /
+  // arguments and wire the results once the children are done. Cost is
+  // O(|D|), the size of the output.
+  std::vector<BinNode> bin;
+  std::vector<int64_t> slots;  // resolved binary roots (-1 = ⊥)
+  struct Env {
+    std::vector<int64_t> args;  // parameter -> expanded binary root (or -1)
+  };
+  struct Frame {
+    int32_t rule;
+    int32_t node;
+    std::shared_ptr<Env> env;
+    int64_t out_slot;  // where to write the produced binary root
+    int stage = 0;     // how many children/arguments have been scheduled
+    int64_t self = -1;      // bin index (terminal)
+    int64_t arg_base = -1;  // first child/argument slot
+  };
+  auto new_slot = [&slots]() {
+    slots.push_back(-1);
+    return static_cast<int64_t>(slots.size()) - 1;
+  };
+  int64_t root_slot = new_slot();
+  std::vector<Frame> stack;
+  stack.push_back({start_rule(), rules_[start_rule()].root,
+                   std::make_shared<Env>(), root_slot, 0, -1, -1});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.node == kNullNode) {
+      slots[static_cast<size_t>(f.out_slot)] = -1;
+      stack.pop_back();
+      continue;
+    }
+    const GrammarNode& n =
+        rules_[f.rule].nodes[static_cast<size_t>(f.node)];
+    switch (n.kind) {
+      case GrammarNode::Kind::kParam: {
+        slots[static_cast<size_t>(f.out_slot)] =
+            f.env->args[static_cast<size_t>(n.sym)];
+        stack.pop_back();
+        break;
+      }
+      case GrammarNode::Kind::kTerminal: {
+        if (f.stage == 0) {
+          f.self = static_cast<int64_t>(bin.size());
+          bin.push_back({static_cast<LabelId>(n.sym), -1, -1});
+          slots[static_cast<size_t>(f.out_slot)] = f.self;
+          f.arg_base = static_cast<int64_t>(slots.size());
+          slots.resize(slots.size() + 2, -1);
+          f.stage = 1;
+          stack.push_back(
+              {f.rule, n.children[0], f.env, f.arg_base, 0, -1, -1});
+        } else if (f.stage == 1) {
+          f.stage = 2;
+          stack.push_back(
+              {f.rule, n.children[1], f.env, f.arg_base + 1, 0, -1, -1});
+        } else {
+          bin[static_cast<size_t>(f.self)].left =
+              slots[static_cast<size_t>(f.arg_base)];
+          bin[static_cast<size_t>(f.self)].right =
+              slots[static_cast<size_t>(f.arg_base) + 1];
+          stack.pop_back();
+        }
+        break;
+      }
+      case GrammarNode::Kind::kNonterminal: {
+        int32_t callee = n.sym;
+        if (f.arg_base == -1) {
+          f.arg_base = static_cast<int64_t>(slots.size());
+          slots.resize(slots.size() + n.children.size(), -1);
+        }
+        if (f.stage < static_cast<int>(n.children.size())) {
+          int stage = f.stage++;
+          stack.push_back({f.rule,
+                           n.children[static_cast<size_t>(stage)], f.env,
+                           f.arg_base + stage, 0, -1, -1});
+        } else {
+          // All arguments ready: replace this frame with the callee body.
+          auto env = std::make_shared<Env>();
+          env->args.assign(
+              slots.begin() + f.arg_base,
+              slots.begin() + f.arg_base +
+                  static_cast<int64_t>(n.children.size()));
+          Frame body = {callee, rules_[callee].root, std::move(env),
+                        f.out_slot, 0, -1, -1};
+          stack.pop_back();
+          stack.push_back(std::move(body));
+        }
+        break;
+      }
+      case GrammarNode::Kind::kStar:
+        XMLSEL_CHECK(false && "Expand() on a lossy grammar");
+    }
+  }
+  int64_t root_bin = slots[static_cast<size_t>(root_slot)];
+
+  // Convert the binary tree into an unranked Document.
+  Document doc;
+  for (LabelId i = 1; i < names.size(); ++i) {
+    doc.names().Intern(names.Name(i));
+  }
+  if (root_bin == -1) return doc;
+  // left = first child, right = next sibling; attach iteratively.
+  struct Attach {
+    int64_t bin_node;
+    NodeId parent;
+  };
+  std::vector<Attach> astack = {{root_bin, doc.virtual_root()}};
+  while (!astack.empty()) {
+    Attach a = astack.back();
+    astack.pop_back();
+    // Walk the right spine so siblings attach in document order.
+    std::vector<int64_t> spine;
+    for (int64_t cur = a.bin_node; cur != -1;
+         cur = bin[static_cast<size_t>(cur)].right) {
+      spine.push_back(cur);
+    }
+    for (int64_t cur : spine) {
+      NodeId id = doc.AppendChild(a.parent, bin[static_cast<size_t>(cur)].label);
+      if (bin[static_cast<size_t>(cur)].left != -1) {
+        astack.push_back({bin[static_cast<size_t>(cur)].left, id});
+      }
+    }
+  }
+  return doc;
+}
+
+std::string SltGrammar::ToString(const NameTable& names) const {
+  std::string out;
+  for (int32_t i = 0; i < rule_count(); ++i) {
+    const GrammarRule& r = rules_[i];
+    out += "A" + std::to_string(i);
+    if (r.rank > 0) {
+      out += "(";
+      for (int32_t p = 0; p < r.rank; ++p) {
+        if (p) out += ",";
+        out += "y" + std::to_string(p + 1);
+      }
+      out += ")";
+    }
+    out += " -> ";
+    // Recursive print with explicit stack of (node, suffix) actions.
+    struct Item {
+      int32_t node;
+      std::string text;  // literal text emitted instead of a node
+      bool is_text;
+    };
+    std::vector<Item> stack = {{r.root, "", false}};
+    while (!stack.empty()) {
+      Item it = stack.back();
+      stack.pop_back();
+      if (it.is_text) {
+        out += it.text;
+        continue;
+      }
+      if (it.node == kNullNode) {
+        out += "_";
+        continue;
+      }
+      const GrammarNode& n = r.nodes[static_cast<size_t>(it.node)];
+      std::vector<int32_t> kids = n.children;
+      switch (n.kind) {
+        case GrammarNode::Kind::kTerminal:
+          out += names.Name(n.sym);
+          break;
+        case GrammarNode::Kind::kNonterminal:
+          out += "A" + std::to_string(n.sym);
+          break;
+        case GrammarNode::Kind::kParam:
+          out += "y" + std::to_string(n.sym + 1);
+          break;
+        case GrammarNode::Kind::kStar: {
+          const StarStats& s = star_stats_[static_cast<size_t>(n.sym)];
+          out += "*[h=" + std::to_string(s.height) +
+                 ",s=" + std::to_string(s.size) + "]";
+          break;
+        }
+      }
+      if (!kids.empty() &&
+          !(n.kind == GrammarNode::Kind::kTerminal && kids[0] == kNullNode &&
+            kids[1] == kNullNode)) {
+        stack.push_back({0, ")", true});
+        for (size_t k = kids.size(); k-- > 0;) {
+          stack.push_back({kids[k], "", false});
+          if (k > 0) stack.push_back({0, ",", true});
+        }
+        stack.push_back({0, "(", true});
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace xmlsel

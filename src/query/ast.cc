@@ -1,0 +1,197 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "query/ast.h"
+
+#include <algorithm>
+
+namespace xmlsel {
+
+bool IsForwardAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf:
+    case Axis::kSelf:
+    case Axis::kFollowingSibling:
+    case Axis::kFollowing:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+      return "child";
+    case Axis::kDescendant:
+      return "descendant";
+    case Axis::kDescendantOrSelf:
+      return "descendant-or-self";
+    case Axis::kSelf:
+      return "self";
+    case Axis::kFollowingSibling:
+      return "following-sibling";
+    case Axis::kFollowing:
+      return "following";
+    case Axis::kParent:
+      return "parent";
+    case Axis::kAncestor:
+      return "ancestor";
+    case Axis::kAncestorOrSelf:
+      return "ancestor-or-self";
+    case Axis::kPrecedingSibling:
+      return "preceding-sibling";
+    case Axis::kPreceding:
+      return "preceding";
+  }
+  return "?";
+}
+
+Query::Query() {
+  QueryNode root;
+  root.test = kRootLabel;
+  root.axis = Axis::kSelf;
+  root.parent = -1;
+  nodes_.push_back(root);
+}
+
+int32_t Query::AddNode(int32_t parent, Axis axis, LabelId test) {
+  XMLSEL_CHECK(parent >= 0 && parent < size());
+  QueryNode n;
+  n.test = test;
+  n.axis = axis;
+  n.parent = parent;
+  int32_t id = size();
+  nodes_.push_back(n);
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+std::vector<int32_t> Query::PostOrder() const {
+  std::vector<int32_t> out;
+  out.reserve(nodes_.size());
+  struct Frame {
+    int32_t node;
+    size_t child_idx;
+  };
+  std::vector<Frame> stack = {{0, 0}};
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const QueryNode& n = nodes_[f.node];
+    if (f.child_idx < n.children.size()) {
+      int32_t c = n.children[f.child_idx++];
+      stack.push_back({c, 0});
+    } else {
+      out.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+  return out;
+}
+
+bool Query::IsAncestorOrSelf(int32_t ancestor, int32_t node) const {
+  while (node != -1) {
+    if (node == ancestor) return true;
+    node = nodes_[node].parent;
+  }
+  return false;
+}
+
+int32_t Query::BranchingFactor() const {
+  int32_t leaves = 0;
+  for (const QueryNode& n : nodes_) {
+    if (n.children.empty()) ++leaves;
+  }
+  return leaves;
+}
+
+int32_t Query::FollowingAxisCount() const {
+  int32_t m = 0;
+  for (int32_t i = 1; i < size(); ++i) {
+    if (nodes_[i].axis == Axis::kFollowing) ++m;
+  }
+  return m;
+}
+
+bool Query::ForwardOnly() const {
+  for (int32_t i = 1; i < size(); ++i) {
+    if (!IsForwardAxis(nodes_[i].axis)) return false;
+  }
+  return true;
+}
+
+void Query::Validate() const {
+  XMLSEL_CHECK(!nodes_.empty());
+  XMLSEL_CHECK(nodes_[0].test == kRootLabel && nodes_[0].parent == -1);
+  XMLSEL_CHECK(match_node_ > 0 && match_node_ < size());
+  for (int32_t i = 0; i < size(); ++i) {
+    const QueryNode& n = nodes_[i];
+    for (int32_t c : n.children) {
+      XMLSEL_CHECK(c > i);  // children are added after parents
+      XMLSEL_CHECK(nodes_[c].parent == i);
+    }
+    if (i > 0) {
+      XMLSEL_CHECK(n.parent >= 0 && n.parent < size());
+      XMLSEL_CHECK(n.test == kWildcardTest || n.test == kAnyTest ||
+                   n.test == kNeverTest || n.test > 0);
+    }
+  }
+}
+
+void Query::ToStringRec(const NameTable& names, int32_t node,
+                        std::string* out) const {
+  const QueryNode& n = nodes_[node];
+  if (node != 0) {
+    switch (n.axis) {
+      case Axis::kChild:
+        *out += "/";
+        break;
+      case Axis::kDescendant:
+        *out += "//";
+        break;
+      default:
+        *out += "/";
+        *out += AxisName(n.axis);
+        *out += "::";
+        break;
+    }
+    if (n.test == kWildcardTest) {
+      *out += "*";
+    } else if (n.test == kAnyTest) {
+      *out += "node()";
+    } else if (n.test == kNeverTest) {
+      *out += "never()";
+    } else {
+      *out += names.Name(n.test);
+    }
+  }
+  // The child lying on the path to the match node (if any) is printed as
+  // the next step; all other children become predicates.
+  int32_t path_child = -1;
+  for (int32_t c : n.children) {
+    if (IsAncestorOrSelf(c, match_node_)) {
+      path_child = c;
+      break;
+    }
+  }
+  for (int32_t c : n.children) {
+    if (c == path_child) continue;
+    *out += "[.";
+    ToStringRec(names, c, out);
+    *out += "]";
+  }
+  if (path_child != -1) {
+    ToStringRec(names, path_child, out);
+  }
+}
+
+std::string Query::ToString(const NameTable& names) const {
+  std::string out;
+  ToStringRec(names, 0, &out);
+  if (out.empty()) out = "/";
+  return out;
+}
+
+}  // namespace xmlsel

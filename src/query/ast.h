@@ -1,0 +1,119 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// The Core XPath query tree of §3: a rooted tree whose vertices carry node
+// tests (Σ ∪ {*}) and whose edges carry XPath axes, with one designated
+// match node m_Q. Node 0 is always the virtual document root (test
+// kRootLabel), so absolute paths need no special-casing: /a is a child edge
+// from the virtual root and //a a descendant edge.
+
+#ifndef XMLSEL_QUERY_AST_H_
+#define XMLSEL_QUERY_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "xml/name_table.h"
+#include "xmlsel/common.h"
+
+namespace xmlsel {
+
+/// XPath axes. The automaton layer supports the forward axes (the first
+/// six); reverse axes are parsed and eliminated by RewriteReverseAxes.
+enum class Axis : uint8_t {
+  kChild = 0,
+  kDescendant,          // strict descendant ('//' abbreviation)
+  kDescendantOrSelf,
+  kSelf,
+  kFollowingSibling,
+  kFollowing,
+  // -- reverse axes below; must be rewritten before automaton compilation --
+  kParent,
+  kAncestor,
+  kAncestorOrSelf,
+  kPrecedingSibling,
+  kPreceding,
+};
+
+/// True for the axes the automaton evaluates directly.
+bool IsForwardAxis(Axis axis);
+
+/// XPath name of the axis (e.g. "descendant-or-self").
+const char* AxisName(Axis axis);
+
+/// Node test matching any element label (but not the virtual root).
+inline constexpr LabelId kWildcardTest = -2;
+
+/// Node test matching any node *including* the virtual root — produced
+/// only by the compile-time expansion of the descendant axis into
+/// descendant-or-self::node()/child (§3), never by the parser.
+inline constexpr LabelId kAnyTest = -4;
+
+/// Node test matching nothing — produced when compile-time self-axis
+/// folding discovers conflicting tests (the query is unsatisfiable there).
+inline constexpr LabelId kNeverTest = -5;
+
+/// One vertex of the query tree.
+struct QueryNode {
+  LabelId test = kWildcardTest;  ///< label, kWildcardTest, or kRootLabel
+  Axis axis = Axis::kSelf;       ///< incoming edge axis (unused for root)
+  int32_t parent = -1;
+  std::vector<int32_t> children;
+};
+
+/// A Core XPath query as a tree with a designated match node.
+///
+/// Invariants (checked by Validate): node 0 is the root with test
+/// kRootLabel; parent/child links are consistent; the match node exists.
+class Query {
+ public:
+  /// Creates a query containing only the virtual root.
+  Query();
+
+  /// Adds a node under `parent` with the given incoming axis and test;
+  /// returns the new node's id.
+  int32_t AddNode(int32_t parent, Axis axis, LabelId test);
+
+  void SetMatchNode(int32_t node) {
+    XMLSEL_CHECK(node > 0 && node < size());
+    match_node_ = node;
+  }
+  int32_t match_node() const { return match_node_; }
+
+  int32_t size() const { return static_cast<int32_t>(nodes_.size()); }
+  const QueryNode& node(int32_t id) const { return nodes_[id]; }
+  QueryNode& mutable_node(int32_t id) { return nodes_[id]; }
+  int32_t root() const { return 0; }
+
+  /// Node ids in post-order (children before parents), root last.
+  std::vector<int32_t> PostOrder() const;
+
+  /// True if `ancestor` is a proper or improper ancestor of `node`.
+  bool IsAncestorOrSelf(int32_t ancestor, int32_t node) const;
+
+  /// Number of leaf-branches (the paper's branching factor b).
+  int32_t BranchingFactor() const;
+
+  /// Number of following-axis edges (the paper's m).
+  int32_t FollowingAxisCount() const;
+
+  /// True if every edge uses a forward axis.
+  bool ForwardOnly() const;
+
+  /// Checks structural invariants; aborts on violation (programmer error).
+  void Validate() const;
+
+  /// Renders an XPath-like string, e.g. "//a[.//b]/c"; predicates are the
+  /// non-match-path children. Needs the name table to print labels.
+  std::string ToString(const NameTable& names) const;
+
+ private:
+  void ToStringRec(const NameTable& names, int32_t node, std::string* out) const;
+
+  std::vector<QueryNode> nodes_;
+  int32_t match_node_ = -1;
+};
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_QUERY_AST_H_

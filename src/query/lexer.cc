@@ -1,0 +1,97 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "query/lexer.h"
+
+#include <cctype>
+
+namespace xmlsel {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> TokenizeXPath(std::string_view input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    switch (c) {
+      case '/':
+        if (i + 1 < input.size() && input[i + 1] == '/') {
+          out.push_back({TokenKind::kDoubleSlash, "", start});
+          i += 2;
+        } else {
+          out.push_back({TokenKind::kSlash, "", start});
+          ++i;
+        }
+        continue;
+      case '[':
+        out.push_back({TokenKind::kLBracket, "", start});
+        ++i;
+        continue;
+      case ']':
+        out.push_back({TokenKind::kRBracket, "", start});
+        ++i;
+        continue;
+      case '(':
+        out.push_back({TokenKind::kLParen, "", start});
+        ++i;
+        continue;
+      case ')':
+        out.push_back({TokenKind::kRParen, "", start});
+        ++i;
+        continue;
+      case '*':
+        out.push_back({TokenKind::kStar, "", start});
+        ++i;
+        continue;
+      case '.':
+        if (i + 1 < input.size() && input[i + 1] == '.') {
+          out.push_back({TokenKind::kDotDot, "", start});
+          i += 2;
+        } else {
+          out.push_back({TokenKind::kDot, "", start});
+          ++i;
+        }
+        continue;
+      default:
+        break;
+    }
+    if (!IsNameStart(c)) {
+      return Status::InvalidArgument("unexpected character '" +
+                                     std::string(1, c) + "' at offset " +
+                                     std::to_string(i));
+    }
+    size_t j = i;
+    // A name may not end with '.' (that separator belongs to bindd paths,
+    // not XPath); names here follow XML NCName minus the colon.
+    while (j < input.size() && IsNameChar(input[j])) ++j;
+    std::string name(input.substr(i, j - i));
+    if (j + 1 < input.size() && input[j] == ':' && input[j + 1] == ':') {
+      out.push_back({TokenKind::kAxis, std::move(name), start});
+      i = j + 2;
+    } else {
+      out.push_back({TokenKind::kName, std::move(name), start});
+      i = j;
+    }
+  }
+  out.push_back({TokenKind::kEnd, "", input.size()});
+  return out;
+}
+
+}  // namespace xmlsel

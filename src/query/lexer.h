@@ -1,0 +1,43 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Tokenizer for the Core XPath fragment of §3.
+
+#ifndef XMLSEL_QUERY_LEXER_H_
+#define XMLSEL_QUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xmlsel/status.h"
+
+namespace xmlsel {
+
+enum class TokenKind : uint8_t {
+  kSlash,         // /
+  kDoubleSlash,   // //
+  kLBracket,      // [
+  kRBracket,      // ]
+  kLParen,        // (
+  kRParen,        // )
+  kStar,          // *
+  kDot,           // .
+  kDotDot,        // ..
+  kAxis,          // name:: (text carries the axis name)
+  kName,          // element name or keyword (and/or/not/node/text)
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // for kName / kAxis
+  size_t offset;     // byte offset in the input, for error messages
+};
+
+/// Tokenizes a Core XPath expression. Whitespace between tokens is allowed.
+Result<std::vector<Token>> TokenizeXPath(std::string_view input);
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_QUERY_LEXER_H_

@@ -1,0 +1,229 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "query/parser.h"
+
+#include <optional>
+
+#include "query/lexer.h"
+
+namespace xmlsel {
+
+namespace {
+
+std::optional<Axis> AxisFromName(const std::string& name) {
+  if (name == "child") return Axis::kChild;
+  if (name == "descendant") return Axis::kDescendant;
+  if (name == "descendant-or-self") return Axis::kDescendantOrSelf;
+  if (name == "self") return Axis::kSelf;
+  if (name == "following-sibling") return Axis::kFollowingSibling;
+  if (name == "following") return Axis::kFollowing;
+  if (name == "parent") return Axis::kParent;
+  if (name == "ancestor") return Axis::kAncestor;
+  if (name == "ancestor-or-self") return Axis::kAncestorOrSelf;
+  if (name == "preceding-sibling") return Axis::kPrecedingSibling;
+  if (name == "preceding") return Axis::kPreceding;
+  return std::nullopt;
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, NameTable* names)
+      : tokens_(std::move(tokens)), names_(names) {}
+
+  Result<Query> Parse() {
+    // Leading separator: '/' or '//'; a bare relative path is interpreted
+    // against the document root (the only sensible context for
+    // document-level selectivity).
+    Axis lead = Axis::kChild;
+    if (Peek().kind == TokenKind::kSlash) {
+      Next();
+      if (Peek().kind == TokenKind::kEnd) {
+        return Status::Unsupported(
+            "the query '/' selects the root; selectivity is trivially 1");
+      }
+    } else if (Peek().kind == TokenKind::kDoubleSlash) {
+      Next();
+      lead = Axis::kDescendant;
+    }
+    Result<int32_t> last = ParseRelativePath(query_.root(), lead);
+    if (!last.ok()) return last.status();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Err("trailing input after query");
+    }
+    if (last.value() == query_.root()) {
+      return Status::Unsupported("query selects only the virtual root");
+    }
+    query_.SetMatchNode(last.value());
+    query_.Validate();
+    return std::move(query_);
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument("XPath parse error at offset " +
+                                   std::to_string(Peek().offset) + ": " + msg);
+  }
+
+  /// Parses `step ((/ | //) step)*` starting with a step whose separator
+  /// axis is `lead`; returns the query node of the last step.
+  Result<int32_t> ParseRelativePath(int32_t context, Axis lead) {
+    Result<int32_t> cur = ParseStep(context, lead);
+    if (!cur.ok()) return cur;
+    while (true) {
+      if (Peek().kind == TokenKind::kSlash) {
+        Next();
+        cur = ParseStep(cur.value(), Axis::kChild);
+      } else if (Peek().kind == TokenKind::kDoubleSlash) {
+        Next();
+        cur = ParseStep(cur.value(), Axis::kDescendant);
+      } else {
+        return cur;
+      }
+      if (!cur.ok()) return cur;
+    }
+  }
+
+  /// Parses one location step in context `context` reached via separator
+  /// axis `sep` ('/' = child, '//' = descendant).
+  Result<int32_t> ParseStep(int32_t context, Axis sep) {
+    const Token& t = Peek();
+    // '.' and '..' abbreviations.
+    if (t.kind == TokenKind::kDot) {
+      Next();
+      if (sep == Axis::kDescendant) {
+        // './/.' style: a strict-descendant step to any node.
+        int32_t n = query_.AddNode(context, Axis::kDescendant, kWildcardTest);
+        return ParsePredicates(n);
+      }
+      return ParsePredicates(context);
+    }
+    if (t.kind == TokenKind::kDotDot) {
+      Next();
+      int32_t n = query_.AddNode(context, Axis::kParent, kWildcardTest);
+      return ParsePredicates(n);
+    }
+    Axis axis = sep;
+    if (t.kind == TokenKind::kAxis) {
+      auto a = AxisFromName(t.text);
+      if (!a.has_value()) return Err("unknown axis '" + t.text + "'");
+      Next();
+      if (sep == Axis::kDescendant) {
+        // '//axis::t' expands to /descendant-or-self::*/axis::t.
+        context = query_.AddNode(context, Axis::kDescendantOrSelf,
+                                 kWildcardTest);
+      }
+      axis = *a;
+    }
+    // Node test.
+    LabelId test;
+    if (Peek().kind == TokenKind::kStar) {
+      Next();
+      test = kWildcardTest;
+    } else if (Peek().kind == TokenKind::kName) {
+      std::string name = Next().text;
+      if (name == "node" && Peek().kind == TokenKind::kLParen) {
+        Next();
+        if (Peek().kind != TokenKind::kRParen) return Err("expected ')'");
+        Next();
+        test = kWildcardTest;
+      } else if (name == "text" && Peek().kind == TokenKind::kLParen) {
+        return Status::Unsupported(
+            "text() nodes are outside the structural model (§3)");
+      } else {
+        test = names_->Intern(name);
+      }
+    } else {
+      return Err("expected a node test");
+    }
+    int32_t n = query_.AddNode(context, axis, test);
+    return ParsePredicates(n);
+  }
+
+  /// Parses zero or more '[pred]' qualifiers on `node`.
+  Result<int32_t> ParsePredicates(int32_t node) {
+    while (Peek().kind == TokenKind::kLBracket) {
+      Next();
+      Status st = ParsePredExpr(node);
+      if (!st.ok()) return st;
+      if (Peek().kind != TokenKind::kRBracket) return Err("expected ']'");
+      Next();
+    }
+    return node;
+  }
+
+  /// pred ::= path ('and' path)*; 'or'/'not' are detected and rejected.
+  Status ParsePredExpr(int32_t node) {
+    XMLSEL_RETURN_IF_ERROR(ParsePredTerm(node));
+    while (Peek().kind == TokenKind::kName &&
+           (Peek().text == "and" || Peek().text == "or")) {
+      if (Peek().text == "or") {
+        return Status::Unsupported(
+            "disjunctive predicates are outside the estimable fragment");
+      }
+      Next();
+      XMLSEL_RETURN_IF_ERROR(ParsePredTerm(node));
+    }
+    return Status::OK();
+  }
+
+  Status ParsePredTerm(int32_t node) {
+    if (Peek().kind == TokenKind::kName && Peek().text == "not") {
+      return Status::Unsupported(
+          "negated predicates are outside the estimable fragment");
+    }
+    if (Peek().kind == TokenKind::kLParen) {
+      Next();
+      XMLSEL_RETURN_IF_ERROR(ParsePredExpr(node));
+      if (Peek().kind != TokenKind::kRParen) return Err("expected ')'");
+      Next();
+      return Status::OK();
+    }
+    // A relative location path: '.', './a', './/a', 'a/b',
+    // 'following-sibling::x', etc. Absolute paths in predicates are not
+    // estimable against the context node.
+    if (Peek().kind == TokenKind::kSlash ||
+        Peek().kind == TokenKind::kDoubleSlash) {
+      return Status::Unsupported(
+          "absolute paths inside predicates are not supported");
+    }
+    Axis lead = Axis::kChild;
+    if (Peek().kind == TokenKind::kDot) {
+      Next();
+      if (Peek().kind == TokenKind::kSlash) {
+        Next();
+      } else if (Peek().kind == TokenKind::kDoubleSlash) {
+        Next();
+        lead = Axis::kDescendant;
+      } else if (Peek().kind == TokenKind::kRBracket ||
+                 (Peek().kind == TokenKind::kName && Peek().text == "and")) {
+        // '[.]' — trivially true; nothing to add.
+        return Status::OK();
+      } else {
+        return Err("expected '/' or '//' after '.' in predicate");
+      }
+    }
+    Result<int32_t> r = ParseRelativePath(node, lead);
+    return r.status();
+  }
+
+  Query query_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  NameTable* names_;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text, NameTable* names) {
+  XMLSEL_CHECK(names != nullptr);
+  Result<std::vector<Token>> tokens = TokenizeXPath(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value(), names);
+  return parser.Parse();
+}
+
+}  // namespace xmlsel

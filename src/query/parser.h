@@ -1,0 +1,35 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Recursive-descent parser for Core XPath (§3 grammar):
+//
+//   path          ::= location_path | '/' location_path
+//   location_path ::= location_step ('/' location_step)*
+//   location_step ::= axis '::' test | axis '::' test '[' pred ']'
+//   pred          ::= pred 'and' pred | location_path | '(' pred ')'
+//
+// plus the usual abbreviations: leading-less paths are rooted at the
+// document root, 'name' means child::name, '//' means a (strict)
+// descendant step, '.' is self::node(), '..' is parent::node(), and
+// 'node()'/'*' are the universal tests. Disjunction and negation are
+// recognized but rejected with kUnsupported (the paper's estimators
+// consider conjunctive predicates only).
+
+#ifndef XMLSEL_QUERY_PARSER_H_
+#define XMLSEL_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "query/ast.h"
+#include "xmlsel/status.h"
+
+namespace xmlsel {
+
+/// Parses `text` into a query tree, interning labels into `names`. The
+/// result may contain reverse axes; run RewriteReverseAxes before handing
+/// it to the automaton layer.
+Result<Query> ParseQuery(std::string_view text, NameTable* names);
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_QUERY_PARSER_H_

@@ -1,0 +1,226 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "query/rewrite.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace xmlsel {
+
+namespace {
+
+/// Mutable working representation; node ids are stable while rewriting and
+/// the tree is re-serialized into a Query at the end.
+struct MTree {
+  struct MNode {
+    LabelId test;
+    Axis axis;
+    int parent;
+    std::vector<int> children;
+    bool dead = false;
+  };
+  std::vector<MNode> nodes;
+  int match = -1;
+
+  void Detach(int n) {
+    auto& kids = nodes[nodes[n].parent].children;
+    kids.erase(std::remove(kids.begin(), kids.end(), n), kids.end());
+  }
+  void Attach(int n, int parent, Axis axis) {
+    nodes[n].parent = parent;
+    nodes[n].axis = axis;
+    nodes[parent].children.push_back(n);
+  }
+  int NewNode(int parent, Axis axis, LabelId test) {
+    nodes.push_back({test, axis, -1, {}, false});
+    int id = static_cast<int>(nodes.size()) - 1;
+    Attach(id, parent, axis);
+    return id;
+  }
+};
+
+/// Intersects two node tests; returns false if they conflict.
+bool IntersectTests(LabelId a, LabelId b, LabelId* out) {
+  if (a == kWildcardTest) {
+    *out = b;
+    return true;
+  }
+  if (b == kWildcardTest || a == b) {
+    *out = a;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<RewriteOutcome> RewriteReverseAxes(const Query& in) {
+  MTree t;
+  t.nodes.reserve(static_cast<size_t>(in.size()));
+  for (int32_t i = 0; i < in.size(); ++i) {
+    const QueryNode& n = in.node(i);
+    MTree::MNode m;
+    m.test = n.test;
+    m.axis = n.axis;
+    m.parent = n.parent;
+    m.children.assign(n.children.begin(), n.children.end());
+    t.nodes.push_back(std::move(m));
+  }
+  t.match = in.match_node();
+
+  bool unsatisfiable = false;
+  // Iterate until no reverse edge remains. Each rewrite removes one
+  // reverse edge and adds at most one forward node, so this terminates.
+  for (int guard = 0; guard < 4 * static_cast<int>(t.nodes.size()) + 16;
+       ++guard) {
+    int v = -1;  // node whose *incoming* edge is reverse
+    for (size_t i = 1; i < t.nodes.size(); ++i) {
+      if (!t.nodes[i].dead && !IsForwardAxis(t.nodes[i].axis)) {
+        v = static_cast<int>(i);
+        break;
+      }
+    }
+    if (v == -1) break;
+    int u = t.nodes[v].parent;  // context node of the reverse step
+    Axis rev = t.nodes[v].axis;
+    Axis in_axis = t.nodes[u].axis;  // how u itself is reached
+    int w = t.nodes[u].parent;       // u's own context (-1 only for root)
+
+    switch (rev) {
+      case Axis::kParent: {
+        if (u == 0) {
+          return Status::Unsupported("parent of the document root");
+        }
+        if (in_axis == Axis::kChild) {
+          // v *is* w. Merge tests and move v's children onto w.
+          LabelId merged;
+          if (w == 0) {
+            // v must match the virtual root: only the universal test can.
+            if (t.nodes[v].test != kWildcardTest) {
+              unsatisfiable = true;
+              break;
+            }
+            if (t.match == v) {
+              return Status::Unsupported(
+                  "query selects the document root via 'parent'");
+            }
+            merged = kRootLabel;
+          } else if (!IntersectTests(t.nodes[w].test, t.nodes[v].test,
+                                     &merged)) {
+            unsatisfiable = true;
+            break;
+          }
+          t.nodes[w].test = merged;
+          t.Detach(v);
+          for (int c : std::vector<int>(t.nodes[v].children)) {
+            t.Detach(c);
+            t.Attach(c, w, t.nodes[c].axis);
+          }
+          t.nodes[v].dead = true;
+          if (t.match == v) t.match = w;
+        } else if (in_axis == Axis::kDescendant) {
+          // w ─descendant→ u becomes w ─d-o-s→ v ─child→ u.
+          t.Detach(v);
+          t.Detach(u);
+          t.Attach(v, w, Axis::kDescendantOrSelf);
+          t.Attach(u, v, Axis::kChild);
+        } else {
+          return Status::Unsupported(
+              std::string("'parent' after axis ") + AxisName(in_axis));
+        }
+        break;
+      }
+      case Axis::kAncestor: {
+        if (u != 0 && in_axis == Axis::kDescendant && w == 0) {
+          // root ─descendant→ u becomes root ─desc→ v ─desc→ u.
+          t.Detach(v);
+          t.Detach(u);
+          t.Attach(v, w, Axis::kDescendant);
+          t.Attach(u, v, Axis::kDescendant);
+        } else {
+          return Status::Unsupported(
+              "'ancestor' is only rewritable on root-anchored steps");
+        }
+        break;
+      }
+      case Axis::kAncestorOrSelf:
+        return Status::Unsupported(
+            "'ancestor-or-self' requires a union rewrite");
+      case Axis::kPrecedingSibling: {
+        if (u != 0 &&
+            (in_axis == Axis::kChild || in_axis == Axis::kDescendant)) {
+          // w ─ax→ u with u[preceding-sibling::v] becomes
+          // w ─ax→ v ─following-sibling→ u.
+          t.Detach(v);
+          t.Detach(u);
+          t.Attach(v, w, in_axis);
+          t.Attach(u, v, Axis::kFollowingSibling);
+        } else {
+          return Status::Unsupported(
+              std::string("'preceding-sibling' after axis ") +
+              AxisName(in_axis));
+        }
+        break;
+      }
+      case Axis::kPreceding: {
+        if (u != 0 && in_axis == Axis::kDescendant && w == 0) {
+          // root ─desc→ u with u[preceding::v] becomes
+          // root ─desc→ v ─following→ u.
+          t.Detach(v);
+          t.Detach(u);
+          t.Attach(v, w, Axis::kDescendant);
+          t.Attach(u, v, Axis::kFollowing);
+        } else {
+          return Status::Unsupported(
+              "'preceding' is only rewritable on root-anchored steps");
+        }
+        break;
+      }
+      default:
+        return Status::Internal("unexpected axis in rewrite loop");
+    }
+    if (unsatisfiable) break;
+  }
+
+  RewriteOutcome out;
+  if (unsatisfiable) {
+    out.unsatisfiable = true;
+    return out;
+  }
+
+  // Re-serialize into a Query (ids reassigned in DFS order so the
+  // children-after-parents invariant holds).
+  std::vector<int32_t> new_id(t.nodes.size(), -1);
+  struct Frame {
+    int old_node;
+    int32_t new_parent;
+  };
+  std::vector<Frame> stack;
+  for (auto it = t.nodes[0].children.rbegin(); it != t.nodes[0].children.rend();
+       ++it) {
+    stack.push_back({*it, 0});
+  }
+  new_id[0] = 0;
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const MTree::MNode& n = t.nodes[static_cast<size_t>(f.old_node)];
+    XMLSEL_CHECK(!n.dead);
+    int32_t id = out.query.AddNode(f.new_parent, n.axis, n.test);
+    new_id[static_cast<size_t>(f.old_node)] = id;
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back({*it, id});
+    }
+  }
+  XMLSEL_CHECK(t.match >= 0);
+  if (t.match == 0 || new_id[static_cast<size_t>(t.match)] <= 0) {
+    return Status::Unsupported("rewritten query selects the document root");
+  }
+  out.query.SetMatchNode(new_id[static_cast<size_t>(t.match)]);
+  out.query.Validate();
+  XMLSEL_CHECK(out.query.ForwardOnly());
+  return out;
+}
+
+}  // namespace xmlsel

@@ -1,0 +1,40 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Elimination of reverse axes from query trees. Olteanu et al. showed that
+// every query with reverse axes can be rewritten into a forward-only one;
+// the fully general rewrite needs unions of queries, so — like the paper,
+// which evaluates forward-only workloads — we implement the tree-shaped
+// core of the rewrite and report kUnsupported for the remaining cases:
+//
+//   u ─parent→ v            (u reached via child)       merge v into u's parent
+//   u ─parent→ v            (u reached via descendant)  w ─d-o-s→ v ─child→ u
+//   u ─ancestor→ v          (u hangs off the root)      root ─desc→ v ─desc→ u
+//   u ─preceding-sibling→ v (u via child/descendant)    w ─ax→ v ─f-sibling→ u
+//   u ─preceding→ v         (u hangs off the root)      root ─desc→ v ─following→ u
+//
+// A rewrite can also discover that the query is unsatisfiable (conflicting
+// node tests on a merged node); the outcome carries that verdict so
+// estimators can answer [0, 0] exactly.
+
+#ifndef XMLSEL_QUERY_REWRITE_H_
+#define XMLSEL_QUERY_REWRITE_H_
+
+#include "query/ast.h"
+#include "xmlsel/status.h"
+
+namespace xmlsel {
+
+/// Result of reverse-axis elimination.
+struct RewriteOutcome {
+  Query query;                 ///< forward-only query (valid iff satisfiable)
+  bool unsatisfiable = false;  ///< true when the query provably has no match
+};
+
+/// Rewrites `in` into an equivalent forward-only query, or reports
+/// kUnsupported when the query needs the (union-producing) general rewrite.
+Result<RewriteOutcome> RewriteReverseAxes(const Query& in);
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_QUERY_REWRITE_H_

@@ -1,0 +1,87 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "storage/bitio.h"
+
+namespace xmlsel {
+
+void BitWriter::WriteBits(uint64_t value, int width) {
+  XMLSEL_DCHECK(width >= 0 && width <= 64);
+  for (int i = width - 1; i >= 0; --i) {
+    int bit_in_byte = static_cast<int>(bit_count_ & 7);
+    if (bit_in_byte == 0) bytes_.push_back(0);
+    if ((value >> i) & 1) {
+      bytes_.back() |= static_cast<uint8_t>(1u << (7 - bit_in_byte));
+    }
+    ++bit_count_;
+  }
+}
+
+void BitWriter::WriteUnary(int64_t n) {
+  XMLSEL_DCHECK(n >= 0);
+  for (int64_t i = 0; i < n; ++i) WriteBits(1, 1);
+  WriteBits(0, 1);
+}
+
+void BitWriter::WriteVarint(uint64_t value) {
+  while (true) {
+    uint64_t group = value & 0x7f;
+    value >>= 7;
+    WriteBits(value != 0 ? 1 : 0, 1);
+    WriteBits(group, 7);
+    if (value == 0) break;
+  }
+}
+
+std::vector<uint8_t> BitWriter::Finish() { return std::move(bytes_); }
+
+Result<uint64_t> BitReader::ReadBits(int width) {
+  XMLSEL_DCHECK(width >= 0 && width <= 64);
+  uint64_t out = 0;
+  for (int i = 0; i < width; ++i) {
+    int64_t byte = pos_ >> 3;
+    if (byte >= static_cast<int64_t>(bytes_->size())) {
+      return Status::Corruption("bit stream truncated");
+    }
+    int bit_in_byte = static_cast<int>(pos_ & 7);
+    uint64_t bit = ((*bytes_)[static_cast<size_t>(byte)] >>
+                    (7 - bit_in_byte)) & 1;
+    out = (out << 1) | bit;
+    ++pos_;
+  }
+  return out;
+}
+
+Result<int64_t> BitReader::ReadUnary() {
+  int64_t n = 0;
+  while (true) {
+    Result<uint64_t> bit = ReadBits(1);
+    if (!bit.ok()) return bit.status();
+    if (bit.value() == 0) return n;
+    ++n;
+    if (n > (1 << 24)) return Status::Corruption("runaway unary code");
+  }
+}
+
+Result<uint64_t> BitReader::ReadVarint() {
+  uint64_t out = 0;
+  int shift = 0;
+  while (true) {
+    Result<uint64_t> cont = ReadBits(1);
+    if (!cont.ok()) return cont.status();
+    Result<uint64_t> group = ReadBits(7);
+    if (!group.ok()) return group.status();
+    out |= group.value() << shift;
+    shift += 7;
+    if (cont.value() == 0) return out;
+    if (shift > 63) return Status::Corruption("runaway varint");
+  }
+}
+
+int BitsFor(int64_t n) {
+  int bits = 1;
+  while ((1ll << bits) < n) ++bits;
+  return bits;
+}
+
+}  // namespace xmlsel

@@ -1,0 +1,70 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Bit-level writer/reader used by the packed synopsis encoding of §7.
+// Bits are written MSB-first within each byte; fixed-width fields and
+// LEB128-style varints are provided.
+
+#ifndef XMLSEL_STORAGE_BITIO_H_
+#define XMLSEL_STORAGE_BITIO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "xmlsel/common.h"
+#include "xmlsel/status.h"
+
+namespace xmlsel {
+
+/// Append-only bit sink.
+class BitWriter {
+ public:
+  /// Writes the low `width` bits of `value` (MSB of the field first).
+  void WriteBits(uint64_t value, int width);
+
+  /// Writes `n` one-bits followed by a zero-bit (unary code, §7's
+  /// parameter-count prefix).
+  void WriteUnary(int64_t n);
+
+  /// Writes a 7-bit-group varint (each group prefixed by a continue bit).
+  void WriteVarint(uint64_t value);
+
+  /// Number of bits written so far.
+  int64_t bit_count() const { return bit_count_; }
+
+  /// Finishes the current byte (zero padding) and returns the buffer.
+  std::vector<uint8_t> Finish();
+
+ private:
+  std::vector<uint8_t> bytes_;
+  int64_t bit_count_ = 0;
+};
+
+/// Sequential bit source over a byte buffer.
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<uint8_t>& bytes) : bytes_(&bytes) {}
+
+  /// Reads `width` bits; fails with kCorruption past the end.
+  Result<uint64_t> ReadBits(int width);
+
+  /// Reads a unary count (ones before the first zero).
+  Result<int64_t> ReadUnary();
+
+  /// Reads a varint written by WriteVarint.
+  Result<uint64_t> ReadVarint();
+
+  int64_t position() const { return pos_; }
+
+ private:
+  const std::vector<uint8_t>* bytes_;
+  int64_t pos_ = 0;
+};
+
+/// Number of bits needed to distinguish `n` values (≥1 even for n ≤ 1, so
+/// a symbol is always explicit in the stream).
+int BitsFor(int64_t n);
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_STORAGE_BITIO_H_

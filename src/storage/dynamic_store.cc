@@ -1,0 +1,151 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "storage/dynamic_store.h"
+
+#include "storage/bitio.h"
+#include "storage/packed.h"
+
+namespace xmlsel {
+
+DynamicSynopsisStore::DynamicSynopsisStore(int64_t target_block_bytes)
+    : target_(target_block_bytes) {
+  XMLSEL_CHECK(target_ >= 16);
+  blocks_.push_back({});
+}
+
+DynamicSynopsisStore DynamicSynopsisStore::FromGrammar(
+    const SltGrammar& g, int32_t label_count, int64_t target_block_bytes) {
+  DynamicSynopsisStore store(target_block_bytes);
+  for (std::vector<uint8_t>& buf : EncodePackedPerRule(g, label_count)) {
+    store.Insert(store.size(), std::move(buf));
+  }
+  return store;
+}
+
+const std::vector<uint8_t>& DynamicSynopsisStore::Get(int64_t index) const {
+  auto [b, off] = Locate(index);
+  return blocks_[b].rules[off];
+}
+
+std::pair<size_t, size_t> DynamicSynopsisStore::Locate(int64_t index) const {
+  XMLSEL_CHECK(index >= 0 && index < rule_count_);
+  int64_t remaining = index;
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    int64_t n = static_cast<int64_t>(blocks_[b].rules.size());
+    if (remaining < n) return {b, static_cast<size_t>(remaining)};
+    remaining -= n;
+  }
+  XMLSEL_CHECK(false && "index not found");
+  return {0, 0};
+}
+
+void DynamicSynopsisStore::Replace(int64_t index,
+                                   std::vector<uint8_t> encoding) {
+  auto [b, off] = Locate(index);
+  Block& blk = blocks_[b];
+  payload_bytes_ -= static_cast<int64_t>(blk.rules[off].size());
+  blk.bytes -= static_cast<int64_t>(blk.rules[off].size());
+  bytes_moved_ += static_cast<int64_t>(encoding.size());
+  payload_bytes_ += static_cast<int64_t>(encoding.size());
+  blk.bytes += static_cast<int64_t>(encoding.size());
+  blk.rules[off] = std::move(encoding);
+  SplitIfNeeded(b);
+  MergeIfNeeded(b);
+}
+
+void DynamicSynopsisStore::Insert(int64_t index,
+                                  std::vector<uint8_t> encoding) {
+  XMLSEL_CHECK(index >= 0 && index <= rule_count_);
+  size_t b;
+  size_t off;
+  if (index == rule_count_) {
+    b = blocks_.size() - 1;
+    off = blocks_[b].rules.size();
+  } else {
+    auto loc = Locate(index);
+    b = loc.first;
+    off = loc.second;
+  }
+  Block& blk = blocks_[b];
+  payload_bytes_ += static_cast<int64_t>(encoding.size());
+  blk.bytes += static_cast<int64_t>(encoding.size());
+  bytes_moved_ += static_cast<int64_t>(encoding.size());
+  blk.rules.insert(blk.rules.begin() + static_cast<int64_t>(off),
+                   std::move(encoding));
+  ++rule_count_;
+  SplitIfNeeded(b);
+}
+
+void DynamicSynopsisStore::Erase(int64_t index) {
+  auto [b, off] = Locate(index);
+  Block& blk = blocks_[b];
+  payload_bytes_ -= static_cast<int64_t>(blk.rules[off].size());
+  blk.bytes -= static_cast<int64_t>(blk.rules[off].size());
+  blk.rules.erase(blk.rules.begin() + static_cast<int64_t>(off));
+  --rule_count_;
+  MergeIfNeeded(b);
+}
+
+void DynamicSynopsisStore::SplitIfNeeded(size_t block) {
+  Block& blk = blocks_[block];
+  if (blk.bytes <= 2 * target_ || blk.rules.size() < 2) return;
+  // Split at the byte midpoint.
+  Block right;
+  while (!blk.rules.empty() && right.bytes < blk.bytes / 2) {
+    std::vector<uint8_t>& last = blk.rules.back();
+    int64_t sz = static_cast<int64_t>(last.size());
+    right.rules.insert(right.rules.begin(), std::move(last));
+    right.bytes += sz;
+    blk.bytes -= sz;
+    bytes_moved_ += sz;
+    blk.rules.pop_back();
+  }
+  blocks_.insert(blocks_.begin() + static_cast<int64_t>(block) + 1,
+                 std::move(right));
+}
+
+void DynamicSynopsisStore::MergeIfNeeded(size_t block) {
+  if (blocks_.size() <= 1) return;
+  Block& blk = blocks_[block];
+  if (blk.bytes >= target_ / 2 && !blk.rules.empty()) return;
+  // Merge into the left neighbour (or the right one for block 0).
+  size_t dst = block == 0 ? 1 : block - 1;
+  Block& other = blocks_[dst];
+  bytes_moved_ += blk.bytes;
+  if (dst < block) {
+    for (auto& rule : blk.rules) {
+      other.bytes += static_cast<int64_t>(rule.size());
+      other.rules.push_back(std::move(rule));
+    }
+  } else {
+    for (auto it = blk.rules.rbegin(); it != blk.rules.rend(); ++it) {
+      other.bytes += static_cast<int64_t>(it->size());
+      other.rules.insert(other.rules.begin(), std::move(*it));
+    }
+  }
+  blocks_.erase(blocks_.begin() + static_cast<int64_t>(block));
+  SplitIfNeeded(dst < block ? dst : dst - 1);
+}
+
+int64_t DynamicSynopsisStore::occupied_bytes() const {
+  // Each block reserves 2B bytes (its split threshold) — the padding that
+  // buys cheap inserts.
+  return static_cast<int64_t>(blocks_.size()) * 2 * target_;
+}
+
+void DynamicSynopsisStore::CheckInvariants() const {
+  int64_t total_rules = 0;
+  int64_t total_bytes = 0;
+  for (const Block& b : blocks_) {
+    int64_t bytes = 0;
+    for (const auto& r : b.rules) bytes += static_cast<int64_t>(r.size());
+    XMLSEL_CHECK(bytes == b.bytes);
+    total_rules += static_cast<int64_t>(b.rules.size());
+    total_bytes += bytes;
+  }
+  XMLSEL_CHECK(total_rules == rule_count_);
+  XMLSEL_CHECK(total_bytes == payload_bytes_);
+}
+
+}  // namespace xmlsel

@@ -1,0 +1,87 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Dynamic packed storage (§7, dynamic case): the per-rule encodings are
+// kept in an array of blocks with padding, maintained by a simplified
+// ordered-file strategy (à la Bender et al.): inserts split over-full
+// blocks, erases merge under-full neighbours, keeping rule order and
+// bounded slack so a single update touches O(polylog) bytes instead of
+// re-encoding the whole synopsis.
+
+#ifndef XMLSEL_STORAGE_DYNAMIC_STORE_H_
+#define XMLSEL_STORAGE_DYNAMIC_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "grammar/slt.h"
+#include "xmlsel/status.h"
+
+namespace xmlsel {
+
+/// Blocked store of per-rule byte encodings, ordered by rule index.
+class DynamicSynopsisStore {
+ public:
+  /// `target_block_bytes`: soft block capacity B; blocks split above 2B
+  /// and merge below B/2.
+  explicit DynamicSynopsisStore(int64_t target_block_bytes = 512);
+
+  /// Bulk-loads from a grammar (encodes every rule).
+  static DynamicSynopsisStore FromGrammar(const SltGrammar& g,
+                                          int32_t label_count,
+                                          int64_t target_block_bytes = 512);
+
+  /// Number of stored rules.
+  int64_t size() const { return rule_count_; }
+
+  /// The encoding of rule `index`.
+  const std::vector<uint8_t>& Get(int64_t index) const;
+
+  /// Replaces rule `index`'s encoding in place.
+  void Replace(int64_t index, std::vector<uint8_t> encoding);
+
+  /// Inserts an encoding so that it becomes rule `index` (shifting later
+  /// rules up by one).
+  void Insert(int64_t index, std::vector<uint8_t> encoding);
+
+  /// Removes rule `index`.
+  void Erase(int64_t index);
+
+  /// Total payload bytes (sum of encodings).
+  int64_t payload_bytes() const { return payload_bytes_; }
+
+  /// Total occupied bytes including block padding — the space the §7
+  /// dynamic layout actually reserves.
+  int64_t occupied_bytes() const;
+
+  /// Bytes physically moved by updates since construction (the cost an
+  /// ordered-file layout is designed to bound).
+  int64_t bytes_moved() const { return bytes_moved_; }
+
+  /// Number of blocks currently allocated.
+  int64_t block_count() const { return static_cast<int64_t>(blocks_.size()); }
+
+  /// Validates the block invariants; aborts on violation.
+  void CheckInvariants() const;
+
+ private:
+  struct Block {
+    std::vector<std::vector<uint8_t>> rules;
+    int64_t bytes = 0;
+  };
+
+  /// Locates (block, offset-in-block) of a rule index.
+  std::pair<size_t, size_t> Locate(int64_t index) const;
+  void SplitIfNeeded(size_t block);
+  void MergeIfNeeded(size_t block);
+
+  std::vector<Block> blocks_;
+  int64_t target_ = 512;
+  int64_t rule_count_ = 0;
+  int64_t payload_bytes_ = 0;
+  int64_t bytes_moved_ = 0;
+};
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_STORAGE_DYNAMIC_STORE_H_

@@ -1,0 +1,297 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "storage/packed.h"
+
+#include "storage/bitio.h"
+
+namespace xmlsel {
+
+namespace {
+
+// Symbol ids within rule i's stream:
+//   0                      star
+//   1                      parameter (index implicit, pre-order)
+//   2                      ⊥ (the paper's A_0)
+//   2 + l                  label l, 1 ≤ l < label_count
+//   label_count + 2 + j    call to rule j, 0 ≤ j < i
+constexpr uint64_t kSymStar = 0;
+constexpr uint64_t kSymParam = 1;
+constexpr uint64_t kSymBottom = 2;
+
+int SymbolWidth(int32_t label_count, int32_t rule_index) {
+  // Symbols: star, param, ⊥, labels 1..label_count-1, rules 0..rule_index-1
+  // → label_count + 2 + rule_index distinct ids.
+  return BitsFor(static_cast<int64_t>(label_count) + 2 +
+                 static_cast<int64_t>(rule_index));
+}
+
+void EncodeRule(const SltGrammar& g, int32_t rule_index, int32_t label_count,
+                BitWriter* w) {
+  const GrammarRule& r = g.rule(rule_index);
+  const int width = SymbolWidth(label_count, rule_index);
+  const int star_width =
+      BitsFor(static_cast<int64_t>(g.star_stats().size()));
+  w->WriteUnary(r.rank);
+  // Pre-order emission with an explicit stack. A stack entry is either a
+  // node to emit or a star-list control marker.
+  struct Item {
+    int32_t node;     // kNullNode = ⊥
+    bool star_tail;   // emit the star-list terminator instead of a node
+    bool star_elem;   // this node is a star child (needs its 1-prefix)
+  };
+  std::vector<Item> stack = {{r.root, false, false}};
+  while (!stack.empty()) {
+    Item it = stack.back();
+    stack.pop_back();
+    if (it.star_tail) {
+      w->WriteBits(0, 1);  // end of star child list
+      continue;
+    }
+    if (it.star_elem) {
+      w->WriteBits(1, 1);  // another star child follows
+    }
+    if (it.node == kNullNode) {
+      w->WriteBits(kSymBottom, width);
+      continue;
+    }
+    const GrammarNode& n = r.nodes[static_cast<size_t>(it.node)];
+    switch (n.kind) {
+      case GrammarNode::Kind::kParam:
+        w->WriteBits(kSymParam, width);
+        break;
+      case GrammarNode::Kind::kTerminal:
+        w->WriteBits(kSymBottom + static_cast<uint64_t>(n.sym), width);
+        stack.push_back({n.children[1], false, false});
+        stack.push_back({n.children[0], false, false});
+        break;
+      case GrammarNode::Kind::kNonterminal:
+        w->WriteBits(static_cast<uint64_t>(label_count) + 2 +
+                         static_cast<uint64_t>(n.sym),
+                     width);
+        for (size_t c = n.children.size(); c-- > 0;) {
+          stack.push_back({n.children[c], false, false});
+        }
+        break;
+      case GrammarNode::Kind::kStar:
+        w->WriteBits(kSymStar, width);
+        w->WriteBits(static_cast<uint64_t>(n.sym), star_width);
+        stack.push_back({kNullNode, true, false});  // terminator
+        for (size_t c = n.children.size(); c-- > 0;) {
+          stack.push_back({n.children[c], false, true});
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodePacked(const SltGrammar& g, int32_t label_count) {
+  BitWriter w;
+  w.WriteVarint(static_cast<uint64_t>(label_count));
+  w.WriteVarint(static_cast<uint64_t>(g.rule_count()));
+  w.WriteVarint(static_cast<uint64_t>(g.star_stats().size()));
+  for (const StarStats& s : g.star_stats()) {
+    w.WriteVarint(static_cast<uint64_t>(s.height));
+    w.WriteVarint(static_cast<uint64_t>(s.size));
+  }
+  for (int32_t i = 0; i < g.rule_count(); ++i) {
+    EncodeRule(g, i, label_count, &w);
+  }
+  return w.Finish();
+}
+
+Result<SltGrammar> DecodePacked(const std::vector<uint8_t>& bytes) {
+  BitReader r(bytes);
+  SltGrammar g;
+  Result<uint64_t> label_count = r.ReadVarint();
+  if (!label_count.ok()) return label_count.status();
+  Result<uint64_t> rule_count = r.ReadVarint();
+  if (!rule_count.ok()) return rule_count.status();
+  Result<uint64_t> star_count = r.ReadVarint();
+  if (!star_count.ok()) return star_count.status();
+  if (label_count.value() > (1u << 28) || rule_count.value() > (1u << 28)) {
+    return Status::Corruption("implausible packed header");
+  }
+  for (uint64_t s = 0; s < star_count.value(); ++s) {
+    Result<uint64_t> h = r.ReadVarint();
+    if (!h.ok()) return h.status();
+    Result<uint64_t> sz = r.ReadVarint();
+    if (!sz.ok()) return sz.status();
+    g.InternStarStats({static_cast<int32_t>(h.value()),
+                       static_cast<int64_t>(sz.value())});
+  }
+  const int star_width = BitsFor(static_cast<int64_t>(star_count.value()));
+  const int32_t labels = static_cast<int32_t>(label_count.value());
+
+  for (uint64_t i = 0; i < rule_count.value(); ++i) {
+    const int width = SymbolWidth(labels, static_cast<int32_t>(i));
+    Result<int64_t> rank = r.ReadUnary();
+    if (!rank.ok()) return rank.status();
+    GrammarRule rule;
+    rule.rank = static_cast<int32_t>(rank.value());
+    RhsBuilder builder(&rule);
+    int32_t next_param = 0;
+
+    // Recursive decode via explicit stack: each frame decodes one symbol
+    // and knows where to deposit the resulting node id.
+    struct Frame {
+      int32_t node = kNullNode;   // created node (filled in stage order)
+      int child_total = 0;        // -1: star (open list)
+      int child_done = 0;
+      std::vector<int32_t> kids;
+      int32_t star_stats = 0;
+      bool is_star = false;
+      bool is_terminal = false;
+      LabelId label = 0;
+      int32_t callee = -1;
+    };
+    std::vector<Frame> stack;
+    int32_t root = kNullNode;
+    bool done_root = false;
+
+    // Deposits a completed node id into the parent frame (or the root).
+    auto deposit = [&](int32_t id) {
+      if (stack.empty()) {
+        root = id;
+        done_root = true;
+      } else {
+        stack.back().kids.push_back(id);
+        ++stack.back().child_done;
+      }
+    };
+    // Completes frames whose children are all decoded.
+    auto finish_ready = [&]() -> Status {
+      while (!stack.empty()) {
+        Frame& f = stack.back();
+        if (f.child_total < 0) return Status::OK();  // star: list still open
+        if (f.child_done < f.child_total) return Status::OK();
+        int32_t id;
+        if (f.is_terminal) {
+          id = builder.Terminal(f.label, f.kids[0], f.kids[1]);
+        } else if (f.is_star) {
+          id = builder.Star(f.star_stats, f.kids);
+        } else {
+          id = builder.Nonterminal(f.callee, f.kids);
+        }
+        stack.pop_back();
+        deposit(id);
+      }
+      return Status::OK();
+    };
+
+    while (!done_root) {
+      // If the innermost frame is an open star list, consume its control
+      // bit first.
+      if (!stack.empty() && stack.back().child_total < 0) {
+        Result<uint64_t> more = r.ReadBits(1);
+        if (!more.ok()) return more.status();
+        if (more.value() == 0) {
+          Frame f = stack.back();
+          stack.pop_back();
+          int32_t id = builder.Star(f.star_stats, f.kids);
+          deposit(id);
+          XMLSEL_RETURN_IF_ERROR(finish_ready());
+          continue;
+        }
+        // Fall through to decode the next star child symbol.
+      }
+      Result<uint64_t> sym = r.ReadBits(width);
+      if (!sym.ok()) return sym.status();
+      uint64_t s = sym.value();
+      if (s == kSymParam) {
+        if (next_param >= rule.rank) {
+          return Status::Corruption("too many parameters in rule");
+        }
+        deposit(builder.Param(next_param++));
+        XMLSEL_RETURN_IF_ERROR(finish_ready());
+      } else if (s == kSymBottom) {
+        deposit(kNullNode);
+        XMLSEL_RETURN_IF_ERROR(finish_ready());
+      } else if (s == kSymStar) {
+        Result<uint64_t> stats = r.ReadBits(star_width);
+        if (!stats.ok()) return stats.status();
+        if (stats.value() >= star_count.value()) {
+          return Status::Corruption("star stats index out of range");
+        }
+        Frame f;
+        f.is_star = true;
+        f.star_stats = static_cast<int32_t>(stats.value());
+        f.child_total = -1;
+        stack.push_back(std::move(f));
+      } else if (s < static_cast<uint64_t>(labels) + 2) {
+        LabelId label = static_cast<LabelId>(s - kSymBottom);
+        if (label <= 0 || label >= labels) {
+          return Status::Corruption("label symbol out of range");
+        }
+        Frame f;
+        f.is_terminal = true;
+        f.label = label;
+        f.child_total = 2;
+        stack.push_back(std::move(f));
+      } else {
+        int32_t callee = static_cast<int32_t>(
+            s - static_cast<uint64_t>(labels) - 2);
+        if (callee < 0 || callee >= static_cast<int32_t>(i)) {
+          return Status::Corruption("rule reference out of range");
+        }
+        Frame f;
+        f.callee = callee;
+        f.child_total = g.rule(callee).rank;
+        if (f.child_total == 0) {
+          deposit(builder.Nonterminal(callee, {}));
+          XMLSEL_RETURN_IF_ERROR(finish_ready());
+        } else {
+          stack.push_back(std::move(f));
+        }
+      }
+    }
+    if (next_param != rule.rank) {
+      return Status::Corruption("parameter count mismatch in rule");
+    }
+    rule.root = root;
+    g.AddRule(std::move(rule));
+  }
+  // Every structural invariant is enforced during decoding except the
+  // start rule's rank; check it gracefully (fuzzed input must yield
+  // kCorruption, not a crash).
+  if (g.rule_count() > 0 && g.rule(g.start_rule()).rank != 0) {
+    return Status::Corruption("start rule has parameters");
+  }
+  g.Validate();
+  return g;
+}
+
+int64_t PackedEncodedSize(const SltGrammar& g, int32_t label_count) {
+  return static_cast<int64_t>(EncodePacked(g, label_count).size());
+}
+
+std::vector<std::vector<uint8_t>> EncodePackedPerRule(const SltGrammar& g,
+                                                      int32_t label_count) {
+  std::vector<std::vector<uint8_t>> out;
+  out.reserve(static_cast<size_t>(g.rule_count()));
+  for (int32_t i = 0; i < g.rule_count(); ++i) {
+    BitWriter w;
+    EncodeRule(g, i, label_count, &w);
+    out.push_back(w.Finish());
+  }
+  return out;
+}
+
+int64_t PointerRepresentationSize(const SltGrammar& g) {
+  // A faithful accounting of the naive representation: per node, a kind
+  // tag + symbol (8 bytes) and an 8-byte pointer per child slot; per rule,
+  // a 16-byte header.
+  int64_t bytes = 0;
+  for (int32_t i = 0; i < g.rule_count(); ++i) {
+    bytes += 16;
+    for (const GrammarNode& n : g.rule(i).nodes) {
+      bytes += 8 + 8 * static_cast<int64_t>(n.children.size());
+    }
+  }
+  bytes += 8 * static_cast<int64_t>(g.star_stats().size());
+  return bytes;
+}
+
+}  // namespace xmlsel

@@ -1,0 +1,223 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "workload/query_gen.h"
+
+#include <algorithm>
+
+namespace xmlsel {
+
+namespace {
+
+/// Mutable query under construction; every node is witnessed by a real
+/// document node, which keeps the query satisfiable.
+struct Draft {
+  struct Node {
+    LabelId test;
+    Axis axis;  // incoming edge (root: axis from the virtual root)
+    NodeId witness;
+    int parent = -1;
+    std::vector<int> children;
+  };
+  std::vector<Node> nodes;
+  int root = -1;
+  int match = -1;
+
+  int size() const { return static_cast<int>(nodes.size()); }
+};
+
+/// Random strict descendant of `w` via a downward random walk.
+NodeId RandomDescendant(const Document& doc, Rng* rng, NodeId w) {
+  if (doc.first_child(w) == kNullNode) return kNullNode;
+  NodeId cur = w;
+  NodeId result = kNullNode;
+  while (doc.first_child(cur) != kNullNode) {
+    // Pick a uniform child by reservoir sampling over the sibling chain.
+    NodeId pick = kNullNode;
+    int64_t n = 0;
+    for (NodeId c = doc.first_child(cur); c != kNullNode;
+         c = doc.next_sibling(c)) {
+      ++n;
+      if (rng->Uniform(1, n) == 1) pick = c;
+    }
+    cur = pick;
+    result = cur;
+    if (rng->Chance(0.4)) break;  // stop early: favour shallow descendants
+  }
+  return result;
+}
+
+/// Random following sibling of `w`.
+NodeId RandomFollowingSibling(const Document& doc, Rng* rng, NodeId w) {
+  NodeId pick = kNullNode;
+  int64_t n = 0;
+  for (NodeId c = doc.next_sibling(w); c != kNullNode;
+       c = doc.next_sibling(c)) {
+    ++n;
+    if (rng->Uniform(1, n) == 1) pick = c;
+  }
+  return pick;
+}
+
+/// Random node following `w` in document order (not a descendant): pick a
+/// following sibling of `w` or of one of its ancestors, then walk down.
+NodeId RandomFollowing(const Document& doc, Rng* rng, NodeId w) {
+  std::vector<NodeId> anchors;
+  for (NodeId a = w; a != kNullNode && a != doc.virtual_root();
+       a = doc.parent(a)) {
+    for (NodeId s = doc.next_sibling(a); s != kNullNode;
+         s = doc.next_sibling(s)) {
+      anchors.push_back(s);
+    }
+  }
+  if (anchors.empty()) return kNullNode;
+  NodeId start =
+      anchors[static_cast<size_t>(rng->Uniform(
+          0, static_cast<int64_t>(anchors.size()) - 1))];
+  // Optionally descend.
+  if (rng->Chance(0.5)) {
+    NodeId d = RandomDescendant(doc, rng, start);
+    if (d != kNullNode) return d;
+  }
+  return start;
+}
+
+LabelId PickTest(const Document& doc, Rng* rng, NodeId witness,
+                 double wildcard_prob) {
+  if (rng->Chance(wildcard_prob)) return kWildcardTest;
+  return doc.label(witness);
+}
+
+/// Axis from the virtual root to a witnessed root node.
+Axis RootAxis(const Document& doc, NodeId witness, Rng* rng,
+              double child_axis_prob) {
+  if (doc.parent(witness) == doc.virtual_root()) {
+    return rng->Chance(child_axis_prob) ? Axis::kChild : Axis::kDescendant;
+  }
+  return Axis::kDescendant;
+}
+
+}  // namespace
+
+std::vector<Query> GenerateWorkload(const Document& doc,
+                                    const WorkloadOptions& options) {
+  Rng rng(options.seed);
+  // All element nodes, for uniform (= selectivity-biased per class)
+  // match-node sampling.
+  std::vector<NodeId> elements;
+  for (NodeId v : doc.SubtreeNodes(doc.virtual_root())) {
+    if (v != doc.virtual_root()) elements.push_back(v);
+  }
+  XMLSEL_CHECK(!elements.empty());
+
+  std::vector<Query> out;
+  int64_t attempts = 0;
+  while (static_cast<int32_t>(out.size()) < options.count &&
+         attempts < options.count * 50) {
+    ++attempts;
+    int32_t target =
+        static_cast<int32_t>(rng.Uniform(options.min_nodes, options.max_nodes));
+    NodeId m = elements[static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(elements.size()) - 1))];
+
+    Draft d;
+    d.nodes.push_back({PickTest(doc, &rng, m, options.wildcard_prob),
+                       RootAxis(doc, m, &rng, options.child_axis_prob), m,
+                       -1,
+                       {}});
+    d.root = 0;
+    d.match = 0;
+
+    int64_t grow_attempts = 0;
+    while (d.size() < target && grow_attempts < 40) {
+      ++grow_attempts;
+      bool insert_root = rng.Chance(1.0 / (d.size() + 1));
+      if (insert_root) {
+        NodeId rw = d.nodes[static_cast<size_t>(d.root)].witness;
+        // Collect proper ancestors (excluding the virtual root).
+        std::vector<NodeId> ancestors;
+        for (NodeId a = doc.parent(rw);
+             a != kNullNode && a != doc.virtual_root(); a = doc.parent(a)) {
+          ancestors.push_back(a);
+        }
+        if (ancestors.empty()) continue;
+        NodeId a = ancestors[static_cast<size_t>(rng.Uniform(
+            0, static_cast<int64_t>(ancestors.size()) - 1))];
+        Draft::Node nr;
+        nr.test = PickTest(doc, &rng, a, options.wildcard_prob);
+        nr.axis = RootAxis(doc, a, &rng, options.child_axis_prob);
+        nr.witness = a;
+        nr.parent = -1;
+        int id = d.size();
+        d.nodes.push_back(nr);
+        // Old root hangs under the new root.
+        Draft::Node& old_root = d.nodes[static_cast<size_t>(d.root)];
+        old_root.parent = id;
+        old_root.axis = (doc.parent(rw) == a && rng.Chance(0.8))
+                            ? Axis::kChild
+                            : Axis::kDescendant;
+        d.nodes[static_cast<size_t>(id)].children.push_back(d.root);
+        d.root = id;
+        continue;
+      }
+      // Insert a leaf under a random existing node.
+      int at = static_cast<int>(rng.Uniform(0, d.size() - 1));
+      NodeId w = d.nodes[static_cast<size_t>(at)].witness;
+      Axis axis;
+      NodeId witness = kNullNode;
+      if (rng.Chance(options.order_axis_prob)) {
+        if (rng.Chance(0.5)) {
+          axis = Axis::kFollowingSibling;
+          witness = RandomFollowingSibling(doc, &rng, w);
+        } else {
+          axis = Axis::kFollowing;
+          witness = RandomFollowing(doc, &rng, w);
+        }
+      } else if (rng.Chance(options.child_axis_prob)) {
+        axis = Axis::kChild;
+        // Uniform child via reservoir sampling.
+        int64_t n = 0;
+        for (NodeId c = doc.first_child(w); c != kNullNode;
+             c = doc.next_sibling(c)) {
+          ++n;
+          if (rng.Uniform(1, n) == 1) witness = c;
+        }
+      } else {
+        axis = Axis::kDescendant;
+        witness = RandomDescendant(doc, &rng, w);
+      }
+      if (witness == kNullNode) continue;
+      Draft::Node leaf;
+      leaf.test = PickTest(doc, &rng, witness, options.wildcard_prob);
+      leaf.axis = axis;
+      leaf.witness = witness;
+      leaf.parent = at;
+      d.nodes.push_back(leaf);
+      d.nodes[static_cast<size_t>(at)].children.push_back(d.size() - 1);
+    }
+    if (d.size() < options.min_nodes) continue;
+
+    // Serialize into a Query (DFS so parents precede children).
+    Query q;
+    std::vector<int32_t> qid(static_cast<size_t>(d.size()), -1);
+    std::vector<int> stack = {d.root};
+    while (!stack.empty()) {
+      int n = stack.back();
+      stack.pop_back();
+      const Draft::Node& dn = d.nodes[static_cast<size_t>(n)];
+      int32_t parent = dn.parent == -1
+                           ? q.root()
+                           : qid[static_cast<size_t>(dn.parent)];
+      qid[static_cast<size_t>(n)] = q.AddNode(parent, dn.axis, dn.test);
+      for (auto it = dn.children.rbegin(); it != dn.children.rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+    q.SetMatchNode(qid[static_cast<size_t>(d.match)]);
+    q.Validate();
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace xmlsel

@@ -1,0 +1,46 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Random branching-path query workloads (§8.1). Queries are generated
+// against a document by sampling a match node biased by selectivity —
+// sampling document nodes uniformly is exactly selectivity-proportional
+// sampling of F/B-index classes — and growing the query by inserting new
+// roots and new leaves at random positions, each witnessed by a real
+// document node, so every generated query has selectivity ≥ 1.
+
+#ifndef XMLSEL_WORKLOAD_QUERY_GEN_H_
+#define XMLSEL_WORKLOAD_QUERY_GEN_H_
+
+#include <vector>
+
+#include "data/generator.h"
+#include "query/ast.h"
+#include "xml/document.h"
+
+namespace xmlsel {
+
+/// Workload shape parameters; defaults follow §8.1 (3–5 query nodes, 100
+/// queries, descendant-heavy twigs).
+struct WorkloadOptions {
+  int32_t count = 100;
+  int32_t min_nodes = 3;
+  int32_t max_nodes = 5;
+  /// Probability that a structural edge uses `child` rather than
+  /// `descendant`.
+  double child_axis_prob = 0.35;
+  /// Probability that a leaf insertion tries an order-sensitive axis
+  /// (following-sibling / following) — the workloads only this synopsis
+  /// supports.
+  double order_axis_prob = 0.0;
+  /// Probability that a node test is '*' instead of a label.
+  double wildcard_prob = 0.0;
+  uint64_t seed = 42;
+};
+
+/// Generates the workload. Queries reference labels in `doc.names()`.
+std::vector<Query> GenerateWorkload(const Document& doc,
+                                    const WorkloadOptions& options);
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_WORKLOAD_QUERY_GEN_H_

@@ -1,0 +1,43 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "workload/runner.h"
+
+#include <cmath>
+
+namespace xmlsel {
+
+WorkloadResult RunWorkload(SelectivityEstimator* estimator,
+                           const ExactEvaluator& oracle,
+                           const std::vector<Query>& queries,
+                           const NameTable& names) {
+  WorkloadResult out;
+  double lower_sum = 0.0;
+  double upper_sum = 0.0;
+  int64_t counted = 0;
+  for (const Query& q : queries) {
+    QueryOutcome o;
+    o.xpath = q.ToString(names);
+    o.exact = oracle.Count(q);
+    Result<SelectivityEstimate> est = estimator->EstimateQuery(q);
+    XMLSEL_CHECK(est.ok());
+    o.lower = est.value().lower;
+    o.upper = est.value().upper;
+    if (!o.bounds_hold()) ++out.bound_violations;
+    if (o.exact > 0) {
+      lower_sum += std::abs(static_cast<double>(o.lower - o.exact)) /
+                   static_cast<double>(o.exact);
+      upper_sum += std::abs(static_cast<double>(o.upper - o.exact)) /
+                   static_cast<double>(o.exact);
+      ++counted;
+    }
+    out.queries.push_back(std::move(o));
+  }
+  if (counted > 0) {
+    out.avg_lower_rel_error = lower_sum / static_cast<double>(counted);
+    out.avg_upper_rel_error = upper_sum / static_cast<double>(counted);
+  }
+  return out;
+}
+
+}  // namespace xmlsel

@@ -1,0 +1,47 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Experiment driver: runs a query workload against the estimator and the
+// exact oracle and aggregates the paper's error metric — the average
+// relative error of the lower and upper bound estimates (§8.1).
+
+#ifndef XMLSEL_WORKLOAD_RUNNER_H_
+#define XMLSEL_WORKLOAD_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "baseline/exact.h"
+#include "estimator/estimator.h"
+#include "query/ast.h"
+
+namespace xmlsel {
+
+/// Per-query outcome.
+struct QueryOutcome {
+  std::string xpath;
+  int64_t exact = 0;
+  int64_t lower = 0;
+  int64_t upper = 0;
+  bool bounds_hold() const { return lower <= exact && exact <= upper; }
+};
+
+/// Aggregated workload result.
+struct WorkloadResult {
+  std::vector<QueryOutcome> queries;
+  double avg_lower_rel_error = 0.0;
+  double avg_upper_rel_error = 0.0;
+  int64_t bound_violations = 0;  ///< must be 0 — the bounds are guaranteed
+};
+
+/// Evaluates every query with the estimator and the oracle. Queries whose
+/// exact count is 0 are skipped for the relative-error average (the §8.1
+/// generator never produces them, but defensive callers may).
+WorkloadResult RunWorkload(SelectivityEstimator* estimator,
+                           const ExactEvaluator& oracle,
+                           const std::vector<Query>& queries,
+                           const NameTable& names);
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_WORKLOAD_RUNNER_H_

@@ -1,0 +1,104 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "xml/binary_tree.h"
+
+#include <algorithm>
+
+namespace xmlsel {
+
+Result<BinddPath> BinddPath::Parse(std::string_view text) {
+  std::vector<uint8_t> steps;
+  if (text.empty() || text == "ε") return BinddPath(std::move(steps));
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c != '1' && c != '2') {
+      return Status::InvalidArgument("bindd step must be 1 or 2");
+    }
+    steps.push_back(static_cast<uint8_t>(c - '0'));
+    ++i;
+    if (i < text.size()) {
+      if (text[i] != '.') {
+        return Status::InvalidArgument("bindd steps must be '.'-separated");
+      }
+      ++i;
+      if (i == text.size()) {
+        return Status::InvalidArgument("trailing '.' in bindd path");
+      }
+    }
+  }
+  return BinddPath(std::move(steps));
+}
+
+std::string BinddPath::ToString() const {
+  if (steps_.empty()) return "ε";
+  std::string out;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    if (i > 0) out += '.';
+    out += static_cast<char>('0' + steps_[i]);
+  }
+  return out;
+}
+
+Result<NodeId> ResolveBindd(const Document& doc, const BinddPath& path) {
+  NodeId cur = doc.document_element();
+  if (cur == kNullNode) return Status::NotFound("empty document");
+  for (uint8_t step : path.steps()) {
+    cur = (step == 1) ? BinaryLeft(doc, cur) : BinaryRight(doc, cur);
+    if (cur == kNullNode) {
+      return Status::NotFound("bindd path " + path.ToString() +
+                              " walks off the tree");
+    }
+  }
+  return cur;
+}
+
+BinddPath BinddOf(const Document& doc, NodeId node) {
+  XMLSEL_CHECK(doc.IsLive(node) && node != doc.virtual_root());
+  std::vector<uint8_t> rev;
+  NodeId cur = node;
+  while (cur != doc.document_element()) {
+    NodeId prev = doc.prev_sibling(cur);
+    if (prev != kNullNode) {
+      rev.push_back(2);
+      cur = prev;
+    } else {
+      rev.push_back(1);
+      cur = doc.parent(cur);
+      XMLSEL_CHECK(cur != doc.virtual_root());
+    }
+  }
+  std::reverse(rev.begin(), rev.end());
+  return BinddPath(std::move(rev));
+}
+
+std::vector<NodeId> BinaryPostOrder(const Document& doc) {
+  std::vector<NodeId> out;
+  NodeId root = doc.document_element();
+  if (root == kNullNode) return out;
+  // Iterative post-order over (left = first_child, right = next_sibling).
+  struct Frame {
+    NodeId node;
+    uint8_t stage;  // 0: visit left, 1: visit right, 2: emit
+  };
+  std::vector<Frame> stack = {{root, 0}};
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.stage == 0) {
+      f.stage = 1;
+      NodeId l = BinaryLeft(doc, f.node);
+      if (l != kNullNode) stack.push_back({l, 0});
+    } else if (f.stage == 1) {
+      f.stage = 2;
+      NodeId r = BinaryRight(doc, f.node);
+      if (r != kNullNode) stack.push_back({r, 0});
+    } else {
+      out.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+  return out;
+}
+
+}  // namespace xmlsel

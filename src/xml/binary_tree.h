@@ -1,0 +1,76 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Helpers for the ranked (binary) view bin(D) of a document (§3), and the
+// "bindd" binary Dewey paths of §6 used to address update positions.
+//
+// In bin(D), the left edge of a node is its first child in D and the right
+// edge is its next sibling; ⊥ (kNullNode) terminates both. The root of
+// bin(D) is the document element.
+
+#ifndef XMLSEL_XML_BINARY_TREE_H_
+#define XMLSEL_XML_BINARY_TREE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/document.h"
+#include "xmlsel/status.h"
+
+namespace xmlsel {
+
+/// A path in binary dotted-decimal (Dewey) notation: a sequence of steps,
+/// each 1 (left / first-child) or 2 (right / next-sibling), from the root
+/// of bin(D). The empty path addresses the document element itself.
+class BinddPath {
+ public:
+  BinddPath() = default;
+  explicit BinddPath(std::vector<uint8_t> steps) : steps_(std::move(steps)) {}
+
+  /// Parses "1.2.1" style notation. Rejects steps other than 1 or 2.
+  static Result<BinddPath> Parse(std::string_view text);
+
+  /// Renders to "1.2.1" notation; the empty path renders as "ε".
+  std::string ToString() const;
+
+  const std::vector<uint8_t>& steps() const { return steps_; }
+  bool empty() const { return steps_.empty(); }
+  size_t size() const { return steps_.size(); }
+
+  void Append(uint8_t step) {
+    XMLSEL_CHECK(step == 1 || step == 2);
+    steps_.push_back(step);
+  }
+
+  bool operator==(const BinddPath& o) const { return steps_ == o.steps_; }
+
+ private:
+  std::vector<uint8_t> steps_;
+};
+
+/// Resolves a bindd path against the document's binary view. Fails with
+/// NotFound if the path walks off the tree.
+Result<NodeId> ResolveBindd(const Document& doc, const BinddPath& path);
+
+/// Computes the bindd path of a live node (must not be the virtual root).
+BinddPath BinddOf(const Document& doc, NodeId node);
+
+/// Left (first-child) binary child of `n`, or kNullNode.
+inline NodeId BinaryLeft(const Document& doc, NodeId n) {
+  return doc.first_child(n);
+}
+
+/// Right (next-sibling) binary child of `n`, or kNullNode.
+inline NodeId BinaryRight(const Document& doc, NodeId n) {
+  return doc.next_sibling(n);
+}
+
+/// Returns all live nodes of the subtree of bin(D) rooted at the document
+/// element, in binary post-order (left, right, node) — the evaluation
+/// order of a bottom-up tree automaton.
+std::vector<NodeId> BinaryPostOrder(const Document& doc);
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_XML_BINARY_TREE_H_

@@ -1,0 +1,228 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "xml/document.h"
+
+#include <algorithm>
+
+namespace xmlsel {
+
+Document::Document() {
+  DocumentNode root;
+  root.label = kRootLabel;
+  nodes_.push_back(root);
+}
+
+NodeId Document::NewNode(LabelId label, NodeId parent) {
+  XMLSEL_CHECK(label > 0);  // kRootLabel is reserved for the virtual root.
+  DocumentNode n;
+  n.label = label;
+  n.parent = parent;
+  nodes_.push_back(n);
+  ++live_count_;
+  return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+NodeId Document::AppendChild(NodeId parent, LabelId label) {
+  XMLSEL_DCHECK(IsLive(parent));
+  NodeId id = NewNode(label, parent);
+  DocumentNode& p = nodes_[parent];
+  if (p.last_child == kNullNode) {
+    p.first_child = p.last_child = id;
+  } else {
+    nodes_[p.last_child].next_sibling = id;
+    nodes_[id].prev_sibling = p.last_child;
+    p.last_child = id;
+  }
+  return id;
+}
+
+NodeId Document::InsertFirstChild(NodeId parent, LabelId label) {
+  XMLSEL_DCHECK(IsLive(parent));
+  NodeId id = NewNode(label, parent);
+  DocumentNode& p = nodes_[parent];
+  NodeId old_first = p.first_child;
+  nodes_[id].next_sibling = old_first;
+  if (old_first != kNullNode) {
+    nodes_[old_first].prev_sibling = id;
+  } else {
+    p.last_child = id;
+  }
+  p.first_child = id;
+  return id;
+}
+
+NodeId Document::InsertNextSibling(NodeId node, LabelId label) {
+  XMLSEL_DCHECK(IsLive(node));
+  XMLSEL_CHECK(node != virtual_root());
+  NodeId parent = nodes_[node].parent;
+  NodeId id = NewNode(label, parent);
+  NodeId old_next = nodes_[node].next_sibling;
+  nodes_[id].prev_sibling = node;
+  nodes_[id].next_sibling = old_next;
+  nodes_[node].next_sibling = id;
+  if (old_next != kNullNode) {
+    nodes_[old_next].prev_sibling = id;
+  } else {
+    nodes_[parent].last_child = id;
+  }
+  return id;
+}
+
+void Document::DeleteSubtree(NodeId node) {
+  XMLSEL_DCHECK(IsLive(node));
+  XMLSEL_CHECK(node != virtual_root());
+  // Unlink from siblings/parent.
+  DocumentNode& n = nodes_[node];
+  if (n.prev_sibling != kNullNode) {
+    nodes_[n.prev_sibling].next_sibling = n.next_sibling;
+  } else {
+    nodes_[n.parent].first_child = n.next_sibling;
+  }
+  if (n.next_sibling != kNullNode) {
+    nodes_[n.next_sibling].prev_sibling = n.prev_sibling;
+  } else {
+    nodes_[n.parent].last_child = n.prev_sibling;
+  }
+  // Tombstone the whole subtree iteratively.
+  std::vector<NodeId> stack = {node};
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    for (NodeId c = nodes_[cur].first_child; c != kNullNode;
+         c = nodes_[c].next_sibling) {
+      stack.push_back(c);
+    }
+    nodes_[cur].label = -1;
+    nodes_[cur].parent = nodes_[cur].first_child = nodes_[cur].last_child =
+        nodes_[cur].next_sibling = nodes_[cur].prev_sibling = kNullNode;
+    --live_count_;
+  }
+}
+
+int32_t Document::Depth(NodeId n) const {
+  int32_t d = 0;
+  while (n != virtual_root()) {
+    n = nodes_[n].parent;
+    ++d;
+  }
+  return d;
+}
+
+int64_t Document::SubtreeSize(NodeId n) const {
+  int64_t size = 0;
+  std::vector<NodeId> stack = {n};
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    ++size;
+    for (NodeId c = nodes_[cur].first_child; c != kNullNode;
+         c = nodes_[c].next_sibling) {
+      stack.push_back(c);
+    }
+  }
+  return size;
+}
+
+int32_t Document::SubtreeHeight(NodeId n) const {
+  // Iterative height computation: (node, accumulated depth).
+  int32_t height = 0;
+  std::vector<std::pair<NodeId, int32_t>> stack = {{n, 1}};
+  while (!stack.empty()) {
+    auto [cur, d] = stack.back();
+    stack.pop_back();
+    height = std::max(height, d);
+    for (NodeId c = nodes_[cur].first_child; c != kNullNode;
+         c = nodes_[c].next_sibling) {
+      stack.push_back({c, d + 1});
+    }
+  }
+  return height;
+}
+
+std::vector<NodeId> Document::SubtreeNodes(NodeId n) const {
+  std::vector<NodeId> out;
+  // Document-order (pre-order) traversal without recursion.
+  NodeId cur = n;
+  while (cur != kNullNode) {
+    out.push_back(cur);
+    if (nodes_[cur].first_child != kNullNode) {
+      cur = nodes_[cur].first_child;
+      continue;
+    }
+    // Ascend until a next sibling exists or we leave the subtree.
+    NodeId walk = cur;
+    cur = kNullNode;
+    while (walk != kNullNode && walk != n) {
+      if (nodes_[walk].next_sibling != kNullNode) {
+        cur = nodes_[walk].next_sibling;
+        break;
+      }
+      walk = nodes_[walk].parent;
+    }
+  }
+  return out;
+}
+
+Document Document::Compact() const {
+  Document out;
+  // Copy the name table by re-interning in id order so LabelIds coincide.
+  for (LabelId i = 1; i < names_.size(); ++i) {
+    out.names_.Intern(names_.Name(i));
+  }
+  // Rebuild by traversing from the virtual root.
+  std::vector<std::pair<NodeId, NodeId>> stack;  // (src node, dst parent)
+  // Push children of the virtual root in reverse so order is preserved.
+  std::vector<NodeId> kids;
+  for (NodeId c = nodes_[0].first_child; c != kNullNode;
+       c = nodes_[c].next_sibling) {
+    kids.push_back(c);
+  }
+  for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+    stack.push_back({*it, out.virtual_root()});
+  }
+  while (!stack.empty()) {
+    auto [src, dst_parent] = stack.back();
+    stack.pop_back();
+    NodeId dst = out.AppendChild(dst_parent, nodes_[src].label);
+    kids.clear();
+    for (NodeId c = nodes_[src].first_child; c != kNullNode;
+         c = nodes_[c].next_sibling) {
+      kids.push_back(c);
+    }
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back({*it, dst});
+    }
+  }
+  return out;
+}
+
+bool Document::StructurallyEquals(const Document& other) const {
+  // Compare via parallel pre-order traversal on label *names* (the two
+  // documents may have different interning orders).
+  std::vector<std::pair<NodeId, NodeId>> stack = {
+      {virtual_root(), other.virtual_root()}};
+  while (!stack.empty()) {
+    auto [a, b] = stack.back();
+    stack.pop_back();
+    if ((a == kNullNode) != (b == kNullNode)) return false;
+    if (a == kNullNode) continue;
+    if (a != virtual_root() || b != other.virtual_root()) {
+      if (names().Name(label(a)) != other.names().Name(other.label(b))) {
+        return false;
+      }
+    }
+    // Children must match pairwise, in order.
+    NodeId ca = first_child(a);
+    NodeId cb = other.first_child(b);
+    while (ca != kNullNode && cb != kNullNode) {
+      stack.push_back({ca, cb});
+      ca = next_sibling(ca);
+      cb = other.next_sibling(cb);
+    }
+    if (ca != kNullNode || cb != kNullNode) return false;
+  }
+  return true;
+}
+
+}  // namespace xmlsel

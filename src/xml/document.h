@@ -1,0 +1,121 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// The ordered, rooted, labeled, unranked document tree of §3, stored in a
+// flat arena. The same arena simultaneously provides the *ranked binary
+// view* bin(D): `first_child` is the binary left edge and `next_sibling`
+// the binary right edge, with kNullNode playing the role of ⊥.
+//
+// Node 0 is always the virtual document root (label kRootLabel); its first
+// child is the document element. Queries are compiled against this virtual
+// root so that absolute paths (/a, //a) need no special cases.
+
+#ifndef XMLSEL_XML_DOCUMENT_H_
+#define XMLSEL_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "xml/name_table.h"
+#include "xmlsel/common.h"
+#include "xmlsel/status.h"
+
+namespace xmlsel {
+
+/// One element node. Tombstoned nodes (after DeleteSubtree) have label -1.
+struct DocumentNode {
+  LabelId label = -1;
+  NodeId parent = kNullNode;
+  NodeId first_child = kNullNode;
+  NodeId last_child = kNullNode;
+  NodeId next_sibling = kNullNode;
+  NodeId prev_sibling = kNullNode;
+};
+
+/// An XML document's element structure (values/attributes are ignored, §3).
+///
+/// Supports O(1) child append and the three §6 update primitives
+/// (insert-first-child, insert-next-sibling, delete-subtree). Deletion
+/// tombstones nodes; Compact() produces a fresh, dense document.
+class Document {
+ public:
+  Document();
+
+  /// Mutable/const access to the interning table for this document.
+  NameTable& names() { return names_; }
+  const NameTable& names() const { return names_; }
+
+  /// The virtual root (always node 0, label kRootLabel).
+  NodeId virtual_root() const { return 0; }
+
+  /// The document element (first child of the virtual root), or kNullNode
+  /// for an empty document.
+  NodeId document_element() const { return nodes_[0].first_child; }
+
+  /// Appends a new element labeled `label` as the last child of `parent`.
+  NodeId AppendChild(NodeId parent, LabelId label);
+
+  /// Convenience: interns `name` and appends.
+  NodeId AppendChild(NodeId parent, std::string_view name) {
+    return AppendChild(parent, names_.Intern(name));
+  }
+
+  /// Inserts a new element as the *first* child of `parent` (§6 update).
+  NodeId InsertFirstChild(NodeId parent, LabelId label);
+
+  /// Inserts a new element as the next sibling of `node` (§6 update).
+  /// `node` must not be the virtual root.
+  NodeId InsertNextSibling(NodeId node, LabelId label);
+
+  /// Deletes `node` and its entire (unranked) subtree. In the ranked view
+  /// this is exactly the paper's delete: the node plus its left subtree.
+  void DeleteSubtree(NodeId node);
+
+  /// Number of live element nodes (excludes the virtual root).
+  int64_t element_count() const { return live_count_; }
+
+  /// Total arena slots (live + tombstoned + virtual root).
+  int64_t arena_size() const { return static_cast<int64_t>(nodes_.size()); }
+
+  bool IsLive(NodeId n) const {
+    return n >= 0 && n < arena_size() && (n == 0 || nodes_[n].label >= 0);
+  }
+
+  LabelId label(NodeId n) const { return nodes_[n].label; }
+  NodeId parent(NodeId n) const { return nodes_[n].parent; }
+  NodeId first_child(NodeId n) const { return nodes_[n].first_child; }
+  NodeId last_child(NodeId n) const { return nodes_[n].last_child; }
+  NodeId next_sibling(NodeId n) const { return nodes_[n].next_sibling; }
+  NodeId prev_sibling(NodeId n) const { return nodes_[n].prev_sibling; }
+
+  /// Depth of `n`: the document element has depth 1 (virtual root 0).
+  int32_t Depth(NodeId n) const;
+
+  /// Number of nodes in the (unranked) subtree rooted at `n`, inclusive.
+  int64_t SubtreeSize(NodeId n) const;
+
+  /// Height of the subtree rooted at `n`: a leaf has height 1.
+  int32_t SubtreeHeight(NodeId n) const;
+
+  /// Returns the nodes of the subtree rooted at `n` in document order.
+  std::vector<NodeId> SubtreeNodes(NodeId n) const;
+
+  /// Returns a structurally equal document with dense node ids and no
+  /// tombstones. Node ids are reassigned in document order.
+  Document Compact() const;
+
+  /// Deep structural equality (labels and shape, ignoring node ids).
+  bool StructurallyEquals(const Document& other) const;
+
+ private:
+  NodeId NewNode(LabelId label, NodeId parent);
+
+  NameTable names_;
+  std::vector<DocumentNode> nodes_;
+  int64_t live_count_ = 0;
+};
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_XML_DOCUMENT_H_

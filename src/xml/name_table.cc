@@ -1,0 +1,33 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "xml/name_table.h"
+
+namespace xmlsel {
+
+NameTable::NameTable() {
+  names_.emplace_back("#root");
+  ids_.emplace("#root", kRootLabel);
+}
+
+LabelId NameTable::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  LabelId id = static_cast<LabelId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+LabelId NameTable::Lookup(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) return -1;
+  return it->second;
+}
+
+const std::string& NameTable::Name(LabelId id) const {
+  XMLSEL_CHECK(id >= 0 && id < size());
+  return names_[id];
+}
+
+}  // namespace xmlsel

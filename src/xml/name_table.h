@@ -1,0 +1,49 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Interning table for element names. The paper (§3) assumes a finite
+// alphabet Σ of element labels; interning makes label comparison O(1)
+// throughout the document, grammar, and automaton layers.
+
+#ifndef XMLSEL_XML_NAME_TABLE_H_
+#define XMLSEL_XML_NAME_TABLE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "xmlsel/common.h"
+
+namespace xmlsel {
+
+/// Bidirectional mapping between element-name strings and dense LabelIds.
+///
+/// LabelId 0 is always the reserved virtual-root label "#root"; real element
+/// names receive ids starting at 1. A NameTable is owned by a Document and
+/// shared (by reference) with every structure derived from it (grammars,
+/// synopses, queries compiled against the document).
+class NameTable {
+ public:
+  NameTable();
+
+  /// Interns `name`, returning its id (existing or freshly assigned).
+  LabelId Intern(std::string_view name);
+
+  /// Returns the id of `name`, or -1 if it has never been interned.
+  LabelId Lookup(std::string_view name) const;
+
+  /// Returns the name for `id`. `id` must be a valid label.
+  const std::string& Name(LabelId id) const;
+
+  /// Number of labels, including the reserved root label.
+  int32_t size() const { return static_cast<int32_t>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, LabelId> ids_;
+};
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_XML_NAME_TABLE_H_

@@ -1,0 +1,33 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// A from-scratch, single-pass XML parser producing the element structure of
+// a document. Per §3 of the paper, attributes, text values, namespaces,
+// comments, processing instructions, DOCTYPEs, and CDATA sections are
+// recognized and *skipped*; only the element tree is materialized.
+
+#ifndef XMLSEL_XML_PARSER_H_
+#define XMLSEL_XML_PARSER_H_
+
+#include <string_view>
+
+#include "xml/document.h"
+#include "xmlsel/status.h"
+
+namespace xmlsel {
+
+/// Parse options.
+struct ParseOptions {
+  /// When false (default), mismatched end tags are an error; when true the
+  /// parser recovers by implicitly closing open elements.
+  bool lenient_end_tags = false;
+};
+
+/// Parses `input` into a Document. The document must have exactly one
+/// top-level element; well-formedness of the element structure is checked.
+Result<Document> ParseXml(std::string_view input,
+                          const ParseOptions& options = {});
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_XML_PARSER_H_

@@ -1,0 +1,65 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "xml/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "xml/writer.h"
+
+namespace xmlsel {
+
+DocumentStats ComputeStats(const Document& doc) {
+  DocumentStats stats;
+  if (doc.document_element() == kNullNode) return stats;
+  int64_t depth_sum = 0;
+  int64_t internal_nodes = 0;
+  int64_t child_edges = 0;
+  std::vector<bool> label_seen(static_cast<size_t>(doc.names().size()), false);
+  // Pre-order traversal tracking depth.
+  std::vector<std::pair<NodeId, int32_t>> stack = {{doc.document_element(), 1}};
+  while (!stack.empty()) {
+    auto [n, d] = stack.back();
+    stack.pop_back();
+    ++stats.element_count;
+    depth_sum += d;
+    stats.max_depth = std::max(stats.max_depth, d);
+    label_seen[static_cast<size_t>(doc.label(n))] = true;
+    int64_t kids = 0;
+    for (NodeId c = doc.first_child(n); c != kNullNode;
+         c = doc.next_sibling(c)) {
+      stack.push_back({c, d + 1});
+      ++kids;
+    }
+    if (kids > 0) {
+      ++internal_nodes;
+      child_edges += kids;
+    }
+  }
+  stats.average_depth =
+      static_cast<double>(depth_sum) / static_cast<double>(stats.element_count);
+  stats.average_fanout =
+      internal_nodes == 0
+          ? 0.0
+          : static_cast<double>(child_edges) / static_cast<double>(internal_nodes);
+  for (size_t i = 1; i < label_seen.size(); ++i) {
+    if (label_seen[i]) ++stats.distinct_labels;
+  }
+  stats.size_bytes = static_cast<int64_t>(WriteXml(doc).size());
+  return stats;
+}
+
+std::string DocumentStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "size=%.2fMB elements=%lld max_depth=%d avg_depth=%.2f "
+                "labels=%d avg_fanout=%.2f",
+                static_cast<double>(size_bytes) / (1024.0 * 1024.0),
+                static_cast<long long>(element_count), max_depth,
+                average_depth, distinct_labels, average_fanout);
+  return buf;
+}
+
+}  // namespace xmlsel

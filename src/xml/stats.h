@@ -1,0 +1,35 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Document statistics: the per-dataset characteristics reported in Table 1
+// of the paper (size, element count, max/average depth), plus extras that
+// are useful when reasoning about compressibility.
+
+#ifndef XMLSEL_XML_STATS_H_
+#define XMLSEL_XML_STATS_H_
+
+#include <string>
+
+#include "xml/document.h"
+
+namespace xmlsel {
+
+/// Table 1 characteristics of a document.
+struct DocumentStats {
+  int64_t size_bytes = 0;      ///< serialized size (compact serialization)
+  int64_t element_count = 0;   ///< number of element nodes
+  int32_t max_depth = 0;       ///< document element has depth 1
+  double average_depth = 0.0;  ///< mean depth over all elements
+  int32_t distinct_labels = 0; ///< |Σ| (excluding the virtual root)
+  double average_fanout = 0.0; ///< mean child count of internal nodes
+
+  /// Renders as a single human-readable line.
+  std::string ToString() const;
+};
+
+/// Computes statistics in one pass over the document.
+DocumentStats ComputeStats(const Document& doc);
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_XML_STATS_H_

@@ -1,0 +1,71 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "xml/writer.h"
+
+#include <vector>
+
+namespace xmlsel {
+
+namespace {
+
+void WriteNode(const Document& doc, NodeId node, const WriteOptions& opt,
+               int depth, std::string* out) {
+  // Iterative serialization with an explicit close-stack to avoid deep
+  // recursion on degenerate (chain-shaped) documents.
+  struct Frame {
+    NodeId node;
+    int depth;
+    bool closing;
+  };
+  std::vector<Frame> stack = {{node, depth, false}};
+  auto indent = [&](int d) {
+    if (opt.indent > 0) out->append(static_cast<size_t>(d) * opt.indent, ' ');
+  };
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const std::string& name = doc.names().Name(doc.label(f.node));
+    if (f.closing) {
+      indent(f.depth);
+      *out += "</" + name + ">";
+      if (opt.indent > 0) *out += '\n';
+      continue;
+    }
+    indent(f.depth);
+    if (doc.first_child(f.node) == kNullNode) {
+      *out += "<" + name + "/>";
+      if (opt.indent > 0) *out += '\n';
+      continue;
+    }
+    *out += "<" + name + ">";
+    if (opt.indent > 0) *out += '\n';
+    stack.push_back({f.node, f.depth, true});
+    std::vector<NodeId> kids;
+    for (NodeId c = doc.first_child(f.node); c != kNullNode;
+         c = doc.next_sibling(c)) {
+      kids.push_back(c);
+    }
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back({*it, f.depth + 1, false});
+    }
+  }
+}
+
+}  // namespace
+
+std::string WriteXml(const Document& doc, const WriteOptions& options) {
+  std::string out;
+  if (doc.document_element() == kNullNode) return out;
+  WriteNode(doc, doc.document_element(), options, 0, &out);
+  return out;
+}
+
+std::string WriteXmlSubtree(const Document& doc, NodeId node,
+                            const WriteOptions& options) {
+  std::string out;
+  WriteNode(doc, node, options, 0, &out);
+  return out;
+}
+
+}  // namespace xmlsel

@@ -1,0 +1,30 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Serializes a Document back to XML text (element structure only).
+
+#ifndef XMLSEL_XML_WRITER_H_
+#define XMLSEL_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/document.h"
+
+namespace xmlsel {
+
+/// Serialization options.
+struct WriteOptions {
+  /// Indent children by this many spaces per depth level; 0 = compact.
+  int indent = 0;
+};
+
+/// Serializes the whole document (its single top-level element).
+std::string WriteXml(const Document& doc, const WriteOptions& options = {});
+
+/// Serializes the subtree rooted at `node`.
+std::string WriteXmlSubtree(const Document& doc, NodeId node,
+                            const WriteOptions& options = {});
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_XML_WRITER_H_

@@ -1,0 +1,59 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Basic shared types and checking macros used across the library.
+
+#ifndef XMLSEL_XMLSEL_COMMON_H_
+#define XMLSEL_XMLSEL_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace xmlsel {
+
+/// Interned element-label identifier. Labels are interned in a NameTable;
+/// label 0 is reserved for the virtual document root ("#root"), which can
+/// never appear as an element name in a parsed document.
+using LabelId = int32_t;
+
+/// Identifier of a node within a Document arena.
+using NodeId = int32_t;
+
+/// Sentinel for "no node" / the empty tree (⊥ in the paper).
+inline constexpr NodeId kNullNode = -1;
+
+/// Reserved label of the virtual document root.
+inline constexpr LabelId kRootLabel = 0;
+
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "XMLSEL_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+
+/// Always-on invariant check. The library uses checks (rather than
+/// exceptions) for programmer errors, in the style of other database
+/// engines; recoverable conditions use Status instead.
+#define XMLSEL_CHECK(expr)                                       \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::xmlsel::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                            \
+  } while (0)
+
+#ifndef NDEBUG
+#define XMLSEL_DCHECK(expr) XMLSEL_CHECK(expr)
+#else
+#define XMLSEL_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#endif
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_XMLSEL_COMMON_H_

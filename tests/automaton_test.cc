@@ -1,0 +1,182 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Correctness of the counting tree automaton (Algorithms 1 and 2): the
+// document-level run must agree with two independent oracles — the
+// O(|Q|·|D|) exact evaluator and the brute-force embedding search — on
+// hand-picked queries (including the paper's Figure 2 example) and on
+// randomized documents and queries over all forward axes.
+
+#include <gtest/gtest.h>
+
+#include "automaton/doc_eval.h"
+#include "baseline/exact.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+#include "xml/parser.h"
+
+namespace xmlsel {
+namespace {
+
+int64_t AutomatonCount(const Document& doc, const Query& q) {
+  Result<CompiledQuery> cq = CompiledQuery::Compile(q);
+  XMLSEL_CHECK(cq.ok());
+  return EvaluateOnDocument(cq.value(), doc).count;
+}
+
+int64_t ParseAndCount(const Document& doc, std::string_view xpath,
+                      NameTable* names) {
+  Result<Query> q = ParseQuery(xpath, names);
+  XMLSEL_CHECK(q.ok());
+  return AutomatonCount(doc, q.value());
+}
+
+TEST(AutomatonTest, Figure2Example) {
+  // Document of Figure 2(c): a(b(d(b(c))), b(c)). Query //a//b/c-style
+  // twig counting c-nodes; the paper's run yields 2.
+  auto r = ParseXml("<a><b><d><b><c/></b></d></b><b><c/></b></a>");
+  ASSERT_TRUE(r.ok());
+  Document doc = std::move(r).value();
+  EXPECT_EQ(ParseAndCount(doc, "//a//b/c", &doc.names()), 2);
+  EXPECT_EQ(ParseAndCount(doc, "//b/c", &doc.names()), 2);
+  EXPECT_EQ(ParseAndCount(doc, "//b", &doc.names()), 3);
+  EXPECT_EQ(ParseAndCount(doc, "/a/b", &doc.names()), 2);
+  EXPECT_EQ(ParseAndCount(doc, "/a/b/c", &doc.names()), 1);
+}
+
+TEST(AutomatonTest, PredicatesRestrictMatches) {
+  auto r = ParseXml(
+      "<lib><book><author/><title/></book><book><title/></book>"
+      "<journal><title/></journal></lib>");
+  ASSERT_TRUE(r.ok());
+  Document doc = std::move(r).value();
+  NameTable* names = &doc.names();
+  EXPECT_EQ(ParseAndCount(doc, "//book", names), 2);
+  EXPECT_EQ(ParseAndCount(doc, "//book[./author]", names), 1);
+  EXPECT_EQ(ParseAndCount(doc, "//book[./author and ./title]", names), 1);
+  EXPECT_EQ(ParseAndCount(doc, "//*[./title]", names), 3);
+  EXPECT_EQ(ParseAndCount(doc, "/lib[.//author]//title", names), 3);
+  EXPECT_EQ(ParseAndCount(doc, "//book[./nosuch]", names), 0);
+}
+
+TEST(AutomatonTest, DoubleCountingIsPrevented) {
+  // One c under a chain of two b's: //b//c must count c once, despite two
+  // embeddings (the paper's §5.2 zeroing example).
+  auto r = ParseXml("<a><b><b><c/></b></b></a>");
+  ASSERT_TRUE(r.ok());
+  Document doc = std::move(r).value();
+  EXPECT_EQ(ParseAndCount(doc, "//b//c", &doc.names()), 1);
+  EXPECT_EQ(ParseAndCount(doc, "//b[.//c]", &doc.names()), 2);
+}
+
+TEST(AutomatonTest, OrderSensitiveAxes) {
+  auto r = ParseXml(
+      "<r><a/><b/><a/><c><a/><b/></c><b/></r>");
+  ASSERT_TRUE(r.ok());
+  Document doc = std::move(r).value();
+  NameTable* names = &doc.names();
+  // Following siblings of the first 'a': b, a, c, b — three... two b's.
+  EXPECT_EQ(ParseAndCount(doc, "/r/a/following-sibling::b", names), 2);
+  // Everything following any 'a' (document order).
+  EXPECT_EQ(ParseAndCount(doc, "//a/following::b", names), 3);
+  EXPECT_EQ(ParseAndCount(doc, "//c/following::b", names), 1);
+  EXPECT_EQ(ParseAndCount(doc, "//b[./following-sibling::a]", names), 1);
+  EXPECT_EQ(ParseAndCount(doc, "//a[./following::c]", names), 2);
+}
+
+TEST(AutomatonTest, RestoreCountsTransfersThroughDroppedPairs) {
+  // The b2→d transition of Figure 2: a child-axis subquery match must
+  // transfer its count to the deeper descendant pair when its parent
+  // label breaks the chain.
+  auto r = ParseXml("<x><d><b><c/></b></d><a><b><c/></b></a></x>");
+  ASSERT_TRUE(r.ok());
+  Document doc = std::move(r).value();
+  // //a/b/c: only the second c qualifies; the first b/c climbs through d.
+  EXPECT_EQ(ParseAndCount(doc, "//a/b/c", &doc.names()), 1);
+  EXPECT_EQ(ParseAndCount(doc, "//b/c", &doc.names()), 2);
+}
+
+TEST(AutomatonTest, SelfAxis) {
+  auto r = ParseXml("<a><b/><c/></a>");
+  ASSERT_TRUE(r.ok());
+  Document doc = std::move(r).value();
+  EXPECT_EQ(ParseAndCount(doc, "//b/self::b", &doc.names()), 1);
+  EXPECT_EQ(ParseAndCount(doc, "//b/self::c", &doc.names()), 0);
+  EXPECT_EQ(ParseAndCount(doc, "//*[./self::b]", &doc.names()), 1);
+}
+
+// Contract under order axes: the strict transition only accepts
+// following-witnesses already visible in the right context, which makes
+// it a guaranteed lower bound; the order-relaxed query bounds from above.
+// Order-free queries are exact.
+void CheckAgainstOracles(const Document& doc, const ExactEvaluator& oracle,
+                         const Query& q) {
+  int64_t expected = oracle.Count(q);
+  ASSERT_EQ(testing_util::NaiveCount(doc, q), expected)
+      << "oracles disagree on " << q.ToString(doc.names());
+  int64_t strict = AutomatonCount(doc, q);
+  if (!HasOrderAxes(q)) {
+    ASSERT_EQ(strict, expected)
+        << "automaton wrong on " << q.ToString(doc.names());
+    return;
+  }
+  ASSERT_LE(strict, expected)
+      << "lower bound violated on " << q.ToString(doc.names());
+  int64_t relaxed = AutomatonCount(doc, RelaxOrderConstraints(q));
+  ASSERT_GE(relaxed, expected)
+      << "upper bound violated on " << q.ToString(doc.names());
+}
+
+TEST(AutomatonTest, AgreesWithBothOraclesOnCornerDocs) {
+  for (const char* xml :
+       {"<a/>", "<a><a><a/></a></a>", "<a><b/><b/><b/></a>",
+        "<a><b><a><b/></a></b></a>"}) {
+    auto r = ParseXml(xml);
+    ASSERT_TRUE(r.ok());
+    Document doc = std::move(r).value();
+    ExactEvaluator oracle(doc);
+    Rng rng(99);
+    for (int i = 0; i < 30; ++i) {
+      Query q = testing_util::RandomQuery(&rng, doc, 5, true);
+      CheckAgainstOracles(doc, oracle, q);
+    }
+  }
+}
+
+/// The big randomized cross-validation: automaton == exact == brute force
+/// over random documents and random queries with all forward axes.
+class AutomatonRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AutomatonRandomTest, MatchesOracles) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919);
+  for (int iter = 0; iter < 12; ++iter) {
+    Document doc = testing_util::RandomDocument(&rng, 40, 3, 0.5);
+    ExactEvaluator oracle(doc);
+    for (int k = 0; k < 12; ++k) {
+      Query q = testing_util::RandomQuery(&rng, doc, 6, true);
+      CheckAgainstOracles(doc, oracle, q);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutomatonRandomTest,
+                         ::testing::Range(1, 13));
+
+TEST(CompiledQueryTest, RejectsOversizedAndReverseQueries) {
+  Query q;
+  int32_t cur = q.root();
+  for (int i = 0; i < kMaxQueryNodes; ++i) {
+    cur = q.AddNode(cur, Axis::kChild, kWildcardTest);
+  }
+  q.SetMatchNode(1);
+  EXPECT_FALSE(CompiledQuery::Compile(q).ok());
+
+  Query rev;
+  int32_t a = rev.AddNode(rev.root(), Axis::kChild, kWildcardTest);
+  rev.AddNode(a, Axis::kParent, kWildcardTest);
+  rev.SetMatchNode(a);
+  EXPECT_FALSE(CompiledQuery::Compile(rev).ok());
+}
+
+}  // namespace
+}  // namespace xmlsel

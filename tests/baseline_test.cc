@@ -1,0 +1,153 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Tests for the comparison baselines (path tree, Markov table,
+// TreeSketch-lite) and for the exact evaluator itself against the naive
+// embedding oracle.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/exact.h"
+#include "baseline/markov_table.h"
+#include "baseline/path_tree.h"
+#include "baseline/treesketch_lite.h"
+#include "data/generator.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+#include "xml/parser.h"
+
+namespace xmlsel {
+namespace {
+
+TEST(ExactEvaluatorTest, MatchesNaiveOracle) {
+  Rng rng(123);
+  for (int iter = 0; iter < 15; ++iter) {
+    Document doc = testing_util::RandomDocument(&rng, 35, 3, 0.5);
+    ExactEvaluator oracle(doc);
+    for (int k = 0; k < 10; ++k) {
+      Query q = testing_util::RandomQuery(&rng, doc, 5, true);
+      EXPECT_EQ(oracle.Count(q), testing_util::NaiveCount(doc, q))
+          << q.ToString(doc.names());
+    }
+  }
+}
+
+TEST(ExactEvaluatorTest, MatchesReturnsTheWitnessSet) {
+  auto d = ParseXml("<r><a><b/></a><a/><c><b/></c></r>");
+  ASSERT_TRUE(d.ok());
+  Document doc = std::move(d).value();
+  ExactEvaluator oracle(doc);
+  Result<Query> q = ParseQuery("//a/b", &doc.names());
+  ASSERT_TRUE(q.ok());
+  std::vector<NodeId> matches = oracle.Matches(q.value());
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(doc.names().Name(doc.label(matches[0])), "b");
+  EXPECT_EQ(doc.names().Name(doc.label(doc.parent(matches[0]))), "a");
+  EXPECT_EQ(oracle.Count(q.value()), 1);
+}
+
+TEST(PathTreeTest, ExactOnSimplePathsWhenUnpruned) {
+  Document doc = GenerateDataset(DatasetId::kDblp, 2000, 3);
+  PathTree pt(doc, 0);
+  ExactEvaluator oracle(doc);
+  NameTable names = doc.names();
+  for (const char* xpath : {"//author", "/dblp/article", "//article/title",
+                            "//title/i"}) {
+    Result<Query> q = ParseQuery(xpath, &names);
+    ASSERT_TRUE(q.ok());
+    EXPECT_NEAR(pt.EstimateCount(q.value()),
+                static_cast<double>(oracle.Count(q.value())), 0.01)
+        << xpath;
+  }
+}
+
+TEST(PathTreeTest, PruningShrinksButStillEstimates) {
+  Document doc = GenerateDataset(DatasetId::kXmark, 4000, 3);
+  PathTree full(doc, 0);
+  PathTree pruned(doc, 20);
+  EXPECT_LT(pruned.SizeBytes(), full.SizeBytes());
+  NameTable names = doc.names();
+  Result<Query> q = ParseQuery("//item/name", &names);
+  ASSERT_TRUE(q.ok());
+  EXPECT_GE(pruned.EstimateCount(q.value()), 0.0);
+}
+
+TEST(MarkovTableTest, SecondOrderPathsAreExact) {
+  // The Markov assumption is exact for order-2 paths by construction.
+  Document doc = GenerateDataset(DatasetId::kCatalog, 2000, 3);
+  MarkovTable mt(doc, 0);
+  ExactEvaluator oracle(doc);
+  NameTable names = doc.names();
+  for (const char* xpath :
+       {"//author", "//author/name", "//item//last_name"}) {
+    Result<Query> q = ParseQuery(xpath, &names);
+    ASSERT_TRUE(q.ok());
+    double est = mt.EstimateCount(q.value());
+    double exact = static_cast<double>(oracle.Count(q.value()));
+    EXPECT_NEAR(est, exact, 0.05 * exact + 1.0) << xpath;
+  }
+}
+
+TEST(MarkovTableTest, LongerPathsAreApproximate) {
+  Document doc = GenerateDataset(DatasetId::kXmark, 3000, 5);
+  MarkovTable mt(doc, 0);
+  NameTable names = doc.names();
+  Result<Query> q =
+      ParseQuery("//open_auction/annotation/description//keyword", &names);
+  ASSERT_TRUE(q.ok());
+  EXPECT_GE(mt.EstimateCount(q.value()), 0.0);
+}
+
+TEST(MarkovTableTest, PruningReducesSize) {
+  Document doc = GenerateDataset(DatasetId::kXmark, 3000, 5);
+  MarkovTable full(doc, 0);
+  MarkovTable pruned(doc, 50);
+  EXPECT_LT(pruned.SizeBytes(), full.SizeBytes());
+}
+
+TEST(TreeSketchLiteTest, UnbudgetedSynopsisIsAccurateOnPaths) {
+  Document doc = GenerateDataset(DatasetId::kCatalog, 2000, 3);
+  TreeSketchLite ts(doc, 1 << 20);  // effectively unmerged
+  ExactEvaluator oracle(doc);
+  NameTable names = doc.names();
+  for (const char* xpath : {"//author", "//author/name", "//item"}) {
+    Result<Query> q = ParseQuery(xpath, &names);
+    ASSERT_TRUE(q.ok());
+    double exact = static_cast<double>(oracle.Count(q.value()));
+    EXPECT_NEAR(ts.EstimateCount(q.value()), exact, 0.15 * exact + 1.0)
+        << xpath;
+  }
+}
+
+TEST(TreeSketchLiteTest, BudgetControlsSize) {
+  Document doc = GenerateDataset(DatasetId::kXmark, 4000, 3);
+  TreeSketchLite big(doc, 2000);
+  TreeSketchLite small(doc, 100);
+  EXPECT_LE(small.node_count(), 110);
+  EXPECT_LT(small.SizeBytes(), big.SizeBytes());
+  NameTable names = doc.names();
+  Result<Query> q = ParseQuery("//item[./payment]/name", &names);
+  ASSERT_TRUE(q.ok());
+  EXPECT_GE(small.EstimateCount(q.value()), 0.0);
+}
+
+TEST(BaselinesTest, AllReturnFiniteEstimatesOnWorkloads) {
+  Document doc = GenerateDataset(DatasetId::kSwissProt, 2500, 3);
+  PathTree pt(doc, 200);
+  MarkovTable mt(doc, 5);
+  TreeSketchLite ts(doc, 300);
+  Rng rng(6);
+  for (int i = 0; i < 25; ++i) {
+    Query q = testing_util::RandomQuery(&rng, doc, 5, false);
+    for (double est : {pt.EstimateCount(q), mt.EstimateCount(q),
+                       ts.EstimateCount(q)}) {
+      EXPECT_TRUE(std::isfinite(est)) << q.ToString(doc.names());
+      EXPECT_GE(est, 0.0) << q.ToString(doc.names());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xmlsel

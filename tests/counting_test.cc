@@ -1,0 +1,186 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Unit tests for the counting substrate: linear forms, the state
+// registry, compiled-query metadata, the transition function's algebraic
+// properties (strict ≤ optimistic), and order relaxation.
+
+#include <gtest/gtest.h>
+
+#include "automaton/counting.h"
+#include "automaton/doc_eval.h"
+#include "baseline/exact.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+#include "xml/parser.h"
+
+namespace xmlsel {
+namespace {
+
+TEST(LinearFormTest, ConstantsAndVariables) {
+  LinearForm f = LinearForm::Constant(3);
+  EXPECT_TRUE(f.IsConstant());
+  EXPECT_EQ(f.constant, 3);
+  LinearForm v = LinearForm::Var(2, MakeQPair(1, 0));
+  EXPECT_FALSE(v.IsConstant());
+  ASSERT_EQ(v.terms.size(), 1u);
+  EXPECT_EQ(v.terms[0].second, 1);
+}
+
+TEST(LinearFormTest, AdditionMergesSortedTerms) {
+  LinearForm a = LinearForm::Var(0, MakeQPair(1, 0));
+  LinearForm b = LinearForm::Var(1, MakeQPair(2, 0));
+  LinearForm c = LinearForm::Var(0, MakeQPair(1, 0));
+  a.Add(b);
+  a.Add(c);
+  a.Add(LinearForm::Constant(7));
+  EXPECT_EQ(a.constant, 7);
+  ASSERT_EQ(a.terms.size(), 2u);
+  // Variable (0, pair(1,0)) has coefficient 2 after the second add.
+  EXPECT_EQ(a.terms[0].second, 2);
+  EXPECT_EQ(a.terms[1].second, 1);
+  EXPECT_TRUE(std::is_sorted(a.terms.begin(), a.terms.end()));
+}
+
+TEST(LinearFormTest, CancellationRemovesZeroTerms) {
+  LinearForm a = LinearForm::Var(0, MakeQPair(1, 0));
+  LinearForm neg = a;
+  for (auto& t : neg.terms) t.second = -t.second;
+  a.Add(neg);
+  EXPECT_TRUE(a.IsConstant());
+  EXPECT_EQ(a.constant, 0);
+}
+
+TEST(LinearFormTest, SaturatesInsteadOfOverflowing) {
+  LinearForm big = LinearForm::Constant((int64_t{1} << 55));
+  big.Add(LinearForm::Constant(int64_t{1} << 55));
+  big.Add(big);  // would overflow without saturation
+  EXPECT_LE(big.constant, int64_t{1} << 56);
+}
+
+TEST(StateRegistryTest, InterningIsCanonical) {
+  StateRegistry reg;
+  EXPECT_EQ(reg.empty_state(), 0);
+  StateId a = reg.Intern({MakeQPair(2, 1), MakeQPair(1, 0)});
+  StateId b = reg.Intern({MakeQPair(1, 0), MakeQPair(2, 1)});
+  EXPECT_EQ(a, b);  // order-insensitive
+  EXPECT_TRUE(reg.Contains(a, MakeQPair(1, 0)));
+  EXPECT_FALSE(reg.Contains(a, MakeQPair(3, 0)));
+  EXPECT_EQ(reg.pairs(a).size(), 2u);
+  EXPECT_TRUE(std::is_sorted(reg.pairs(a).begin(), reg.pairs(a).end()));
+}
+
+TEST(QPairTest, PackingRoundTrips) {
+  QPair p = MakeQPair(13, 0x0f0f);
+  EXPECT_EQ(QPairNode(p), 13);
+  EXPECT_EQ(QPairMask(p), 0x0f0fu);
+}
+
+TEST(CompiledQueryTest, FollowingMasksAndSpine) {
+  NameTable names;
+  Result<Query> q =
+      ParseQuery("//a[./following::b]/c[./following::d]", &names);
+  ASSERT_TRUE(q.ok());
+  Result<CompiledQuery> cq = CompiledQuery::Compile(q.value());
+  ASSERT_TRUE(cq.ok());
+  const CompiledQuery& c = cq.value();
+  // The root's frontier contains both following-marked nodes (transitively).
+  EXPECT_EQ(__builtin_popcount(c.following_mask(0)), 2);
+  EXPECT_EQ(__builtin_popcount(c.all_following_bits()), 2);
+  // The spine runs from the root to the match node.
+  EXPECT_EQ(c.spine().front(), 0);
+  EXPECT_EQ(c.spine().back(), c.match_node());
+  for (size_t i = 0; i < c.spine().size(); ++i) {
+    EXPECT_EQ(c.spine_index(c.spine()[i]), static_cast<int32_t>(i));
+  }
+}
+
+TEST(CompiledQueryTest, DescendantExpansionInsertsAnyNodes) {
+  NameTable names;
+  Result<Query> q = ParseQuery("//a//b", &names);
+  ASSERT_TRUE(q.ok());
+  Result<CompiledQuery> cq = CompiledQuery::Compile(q.value());
+  ASSERT_TRUE(cq.ok());
+  // Original: root + a + b; expanded: two extra any-test nodes.
+  EXPECT_EQ(cq.value().size(), 5);
+  int any_nodes = 0;
+  for (int32_t i = 1; i < cq.value().size(); ++i) {
+    if (cq.value().query().node(i).test == kAnyTest) ++any_nodes;
+    EXPECT_NE(cq.value().query().node(i).axis, Axis::kDescendant);
+  }
+  EXPECT_EQ(any_nodes, 2);
+}
+
+TEST(RelaxOrderTest, ReattachesOrderSubtreesUnderRoot) {
+  NameTable names;
+  Result<Query> q = ParseQuery("//a/following::b[./c]", &names);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(HasOrderAxes(q.value()));
+  Query relaxed = RelaxOrderConstraints(q.value());
+  EXPECT_FALSE(HasOrderAxes(relaxed));
+  // b (with its c child) now hangs off the root via descendant.
+  const QueryNode& b = relaxed.node(relaxed.match_node());
+  EXPECT_EQ(b.parent, relaxed.root());
+  EXPECT_EQ(b.axis, Axis::kDescendant);
+  EXPECT_EQ(b.children.size(), 1u);
+}
+
+TEST(RelaxOrderTest, NoOpOnOrderFreeQueries) {
+  NameTable names;
+  Result<Query> q = ParseQuery("//a[./b]//c", &names);
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(HasOrderAxes(q.value()));
+  Query relaxed = RelaxOrderConstraints(q.value());
+  EXPECT_EQ(relaxed.ToString(names), q.value().ToString(names));
+}
+
+/// Algebraic property: the optimistic discipline never yields a smaller
+/// count than the strict one, and the strict count never exceeds exact.
+class DisciplineOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DisciplineOrderTest, StrictLeExactLeOptimistic) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 6151);
+  for (int iter = 0; iter < 10; ++iter) {
+    Document doc = testing_util::RandomDocument(&rng, 50, 3, 0.5);
+    ExactEvaluator oracle(doc);
+    for (int k = 0; k < 10; ++k) {
+      Query q = testing_util::RandomQuery(&rng, doc, 5, false);
+      Result<CompiledQuery> cq = CompiledQuery::Compile(q);
+      ASSERT_TRUE(cq.ok());
+      int64_t exact = oracle.Count(q);
+      int64_t strict = EvaluateOnDocument(cq.value(), doc, true).count;
+      int64_t optimistic = EvaluateOnDocument(cq.value(), doc, false).count;
+      ASSERT_LE(strict, exact) << q.ToString(doc.names());
+      ASSERT_GE(optimistic, exact) << q.ToString(doc.names());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DisciplineOrderTest, ::testing::Range(1, 9));
+
+TEST(DocEvalTest, EmptyDocumentAndTrivialQueries) {
+  Document empty;
+  NameTable names;
+  Result<Query> q = ParseQuery("//a", &names);
+  ASSERT_TRUE(q.ok());
+  Result<CompiledQuery> cq = CompiledQuery::Compile(q.value());
+  ASSERT_TRUE(cq.ok());
+  DocEvalResult r = EvaluateOnDocument(cq.value(), empty);
+  EXPECT_EQ(r.count, 0);
+  EXPECT_FALSE(r.accepted);
+}
+
+TEST(DocEvalTest, AcceptanceMatchesNonzeroCount) {
+  Rng rng(404);
+  for (int iter = 0; iter < 20; ++iter) {
+    Document doc = testing_util::RandomDocument(&rng, 30, 3, 0.5);
+    Query q = testing_util::RandomQuery(&rng, doc, 4, false);
+    Result<CompiledQuery> cq = CompiledQuery::Compile(q);
+    ASSERT_TRUE(cq.ok());
+    DocEvalResult r = EvaluateOnDocument(cq.value(), doc);
+    EXPECT_EQ(r.accepted, r.count > 0) << q.ToString(doc.names());
+  }
+}
+
+}  // namespace
+}  // namespace xmlsel

@@ -1,0 +1,124 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Tests for the dataset generators (structural profiles must match
+// Table 1's shape) and the F/B bisimulation index.
+
+#include <gtest/gtest.h>
+
+#include "data/fb_index.h"
+#include "data/generator.h"
+#include "xml/parser.h"
+#include "xml/stats.h"
+
+namespace xmlsel {
+namespace {
+
+TEST(GeneratorTest, Deterministic) {
+  Document a = GenerateXmark(1000, 42);
+  Document b = GenerateXmark(1000, 42);
+  EXPECT_TRUE(a.StructurallyEquals(b));
+  Document c = GenerateXmark(1000, 43);
+  EXPECT_FALSE(a.StructurallyEquals(c));
+}
+
+TEST(GeneratorTest, HitsElementTargetApproximately) {
+  for (DatasetId id : {DatasetId::kDblp, DatasetId::kSwissProt,
+                       DatasetId::kXmark, DatasetId::kPsd,
+                       DatasetId::kCatalog}) {
+    Document doc = GenerateDataset(id, 5000, 7);
+    EXPECT_GE(doc.element_count(), 5000) << DatasetName(id);
+    EXPECT_LE(doc.element_count(), 5400) << DatasetName(id);
+  }
+}
+
+TEST(GeneratorTest, DepthProfilesMatchTable1Shape) {
+  // Table 1 orders the datasets by structural complexity: DBLP shallow
+  // (max 5, avg 3.0), XMark deepest (max 12, avg 5.56).
+  DocumentStats dblp = ComputeStats(GenerateDblp(20000, 1));
+  DocumentStats swiss = ComputeStats(GenerateSwissProt(20000, 1));
+  DocumentStats xmark = ComputeStats(GenerateXmark(20000, 1));
+  DocumentStats psd = ComputeStats(GeneratePsd(20000, 1));
+  DocumentStats catalog = ComputeStats(GenerateCatalog(20000, 1));
+
+  EXPECT_LE(dblp.max_depth, 5);
+  EXPECT_NEAR(dblp.average_depth, 3.0, 0.5);
+  EXPECT_LE(swiss.max_depth, 6);
+  EXPECT_NEAR(swiss.average_depth, 4.39, 0.8);
+  EXPECT_GE(xmark.max_depth, 10);
+  EXPECT_LE(xmark.max_depth, 13);
+  EXPECT_NEAR(xmark.average_depth, 5.56, 1.0);
+  EXPECT_LE(psd.max_depth, 7);
+  EXPECT_NEAR(psd.average_depth, 5.45, 1.5);  // scaled-down generator
+  EXPECT_LE(catalog.max_depth, 8);
+  EXPECT_NEAR(catalog.average_depth, 5.65, 1.6);  // scaled-down generator
+
+  // Relative complexity ordering: DBLP simplest.
+  EXPECT_LT(dblp.average_depth, swiss.average_depth);
+  EXPECT_LT(dblp.max_depth, xmark.max_depth);
+}
+
+TEST(FbIndexTest, HandComputedPartition) {
+  // r(a(c), a(c), b): classes {r}, {a,a}, {b}, {c,c} → size 3 + root...
+  auto d = ParseXml("<r><a><c/></a><a><c/></a><b/></r>");
+  ASSERT_TRUE(d.ok());
+  FbIndex idx(d.value());
+  EXPECT_EQ(idx.size(), 4);  // r, a-extent, c-extent, b (virtual root excl.)
+  const Document& doc = d.value();
+  NodeId a1 = doc.first_child(doc.document_element());
+  NodeId a2 = doc.next_sibling(a1);
+  EXPECT_EQ(idx.ClassOf(a1), idx.ClassOf(a2));
+  EXPECT_EQ(idx.ExtentSize(idx.ClassOf(a1)), 2);
+  NodeId b = doc.next_sibling(a2);
+  EXPECT_NE(idx.ClassOf(a1), idx.ClassOf(b));
+}
+
+TEST(FbIndexTest, ForwardSplitsDifferentChildSets) {
+  // Two a's with different children must split (forward stability).
+  auto d = ParseXml("<r><a><x/></a><a><y/></a></r>");
+  ASSERT_TRUE(d.ok());
+  FbIndex idx(d.value());
+  const Document& doc = d.value();
+  NodeId a1 = doc.first_child(doc.document_element());
+  NodeId a2 = doc.next_sibling(a1);
+  EXPECT_NE(idx.ClassOf(a1), idx.ClassOf(a2));
+}
+
+TEST(FbIndexTest, BackwardSplitsDifferentParents) {
+  auto d = ParseXml("<r><p><x/></p><q><x/></q></r>");
+  ASSERT_TRUE(d.ok());
+  FbIndex idx(d.value());
+  const Document& doc = d.value();
+  NodeId p = doc.first_child(doc.document_element());
+  NodeId q = doc.next_sibling(p);
+  EXPECT_NE(idx.ClassOf(doc.first_child(p)), idx.ClassOf(doc.first_child(q)));
+}
+
+TEST(FbIndexTest, ExtentsPartitionTheDocument) {
+  Document doc = GenerateDataset(DatasetId::kSwissProt, 3000, 3);
+  FbIndex idx(doc);
+  int64_t total = 0;
+  for (int64_t c = 0; c <= idx.size(); ++c) {
+    total += idx.ExtentSize(static_cast<int32_t>(c));
+  }
+  EXPECT_EQ(total, doc.element_count() + 1);  // + the virtual root
+}
+
+TEST(FbIndexTest, RelativeSizesFollowTable1) {
+  // Table 1: the F/B index of DBLP/Catalog is tiny relative to the
+  // document; SwissProt's and XMark's are much larger.
+  Document dblp = GenerateDblp(8000, 3);
+  Document xmark = GenerateXmark(8000, 3);
+  Document catalog = GenerateCatalog(8000, 3);
+  double r_dblp = static_cast<double>(FbIndex(dblp).size()) /
+                  static_cast<double>(dblp.element_count());
+  double r_xmark = static_cast<double>(FbIndex(xmark).size()) /
+                   static_cast<double>(xmark.element_count());
+  double r_catalog = static_cast<double>(FbIndex(catalog).size()) /
+                     static_cast<double>(catalog.element_count());
+  EXPECT_LT(r_catalog, r_xmark);
+  EXPECT_LT(r_dblp, r_xmark);
+}
+
+}  // namespace
+}  // namespace xmlsel

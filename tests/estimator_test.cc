@@ -1,0 +1,208 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// End-to-end tests of the public facade: build → estimate → update, with
+// guaranteed-bounds checks against the oracle throughout.
+
+#include <gtest/gtest.h>
+
+#include "baseline/exact.h"
+#include "data/generator.h"
+#include "estimator/estimator.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+#include "xml/parser.h"
+
+namespace xmlsel {
+namespace {
+
+TEST(EstimatorTest, LosslessSynopsisIsExact) {
+  Document doc = GenerateDataset(DatasetId::kXmark, 2000, 1);
+  SynopsisOptions opts;
+  opts.kappa = 0;
+  SelectivityEstimator est = SelectivityEstimator::Build(doc, opts);
+  ExactEvaluator oracle(doc);
+  NameTable names = doc.names();
+  for (const char* xpath : {"//item", "//person//age", "//item[./mailbox]",
+                            "//open_auction/bidder"}) {
+    Result<SelectivityEstimate> r = est.Estimate(xpath);
+    ASSERT_TRUE(r.ok()) << xpath;
+    EXPECT_TRUE(r.value().exact()) << xpath;
+    Result<Query> q = ParseQuery(xpath, &names);
+    ASSERT_TRUE(q.ok());
+    EXPECT_EQ(r.value().lower, oracle.Count(q.value())) << xpath;
+  }
+  // Recursive structure (nested listitems): multiple embeddings per match
+  // widen the upper bound, but the lower bound stays exact and the range
+  // brackets the truth.
+  Result<SelectivityEstimate> r = est.Estimate("//listitem//keyword");
+  ASSERT_TRUE(r.ok());
+  Result<Query> q = ParseQuery("//listitem//keyword", &names);
+  ASSERT_TRUE(q.ok());
+  int64_t exact = oracle.Count(q.value());
+  EXPECT_EQ(r.value().lower, exact);
+  EXPECT_GE(r.value().upper, exact);
+}
+
+TEST(EstimatorTest, LossySynopsisBrackets) {
+  Document doc = GenerateDataset(DatasetId::kSwissProt, 3000, 2);
+  SynopsisOptions opts;
+  opts.kappa = 25;
+  SelectivityEstimator est = SelectivityEstimator::Build(doc, opts);
+  EXPECT_EQ(est.synopsis().deleted_productions(), 25);
+  ExactEvaluator oracle(doc);
+  NameTable names = doc.names();
+  for (const char* xpath :
+       {"//Entry", "//Ref/Author", "//Entry[./Keyword]//Author",
+        "//Features/DOMAIN", "//Entry//From"}) {
+    Result<SelectivityEstimate> r = est.Estimate(xpath);
+    ASSERT_TRUE(r.ok()) << xpath;
+    Result<Query> q = ParseQuery(xpath, &names);
+    ASSERT_TRUE(q.ok());
+    int64_t exact = oracle.Count(q.value());
+    EXPECT_LE(r.value().lower, exact) << xpath;
+    EXPECT_GE(r.value().upper, exact) << xpath;
+    EXPECT_GE(r.value().width(), 0) << xpath;
+  }
+}
+
+TEST(EstimatorTest, UnsatisfiableRewritesGiveExactZero) {
+  auto d = ParseXml("<r><x><a/></x></r>");
+  ASSERT_TRUE(d.ok());
+  SelectivityEstimator est =
+      SelectivityEstimator::Build(d.value(), SynopsisOptions());
+  Result<SelectivityEstimate> r = est.Estimate("//x/a[./parent::y]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().lower, 0);
+  EXPECT_EQ(r.value().upper, 0);
+  EXPECT_TRUE(r.value().exact());
+}
+
+TEST(EstimatorTest, ReverseAxesWorkThroughTheFacade) {
+  auto d = ParseXml("<r><x><a/><b/></x><y><a/></y></r>");
+  ASSERT_TRUE(d.ok());
+  SelectivityEstimator est =
+      SelectivityEstimator::Build(d.value(), SynopsisOptions());
+  Result<SelectivityEstimate> r = est.Estimate("//a[./parent::x]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().lower, 1);
+  EXPECT_EQ(r.value().upper, 1);
+}
+
+TEST(EstimatorTest, ErrorsPropagate) {
+  auto d = ParseXml("<r/>");
+  ASSERT_TRUE(d.ok());
+  SelectivityEstimator est =
+      SelectivityEstimator::Build(d.value(), SynopsisOptions());
+  EXPECT_EQ(est.Estimate("//a[./b or ./c]").status().code(),
+            StatusCode::kUnsupported);
+  EXPECT_FALSE(est.Estimate("//a[").ok());
+}
+
+TEST(EstimatorTest, UpdatesKeepBoundsValid) {
+  Rng rng(2024);
+  Document doc = GenerateDataset(DatasetId::kCatalog, 800, 3);
+  SynopsisOptions opts;
+  opts.kappa = 10;
+  opts.bplex.window_size = 1000;
+  SelectivityEstimator est = SelectivityEstimator::Build(doc, opts);
+  NameTable names = doc.names();
+
+  for (int step = 0; step < 10; ++step) {
+    Document current = doc.Compact();
+    std::vector<NodeId> nodes = current.SubtreeNodes(current.virtual_root());
+    NodeId target = nodes[static_cast<size_t>(
+        rng.Uniform(1, static_cast<int64_t>(nodes.size()) - 1))];
+    BinddPath path = BinddOf(current, target);
+    Document tree = testing_util::RandomDocument(&rng, 5, 3, 0.4);
+    UpdateOp op = rng.Chance(0.5)
+                      ? UpdateOp::FirstChild(path, tree.Compact())
+                      : UpdateOp::NextSibling(path, tree.Compact());
+    ASSERT_TRUE(est.ApplyUpdate(op).ok());
+    // Mirror on the document.
+    Result<NodeId> node = ResolveBindd(doc, BinddOf(current, target));
+    ASSERT_TRUE(node.ok());
+    // Rebuild doc from the grammar (source of truth for this test).
+    doc = est.synopsis().lossless().Expand(est.synopsis().names());
+  }
+  ExactEvaluator oracle(doc);
+  for (const char* xpath :
+       {"//item", "//author/name", "//item[./price]//last_name"}) {
+    Result<SelectivityEstimate> r = est.Estimate(xpath);
+    ASSERT_TRUE(r.ok()) << xpath;
+    Result<Query> q = ParseQuery(xpath, &names);
+    ASSERT_TRUE(q.ok());
+    int64_t exact = oracle.Count(q.value());
+    EXPECT_LE(r.value().lower, exact) << xpath;
+    EXPECT_GE(r.value().upper, exact) << xpath;
+  }
+}
+
+TEST(EstimatorTest, DeferredUpdatesRecomputeOnce) {
+  Document doc = GenerateDataset(DatasetId::kCatalog, 500, 7);
+  SynopsisOptions opts;
+  opts.kappa = 5;
+  SelectivityEstimator est = SelectivityEstimator::Build(doc, opts);
+  auto tree = ParseXml("<note><text/></note>");
+  ASSERT_TRUE(tree.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(est.ApplyUpdateDeferred(
+                       UpdateOp::FirstChild(BinddPath(), tree.value()))
+                    .ok());
+  }
+  est.RecomputeLossy();
+  Result<SelectivityEstimate> r = est.Estimate("//note");
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r.value().upper, 5);
+}
+
+TEST(EstimatorTest, SizeBytesIsPositiveAndShrinksWithKappa) {
+  Document doc = GenerateDataset(DatasetId::kPsd, 4000, 13);
+  SynopsisOptions small;
+  small.kappa = 0;
+  SelectivityEstimator full = SelectivityEstimator::Build(doc, small);
+  SynopsisOptions big;
+  big.kappa = 1 << 20;
+  SelectivityEstimator tiny = SelectivityEstimator::Build(doc, big);
+  EXPECT_GT(full.SizeBytes(), 0);
+  EXPECT_LT(tiny.SizeBytes(), full.SizeBytes());
+}
+
+/// Property sweep: facade bounds always bracket, across datasets and κ.
+struct FacadeCase {
+  DatasetId dataset;
+  int32_t kappa;
+};
+
+class FacadeSweepTest : public ::testing::TestWithParam<FacadeCase> {};
+
+TEST_P(FacadeSweepTest, BoundsAlwaysBracket) {
+  const FacadeCase& c = GetParam();
+  Document doc = GenerateDataset(c.dataset, 1500, 3);
+  SynopsisOptions opts;
+  opts.kappa = c.kappa;
+  SelectivityEstimator est = SelectivityEstimator::Build(doc, opts);
+  ExactEvaluator oracle(doc);
+  Rng rng(31);
+  for (int i = 0; i < 8; ++i) {
+    Query q = testing_util::RandomQuery(&rng, doc, 5, false);
+    Result<SelectivityEstimate> r = est.EstimateQuery(q);
+    ASSERT_TRUE(r.ok());
+    int64_t exact = oracle.Count(q);
+    EXPECT_LE(r.value().lower, exact) << q.ToString(doc.names());
+    EXPECT_GE(r.value().upper, exact) << q.ToString(doc.names());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DatasetsAndKappas, FacadeSweepTest,
+    ::testing::Values(FacadeCase{DatasetId::kDblp, 0},
+                      FacadeCase{DatasetId::kDblp, 10},
+                      FacadeCase{DatasetId::kSwissProt, 20},
+                      FacadeCase{DatasetId::kXmark, 10},
+                      FacadeCase{DatasetId::kXmark, 50},
+                      FacadeCase{DatasetId::kPsd, 15},
+                      FacadeCase{DatasetId::kCatalog, 8}));
+
+}  // namespace
+}  // namespace xmlsel

@@ -1,0 +1,189 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Tests for the Core XPath front end: lexer, parser, query-tree shape,
+// printing, and reverse-axis rewriting.
+
+#include <gtest/gtest.h>
+
+#include "baseline/exact.h"
+#include "query/lexer.h"
+#include "query/parser.h"
+#include "query/rewrite.h"
+#include "tests/test_util.h"
+#include "xml/parser.h"
+
+namespace xmlsel {
+namespace {
+
+TEST(LexerTest, TokenizesAllShapes) {
+  auto r = TokenizeXPath("//a [ .//b and c]/following-sibling::*/..");
+  ASSERT_TRUE(r.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : r.value()) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds.front(), TokenKind::kDoubleSlash);
+  EXPECT_EQ(kinds.back(), TokenKind::kEnd);
+  // following-sibling:: lexes as one axis token.
+  bool has_axis = false;
+  for (const Token& t : r.value()) {
+    if (t.kind == TokenKind::kAxis) {
+      EXPECT_EQ(t.text, "following-sibling");
+      has_axis = true;
+    }
+  }
+  EXPECT_TRUE(has_axis);
+  EXPECT_FALSE(TokenizeXPath("//a$").ok());
+}
+
+TEST(ParserTest, BuildsExpectedTreeShapes) {
+  NameTable names;
+  Result<Query> r = ParseQuery("//a[.//b]/c", &names);
+  ASSERT_TRUE(r.ok());
+  const Query& q = r.value();
+  EXPECT_EQ(q.size(), 4);  // root, a, b, c
+  const QueryNode& a = q.node(1);
+  EXPECT_EQ(a.axis, Axis::kDescendant);
+  EXPECT_EQ(names.Name(a.test), "a");
+  ASSERT_EQ(a.children.size(), 2u);
+  EXPECT_EQ(q.node(a.children[0]).axis, Axis::kDescendant);  // .//b
+  EXPECT_EQ(q.node(a.children[1]).axis, Axis::kChild);       // /c
+  EXPECT_EQ(q.match_node(), a.children[1]);
+  EXPECT_EQ(q.ToString(names), "//a[.//b]/c");
+}
+
+TEST(ParserTest, AxisSpellings) {
+  NameTable names;
+  for (auto [text, axis] : std::vector<std::pair<const char*, Axis>>{
+           {"/descendant-or-self::a", Axis::kDescendantOrSelf},
+           {"/descendant::a", Axis::kDescendant},
+           {"/child::a", Axis::kChild},
+           {"//x/following::a", Axis::kFollowing},
+           {"//x/following-sibling::a", Axis::kFollowingSibling},
+           {"//x/self::a", Axis::kSelf}}) {
+    Result<Query> r = ParseQuery(text, &names);
+    ASSERT_TRUE(r.ok()) << text;
+    EXPECT_EQ(r.value().node(r.value().match_node()).axis, axis) << text;
+  }
+}
+
+TEST(ParserTest, WildcardAndNodeTest) {
+  NameTable names;
+  Result<Query> star = ParseQuery("//*", &names);
+  ASSERT_TRUE(star.ok());
+  EXPECT_EQ(star.value().node(star.value().match_node()).test,
+            kWildcardTest);
+  Result<Query> node_fn = ParseQuery("//a/node()", &names);
+  ASSERT_TRUE(node_fn.ok());
+  EXPECT_EQ(node_fn.value().node(node_fn.value().match_node()).test,
+            kWildcardTest);
+}
+
+TEST(ParserTest, RelativePathsRootAnchored) {
+  NameTable names;
+  Result<Query> r = ParseQuery("a/b", &names);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().node(1).axis, Axis::kChild);  // /a/b
+}
+
+TEST(ParserTest, RejectsUnsupportedConstructs) {
+  NameTable names;
+  EXPECT_EQ(ParseQuery("//a[./b or ./c]", &names).status().code(),
+            StatusCode::kUnsupported);
+  EXPECT_EQ(ParseQuery("//a[not(./b)]", &names).status().code(),
+            StatusCode::kUnsupported);
+  EXPECT_EQ(ParseQuery("//a[/b]", &names).status().code(),
+            StatusCode::kUnsupported);
+  EXPECT_EQ(ParseQuery("/", &names).status().code(),
+            StatusCode::kUnsupported);
+  EXPECT_EQ(ParseQuery("//a/text()", &names).status().code(),
+            StatusCode::kUnsupported);
+  EXPECT_FALSE(ParseQuery("//a[", &names).ok());
+  EXPECT_FALSE(ParseQuery("//", &names).ok());
+  EXPECT_FALSE(ParseQuery("", &names).ok());
+}
+
+TEST(ParserTest, ConjunctionAddsMultiplePredicates) {
+  NameTable names;
+  Result<Query> r = ParseQuery("//a[./b and .//c and ./d]", &names);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().node(1).children.size(), 3u);
+}
+
+TEST(RewriteTest, ParentAfterChildMergesNodes) {
+  NameTable names;
+  // //x/a/.. ≡ //x[a]  (match node moves to x).
+  Result<Query> q = ParseQuery("//x/a/..", &names);
+  ASSERT_TRUE(q.ok());
+  Result<RewriteOutcome> r = RewriteReverseAxes(q.value());
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r.value().unsatisfiable);
+  const Query& rw = r.value().query;
+  EXPECT_TRUE(rw.ForwardOnly());
+  EXPECT_EQ(names.Name(rw.node(rw.match_node()).test), "x");
+}
+
+TEST(RewriteTest, ConflictingParentTestIsUnsatisfiable) {
+  NameTable names;
+  Result<Query> q = ParseQuery("//x/a[./parent::y]", &names);
+  ASSERT_TRUE(q.ok());
+  Result<RewriteOutcome> r = RewriteReverseAxes(q.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().unsatisfiable);
+}
+
+TEST(RewriteTest, SemanticsPreservedAgainstOracle) {
+  auto d = ParseXml(
+      "<r><x><a/><b/></x><x><b/><a/></x><y><a/></y></r>");
+  ASSERT_TRUE(d.ok());
+  Document doc = std::move(d).value();
+  ExactEvaluator oracle(doc);
+  struct Case {
+    const char* with_reverse;
+    const char* forward_equivalent;
+  };
+  for (const Case& c : std::vector<Case>{
+           {"//a[./parent::x]", "//x/a"},
+           {"//b[./preceding-sibling::a]", "//a/following-sibling::b"},
+           {"//a[./ancestor::x]", "//x//a"},
+           {"//b[./preceding::y]", "//y/following::b"},
+       }) {
+    NameTable* names = &doc.names();
+    Result<Query> qr = ParseQuery(c.with_reverse, names);
+    ASSERT_TRUE(qr.ok()) << c.with_reverse;
+    Result<RewriteOutcome> rw = RewriteReverseAxes(qr.value());
+    ASSERT_TRUE(rw.ok()) << c.with_reverse;
+    ASSERT_FALSE(rw.value().unsatisfiable);
+    Result<Query> fwd = ParseQuery(c.forward_equivalent, names);
+    ASSERT_TRUE(fwd.ok());
+    EXPECT_EQ(oracle.Count(rw.value().query), oracle.Count(fwd.value()))
+        << c.with_reverse;
+  }
+}
+
+TEST(RewriteTest, UnsupportedCasesReportUnsupported) {
+  NameTable names;
+  for (const char* text :
+       {"//a/ancestor-or-self::b", "//x/a/preceding::b",
+        "//x//a/following-sibling::c/.."}) {
+    Result<Query> q = ParseQuery(text, &names);
+    ASSERT_TRUE(q.ok()) << text;
+    Result<RewriteOutcome> r = RewriteReverseAxes(q.value());
+    EXPECT_FALSE(r.ok()) << text;
+  }
+}
+
+TEST(QueryTest, MetricsAndValidation) {
+  NameTable names;
+  Result<Query> q =
+      ParseQuery("//a[.//b][./c/following::d]//e", &names);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().FollowingAxisCount(), 1);
+  EXPECT_GE(q.value().BranchingFactor(), 3);
+  EXPECT_TRUE(q.value().ForwardOnly());
+  std::vector<int32_t> post = q.value().PostOrder();
+  EXPECT_EQ(post.back(), q.value().root());
+  EXPECT_EQ(static_cast<int32_t>(post.size()), q.value().size());
+}
+
+}  // namespace
+}  // namespace xmlsel

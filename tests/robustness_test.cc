@@ -1,0 +1,203 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Robustness and stress tests: degenerate document shapes (deep chains,
+// huge fanout — everything is iterative, nothing may overflow the C
+// stack), fuzzed packed decoding, malformed XML/XPath inputs, and
+// scale smoke tests on every dataset.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "baseline/exact.h"
+#include "data/generator.h"
+#include "estimator/estimator.h"
+#include "grammar/bplex.h"
+#include "query/parser.h"
+#include "storage/packed.h"
+#include "tests/test_util.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace xmlsel {
+namespace {
+
+TEST(RobustnessTest, DeepChainDocument) {
+  // 40k-deep chain: traversal, compression, expansion, estimation must
+  // all be recursion-free.
+  Document doc;
+  NodeId cur = doc.AppendChild(doc.virtual_root(), "a");
+  for (int i = 0; i < 40000; ++i) {
+    cur = doc.AppendChild(cur, i % 2 ? "a" : "b");
+  }
+  EXPECT_EQ(doc.SubtreeHeight(doc.document_element()), 40001);
+  SltGrammar g = BplexCompress(doc);
+  EXPECT_TRUE(g.Expand(doc.names()).StructurallyEquals(doc));
+  SelectivityEstimator est =
+      SelectivityEstimator::Build(doc, SynopsisOptions{});
+  Result<SelectivityEstimate> r = est.Estimate("//a/b");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().lower, 20000);
+  // Serialization of the chain is likewise iterative.
+  std::string xml = WriteXml(doc);
+  EXPECT_GT(xml.size(), 200000u);
+}
+
+TEST(RobustnessTest, HugeFanoutDocument) {
+  Document doc;
+  NodeId root = doc.AppendChild(doc.virtual_root(), "r");
+  for (int i = 0; i < 60000; ++i) {
+    doc.AppendChild(root, "leaf");
+  }
+  SltGrammar g = BplexCompress(doc);
+  // With the paper's max_pattern_size = 20, runs compress in chunks of
+  // ≤16 leaves (60000/16 ≈ 3750 occurrence nodes remain).
+  EXPECT_LT(g.NodeCount(), 6000);
+  EXPECT_TRUE(g.Expand(doc.names()).StructurallyEquals(doc));
+  // Lifting the pattern-size cap enables true doubling rules.
+  BplexOptions big;
+  big.max_pattern_size = 1 << 20;
+  SltGrammar g2 = BplexCompress(doc, big);
+  EXPECT_LT(g2.NodeCount(), 500);
+  EXPECT_TRUE(g2.Expand(doc.names()).StructurallyEquals(doc));
+  SelectivityEstimator est =
+      SelectivityEstimator::Build(doc, SynopsisOptions{});
+  EXPECT_EQ(est.Estimate("//leaf").value().lower, 60000);
+  EXPECT_EQ(est.Estimate("/r/leaf").value().upper, 60000);
+}
+
+TEST(RobustnessTest, SingleNodeAndTwoNodeDocuments) {
+  for (const char* xml : {"<a/>", "<a><b/></a>"}) {
+    auto d = ParseXml(xml);
+    ASSERT_TRUE(d.ok());
+    SelectivityEstimator est =
+        SelectivityEstimator::Build(d.value(), SynopsisOptions{});
+    Result<SelectivityEstimate> r = est.Estimate("//a");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().lower, 1);
+    EXPECT_EQ(r.value().upper, 1);
+  }
+}
+
+TEST(RobustnessTest, PackedDecodingOfFuzzedBuffersNeverCrashes) {
+  // Corrupt valid encodings bit by bit; decoding must either succeed or
+  // fail cleanly with kCorruption — never crash or hang.
+  Rng rng(12345);
+  Document doc = testing_util::RandomDocument(&rng, 120, 4, 0.5);
+  SltGrammar g = BplexCompress(doc);
+  std::vector<uint8_t> bytes = EncodePacked(g, doc.names().size());
+  int decoded_ok = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<uint8_t> fuzzed = bytes;
+    int flips = static_cast<int>(rng.Uniform(1, 8));
+    for (int f = 0; f < flips; ++f) {
+      size_t pos = static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(fuzzed.size()) - 1));
+      fuzzed[pos] ^= static_cast<uint8_t>(1u << rng.Uniform(0, 7));
+    }
+    Result<SltGrammar> r = DecodePacked(fuzzed);
+    if (r.ok()) ++decoded_ok;  // structurally valid by Validate()
+  }
+  // Some flips hit don't-care padding; most must be caught.
+  EXPECT_LT(decoded_ok, 300);
+}
+
+TEST(RobustnessTest, TruncatedPackedBuffersFailCleanly) {
+  Rng rng(777);
+  Document doc = testing_util::RandomDocument(&rng, 80, 3, 0.5);
+  SltGrammar g = BplexCompress(doc);
+  std::vector<uint8_t> bytes = EncodePacked(g, doc.names().size());
+  for (size_t keep = 0; keep < bytes.size(); keep += 7) {
+    std::vector<uint8_t> truncated(bytes.begin(),
+                                   bytes.begin() + static_cast<int64_t>(keep));
+    Result<SltGrammar> r = DecodePacked(truncated);
+    if (r.ok()) continue;  // only possible when keep covers everything
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(RobustnessTest, MalformedXPathNeverCrashes) {
+  NameTable names;
+  for (const char* text :
+       {"", "/", "//", "[", "]", "//a[", "//a]", "a//", "//a/following::",
+        "self::", "//a[.//]", "//a[and]", "((((", "//a[./b and]",
+        "//*[*]*", "/..", "//a/..//..", "a b c", "//a\\b"}) {
+    Result<Query> r = ParseQuery(text, &names);
+    if (r.ok()) {
+      r.value().Validate();  // whatever parses must be coherent
+    }
+  }
+}
+
+TEST(RobustnessTest, MalformedXmlNeverCrashes) {
+  for (const char* text :
+       {"", "<", "<>", "<a", "<a b>", "<a b=>", "<a 'x'/>", "<!DOCTYPE",
+        "<?", "<![CDATA[", "<a></b></a>", "<a><a><a>", "&amp;", "<a/><a/>",
+        "<a><!--</a>", "<1tag/>"}) {
+    Result<Document> r = ParseXml(text);
+    if (r.ok()) {
+      EXPECT_GE(r.value().element_count(), 1);
+    }
+  }
+}
+
+TEST(RobustnessTest, AllDatasetsEndToEndSmoke) {
+  for (DatasetId id : {DatasetId::kDblp, DatasetId::kSwissProt,
+                       DatasetId::kXmark, DatasetId::kPsd,
+                       DatasetId::kCatalog}) {
+    Document doc = GenerateDataset(id, 10000, 3);
+    SynopsisOptions opts;
+    opts.kappa = 30;
+    SelectivityEstimator est = SelectivityEstimator::Build(doc, opts);
+    ExactEvaluator oracle(doc);
+    Rng rng(static_cast<uint64_t>(id) + 1);
+    for (int i = 0; i < 5; ++i) {
+      Query q = testing_util::RandomQuery(&rng, doc, 5, false);
+      Result<SelectivityEstimate> r = est.EstimateQuery(q);
+      ASSERT_TRUE(r.ok());
+      int64_t exact = oracle.Count(q);
+      EXPECT_LE(r.value().lower, exact)
+          << DatasetName(id) << " " << q.ToString(doc.names());
+      EXPECT_GE(r.value().upper, exact)
+          << DatasetName(id) << " " << q.ToString(doc.names());
+    }
+    // Serialization survives a full round trip at this scale.
+    Result<Document> reparsed = ParseXml(WriteXml(doc));
+    ASSERT_TRUE(reparsed.ok()) << DatasetName(id);
+    EXPECT_TRUE(reparsed.value().StructurallyEquals(doc));
+  }
+}
+
+TEST(RobustnessTest, UpdateStormOnDeepAndFlatShapes) {
+  // Alternating inserts/deletes at extreme positions on hostile shapes.
+  for (const char* seed : {"<r><a><a><a><a><a/></a></a></a></a></r>",
+                           "<r><x/><x/><x/><x/><x/><x/><x/><x/></r>"}) {
+    auto d = ParseXml(seed);
+    ASSERT_TRUE(d.ok());
+    SltGrammar g = BplexCompress(d.value());
+    NameTable names = d.value().names();
+    Rng rng(31337);
+    for (int step = 0; step < 40; ++step) {
+      Document current = g.Expand(names);
+      std::vector<NodeId> nodes =
+          current.SubtreeNodes(current.virtual_root());
+      NodeId target = nodes[static_cast<size_t>(
+          rng.Uniform(1, static_cast<int64_t>(nodes.size()) - 1))];
+      BinddPath path = BinddOf(current, target);
+      Document tree = testing_util::RandomDocument(&rng, 4, 2, 0.7);
+      UpdateOp op =
+          rng.Chance(0.3) && target != current.document_element()
+              ? UpdateOp::Delete(path)
+              : (rng.Chance(0.5)
+                     ? UpdateOp::FirstChild(path, tree.Compact())
+                     : UpdateOp::NextSibling(path, tree.Compact()));
+      Status st = ApplyUpdateToGrammar(&g, &names, op, BplexOptions{});
+      ASSERT_TRUE(st.ok()) << st.ToString();
+      g.Validate();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xmlsel

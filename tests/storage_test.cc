@@ -1,0 +1,191 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Tests for the packed synopsis storage (§7): bit I/O, encode/decode
+// round trips (lossless and lossy grammars), the space advantage over the
+// pointer representation, and the dynamic blocked store.
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "grammar/bplex.h"
+#include "grammar/lossy.h"
+#include "storage/bitio.h"
+#include "storage/dynamic_store.h"
+#include "storage/packed.h"
+#include "tests/test_util.h"
+
+namespace xmlsel {
+namespace {
+
+TEST(BitIoTest, BitsRoundTrip) {
+  BitWriter w;
+  w.WriteBits(0b101, 3);
+  w.WriteBits(0, 1);
+  w.WriteBits(0xdeadbeef, 32);
+  w.WriteUnary(0);
+  w.WriteUnary(5);
+  w.WriteVarint(0);
+  w.WriteVarint(127);
+  w.WriteVarint(12345678901234ull);
+  std::vector<uint8_t> bytes = w.Finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.ReadBits(3).value(), 0b101u);
+  EXPECT_EQ(r.ReadBits(1).value(), 0u);
+  EXPECT_EQ(r.ReadBits(32).value(), 0xdeadbeefu);
+  EXPECT_EQ(r.ReadUnary().value(), 0);
+  EXPECT_EQ(r.ReadUnary().value(), 5);
+  EXPECT_EQ(r.ReadVarint().value(), 0u);
+  EXPECT_EQ(r.ReadVarint().value(), 127u);
+  EXPECT_EQ(r.ReadVarint().value(), 12345678901234ull);
+}
+
+TEST(BitIoTest, TruncationIsCorruption) {
+  BitWriter w;
+  w.WriteBits(0xff, 8);
+  std::vector<uint8_t> bytes = w.Finish();
+  BitReader r(bytes);
+  EXPECT_TRUE(r.ReadBits(8).ok());
+  EXPECT_EQ(r.ReadBits(1).status().code(), StatusCode::kCorruption);
+}
+
+TEST(BitIoTest, BitsFor) {
+  EXPECT_EQ(BitsFor(0), 1);
+  EXPECT_EQ(BitsFor(1), 1);
+  EXPECT_EQ(BitsFor(2), 1);
+  EXPECT_EQ(BitsFor(3), 2);
+  EXPECT_EQ(BitsFor(4), 2);
+  EXPECT_EQ(BitsFor(5), 3);
+  EXPECT_EQ(BitsFor(1024), 10);
+}
+
+std::string Dump(const SltGrammar& g, const NameTable& names) {
+  return g.ToString(names);
+}
+
+TEST(PackedTest, LosslessRoundTrip) {
+  Rng rng(8);
+  for (int iter = 0; iter < 10; ++iter) {
+    Document doc = testing_util::RandomDocument(&rng, 200, 4, 0.5);
+    SltGrammar g = BplexCompress(doc);
+    std::vector<uint8_t> bytes = EncodePacked(g, doc.names().size());
+    Result<SltGrammar> back = DecodePacked(bytes);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(Dump(g, doc.names()), Dump(back.value(), doc.names()));
+    EXPECT_TRUE(back.value().Expand(doc.names()).StructurallyEquals(doc));
+  }
+}
+
+TEST(PackedTest, LossyRoundTripWithStars) {
+  Document doc = GenerateDataset(DatasetId::kXmark, 2500, 5);
+  SltGrammar lossless = BplexCompress(doc);
+  for (int32_t kappa : {1, 5, 20, 1 << 20}) {
+    LossyGrammar lossy = MakeLossy(lossless, kappa);
+    std::vector<uint8_t> bytes =
+        EncodePacked(lossy.grammar, doc.names().size());
+    Result<SltGrammar> back = DecodePacked(bytes);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(Dump(lossy.grammar, doc.names()),
+              Dump(back.value(), doc.names()));
+  }
+}
+
+TEST(PackedTest, PackedBeatsPointerRepresentation) {
+  Document doc = GenerateDataset(DatasetId::kDblp, 5000, 3);
+  SltGrammar g = BplexCompress(doc);
+  int64_t packed = PackedEncodedSize(g, doc.names().size());
+  int64_t pointers = PointerRepresentationSize(g);
+  EXPECT_LT(packed * 4, pointers);  // "slashes the space requirements"
+}
+
+TEST(PackedTest, GarbageIsRejectedNotCrashing) {
+  std::vector<uint8_t> garbage = {0x12, 0x34, 0x56, 0x78, 0x9a};
+  (void)DecodePacked(garbage);  // must not crash; may or may not decode
+  std::vector<uint8_t> empty;
+  EXPECT_FALSE(DecodePacked(empty).ok());
+}
+
+TEST(PackedTest, PerRuleEncodingsMatchTotalSize) {
+  Document doc = GenerateDataset(DatasetId::kCatalog, 2000, 5);
+  SltGrammar g = BplexCompress(doc);
+  auto per_rule = EncodePackedPerRule(g, doc.names().size());
+  EXPECT_EQ(static_cast<int32_t>(per_rule.size()), g.rule_count());
+  int64_t total = 0;
+  for (const auto& r : per_rule) total += static_cast<int64_t>(r.size());
+  // Byte alignment costs at most one byte per rule vs the packed stream.
+  EXPECT_LE(PackedEncodedSize(g, doc.names().size()),
+            total + 64 /* header */);
+}
+
+TEST(DynamicStoreTest, InsertEraseReplaceKeepOrder) {
+  DynamicSynopsisStore store(64);
+  for (int i = 0; i < 100; ++i) {
+    store.Insert(store.size(),
+                 std::vector<uint8_t>(static_cast<size_t>(5 + i % 13),
+                                      static_cast<uint8_t>(i)));
+  }
+  store.CheckInvariants();
+  EXPECT_EQ(store.size(), 100);
+  EXPECT_EQ(store.Get(7)[0], 7);
+  store.Insert(7, std::vector<uint8_t>(9, 0xAB));
+  EXPECT_EQ(store.Get(7)[0], 0xAB);
+  EXPECT_EQ(store.Get(8)[0], 7);
+  store.Erase(7);
+  EXPECT_EQ(store.Get(7)[0], 7);
+  store.Replace(0, std::vector<uint8_t>(3, 0xCD));
+  EXPECT_EQ(store.Get(0)[0], 0xCD);
+  store.CheckInvariants();
+  EXPECT_GT(store.block_count(), 1);
+}
+
+TEST(DynamicStoreTest, ShrinksOnErase) {
+  DynamicSynopsisStore store(64);
+  for (int i = 0; i < 200; ++i) {
+    store.Insert(store.size(), std::vector<uint8_t>(11, 1));
+  }
+  int64_t blocks_full = store.block_count();
+  for (int i = 0; i < 190; ++i) {
+    store.Erase(store.size() - 1);
+  }
+  store.CheckInvariants();
+  EXPECT_LT(store.block_count(), blocks_full);
+  EXPECT_EQ(store.size(), 10);
+}
+
+TEST(DynamicStoreTest, BulkLoadFromGrammar) {
+  Document doc = GenerateDataset(DatasetId::kSwissProt, 1500, 9);
+  SltGrammar g = BplexCompress(doc);
+  DynamicSynopsisStore store =
+      DynamicSynopsisStore::FromGrammar(g, doc.names().size(), 256);
+  store.CheckInvariants();
+  EXPECT_EQ(store.size(), g.rule_count());
+  EXPECT_GE(store.occupied_bytes(), store.payload_bytes());
+}
+
+TEST(DynamicStoreTest, RandomizedInvariants) {
+  Rng rng(77);
+  DynamicSynopsisStore store(128);
+  int64_t n = 0;
+  for (int step = 0; step < 2000; ++step) {
+    int64_t op = rng.Uniform(0, 2);
+    if (op == 0 || n == 0) {
+      store.Insert(rng.Uniform(0, n),
+                   std::vector<uint8_t>(
+                       static_cast<size_t>(rng.Uniform(1, 40)), 7));
+      ++n;
+    } else if (op == 1) {
+      store.Erase(rng.Uniform(0, n - 1));
+      --n;
+    } else {
+      store.Replace(rng.Uniform(0, n - 1),
+                    std::vector<uint8_t>(
+                        static_cast<size_t>(rng.Uniform(1, 40)), 9));
+    }
+    if (step % 100 == 0) store.CheckInvariants();
+  }
+  store.CheckInvariants();
+  EXPECT_EQ(store.size(), n);
+}
+
+}  // namespace
+}  // namespace xmlsel

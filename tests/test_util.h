@@ -1,0 +1,225 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Shared test helpers: random documents, random queries, and an
+// independent brute-force oracle (deliberately implemented differently
+// from baseline/exact.cc so the two can cross-validate).
+
+#ifndef XMLSEL_TESTS_TEST_UTIL_H_
+#define XMLSEL_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "data/generator.h"
+#include "query/ast.h"
+#include "xml/document.h"
+
+namespace xmlsel {
+namespace testing_util {
+
+/// Random document with up to `max_elements` elements over labels
+/// a, b, c, … (label_count of them). `depth_bias` ∈ (0,1): higher means
+/// deeper trees.
+inline Document RandomDocument(Rng* rng, int64_t max_elements,
+                               int32_t label_count, double depth_bias) {
+  Document doc;
+  std::vector<NodeId> pool;
+  std::string names = "abcdefghijklmnop";
+  auto label = [&](int64_t i) {
+    return std::string(1, names[static_cast<size_t>(i)]);
+  };
+  NodeId root = doc.AppendChild(doc.virtual_root(),
+                                label(rng->Uniform(0, label_count - 1)));
+  pool.push_back(root);
+  int64_t n = rng->Uniform(1, max_elements);
+  for (int64_t i = 1; i < n; ++i) {
+    // Pick an attach point: recently added nodes are favoured when
+    // depth_bias is high.
+    size_t idx;
+    if (rng->Chance(depth_bias)) {
+      idx = pool.size() - 1 -
+            static_cast<size_t>(rng->Uniform(
+                0, std::min<int64_t>(4, static_cast<int64_t>(pool.size()) -
+                                            1)));
+    } else {
+      idx = static_cast<size_t>(
+          rng->Uniform(0, static_cast<int64_t>(pool.size()) - 1));
+    }
+    NodeId parent = pool[idx];
+    pool.push_back(
+        doc.AppendChild(parent, label(rng->Uniform(0, label_count - 1))));
+  }
+  return doc;
+}
+
+/// Random forward-only query over the document's labels. May be
+/// unsatisfiable (no witnesses used) — good for exercising zero counts.
+inline Query RandomQuery(Rng* rng, const Document& doc, int32_t max_nodes,
+                         bool with_order_axes) {
+  Query q;
+  int32_t n = static_cast<int32_t>(rng->Uniform(1, max_nodes));
+  std::vector<int32_t> nodes;
+  LabelId max_label = doc.names().size() - 1;
+  auto random_test = [&]() -> LabelId {
+    if (rng->Chance(0.15)) return kWildcardTest;
+    return static_cast<LabelId>(rng->Uniform(1, max_label));
+  };
+  auto random_axis = [&]() -> Axis {
+    int64_t r = rng->Uniform(0, with_order_axes ? 5 : 3);
+    switch (r) {
+      case 0:
+        return Axis::kChild;
+      case 1:
+        return Axis::kDescendant;
+      case 2:
+        return Axis::kDescendantOrSelf;
+      case 3:
+        return Axis::kSelf;
+      case 4:
+        return Axis::kFollowingSibling;
+      default:
+        return Axis::kFollowing;
+    }
+  };
+  // First node hangs off the root with child or descendant.
+  nodes.push_back(q.AddNode(
+      q.root(), rng->Chance(0.3) ? Axis::kChild : Axis::kDescendant,
+      random_test()));
+  for (int32_t i = 1; i < n; ++i) {
+    int32_t parent = nodes[static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(nodes.size()) - 1))];
+    nodes.push_back(q.AddNode(parent, random_axis(), random_test()));
+  }
+  q.SetMatchNode(nodes[static_cast<size_t>(
+      rng->Uniform(0, static_cast<int64_t>(nodes.size()) - 1))]);
+  q.Validate();
+  return q;
+}
+
+/// Independent brute-force |Q(D)|: explicit axis-set scans and recursive
+/// embedding search. Exponential in the worst case — small inputs only.
+inline int64_t NaiveCount(const Document& doc, const Query& query) {
+  std::vector<NodeId> all = doc.SubtreeNodes(doc.virtual_root());
+  // Document-order positions and subtree intervals for `following`.
+  std::vector<int64_t> pos(static_cast<size_t>(doc.arena_size()), -1);
+  for (size_t i = 0; i < all.size(); ++i) {
+    pos[static_cast<size_t>(all[i])] = static_cast<int64_t>(i);
+  }
+  std::vector<int64_t> end(static_cast<size_t>(doc.arena_size()), -1);
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    int64_t e = pos[static_cast<size_t>(*it)] + 1;
+    for (NodeId c = doc.first_child(*it); c != kNullNode;
+         c = doc.next_sibling(c)) {
+      e = std::max(e, end[static_cast<size_t>(c)]);
+    }
+    end[static_cast<size_t>(*it)] = e;
+  }
+  auto is_ancestor = [&](NodeId anc, NodeId v) {
+    for (NodeId u = doc.parent(v); u != kNullNode; u = doc.parent(u)) {
+      if (u == anc) return true;
+    }
+    return false;
+  };
+  auto in_axis = [&](NodeId u, NodeId v, Axis axis) {
+    switch (axis) {
+      case Axis::kChild:
+        return doc.parent(u) == v;
+      case Axis::kDescendant:
+        return is_ancestor(v, u);
+      case Axis::kDescendantOrSelf:
+        return u == v || is_ancestor(v, u);
+      case Axis::kSelf:
+        return u == v;
+      case Axis::kFollowingSibling:
+        return doc.parent(u) == doc.parent(v) && u != v &&
+               pos[static_cast<size_t>(u)] > pos[static_cast<size_t>(v)] &&
+               v != doc.virtual_root();
+      case Axis::kFollowing:
+        return pos[static_cast<size_t>(u)] >= end[static_cast<size_t>(v)];
+      default:
+        XMLSEL_CHECK(false);
+        return false;
+    }
+  };
+  auto test_ok = [&](int32_t qn, NodeId v) {
+    LabelId t = query.node(qn).test;
+    if (t == kWildcardTest) return doc.label(v) > 0;
+    return doc.label(v) == t;
+  };
+
+  // embeddable(q, v): the subquery rooted at q embeds with h(q) = v.
+  std::vector<std::vector<int8_t>> memo(
+      static_cast<size_t>(query.size()),
+      std::vector<int8_t>(static_cast<size_t>(doc.arena_size()), -1));
+  auto embeddable = [&](auto&& self, int32_t qn, NodeId v) -> bool {
+    int8_t& m = memo[static_cast<size_t>(qn)][static_cast<size_t>(v)];
+    if (m != -1) return m == 1;
+    bool ok = test_ok(qn, v) || (qn == query.root() && v == doc.virtual_root());
+    if (qn == query.root()) ok = v == doc.virtual_root();
+    if (ok) {
+      for (int32_t c : query.node(qn).children) {
+        bool found = false;
+        for (NodeId u : all) {
+          if (in_axis(u, v, query.node(c).axis) && self(self, c, u)) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    m = ok ? 1 : 0;
+    return ok;
+  };
+
+  // Count distinct h(m_Q) over embeddings: search down the spine.
+  std::vector<int32_t> spine;
+  for (int32_t qn = query.match_node(); qn != -1;
+       qn = query.node(qn).parent) {
+    spine.push_back(qn);
+  }
+  std::vector<int32_t> rev(spine.rbegin(), spine.rend());
+
+  int64_t count = 0;
+  for (NodeId target : all) {
+    if (target == doc.virtual_root()) continue;
+    // Exists an embedding of the whole query with h(m_Q) = target?
+    auto search = [&](auto&& self, size_t i, NodeId v) -> bool {
+      // v is the image of rev[i]; check its off-spine subqueries.
+      if (!(i == 0 ? v == doc.virtual_root() : test_ok(rev[i], v))) {
+        return false;
+      }
+      for (int32_t c : query.node(rev[i]).children) {
+        if (i + 1 < rev.size() && c == rev[i + 1]) continue;
+        bool found = false;
+        for (NodeId u : all) {
+          if (in_axis(u, v, query.node(c).axis) &&
+              embeddable(embeddable, c, u)) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) return false;
+      }
+      if (i + 1 == rev.size()) return v == target;
+      for (NodeId u : all) {
+        if (in_axis(u, v, query.node(rev[i + 1]).axis)) {
+          if (i + 2 == rev.size() && u != target) continue;
+          if (self(self, i + 1, u)) return true;
+        }
+      }
+      return false;
+    };
+    if (search(search, 0, doc.virtual_root())) ++count;
+  }
+  return count;
+}
+
+}  // namespace testing_util
+}  // namespace xmlsel
+
+#endif  // XMLSEL_TESTS_TEST_UTIL_H_

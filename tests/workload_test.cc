@@ -1,0 +1,127 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Tests for the §8.1 workload generator and the experiment runner.
+
+#include <gtest/gtest.h>
+
+#include "baseline/exact.h"
+#include "data/generator.h"
+#include "estimator/estimator.h"
+#include "workload/query_gen.h"
+#include "workload/runner.h"
+
+namespace xmlsel {
+namespace {
+
+TEST(QueryGenTest, ProducesRequestedWorkload) {
+  Document doc = GenerateDataset(DatasetId::kXmark, 3000, 11);
+  WorkloadOptions opts;
+  opts.count = 50;
+  opts.seed = 5;
+  std::vector<Query> queries = GenerateWorkload(doc, opts);
+  EXPECT_EQ(queries.size(), 50u);
+  for (const Query& q : queries) {
+    EXPECT_GE(q.size() - 1, opts.min_nodes);  // minus the virtual root
+    EXPECT_LE(q.size() - 1, opts.max_nodes);
+    EXPECT_TRUE(q.ForwardOnly());
+  }
+}
+
+TEST(QueryGenTest, EveryQueryHasPositiveSelectivity) {
+  Document doc = GenerateDataset(DatasetId::kSwissProt, 2000, 13);
+  ExactEvaluator oracle(doc);
+  WorkloadOptions opts;
+  opts.count = 40;
+  opts.seed = 9;
+  for (const Query& q : GenerateWorkload(doc, opts)) {
+    EXPECT_GE(oracle.Count(q), 1) << q.ToString(doc.names());
+  }
+}
+
+TEST(QueryGenTest, OrderAxisWorkloadsAreSatisfiable) {
+  Document doc = GenerateDataset(DatasetId::kXmark, 2000, 17);
+  ExactEvaluator oracle(doc);
+  WorkloadOptions opts;
+  opts.count = 30;
+  opts.order_axis_prob = 0.5;
+  opts.seed = 21;
+  std::vector<Query> queries = GenerateWorkload(doc, opts);
+  int32_t with_order = 0;
+  for (const Query& q : queries) {
+    for (int32_t i = 1; i < q.size(); ++i) {
+      if (q.node(i).axis == Axis::kFollowing ||
+          q.node(i).axis == Axis::kFollowingSibling) {
+        ++with_order;
+        break;
+      }
+    }
+    EXPECT_GE(oracle.Count(q), 1) << q.ToString(doc.names());
+  }
+  EXPECT_GT(with_order, 5);  // the knob actually produces order axes
+}
+
+TEST(QueryGenTest, DeterministicInSeed) {
+  Document doc = GenerateDataset(DatasetId::kDblp, 1000, 3);
+  WorkloadOptions opts;
+  opts.count = 10;
+  auto a = GenerateWorkload(doc, opts);
+  auto b = GenerateWorkload(doc, opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ToString(doc.names()), b[i].ToString(doc.names()));
+  }
+}
+
+TEST(RunnerTest, AggregatesErrorsAndChecksBounds) {
+  Document doc = GenerateDataset(DatasetId::kCatalog, 1500, 3);
+  SynopsisOptions sopts;
+  sopts.kappa = 10;
+  SelectivityEstimator est = SelectivityEstimator::Build(doc, sopts);
+  ExactEvaluator oracle(doc);
+  WorkloadOptions wopts;
+  wopts.count = 25;
+  std::vector<Query> queries = GenerateWorkload(doc, wopts);
+  WorkloadResult result = RunWorkload(&est, oracle, queries, doc.names());
+  EXPECT_EQ(result.queries.size(), queries.size());
+  EXPECT_EQ(result.bound_violations, 0);  // guaranteed bounds
+  EXPECT_GE(result.avg_lower_rel_error, 0.0);
+  EXPECT_GE(result.avg_upper_rel_error, 0.0);
+}
+
+TEST(RunnerTest, LosslessSynopsisHasZeroError) {
+  Document doc = GenerateDataset(DatasetId::kDblp, 1200, 3);
+  SynopsisOptions sopts;
+  sopts.kappa = 0;
+  SelectivityEstimator est = SelectivityEstimator::Build(doc, sopts);
+  ExactEvaluator oracle(doc);
+  WorkloadOptions wopts;
+  wopts.count = 20;
+  WorkloadResult result =
+      RunWorkload(&est, oracle, GenerateWorkload(doc, wopts), doc.names());
+  EXPECT_DOUBLE_EQ(result.avg_lower_rel_error, 0.0);
+  EXPECT_DOUBLE_EQ(result.avg_upper_rel_error, 0.0);
+}
+
+TEST(RunnerTest, ErrorGrowsWithKappa) {
+  // §8.1's headline trend: more deleted patterns → larger error.
+  Document doc = GenerateDataset(DatasetId::kXmark, 3000, 29);
+  ExactEvaluator oracle(doc);
+  WorkloadOptions wopts;
+  wopts.count = 30;
+  std::vector<Query> queries = GenerateWorkload(doc, wopts);
+  double prev_width = -1.0;
+  for (int32_t kappa : {0, 1 << 20}) {
+    SynopsisOptions sopts;
+    sopts.kappa = kappa;
+    SelectivityEstimator est = SelectivityEstimator::Build(doc, sopts);
+    WorkloadResult r = RunWorkload(&est, oracle, queries, doc.names());
+    double width = r.avg_lower_rel_error + r.avg_upper_rel_error;
+    EXPECT_GE(width, prev_width);
+    prev_width = width;
+  }
+  EXPECT_GT(prev_width, 0.0);  // fully lossy synopsis cannot stay exact
+}
+
+}  // namespace
+}  // namespace xmlsel

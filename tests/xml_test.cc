@@ -1,0 +1,190 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Unit tests for the XML substrate: document arena, binary view, bindd
+// paths, parser, writer, and statistics.
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "xml/binary_tree.h"
+#include "xml/document.h"
+#include "xml/parser.h"
+#include "xml/stats.h"
+#include "xml/writer.h"
+
+namespace xmlsel {
+namespace {
+
+TEST(DocumentTest, AppendChildBuildsOrderedTree) {
+  Document doc;
+  NodeId a = doc.AppendChild(doc.virtual_root(), "a");
+  NodeId b = doc.AppendChild(a, "b");
+  NodeId c = doc.AppendChild(a, "c");
+  EXPECT_EQ(doc.document_element(), a);
+  EXPECT_EQ(doc.first_child(a), b);
+  EXPECT_EQ(doc.next_sibling(b), c);
+  EXPECT_EQ(doc.last_child(a), c);
+  EXPECT_EQ(doc.parent(c), a);
+  EXPECT_EQ(doc.element_count(), 3);
+}
+
+TEST(DocumentTest, InsertFirstChildAndNextSibling) {
+  Document doc;
+  NodeId a = doc.AppendChild(doc.virtual_root(), "a");
+  NodeId b = doc.AppendChild(a, "b");
+  NodeId x = doc.InsertFirstChild(a, doc.names().Intern("x"));
+  EXPECT_EQ(doc.first_child(a), x);
+  EXPECT_EQ(doc.next_sibling(x), b);
+  EXPECT_EQ(doc.prev_sibling(b), x);
+  NodeId y = doc.InsertNextSibling(x, doc.names().Intern("y"));
+  EXPECT_EQ(doc.next_sibling(x), y);
+  EXPECT_EQ(doc.next_sibling(y), b);
+  EXPECT_EQ(doc.last_child(a), b);
+  NodeId z = doc.InsertNextSibling(b, doc.names().Intern("z"));
+  EXPECT_EQ(doc.last_child(a), z);
+}
+
+TEST(DocumentTest, DeleteSubtreeUnlinksAndTombstones) {
+  Document doc;
+  NodeId a = doc.AppendChild(doc.virtual_root(), "a");
+  NodeId b = doc.AppendChild(a, "b");
+  NodeId c = doc.AppendChild(b, "c");
+  NodeId d = doc.AppendChild(a, "d");
+  doc.DeleteSubtree(b);
+  EXPECT_FALSE(doc.IsLive(b));
+  EXPECT_FALSE(doc.IsLive(c));
+  EXPECT_EQ(doc.first_child(a), d);
+  EXPECT_EQ(doc.element_count(), 2);
+  Document compacted = doc.Compact();
+  EXPECT_EQ(compacted.element_count(), 2);
+  EXPECT_TRUE(doc.StructurallyEquals(compacted));
+}
+
+TEST(DocumentTest, SubtreeMetrics) {
+  Document doc;
+  NodeId a = doc.AppendChild(doc.virtual_root(), "a");
+  NodeId b = doc.AppendChild(a, "b");
+  doc.AppendChild(b, "c");
+  doc.AppendChild(a, "d");
+  EXPECT_EQ(doc.SubtreeSize(a), 4);
+  EXPECT_EQ(doc.SubtreeHeight(a), 3);
+  EXPECT_EQ(doc.Depth(a), 1);
+  EXPECT_EQ(doc.Depth(doc.first_child(b)), 3);
+  auto nodes = doc.SubtreeNodes(a);
+  ASSERT_EQ(nodes.size(), 4u);
+  EXPECT_EQ(nodes[0], a);  // document order
+}
+
+TEST(BinaryTreeTest, BinddRoundTrip) {
+  Document doc;
+  NodeId a = doc.AppendChild(doc.virtual_root(), "a");
+  NodeId b = doc.AppendChild(a, "b");
+  NodeId c = doc.AppendChild(a, "c");
+  NodeId d = doc.AppendChild(c, "d");
+  EXPECT_EQ(BinddOf(doc, a).ToString(), "ε");
+  EXPECT_EQ(BinddOf(doc, b).ToString(), "1");
+  EXPECT_EQ(BinddOf(doc, c).ToString(), "1.2");
+  EXPECT_EQ(BinddOf(doc, d).ToString(), "1.2.1");
+  for (NodeId n : {a, b, c, d}) {
+    Result<NodeId> r = ResolveBindd(doc, BinddOf(doc, n));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), n);
+  }
+  Result<BinddPath> parsed = BinddPath::Parse("1.2.1");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(ResolveBindd(doc, parsed.value()).value(), d);
+  EXPECT_FALSE(BinddPath::Parse("1.3").ok());
+  EXPECT_FALSE(BinddPath::Parse("1..2").ok());
+  EXPECT_FALSE(ResolveBindd(doc, BinddPath({2})).ok());
+}
+
+TEST(BinaryTreeTest, PostOrderVisitsChildrenFirst) {
+  Document doc;
+  NodeId a = doc.AppendChild(doc.virtual_root(), "a");
+  NodeId b = doc.AppendChild(a, "b");
+  NodeId c = doc.AppendChild(a, "c");
+  auto order = BinaryPostOrder(doc);
+  ASSERT_EQ(order.size(), 3u);
+  // Binary: a's left = b, b's right = c. Post-order: c, b, a.
+  EXPECT_EQ(order[0], c);
+  EXPECT_EQ(order[1], b);
+  EXPECT_EQ(order[2], a);
+}
+
+TEST(ParserTest, ParsesNestedElements) {
+  auto r = ParseXml("<a><b><c/></b><b/></a>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Document& doc = r.value();
+  EXPECT_EQ(doc.element_count(), 4);
+  NodeId a = doc.document_element();
+  EXPECT_EQ(doc.names().Name(doc.label(a)), "a");
+  NodeId b1 = doc.first_child(a);
+  EXPECT_EQ(doc.names().Name(doc.label(b1)), "b");
+  EXPECT_EQ(doc.names().Name(doc.label(doc.first_child(b1))), "c");
+}
+
+TEST(ParserTest, SkipsPrologAttributesCommentsText) {
+  auto r = ParseXml(
+      "<?xml version=\"1.0\"?><!DOCTYPE a><a x=\"1\" y='2'>text"
+      "<!-- comment --><b z=\"v\"/><![CDATA[<fake/>]]></a>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().element_count(), 2);
+}
+
+TEST(ParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseXml("<a><b></a>").ok());
+  EXPECT_FALSE(ParseXml("<a>").ok());
+  EXPECT_FALSE(ParseXml("</a>").ok());
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());
+  EXPECT_FALSE(ParseXml("plain text").ok());
+  EXPECT_FALSE(ParseXml("<a x=></a>").ok());
+}
+
+TEST(ParserTest, LenientModeRecovers) {
+  ParseOptions lenient;
+  lenient.lenient_end_tags = true;
+  auto r = ParseXml("<a><b></a>", lenient);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().element_count(), 2);
+}
+
+TEST(WriterTest, RoundTripsThroughParser) {
+  Document d2;
+  NodeId a = d2.AppendChild(d2.virtual_root(), "root");
+  NodeId b = d2.AppendChild(a, "x");
+  d2.AppendChild(b, "y");
+  d2.AppendChild(a, "x");
+  std::string xml = WriteXml(d2);
+  auto reparsed = ParseXml(xml);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(d2.StructurallyEquals(reparsed.value()));
+}
+
+TEST(WriterTest, IndentedOutputParses) {
+  Document doc;
+  NodeId a = doc.AppendChild(doc.virtual_root(), "a");
+  doc.AppendChild(a, "b");
+  WriteOptions opt;
+  opt.indent = 2;
+  std::string xml = WriteXml(doc, opt);
+  EXPECT_NE(xml.find('\n'), std::string::npos);
+  ASSERT_TRUE(ParseXml(xml).ok());
+}
+
+TEST(StatsTest, ComputesTable1Characteristics) {
+  Document doc;
+  NodeId a = doc.AppendChild(doc.virtual_root(), "a");
+  NodeId b = doc.AppendChild(a, "b");
+  doc.AppendChild(b, "c");
+  doc.AppendChild(a, "b");
+  DocumentStats stats = ComputeStats(doc);
+  EXPECT_EQ(stats.element_count, 4);
+  EXPECT_EQ(stats.max_depth, 3);
+  EXPECT_DOUBLE_EQ(stats.average_depth, (1 + 2 + 3 + 2) / 4.0);
+  EXPECT_EQ(stats.distinct_labels, 3);
+  EXPECT_GT(stats.size_bytes, 0);
+}
+
+}  // namespace
+}  // namespace xmlsel
