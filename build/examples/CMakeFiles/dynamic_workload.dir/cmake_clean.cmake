@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_workload.dir/dynamic_workload.cpp.o"
+  "CMakeFiles/dynamic_workload.dir/dynamic_workload.cpp.o.d"
+  "dynamic_workload"
+  "dynamic_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synopsis_explorer.dir/synopsis_explorer.cpp.o"
+  "CMakeFiles/synopsis_explorer.dir/synopsis_explorer.cpp.o.d"
+  "synopsis_explorer"
+  "synopsis_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synopsis_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

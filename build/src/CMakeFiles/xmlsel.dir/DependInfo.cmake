@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automaton/counting.cc" "src/CMakeFiles/xmlsel.dir/automaton/counting.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/automaton/counting.cc.o.d"
+  "/root/repo/src/automaton/doc_eval.cc" "src/CMakeFiles/xmlsel.dir/automaton/doc_eval.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/automaton/doc_eval.cc.o.d"
+  "/root/repo/src/automaton/grammar_eval.cc" "src/CMakeFiles/xmlsel.dir/automaton/grammar_eval.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/automaton/grammar_eval.cc.o.d"
+  "/root/repo/src/automaton/star.cc" "src/CMakeFiles/xmlsel.dir/automaton/star.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/automaton/star.cc.o.d"
+  "/root/repo/src/automaton/state.cc" "src/CMakeFiles/xmlsel.dir/automaton/state.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/automaton/state.cc.o.d"
+  "/root/repo/src/automaton/transition.cc" "src/CMakeFiles/xmlsel.dir/automaton/transition.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/automaton/transition.cc.o.d"
+  "/root/repo/src/baseline/exact.cc" "src/CMakeFiles/xmlsel.dir/baseline/exact.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/baseline/exact.cc.o.d"
+  "/root/repo/src/baseline/markov_table.cc" "src/CMakeFiles/xmlsel.dir/baseline/markov_table.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/baseline/markov_table.cc.o.d"
+  "/root/repo/src/baseline/path_tree.cc" "src/CMakeFiles/xmlsel.dir/baseline/path_tree.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/baseline/path_tree.cc.o.d"
+  "/root/repo/src/baseline/treesketch_lite.cc" "src/CMakeFiles/xmlsel.dir/baseline/treesketch_lite.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/baseline/treesketch_lite.cc.o.d"
+  "/root/repo/src/data/catalog.cc" "src/CMakeFiles/xmlsel.dir/data/catalog.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/data/catalog.cc.o.d"
+  "/root/repo/src/data/dblp.cc" "src/CMakeFiles/xmlsel.dir/data/dblp.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/data/dblp.cc.o.d"
+  "/root/repo/src/data/fb_index.cc" "src/CMakeFiles/xmlsel.dir/data/fb_index.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/data/fb_index.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/CMakeFiles/xmlsel.dir/data/generator.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/data/generator.cc.o.d"
+  "/root/repo/src/data/psd.cc" "src/CMakeFiles/xmlsel.dir/data/psd.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/data/psd.cc.o.d"
+  "/root/repo/src/data/swissprot.cc" "src/CMakeFiles/xmlsel.dir/data/swissprot.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/data/swissprot.cc.o.d"
+  "/root/repo/src/data/xmark.cc" "src/CMakeFiles/xmlsel.dir/data/xmark.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/data/xmark.cc.o.d"
+  "/root/repo/src/estimator/estimator.cc" "src/CMakeFiles/xmlsel.dir/estimator/estimator.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/estimator/estimator.cc.o.d"
+  "/root/repo/src/estimator/synopsis.cc" "src/CMakeFiles/xmlsel.dir/estimator/synopsis.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/estimator/synopsis.cc.o.d"
+  "/root/repo/src/estimator/update.cc" "src/CMakeFiles/xmlsel.dir/estimator/update.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/estimator/update.cc.o.d"
+  "/root/repo/src/grammar/analysis.cc" "src/CMakeFiles/xmlsel.dir/grammar/analysis.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/grammar/analysis.cc.o.d"
+  "/root/repo/src/grammar/bplex.cc" "src/CMakeFiles/xmlsel.dir/grammar/bplex.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/grammar/bplex.cc.o.d"
+  "/root/repo/src/grammar/dag.cc" "src/CMakeFiles/xmlsel.dir/grammar/dag.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/grammar/dag.cc.o.d"
+  "/root/repo/src/grammar/lossy.cc" "src/CMakeFiles/xmlsel.dir/grammar/lossy.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/grammar/lossy.cc.o.d"
+  "/root/repo/src/grammar/slt.cc" "src/CMakeFiles/xmlsel.dir/grammar/slt.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/grammar/slt.cc.o.d"
+  "/root/repo/src/query/ast.cc" "src/CMakeFiles/xmlsel.dir/query/ast.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/query/ast.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/CMakeFiles/xmlsel.dir/query/lexer.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/query/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/xmlsel.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/rewrite.cc" "src/CMakeFiles/xmlsel.dir/query/rewrite.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/query/rewrite.cc.o.d"
+  "/root/repo/src/storage/bitio.cc" "src/CMakeFiles/xmlsel.dir/storage/bitio.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/storage/bitio.cc.o.d"
+  "/root/repo/src/storage/dynamic_store.cc" "src/CMakeFiles/xmlsel.dir/storage/dynamic_store.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/storage/dynamic_store.cc.o.d"
+  "/root/repo/src/storage/packed.cc" "src/CMakeFiles/xmlsel.dir/storage/packed.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/storage/packed.cc.o.d"
+  "/root/repo/src/workload/query_gen.cc" "src/CMakeFiles/xmlsel.dir/workload/query_gen.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/workload/query_gen.cc.o.d"
+  "/root/repo/src/workload/runner.cc" "src/CMakeFiles/xmlsel.dir/workload/runner.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/workload/runner.cc.o.d"
+  "/root/repo/src/xml/binary_tree.cc" "src/CMakeFiles/xmlsel.dir/xml/binary_tree.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/xml/binary_tree.cc.o.d"
+  "/root/repo/src/xml/document.cc" "src/CMakeFiles/xmlsel.dir/xml/document.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/xml/document.cc.o.d"
+  "/root/repo/src/xml/name_table.cc" "src/CMakeFiles/xmlsel.dir/xml/name_table.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/xml/name_table.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/xmlsel.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/stats.cc" "src/CMakeFiles/xmlsel.dir/xml/stats.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/xml/stats.cc.o.d"
+  "/root/repo/src/xml/writer.cc" "src/CMakeFiles/xmlsel.dir/xml/writer.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/xml/writer.cc.o.d"
+  "/root/repo/src/xmlsel/status.cc" "src/CMakeFiles/xmlsel.dir/xmlsel/status.cc.o" "gcc" "src/CMakeFiles/xmlsel.dir/xmlsel/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

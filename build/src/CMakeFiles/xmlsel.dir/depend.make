@@ -1,0 +1,2 @@
+# Empty dependencies file for xmlsel.
+# This may be replaced when dependencies are built.

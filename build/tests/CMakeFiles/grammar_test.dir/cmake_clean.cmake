@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grammar_test.dir/grammar_test.cc.o"
+  "CMakeFiles/grammar_test.dir/grammar_test.cc.o.d"
+  "grammar_test"
+  "grammar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grammar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

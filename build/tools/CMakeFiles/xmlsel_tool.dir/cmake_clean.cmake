@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlsel_tool.dir/xmlsel_tool.cc.o"
+  "CMakeFiles/xmlsel_tool.dir/xmlsel_tool.cc.o.d"
+  "xmlsel_tool"
+  "xmlsel_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlsel_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
