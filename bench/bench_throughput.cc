@@ -1,0 +1,165 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Batch-estimation throughput: aggregate QPS of the concurrent engine at
+// 1/2/4/8 worker threads over an XMark workload, plus the speedup from
+// hoisting query-independent work (rule post-orders, star-root label
+// sets) into the shared SynopsisEvalCache. Emits JSON so the perf
+// trajectory is tracked across PRs:
+//
+//   ./bench_throughput [output.json]     (default BENCH_throughput.json)
+//
+// Thread scaling is hardware-bound: on a single-core host all thread
+// counts collapse to ~1×, so the JSON records hardware_concurrency
+// alongside every measurement.
+
+#include <chrono>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "automaton/grammar_eval.h"
+#include "data/generator.h"
+#include "estimator/estimator.h"
+#include "query/rewrite.h"
+#include "workload/query_gen.h"
+#include "xmlsel/thread_pool.h"
+
+namespace xmlsel {
+namespace {
+
+constexpr int64_t kElements = 30000;
+constexpr int32_t kKappa = 40;  // lossy: exercises the star machinery
+constexpr int32_t kQueryCount = 96;
+constexpr int32_t kRounds = 5;
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One timed experiment: `rounds` batch evaluations of the workload.
+double MeasureBatchSeconds(SelectivityEstimator* est,
+                           const std::vector<Query>& queries,
+                           int32_t threads, int32_t rounds) {
+  std::span<const Query> span(queries);
+  est->EstimateBatch(span, threads);  // warm-up (pool spin-up, caches)
+  auto t0 = std::chrono::steady_clock::now();
+  for (int32_t r = 0; r < rounds; ++r) {
+    auto results = est->EstimateBatch(span, threads);
+    XMLSEL_CHECK(results.size() == queries.size());
+  }
+  return SecondsSince(t0);
+}
+
+/// Times raw bound evaluations with or without the shared eval cache —
+/// the isolated cache-hoisting win, independent of threading.
+double MeasureEvalSeconds(const Synopsis& synopsis,
+                          const std::vector<CompiledQuery>& compiled,
+                          const SynopsisEvalCache* cache, int32_t rounds) {
+  auto t0 = std::chrono::steady_clock::now();
+  for (int32_t r = 0; r < rounds; ++r) {
+    for (const CompiledQuery& cq : compiled) {
+      GrammarEvaluator lower(&synopsis.lossy(), &cq, &synopsis.label_maps(),
+                             BoundMode::kLower, cache);
+      GrammarEvaluator upper(&synopsis.lossy(), &cq, &synopsis.label_maps(),
+                             BoundMode::kUpper, cache);
+      volatile int64_t sink =
+          lower.Evaluate().count + upper.Evaluate().count;
+      (void)sink;
+    }
+  }
+  return SecondsSince(t0);
+}
+
+int Run(const char* out_path) {
+  // Open the output first so a bad path fails before minutes of work.
+  FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::printf("building XMark fixture: %lld elements, kappa=%d...\n",
+              static_cast<long long>(kElements), kKappa);
+  Document doc = GenerateDataset(DatasetId::kXmark, kElements, 3);
+  SynopsisOptions sopts;
+  sopts.kappa = kKappa;
+  SelectivityEstimator est = SelectivityEstimator::Build(doc, sopts);
+
+  WorkloadOptions wopts;
+  wopts.count = kQueryCount;
+  wopts.order_axis_prob = 0.15;
+  wopts.seed = 7;
+  std::vector<Query> queries = GenerateWorkload(doc, wopts);
+
+  // --- Thread scaling of the batch engine.
+  struct Point {
+    int32_t threads;
+    double seconds;
+    double qps;
+  };
+  std::vector<Point> points;
+  double base_qps = 0.0;
+  for (int32_t threads : {1, 2, 4, 8}) {
+    double secs = MeasureBatchSeconds(&est, queries, threads, kRounds);
+    double qps = static_cast<double>(queries.size()) * kRounds / secs;
+    if (threads == 1) base_qps = qps;
+    points.push_back({threads, secs, qps});
+    std::printf("threads=%d  %.3fs  %.0f q/s  (%.2fx)\n", threads, secs,
+                qps, qps / base_qps);
+  }
+
+  // --- Cache hoisting in isolation (single-thread bound evaluations).
+  std::vector<CompiledQuery> compiled;
+  for (const Query& q : queries) {
+    Result<RewriteOutcome> rw = RewriteReverseAxes(q);
+    XMLSEL_CHECK(rw.ok() && !rw.value().unsatisfiable);
+    Result<CompiledQuery> cq = CompiledQuery::Compile(rw.value().query);
+    XMLSEL_CHECK(cq.ok());
+    compiled.push_back(std::move(cq).value());
+  }
+  const Synopsis& synopsis = est.synopsis();
+  const SynopsisEvalCache* cache = &synopsis.eval_cache();
+  MeasureEvalSeconds(synopsis, compiled, cache, 1);  // warm-up
+  double cold = MeasureEvalSeconds(synopsis, compiled, nullptr, kRounds);
+  double hot = MeasureEvalSeconds(synopsis, compiled, cache, kRounds);
+  std::printf("cache hoisting: unhoisted %.3fs, hoisted %.3fs (%.2fx)\n",
+              cold, hot, cold / hot);
+
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"throughput\",\n");
+  std::fprintf(f, "  \"dataset\": \"xmark\",\n");
+  std::fprintf(f, "  \"elements\": %lld,\n",
+               static_cast<long long>(kElements));
+  std::fprintf(f, "  \"kappa\": %d,\n", kKappa);
+  std::fprintf(f, "  \"queries\": %zu,\n", queries.size());
+  std::fprintf(f, "  \"rounds\": %d,\n", kRounds);
+  std::fprintf(f, "  \"hardware_concurrency\": %d,\n", DefaultThreadCount());
+  std::fprintf(f, "  \"scaling\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"seconds\": %.4f, \"qps\": %.1f, "
+                 "\"speedup_vs_1\": %.3f}%s\n",
+                 p.threads, p.seconds, p.qps, p.qps / base_qps,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"cache_hoisting\": {\n");
+  std::fprintf(f, "    \"unhoisted_seconds\": %.4f,\n", cold);
+  std::fprintf(f, "    \"hoisted_seconds\": %.4f,\n", hot);
+  std::fprintf(f, "    \"speedup\": %.3f\n", cold / hot);
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace xmlsel
+
+int main(int argc, char** argv) {
+  return xmlsel::Run(argc > 1 ? argv[1] : "BENCH_throughput.json");
+}

@@ -41,6 +41,10 @@ struct LinearForm {
     constant += o.constant;
     if (constant > (int64_t{1} << 56)) constant = int64_t{1} << 56;
     if (o.terms.empty()) return;
+    if (terms.empty()) {  // fast path: adopt the other side's terms
+      terms = o.terms;
+      return;
+    }
     std::vector<std::pair<uint64_t, int64_t>> merged;
     merged.reserve(terms.size() + o.terms.size());
     size_t i = 0, j = 0;
@@ -398,6 +402,9 @@ AnnState<typename Ops::Counter> CountingTransition(
     sorted_keys.push_back(m.keys[i]);
     out.counts.push_back(std::move(m.vals[i]));
   }
+  // sorted_keys is donated: Intern's is_sorted fast path skips the
+  // re-sort, and on a hit the buffer is simply freed (no re-interning
+  // allocation).
   out.state = reg->Intern(std::move(sorted_keys));
   return out;
 }

@@ -1,0 +1,63 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Query-independent precomputation shared by every evaluation over one
+// synopsis. GrammarEvaluator's inner loop needs (a) the post-order of each
+// rule's RHS — one traversal per memoized (rule, states…) key without a
+// cache — and (b) the star-root label sets derived from the grammar and
+// the label maps. Neither depends on the query, so a SynopsisEvalCache is
+// built once per (grammar, maps) pair and then shared read-only across
+// any number of concurrent evaluator threads.
+
+#ifndef XMLSEL_AUTOMATON_EVAL_CACHE_H_
+#define XMLSEL_AUTOMATON_EVAL_CACHE_H_
+
+#include <vector>
+
+#include "grammar/lossy.h"
+#include "grammar/slt.h"
+
+namespace xmlsel {
+
+/// Post-order (children before parents) of one rule's RHS nodes.
+std::vector<int32_t> RulePostOrder(const GrammarRule& rule);
+
+/// Root label sets for the star nodes of `rule`, indexed by RHS node id.
+/// Non-star positions get empty vectors. The sentinel {-1} marks a star
+/// whose position admits no label at all according to the maps (distinct
+/// from the empty set, which the upper bound reads as "unrestricted").
+/// `maps` may be null; all sets are then empty (unrestricted).
+std::vector<std::vector<LabelId>> ComputeStarRootLabels(
+    const SltGrammar& grammar, int32_t rule, const LabelMaps* maps);
+
+/// Immutable per-synopsis cache. After Build returns, the cache is safe
+/// for unsynchronized concurrent reads; it holds non-owning pointers to
+/// the grammar and maps it was derived from, so it must be rebuilt (not
+/// reused) when either changes or moves.
+class SynopsisEvalCache {
+ public:
+  static SynopsisEvalCache Build(const SltGrammar* grammar,
+                                 const LabelMaps* maps);
+
+  const std::vector<int32_t>& rule_post_order(int32_t rule) const {
+    return post_orders_[static_cast<size_t>(rule)];
+  }
+  const std::vector<std::vector<LabelId>>& star_roots(int32_t rule) const {
+    return star_roots_[static_cast<size_t>(rule)];
+  }
+
+  /// Identity of the inputs the cache was built from; evaluators check
+  /// these before trusting the cached data.
+  const SltGrammar* grammar() const { return grammar_; }
+  const LabelMaps* maps() const { return maps_; }
+
+ private:
+  const SltGrammar* grammar_ = nullptr;
+  const LabelMaps* maps_ = nullptr;
+  std::vector<std::vector<int32_t>> post_orders_;
+  std::vector<std::vector<std::vector<LabelId>>> star_roots_;
+};
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_AUTOMATON_EVAL_CACHE_H_

@@ -31,57 +31,31 @@ LinearForm Substitute(const LinearForm& f,
 
 GrammarEvaluator::GrammarEvaluator(const SltGrammar* grammar,
                                    const CompiledQuery* cq,
-                                   const LabelMaps* maps, BoundMode mode)
+                                   const LabelMaps* maps, BoundMode mode,
+                                   const SynopsisEvalCache* cache)
     : g_(grammar), cq_(cq), maps_(maps), mode_(mode),
+      cache_(cache != nullptr && cache->grammar() == grammar &&
+                     cache->maps() == maps
+                 ? cache
+                 : nullptr),
       star_(cq, &reg_, maps) {}
 
 const std::vector<std::vector<LabelId>>& GrammarEvaluator::StarRootLabels(
     int32_t rule) {
+  if (cache_ != nullptr) return cache_->star_roots(rule);
   auto it = star_roots_cache_.find(rule);
   if (it != star_roots_cache_.end()) return it->second;
-  const GrammarRule& r = g_->rule(rule);
-  std::vector<std::vector<LabelId>> roots(r.nodes.size());
-  if (maps_ != nullptr) {
-    for (const GrammarNode& n : r.nodes) {
-      if (n.kind != GrammarNode::Kind::kTerminal) continue;
-      LabelId a = n.sym;
-      // Star as a first child of an a-element: hidden roots are children
-      // of a. Star as a next sibling of an a-element: hidden roots are
-      // children of any possible parent of a.
-      for (int side = 0; side < 2; ++side) {
-        int32_t c = n.children[static_cast<size_t>(side)];
-        if (c == kNullNode) continue;
-        const GrammarNode& cn = r.nodes[static_cast<size_t>(c)];
-        if (cn.kind != GrammarNode::Kind::kStar) continue;
-        std::vector<bool> allowed(
-            static_cast<size_t>(maps_->label_count), false);
-        if (side == 0) {
-          allowed = maps_->child[static_cast<size_t>(a)];
-        } else {
-          for (int32_t p = 0; p < maps_->label_count; ++p) {
-            if (!maps_->parent[static_cast<size_t>(a)][static_cast<size_t>(p)])
-              continue;
-            for (int32_t b = 0; b < maps_->label_count; ++b) {
-              if (maps_->child[static_cast<size_t>(p)][static_cast<size_t>(b)])
-                allowed[static_cast<size_t>(b)] = true;
-            }
-          }
-        }
-        std::vector<LabelId>& out = roots[static_cast<size_t>(c)];
-        for (int32_t b = 0; b < maps_->label_count; ++b) {
-          if (allowed[static_cast<size_t>(b)]) out.push_back(b);
-        }
-        if (out.empty()) {
-          // No label is possible in this position according to the maps;
-          // keep the empty set (the star then admits no hidden matches).
-          // Mark it as explicitly-empty with a sentinel so Upper() does
-          // not treat it as "unrestricted".
-          out.push_back(-1);
-        }
-      }
-    }
-  }
-  return star_roots_cache_.emplace(rule, std::move(roots)).first->second;
+  return star_roots_cache_
+      .emplace(rule, ComputeStarRootLabels(*g_, rule, maps_))
+      .first->second;
+}
+
+const std::vector<int32_t>& GrammarEvaluator::PostOrderOf(int32_t rule) {
+  if (cache_ != nullptr) return cache_->rule_post_order(rule);
+  auto it = post_order_cache_.find(rule);
+  if (it != post_order_cache_.end()) return it->second;
+  return post_order_cache_.emplace(rule, RulePostOrder(g_->rule(rule)))
+      .first->second;
 }
 
 GrammarEvalResult GrammarEvaluator::Evaluate() {
@@ -94,40 +68,16 @@ GrammarEvalResult GrammarEvaluator::Evaluate() {
     // nonterminal call it pushes a sub-task and retries the node later.
     struct Task {
       std::vector<int32_t> key;          // [rule, param state ids…]
-      std::vector<int32_t> order;        // post-order RHS node ids
+      const std::vector<int32_t>* order; // post-order RHS node ids
       size_t next = 0;
       std::vector<Ann> value;            // per RHS node (indexed by id)
     };
-    auto post_order_of = [this](int32_t rule) {
-      const GrammarRule& r = g_->rule(rule);
-      std::vector<int32_t> order;
-      if (r.root == kNullNode) return order;
-      struct Frame {
-        int32_t node;
-        size_t next;
-      };
-      std::vector<Frame> stack = {{r.root, 0}};
-      while (!stack.empty()) {
-        Frame& f = stack.back();
-        const GrammarNode& n = r.nodes[static_cast<size_t>(f.node)];
-        bool desc = false;
-        while (f.next < n.children.size()) {
-          int32_t c = n.children[f.next++];
-          if (c != kNullNode) {
-            stack.push_back({c, 0});
-            desc = true;
-            break;
-          }
-        }
-        if (desc) continue;
-        order.push_back(f.node);
-        stack.pop_back();
-      }
-      return order;
-    };
+    // Post-orders are query-independent: served from the shared synopsis
+    // cache when present, else computed once per rule in this evaluator
+    // (both stores hand out stable references).
     auto make_task = [&](std::vector<int32_t> key) {
       Task t;
-      t.order = post_order_of(key[0]);
+      t.order = &PostOrderOf(key[0]);
       t.value.resize(g_->rule(key[0]).nodes.size());
       t.key = std::move(key);
       return t;
@@ -139,7 +89,7 @@ GrammarEvalResult GrammarEvaluator::Evaluate() {
       Task& t = tasks.back();
       int32_t rule = t.key[0];
       const GrammarRule& r = g_->rule(rule);
-      if (t.next == t.order.size()) {
+      if (t.next == t.order->size()) {
         // Rule done: record σ and pop.
         Sigma sigma;
         if (r.root != kNullNode) {
@@ -152,7 +102,7 @@ GrammarEvalResult GrammarEvaluator::Evaluate() {
         tasks.pop_back();
         continue;
       }
-      int32_t id = t.order[t.next];
+      int32_t id = (*t.order)[t.next];
       const GrammarNode& n = r.nodes[static_cast<size_t>(id)];
       auto child_ann = [&](int32_t c) -> const Ann& {
         static const Ann kEmpty;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "automaton/counting.h"
+#include "automaton/eval_cache.h"
 #include "automaton/star.h"
 #include "grammar/lossy.h"
 #include "grammar/slt.h"
@@ -38,12 +39,18 @@ struct GrammarEvalResult {
 /// Evaluates one compiled query over a grammar. A fresh evaluator is
 /// cheap; the σ memo lives for the lifetime of the evaluator, so repeated
 /// Evaluate() calls (e.g. during updates) reuse nothing across queries by
-/// design — each query has its own automaton.
+/// design — each query has its own automaton. An evaluator owns all of
+/// its mutable state (StateRegistry, memo), so any number of evaluators
+/// may run concurrently over the same read-only grammar/maps/cache.
 class GrammarEvaluator {
  public:
-  /// `maps` may be null (upper bounds then skip label pruning).
+  /// `maps` may be null (upper bounds then skip label pruning). `cache`
+  /// may be null (query-independent data is then derived on the fly); a
+  /// non-null cache is used only if it was built from exactly this
+  /// (grammar, maps) pair — a stale cache is ignored, never trusted.
   GrammarEvaluator(const SltGrammar* grammar, const CompiledQuery* cq,
-                   const LabelMaps* maps, BoundMode mode);
+                   const LabelMaps* maps, BoundMode mode,
+                   const SynopsisEvalCache* cache = nullptr);
 
   /// Runs the automaton over the whole grammar, including the final
   /// virtual-root transition.
@@ -66,19 +73,25 @@ class GrammarEvaluator {
   };
 
   /// Root label sets for star nodes of a rule, derived from their parent
-  /// position in the RHS and the label maps (cached per rule).
+  /// position in the RHS and the label maps. Served from the shared
+  /// cache when available, else computed and cached per evaluator.
   const std::vector<std::vector<LabelId>>& StarRootLabels(int32_t rule);
+
+  /// Post-order of a rule's RHS; shared-cache-backed like StarRootLabels.
+  const std::vector<int32_t>& PostOrderOf(int32_t rule);
 
   const SltGrammar* g_;
   const CompiledQuery* cq_;
   const LabelMaps* maps_;
   BoundMode mode_;
+  const SynopsisEvalCache* cache_;  // null when no valid shared cache
   StateRegistry reg_;
   StarEvaluator star_;
   /// Memo key: [rule, param state ids…].
   std::unordered_map<std::vector<int32_t>, Sigma, KeyHash> memo_;
   std::unordered_map<int32_t, std::vector<std::vector<LabelId>>>
       star_roots_cache_;
+  std::unordered_map<int32_t, std::vector<int32_t>> post_order_cache_;
 };
 
 }  // namespace xmlsel

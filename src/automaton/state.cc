@@ -8,7 +8,9 @@
 namespace xmlsel {
 
 StateId StateRegistry::Intern(std::vector<QPair> pairs) {
-  std::sort(pairs.begin(), pairs.end());
+  if (!std::is_sorted(pairs.begin(), pairs.end())) {
+    std::sort(pairs.begin(), pairs.end());
+  }
   XMLSEL_DCHECK(std::adjacent_find(pairs.begin(), pairs.end()) ==
                 pairs.end());
   auto it = ids_.find(pairs);
@@ -16,6 +18,18 @@ StateId StateRegistry::Intern(std::vector<QPair> pairs) {
   StateId id = static_cast<StateId>(states_.size());
   states_.push_back(pairs);
   ids_.emplace(std::move(pairs), id);
+  return id;
+}
+
+StateId StateRegistry::InternSorted(const std::vector<QPair>& pairs) {
+  XMLSEL_DCHECK(std::is_sorted(pairs.begin(), pairs.end()));
+  XMLSEL_DCHECK(std::adjacent_find(pairs.begin(), pairs.end()) ==
+                pairs.end());
+  auto it = ids_.find(pairs);
+  if (it != ids_.end()) return it->second;
+  StateId id = static_cast<StateId>(states_.size());
+  states_.push_back(pairs);
+  ids_.emplace(pairs, id);
   return id;
 }
 

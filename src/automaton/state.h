@@ -41,7 +41,13 @@ class StateRegistry {
   StateRegistry() { Intern({}); }  // id 0 = ∅
 
   /// Interns a pair set (need not be sorted; duplicates are forbidden).
+  /// Already-sorted input skips the sort (one is_sorted scan instead).
   StateId Intern(std::vector<QPair> pairs);
+
+  /// Fast path for pre-sorted pair sets: a pure hash lookup on a hit —
+  /// no copy, no sort, no allocation; only a miss copies `pairs` into
+  /// the registry. The hot transition loop ends every call here.
+  StateId InternSorted(const std::vector<QPair>& pairs);
 
   /// The sorted pair vector of a state.
   const std::vector<QPair>& pairs(StateId id) const {

@@ -8,8 +8,81 @@
 #include "query/rewrite.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace xmlsel {
+
+namespace {
+
+/// A query taken through parse → rewrite → compile, ready for bound
+/// evaluation. Compilation happens once on the controller thread; the
+/// bound evaluations only read it.
+struct PreparedQuery {
+  bool unsatisfiable = false;
+  CompiledQuery lower;
+  /// Upper-bound compilation. Order-free queries reuse `lower` (the
+  /// relaxation is the identity there), so this stays empty and
+  /// shared_upper is set — the previous implementation compiled the
+  /// same query twice.
+  CompiledQuery upper;
+  bool shared_upper = false;
+  LabelId match_test = kWildcardTest;
+};
+
+Result<PreparedQuery> PrepareQuery(const Query& query) {
+  Result<RewriteOutcome> rewritten = RewriteReverseAxes(query);
+  if (!rewritten.ok()) return rewritten.status();
+  PreparedQuery out;
+  if (rewritten.value().unsatisfiable) {
+    out.unsatisfiable = true;
+    return out;
+  }
+  const Query& fwd = rewritten.value().query;
+  Result<CompiledQuery> compiled = CompiledQuery::Compile(fwd);
+  if (!compiled.ok()) return compiled.status();
+  out.match_test = fwd.node(fwd.match_node()).test;
+  out.lower = std::move(compiled.value());
+  if (HasOrderAxes(fwd)) {
+    // Upper bound for order-sensitive queries: evaluate the order-relaxed
+    // query (the strict transition under-approximates deferred following
+    // witnesses, so the over-approximation drops ordering constraints).
+    Result<CompiledQuery> upper = CompiledQuery::Compile(
+        RelaxOrderConstraints(fwd));
+    if (!upper.ok()) return upper.status();
+    out.upper = std::move(upper.value());
+  } else {
+    out.shared_upper = true;
+  }
+  return out;
+}
+
+const CompiledQuery& UpperQueryOf(const PreparedQuery& pq) {
+  return pq.shared_upper ? pq.lower : pq.upper;
+}
+
+int64_t EvaluateBound(const Synopsis& synopsis, const CompiledQuery& cq,
+                      BoundMode mode, const SynopsisEvalCache* cache) {
+  GrammarEvaluator eval(&synopsis.lossy(), &cq, &synopsis.label_maps(),
+                        mode, cache);
+  return eval.Evaluate().count;
+}
+
+SelectivityEstimate FinalizeEstimate(const Synopsis& synopsis,
+                                     const PreparedQuery& pq, int64_t lower,
+                                     int64_t upper) {
+  SelectivityEstimate est;
+  est.lower = lower;
+  est.upper = upper;
+  // Global cap (§5.4's spirit, "the total contribution is bounded"): no
+  // query can select more nodes than carry the match node's label.
+  int64_t cap = pq.match_test > 0 ? synopsis.LabelTotal(pq.match_test)
+                                  : synopsis.ElementTotal();
+  est.upper = std::min(est.upper, cap);
+  est.upper = std::max(est.upper, est.lower);
+  return est;
+}
+
+}  // namespace
 
 SelectivityEstimator SelectivityEstimator::Build(
     const Document& doc, const SynopsisOptions& options) {
@@ -25,43 +98,116 @@ Result<SelectivityEstimate> SelectivityEstimator::Estimate(
 
 Result<SelectivityEstimate> SelectivityEstimator::EstimateQuery(
     const Query& query) {
-  Result<RewriteOutcome> rewritten = RewriteReverseAxes(query);
-  if (!rewritten.ok()) return rewritten.status();
-  if (rewritten.value().unsatisfiable) {
+  Result<PreparedQuery> prepared = PrepareQuery(query);
+  if (!prepared.ok()) return prepared.status();
+  const PreparedQuery& pq = prepared.value();
+  if (pq.unsatisfiable) {
     return SelectivityEstimate{0, 0};  // provably empty: exact answer
   }
-  const Query& fwd = rewritten.value().query;
-  Result<CompiledQuery> compiled = CompiledQuery::Compile(fwd);
-  if (!compiled.ok()) return compiled.status();
+  const SynopsisEvalCache* cache = &synopsis_.eval_cache();
+  int64_t lower =
+      EvaluateBound(synopsis_, pq.lower, BoundMode::kLower, cache);
+  int64_t upper =
+      EvaluateBound(synopsis_, UpperQueryOf(pq), BoundMode::kUpper, cache);
+  return FinalizeEstimate(synopsis_, pq, lower, upper);
+}
 
-  SelectivityEstimate est;
-  {
-    GrammarEvaluator lower(&synopsis_.lossy(), &compiled.value(),
-                           &synopsis_.label_maps(), BoundMode::kLower);
-    est.lower = lower.Evaluate().count;
+ThreadPool* SelectivityEstimator::pool(int32_t threads) {
+  if (pool_ == nullptr || pool_->size() != threads) {
+    pool_ = std::make_unique<ThreadPool>(threads);
   }
-  // Upper bound: evaluate in kUpper mode (no-dedup counting plus star
-  // over-approximation); order-sensitive queries are additionally relaxed
-  // (the strict transition under-approximates deferred following
-  // witnesses, so the over-approximation drops the ordering constraints).
-  {
-    Query upper_query =
-        HasOrderAxes(fwd) ? RelaxOrderConstraints(fwd) : fwd;
-    Result<CompiledQuery> upper_compiled =
-        CompiledQuery::Compile(upper_query);
-    if (!upper_compiled.ok()) return upper_compiled.status();
-    GrammarEvaluator upper(&synopsis_.lossy(), &upper_compiled.value(),
-                           &synopsis_.label_maps(), BoundMode::kUpper);
-    est.upper = upper.Evaluate().count;
+  return pool_.get();
+}
+
+std::vector<Result<SelectivityEstimate>> SelectivityEstimator::EstimateBatch(
+    std::span<const std::string_view> xpaths, int32_t threads) {
+  // Parsing interns labels into the synopsis NameTable, so it stays on
+  // the calling thread; evaluation parallelism comes from the Query
+  // overload.
+  std::vector<Query> queries;
+  queries.reserve(xpaths.size());
+  std::vector<std::pair<size_t, Status>> parse_failures;
+  for (size_t i = 0; i < xpaths.size(); ++i) {
+    Result<Query> parsed = ParseQuery(xpaths[i], &synopsis_.names());
+    if (parsed.ok()) {
+      queries.push_back(std::move(parsed).value());
+    } else {
+      parse_failures.emplace_back(i, parsed.status());
+      // Minimal valid placeholder keeping positions aligned; its result
+      // is overwritten with the parse error below.
+      Query placeholder;
+      placeholder.SetMatchNode(
+          placeholder.AddNode(0, Axis::kChild, kWildcardTest));
+      queries.push_back(std::move(placeholder));
+    }
   }
-  // Global cap (§5.4's spirit, "the total contribution is bounded"): no
-  // query can select more nodes than carry the match node's label.
-  LabelId mq_test = fwd.node(fwd.match_node()).test;
-  int64_t cap = mq_test > 0 ? synopsis_.LabelTotal(mq_test)
-                            : synopsis_.ElementTotal();
-  est.upper = std::min(est.upper, cap);
-  est.upper = std::max(est.upper, est.lower);
-  return est;
+  std::vector<Result<SelectivityEstimate>> out =
+      EstimateBatch(std::span<const Query>(queries), threads);
+  // Placeholder queries estimated something; restore their parse errors.
+  for (const auto& [i, status] : parse_failures) {
+    out[i] = Result<SelectivityEstimate>(status);
+  }
+  return out;
+}
+
+std::vector<Result<SelectivityEstimate>> SelectivityEstimator::EstimateBatch(
+    std::span<const Query> queries, int32_t threads) {
+  if (threads <= 0) threads = DefaultThreadCount();
+  const size_t n = queries.size();
+
+  // Phase 1 (controller thread): rewrite + compile every query.
+  std::vector<Result<PreparedQuery>> prepared;
+  prepared.reserve(n);
+  for (const Query& q : queries) prepared.push_back(PrepareQuery(q));
+
+  // Phase 2: evaluate both bounds of every compiled query. Each task
+  // owns its evaluator (registry + memo); the synopsis and its eval
+  // cache are shared read-only. Build the cache eagerly so workers
+  // never contend on the lazy-init mutex.
+  const SynopsisEvalCache* cache = &synopsis_.eval_cache();
+  std::vector<int64_t> lower_counts(n, 0);
+  std::vector<int64_t> upper_counts(n, 0);
+  auto eval_one = [&](size_t i, BoundMode mode) {
+    const PreparedQuery& pq = prepared[i].value();
+    if (mode == BoundMode::kLower) {
+      lower_counts[i] =
+          EvaluateBound(synopsis_, pq.lower, BoundMode::kLower, cache);
+    } else {
+      upper_counts[i] =
+          EvaluateBound(synopsis_, UpperQueryOf(pq), BoundMode::kUpper,
+                        cache);
+    }
+  };
+  if (threads == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!prepared[i].ok() || prepared[i].value().unsatisfiable) continue;
+      eval_one(i, BoundMode::kLower);
+      eval_one(i, BoundMode::kUpper);
+    }
+  } else {
+    ThreadPool* p = pool(threads);
+    for (size_t i = 0; i < n; ++i) {
+      if (!prepared[i].ok() || prepared[i].value().unsatisfiable) continue;
+      p->Submit([&eval_one, i] { eval_one(i, BoundMode::kLower); });
+      p->Submit([&eval_one, i] { eval_one(i, BoundMode::kUpper); });
+    }
+    p->Wait();
+  }
+
+  // Phase 3 (controller thread): caps and assembly.
+  std::vector<Result<SelectivityEstimate>> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!prepared[i].ok()) {
+      out.push_back(Result<SelectivityEstimate>(prepared[i].status()));
+    } else if (prepared[i].value().unsatisfiable) {
+      out.push_back(SelectivityEstimate{0, 0});
+    } else {
+      out.push_back(FinalizeEstimate(synopsis_, prepared[i].value(),
+                                     lower_counts[i], upper_counts[i]));
+    }
+  }
+  return out;
 }
 
 Status SelectivityEstimator::ApplyUpdate(const UpdateOp& op) {

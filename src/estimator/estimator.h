@@ -15,12 +15,16 @@
 #ifndef XMLSEL_ESTIMATOR_ESTIMATOR_H_
 #define XMLSEL_ESTIMATOR_ESTIMATOR_H_
 
+#include <memory>
+#include <span>
 #include <string_view>
+#include <vector>
 
 #include "estimator/synopsis.h"
 #include "estimator/update.h"
 #include "query/ast.h"
 #include "xmlsel/status.h"
+#include "xmlsel/thread_pool.h"
 
 namespace xmlsel {
 
@@ -40,6 +44,13 @@ struct SelectivityEstimate {
 };
 
 /// The estimator: synopsis + query front end + automaton evaluation.
+///
+/// Concurrency model: the synopsis is shared read-only during
+/// estimation; every bound evaluation owns its automaton state
+/// (StateRegistry, σ memo). EstimateBatch runs bound evaluations on a
+/// small reusable thread pool — one estimator may serve one batch at a
+/// time; updates (ApplyUpdate*) require exclusive access and must never
+/// overlap an estimation call.
 class SelectivityEstimator {
  public:
   /// Builds the synopsis from `doc` in one pass.
@@ -50,6 +61,19 @@ class SelectivityEstimator {
   explicit SelectivityEstimator(Synopsis synopsis)
       : synopsis_(std::move(synopsis)) {}
 
+  // Copies share nothing; the thread pool is lazily re-created.
+  SelectivityEstimator(const SelectivityEstimator& o)
+      : synopsis_(o.synopsis_) {}
+  SelectivityEstimator& operator=(const SelectivityEstimator& o) {
+    if (this != &o) {
+      synopsis_ = o.synopsis_;
+      pool_.reset();
+    }
+    return *this;
+  }
+  SelectivityEstimator(SelectivityEstimator&&) noexcept = default;
+  SelectivityEstimator& operator=(SelectivityEstimator&&) noexcept = default;
+
   /// Parses, rewrites, compiles, and evaluates an XPath string; returns
   /// kUnsupported/kInvalidArgument for queries outside the fragment.
   Result<SelectivityEstimate> Estimate(std::string_view xpath);
@@ -57,6 +81,18 @@ class SelectivityEstimator {
   /// Evaluates an already-built query tree (reverse axes are rewritten
   /// internally).
   Result<SelectivityEstimate> EstimateQuery(const Query& query);
+
+  /// Batch estimation over a reusable thread pool: queries are parsed
+  /// and compiled on the calling thread (the NameTable is mutable during
+  /// parsing), then each query's lower and upper bound run as two
+  /// independent tasks sharing the immutable synopsis + eval cache.
+  /// `threads` ≤ 0 selects the hardware concurrency; 1 runs inline with
+  /// no pool. Results are positionally aligned with the input and
+  /// bit-identical to sequential Estimate()/EstimateQuery() calls.
+  std::vector<Result<SelectivityEstimate>> EstimateBatch(
+      std::span<const std::string_view> xpaths, int32_t threads = 0);
+  std::vector<Result<SelectivityEstimate>> EstimateBatch(
+      std::span<const Query> queries, int32_t threads = 0);
 
   /// Applies one §6 update (first_child / next_sibling / delete) to the
   /// lossless layer and re-derives the lossy layer.
@@ -74,7 +110,12 @@ class SelectivityEstimator {
   int64_t SizeBytes() const { return synopsis_.PackedSizeBytes(); }
 
  private:
+  /// Returns the pool sized for `threads`, creating or resizing it as
+  /// needed (the pool is reused across EstimateBatch calls).
+  ThreadPool* pool(int32_t threads);
+
   Synopsis synopsis_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace xmlsel

@@ -3,6 +3,8 @@
 
 #include "estimator/synopsis.h"
 
+#include <utility>
+
 #include "grammar/analysis.h"
 #include "storage/packed.h"
 
@@ -21,6 +23,7 @@ Synopsis Synopsis::Build(const Document& doc, const SynopsisOptions& options) {
 }
 
 void Synopsis::RecomputeLossy(int32_t kappa) {
+  InvalidateEvalCache();
   options_.kappa = kappa;
   RecomputeLabelTotals();
   if (kappa <= 0) {
@@ -31,6 +34,47 @@ void Synopsis::RecomputeLossy(int32_t kappa) {
   LossyGrammar lg = MakeLossy(lossless_, kappa);
   lossy_ = std::move(lg.grammar);
   deleted_ = lg.deleted;
+}
+
+const SynopsisEvalCache& Synopsis::eval_cache() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (eval_cache_ == nullptr) {
+    eval_cache_ = std::make_shared<const SynopsisEvalCache>(
+        SynopsisEvalCache::Build(&lossy_, &maps_));
+  }
+  return *eval_cache_;
+}
+
+void Synopsis::InvalidateEvalCache() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  eval_cache_.reset();
+}
+
+void Synopsis::CopyFrom(const Synopsis& o) {
+  lossless_ = o.lossless_;
+  lossy_ = o.lossy_;
+  label_totals_ = o.label_totals_;
+  element_total_ = o.element_total_;
+  maps_ = o.maps_;
+  names_ = o.names_;
+  options_ = o.options_;
+  deleted_ = o.deleted_;
+  // The cache points into the source's members; this copy rebuilds its
+  // own lazily on first use.
+  InvalidateEvalCache();
+}
+
+void Synopsis::MoveFrom(Synopsis* o) {
+  lossless_ = std::move(o->lossless_);
+  lossy_ = std::move(o->lossy_);
+  label_totals_ = std::move(o->label_totals_);
+  element_total_ = o->element_total_;
+  maps_ = std::move(o->maps_);
+  names_ = std::move(o->names_);
+  options_ = o->options_;
+  deleted_ = o->deleted_;
+  o->InvalidateEvalCache();
+  InvalidateEvalCache();
 }
 
 int64_t Synopsis::PackedSizeBytes() const {

@@ -9,8 +9,11 @@
 #ifndef XMLSEL_ESTIMATOR_SYNOPSIS_H_
 #define XMLSEL_ESTIMATOR_SYNOPSIS_H_
 
+#include <memory>
+#include <mutex>
 #include <vector>
 
+#include "automaton/eval_cache.h"
 #include "grammar/bplex.h"
 #include "grammar/lossy.h"
 #include "grammar/slt.h"
@@ -27,8 +30,28 @@ struct SynopsisOptions {
 };
 
 /// A built synopsis. Copyable; the estimation layer is self-contained.
+///
+/// Concurrency: all const accessors are safe to call from any number of
+/// threads once construction is done, including eval_cache() (lazily
+/// built under an internal mutex). The mutating surface (RecomputeLossy,
+/// mutable_lossless, mutable_label_maps, the update engine) requires
+/// exclusive access — no concurrent reads or writes.
 class Synopsis {
  public:
+  Synopsis() = default;
+  Synopsis(const Synopsis& o) { CopyFrom(o); }
+  Synopsis& operator=(const Synopsis& o) {
+    if (this != &o) CopyFrom(o);
+    return *this;
+  }
+  // Moves transfer the data but drop the eval cache: the cache holds
+  // pointers into the source object's members, which change address.
+  Synopsis(Synopsis&& o) noexcept { MoveFrom(&o); }
+  Synopsis& operator=(Synopsis&& o) noexcept {
+    if (this != &o) MoveFrom(&o);
+    return *this;
+  }
+
   /// Builds the synopsis from a document in one pass (§4).
   static Synopsis Build(const Document& doc, const SynopsisOptions& options);
 
@@ -42,13 +65,27 @@ class Synopsis {
   /// Number of productions actually deleted by the lossy pass.
   int32_t deleted_productions() const { return deleted_; }
 
+  /// The shared query-independent evaluation cache (rule post-orders,
+  /// star-root label sets) over the lossy layer. Built lazily on first
+  /// use, thread-safe, and shared read-only by concurrent evaluators.
+  /// The returned reference stays valid until the next mutation of this
+  /// synopsis (RecomputeLossy / updates), which invalidates the cache.
+  const SynopsisEvalCache& eval_cache() const;
+
   /// Re-derives the lossy layer from the (possibly updated) lossless
   /// layer; called after a batch of updates (§6).
   void RecomputeLossy(int32_t kappa);
 
-  /// Direct access for the update engine.
-  SltGrammar* mutable_lossless() { return &lossless_; }
-  LabelMaps* mutable_label_maps() { return &maps_; }
+  /// Direct access for the update engine. Mutation invalidates the eval
+  /// cache and requires exclusive access to the synopsis.
+  SltGrammar* mutable_lossless() {
+    InvalidateEvalCache();
+    return &lossless_;
+  }
+  LabelMaps* mutable_label_maps() {
+    InvalidateEvalCache();
+    return &maps_;
+  }
 
   /// Size of the lossy layer in bytes under the packed encoding of §7.
   int64_t PackedSizeBytes() const;
@@ -62,6 +99,9 @@ class Synopsis {
 
  private:
   void RecomputeLabelTotals();
+  void InvalidateEvalCache();
+  void CopyFrom(const Synopsis& o);
+  void MoveFrom(Synopsis* o);
 
   SltGrammar lossless_;
   SltGrammar lossy_;
@@ -71,6 +111,10 @@ class Synopsis {
   NameTable names_;
   SynopsisOptions options_;
   int32_t deleted_ = 0;
+  /// Lazily built; guarded by cache_mu_. Never copied or moved between
+  /// synopses — it points into this object's lossy_/maps_.
+  mutable std::mutex cache_mu_;
+  mutable std::shared_ptr<const SynopsisEvalCache> eval_cache_;
 };
 
 }  // namespace xmlsel

@@ -4,22 +4,26 @@
 #include "workload/runner.h"
 
 #include <cmath>
+#include <span>
 
 namespace xmlsel {
 
 WorkloadResult RunWorkload(SelectivityEstimator* estimator,
                            const ExactEvaluator& oracle,
                            const std::vector<Query>& queries,
-                           const NameTable& names) {
+                           const NameTable& names, int32_t threads) {
   WorkloadResult out;
   double lower_sum = 0.0;
   double upper_sum = 0.0;
   int64_t counted = 0;
-  for (const Query& q : queries) {
+  std::vector<Result<SelectivityEstimate>> estimates =
+      estimator->EstimateBatch(std::span<const Query>(queries), threads);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Query& q = queries[i];
     QueryOutcome o;
     o.xpath = q.ToString(names);
     o.exact = oracle.Count(q);
-    Result<SelectivityEstimate> est = estimator->EstimateQuery(q);
+    const Result<SelectivityEstimate>& est = estimates[i];
     XMLSEL_CHECK(est.ok());
     o.lower = est.value().lower;
     o.upper = est.value().upper;

@@ -37,10 +37,13 @@ struct WorkloadResult {
 /// Evaluates every query with the estimator and the oracle. Queries whose
 /// exact count is 0 are skipped for the relative-error average (the §8.1
 /// generator never produces them, but defensive callers may).
+/// Estimation runs through the batch engine on `threads` workers
+/// (1 = inline sequential, ≤ 0 = hardware concurrency); results are
+/// identical for every thread count.
 WorkloadResult RunWorkload(SelectivityEstimator* estimator,
                            const ExactEvaluator& oracle,
                            const std::vector<Query>& queries,
-                           const NameTable& names);
+                           const NameTable& names, int32_t threads = 1);
 
 }  // namespace xmlsel
 

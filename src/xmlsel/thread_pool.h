@@ -1,0 +1,62 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// A small reusable fixed-size thread pool for the batch-estimation engine.
+// Workers pull closures off a shared queue; Wait() blocks until every
+// submitted task has finished, so one pool can serve many successive
+// batches without re-spawning threads. The pool is deliberately minimal —
+// no futures, no work stealing — because estimation tasks are coarse
+// (one bound evaluation each) and independent.
+
+#ifndef XMLSEL_XMLSEL_THREAD_POOL_H_
+#define XMLSEL_XMLSEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xmlsel {
+
+/// Number of workers to use when the caller does not care: the hardware
+/// concurrency, floored at 1 (hardware_concurrency may report 0).
+int32_t DefaultThreadCount();
+
+/// Fixed-size pool. Submit() and Wait() may be called from one controller
+/// thread at a time; tasks themselves must not call back into the pool.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running. Establishes
+  /// a happens-before edge with every completed task, so results written
+  /// by tasks are visible to the caller afterwards.
+  void Wait();
+
+  int32_t size() const { return static_cast<int32_t>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signalled when work arrives / stop
+  std::condition_variable idle_cv_;  // signalled when the pool drains
+  std::deque<std::function<void()>> queue_;
+  int32_t active_ = 0;  // tasks currently executing
+  bool stop_ = false;
+};
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_XMLSEL_THREAD_POOL_H_

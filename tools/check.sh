@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Concurrency check: build the tree under ThreadSanitizer and run the
+# test suite (most importantly concurrency_test, which races evaluators
+# over the shared synopsis and eval cache). A data race anywhere in the
+# batch engine fails this script.
+#
+# Usage: tools/check.sh [build-dir]      (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Tsan
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+echo "TSan check passed."
