@@ -1,0 +1,169 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Microbenchmarks for the allocation-free evaluation kernel: LinearForm's
+// SSO add path (inline vs spilled), the pooled state registry's intern
+// probe, the transition function through reusable scratch, and a full
+// grammar evaluation split into cold (first) and steady-state (memo-warm)
+// passes. Counters report the kernel's own instrumentation — notably
+// heap_allocs, which must be 0 on the steady-state path.
+
+#include <benchmark/benchmark.h>
+
+#include "automaton/counting.h"
+#include "automaton/grammar_eval.h"
+#include "data/generator.h"
+#include "estimator/synopsis.h"
+#include "query/parser.h"
+#include "xmlsel/arena.h"
+
+namespace xmlsel {
+namespace {
+
+void BM_LinearFormAddInline(benchmark::State& state) {
+  // Two disjoint 1-term forms: the merge stays within inline storage.
+  LinearForm a = LinearForm::Var(0, MakeQPair(1, 0));
+  LinearForm b = LinearForm::Var(1, MakeQPair(2, 0));
+  for (auto _ : state) {
+    LinearForm x = a;
+    x.Add(b);
+    benchmark::DoNotOptimize(x.constant);
+  }
+}
+BENCHMARK(BM_LinearFormAddInline);
+
+void BM_LinearFormAddSpilled(benchmark::State& state) {
+  // Eight-term forms: exercises the heap path and the backward merge.
+  LinearForm a;
+  LinearForm b;
+  for (int32_t i = 0; i < 8; ++i) {
+    a.PushTerm(LinearForm::VarKey(i, MakeQPair(1, 0)), i + 1);
+    b.PushTerm(LinearForm::VarKey(i, MakeQPair(2, 0)), i + 1);
+  }
+  for (auto _ : state) {
+    LinearForm x = a;
+    x.Add(b);
+    benchmark::DoNotOptimize(x.constant);
+  }
+}
+BENCHMARK(BM_LinearFormAddSpilled);
+
+void BM_InternSortedHit(benchmark::State& state) {
+  StateRegistry reg;
+  std::vector<QPair> pairs;
+  for (int32_t n = 0; n < 8; ++n) pairs.push_back(MakeQPair(n, 0));
+  // Populate with many states so probes traverse a realistic table.
+  std::vector<QPair> tmp;
+  for (uint32_t m = 1; m < 256; ++m) {
+    tmp.clear();
+    for (int32_t n = 0; n < 8; ++n) {
+      if (m & (1u << n)) tmp.push_back(MakeQPair(n, 0));
+    }
+    reg.InternSorted(tmp);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.InternSorted(pairs));
+  }
+  state.counters["states"] = static_cast<double>(reg.size());
+}
+BENCHMARK(BM_InternSortedHit);
+
+void BM_CountingTransition(benchmark::State& state) {
+  NameTable names;
+  Result<Query> q = ParseQuery("//a[./b]//c", &names);
+  XMLSEL_CHECK(q.ok());
+  Result<CompiledQuery> cq = CompiledQuery::Compile(q.value());
+  XMLSEL_CHECK(cq.ok());
+  LabelId a = names.Intern("a");
+  StateRegistry reg;
+  TransitionScratch<int64_t> scratch;
+  AnnState<int64_t> p1;
+  AnnState<int64_t> p2;
+  AnnState<int64_t> out;
+  // Warm once so the steady-state iterations are pure probe + merge.
+  CountingTransitionInto<Int64Ops>(cq.value(), &reg, p1, p2, a, true,
+                                   &scratch, &out);
+  p1 = out;
+  int64_t heap0 = HotLoopHeapAllocs();
+  for (auto _ : state) {
+    CountingTransitionInto<Int64Ops>(cq.value(), &reg, p1, p2, a, true,
+                                     &scratch, &out);
+    benchmark::DoNotOptimize(out.state);
+  }
+  state.counters["heap_allocs"] =
+      static_cast<double>(HotLoopHeapAllocs() - heap0);
+}
+BENCHMARK(BM_CountingTransition);
+
+struct Fixture {
+  Document doc;
+  Synopsis synopsis;
+  Fixture()
+      : doc(GenerateDataset(DatasetId::kXmark, 30000, 3)),
+        synopsis(Synopsis::Build(doc, MakeOptions())) {}
+  static SynopsisOptions MakeOptions() {
+    SynopsisOptions o;
+    o.kappa = 40;  // lossy: exercises the star machinery too
+    return o;
+  }
+};
+
+Fixture* GetFixture() {
+  static Fixture f;
+  return &f;
+}
+
+void BM_GrammarEvalCold(benchmark::State& state) {
+  Fixture* f = GetFixture();
+  NameTable names = f->synopsis.names();
+  Result<Query> q = ParseQuery("//item[./mailbox]//keyword", &names);
+  XMLSEL_CHECK(q.ok());
+  Result<CompiledQuery> cq = CompiledQuery::Compile(q.value());
+  XMLSEL_CHECK(cq.ok());
+  GrammarEvalResult last;
+  for (auto _ : state) {
+    GrammarEvaluator eval(&f->synopsis.lossy(), &cq.value(),
+                          &f->synopsis.label_maps(), BoundMode::kLower,
+                          &f->synopsis.eval_cache());
+    last = eval.Evaluate();
+    benchmark::DoNotOptimize(last.count);
+  }
+  state.counters["memo_hit_pct"] =
+      last.memo_probes > 0
+          ? 100.0 * static_cast<double>(last.memo_hits) /
+                static_cast<double>(last.memo_probes)
+          : 0.0;
+  state.counters["pool_pairs"] = static_cast<double>(last.pool_pairs);
+  state.counters["arena_bytes"] = static_cast<double>(last.arena_bytes);
+  state.counters["heap_allocs"] = static_cast<double>(last.heap_allocs);
+}
+BENCHMARK(BM_GrammarEvalCold);
+
+void BM_GrammarEvalSteadyState(benchmark::State& state) {
+  Fixture* f = GetFixture();
+  NameTable names = f->synopsis.names();
+  Result<Query> q = ParseQuery("//item[./mailbox]//keyword", &names);
+  XMLSEL_CHECK(q.ok());
+  Result<CompiledQuery> cq = CompiledQuery::Compile(q.value());
+  XMLSEL_CHECK(cq.ok());
+  GrammarEvaluator eval(&f->synopsis.lossy(), &cq.value(),
+                        &f->synopsis.label_maps(), BoundMode::kLower,
+                        &f->synopsis.eval_cache());
+  int64_t cold_count = eval.Evaluate().count;  // fill the σ memo
+  int64_t steady_allocs = 0;
+  for (auto _ : state) {
+    GrammarEvalResult r = eval.Evaluate();
+    XMLSEL_CHECK(r.count == cold_count);
+    steady_allocs += r.heap_allocs;
+    benchmark::DoNotOptimize(r.count);
+  }
+  // The whole point of the kernel: a warm evaluator re-runs without any
+  // heap allocation.
+  state.counters["heap_allocs"] = static_cast<double>(steady_allocs);
+}
+BENCHMARK(BM_GrammarEvalSteadyState);
+
+}  // namespace
+}  // namespace xmlsel
+
+BENCHMARK_MAIN();

@@ -12,6 +12,12 @@
 // Thread scaling is hardware-bound: on a single-core host all thread
 // counts collapse to ~1×, so the JSON records hardware_concurrency
 // alongside every measurement.
+//
+// The "kernel" section tracks the allocation-free evaluation kernel: the
+// single-thread batch time against the last committed baseline, plus the
+// kernel counters of a representative evaluation — including the
+// steady-state heap-allocation count (a second Evaluate() on a warm
+// evaluator), which must stay at zero.
 
 #include <chrono>
 #include <cstdio>
@@ -33,6 +39,10 @@ constexpr int64_t kElements = 30000;
 constexpr int32_t kKappa = 40;  // lossy: exercises the star machinery
 constexpr int32_t kQueryCount = 96;
 constexpr int32_t kRounds = 5;
+
+/// Single-thread batch seconds of the committed BENCH_throughput.json
+/// baseline (PR 1, pre-kernel) — the yardstick for the kernel speedup.
+constexpr double kBaselineSingleThreadSeconds = 1.7477;
 
 double SecondsSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -127,6 +137,33 @@ int Run(const char* out_path) {
   std::printf("cache hoisting: unhoisted %.3fs, hoisted %.3fs (%.2fx)\n",
               cold, hot, cold / hot);
 
+  // --- Kernel counters of a representative evaluation: aggregate the
+  // first (cold) Evaluate over the workload, and the steady-state
+  // heap-allocation count of a second Evaluate on each warm evaluator.
+  GrammarEvalResult agg;
+  int64_t steady_heap_allocs = 0;
+  for (const CompiledQuery& cq : compiled) {
+    GrammarEvaluator lower(&synopsis.lossy(), &cq, &synopsis.label_maps(),
+                           BoundMode::kLower, cache);
+    GrammarEvalResult cold_res = lower.Evaluate();
+    GrammarEvalResult warm_res = lower.Evaluate();
+    XMLSEL_CHECK(warm_res.count == cold_res.count);
+    agg.memo_probes += cold_res.memo_probes;
+    agg.memo_hits += cold_res.memo_hits;
+    agg.intern_probes += cold_res.intern_probes;
+    agg.intern_hits += cold_res.intern_hits;
+    agg.pool_pairs += cold_res.pool_pairs;
+    agg.arena_bytes += cold_res.arena_bytes;
+    agg.heap_allocs += cold_res.heap_allocs;
+    steady_heap_allocs += warm_res.heap_allocs;
+  }
+  double kernel_speedup = kBaselineSingleThreadSeconds / points[0].seconds;
+  std::printf(
+      "kernel: 1-thread %.3fs vs %.4fs baseline (%.2fx); steady-state "
+      "heap allocs %lld\n",
+      points[0].seconds, kBaselineSingleThreadSeconds, kernel_speedup,
+      static_cast<long long>(steady_heap_allocs));
+
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"throughput\",\n");
   std::fprintf(f, "  \"dataset\": \"xmark\",\n");
@@ -150,6 +187,29 @@ int Run(const char* out_path) {
   std::fprintf(f, "    \"unhoisted_seconds\": %.4f,\n", cold);
   std::fprintf(f, "    \"hoisted_seconds\": %.4f,\n", hot);
   std::fprintf(f, "    \"speedup\": %.3f\n", cold / hot);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"kernel\": {\n");
+  std::fprintf(f, "    \"baseline_single_thread_seconds\": %.4f,\n",
+               kBaselineSingleThreadSeconds);
+  std::fprintf(f, "    \"single_thread_seconds\": %.4f,\n",
+               points[0].seconds);
+  std::fprintf(f, "    \"speedup_vs_baseline\": %.3f,\n", kernel_speedup);
+  std::fprintf(f, "    \"memo_probes\": %lld,\n",
+               static_cast<long long>(agg.memo_probes));
+  std::fprintf(f, "    \"memo_hits\": %lld,\n",
+               static_cast<long long>(agg.memo_hits));
+  std::fprintf(f, "    \"intern_probes\": %lld,\n",
+               static_cast<long long>(agg.intern_probes));
+  std::fprintf(f, "    \"intern_hits\": %lld,\n",
+               static_cast<long long>(agg.intern_hits));
+  std::fprintf(f, "    \"pool_pairs\": %lld,\n",
+               static_cast<long long>(agg.pool_pairs));
+  std::fprintf(f, "    \"arena_bytes\": %lld,\n",
+               static_cast<long long>(agg.arena_bytes));
+  std::fprintf(f, "    \"cold_heap_allocs\": %lld,\n",
+               static_cast<long long>(agg.heap_allocs));
+  std::fprintf(f, "    \"steady_state_heap_allocs\": %lld\n",
+               static_cast<long long>(steady_heap_allocs));
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);

@@ -7,74 +7,232 @@
 // of parameter states — Algorithm 2 only ever adds and zeroes counters, so
 // selectivity counts of a rule are linear functions of its parameters'
 // counters, exactly as the paper observes.
+//
+// This header is the allocation-free evaluation kernel: LinearForm keeps
+// its common 1–2-term case in inline storage and merges in place, and the
+// transition writes into caller-owned output/scratch buffers so the
+// steady-state path (warm scratch, interned states) performs no heap
+// allocation at all. HotLoopHeapAllocs() counts the exceptions.
 
 #ifndef XMLSEL_AUTOMATON_COUNTING_H_
 #define XMLSEL_AUTOMATON_COUNTING_H_
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "automaton/state.h"
 #include "automaton/transition.h"
+#include "xmlsel/arena.h"
 
 namespace xmlsel {
 
 /// A linear function  c₀ + Σ aᵢ·X(param, pair)  over parameter counters.
-/// Variables are keyed by (parameter index << 32) | QPair.
-struct LinearForm {
+/// Variables are keyed by (parameter index << 32) | QPair. Terms are kept
+/// sorted by key with no zero coefficients and no duplicates.
+///
+/// Small-size-optimized: up to kInlineTerms terms live inline (the hot
+/// transition loop almost always stays there); longer forms spill to a
+/// heap block, counted in HotLoopHeapAllocs(). Coefficients and the
+/// constant saturate at the shared kCountSaturate bound.
+class LinearForm {
+ public:
+  struct Term {
+    uint64_t first;   // variable key
+    int64_t second;   // coefficient
+    friend bool operator==(const Term& a, const Term& b) {
+      return a.first == b.first && a.second == b.second;
+    }
+    friend bool operator<(const Term& a, const Term& b) {
+      return a.first != b.first ? a.first < b.first : a.second < b.second;
+    }
+  };
+  static constexpr uint32_t kInlineTerms = 2;
+
   int64_t constant = 0;
-  /// Sorted by key; no zero coefficients, no duplicate keys.
-  std::vector<std::pair<uint64_t, int64_t>> terms;
+
+  LinearForm() {}
+  LinearForm(const LinearForm& o) : constant(o.constant) {
+    CopyTermsFrom(o);
+  }
+  LinearForm(LinearForm&& o) noexcept : constant(o.constant) {
+    StealTermsFrom(&o);
+  }
+  LinearForm& operator=(const LinearForm& o) {
+    if (this != &o) {
+      constant = o.constant;
+      size_ = 0;
+      CopyTermsFrom(o);  // reuses existing capacity
+    }
+    return *this;
+  }
+  LinearForm& operator=(LinearForm&& o) noexcept {
+    if (this != &o) {
+      if (spilled()) delete[] heap_;
+      constant = o.constant;
+      cap_ = kInlineTerms;
+      StealTermsFrom(&o);
+    }
+    return *this;
+  }
+  ~LinearForm() {
+    if (spilled()) delete[] heap_;
+  }
 
   static uint64_t VarKey(int32_t param, QPair pair) {
     return (static_cast<uint64_t>(param) << 32) | pair;
   }
-  static LinearForm Constant(int64_t c) { return {c, {}}; }
+  static LinearForm Constant(int64_t c) {
+    LinearForm f;
+    f.constant = c;
+    return f;
+  }
   static LinearForm Var(int32_t param, QPair pair) {
-    return {0, {{VarKey(param, pair), 1}}};
+    LinearForm f;
+    f.PushTerm(VarKey(param, pair), 1);
+    return f;
   }
 
-  bool IsConstant() const { return terms.empty(); }
+  bool IsConstant() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  const Term* begin() const { return data(); }
+  const Term* end() const { return data() + size_; }
+  const Term& term(size_t i) const { return data()[i]; }
 
+  /// Appends a term; `key` must exceed the current last key (keeps the
+  /// sorted/dedup invariant) and `coeff` must be nonzero.
+  void PushTerm(uint64_t key, int64_t coeff) {
+    XMLSEL_DCHECK(coeff != 0);
+    XMLSEL_DCHECK(size_ == 0 || data()[size_ - 1].first < key);
+    Reserve(size_ + 1);
+    mut_data()[size_++] = Term{key, Saturate(coeff)};
+  }
+
+  /// In-place guard-value merge: the common 1–2-term case never
+  /// allocates (backward merge within the reserved span; combined or
+  /// cancelled terms close the gap with one memmove).
   void Add(const LinearForm& o) {
-    constant += o.constant;
-    if (constant > (int64_t{1} << 56)) constant = int64_t{1} << 56;
-    if (o.terms.empty()) return;
-    if (terms.empty()) {  // fast path: adopt the other side's terms
-      terms = o.terms;
+    if (this == &o) {  // self-add: double everything
+      constant = SatAdd(constant, constant);
+      Term* d = mut_data();
+      for (uint32_t i = 0; i < size_; ++i) {
+        d[i].second = SatAdd(d[i].second, d[i].second);
+      }
       return;
     }
-    std::vector<std::pair<uint64_t, int64_t>> merged;
-    merged.reserve(terms.size() + o.terms.size());
-    size_t i = 0, j = 0;
-    while (i < terms.size() || j < o.terms.size()) {
-      if (j == o.terms.size() ||
-          (i < terms.size() && terms[i].first < o.terms[j].first)) {
-        merged.push_back(terms[i++]);
-      } else if (i == terms.size() || o.terms[j].first < terms[i].first) {
-        merged.push_back(o.terms[j++]);
+    constant = SatAdd(constant, o.constant);
+    if (o.size_ == 0) return;
+    if (size_ == 0) {  // fast path: adopt the other side's terms
+      CopyTermsFrom(o);
+      return;
+    }
+    uint32_t total = size_ + o.size_;
+    Reserve(total);
+    Term* d = mut_data();
+    const Term* od = o.data();
+    int32_t i = static_cast<int32_t>(size_) - 1;
+    int32_t j = static_cast<int32_t>(o.size_) - 1;
+    int32_t w = static_cast<int32_t>(total) - 1;
+    while (j >= 0) {
+      if (i >= 0 && d[i].first > od[j].first) {
+        d[w--] = d[i--];
+      } else if (i >= 0 && d[i].first == od[j].first) {
+        int64_t c = SatAdd(d[i].second, od[j].second);
+        if (c != 0) d[w--] = Term{d[i].first, c};
+        --i;
+        --j;
       } else {
-        int64_t coeff = terms[i].second + o.terms[j].second;
-        if (coeff != 0) merged.push_back({terms[i].first, coeff});
-        ++i;
-        ++j;
+        d[w--] = od[j--];
       }
     }
-    terms = std::move(merged);
+    // d[0..i] is already in place; written entries sit at [w+1, total).
+    int32_t front = i + 1;
+    int32_t written = static_cast<int32_t>(total) - 1 - w;
+    if (written > 0 && w + 1 != front) {
+      std::memmove(d + front, d + w + 1,
+                   static_cast<size_t>(written) * sizeof(Term));
+    }
+    size_ = static_cast<uint32_t>(front + written);
+  }
+
+  /// Multiplies the whole form by `k` (saturating). k = 0 clears it.
+  void ScaleBy(int64_t k) {
+    if (k == 0) {
+      constant = 0;
+      size_ = 0;
+      return;
+    }
+    constant = SatMul(constant, k);
+    Term* d = mut_data();
+    for (uint32_t i = 0; i < size_; ++i) {
+      d[i].second = SatMul(d[i].second, k);
+    }
   }
 
   bool operator==(const LinearForm& o) const {
-    return constant == o.constant && terms == o.terms;
+    return constant == o.constant && size_ == o.size_ &&
+           std::equal(begin(), end(), o.begin());
   }
+
+ private:
+  static int64_t Saturate(int64_t v) {
+    return v > kCountSaturate ? kCountSaturate : v;
+  }
+  static int64_t SatAdd(int64_t a, int64_t b) { return Saturate(a + b); }
+  static int64_t SatMul(int64_t a, int64_t b) {
+    int64_t r;
+    if (__builtin_mul_overflow(a, b, &r)) return kCountSaturate;
+    return Saturate(r);
+  }
+
+  bool spilled() const { return cap_ > kInlineTerms; }
+  const Term* data() const { return spilled() ? heap_ : inline_; }
+  Term* mut_data() { return spilled() ? heap_ : inline_; }
+
+  void Reserve(uint32_t n) {
+    if (n <= cap_) return;
+    uint32_t new_cap = std::max(n, cap_ * 2);
+    Term* p = new Term[new_cap];
+    ++HotLoopHeapAllocs();
+    std::memcpy(p, data(), size_ * sizeof(Term));
+    if (spilled()) delete[] heap_;
+    heap_ = p;
+    cap_ = new_cap;
+  }
+  void CopyTermsFrom(const LinearForm& o) {
+    Reserve(o.size_);
+    std::memcpy(mut_data(), o.data(), o.size_ * sizeof(Term));
+    size_ = o.size_;
+  }
+  /// Steals o's heap block (or copies its inline terms); o ends empty
+  /// with inline capacity. Caller has disposed of our own heap block.
+  void StealTermsFrom(LinearForm* o) {
+    size_ = o->size_;
+    if (o->spilled()) {
+      heap_ = o->heap_;
+      cap_ = o->cap_;
+      o->cap_ = kInlineTerms;
+    } else {
+      std::memcpy(inline_, o->inline_, o->size_ * sizeof(Term));
+    }
+    o->size_ = 0;
+    o->constant = 0;
+  }
+
+  uint32_t size_ = 0;
+  uint32_t cap_ = kInlineTerms;
+  union {
+    Term inline_[kInlineTerms];
+    Term* heap_;
+  };
 };
 
 /// Counter operations for plain integer counting (document evaluation).
 struct Int64Ops {
   using Counter = int64_t;
-  /// Saturation bound: no-dedup (upper bound) evaluation counts
-  /// embeddings, whose number can explode on recursive documents.
-  static constexpr int64_t kSaturate = int64_t{1} << 56;
+  /// Shared saturation bound (see kCountSaturate in xmlsel/common.h).
+  static constexpr int64_t kSaturate = kCountSaturate;
   static Counter Zero() { return 0; }
   static Counter One() { return 1; }
   static void Add(Counter* a, const Counter& b) {
@@ -100,7 +258,7 @@ struct AnnState {
 
   /// Counter of `pair`, or zero if absent.
   Counter CountOf(const StateRegistry& reg, QPair pair) const {
-    const std::vector<QPair>& pairs = reg.pairs(state);
+    std::span<const QPair> pairs = reg.pairs(state);
     auto it = std::lower_bound(pairs.begin(), pairs.end(), pair);
     if (it == pairs.end() || *it != pair) return Counter{};
     return counts[static_cast<size_t>(it - pairs.begin())];
@@ -116,6 +274,10 @@ struct WorkState {
   std::vector<QPair> keys;
   std::vector<Counter> vals;
 
+  void Clear() {
+    keys.clear();
+    vals.clear();  // destroys counters, keeps vector capacity
+  }
   int32_t Find(QPair p) const {
     for (size_t i = 0; i < keys.size(); ++i) {
       if (keys[i] == p) return static_cast<int32_t>(i);
@@ -145,6 +307,21 @@ inline bool KeepInP2(Axis axis) {
 
 }  // namespace internal
 
+/// Reusable per-evaluator scratch for the transition kernel: the work
+/// buckets and canonicalization buffers persist across calls, so a warm
+/// evaluator runs every transition without heap allocation. Owned by one
+/// evaluator — never shared across threads.
+template <typename Counter>
+struct TransitionScratch {
+  internal::WorkState<Counter> main_ws;
+  internal::WorkState<Counter> right_ws;
+  internal::WorkState<Counter> residual1;
+  internal::WorkState<Counter> merged;
+  std::vector<size_t> order;        // restore_counts spine ordering
+  std::vector<uint32_t> sort_idx;   // canonicalization index sort
+  std::vector<QPair> sorted_keys;   // canonical key buffer for interning
+};
+
 /// Algorithm 2: the counting transition δ(⟨p1,C1⟩, ⟨p2,C2⟩, label). `p1`
 /// is the state of the binary left child (first child), `p2` of the binary
 /// right child (next sibling). Works for Algorithm 1 too — acceptance is
@@ -160,16 +337,22 @@ inline bool KeepInP2(Axis axis) {
 /// consumption (the lowest — and on real embeddings the correct —
 /// consumer takes them), which keeps the over-approximation tight. The
 /// result never undercounts: a guaranteed *upper* bound.
+///
+/// Writes the result into `*out` (which must not alias p1 or p2); the
+/// counts vector's capacity is reused, so steady-state callers that keep
+/// their output slots alive allocate nothing.
 template <typename Ops>
-AnnState<typename Ops::Counter> CountingTransition(
-    const CompiledQuery& cq, StateRegistry* reg,
-    const AnnState<typename Ops::Counter>& p1,
-    const AnnState<typename Ops::Counter>& p2, LabelId label,
-    bool dedup = true) {
+void CountingTransitionInto(const CompiledQuery& cq, StateRegistry* reg,
+                            const AnnState<typename Ops::Counter>& p1,
+                            const AnnState<typename Ops::Counter>& p2,
+                            LabelId label, bool dedup,
+                            TransitionScratch<typename Ops::Counter>* scratch,
+                            AnnState<typename Ops::Counter>* out) {
   using Counter = typename Ops::Counter;
+  XMLSEL_DCHECK(out != &p1 && out != &p2);
   const Query& q = cq.query();
-  const std::vector<QPair>& pairs1 = reg->pairs(p1.state);
-  const std::vector<QPair>& pairs2 = reg->pairs(p2.state);
+  std::span<const QPair> pairs1 = reg->pairs(p1.state);
+  std::span<const QPair> pairs2 = reg->pairs(p2.state);
 
   // Line 1: F — following-axis query nodes fully matched to the right.
   uint32_t fmask = 0;
@@ -190,9 +373,12 @@ AnnState<typename Ops::Counter> CountingTransition(
   //              axes); their counters remain consumable (Algorithm 2's
   //              counter array spans them) and flow through
   //              RESTORE-COUNTS.
-  internal::WorkState<Counter> main_ws;
-  internal::WorkState<Counter> right_ws;
-  internal::WorkState<Counter> residual1;
+  internal::WorkState<Counter>& main_ws = scratch->main_ws;
+  internal::WorkState<Counter>& right_ws = scratch->right_ws;
+  internal::WorkState<Counter>& residual1 = scratch->residual1;
+  main_ws.Clear();
+  right_ws.Clear();
+  residual1.Clear();
   Ops ops;
   // Lines 2-5: p'1 ∪ p'2 with rewritten F-sets and carried counters.
   for (size_t i = 0; i < pairs1.size(); ++i) {
@@ -224,7 +410,8 @@ AnnState<typename Ops::Counter> CountingTransition(
   auto restore_counts = [&](bool before_loop) {
     // Process shallow spine pairs first so a transfer into a deeper
     // residual pair cascades onward within the same pass.
-    std::vector<size_t> order;
+    std::vector<size_t>& order = scratch->order;
+    order.clear();
     for (size_t i = 0; i < residual1.keys.size(); ++i) {
       if (cq.spine_index(QPairNode(residual1.keys[i])) >= 0) {
         order.push_back(i);
@@ -295,12 +482,14 @@ AnnState<typename Ops::Counter> CountingTransition(
     if (!cq.TestMatches(qa, label)) continue;
     bool ok = true;
     uint32_t inherited = 0;
-    // Chosen pair (per child) whose counter will be consumed.
+    // Chosen pair (per child) whose counter will be consumed. Child
+    // count is bounded by the query size, so a fixed array suffices.
     struct Chosen {
       internal::WorkState<Counter>* source;
       int32_t idx;
     };
-    std::vector<Chosen> chosen;
+    Chosen chosen[kMaxQueryNodes];
+    int32_t chosen_n = 0;
     for (int32_t c : q.node(qa).children) {
       uint32_t need = fmask & cq.following_mask(c);
       internal::WorkState<Counter>* source = nullptr;
@@ -348,14 +537,15 @@ AnnState<typename Ops::Counter> CountingTransition(
         break;
       }
       inherited |= QPairMask(source->keys[static_cast<size_t>(best)]);
-      chosen.push_back({source, best});
+      chosen[chosen_n++] = {source, best};
     }
     if (!ok) continue;
     QPair self =
         MakeQPair(qa, (fmask | inherited) & cq.following_mask(qa));
     Counter sum = Ops::Zero();
     // Consume-and-zero the chosen child counters (lines 9 and 13).
-    for (const Chosen& ch : chosen) {
+    for (int32_t ci = 0; ci < chosen_n; ++ci) {
+      const Chosen& ch = chosen[ci];
       Ops::Add(&sum, ch.source->vals[static_cast<size_t>(ch.idx)]);
       ch.source->vals[static_cast<size_t>(ch.idx)] = Counter{};
     }
@@ -368,7 +558,8 @@ AnnState<typename Ops::Counter> CountingTransition(
   if (dedup) restore_counts(/*before_loop=*/false);  // leftovers
 
   // Lines 15-16: carry over p2 \ p'2 unchanged, and merge the buckets.
-  internal::WorkState<Counter> m;
+  internal::WorkState<Counter>& m = scratch->merged;
+  m.Clear();
   for (size_t i = 0; i < main_ws.keys.size(); ++i) {
     m.Add(main_ws.keys[i], main_ws.vals[i], ops);
   }
@@ -390,22 +581,35 @@ AnnState<typename Ops::Counter> CountingTransition(
   }
 
   // Canonicalize: sort pairs (with their counters) and intern.
-  std::vector<size_t> idx(m.keys.size());
-  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::vector<uint32_t>& idx = scratch->sort_idx;
+  idx.resize(m.keys.size());
+  for (uint32_t i = 0; i < idx.size(); ++i) idx[i] = i;
   std::sort(idx.begin(), idx.end(),
-            [&m](size_t a, size_t b) { return m.keys[a] < m.keys[b]; });
-  AnnState<Counter> out;
-  std::vector<QPair> sorted_keys;
-  sorted_keys.reserve(idx.size());
-  out.counts.reserve(idx.size());
-  for (size_t i : idx) {
+            [&m](uint32_t a, uint32_t b) { return m.keys[a] < m.keys[b]; });
+  std::vector<QPair>& sorted_keys = scratch->sorted_keys;
+  sorted_keys.clear();
+  out->counts.clear();
+  for (uint32_t i : idx) {
     sorted_keys.push_back(m.keys[i]);
-    out.counts.push_back(std::move(m.vals[i]));
+    out->counts.push_back(std::move(m.vals[i]));
   }
-  // sorted_keys is donated: Intern's is_sorted fast path skips the
-  // re-sort, and on a hit the buffer is simply freed (no re-interning
-  // allocation).
-  out.state = reg->Intern(std::move(sorted_keys));
+  // InternSorted probes the flat pool; only an unseen state copies the
+  // keys in (the steady-state path is a pure probe).
+  out->state = reg->InternSorted(sorted_keys);
+}
+
+/// Convenience wrapper with local scratch and a returned result — for
+/// one-off callers and tests; hot loops hold a TransitionScratch and call
+/// CountingTransitionInto directly.
+template <typename Ops>
+AnnState<typename Ops::Counter> CountingTransition(
+    const CompiledQuery& cq, StateRegistry* reg,
+    const AnnState<typename Ops::Counter>& p1,
+    const AnnState<typename Ops::Counter>& p2, LabelId label,
+    bool dedup = true) {
+  TransitionScratch<typename Ops::Counter> scratch;
+  AnnState<typename Ops::Counter> out;
+  CountingTransitionInto<Ops>(cq, reg, p1, p2, label, dedup, &scratch, &out);
   return out;
 }
 
@@ -423,7 +627,7 @@ FinalResult<Counter> ExtractResult(const CompiledQuery& cq,
                                    const AnnState<Counter>& root_state) {
   FinalResult<Counter> out;
   QPair accept = MakeQPair(0, cq.following_mask(0));
-  const std::vector<QPair>& pairs = reg.pairs(root_state.state);
+  std::span<const QPair> pairs = reg.pairs(root_state.state);
   auto it = std::lower_bound(pairs.begin(), pairs.end(), accept);
   if (it != pairs.end() && *it == accept) {
     out.accepted = true;

@@ -10,19 +10,21 @@ namespace xmlsel {
 DocEvalResult EvaluateOnDocument(const CompiledQuery& cq,
                                  const Document& doc, bool dedup) {
   StateRegistry reg;
+  TransitionScratch<int64_t> scratch;
   DocEvalResult out;
   using Ann = AnnState<int64_t>;
+  const Ann empty;
   Ann root_ann;  // empty document ⇒ empty state
   if (doc.document_element() != kNullNode) {
     std::vector<Ann> value(static_cast<size_t>(doc.arena_size()));
     for (NodeId v : BinaryPostOrder(doc)) {
       NodeId l = BinaryLeft(doc, v);
       NodeId r = BinaryRight(doc, v);
-      Ann empty;
-      Ann& lv = (l == kNullNode) ? empty : value[static_cast<size_t>(l)];
-      Ann& rv = (r == kNullNode) ? empty : value[static_cast<size_t>(r)];
-      value[static_cast<size_t>(v)] = CountingTransition<Int64Ops>(
-          cq, &reg, lv, rv, doc.label(v), dedup);
+      const Ann& lv = (l == kNullNode) ? empty : value[static_cast<size_t>(l)];
+      const Ann& rv = (r == kNullNode) ? empty : value[static_cast<size_t>(r)];
+      CountingTransitionInto<Int64Ops>(cq, &reg, lv, rv, doc.label(v), dedup,
+                                       &scratch,
+                                       &value[static_cast<size_t>(v)]);
       // Children are consumed exactly once; reclaim their memory.
       if (l != kNullNode) value[static_cast<size_t>(l)] = Ann{};
       if (r != kNullNode) value[static_cast<size_t>(r)] = Ann{};
@@ -30,8 +32,9 @@ DocEvalResult EvaluateOnDocument(const CompiledQuery& cq,
     root_ann = value[static_cast<size_t>(doc.document_element())];
   }
   // Final transition at the virtual root (#root label, no sibling).
-  Ann final_ann = CountingTransition<Int64Ops>(cq, &reg, root_ann, Ann{},
-                                               kRootLabel, dedup);
+  Ann final_ann;
+  CountingTransitionInto<Int64Ops>(cq, &reg, root_ann, empty, kRootLabel,
+                                   dedup, &scratch, &final_ann);
   FinalResult<int64_t> fr = ExtractResult(cq, reg, final_ann);
   out.accepted = fr.accepted;
   out.count = fr.count;

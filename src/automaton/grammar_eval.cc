@@ -9,25 +9,98 @@ namespace xmlsel {
 
 namespace {
 
+constexpr size_t kMemoInitialSize = 64;  // power of two
+
+uint64_t HashKey(std::span<const int32_t> key) {
+  return HashSpan32(reinterpret_cast<const uint32_t*>(key.data()),
+                    key.size());
+}
+
 /// Substitutes argument counter forms into a σ result form: the callee's
 /// variables (arg index, pair) are replaced by the argument's own linear
 /// form for that pair (which is expressed over the *caller's* parameters).
 LinearForm Substitute(const LinearForm& f,
-                      const std::vector<AnnState<LinearForm>>& args,
+                      std::span<const AnnState<LinearForm>* const> args,
                       const StateRegistry& reg) {
   LinearForm out = LinearForm::Constant(f.constant);
-  for (const auto& [key, coeff] : f.terms) {
-    int32_t arg = static_cast<int32_t>(key >> 32);
-    QPair pair = static_cast<QPair>(key & 0xffffffffull);
-    LinearForm sub = args[static_cast<size_t>(arg)].CountOf(reg, pair);
-    sub.constant *= coeff;
-    for (auto& t : sub.terms) t.second *= coeff;
+  for (const LinearForm::Term& t : f) {
+    int32_t arg = static_cast<int32_t>(t.first >> 32);
+    QPair pair = static_cast<QPair>(t.first & 0xffffffffull);
+    LinearForm sub = args[static_cast<size_t>(arg)]->CountOf(reg, pair);
+    sub.ScaleBy(t.second);
     out.Add(sub);
   }
   return out;
 }
 
 }  // namespace
+
+SigmaMemo::SigmaMemo(Arena* arena) : arena_(arena) {
+  table_.assign(kMemoInitialSize, -1);
+  table_mask_ = kMemoInitialSize - 1;
+}
+
+int32_t SigmaMemo::FindSlot(std::span<const int32_t> key, uint64_t hash,
+                            size_t* slot) const {
+  ++probes_;
+  for (size_t s = static_cast<size_t>(hash) & table_mask_;;
+       s = (s + 1) & table_mask_) {
+    int32_t id = table_[s];
+    if (id < 0) {
+      *slot = s;
+      return -1;
+    }
+    const KeyRecord& r = keys_[static_cast<size_t>(id)];
+    if (r.hash == hash && r.len == key.size() &&
+        std::equal(key.begin(), key.end(), r.key)) {
+      ++hits_;
+      return id;
+    }
+  }
+}
+
+void SigmaMemo::GrowTable() {
+  size_t new_size = table_.size() * 2;
+  table_.assign(new_size, -1);
+  table_mask_ = new_size - 1;
+  ++HotLoopHeapAllocs();
+  for (size_t id = 0; id < keys_.size(); ++id) {
+    for (size_t s = static_cast<size_t>(keys_[id].hash) & table_mask_;;
+         s = (s + 1) & table_mask_) {
+      if (table_[s] < 0) {
+        table_[s] = static_cast<int32_t>(id);
+        break;
+      }
+    }
+  }
+}
+
+int32_t SigmaMemo::InternKey(std::span<const int32_t> key, bool* inserted) {
+  uint64_t hash = HashKey(key);
+  size_t slot = 0;
+  int32_t id = FindSlot(key, hash, &slot);
+  if (id >= 0) {
+    *inserted = false;
+    return id;
+  }
+  id = static_cast<int32_t>(keys_.size());
+  KeyRecord r;
+  r.key = arena_->CopySpan<int32_t>(key).data();
+  r.len = static_cast<uint32_t>(key.size());
+  r.hash = hash;
+  keys_.push_back(r);
+  sigmas_.emplace_back();
+  table_[slot] = id;
+  // Grow at ~70% load so probe chains stay short.
+  if (keys_.size() * 10 >= table_.size() * 7) GrowTable();
+  *inserted = true;
+  return id;
+}
+
+int32_t SigmaMemo::Find(std::span<const int32_t> key) const {
+  size_t slot = 0;
+  return FindSlot(key, HashKey(key), &slot);
+}
 
 GrammarEvaluator::GrammarEvaluator(const SltGrammar* grammar,
                                    const CompiledQuery* cq,
@@ -38,7 +111,8 @@ GrammarEvaluator::GrammarEvaluator(const SltGrammar* grammar,
                      cache->maps() == maps
                  ? cache
                  : nullptr),
-      star_(cq, &reg_, maps) {}
+      memo_(&arena_),
+      star_(cq, &reg_, maps, &scratch_, &arena_) {}
 
 const std::vector<std::vector<LabelId>>& GrammarEvaluator::StarRootLabels(
     int32_t rule) {
@@ -58,140 +132,158 @@ const std::vector<int32_t>& GrammarEvaluator::PostOrderOf(int32_t rule) {
       .first->second;
 }
 
+void GrammarEvaluator::PushTask(int32_t memo_id,
+                                std::span<const int32_t> key) {
+  if (live_tasks_ == tasks_.size()) tasks_.emplace_back();
+  Task& t = tasks_[live_tasks_++];
+  t.memo_id = memo_id;
+  t.rule = key[0];
+  // Post-orders are query-independent: served from the shared synopsis
+  // cache when present, else computed once per rule in this evaluator
+  // (both stores hand out stable references).
+  t.order = &PostOrderOf(t.rule);
+  size_t nodes = g_->rule(t.rule).nodes.size();
+  if (t.value.size() < nodes) t.value.resize(nodes);
+  t.next = 0;
+}
+
 GrammarEvalResult GrammarEvaluator::Evaluate() {
   GrammarEvalResult result;
-  using Ann = AnnState<LinearForm>;
-  Ann top;  // empty grammar ⇒ empty state
-  if (g_->rule_count() > 0) {
-    // Iterative evaluation: a stack of rule-evaluation tasks. Each task
-    // walks its RHS in post-order; when it reaches an unmemoized
-    // nonterminal call it pushes a sub-task and retries the node later.
-    struct Task {
-      std::vector<int32_t> key;          // [rule, param state ids…]
-      const std::vector<int32_t>* order; // post-order RHS node ids
-      size_t next = 0;
-      std::vector<Ann> value;            // per RHS node (indexed by id)
-    };
-    // Post-orders are query-independent: served from the shared synopsis
-    // cache when present, else computed once per rule in this evaluator
-    // (both stores hand out stable references).
-    auto make_task = [&](std::vector<int32_t> key) {
-      Task t;
-      t.order = &PostOrderOf(key[0]);
-      t.value.resize(g_->rule(key[0]).nodes.size());
-      t.key = std::move(key);
-      return t;
-    };
+  const int64_t heap0 = HotLoopHeapAllocs();
+  const int64_t mprobes0 = memo_.probes();
+  const int64_t mhits0 = memo_.hits();
+  const int64_t iprobes0 = reg_.probes();
+  const int64_t ihits0 = reg_.hits();
+  static const Ann kEmpty;  // ⊥ children and the final right sibling
 
-    std::vector<Task> tasks;
-    tasks.push_back(make_task({g_->start_rule()}));
-    while (!tasks.empty()) {
-      Task& t = tasks.back();
-      int32_t rule = t.key[0];
-      const GrammarRule& r = g_->rule(rule);
+  Ann& top = top_scratch_;  // empty grammar ⇒ empty state
+  top.state = reg_.empty_state();
+  top.counts.clear();
+  if (g_->rule_count() > 0) {
+    key_scratch_.clear();
+    key_scratch_.push_back(g_->start_rule());
+    bool inserted = false;
+    int32_t root_id = memo_.InternKey(key_scratch_, &inserted);
+    // Iterative evaluation: a stack of pooled rule-evaluation tasks. Each
+    // task walks its RHS in post-order; when it reaches an unmemoized
+    // nonterminal call it pushes a sub-task and retries the node later.
+    // A warm memo (re-run on the same evaluator) skips the stack wholly.
+    if (!memo_.sigma(root_id).ready) {
+      PushTask(root_id, memo_.key(root_id));
+    }
+    while (live_tasks_ > 0) {
+      Task& t = tasks_[live_tasks_ - 1];
+      const GrammarRule& r = g_->rule(t.rule);
       if (t.next == t.order->size()) {
-        // Rule done: record σ and pop.
-        Sigma sigma;
+        // Rule done: record σ and retire the task (its slots persist).
+        Sigma& sigma = memo_.sigma(t.memo_id);
         if (r.root != kNullNode) {
           Ann& root = t.value[static_cast<size_t>(r.root)];
           sigma.state = root.state;
           sigma.counts = std::move(root.counts);
+        } else {
+          sigma.state = reg_.empty_state();
+          sigma.counts.clear();
         }
-        memo_.emplace(std::move(t.key), std::move(sigma));
+        sigma.ready = true;
         ++result.sigma_entries;
-        tasks.pop_back();
+        --live_tasks_;
         continue;
       }
       int32_t id = (*t.order)[t.next];
       const GrammarNode& n = r.nodes[static_cast<size_t>(id)];
       auto child_ann = [&](int32_t c) -> const Ann& {
-        static const Ann kEmpty;
         if (c == kNullNode) return kEmpty;
         return t.value[static_cast<size_t>(c)];
       };
       switch (n.kind) {
         case GrammarNode::Kind::kParam: {
-          Ann a;
-          // The parameter's state is given; its counters are the symbolic
-          // variables X(param, pair).
-          a.state = t.key[static_cast<size_t>(n.sym) + 1];
+          // The parameter's state is given by the memo key; its counters
+          // are the symbolic variables X(param, pair).
+          Ann& a = t.value[static_cast<size_t>(id)];
+          a.state = memo_.key(t.memo_id)[static_cast<size_t>(n.sym) + 1];
+          a.counts.clear();
           for (QPair pr : reg_.pairs(a.state)) {
             a.counts.push_back(LinearForm::Var(n.sym, pr));
           }
-          t.value[static_cast<size_t>(id)] = std::move(a);
           ++t.next;
           break;
         }
         case GrammarNode::Kind::kTerminal: {
-          t.value[static_cast<size_t>(id)] = CountingTransition<LinearOps>(
+          CountingTransitionInto<LinearOps>(
               *cq_, &reg_, child_ann(n.children[0]), child_ann(n.children[1]),
-              n.sym, /*dedup=*/mode_ == BoundMode::kLower);
+              n.sym, /*dedup=*/mode_ == BoundMode::kLower, &scratch_,
+              &t.value[static_cast<size_t>(id)]);
           ++t.next;
           break;
         }
         case GrammarNode::Kind::kStar: {
-          std::vector<Ann> kids;
-          kids.reserve(n.children.size());
-          for (int32_t c : n.children) kids.push_back(child_ann(c));
+          args_scratch_.clear();
+          for (int32_t c : n.children) {
+            args_scratch_.push_back(&child_ann(c));
+          }
           if (mode_ == BoundMode::kLower) {
-            t.value[static_cast<size_t>(id)] = star_.Lower(kids);
+            star_.Lower(args_scratch_, &t.value[static_cast<size_t>(id)]);
           } else {
-            const auto& roots = StarRootLabels(rule);
-            std::vector<LabelId> root_set =
-                roots.empty() ? std::vector<LabelId>{}
-                              : roots[static_cast<size_t>(id)];
-            if (root_set.size() == 1 && root_set[0] == -1) {
-              root_set.clear();
-              root_set.push_back(-1);  // explicitly empty: keep sentinel
-            }
-            t.value[static_cast<size_t>(id)] = star_.Upper(
-                kids, g_->star_stats()[static_cast<size_t>(n.sym)], root_set);
+            static const std::vector<LabelId> kNoRoots;
+            const auto& roots = StarRootLabels(t.rule);
+            const std::vector<LabelId>& root_set =
+                roots.empty() ? kNoRoots : roots[static_cast<size_t>(id)];
+            star_.Upper(args_scratch_,
+                        g_->star_stats()[static_cast<size_t>(n.sym)],
+                        root_set, &t.value[static_cast<size_t>(id)]);
           }
           ++t.next;
           break;
         }
         case GrammarNode::Kind::kNonterminal: {
-          std::vector<int32_t> key;
-          key.reserve(n.children.size() + 1);
-          key.push_back(n.sym);
-          std::vector<Ann> args;
-          args.reserve(n.children.size());
+          key_scratch_.clear();
+          key_scratch_.push_back(n.sym);
+          args_scratch_.clear();
           for (int32_t c : n.children) {
-            args.push_back(child_ann(c));
-            key.push_back(args.back().state);
+            const Ann& a = child_ann(c);
+            args_scratch_.push_back(&a);
+            key_scratch_.push_back(a.state);
           }
-          auto it = memo_.find(key);
-          if (it == memo_.end()) {
-            tasks.push_back(make_task(std::move(key)));
+          int32_t mid = memo_.InternKey(key_scratch_, &inserted);
+          if (!memo_.sigma(mid).ready) {
+            PushTask(mid, memo_.key(mid));
             // Retry this node once the sub-task has filled the memo.
+            // (PushTask may have moved the task pool — touch nothing.)
             break;
           }
-          const Sigma& sigma = it->second;
-          Ann a;
+          const Sigma& sigma = memo_.sigma(mid);
+          Ann& a = t.value[static_cast<size_t>(id)];
           a.state = sigma.state;
-          a.counts.reserve(sigma.counts.size());
+          a.counts.clear();
           for (const LinearForm& f : sigma.counts) {
-            a.counts.push_back(Substitute(f, args, reg_));
+            a.counts.push_back(Substitute(f, args_scratch_, reg_));
           }
-          t.value[static_cast<size_t>(id)] = std::move(a);
           ++t.next;
           break;
         }
       }
     }
-    auto it = memo_.find(std::vector<int32_t>{g_->start_rule()});
-    XMLSEL_CHECK(it != memo_.end());
-    top.state = it->second.state;
-    top.counts = it->second.counts;
+    const Sigma& s = memo_.sigma(root_id);
+    XMLSEL_CHECK(s.ready);
+    top.state = s.state;
+    top.counts = s.counts;
   }
-  Ann final_ann = CountingTransition<LinearOps>(
-      *cq_, &reg_, top, Ann{}, kRootLabel,
-      /*dedup=*/mode_ == BoundMode::kLower);
-  FinalResult<LinearForm> fr = ExtractResult(*cq_, reg_, final_ann);
+  CountingTransitionInto<LinearOps>(*cq_, &reg_, top, kEmpty, kRootLabel,
+                                    /*dedup=*/mode_ == BoundMode::kLower,
+                                    &scratch_, &final_scratch_);
+  FinalResult<LinearForm> fr = ExtractResult(*cq_, reg_, final_scratch_);
   result.accepted = fr.accepted;
   XMLSEL_CHECK(fr.count.IsConstant());
   result.count = fr.count.constant;
   result.distinct_states = reg_.size();
+  result.memo_probes = memo_.probes() - mprobes0;
+  result.memo_hits = memo_.hits() - mhits0;
+  result.intern_probes = reg_.probes() - iprobes0;
+  result.intern_hits = reg_.hits() - ihits0;
+  result.pool_pairs = reg_.pool_pairs();
+  result.arena_bytes = arena_.bytes_allocated();
+  result.heap_allocs = HotLoopHeapAllocs() - heap0;
   return result;
 }
 

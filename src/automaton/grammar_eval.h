@@ -7,10 +7,16 @@
 // counters as linear forms over parameter counters. Lossy grammars are
 // handled through the star evaluator, yielding guaranteed lower/upper
 // bounds.
+//
+// Kernel layout (see DESIGN.md "Evaluation kernel"): the σ-memo is a flat
+// open-addressed table whose variable-length keys live in the evaluator's
+// bump arena; rule-evaluation tasks and all transition scratch are pooled
+// and reused, so the steady-state σ path performs no heap allocation.
 
 #ifndef XMLSEL_AUTOMATON_GRAMMAR_EVAL_H_
 #define XMLSEL_AUTOMATON_GRAMMAR_EVAL_H_
 
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -19,6 +25,7 @@
 #include "automaton/star.h"
 #include "grammar/lossy.h"
 #include "grammar/slt.h"
+#include "xmlsel/arena.h"
 
 namespace xmlsel {
 
@@ -28,20 +35,88 @@ enum class BoundMode {
   kUpper,  ///< admit all consistent hidden trees (guaranteed upper bound)
 };
 
-/// Result of a grammar evaluation.
+/// Result of a grammar evaluation, with the kernel's cheap counters so
+/// callers (benches, tests) can verify hot-path behaviour without a
+/// profiler.
 struct GrammarEvalResult {
   bool accepted = false;
   int64_t count = 0;
   int64_t sigma_entries = 0;    ///< memoized σ_i evaluations performed
   int64_t distinct_states = 0;  ///< automaton states materialized
+  // --- Kernel counters ---
+  int64_t memo_probes = 0;      ///< σ-memo lookups
+  int64_t memo_hits = 0;        ///< σ-memo lookups answered from the table
+  int64_t intern_probes = 0;    ///< state-registry intern probes
+  int64_t intern_hits = 0;      ///< intern probes that found a state
+  int64_t pool_pairs = 0;       ///< QPairs in the registry's flat pool
+  int64_t arena_bytes = 0;      ///< bytes bump-allocated by this evaluator
+  int64_t heap_allocs = 0;      ///< hot-loop heap allocations (spills,
+                                ///< pool/table growth) during Evaluate()
+};
+
+/// σ result for one (rule, parameter states…) key: the root state plus
+/// one linear form per root-state pair, over the rule's own parameters.
+struct Sigma {
+  StateId state = 0;
+  std::vector<LinearForm> counts;
+  bool ready = false;  ///< false while the rule's task is still on the stack
+};
+
+/// Flat open-addressed memo for σ results. Keys are [rule, param state
+/// ids…] spans interned into the evaluator's arena (exact-size, stable —
+/// no per-key vector); the table stores dense entry ids and probes with
+/// a precomputed mix hash. Not thread-safe (one per evaluator).
+class SigmaMemo {
+ public:
+  explicit SigmaMemo(Arena* arena);
+
+  /// Returns the entry id for `key`, interning it (with an empty,
+  /// not-ready Sigma) on first sight. `*inserted` reports a miss.
+  int32_t InternKey(std::span<const int32_t> key, bool* inserted);
+  /// Probe only: entry id or -1.
+  int32_t Find(std::span<const int32_t> key) const;
+
+  Sigma& sigma(int32_t id) { return sigmas_[static_cast<size_t>(id)]; }
+  const Sigma& sigma(int32_t id) const {
+    return sigmas_[static_cast<size_t>(id)];
+  }
+
+  /// The interned [rule, param state ids…] key of an entry (arena-stable).
+  std::span<const int32_t> key(int32_t id) const {
+    const KeyRecord& r = keys_[static_cast<size_t>(id)];
+    return {r.key, static_cast<size_t>(r.len)};
+  }
+
+  int64_t size() const { return static_cast<int64_t>(sigmas_.size()); }
+  int64_t probes() const { return probes_; }
+  int64_t hits() const { return hits_; }
+
+ private:
+  struct KeyRecord {
+    const int32_t* key = nullptr;  // arena-owned span
+    uint32_t len = 0;
+    uint64_t hash = 0;
+  };
+  int32_t FindSlot(std::span<const int32_t> key, uint64_t hash,
+                   size_t* slot) const;
+  void GrowTable();
+
+  Arena* arena_;
+  std::vector<KeyRecord> keys_;
+  std::vector<Sigma> sigmas_;
+  std::vector<int32_t> table_;  // open addressing; -1 = empty
+  size_t table_mask_ = 0;
+  mutable int64_t probes_ = 0;
+  mutable int64_t hits_ = 0;
 };
 
 /// Evaluates one compiled query over a grammar. A fresh evaluator is
 /// cheap; the σ memo lives for the lifetime of the evaluator, so repeated
 /// Evaluate() calls (e.g. during updates) reuse nothing across queries by
 /// design — each query has its own automaton. An evaluator owns all of
-/// its mutable state (StateRegistry, memo), so any number of evaluators
-/// may run concurrently over the same read-only grammar/maps/cache.
+/// its mutable state (StateRegistry, memo, arena, scratch), so any number
+/// of evaluators may run concurrently over the same read-only
+/// grammar/maps/cache.
 class GrammarEvaluator {
  public:
   /// `maps` may be null (upper bounds then skip label pruning). `cache`
@@ -53,23 +128,22 @@ class GrammarEvaluator {
                    const SynopsisEvalCache* cache = nullptr);
 
   /// Runs the automaton over the whole grammar, including the final
-  /// virtual-root transition.
+  /// virtual-root transition. Re-running on a warm evaluator serves
+  /// every rule from the memo (the steady-state path).
   GrammarEvalResult Evaluate();
 
  private:
-  struct Sigma {
-    StateId state = 0;
-    std::vector<LinearForm> counts;  // in terms of (param index, pair)
-  };
-  struct KeyHash {
-    size_t operator()(const std::vector<int32_t>& v) const {
-      uint64_t h = 1469598103934665603ull;
-      for (int32_t x : v) {
-        h ^= static_cast<uint64_t>(x) + 0x9e3779b97f4a7c15ull;
-        h *= 1099511628211ull;
-      }
-      return static_cast<size_t>(h);
-    }
+  using Ann = AnnState<LinearForm>;
+
+  /// One rule-evaluation task. Tasks are pooled: popping retires the
+  /// task object, whose per-node Ann slots (and their counts capacity)
+  /// are reused by the next push.
+  struct Task {
+    int32_t memo_id = -1;              // σ entry this task will fill
+    int32_t rule = -1;
+    const std::vector<int32_t>* order = nullptr;  // post-order RHS ids
+    size_t next = 0;
+    std::vector<Ann> value;            // per RHS node (indexed by id)
   };
 
   /// Root label sets for star nodes of a rule, derived from their parent
@@ -80,15 +154,25 @@ class GrammarEvaluator {
   /// Post-order of a rule's RHS; shared-cache-backed like StarRootLabels.
   const std::vector<int32_t>& PostOrderOf(int32_t rule);
 
+  /// Pushes a (pooled) task for the memo entry `memo_id`.
+  void PushTask(int32_t memo_id, std::span<const int32_t> key);
+
   const SltGrammar* g_;
   const CompiledQuery* cq_;
   const LabelMaps* maps_;
   BoundMode mode_;
   const SynopsisEvalCache* cache_;  // null when no valid shared cache
   StateRegistry reg_;
+  Arena arena_;
+  SigmaMemo memo_;
   StarEvaluator star_;
-  /// Memo key: [rule, param state ids…].
-  std::unordered_map<std::vector<int32_t>, Sigma, KeyHash> memo_;
+  TransitionScratch<LinearForm> scratch_;
+  std::vector<Task> tasks_;          // task stack; retired slots reused
+  size_t live_tasks_ = 0;
+  std::vector<int32_t> key_scratch_;
+  std::vector<const Ann*> args_scratch_;
+  Ann top_scratch_;                  // start-rule state for the final step
+  Ann final_scratch_;                // virtual-root transition output
   std::unordered_map<int32_t, std::vector<std::vector<LabelId>>>
       star_roots_cache_;
   std::unordered_map<int32_t, std::vector<int32_t>> post_order_cache_;

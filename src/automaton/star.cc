@@ -4,82 +4,103 @@
 #include "automaton/star.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace xmlsel {
 
-AnnState<LinearForm> StarEvaluator::Lower(
-    const std::vector<AnnState<LinearForm>>& children) const {
-  AnnState<LinearForm> acc;  // empty state
-  for (const AnnState<LinearForm>& c : children) {
-    acc = CountingTransition<LinearOps>(*cq_, reg_, acc, c, kStarLabel,
-                                        /*dedup=*/true);
-  }
+void StarEvaluator::Lower(std::span<const Ann* const> children, Ann* out) {
   if (children.empty()) {
-    acc = CountingTransition<LinearOps>(*cq_, reg_, acc,
-                                        AnnState<LinearForm>{}, kStarLabel,
-                                        /*dedup=*/true);
+    fold_a_.state = reg_->empty_state();
+    fold_a_.counts.clear();
+    fold_b_.state = reg_->empty_state();
+    fold_b_.counts.clear();
+    CountingTransitionInto<LinearOps>(*cq_, reg_, fold_a_, fold_b_,
+                                      kStarLabel, /*dedup=*/true, scratch_,
+                                      out);
+    return;
   }
-  return acc;
+  // Left fold, ping-ponging between the two fold buffers; the last
+  // transition writes straight into the caller's slot.
+  Ann* acc = &fold_a_;
+  acc->state = reg_->empty_state();
+  acc->counts.clear();
+  Ann* next = &fold_b_;
+  for (size_t i = 0; i < children.size(); ++i) {
+    Ann* dst = (i + 1 == children.size()) ? out : next;
+    CountingTransitionInto<LinearOps>(*cq_, reg_, *acc, *children[i],
+                                      kStarLabel, /*dedup=*/true, scratch_,
+                                      dst);
+    next = acc;
+    acc = dst;
+  }
 }
 
-AnnState<LinearForm> StarEvaluator::Upper(
-    const std::vector<AnnState<LinearForm>>& children, const StarStats& stats,
-    const std::vector<LabelId>& root_labels) const {
+void StarEvaluator::Upper(std::span<const Ann* const> children,
+                          const StarStats& stats,
+                          const std::vector<LabelId>& root_labels,
+                          Ann* out) {
   const Query& q = cq_->query();
 
   // --- Label reachability within the hidden pattern: grow the root label
   // set through the child map for up to `stats.height` levels (§5.4's
-  // pruning optimization).
+  // pruning optimization). The per-label bitsets are arena scratch,
+  // reclaimed by the mark when this call returns.
+  ScopedArenaMark scope(arena_);
   int32_t label_count = maps_ == nullptr ? 0 : maps_->label_count;
-  std::vector<bool> reachable;
+  std::span<uint8_t> reachable;
   bool all_reachable = false;
   if (maps_ == nullptr || root_labels.empty()) {
     all_reachable = true;
   } else {
-    reachable.assign(static_cast<size_t>(label_count), false);
-    std::vector<bool> frontier(static_cast<size_t>(label_count), false);
+    size_t lc = static_cast<size_t>(label_count);
+    reachable = arena_->AllocateSpan<uint8_t>(lc);
+    std::span<uint8_t> frontier = arena_->AllocateSpan<uint8_t>(lc);
+    std::span<uint8_t> next = arena_->AllocateSpan<uint8_t>(lc);
+    std::memset(reachable.data(), 0, lc);
+    std::memset(frontier.data(), 0, lc);
     for (LabelId l : root_labels) {
       if (l >= 0 && l < label_count) {
-        frontier[static_cast<size_t>(l)] = true;
+        frontier[static_cast<size_t>(l)] = 1;
       }
     }
     for (int32_t depth = 0; depth < stats.height; ++depth) {
-      std::vector<bool> next(static_cast<size_t>(label_count), false);
+      std::memset(next.data(), 0, lc);
       bool any_new = false;
       for (int32_t a = 0; a < label_count; ++a) {
         if (!frontier[static_cast<size_t>(a)]) continue;
         if (!reachable[static_cast<size_t>(a)]) {
-          reachable[static_cast<size_t>(a)] = true;
+          reachable[static_cast<size_t>(a)] = 1;
           any_new = true;
         }
         if (depth + 1 < stats.height) {
           for (int32_t b = 0; b < label_count; ++b) {
             if (maps_->child[static_cast<size_t>(a)][static_cast<size_t>(b)]) {
-              next[static_cast<size_t>(b)] = true;
+              next[static_cast<size_t>(b)] = 1;
             }
           }
         }
       }
-      frontier.swap(next);
+      std::swap(frontier, next);
       if (!any_new && depth > 0) break;
     }
   }
   auto label_possible = [&](LabelId test) {
     if (all_reachable) return true;
     if (test == kWildcardTest || test == kAnyTest) {
-      return std::find(reachable.begin(), reachable.end(), true) !=
+      return std::find(reachable.begin(), reachable.end(), uint8_t{1}) !=
              reachable.end();
     }
     if (test <= 0) return false;  // the virtual root is never hidden
     if (test >= label_count) return false;
-    return static_cast<bool>(reachable[static_cast<size_t>(test)]);
+    return reachable[static_cast<size_t>(test)] != 0;
   };
 
   // --- Which query nodes appear (with any F-set) in some child state?
-  std::vector<bool> child_sat(static_cast<size_t>(q.size()), false);
-  for (const AnnState<LinearForm>& c : children) {
-    for (QPair pr : reg_->pairs(c.state)) {
-      child_sat[static_cast<size_t>(QPairNode(pr))] = true;
+  // Query size is bounded by kMaxQueryNodes, so these are stack arrays.
+  bool child_sat[kMaxQueryNodes] = {};
+  for (const Ann* c : children) {
+    for (QPair pr : reg_->pairs(c->state)) {
+      child_sat[QPairNode(pr)] = true;
     }
   }
 
@@ -87,42 +108,40 @@ AnnState<LinearForm> StarEvaluator::Upper(
   // node, given label reachability and the height/size budget? Axis
   // constraints inside the hidden region are relaxed (sound for an upper
   // bound); depth/size needs prune the impossible cases.
-  std::vector<bool> feasible(static_cast<size_t>(q.size()), false);
-  std::vector<int32_t> depth_need(static_cast<size_t>(q.size()), 0);
-  std::vector<int64_t> size_need(static_cast<size_t>(q.size()), 0);
+  bool feasible[kMaxQueryNodes] = {};
+  int32_t depth_need[kMaxQueryNodes] = {};
+  int64_t size_need[kMaxQueryNodes] = {};
   for (int32_t n : cq_->post_order()) {
     if (n == 0) continue;  // the virtual root is never hidden
     bool ok = label_possible(q.node(n).test);
     int32_t dn = 1;
     int64_t sn = 1;
     for (int32_t c : q.node(n).children) {
-      bool c_ok =
-          feasible[static_cast<size_t>(c)] || child_sat[static_cast<size_t>(c)];
+      bool c_ok = feasible[c] || child_sat[c];
       if (!c_ok) {
         ok = false;
         break;
       }
-      if (!child_sat[static_cast<size_t>(c)]) {
+      if (!child_sat[c]) {
         Axis ax = q.node(c).axis;
         bool may_share =
             ax == Axis::kDescendantOrSelf || ax == Axis::kSelf;
-        int32_t extra = may_share ? depth_need[static_cast<size_t>(c)] - 1
-                                  : depth_need[static_cast<size_t>(c)];
+        int32_t extra = may_share ? depth_need[c] - 1 : depth_need[c];
         dn = std::max(dn, 1 + std::max(0, extra));
         // A descendant-or-self/self child can map onto the same hidden
         // node as its parent, so it needs one node fewer.
-        sn += size_need[static_cast<size_t>(c)] - (may_share ? 1 : 0);
+        sn += size_need[c] - (may_share ? 1 : 0);
       }
     }
-    depth_need[static_cast<size_t>(n)] = dn;
-    size_need[static_cast<size_t>(n)] = sn;
-    feasible[static_cast<size_t>(n)] =
-        ok && dn <= stats.height && sn <= stats.size;
+    depth_need[n] = dn;
+    size_need[n] = sn;
+    feasible[n] = ok && dn <= stats.height && sn <= stats.size;
   }
 
   // --- Assemble the upper state: child pairs with all F-superset
   // variants, plus all-F variants of feasible hidden pairs.
-  internal::WorkState<LinearForm> m;
+  internal::WorkState<LinearForm>& m = assemble_;
+  m.Clear();
   LinearOps ops;
   auto add_supersets = [&](int32_t n, uint32_t base, const LinearForm& c) {
     uint32_t follow = cq_->following_mask(n);
@@ -136,14 +155,14 @@ AnnState<LinearForm> StarEvaluator::Upper(
       sub = (sub - 1) & free;
     }
   };
-  for (const AnnState<LinearForm>& c : children) {
-    const std::vector<QPair>& pairs = reg_->pairs(c.state);
+  for (const Ann* c : children) {
+    std::span<const QPair> pairs = reg_->pairs(c->state);
     for (size_t i = 0; i < pairs.size(); ++i) {
-      add_supersets(QPairNode(pairs[i]), QPairMask(pairs[i]), c.counts[i]);
+      add_supersets(QPairNode(pairs[i]), QPairMask(pairs[i]), c->counts[i]);
     }
   }
   for (int32_t n = 1; n < q.size(); ++n) {
-    if (feasible[static_cast<size_t>(n)]) {
+    if (feasible[n]) {
       add_supersets(n, 0, LinearForm{});
     }
   }
@@ -156,42 +175,42 @@ AnnState<LinearForm> StarEvaluator::Upper(
   // level double-counts across levels, which only loosens the bound.
   const std::vector<int32_t>& spine = cq_->spine();
   // suffix_flow[i] = Σ child-state counters of pairs for spine[j], j ≥ i.
-  std::vector<LinearForm> suffix_flow(spine.size() + 1);
+  suffix_flow_.clear();
+  suffix_flow_.resize(spine.size() + 1);
   for (size_t i = spine.size(); i-- > 0;) {
-    suffix_flow[i] = suffix_flow[i + 1];
-    for (const AnnState<LinearForm>& c : children) {
-      const std::vector<QPair>& pairs = reg_->pairs(c.state);
+    suffix_flow_[i] = suffix_flow_[i + 1];
+    for (const Ann* c : children) {
+      std::span<const QPair> pairs = reg_->pairs(c->state);
       for (size_t k = 0; k < pairs.size(); ++k) {
         if (QPairNode(pairs[k]) == spine[i]) {
-          suffix_flow[i].Add(c.counts[k]);
+          suffix_flow_[i].Add(c->counts[k]);
         }
       }
     }
   }
-  bool hidden_match = feasible[static_cast<size_t>(cq_->match_node())];
+  bool hidden_match = feasible[cq_->match_node()];
   for (size_t i = 0; i < spine.size(); ++i) {
     int32_t qi = spine[i];
     if (qi == 0) continue;  // the virtual root is never hidden
-    if (!feasible[static_cast<size_t>(qi)]) continue;
-    LinearForm credit = suffix_flow[i + 1];
+    if (!feasible[qi]) continue;
+    LinearForm credit = suffix_flow_[i + 1];
     if (hidden_match) credit.Add(LinearForm::Constant(stats.size));
     if (credit.IsConstant() && credit.constant == 0) continue;
     add_supersets(qi, 0, credit);
   }
 
-  std::vector<size_t> idx(m.keys.size());
-  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::vector<uint32_t>& idx = sort_idx_;
+  idx.resize(m.keys.size());
+  for (uint32_t i = 0; i < idx.size(); ++i) idx[i] = i;
   std::sort(idx.begin(), idx.end(),
-            [&m](size_t a, size_t b) { return m.keys[a] < m.keys[b]; });
-  AnnState<LinearForm> out;
-  std::vector<QPair> keys;
-  keys.reserve(idx.size());
-  for (size_t i : idx) {
-    keys.push_back(m.keys[i]);
-    out.counts.push_back(std::move(m.vals[i]));
+            [&m](uint32_t a, uint32_t b) { return m.keys[a] < m.keys[b]; });
+  sorted_keys_.clear();
+  out->counts.clear();
+  for (uint32_t i : idx) {
+    sorted_keys_.push_back(m.keys[i]);
+    out->counts.push_back(std::move(m.vals[i]));
   }
-  out.state = reg_->Intern(std::move(keys));
-  return out;
+  out->state = reg_->InternSorted(sorted_keys_);
 }
 
 }  // namespace xmlsel

@@ -17,43 +17,63 @@
 // added, and the match-node counter is credited with at most s hidden
 // matches (the paper's cap). Child-state pairs are kept with all F-set
 // over-approximations. This can only overestimate.
+//
+// Children are passed as pointer spans (no AnnState copies) and results
+// are written into caller-owned output slots; label-reachability scratch
+// is arena-allocated under a mark, so a warm evaluator's star path is
+// allocation-free.
 
 #ifndef XMLSEL_AUTOMATON_STAR_H_
 #define XMLSEL_AUTOMATON_STAR_H_
 
+#include <span>
 #include <vector>
 
 #include "automaton/counting.h"
 #include "grammar/lossy.h"
 #include "grammar/slt.h"
+#include "xmlsel/arena.h"
 
 namespace xmlsel {
 
 /// Evaluates star nodes for one compiled query. `maps` may be null, in
 /// which case the upper bound assumes all labels are reachable (sound but
-/// looser — this is the "no pruning" ablation of §5.4).
+/// looser — this is the "no pruning" ablation of §5.4). Owns reusable
+/// scratch; not thread-safe (one per evaluator, like the registry).
 class StarEvaluator {
  public:
+  using Ann = AnnState<LinearForm>;
+
+  /// `scratch` and `arena` are the owning evaluator's (shared with the
+  /// transition kernel; the star paths use them strictly re-entrantly).
   StarEvaluator(const CompiledQuery* cq, StateRegistry* reg,
-                const LabelMaps* maps)
-      : cq_(cq), reg_(reg), maps_(maps) {}
+                const LabelMaps* maps, TransitionScratch<LinearForm>* scratch,
+                Arena* arena)
+      : cq_(cq), reg_(reg), maps_(maps), scratch_(scratch), arena_(arena) {}
 
   /// Lower-bound state of *(children…): left fold through the transition
   /// function with kStarLabel. `children` entries corresponding to ⊥ are
-  /// default (empty) states.
-  AnnState<LinearForm> Lower(
-      const std::vector<AnnState<LinearForm>>& children) const;
+  /// default (empty) states. Writes into `*out` (must not alias a child).
+  void Lower(std::span<const Ann* const> children, Ann* out);
 
   /// Upper-bound state. `root_labels` is the set of labels the hidden
   /// roots may carry (empty vector = unrestricted).
-  AnnState<LinearForm> Upper(
-      const std::vector<AnnState<LinearForm>>& children,
-      const StarStats& stats, const std::vector<LabelId>& root_labels) const;
+  void Upper(std::span<const Ann* const> children, const StarStats& stats,
+             const std::vector<LabelId>& root_labels, Ann* out);
 
  private:
   const CompiledQuery* cq_;
   StateRegistry* reg_;
   const LabelMaps* maps_;
+  TransitionScratch<LinearForm>* scratch_;
+  Arena* arena_;
+  // Reusable scratch for Lower's fold and Upper's assembly.
+  Ann fold_a_;
+  Ann fold_b_;
+  internal::WorkState<LinearForm> assemble_;
+  std::vector<LinearForm> suffix_flow_;
+  std::vector<uint32_t> sort_idx_;
+  std::vector<QPair> sorted_keys_;
 };
 
 }  // namespace xmlsel

@@ -5,36 +5,92 @@
 
 #include <algorithm>
 
+#include "xmlsel/arena.h"
+
 namespace xmlsel {
 
-StateId StateRegistry::Intern(std::vector<QPair> pairs) {
-  if (!std::is_sorted(pairs.begin(), pairs.end())) {
-    std::sort(pairs.begin(), pairs.end());
+namespace {
+constexpr size_t kInitialTableSize = 64;  // power of two
+}  // namespace
+
+StateRegistry::StateRegistry() {
+  table_.assign(kInitialTableSize, -1);
+  table_mask_ = kInitialTableSize - 1;
+  Intern(std::span<const QPair>{});  // id 0 = ∅
+}
+
+StateId StateRegistry::FindSlot(std::span<const QPair> pairs, uint64_t hash,
+                                size_t* slot) const {
+  ++probes_;
+  for (size_t s = static_cast<size_t>(hash) & table_mask_;;
+       s = (s + 1) & table_mask_) {
+    StateId id = table_[s];
+    if (id < 0) {
+      *slot = s;
+      return -1;
+    }
+    const Record& r = records_[static_cast<size_t>(id)];
+    if (r.hash == hash && r.len == pairs.size() &&
+        std::equal(pairs.begin(), pairs.end(), pool_.begin() + r.offset)) {
+      ++hits_;
+      return id;
+    }
   }
-  XMLSEL_DCHECK(std::adjacent_find(pairs.begin(), pairs.end()) ==
-                pairs.end());
-  auto it = ids_.find(pairs);
-  if (it != ids_.end()) return it->second;
-  StateId id = static_cast<StateId>(states_.size());
-  states_.push_back(pairs);
-  ids_.emplace(std::move(pairs), id);
+}
+
+StateId StateRegistry::Insert(std::span<const QPair> pairs, uint64_t hash,
+                              size_t slot) {
+  StateId id = static_cast<StateId>(records_.size());
+  Record r;
+  r.offset = static_cast<uint32_t>(pool_.size());
+  r.len = static_cast<uint32_t>(pairs.size());
+  r.hash = hash;
+  pool_.insert(pool_.end(), pairs.begin(), pairs.end());
+  records_.push_back(r);
+  table_[slot] = id;
+  // Grow at ~70% load so probe chains stay short.
+  if (records_.size() * 10 >= table_.size() * 7) GrowTable();
   return id;
 }
 
-StateId StateRegistry::InternSorted(const std::vector<QPair>& pairs) {
+void StateRegistry::GrowTable() {
+  size_t new_size = table_.size() * 2;
+  table_.assign(new_size, -1);
+  table_mask_ = new_size - 1;
+  ++HotLoopHeapAllocs();
+  for (size_t id = 0; id < records_.size(); ++id) {
+    for (size_t s = static_cast<size_t>(records_[id].hash) & table_mask_;;
+         s = (s + 1) & table_mask_) {
+      if (table_[s] < 0) {
+        table_[s] = static_cast<StateId>(id);
+        break;
+      }
+    }
+  }
+}
+
+StateId StateRegistry::Intern(std::span<const QPair> pairs) {
+  if (!std::is_sorted(pairs.begin(), pairs.end())) {
+    sort_buf_.assign(pairs.begin(), pairs.end());
+    std::sort(sort_buf_.begin(), sort_buf_.end());
+    return InternSorted(sort_buf_);
+  }
+  return InternSorted(pairs);
+}
+
+StateId StateRegistry::InternSorted(std::span<const QPair> pairs) {
   XMLSEL_DCHECK(std::is_sorted(pairs.begin(), pairs.end()));
   XMLSEL_DCHECK(std::adjacent_find(pairs.begin(), pairs.end()) ==
                 pairs.end());
-  auto it = ids_.find(pairs);
-  if (it != ids_.end()) return it->second;
-  StateId id = static_cast<StateId>(states_.size());
-  states_.push_back(pairs);
-  ids_.emplace(pairs, id);
-  return id;
+  uint64_t hash = HashSpan32(pairs.data(), pairs.size());
+  size_t slot = 0;
+  StateId id = FindSlot(pairs, hash, &slot);
+  if (id >= 0) return id;
+  return Insert(pairs, hash, slot);
 }
 
 bool StateRegistry::Contains(StateId id, QPair pair) const {
-  const std::vector<QPair>& v = states_[static_cast<size_t>(id)];
+  std::span<const QPair> v = pairs(id);
   return std::binary_search(v.begin(), v.end(), pair);
 }
 

@@ -6,12 +6,18 @@
 // subqueries of q have already been matched to the right. States are
 // canonicalized (sorted) and interned in a registry, so a state is a dense
 // int32 id — which makes the σ_i memoization of §5.3 a hash lookup.
+//
+// Storage is flat: every state's sorted pair span lives in one contiguous
+// pool, records are (offset, len, hash) triples, and the intern table is
+// open-addressed over the pool spans. An InternSorted hit is a probe over
+// flat memory; a miss is a pool append. No per-state heap vector.
 
 #ifndef XMLSEL_AUTOMATON_STATE_H_
 #define XMLSEL_AUTOMATON_STATE_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "xmlsel/common.h"
@@ -38,41 +44,60 @@ using StateId = int32_t;
 /// Registry of canonical states. Not thread-safe (one per evaluation).
 class StateRegistry {
  public:
-  StateRegistry() { Intern({}); }  // id 0 = ∅
+  StateRegistry();
 
   /// Interns a pair set (need not be sorted; duplicates are forbidden).
   /// Already-sorted input skips the sort (one is_sorted scan instead).
-  StateId Intern(std::vector<QPair> pairs);
+  StateId Intern(std::span<const QPair> pairs);
+  StateId Intern(std::initializer_list<QPair> pairs) {
+    return Intern(std::span<const QPair>(pairs.begin(), pairs.size()));
+  }
 
-  /// Fast path for pre-sorted pair sets: a pure hash lookup on a hit —
-  /// no copy, no sort, no allocation; only a miss copies `pairs` into
-  /// the registry. The hot transition loop ends every call here.
-  StateId InternSorted(const std::vector<QPair>& pairs);
+  /// Fast path for pre-sorted pair sets: a pure probe over the flat pool
+  /// on a hit — no copy, no sort, no allocation; only a miss copies
+  /// `pairs` into the pool. The hot transition loop ends every call here.
+  StateId InternSorted(std::span<const QPair> pairs);
 
-  /// The sorted pair vector of a state.
-  const std::vector<QPair>& pairs(StateId id) const {
-    return states_[static_cast<size_t>(id)];
+  /// The sorted pair span of a state (stable view into the pool — but
+  /// invalidated by the next Intern, which may grow the pool).
+  std::span<const QPair> pairs(StateId id) const {
+    const Record& r = records_[static_cast<size_t>(id)];
+    return {pool_.data() + r.offset, static_cast<size_t>(r.len)};
   }
 
   /// Whether `pair` belongs to state `id` (binary search).
   bool Contains(StateId id, QPair pair) const;
 
   StateId empty_state() const { return 0; }
-  int64_t size() const { return static_cast<int64_t>(states_.size()); }
+  int64_t size() const { return static_cast<int64_t>(records_.size()); }
+
+  /// Kernel counters: intern-table probes and hits, and the total QPairs
+  /// held in the flat pool.
+  int64_t probes() const { return probes_; }
+  int64_t hits() const { return hits_; }
+  int64_t pool_pairs() const { return static_cast<int64_t>(pool_.size()); }
 
  private:
-  struct VecHash {
-    size_t operator()(const std::vector<QPair>& v) const {
-      uint64_t h = 1469598103934665603ull;
-      for (QPair p : v) {
-        h ^= p + 0x9e3779b97f4a7c15ull;
-        h *= 1099511628211ull;
-      }
-      return static_cast<size_t>(h);
-    }
+  struct Record {
+    uint32_t offset = 0;
+    uint32_t len = 0;
+    uint64_t hash = 0;  // precomputed; reused on table growth
   };
-  std::vector<std::vector<QPair>> states_;
-  std::unordered_map<std::vector<QPair>, StateId, VecHash> ids_;
+
+  /// Probe result: the matching state id, or -1 with `slot` pointing at
+  /// the empty slot where a new id belongs.
+  StateId FindSlot(std::span<const QPair> pairs, uint64_t hash,
+                   size_t* slot) const;
+  StateId Insert(std::span<const QPair> pairs, uint64_t hash, size_t slot);
+  void GrowTable();
+
+  std::vector<QPair> pool_;       // all states' pairs, concatenated
+  std::vector<Record> records_;   // per-state (offset, len, hash)
+  std::vector<StateId> table_;    // open addressing; -1 = empty slot
+  size_t table_mask_ = 0;         // table_.size() - 1 (power of two)
+  std::vector<QPair> sort_buf_;   // scratch for the unsorted Intern path
+  mutable int64_t probes_ = 0;
+  mutable int64_t hits_ = 0;
 };
 
 }  // namespace xmlsel

@@ -1,0 +1,50 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "xmlsel/arena.h"
+
+#include <algorithm>
+
+namespace xmlsel {
+
+void* Arena::AllocateSlow(size_t bytes, size_t align) {
+  // Try the retained chunks after the current one (left over from a
+  // reset) before buying new memory.
+  size_t next = current_ < chunks_.size() ? current_ + 1 : 0;
+  while (next < chunks_.size()) {
+    Chunk& c = chunks_[next];
+    size_t base = AlignUp(0, align);  // fresh chunk: used == 0 after reset
+    XMLSEL_DCHECK(c.used == 0);
+    if (base + bytes <= c.size) {
+      current_ = next;
+      c.used = base + bytes;
+      total_allocated_ += static_cast<int64_t>(bytes);
+      return c.data.get() + base;
+    }
+    ++next;  // too small for this request; skip (stays owned)
+  }
+  // Grow: double the last chunk size (so chunk count stays logarithmic),
+  // but always fit the request plus alignment slack.
+  size_t grown = chunks_.empty() ? min_chunk_bytes_
+                                 : chunks_.back().size * 2;
+  size_t want = std::max(grown, bytes + align);
+  Chunk c;
+  c.data = std::make_unique<char[]>(want);
+  c.size = want;
+  c.used = 0;
+  chunks_.push_back(std::move(c));
+  current_ = chunks_.size() - 1;
+  ++HotLoopHeapAllocs();  // chunk purchases are the arena's only mallocs
+  Chunk& cur = chunks_[current_];
+  size_t base = AlignUp(0, align);
+  cur.used = base + bytes;
+  total_allocated_ += static_cast<int64_t>(bytes);
+  return cur.data.get() + base;
+}
+
+int64_t& HotLoopHeapAllocs() {
+  thread_local int64_t count = 0;
+  return count;
+}
+
+}  // namespace xmlsel

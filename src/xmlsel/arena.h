@@ -1,0 +1,147 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Chunked bump allocator for the evaluation kernel. An Arena hands out
+// raw bytes and typed spans of trivially-destructible objects from large
+// chunks, so hot loops pay one pointer bump per allocation instead of one
+// malloc. Chunks are retained on reset, which makes mark/reset the idiom
+// for per-call scratch: take a Mark, allocate freely, reset — the second
+// call through the same code path allocates from already-owned memory.
+//
+// Not thread-safe; one arena per evaluator (the kernel's sharing rule).
+
+#ifndef XMLSEL_XMLSEL_ARENA_H_
+#define XMLSEL_XMLSEL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "xmlsel/common.h"
+
+namespace xmlsel {
+
+class Arena {
+ public:
+  /// `min_chunk_bytes` sizes the first chunk; later chunks double (capped)
+  /// so arbitrarily large spans still land in one contiguous block.
+  explicit Arena(size_t min_chunk_bytes = 4096)
+      : min_chunk_bytes_(min_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `align` (a power of two).
+  void* Allocate(size_t bytes, size_t align) {
+    XMLSEL_DCHECK(align != 0 && (align & (align - 1)) == 0);
+    if (current_ < chunks_.size()) {
+      Chunk& c = chunks_[current_];
+      size_t base = AlignUp(c.used, align);
+      if (base + bytes <= c.size) {
+        c.used = base + bytes;
+        total_allocated_ += static_cast<int64_t>(bytes);
+        return c.data.get() + base;
+      }
+    }
+    return AllocateSlow(bytes, align);
+  }
+
+  /// Typed span of `n` default-initialized T. T must be trivially
+  /// destructible — the arena never runs destructors.
+  template <typename T>
+  std::span<T> AllocateSpan(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    T* p = static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+    return {p, n};
+  }
+
+  /// Copies `src` into the arena and returns the stable copy.
+  template <typename T>
+  std::span<T> CopySpan(std::span<const T> src) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::span<T> dst = AllocateSpan<T>(src.size());
+    if (!src.empty()) {
+      std::memcpy(dst.data(), src.data(), src.size() * sizeof(T));
+    }
+    return dst;
+  }
+
+  /// A rewind point. Allocations made after mark() are reclaimed (memory
+  /// retained, not freed) by ResetTo(); spans handed out in between are
+  /// invalidated.
+  struct Mark {
+    size_t chunk = 0;
+    size_t used = 0;
+  };
+  Mark mark() const {
+    if (current_ >= chunks_.size()) return {0, 0};
+    return {current_, chunks_[current_].used};
+  }
+  void ResetTo(const Mark& m) {
+    if (chunks_.empty()) return;
+    for (size_t i = m.chunk + 1; i < chunks_.size(); ++i) {
+      chunks_[i].used = 0;
+    }
+    current_ = m.chunk;
+    chunks_[current_].used = m.used;
+  }
+  /// Rewinds everything; all chunks stay owned for reuse.
+  void Reset() { ResetTo({0, 0}); }
+
+  /// Bytes handed out over the arena's lifetime (monotonic; resets do not
+  /// subtract). This is the kernel's "arena bytes" counter.
+  int64_t bytes_allocated() const { return total_allocated_; }
+  /// Bytes of chunk memory currently owned.
+  int64_t bytes_reserved() const {
+    int64_t sum = 0;
+    for (const Chunk& c : chunks_) sum += static_cast<int64_t>(c.size);
+    return sum;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  static size_t AlignUp(size_t x, size_t align) {
+    return (x + align - 1) & ~(align - 1);
+  }
+
+  void* AllocateSlow(size_t bytes, size_t align);
+
+  size_t min_chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  size_t current_ = 0;  // index of the chunk being bumped
+  int64_t total_allocated_ = 0;
+};
+
+/// RAII mark: rewinds the arena to the construction point on scope exit.
+class ScopedArenaMark {
+ public:
+  explicit ScopedArenaMark(Arena* arena)
+      : arena_(arena), mark_(arena->mark()) {}
+  ~ScopedArenaMark() { arena_->ResetTo(mark_); }
+  ScopedArenaMark(const ScopedArenaMark&) = delete;
+  ScopedArenaMark& operator=(const ScopedArenaMark&) = delete;
+
+ private:
+  Arena* arena_;
+  Arena::Mark mark_;
+};
+
+/// Thread-local count of heap allocations performed on the evaluation
+/// hot path (LinearForm spills, scratch/pool growth). The kernel bumps
+/// it; benchmarks and tests read deltas to verify the steady-state path
+/// is allocation-free. Thread-local, so concurrent evaluators never
+/// contend (and the counter doubles as a no-cross-thread-sharing probe).
+int64_t& HotLoopHeapAllocs();
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_XMLSEL_ARENA_H_

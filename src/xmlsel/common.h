@@ -26,6 +26,29 @@ inline constexpr NodeId kNullNode = -1;
 /// Reserved label of the virtual document root.
 inline constexpr LabelId kRootLabel = 0;
 
+/// Saturation bound for all selectivity counting: counts and linear-form
+/// coefficients clamp here instead of overflowing (no-dedup evaluation
+/// counts embeddings, whose number can explode on recursive documents).
+/// One definition shared by Int64Ops and LinearForm so the two counter
+/// algebras saturate identically.
+inline constexpr int64_t kCountSaturate = int64_t{1} << 56;
+
+/// FNV-1a-style mix over a span of 32-bit words; the kernel's intern
+/// tables (state registry, σ-memo) key on this.
+inline uint64_t HashSpan32(const uint32_t* data, size_t n) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i] + 0x9e3779b97f4a7c15ull;
+    h *= 1099511628211ull;
+  }
+  // Finalize so low bits depend on every word (open addressing masks
+  // with table-size-1 and would otherwise probe-cluster).
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return h;
+}
+
 namespace internal {
 
 [[noreturn]] inline void CheckFailed(const char* file, int line,

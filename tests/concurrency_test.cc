@@ -159,12 +159,29 @@ TEST(ConcurrencyTest, SharedCacheEvaluatorsRaceCleanly) {
     compiled.push_back(std::move(cq).value());
   }
   // First touch of eval_cache() happens concurrently on purpose: the
-  // lazy build must be race-free too.
+  // lazy build must be race-free too. Besides the counts, each thread
+  // records the kernel counters of every evaluation: evaluators are
+  // deterministic and fully thread-private (registry, σ-memo, arena), so
+  // every thread must observe the *same* counter trace — any cross-thread
+  // leakage of pooled state would skew probes/pool sizes apart.
   std::vector<std::vector<int64_t>> per_thread(8);
+  std::vector<int64_t> warm_allocs(8, 0);
   std::vector<std::thread> threads;
   for (int t = 0; t < 8; ++t) {
     threads.emplace_back([&, t] {
       const SynopsisEvalCache* cache = &synopsis.eval_cache();
+      std::vector<int64_t>& trace = per_thread[static_cast<size_t>(t)];
+      auto record = [&trace](const GrammarEvalResult& r) {
+        trace.push_back(r.count);
+        trace.push_back(r.sigma_entries);
+        trace.push_back(r.distinct_states);
+        trace.push_back(r.memo_probes);
+        trace.push_back(r.memo_hits);
+        trace.push_back(r.intern_probes);
+        trace.push_back(r.intern_hits);
+        trace.push_back(r.pool_pairs);
+        trace.push_back(r.arena_bytes);
+      };
       for (const CompiledQuery& cq : compiled) {
         GrammarEvaluator lower(&synopsis.lossy(), &cq,
                                &synopsis.label_maps(), BoundMode::kLower,
@@ -172,16 +189,22 @@ TEST(ConcurrencyTest, SharedCacheEvaluatorsRaceCleanly) {
         GrammarEvaluator upper(&synopsis.lossy(), &cq,
                                &synopsis.label_maps(), BoundMode::kUpper,
                                cache);
-        per_thread[static_cast<size_t>(t)].push_back(
-            lower.Evaluate().count);
-        per_thread[static_cast<size_t>(t)].push_back(
-            upper.Evaluate().count);
+        record(lower.Evaluate());
+        record(upper.Evaluate());
+        // Warm re-run on this thread's own evaluator: the steady-state
+        // path allocates nothing, on every thread.
+        GrammarEvalResult warm = lower.Evaluate();
+        trace.push_back(warm.count);
+        warm_allocs[static_cast<size_t>(t)] += warm.heap_allocs;
       }
     });
   }
   for (std::thread& th : threads) th.join();
   for (int t = 1; t < 8; ++t) {
     EXPECT_EQ(per_thread[0], per_thread[static_cast<size_t>(t)]);
+  }
+  for (int t = 0; t < 8; ++t) {
+    EXPECT_EQ(warm_allocs[static_cast<size_t>(t)], 0) << "thread " << t;
   }
 }
 

@@ -23,8 +23,8 @@ TEST(LinearFormTest, ConstantsAndVariables) {
   EXPECT_EQ(f.constant, 3);
   LinearForm v = LinearForm::Var(2, MakeQPair(1, 0));
   EXPECT_FALSE(v.IsConstant());
-  ASSERT_EQ(v.terms.size(), 1u);
-  EXPECT_EQ(v.terms[0].second, 1);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.term(0).second, 1);
 }
 
 TEST(LinearFormTest, AdditionMergesSortedTerms) {
@@ -35,17 +35,17 @@ TEST(LinearFormTest, AdditionMergesSortedTerms) {
   a.Add(c);
   a.Add(LinearForm::Constant(7));
   EXPECT_EQ(a.constant, 7);
-  ASSERT_EQ(a.terms.size(), 2u);
+  ASSERT_EQ(a.size(), 2u);
   // Variable (0, pair(1,0)) has coefficient 2 after the second add.
-  EXPECT_EQ(a.terms[0].second, 2);
-  EXPECT_EQ(a.terms[1].second, 1);
-  EXPECT_TRUE(std::is_sorted(a.terms.begin(), a.terms.end()));
+  EXPECT_EQ(a.term(0).second, 2);
+  EXPECT_EQ(a.term(1).second, 1);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
 }
 
 TEST(LinearFormTest, CancellationRemovesZeroTerms) {
   LinearForm a = LinearForm::Var(0, MakeQPair(1, 0));
   LinearForm neg = a;
-  for (auto& t : neg.terms) t.second = -t.second;
+  neg.ScaleBy(-1);
   a.Add(neg);
   EXPECT_TRUE(a.IsConstant());
   EXPECT_EQ(a.constant, 0);

@@ -1,0 +1,385 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Tests for the allocation-free evaluation kernel: the bump arena, the
+// SSO LinearForm (property-tested against a naive map oracle), the pooled
+// StateRegistry (property-tested against a naive set-of-vectors oracle),
+// and the steady-state guarantee that a warm evaluator re-runs without
+// heap allocation and with bit-identical results.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "automaton/counting.h"
+#include "automaton/grammar_eval.h"
+#include "data/generator.h"
+#include "estimator/synopsis.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+#include "xmlsel/arena.h"
+
+namespace xmlsel {
+namespace {
+
+// --------------------------------------------------------------------
+// Arena
+
+TEST(ArenaTest, AllocationsAreAlignedAndDisjoint) {
+  Arena arena(64);  // small chunks force the slow path early
+  std::vector<std::span<uint64_t>> spans;
+  for (size_t n = 1; n <= 32; ++n) {
+    std::span<uint64_t> s = arena.AllocateSpan<uint64_t>(n);
+    ASSERT_EQ(s.size(), n);
+    ASSERT_EQ(reinterpret_cast<uintptr_t>(s.data()) % alignof(uint64_t), 0u);
+    for (size_t i = 0; i < n; ++i) s[i] = (n << 16) | i;
+    spans.push_back(s);
+  }
+  // No allocation overwrote an earlier one.
+  for (size_t n = 1; n <= 32; ++n) {
+    std::span<uint64_t> s = spans[n - 1];
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(s[i], (n << 16) | i);
+  }
+  EXPECT_GE(arena.bytes_reserved(), 64);
+}
+
+TEST(ArenaTest, CopySpanIsStable) {
+  Arena arena;
+  std::vector<int32_t> src = {5, 4, 3, 2, 1};
+  std::span<int32_t> copy =
+      arena.CopySpan<int32_t>(std::span<const int32_t>(src));
+  src.assign(5, 0);  // mutating the source must not affect the copy
+  ASSERT_EQ(copy.size(), 5u);
+  for (int32_t i = 0; i < 5; ++i) EXPECT_EQ(copy[static_cast<size_t>(i)], 5 - i);
+}
+
+TEST(ArenaTest, MarkResetReclaimsWithoutFreeing) {
+  Arena arena(128);
+  arena.AllocateSpan<uint8_t>(100);
+  Arena::Mark m = arena.mark();
+  arena.AllocateSpan<uint8_t>(1000);  // spills into further chunks
+  int64_t reserved = arena.bytes_reserved();
+  arena.ResetTo(m);
+  // Re-allocating the same amount after the reset buys no new chunk.
+  int64_t heap0 = HotLoopHeapAllocs();
+  arena.AllocateSpan<uint8_t>(1000);
+  EXPECT_EQ(HotLoopHeapAllocs() - heap0, 0);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(ArenaTest, ScopedMarkRewindsOnScopeExit) {
+  Arena arena(128);
+  arena.AllocateSpan<uint8_t>(10);
+  Arena::Mark before = arena.mark();
+  {
+    ScopedArenaMark scope(&arena);
+    arena.AllocateSpan<uint8_t>(500);
+  }
+  Arena::Mark after = arena.mark();
+  EXPECT_EQ(before.chunk, after.chunk);
+  EXPECT_EQ(before.used, after.used);
+}
+
+// --------------------------------------------------------------------
+// LinearForm vs. a naive map oracle
+
+/// Naive reference: constant + map from variable key to coefficient,
+/// saturating exactly like the kernel claims to.
+struct OracleForm {
+  int64_t constant = 0;
+  std::map<uint64_t, int64_t> terms;
+
+  static int64_t Sat(int64_t v) {
+    return v > kCountSaturate ? kCountSaturate : v;
+  }
+  void Add(const OracleForm& o) {
+    constant = Sat(constant + o.constant);
+    for (const auto& [k, c] : o.terms) {
+      int64_t next = Sat(terms[k] + c);
+      if (next == 0) {
+        terms.erase(k);
+      } else {
+        terms[k] = next;
+      }
+    }
+  }
+  void Scale(int64_t s) {
+    if (s == 0) {
+      constant = 0;
+      terms.clear();
+      return;
+    }
+    auto mul = [](int64_t a, int64_t b) {
+      int64_t r;
+      if (__builtin_mul_overflow(a, b, &r)) return kCountSaturate;
+      return Sat(r);
+    };
+    constant = mul(constant, s);
+    for (auto it = terms.begin(); it != terms.end();) {
+      it->second = mul(it->second, s);
+      it = it->second == 0 ? terms.erase(it) : std::next(it);
+    }
+  }
+};
+
+void ExpectMatchesOracle(const LinearForm& f, const OracleForm& o) {
+  ASSERT_EQ(f.constant, o.constant);
+  ASSERT_EQ(f.size(), o.terms.size());
+  size_t i = 0;
+  for (const auto& [k, c] : o.terms) {
+    EXPECT_EQ(f.term(i).first, k);
+    EXPECT_EQ(f.term(i).second, c);
+    ++i;
+  }
+  // Invariants: sorted keys, no duplicates, no zero coefficients.
+  for (size_t j = 0; j + 1 < f.size(); ++j) {
+    EXPECT_LT(f.term(j).first, f.term(j + 1).first);
+  }
+  for (const LinearForm::Term& t : f) EXPECT_NE(t.second, 0);
+}
+
+TEST(LinearFormPropertyTest, RandomAddSequencesMatchMapOracle) {
+  Rng rng(20260806);
+  for (int trial = 0; trial < 200; ++trial) {
+    LinearForm f;
+    OracleForm o;
+    for (int step = 0; step < 30; ++step) {
+      int op = static_cast<int>(rng.Uniform(0, 3));
+      if (op == 0) {
+        // Add a random small form (possibly with negative coefficients,
+        // to exercise cancellation).
+        LinearForm g;
+        OracleForm og;
+        int64_t c = rng.Uniform(-3, 3);
+        g.constant = c;
+        og.constant = c;
+        uint64_t key = 0;
+        int terms = static_cast<int>(rng.Uniform(0, 4));
+        for (int t = 0; t < terms; ++t) {
+          key += static_cast<uint64_t>(rng.Uniform(1, 5));
+          int64_t coeff = rng.Uniform(-4, 4);
+          if (coeff == 0) coeff = 1;
+          g.PushTerm(key, coeff);
+          og.terms[key] = coeff;
+        }
+        f.Add(g);
+        o.Add(og);
+      } else if (op == 1) {
+        int64_t s = rng.Uniform(-2, 3);
+        f.ScaleBy(s);
+        o.Scale(s);
+      } else if (op == 2) {
+        f.Add(f);  // aliasing self-add
+        OracleForm copy = o;
+        o.Add(copy);
+      } else {
+        // Near-saturation constants: the clamp must match the oracle's.
+        LinearForm g = LinearForm::Constant(kCountSaturate - 1);
+        OracleForm og;
+        og.constant = kCountSaturate - 1;
+        f.Add(g);
+        o.Add(og);
+      }
+      ExpectMatchesOracle(f, o);
+    }
+    // Copy/move round-trips preserve value.
+    LinearForm copy = f;
+    ExpectMatchesOracle(copy, o);
+    LinearForm moved = std::move(copy);
+    ExpectMatchesOracle(moved, o);
+    copy = moved;
+    ExpectMatchesOracle(copy, o);
+  }
+}
+
+TEST(LinearFormPropertyTest, SpillAndCancellationReturnPath) {
+  // Grow past the inline capacity, then cancel back down to empty.
+  LinearForm f;
+  OracleForm o;
+  for (uint64_t k = 1; k <= 8; ++k) {
+    LinearForm g;
+    g.PushTerm(k, static_cast<int64_t>(k));
+    OracleForm og;
+    og.terms[k] = static_cast<int64_t>(k);
+    f.Add(g);
+    o.Add(og);
+  }
+  ExpectMatchesOracle(f, o);
+  EXPECT_EQ(f.size(), 8u);
+  LinearForm neg = f;
+  neg.ScaleBy(-1);
+  f.Add(neg);
+  EXPECT_TRUE(f.IsConstant());
+  EXPECT_EQ(f.constant, 0);
+}
+
+// --------------------------------------------------------------------
+// StateRegistry vs. a naive oracle
+
+TEST(StateRegistryPropertyTest, PooledStorageMatchesNaiveInterning) {
+  Rng rng(77);
+  StateRegistry reg;
+  std::vector<std::vector<QPair>> oracle = {{}};  // id 0 = ∅
+  for (int step = 0; step < 2000; ++step) {
+    // Random sorted duplicate-free pair set.
+    std::vector<QPair> pairs;
+    uint32_t used = 0;
+    int n = static_cast<int>(rng.Uniform(0, 6));
+    for (int i = 0; i < n; ++i) {
+      int32_t node = static_cast<int32_t>(rng.Uniform(0, 7));
+      if (used & (1u << node)) continue;
+      used |= 1u << node;
+      pairs.push_back(MakeQPair(node, static_cast<uint32_t>(
+                                          rng.Uniform(0, 3))));
+    }
+    std::sort(pairs.begin(), pairs.end());
+
+    int64_t naive_id = -1;
+    for (size_t i = 0; i < oracle.size(); ++i) {
+      if (oracle[i] == pairs) {
+        naive_id = static_cast<int64_t>(i);
+        break;
+      }
+    }
+    StateId id = rng.Chance(0.5) ? reg.InternSorted(pairs)
+                                 : reg.Intern(pairs);
+    if (naive_id >= 0) {
+      EXPECT_EQ(id, naive_id);
+    } else {
+      EXPECT_EQ(id, static_cast<StateId>(oracle.size()));
+      oracle.push_back(pairs);
+    }
+    // The returned span matches the oracle's pair set.
+    std::span<const QPair> got = reg.pairs(id);
+    ASSERT_EQ(got.size(), pairs.size());
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), pairs.begin()));
+    for (QPair p : pairs) EXPECT_TRUE(reg.Contains(id, p));
+    EXPECT_FALSE(reg.Contains(id, MakeQPair(15, 7)));
+  }
+  EXPECT_EQ(reg.size(), static_cast<int64_t>(oracle.size()));
+
+  // Id stability: every previously interned set still maps to its id and
+  // its pooled pairs survived all intervening growth.
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_EQ(reg.InternSorted(oracle[i]), static_cast<StateId>(i));
+    std::span<const QPair> got = reg.pairs(static_cast<StateId>(i));
+    ASSERT_EQ(got.size(), oracle[i].size());
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), oracle[i].begin()));
+  }
+}
+
+TEST(StateRegistryTest, EmptyStateInvariant) {
+  StateRegistry reg;
+  EXPECT_EQ(reg.empty_state(), 0);
+  EXPECT_EQ(reg.Intern(std::span<const QPair>{}), 0);
+  EXPECT_EQ(reg.InternSorted(std::span<const QPair>{}), 0);
+  EXPECT_TRUE(reg.pairs(0).empty());
+  EXPECT_EQ(reg.size(), 1);
+}
+
+TEST(StateRegistryTest, UnsortedInternCanonicalizes) {
+  StateRegistry reg;
+  std::vector<QPair> fwd = {MakeQPair(1, 0), MakeQPair(2, 1),
+                            MakeQPair(3, 0)};
+  std::vector<QPair> rev(fwd.rbegin(), fwd.rend());
+  EXPECT_EQ(reg.Intern(fwd), reg.Intern(rev));
+}
+
+// --------------------------------------------------------------------
+// Transition scratch reuse and the steady-state zero-allocation claim
+
+TEST(KernelTest, ScratchReuseMatchesFreshScratch) {
+  Rng rng(99);
+  for (int iter = 0; iter < 20; ++iter) {
+    Document doc = testing_util::RandomDocument(&rng, 40, 3, 0.5);
+    Query q = testing_util::RandomQuery(&rng, doc, 4, false);
+    Result<CompiledQuery> cq = CompiledQuery::Compile(q);
+    ASSERT_TRUE(cq.ok());
+    // Same transitions through one reused scratch vs. the wrapper's
+    // fresh scratch: identical states and counts.
+    StateRegistry reg_a;
+    StateRegistry reg_b;
+    TransitionScratch<int64_t> scratch;
+    AnnState<int64_t> acc_a;
+    AnnState<int64_t> out_a;
+    AnnState<int64_t> acc_b;
+    for (int step = 0; step < 10; ++step) {
+      LabelId label = static_cast<LabelId>(rng.Uniform(1, 3));
+      CountingTransitionInto<Int64Ops>(cq.value(), &reg_a, acc_a,
+                                       AnnState<int64_t>{}, label, true,
+                                       &scratch, &out_a);
+      std::swap(acc_a, out_a);
+      acc_b = CountingTransition<Int64Ops>(cq.value(), &reg_b, acc_b,
+                                           AnnState<int64_t>{}, label, true);
+      ASSERT_EQ(reg_a.pairs(acc_a.state).size(),
+                reg_b.pairs(acc_b.state).size());
+      ASSERT_TRUE(std::equal(reg_a.pairs(acc_a.state).begin(),
+                             reg_a.pairs(acc_a.state).end(),
+                             reg_b.pairs(acc_b.state).begin()));
+      ASSERT_EQ(acc_a.counts, acc_b.counts);
+    }
+  }
+}
+
+TEST(KernelTest, WarmEvaluatorReRunsWithoutHeapAllocation) {
+  Document doc = GenerateDataset(DatasetId::kXmark, 5000, 3);
+  SynopsisOptions sopts;
+  sopts.kappa = 40;  // lossy: the star path must be allocation-free too
+  Synopsis synopsis = Synopsis::Build(doc, sopts);
+  NameTable names = synopsis.names();
+  const char* kQueries[] = {"//item[./mailbox]//keyword", "//person//name",
+                            "//open_auction[./bidder]//increase"};
+  for (const char* text : kQueries) {
+    Result<Query> q = ParseQuery(text, &names);
+    ASSERT_TRUE(q.ok());
+    Result<CompiledQuery> cq = CompiledQuery::Compile(q.value());
+    ASSERT_TRUE(cq.ok());
+    for (BoundMode mode : {BoundMode::kLower, BoundMode::kUpper}) {
+      GrammarEvaluator eval(&synopsis.lossy(), &cq.value(),
+                            &synopsis.label_maps(), mode,
+                            &synopsis.eval_cache());
+      GrammarEvalResult cold = eval.Evaluate();
+      GrammarEvalResult warm = eval.Evaluate();
+      // Bit-identical result, no σ recomputation, zero heap allocations
+      // on the steady-state path.
+      EXPECT_EQ(warm.count, cold.count) << text;
+      EXPECT_EQ(warm.accepted, cold.accepted) << text;
+      EXPECT_EQ(warm.sigma_entries, 0) << text;
+      EXPECT_EQ(warm.heap_allocs, 0) << text;
+      EXPECT_EQ(warm.distinct_states, cold.distinct_states) << text;
+      // Cold-pass counters are live.
+      EXPECT_GT(cold.memo_probes, 0) << text;
+      EXPECT_GT(cold.intern_probes, 0) << text;
+      EXPECT_GT(cold.pool_pairs, 0) << text;
+    }
+  }
+}
+
+TEST(KernelTest, CountersSeparateColdFromWarm) {
+  Document doc = GenerateDataset(DatasetId::kXmark, 2000, 3);
+  SynopsisOptions sopts;
+  sopts.kappa = 0;
+  Synopsis synopsis = Synopsis::Build(doc, sopts);
+  NameTable names = synopsis.names();
+  Result<Query> q = ParseQuery("//item//keyword", &names);
+  ASSERT_TRUE(q.ok());
+  Result<CompiledQuery> cq = CompiledQuery::Compile(q.value());
+  ASSERT_TRUE(cq.ok());
+  GrammarEvaluator eval(&synopsis.lossy(), &cq.value(),
+                        &synopsis.label_maps(), BoundMode::kLower,
+                        &synopsis.eval_cache());
+  GrammarEvalResult cold = eval.Evaluate();
+  GrammarEvalResult warm = eval.Evaluate();
+  // Warm probes are the memo-served replay: strictly fewer than cold,
+  // and every warm memo probe is a hit.
+  EXPECT_LT(warm.memo_probes, cold.memo_probes);
+  EXPECT_EQ(warm.memo_hits, warm.memo_probes);
+  // The state space did not grow on the warm pass.
+  EXPECT_EQ(warm.pool_pairs, cold.pool_pairs);
+  EXPECT_EQ(warm.distinct_states, cold.distinct_states);
+}
+
+}  // namespace
+}  // namespace xmlsel

@@ -1,16 +1,27 @@
 #!/usr/bin/env bash
-# Concurrency check: build the tree under ThreadSanitizer and run the
-# test suite (most importantly concurrency_test, which races evaluators
-# over the shared synopsis and eval cache). A data race anywhere in the
-# batch engine fails this script.
+# Sanitizer checks:
+#  1. ThreadSanitizer — races in the concurrent batch engine (most
+#     importantly concurrency_test, which races evaluators over the
+#     shared synopsis and eval cache).
+#  2. AddressSanitizer + UBSan — memory errors in the allocation-heavy
+#     evaluation kernel (bump arena, pooled state registry, SSO linear
+#     forms) across the full test suite.
+# Any data race or memory error anywhere fails this script.
 #
-# Usage: tools/check.sh [build-dir]      (default: build-tsan)
+# Usage: tools/check.sh [tsan-build-dir] [asan-build-dir]
+#        (defaults: build-tsan build-asan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-tsan}"
+TSAN_DIR="${1:-build-tsan}"
+ASAN_DIR="${2:-build-asan}"
 
-cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Tsan
-cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure
+cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=Tsan
+cmake --build "$TSAN_DIR" -j "$(nproc)"
+ctest --test-dir "$TSAN_DIR" --output-on-failure
 echo "TSan check passed."
+
+cmake -B "$ASAN_DIR" -S . -DCMAKE_BUILD_TYPE=Asan
+cmake --build "$ASAN_DIR" -j "$(nproc)"
+ctest --test-dir "$ASAN_DIR" --output-on-failure
+echo "ASan/UBSan check passed."
