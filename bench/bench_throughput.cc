@@ -18,6 +18,10 @@
 // kernel counters of a representative evaluation — including the
 // steady-state heap-allocation count (a second Evaluate() on a warm
 // evaluator), which must stay at zero.
+//
+// The "verify" section times one full cross-layer verification pass
+// (src/verify, xmlsel_tool verify) over the same fixture — the cost of a
+// complete integrity audit relative to one batch round.
 
 #include <chrono>
 #include <cstdio>
@@ -29,6 +33,7 @@
 #include "data/generator.h"
 #include "estimator/estimator.h"
 #include "query/rewrite.h"
+#include "verify/verify.h"
 #include "workload/query_gen.h"
 #include "xmlsel/thread_pool.h"
 
@@ -157,6 +162,14 @@ int Run(const char* out_path) {
     agg.heap_allocs += cold_res.heap_allocs;
     steady_heap_allocs += warm_res.heap_allocs;
   }
+  // --- One full cross-layer verification pass over the same fixture.
+  auto vt0 = std::chrono::steady_clock::now();
+  VerifyReport verify_report = VerifyPipeline(doc, sopts);
+  double verify_seconds = SecondsSince(vt0);
+  XMLSEL_CHECK(verify_report.ok());
+  std::printf("verify: full pipeline audit %.3fs over %zu layers\n",
+              verify_seconds, verify_report.entries.size());
+
   double kernel_speedup = kBaselineSingleThreadSeconds / points[0].seconds;
   std::printf(
       "kernel: 1-thread %.3fs vs %.4fs baseline (%.2fx); steady-state "
@@ -210,6 +223,17 @@ int Run(const char* out_path) {
                static_cast<long long>(agg.heap_allocs));
   std::fprintf(f, "    \"steady_state_heap_allocs\": %lld\n",
                static_cast<long long>(steady_heap_allocs));
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"verify\": {\n");
+  std::fprintf(f, "    \"pipeline_seconds\": %.4f,\n", verify_seconds);
+  std::fprintf(f, "    \"layers\": [\n");
+  for (size_t i = 0; i < verify_report.entries.size(); ++i) {
+    const VerifyReport::Entry& e = verify_report.entries[i];
+    std::fprintf(f, "      {\"layer\": \"%s\", \"millis\": %.1f}%s\n",
+                 e.layer.c_str(), e.millis,
+                 i + 1 < verify_report.entries.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n");
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);

@@ -3,6 +3,8 @@
 
 #include "automaton/grammar_eval.h"
 
+#include "verify/verify.h"
+
 #include <algorithm>
 
 namespace xmlsel {
@@ -284,6 +286,8 @@ GrammarEvalResult GrammarEvaluator::Evaluate() {
   result.pool_pairs = reg_.pool_pairs();
   result.arena_bytes = arena_.bytes_allocated();
   result.heap_allocs = HotLoopHeapAllocs() - heap0;
+  XMLSEL_VERIFY_STATUS(2, VerifyStateRegistry(reg_, cq_));
+  XMLSEL_VERIFY_STATUS(2, VerifySigmaMemo(memo_, *g_, reg_, cq_));
   return result;
 }
 

@@ -91,6 +91,13 @@ class SigmaMemo {
   int64_t probes() const { return probes_; }
   int64_t hits() const { return hits_; }
 
+  /// Mutation-test hook: overwrites one word of an interned key in place
+  /// (the arena-owned span is logically immutable — this exists only so
+  /// the verifier's detection of key corruption can be exercised).
+  void TestOnlyCorruptKey(int32_t id, uint32_t pos, int32_t value) {
+    const_cast<int32_t*>(keys_[static_cast<size_t>(id)].key)[pos] = value;
+  }
+
  private:
   struct KeyRecord {
     const int32_t* key = nullptr;  // arena-owned span
@@ -131,6 +138,15 @@ class GrammarEvaluator {
   /// virtual-root transition. Re-running on a warm evaluator serves
   /// every rule from the memo (the steady-state path).
   GrammarEvalResult Evaluate();
+
+  /// Read access to the evaluator's kernel state, for the verify layer's
+  /// post-evaluation audits (VerifyStateRegistry / VerifySigmaMemo).
+  const StateRegistry& registry() const { return reg_; }
+  const SigmaMemo& memo() const { return memo_; }
+
+  /// Mutation-test hooks for the verify harness.
+  StateRegistry* TestOnlyMutableRegistry() { return &reg_; }
+  SigmaMemo* TestOnlyMutableMemo() { return &memo_; }
 
  private:
   using Ann = AnnState<LinearForm>;

@@ -89,6 +89,12 @@ StateId StateRegistry::InternSorted(std::span<const QPair> pairs) {
   return Insert(pairs, hash, slot);
 }
 
+StateId StateRegistry::Find(std::span<const QPair> pairs) const {
+  uint64_t hash = HashSpan32(pairs.data(), pairs.size());
+  size_t slot = 0;
+  return FindSlot(pairs, hash, &slot);
+}
+
 bool StateRegistry::Contains(StateId id, QPair pair) const {
   std::span<const QPair> v = pairs(id);
   return std::binary_search(v.begin(), v.end(), pair);

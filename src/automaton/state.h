@@ -68,6 +68,15 @@ class StateRegistry {
   /// Whether `pair` belongs to state `id` (binary search).
   bool Contains(StateId id, QPair pair) const;
 
+  /// Pure const probe: the id of the state with exactly this sorted pair
+  /// span, or -1 if absent. The verifier uses it to prove every record is
+  /// rehashable — stored hash, table slot, and pool span all agree.
+  StateId Find(std::span<const QPair> pairs) const;
+
+  /// Mutation-test hook: overwrites one pool word in place, corrupting
+  /// every invariant downstream of it. Never called outside tests.
+  void TestOnlyCorruptPool(size_t index, QPair value) { pool_[index] = value; }
+
   StateId empty_state() const { return 0; }
   int64_t size() const { return static_cast<int64_t>(records_.size()); }
 

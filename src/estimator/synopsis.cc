@@ -7,6 +7,7 @@
 
 #include "grammar/analysis.h"
 #include "storage/packed.h"
+#include "verify/verify.h"
 
 namespace xmlsel {
 
@@ -19,6 +20,7 @@ Synopsis Synopsis::Build(const Document& doc, const SynopsisOptions& options) {
   s.lossless_ = BplexCompress(doc, options.bplex);
   s.maps_ = ComputeLabelMaps(doc);
   s.RecomputeLossy(options.kappa);
+  XMLSEL_VERIFY_STATUS(2, VerifySynopsis(s));
   return s;
 }
 
@@ -34,6 +36,7 @@ void Synopsis::RecomputeLossy(int32_t kappa) {
   LossyGrammar lg = MakeLossy(lossless_, kappa);
   lossy_ = std::move(lg.grammar);
   deleted_ = lg.deleted;
+  XMLSEL_VERIFY_STATUS(1, VerifyGrammar(lossy_, names_.size()));
 }
 
 const SynopsisEvalCache& Synopsis::eval_cache() const {

@@ -3,6 +3,8 @@
 
 #include "estimator/update.h"
 
+#include "verify/verify.h"
+
 #include <vector>
 
 namespace xmlsel {
@@ -198,6 +200,8 @@ Status ApplyUpdateToGrammar(SltGrammar* g, NameTable* names,
   // the rewritten start rule only (§6).
   SharePatterns(g, options, start);
   *g = NormalizedCopy(*g, start);
+  XMLSEL_VERIFY_STATUS(1, VerifyGrammar(*g, names->size()));
+  XMLSEL_VERIFY_STATUS(1, VerifyAllRulesReachable(*g));
   return Status::OK();
 }
 

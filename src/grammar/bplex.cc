@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "grammar/dag.h"
+#include "verify/verify.h"
 
 namespace xmlsel {
 
@@ -430,10 +431,21 @@ SltGrammar NormalizedCopy(const SltGrammar& g, int32_t start) {
     visited[static_cast<size_t>(rule)] = true;
     stack.push_back({rule, true});
     const GrammarRule& r = g.rule(rule);
-    for (const GrammarNode& n : r.nodes) {
+    // Walk only the live tree under the root: update unrolling leaves
+    // dead nodes in the arena, and a rule referenced only by a dead node
+    // must not be retained (the rebuild below drops dead nodes, so such
+    // a rule would be unreachable in the output).
+    std::vector<int32_t> node_stack;
+    if (r.root != kNullNode) node_stack.push_back(r.root);
+    while (!node_stack.empty()) {
+      const GrammarNode& n = r.nodes[static_cast<size_t>(node_stack.back())];
+      node_stack.pop_back();
       if (n.kind == GrammarNode::Kind::kNonterminal &&
           !visited[static_cast<size_t>(n.sym)]) {
         stack.push_back({n.sym, false});
+      }
+      for (int32_t child : n.children) {
+        if (child != kNullNode) node_stack.push_back(child);
       }
     }
   }
@@ -490,7 +502,11 @@ SltGrammar BplexCompress(const Document& doc, const BplexOptions& options) {
   if (g.rule_count() == 0) return g;
   int32_t start = g.start_rule();  // SharePatterns appends behind it
   SharePatterns(&g, options, -1);
-  return NormalizedCopy(g, start);
+  SltGrammar out = NormalizedCopy(g, start);
+  XMLSEL_VERIFY_STATUS(1, VerifyGrammar(out, doc.names().size()));
+  XMLSEL_VERIFY_STATUS(1, VerifyAllRulesReachable(out));
+  XMLSEL_VERIFY_STATUS(2, VerifyExpansion(out, doc));
+  return out;
 }
 
 }  // namespace xmlsel

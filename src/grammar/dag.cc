@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "verify/verify.h"
 #include "xml/binary_tree.h"
 
 namespace xmlsel {
@@ -131,6 +132,8 @@ SltGrammar BuildDagGrammar(const Document& doc, int32_t min_occurrences) {
   start.root = build_rhs(&start, root_cons);
   g.AddRule(std::move(start));
   g.Validate();
+  XMLSEL_VERIFY_STATUS(1, VerifyGrammar(g, doc.names().size()));
+  XMLSEL_VERIFY_STATUS(2, VerifyExpansion(g, doc));
   return g;
 }
 

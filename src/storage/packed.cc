@@ -4,6 +4,7 @@
 #include "storage/packed.h"
 
 #include "storage/bitio.h"
+#include "verify/verify.h"
 
 namespace xmlsel {
 
@@ -260,6 +261,13 @@ Result<SltGrammar> DecodePacked(const std::vector<uint8_t>& bytes) {
     return Status::Corruption("start rule has parameters");
   }
   g.Validate();
+#if XMLSEL_VERIFY_LEVEL >= 1
+  // The decoder runs on untrusted bytes: report, never abort.
+  if (Status vst = VerifyGrammar(g); !vst.ok()) {
+    return Status::Corruption("decoded grammar fails verification: " +
+                              vst.message());
+  }
+#endif
   return g;
 }
 

@@ -1,0 +1,149 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Document-arena verifier: link consistency, tree-ness, tombstone
+// isolation, live-count agreement, and binary-view coverage.
+
+#include <string>
+#include <vector>
+
+#include "verify/verify.h"
+#include "xml/binary_tree.h"
+#include "xml/document.h"
+
+namespace xmlsel {
+
+namespace {
+
+std::string NodeRef(NodeId n) { return "node " + std::to_string(n); }
+
+}  // namespace
+
+Status VerifyDocument(const Document& doc) {
+  const int64_t arena = doc.arena_size();
+  if (arena < 1) {
+    return Status::Corruption("xml/document: arena empty (no virtual root)");
+  }
+  if (doc.label(0) != kRootLabel) {
+    return Status::Corruption(
+        "xml/document: virtual root (node 0) has label " +
+        std::to_string(doc.label(0)) + ", want kRootLabel");
+  }
+  if (doc.parent(0) != kNullNode || doc.prev_sibling(0) != kNullNode ||
+      doc.next_sibling(0) != kNullNode) {
+    return Status::Corruption(
+        "xml/document: virtual root has a parent or sibling link");
+  }
+
+  // element_count must agree with the arena's tombstone marks before we
+  // trust it as the reachability target.
+  int64_t live_in_arena = 0;
+  for (NodeId n = 1; n < arena; ++n) {
+    if (doc.label(n) >= 0) ++live_in_arena;
+  }
+  if (live_in_arena != doc.element_count()) {
+    return Status::Corruption(
+        "xml/document: element_count()=" +
+        std::to_string(doc.element_count()) + " but the arena holds " +
+        std::to_string(live_in_arena) + " non-tombstoned nodes");
+  }
+
+  // One traversal from the virtual root establishes: every link pair is
+  // mutually consistent, the child graph is a tree (each node reached
+  // exactly once), no tombstone is reachable, and labels resolve.
+  const int32_t label_count = doc.names().size();
+  std::vector<char> visited(static_cast<size_t>(arena), 0);
+  std::vector<NodeId> stack = {0};
+  visited[0] = 1;
+  int64_t reached_live = 0;
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    NodeId prev = kNullNode;
+    int64_t chain = 0;
+    for (NodeId c = doc.first_child(n); c != kNullNode;
+         c = doc.next_sibling(c)) {
+      if (c < 0 || c >= arena) {
+        return Status::Corruption("xml/document: " + NodeRef(n) +
+                                  " links to out-of-range child " +
+                                  std::to_string(c));
+      }
+      if (++chain > arena) {
+        return Status::Corruption("xml/document: sibling cycle under " +
+                                  NodeRef(n));
+      }
+      if (c == 0) {
+        return Status::Corruption(
+            "xml/document: virtual root appears as a child of " + NodeRef(n));
+      }
+      if (!doc.IsLive(c)) {
+        return Status::Corruption("xml/document: tombstoned " + NodeRef(c) +
+                                  " reachable as a child of " + NodeRef(n));
+      }
+      if (doc.label(c) <= 0 || doc.label(c) >= label_count) {
+        return Status::Corruption(
+            "xml/document: " + NodeRef(c) + " carries label " +
+            std::to_string(doc.label(c)) + " outside the name table (size " +
+            std::to_string(label_count) + ")");
+      }
+      if (doc.parent(c) != n) {
+        return Status::Corruption(
+            "xml/document: " + NodeRef(c) + " has parent link " +
+            std::to_string(doc.parent(c)) + " but is a child of " +
+            NodeRef(n));
+      }
+      if (doc.prev_sibling(c) != prev) {
+        return Status::Corruption(
+            "xml/document: " + NodeRef(c) + " has prev_sibling " +
+            std::to_string(doc.prev_sibling(c)) + ", want " +
+            std::to_string(prev));
+      }
+      if (visited[static_cast<size_t>(c)]) {
+        return Status::Corruption("xml/document: " + NodeRef(c) +
+                                  " reached twice (shared or cyclic links)");
+      }
+      visited[static_cast<size_t>(c)] = 1;
+      ++reached_live;
+      stack.push_back(c);
+      prev = c;
+    }
+    if (doc.last_child(n) != prev) {
+      return Status::Corruption(
+          "xml/document: " + NodeRef(n) + " has last_child " +
+          std::to_string(doc.last_child(n)) + " but its chain ends at " +
+          std::to_string(prev));
+    }
+  }
+  if (reached_live != doc.element_count()) {
+    return Status::Corruption(
+        "xml/document: " + std::to_string(reached_live) +
+        " live nodes reachable from the root, element_count()=" +
+        std::to_string(doc.element_count()) + " (orphaned live nodes)");
+  }
+
+  // Binary view bin(D): the post-order sweep must enumerate exactly the
+  // live elements, each once (it reuses the same links, so this guards
+  // the traversal helpers rather than new state).
+  std::vector<NodeId> po = BinaryPostOrder(doc);
+  if (static_cast<int64_t>(po.size()) != doc.element_count()) {
+    return Status::Corruption(
+        "xml/binary_tree: BinaryPostOrder yields " +
+        std::to_string(po.size()) + " nodes, element_count()=" +
+        std::to_string(doc.element_count()));
+  }
+  std::vector<char> seen(static_cast<size_t>(arena), 0);
+  for (NodeId n : po) {
+    if (n <= 0 || n >= arena || !doc.IsLive(n)) {
+      return Status::Corruption(
+          "xml/binary_tree: BinaryPostOrder yields dead " + NodeRef(n));
+    }
+    if (seen[static_cast<size_t>(n)]) {
+      return Status::Corruption("xml/binary_tree: BinaryPostOrder repeats " +
+                                NodeRef(n));
+    }
+    seen[static_cast<size_t>(n)] = 1;
+  }
+  return Status::OK();
+}
+
+}  // namespace xmlsel

@@ -1,0 +1,243 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// DAG/BPLEX postcondition: the grammar's expansion is tree-identical to
+// bin(D), established by a hash witness instead of materialization. Both
+// sides compute the same recursive fingerprint of a binary tree,
+//
+//   fp(⊥)            = (kNullHash, 0)
+//   fp(a(l, r))      = (mix(a, fp(l).hash, fp(r).hash),
+//                       1 + fp(l).size + fp(r).size)
+//
+// the document side over bin(D) in post-order, the grammar side with an
+// iterative frame machine mirroring SltGrammar::Expand that memoizes on
+// (rule, argument fingerprints) — so the grammar side costs one body walk
+// per *distinct* call, never the size of the expansion.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "grammar/analysis.h"
+#include "grammar/slt.h"
+#include "verify/verify.h"
+#include "xml/binary_tree.h"
+#include "xml/document.h"
+
+namespace xmlsel {
+
+namespace {
+
+/// Fingerprint of a binary tree: a mixed hash plus the exact node count
+/// (the count doubles as a collision-independent size cross-check).
+struct Fp {
+  uint64_t hash = 0;
+  int64_t size = 0;
+  bool operator==(const Fp& o) const {
+    return hash == o.hash && size == o.size;
+  }
+};
+
+constexpr uint64_t kNullHash = 0x9ae16a3b2f90404full;
+
+Fp Combine(LabelId label, const Fp& left, const Fp& right) {
+  uint32_t words[6] = {
+      static_cast<uint32_t>(label),
+      static_cast<uint32_t>(left.hash),
+      static_cast<uint32_t>(left.hash >> 32),
+      static_cast<uint32_t>(right.hash),
+      static_cast<uint32_t>(right.hash >> 32),
+      0x5f3759dfu,  // domain separator: interior node
+  };
+  return Fp{HashSpan32(words, 6), 1 + left.size + right.size};
+}
+
+/// Fingerprint of bin(D): one post-order sweep over the live elements.
+Fp DocumentFingerprint(const Document& doc) {
+  const Fp null_fp{kNullHash, 0};
+  std::vector<Fp> fp(static_cast<size_t>(doc.arena_size()), null_fp);
+  for (NodeId n : BinaryPostOrder(doc)) {
+    NodeId l = BinaryLeft(doc, n);
+    NodeId r = BinaryRight(doc, n);
+    fp[static_cast<size_t>(n)] =
+        Combine(doc.label(n),
+                l == kNullNode ? null_fp : fp[static_cast<size_t>(l)],
+                r == kNullNode ? null_fp : fp[static_cast<size_t>(r)]);
+  }
+  NodeId root = doc.document_element();
+  return root == kNullNode ? null_fp : fp[static_cast<size_t>(root)];
+}
+
+/// Memo key: [rule, arg0.hash, arg0.size, arg1.hash, …] as raw words.
+std::vector<uint64_t> MemoKey(int32_t rule, const std::vector<Fp>& args) {
+  std::vector<uint64_t> key;
+  key.reserve(1 + 2 * args.size());
+  key.push_back(static_cast<uint64_t>(rule));
+  for (const Fp& a : args) {
+    key.push_back(a.hash);
+    key.push_back(static_cast<uint64_t>(a.size));
+  }
+  return key;
+}
+
+/// Fingerprint of the start rule's expansion, memoized per distinct
+/// (rule, argument fingerprints) call. The frame machine mirrors
+/// SltGrammar::Expand: node frames fill an output slot, call frames
+/// evaluate arguments then splice in the callee body behind a store frame
+/// that records the memo entry once the body's slot is resolved.
+Fp GrammarFingerprint(const SltGrammar& g) {
+  const Fp null_fp{kNullHash, 0};
+  if (g.rule_count() == 0) return null_fp;
+  std::map<std::vector<uint64_t>, Fp> memo;
+
+  struct Env {
+    std::vector<Fp> args;
+  };
+  struct Frame {
+    int32_t rule = -1;
+    int32_t node = kNullNode;
+    std::shared_ptr<Env> env;
+    int64_t out_slot = -1;
+    int stage = 0;
+    int64_t arg_base = -1;
+    // Store frame: when `store_key` is non-empty the frame only records
+    // memo[store_key] = slots[out_slot] (the callee body below it on the
+    // stack has resolved the slot by the time this frame resurfaces).
+    std::vector<uint64_t> store_key;
+  };
+
+  std::vector<Fp> slots;
+  auto new_slot = [&slots]() {
+    slots.push_back(Fp{kNullHash, 0});
+    return static_cast<int64_t>(slots.size()) - 1;
+  };
+  int64_t root_slot = new_slot();
+  auto make_frame = [](int32_t rule, int32_t node, std::shared_ptr<Env> env,
+                       int64_t out_slot) {
+    Frame fr;
+    fr.rule = rule;
+    fr.node = node;
+    fr.env = std::move(env);
+    fr.out_slot = out_slot;
+    return fr;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(make_frame(g.start_rule(), g.rule(g.start_rule()).root,
+                             std::make_shared<Env>(), root_slot));
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (!f.store_key.empty()) {
+      memo[f.store_key] = slots[static_cast<size_t>(f.out_slot)];
+      stack.pop_back();
+      continue;
+    }
+    if (f.node == kNullNode) {
+      slots[static_cast<size_t>(f.out_slot)] = null_fp;
+      stack.pop_back();
+      continue;
+    }
+    const GrammarNode& n =
+        g.rule(f.rule).nodes[static_cast<size_t>(f.node)];
+    switch (n.kind) {
+      case GrammarNode::Kind::kParam: {
+        slots[static_cast<size_t>(f.out_slot)] =
+            f.env->args[static_cast<size_t>(n.sym)];
+        stack.pop_back();
+        break;
+      }
+      case GrammarNode::Kind::kTerminal: {
+        if (f.stage == 0) {
+          f.arg_base = static_cast<int64_t>(slots.size());
+          slots.resize(slots.size() + 2, null_fp);
+          f.stage = 1;
+          stack.push_back(make_frame(f.rule, n.children[0], f.env, f.arg_base));
+        } else if (f.stage == 1) {
+          f.stage = 2;
+          stack.push_back(
+              make_frame(f.rule, n.children[1], f.env, f.arg_base + 1));
+        } else {
+          slots[static_cast<size_t>(f.out_slot)] =
+              Combine(n.sym, slots[static_cast<size_t>(f.arg_base)],
+                      slots[static_cast<size_t>(f.arg_base) + 1]);
+          stack.pop_back();
+        }
+        break;
+      }
+      case GrammarNode::Kind::kNonterminal: {
+        int32_t callee = n.sym;
+        if (f.arg_base == -1) {
+          f.arg_base = static_cast<int64_t>(slots.size());
+          slots.resize(slots.size() + n.children.size(), null_fp);
+        }
+        if (f.stage < static_cast<int>(n.children.size())) {
+          int stage = f.stage++;
+          stack.push_back(make_frame(f.rule,
+                                     n.children[static_cast<size_t>(stage)],
+                                     f.env, f.arg_base + stage));
+        } else {
+          auto env = std::make_shared<Env>();
+          env->args.assign(slots.begin() + f.arg_base,
+                           slots.begin() + f.arg_base +
+                               static_cast<int64_t>(n.children.size()));
+          std::vector<uint64_t> key = MemoKey(callee, env->args);
+          int64_t out_slot = f.out_slot;
+          stack.pop_back();  // f is dead from here on
+          auto hit = memo.find(key);
+          if (hit != memo.end()) {
+            slots[static_cast<size_t>(out_slot)] = hit->second;
+            break;
+          }
+          Frame store;
+          store.out_slot = out_slot;
+          store.store_key = std::move(key);
+          stack.push_back(std::move(store));
+          stack.push_back(make_frame(callee, g.rule(callee).root,
+                                     std::move(env), out_slot));
+        }
+        break;
+      }
+      case GrammarNode::Kind::kStar:
+        // Unreachable: VerifyExpansion rejects lossy grammars up front.
+        return Fp{0, -1};
+    }
+  }
+  return slots[static_cast<size_t>(root_slot)];
+}
+
+}  // namespace
+
+Status VerifyExpansion(const SltGrammar& g, const Document& doc) {
+  if (g.IsLossy()) {
+    return Status::InvalidArgument(
+        "verify/expand: expansion witness requires a lossless grammar");
+  }
+  Fp doc_fp = DocumentFingerprint(doc);
+  Fp g_fp = GrammarFingerprint(g);
+  if (g_fp.size != doc_fp.size) {
+    return Status::Corruption(
+        "grammar/expand: grammar generates " + std::to_string(g_fp.size) +
+        " nodes, bin(D) has " + std::to_string(doc_fp.size));
+  }
+  if (!(g_fp == doc_fp)) {
+    return Status::Corruption(
+        "grammar/expand: expansion differs from bin(D) in shape or labels "
+        "(hash " + std::to_string(g_fp.hash) + " vs " +
+        std::to_string(doc_fp.hash) + " at " + std::to_string(g_fp.size) +
+        " nodes)");
+  }
+  // Cross-check the analysis layer against the same ground truth.
+  if (g.rule_count() > 0) {
+    GrammarAnalysis a = AnalyzeGrammar(g);
+    int64_t start_size = a.gen_size[static_cast<size_t>(g.start_rule())];
+    if (start_size != doc.element_count()) {
+      return Status::Corruption(
+          "grammar/analysis: gen_size[start]=" + std::to_string(start_size) +
+          " but the document has " + std::to_string(doc.element_count()) +
+          " elements");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xmlsel

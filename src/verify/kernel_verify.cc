@@ -1,0 +1,175 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Automaton/kernel audits: the flat state-registry pool and the σ-memo.
+// Both structures are append-only flat tables with precomputed hashes, so
+// "rehashable" — probing the intern table with a record's own data
+// resolves back to its id — is the single check that ties stored hash,
+// table slot, and payload together; everything else is span-local.
+
+#include <string>
+
+#include "automaton/grammar_eval.h"
+#include "automaton/state.h"
+#include "automaton/transition.h"
+#include "grammar/slt.h"
+#include "verify/verify.h"
+
+namespace xmlsel {
+
+Status VerifyStateRegistry(const StateRegistry& reg,
+                           const CompiledQuery* cq) {
+  if (reg.size() < 1 || !reg.pairs(0).empty()) {
+    return Status::Corruption(
+        "automaton/state: state 0 is not the empty state");
+  }
+  const QPair* pool_base = reg.pairs(0).data();
+  int64_t expected_offset = 0;
+  for (StateId id = 0; id < reg.size(); ++id) {
+    std::span<const QPair> pairs = reg.pairs(id);
+    // Records must tile the pool contiguously in insertion order — a
+    // wrong offset or length shows up as a hole or an overlap here.
+    if (pairs.data() != pool_base + expected_offset) {
+      return Status::Corruption(
+          "automaton/state: state " + std::to_string(id) +
+          " span starts at pool offset " +
+          std::to_string(pairs.data() - pool_base) + ", want " +
+          std::to_string(expected_offset) + " (records do not tile the "
+          "pool)");
+    }
+    expected_offset += static_cast<int64_t>(pairs.size());
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      int32_t node = QPairNode(pairs[k]);
+      uint32_t mask = QPairMask(pairs[k]);
+      if (node < 0 || node >= kMaxQueryNodes ||
+          (cq != nullptr && node >= cq->size())) {
+        return Status::Corruption(
+            "automaton/state: state " + std::to_string(id) + " pair " +
+            std::to_string(k) + " references query node " +
+            std::to_string(node) + " out of range");
+      }
+      if (cq != nullptr && (mask & ~cq->following_mask(node)) != 0) {
+        return Status::Corruption(
+            "automaton/state: state " + std::to_string(id) + " pair " +
+            std::to_string(k) + " carries F-bits outside FOLLOWING(q" +
+            std::to_string(node) + ")");
+      }
+      if (k > 0 && pairs[k - 1] >= pairs[k]) {
+        return Status::Corruption(
+            "automaton/state: state " + std::to_string(id) +
+            " span not strictly sorted at position " + std::to_string(k));
+      }
+    }
+    StateId found = reg.Find(pairs);
+    if (found != id) {
+      return Status::Corruption(
+          "automaton/state: state " + std::to_string(id) +
+          " is not rehashable (probe resolves to " + std::to_string(found) +
+          "; stale hash, table slot, or duplicate span)");
+    }
+  }
+  if (expected_offset != reg.pool_pairs()) {
+    return Status::Corruption(
+        "automaton/state: records cover " + std::to_string(expected_offset) +
+        " pool pairs, pool holds " + std::to_string(reg.pool_pairs()));
+  }
+  return Status::OK();
+}
+
+Status VerifySigmaMemo(const SigmaMemo& memo, const SltGrammar& g,
+                       const StateRegistry& reg, const CompiledQuery* cq) {
+  for (int32_t id = 0; id < memo.size(); ++id) {
+    std::span<const int32_t> key = memo.key(id);
+    std::string at = "automaton/sigma: entry " + std::to_string(id);
+    if (key.empty()) {
+      return Status::Corruption(at + " has an empty key");
+    }
+    int32_t rule = key[0];
+    if (rule < 0 || rule >= g.rule_count()) {
+      return Status::Corruption(at + " keys rule A" + std::to_string(rule) +
+                                ", grammar has " +
+                                std::to_string(g.rule_count()) + " rules");
+    }
+    int32_t rank = g.rule(rule).rank;
+    if (static_cast<int32_t>(key.size()) != 1 + rank) {
+      return Status::Corruption(
+          at + " keys A" + std::to_string(rule) + " with " +
+          std::to_string(key.size() - 1) + " parameter states, rank is " +
+          std::to_string(rank));
+    }
+    for (int32_t p = 0; p < rank; ++p) {
+      StateId s = key[static_cast<size_t>(p) + 1];
+      if (s < 0 || s >= reg.size()) {
+        return Status::Corruption(
+            at + " parameter y" + std::to_string(p + 1) +
+            " carries state id " + std::to_string(s) +
+            " unknown to the registry");
+      }
+    }
+    if (memo.Find(key) != id) {
+      return Status::Corruption(
+          at + " is not rehashable (stale hash, table slot, or duplicate "
+          "key)");
+    }
+    const Sigma& sig = memo.sigma(id);
+    if (!sig.ready) {
+      return Status::Corruption(at + " is not ready after evaluation "
+                                "(abandoned task)");
+    }
+    if (sig.state < 0 || sig.state >= reg.size()) {
+      return Status::Corruption(at + " resolves to unknown state " +
+                                std::to_string(sig.state));
+    }
+    size_t n_pairs = reg.pairs(sig.state).size();
+    if (sig.counts.size() != n_pairs) {
+      return Status::Corruption(
+          at + " carries " + std::to_string(sig.counts.size()) +
+          " counters for a state of " + std::to_string(n_pairs) + " pairs");
+    }
+    for (size_t c = 0; c < sig.counts.size(); ++c) {
+      const LinearForm& f = sig.counts[c];
+      std::string fat = at + " counter " + std::to_string(c);
+      if (f.constant < 0 || f.constant > kCountSaturate) {
+        return Status::Corruption(
+            fat + " constant " + std::to_string(f.constant) +
+            " outside [0, kCountSaturate]");
+      }
+      uint64_t prev_key = 0;
+      for (size_t t = 0; t < f.size(); ++t) {
+        const LinearForm::Term& term = f.term(t);
+        if (t > 0 && term.first <= prev_key) {
+          return Status::Corruption(fat + " terms not strictly sorted at " +
+                                    std::to_string(t));
+        }
+        prev_key = term.first;
+        if (term.second <= 0 || term.second > kCountSaturate) {
+          return Status::Corruption(
+              fat + " coefficient " + std::to_string(term.second) +
+              " outside (0, kCountSaturate]");
+        }
+        int32_t param = static_cast<int32_t>(term.first >> 32);
+        QPair var_pair = static_cast<QPair>(term.first & 0xffffffffull);
+        if (param < 0 || param >= rank) {
+          return Status::Corruption(
+              fat + " references parameter y" + std::to_string(param + 1) +
+              " of a rank-" + std::to_string(rank) + " rule");
+        }
+        StateId param_state = key[static_cast<size_t>(param) + 1];
+        if (!reg.Contains(param_state, var_pair)) {
+          return Status::Corruption(
+              fat + " references a pair absent from parameter y" +
+              std::to_string(param + 1) + "'s state " +
+              std::to_string(param_state));
+        }
+        int32_t node = QPairNode(var_pair);
+        if (cq != nullptr && node >= cq->size()) {
+          return Status::Corruption(fat + " variable references query node " +
+                                    std::to_string(node) + " out of range");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xmlsel

@@ -1,0 +1,133 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// κ-lossy soundness: the lossy layer must be exactly reproducible from
+// the lossless layer (MakeLossy is deterministic), star statistics must
+// preserve the generated size exactly, and the label maps must be
+// internally consistent and cover the document's real edges.
+
+#include <string>
+#include <vector>
+
+#include "grammar/analysis.h"
+#include "grammar/lossy.h"
+#include "grammar/slt.h"
+#include "verify/verify.h"
+#include "xml/document.h"
+
+namespace xmlsel {
+
+Status VerifyLossy(const SltGrammar& lossy, const SltGrammar& lossless,
+                   int32_t kappa) {
+  if (lossless.IsLossy()) {
+    return Status::InvalidArgument(
+        "verify/lossy: reference grammar is itself lossy");
+  }
+  XMLSEL_RETURN_IF_ERROR(VerifyGrammar(lossless));
+  XMLSEL_RETURN_IF_ERROR(VerifyGrammar(lossy));
+
+  // MakeLossy is deterministic, so "every star's (h, s) agrees with a
+  // recomputation over the deleted rules" is checkable as a whole-grammar
+  // comparison against a fresh derivation.
+  LossyGrammar recomputed = MakeLossy(lossless, kappa);
+  Status cmp = CompareGrammars(lossy, recomputed.grammar);
+  if (!cmp.ok()) {
+    return Status::Corruption(
+        "grammar/lossy: lossy layer disagrees with MakeLossy(lossless, " +
+        std::to_string(kappa) + "): " + cmp.message());
+  }
+
+  // Star nodes must account for their hidden nodes exactly: the lossy
+  // layer generates the same number of elements as the lossless one.
+  // (Heights compose only conservatively across holes, so no analogous
+  // height equality holds.)
+  if (lossless.rule_count() > 0 && lossy.rule_count() > 0) {
+    GrammarAnalysis full = AnalyzeGrammar(lossless);
+    GrammarAnalysis cut = AnalyzeGrammar(lossy);
+    int64_t full_size =
+        full.gen_size[static_cast<size_t>(lossless.start_rule())];
+    int64_t cut_size = cut.gen_size[static_cast<size_t>(lossy.start_rule())];
+    if (full_size != cut_size) {
+      return Status::Corruption(
+          "grammar/lossy: lossy layer generates " + std::to_string(cut_size) +
+          " nodes, lossless generates " + std::to_string(full_size) +
+          " (stale star sizes)");
+    }
+  }
+  return Status::OK();
+}
+
+Status VerifyLabelMaps(const LabelMaps& maps) {
+  const size_t n = static_cast<size_t>(maps.label_count);
+  if (maps.child.size() != n || maps.parent.size() != n) {
+    return Status::Corruption(
+        "grammar/lossy: label maps have " + std::to_string(maps.child.size()) +
+        "/" + std::to_string(maps.parent.size()) + " rows, label_count=" +
+        std::to_string(maps.label_count));
+  }
+  for (size_t a = 0; a < n; ++a) {
+    if (maps.child[a].size() != n || maps.parent[a].size() != n) {
+      return Status::Corruption("grammar/lossy: label map row " +
+                                std::to_string(a) + " is not square");
+    }
+  }
+  // child and parent encode one relation from two directions.
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = 0; b < n; ++b) {
+      if (maps.child[a][b] != maps.parent[b][a]) {
+        return Status::Corruption(
+            "grammar/lossy: label maps disagree at (parent=" +
+            std::to_string(a) + ", child=" + std::to_string(b) +
+            "): child says " + (maps.child[a][b] ? "true" : "false") +
+            ", parent says " + (maps.parent[b][a] ? "true" : "false"));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status VerifyLabelMapsCoverDocument(const LabelMaps& maps,
+                                    const Document& doc, bool exact) {
+  XMLSEL_RETURN_IF_ERROR(VerifyLabelMaps(maps));
+  LabelMaps fresh = ComputeLabelMaps(doc);
+  if (maps.label_count < fresh.label_count) {
+    return Status::Corruption(
+        "grammar/lossy: label maps cover " +
+        std::to_string(maps.label_count) + " labels, document uses " +
+        std::to_string(fresh.label_count));
+  }
+  for (size_t a = 0; a < static_cast<size_t>(fresh.label_count); ++a) {
+    for (size_t b = 0; b < static_cast<size_t>(fresh.label_count); ++b) {
+      if (fresh.child[a][b] && !maps.child[a][b]) {
+        return Status::Corruption(
+            "grammar/lossy: label maps miss real edge (parent=" +
+            std::to_string(a) + ", child=" + std::to_string(b) +
+            ") — upper bounds may prune true matches");
+      }
+      if (exact && maps.child[a][b] && !fresh.child[a][b]) {
+        return Status::Corruption(
+            "grammar/lossy: label maps claim nonexistent edge (parent=" +
+            std::to_string(a) + ", child=" + std::to_string(b) +
+            ") on a freshly built synopsis");
+      }
+    }
+  }
+  if (exact) {
+    // Fresh maps may not claim labels beyond the document's name table.
+    for (size_t a = 0; a < static_cast<size_t>(maps.label_count); ++a) {
+      for (size_t b = 0; b < static_cast<size_t>(maps.label_count); ++b) {
+        bool beyond = a >= static_cast<size_t>(fresh.label_count) ||
+                      b >= static_cast<size_t>(fresh.label_count);
+        if (beyond && maps.child[a][b]) {
+          return Status::Corruption(
+              "grammar/lossy: label maps claim edge (parent=" +
+              std::to_string(a) + ", child=" + std::to_string(b) +
+              ") outside the document's label set");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xmlsel

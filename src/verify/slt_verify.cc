@@ -1,0 +1,254 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// SLT grammar verifiers (Definition 1): well-formedness, reachability
+// (a normalization postcondition), and structural grammar comparison.
+
+#include <string>
+#include <vector>
+
+#include "grammar/slt.h"
+#include "verify/verify.h"
+
+namespace xmlsel {
+
+namespace {
+
+std::string Where(int32_t rule, int32_t node) {
+  return "rule A" + std::to_string(rule) + " node " + std::to_string(node);
+}
+
+}  // namespace
+
+Status VerifyGrammar(const SltGrammar& g, int32_t label_count) {
+  for (size_t si = 0; si < g.star_stats().size(); ++si) {
+    const StarStats& s = g.star_stats()[si];
+    // A deleted pattern of unranked height h has at least h nodes (and a
+    // rank-k rule whose RHS is just a parameter legitimately has h=s=0).
+    if (s.height < 0 || s.size < 0 || s.size < s.height) {
+      return Status::Corruption(
+          "grammar/slt: star stats #" + std::to_string(si) + " (h=" +
+          std::to_string(s.height) + ", s=" + std::to_string(s.size) +
+          ") are not realizable by any pattern");
+    }
+  }
+  for (int32_t i = 0; i < g.rule_count(); ++i) {
+    const GrammarRule& r = g.rule(i);
+    const int32_t n_nodes = static_cast<int32_t>(r.nodes.size());
+    if (r.rank < 0) {
+      return Status::Corruption("grammar/slt: rule A" + std::to_string(i) +
+                                " has negative rank " +
+                                std::to_string(r.rank));
+    }
+    if (r.root < 0 || r.root >= n_nodes) {
+      return Status::Corruption("grammar/slt: rule A" + std::to_string(i) +
+                                " has root " + std::to_string(r.root) +
+                                " outside its RHS arena of " +
+                                std::to_string(n_nodes) + " nodes");
+    }
+    // Pre-order walk from the root: every node at most once (the RHS is a
+    // tree, not a DAG), parameters collected in visit order.
+    std::vector<char> reached(static_cast<size_t>(n_nodes), 0);
+    std::vector<int32_t> params_seen;
+    std::vector<int32_t> stack = {r.root};
+    while (!stack.empty()) {
+      int32_t id = stack.back();
+      stack.pop_back();
+      if (id < 0 || id >= n_nodes) {
+        return Status::Corruption("grammar/slt: rule A" + std::to_string(i) +
+                                  " has a child link to node " +
+                                  std::to_string(id) +
+                                  " outside its RHS arena");
+      }
+      if (reached[static_cast<size_t>(id)]) {
+        return Status::Corruption("grammar/slt: " + Where(i, id) +
+                                  " reached twice (RHS is not a tree)");
+      }
+      reached[static_cast<size_t>(id)] = 1;
+      const GrammarNode& n = r.nodes[static_cast<size_t>(id)];
+      switch (n.kind) {
+        case GrammarNode::Kind::kTerminal:
+          if (n.sym <= 0 ||
+              (label_count > 0 && n.sym >= label_count)) {
+            return Status::Corruption(
+                "grammar/slt: " + Where(i, id) + " is a terminal with label " +
+                std::to_string(n.sym) +
+                (label_count > 0 ? " outside the name table (size " +
+                                       std::to_string(label_count) + ")"
+                                 : " (reserved or negative)"));
+          }
+          if (n.children.size() != 2) {
+            return Status::Corruption(
+                "grammar/slt: " + Where(i, id) + " is a terminal with " +
+                std::to_string(n.children.size()) +
+                " children, want 2 (binary encoding)");
+          }
+          break;
+        case GrammarNode::Kind::kNonterminal:
+          if (n.sym < 0 || n.sym >= i) {
+            return Status::Corruption(
+                "grammar/slt: " + Where(i, id) + " references rule A" +
+                std::to_string(n.sym) +
+                " (references must point to strictly earlier rules)");
+          }
+          if (static_cast<int32_t>(n.children.size()) !=
+              g.rule(n.sym).rank) {
+            return Status::Corruption(
+                "grammar/slt: " + Where(i, id) + " calls A" +
+                std::to_string(n.sym) + " with " +
+                std::to_string(n.children.size()) + " arguments, rank is " +
+                std::to_string(g.rule(n.sym).rank));
+          }
+          break;
+        case GrammarNode::Kind::kParam:
+          if (n.sym < 0 || n.sym >= r.rank) {
+            return Status::Corruption(
+                "grammar/slt: " + Where(i, id) + " is parameter y" +
+                std::to_string(n.sym + 1) + " of a rank-" +
+                std::to_string(r.rank) + " rule");
+          }
+          if (!n.children.empty()) {
+            return Status::Corruption("grammar/slt: " + Where(i, id) +
+                                      " is a parameter with children");
+          }
+          params_seen.push_back(n.sym);
+          break;
+        case GrammarNode::Kind::kStar:
+          if (n.sym < 0 ||
+              n.sym >= static_cast<int32_t>(g.star_stats().size())) {
+            return Status::Corruption(
+                "grammar/slt: " + Where(i, id) + " is a star with stats "
+                "index " + std::to_string(n.sym) + ", table has " +
+                std::to_string(g.star_stats().size()) + " entries");
+          }
+          break;
+        default:
+          return Status::Corruption("grammar/slt: " + Where(i, id) +
+                                    " has an unknown node kind");
+      }
+      for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+        if (*it != kNullNode) stack.push_back(*it);
+      }
+    }
+    // Linear, ordered parameter use: y_1 … y_rank each exactly once, in
+    // pre-order.
+    if (static_cast<int32_t>(params_seen.size()) != r.rank) {
+      return Status::Corruption(
+          "grammar/slt: rule A" + std::to_string(i) + " uses " +
+          std::to_string(params_seen.size()) + " parameters, rank is " +
+          std::to_string(r.rank));
+    }
+    for (int32_t p = 0; p < r.rank; ++p) {
+      if (params_seen[static_cast<size_t>(p)] != p) {
+        return Status::Corruption(
+            "grammar/slt: rule A" + std::to_string(i) + " uses y" +
+            std::to_string(params_seen[static_cast<size_t>(p)] + 1) +
+            " at pre-order position " + std::to_string(p) +
+            " (parameters must appear in order)");
+      }
+    }
+  }
+  if (g.rule_count() > 0 && g.rule(g.start_rule()).rank != 0) {
+    return Status::Corruption(
+        "grammar/slt: start rule A" + std::to_string(g.start_rule()) +
+        " has rank " + std::to_string(g.rule(g.start_rule()).rank) +
+        ", want 0");
+  }
+  return Status::OK();
+}
+
+Status VerifyAllRulesReachable(const SltGrammar& g) {
+  if (g.rule_count() == 0) return Status::OK();
+  std::vector<char> reachable(static_cast<size_t>(g.rule_count()), 0);
+  reachable[static_cast<size_t>(g.start_rule())] = 1;
+  // References point strictly backwards, so one descending sweep settles
+  // reachability.
+  for (int32_t i = g.rule_count() - 1; i >= 0; --i) {
+    if (!reachable[static_cast<size_t>(i)]) continue;
+    for (const GrammarNode& n : g.rule(i).nodes) {
+      if (n.kind == GrammarNode::Kind::kNonterminal && n.sym >= 0 &&
+          n.sym < i) {
+        reachable[static_cast<size_t>(n.sym)] = 1;
+      }
+    }
+  }
+  for (int32_t i = 0; i < g.rule_count(); ++i) {
+    if (!reachable[static_cast<size_t>(i)]) {
+      return Status::Corruption(
+          "grammar/slt: rule A" + std::to_string(i) +
+          " is unreachable from the start rule (grammar not normalized)");
+    }
+  }
+  return Status::OK();
+}
+
+Status CompareGrammars(const SltGrammar& a, const SltGrammar& b) {
+  if (a.rule_count() != b.rule_count()) {
+    return Status::Corruption("grammar/slt: grammars differ: " +
+                              std::to_string(a.rule_count()) + " vs " +
+                              std::to_string(b.rule_count()) + " rules");
+  }
+  for (int32_t i = 0; i < a.rule_count(); ++i) {
+    const GrammarRule& ra = a.rule(i);
+    const GrammarRule& rb = b.rule(i);
+    if (ra.rank != rb.rank) {
+      return Status::Corruption("grammar/slt: rule A" + std::to_string(i) +
+                                " rank differs: " + std::to_string(ra.rank) +
+                                " vs " + std::to_string(rb.rank));
+    }
+    // Simultaneous pre-order walk; arena ids may differ between the two
+    // grammars, so only shape and symbols are compared.
+    std::vector<std::pair<int32_t, int32_t>> stack = {{ra.root, rb.root}};
+    while (!stack.empty()) {
+      auto [na, nb] = stack.back();
+      stack.pop_back();
+      if ((na == kNullNode) != (nb == kNullNode)) {
+        return Status::Corruption(
+            "grammar/slt: rule A" + std::to_string(i) +
+            " differs: ⊥ vs non-⊥ child (nodes " + std::to_string(na) +
+            " vs " + std::to_string(nb) + ")");
+      }
+      if (na == kNullNode) continue;
+      const GrammarNode& ga = ra.nodes[static_cast<size_t>(na)];
+      const GrammarNode& gb = rb.nodes[static_cast<size_t>(nb)];
+      if (ga.kind != gb.kind) {
+        return Status::Corruption(
+            "grammar/slt: " + Where(i, na) + " kind differs (" +
+            std::to_string(static_cast<int>(ga.kind)) + " vs " +
+            std::to_string(static_cast<int>(gb.kind)) + ")");
+      }
+      bool sym_equal;
+      if (ga.kind == GrammarNode::Kind::kStar) {
+        if (ga.sym < 0 ||
+            ga.sym >= static_cast<int32_t>(a.star_stats().size()) ||
+            gb.sym < 0 ||
+            gb.sym >= static_cast<int32_t>(b.star_stats().size())) {
+          return Status::Corruption("grammar/slt: " + Where(i, na) +
+                                    " has an out-of-range star stats index");
+        }
+        sym_equal = a.star_stats()[static_cast<size_t>(ga.sym)] ==
+                    b.star_stats()[static_cast<size_t>(gb.sym)];
+      } else {
+        sym_equal = ga.sym == gb.sym;
+      }
+      if (!sym_equal) {
+        return Status::Corruption("grammar/slt: " + Where(i, na) +
+                                  " symbol differs (" +
+                                  std::to_string(ga.sym) + " vs " +
+                                  std::to_string(gb.sym) + ")");
+      }
+      if (ga.children.size() != gb.children.size()) {
+        return Status::Corruption(
+            "grammar/slt: " + Where(i, na) + " child count differs (" +
+            std::to_string(ga.children.size()) + " vs " +
+            std::to_string(gb.children.size()) + ")");
+      }
+      for (size_t c = 0; c < ga.children.size(); ++c) {
+        stack.emplace_back(ga.children[c], gb.children[c]);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xmlsel

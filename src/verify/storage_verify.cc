@@ -1,0 +1,54 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Packed-storage verifier: decode(encode(G)) must reproduce the grammar
+// structurally, the re-encoding must be bit-exact, and the advertised
+// encoded size must match reality.
+
+#include <string>
+#include <vector>
+
+#include "grammar/slt.h"
+#include "storage/packed.h"
+#include "verify/verify.h"
+
+namespace xmlsel {
+
+Status VerifyPackedRoundTrip(const SltGrammar& g, int32_t label_count) {
+  std::vector<uint8_t> bytes = EncodePacked(g, label_count);
+  int64_t advertised = PackedEncodedSize(g, label_count);
+  if (advertised != static_cast<int64_t>(bytes.size())) {
+    return Status::Corruption(
+        "storage/packed: PackedEncodedSize reports " +
+        std::to_string(advertised) + " bytes, encoder produced " +
+        std::to_string(bytes.size()));
+  }
+  Result<SltGrammar> decoded = DecodePacked(bytes);
+  if (!decoded.ok()) {
+    return Status::Corruption(
+        "storage/packed: decode(encode(G)) failed: " +
+        decoded.status().ToString());
+  }
+  Status cmp = CompareGrammars(g, decoded.value());
+  if (!cmp.ok()) {
+    return Status::Corruption(
+        "storage/packed: decode(encode(G)) differs from G: " + cmp.message());
+  }
+  std::vector<uint8_t> re = EncodePacked(decoded.value(), label_count);
+  if (re.size() != bytes.size()) {
+    return Status::Corruption(
+        "storage/packed: re-encoding is " + std::to_string(re.size()) +
+        " bytes, original encoding " + std::to_string(bytes.size()));
+  }
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    if (re[i] != bytes[i]) {
+      return Status::Corruption(
+          "storage/packed: re-encoding differs at byte " + std::to_string(i) +
+          " (0x" + std::to_string(re[i]) + " vs 0x" +
+          std::to_string(bytes[i]) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xmlsel

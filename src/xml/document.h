@@ -108,6 +108,13 @@ class Document {
   /// Deep structural equality (labels and shape, ignoring node ids).
   bool StructurallyEquals(const Document& other) const;
 
+  /// Mutation-test hook: raw write access to one arena record, bypassing
+  /// every structural invariant (tests/verify_test.cc corrupts links and
+  /// labels through this to prove VerifyDocument pinpoints them).
+  DocumentNode* TestOnlyMutableNode(NodeId n) {
+    return &nodes_[static_cast<size_t>(n)];
+  }
+
  private:
   NodeId NewNode(LabelId label, NodeId parent);
 

@@ -3,6 +3,8 @@
 
 #include "xml/parser.h"
 
+#include "verify/verify.h"
+
 #include <cctype>
 #include <string>
 #include <vector>
@@ -197,6 +199,7 @@ Result<Document> ParseXml(std::string_view input, const ParseOptions& options) {
   if (!seen_top_element) {
     return cur.Error("document has no element");
   }
+  XMLSEL_VERIFY_STATUS(2, VerifyDocument(doc));
   return doc;
 }
 

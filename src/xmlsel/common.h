@@ -49,11 +49,36 @@ inline uint64_t HashSpan32(const uint32_t* data, size_t n) {
   return h;
 }
 
+/// Compile-time level of the cross-layer invariant checkers in src/verify
+/// (see DESIGN.md, "Verification & static analysis"):
+///   0 — every XMLSEL_VERIFY_STATUS call compiles out (Release default);
+///   1 — cheap structural checks at layer boundaries (debug default);
+///   2 — expensive checks too: expansion witnesses, kernel state audits,
+///       packed round-trips.
+/// Override per build with -DXMLSEL_VERIFY_LEVEL=n (the CMake cache
+/// variable of the same name forwards it).
+#ifndef XMLSEL_VERIFY_LEVEL
+#ifdef NDEBUG
+#define XMLSEL_VERIFY_LEVEL 0
+#else
+#define XMLSEL_VERIFY_LEVEL 1
+#endif
+#endif
+
 namespace internal {
 
 [[noreturn]] inline void CheckFailed(const char* file, int line,
                                      const char* expr) {
   std::fprintf(stderr, "XMLSEL_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+[[noreturn]] inline void CheckOpFailed(const char* file, int line,
+                                       const char* expr, long long lhs,
+                                       long long rhs) {
+  std::fprintf(stderr,
+               "XMLSEL_CHECK failed at %s:%d: %s (lhs=%lld, rhs=%lld)\n",
+               file, line, expr, lhs, rhs);
   std::abort();
 }
 
@@ -69,12 +94,44 @@ namespace internal {
     }                                                            \
   } while (0)
 
+/// Always-on comparison check that prints both operands on failure.
+/// Operands must be integral (they are reported as long long).
+#define XMLSEL_CHECK_OP(op, a, b)                                           \
+  do {                                                                      \
+    const auto _xmlsel_a = (a);                                             \
+    const auto _xmlsel_b = (b);                                             \
+    if (!(_xmlsel_a op _xmlsel_b)) {                                        \
+      ::xmlsel::internal::CheckOpFailed(                                    \
+          __FILE__, __LINE__, #a " " #op " " #b,                            \
+          static_cast<long long>(_xmlsel_a),                                \
+          static_cast<long long>(_xmlsel_b));                               \
+    }                                                                       \
+  } while (0)
+#define XMLSEL_CHECK_EQ(a, b) XMLSEL_CHECK_OP(==, a, b)
+#define XMLSEL_CHECK_NE(a, b) XMLSEL_CHECK_OP(!=, a, b)
+#define XMLSEL_CHECK_LT(a, b) XMLSEL_CHECK_OP(<, a, b)
+#define XMLSEL_CHECK_LE(a, b) XMLSEL_CHECK_OP(<=, a, b)
+#define XMLSEL_CHECK_GT(a, b) XMLSEL_CHECK_OP(>, a, b)
+#define XMLSEL_CHECK_GE(a, b) XMLSEL_CHECK_OP(>=, a, b)
+
 #ifndef NDEBUG
 #define XMLSEL_DCHECK(expr) XMLSEL_CHECK(expr)
+#define XMLSEL_DCHECK_EQ(a, b) XMLSEL_CHECK_EQ(a, b)
+#define XMLSEL_DCHECK_NE(a, b) XMLSEL_CHECK_NE(a, b)
+#define XMLSEL_DCHECK_LT(a, b) XMLSEL_CHECK_LT(a, b)
+#define XMLSEL_DCHECK_LE(a, b) XMLSEL_CHECK_LE(a, b)
+#define XMLSEL_DCHECK_GT(a, b) XMLSEL_CHECK_GT(a, b)
+#define XMLSEL_DCHECK_GE(a, b) XMLSEL_CHECK_GE(a, b)
 #else
 #define XMLSEL_DCHECK(expr) \
   do {                      \
   } while (0)
+#define XMLSEL_DCHECK_EQ(a, b) XMLSEL_DCHECK((a) == (b))
+#define XMLSEL_DCHECK_NE(a, b) XMLSEL_DCHECK((a) != (b))
+#define XMLSEL_DCHECK_LT(a, b) XMLSEL_DCHECK((a) < (b))
+#define XMLSEL_DCHECK_LE(a, b) XMLSEL_DCHECK((a) <= (b))
+#define XMLSEL_DCHECK_GT(a, b) XMLSEL_DCHECK((a) > (b))
+#define XMLSEL_DCHECK_GE(a, b) XMLSEL_DCHECK((a) >= (b))
 #endif
 
 }  // namespace xmlsel

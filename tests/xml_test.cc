@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "data/generator.h"
+#include "verify/verify.h"
 #include "xml/binary_tree.h"
 #include "xml/document.h"
 #include "xml/parser.h"
@@ -159,6 +160,36 @@ TEST(WriterTest, RoundTripsThroughParser) {
   auto reparsed = ParseXml(xml);
   ASSERT_TRUE(reparsed.ok());
   EXPECT_TRUE(d2.StructurallyEquals(reparsed.value()));
+}
+
+TEST(WriterTest, RoundTripPropertyOverGeneratedDocuments) {
+  // Property: for any generated document D, parse(write(D)) is
+  // structurally equal to D, and the document/binary-tree verifier
+  // accepts every intermediate artifact.
+  const DatasetId kDatasets[] = {DatasetId::kXmark, DatasetId::kDblp,
+                                 DatasetId::kSwissProt, DatasetId::kPsd,
+                                 DatasetId::kCatalog};
+  for (DatasetId id : kDatasets) {
+    for (uint64_t seed : {1u, 2u}) {
+      Document doc = GenerateDataset(id, 400, seed);
+      ASSERT_TRUE(VerifyDocument(doc).ok()) << static_cast<int>(id);
+      std::string xml = WriteXml(doc);
+      auto reparsed = ParseXml(xml);
+      ASSERT_TRUE(reparsed.ok()) << static_cast<int>(id);
+      ASSERT_TRUE(VerifyDocument(reparsed.value()).ok())
+          << static_cast<int>(id);
+      EXPECT_TRUE(doc.StructurallyEquals(reparsed.value()))
+          << static_cast<int>(id);
+      // Second trip must be byte-stable: write(parse(write(D))) ==
+      // write(D).
+      std::string xml2 = WriteXml(reparsed.value());
+      EXPECT_EQ(xml, xml2) << static_cast<int>(id);
+      auto reparsed2 = ParseXml(xml2);
+      ASSERT_TRUE(reparsed2.ok());
+      ASSERT_TRUE(VerifyDocument(reparsed2.value()).ok());
+      EXPECT_TRUE(reparsed.value().StructurallyEquals(reparsed2.value()));
+    }
+  }
 }
 
 TEST(WriterTest, IndentedOutputParses) {

@@ -1,27 +1,41 @@
 #!/usr/bin/env bash
-# Sanitizer checks:
-#  1. ThreadSanitizer — races in the concurrent batch engine (most
+# Static and dynamic checks, strictest first:
+#  1. Warnings wall — the whole tree at -Wall -Wextra -Wshadow
+#     -Wconversion -Werror (Warnings build type, -O1 to dodge libstdc++
+#     false positives at -O3).
+#  2. Lint — clang-tidy over src/ (tools/lint.sh; skips when clang-tidy
+#     is not installed).
+#  3. ThreadSanitizer — races in the concurrent batch engine (most
 #     importantly concurrency_test, which races evaluators over the
 #     shared synopsis and eval cache).
-#  2. AddressSanitizer + UBSan — memory errors in the allocation-heavy
+#  4. AddressSanitizer + UBSan — memory errors in the allocation-heavy
 #     evaluation kernel (bump arena, pooled state registry, SSO linear
 #     forms) across the full test suite.
-# Any data race or memory error anywhere fails this script.
+# Sanitizer builds lack -DNDEBUG, so the src/verify invariant hooks
+# (XMLSEL_VERIFY_LEVEL=1) are live during both test runs.
+# Any warning, lint finding, data race, or memory error fails this script.
 #
-# Usage: tools/check.sh [tsan-build-dir] [asan-build-dir]
-#        (defaults: build-tsan build-asan)
+# Usage: tools/check.sh [tsan-build-dir] [asan-build-dir] [warn-build-dir]
+#        (defaults: build-tsan build-asan build-warn)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 TSAN_DIR="${1:-build-tsan}"
 ASAN_DIR="${2:-build-asan}"
+WARN_DIR="${3:-build-warn}"
+
+cmake -B "$WARN_DIR" -S . -DCMAKE_BUILD_TYPE=Warnings
+cmake --build "$WARN_DIR" -j "$(nproc)"
+echo "Warnings wall passed."
+
+tools/lint.sh
 
 cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=Tsan
 cmake --build "$TSAN_DIR" -j "$(nproc)"
-ctest --test-dir "$TSAN_DIR" --output-on-failure
+ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$(nproc)"
 echo "TSan check passed."
 
 cmake -B "$ASAN_DIR" -S . -DCMAKE_BUILD_TYPE=Asan
 cmake --build "$ASAN_DIR" -j "$(nproc)"
-ctest --test-dir "$ASAN_DIR" --output-on-failure
+ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$(nproc)"
 echo "ASan/UBSan check passed."

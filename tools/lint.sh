@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# clang-tidy over src/ using the repo's .clang-tidy (WarningsAsErrors: '*',
+# so any finding fails the script). Needs a compile_commands.json, which
+# the Release configure produces.
+#
+# Skips gracefully (exit 0 with a notice) when clang-tidy is not
+# installed, so tools/check.sh can run on boxes without LLVM.
+#
+# Usage: tools/lint.sh [build-dir]    (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+  echo "lint: clang-tidy not installed; skipping (install LLVM to enable)."
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+fi
+
+mapfile -t SOURCES < <(find src -name '*.cc' | sort)
+echo "lint: clang-tidy over ${#SOURCES[@]} files in src/"
+clang-tidy -p "$BUILD_DIR" --quiet "${SOURCES[@]}"
+echo "lint: clean."

@@ -12,6 +12,9 @@
 //       bounds, and report the exact count for comparison.
 //   xmlsel_tool generate <dblp|swissprot|xmark|psd|catalog> <elements>
 //       Emit a synthetic dataset as XML on stdout.
+//   xmlsel_tool verify   <file.xml> [kappa]
+//       Run the cross-layer invariant verifier (src/verify) over every
+//       pipeline stage built from the document; print a per-layer report.
 
 #include <cstdio>
 #include <cstring>
@@ -25,19 +28,22 @@
 #include "estimator/estimator.h"
 #include "query/parser.h"
 #include "query/rewrite.h"
+#include "verify/verify.h"
 #include "xml/parser.h"
 #include "xml/stats.h"
 #include "xml/writer.h"
 
 namespace {
 
-int Usage() {
+int Usage(const char* error) {
+  if (error != nullptr) std::fprintf(stderr, "xmlsel_tool: %s\n", error);
   std::fprintf(stderr,
                "usage:\n"
                "  xmlsel_tool stats    <file.xml>\n"
                "  xmlsel_tool compress <file.xml> [kappa]\n"
                "  xmlsel_tool estimate <file.xml> <xpath> [kappa]\n"
-               "  xmlsel_tool generate <dataset> <elements>\n");
+               "  xmlsel_tool generate <dataset> <elements>\n"
+               "  xmlsel_tool verify   <file.xml> [kappa]\n");
   return 2;
 }
 
@@ -139,7 +145,7 @@ int Generate(const char* name, int64_t elements) {
   } else if (!std::strcmp(name, "catalog")) {
     id = xmlsel::DatasetId::kCatalog;
   } else {
-    return Usage();
+    return Usage("unknown dataset (want dblp|swissprot|xmark|psd|catalog)");
   }
   xmlsel::Document doc = xmlsel::GenerateDataset(id, elements, 42);
   xmlsel::WriteOptions wopts;
@@ -148,19 +154,47 @@ int Generate(const char* name, int64_t elements) {
   return 0;
 }
 
+int Verify(const char* path, int kappa) {
+  auto doc = Load(path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  xmlsel::SynopsisOptions options;
+  options.kappa = kappa;
+  xmlsel::VerifyReport report = xmlsel::VerifyPipeline(doc.value(), options);
+  std::fputs(report.ToString().c_str(), stdout);
+  if (!report.ok()) {
+    std::fprintf(stderr, "verification FAILED\n");
+    return 1;
+  }
+  std::printf("all layers verified\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  if (!std::strcmp(argv[1], "stats")) return Stats(argv[2]);
+  if (argc < 2) return Usage("missing subcommand");
+  if (!std::strcmp(argv[1], "stats")) {
+    if (argc < 3) return Usage("stats needs <file.xml>");
+    return Stats(argv[2]);
+  }
   if (!std::strcmp(argv[1], "compress")) {
+    if (argc < 3) return Usage("compress needs <file.xml>");
     return Compress(argv[2], argc > 3 ? std::atoi(argv[3]) : 0);
   }
-  if (!std::strcmp(argv[1], "estimate") && argc >= 4) {
+  if (!std::strcmp(argv[1], "estimate")) {
+    if (argc < 4) return Usage("estimate needs <file.xml> <xpath>");
     return Estimate(argv[2], argv[3], argc > 4 ? std::atoi(argv[4]) : 0);
   }
-  if (!std::strcmp(argv[1], "generate") && argc >= 4) {
+  if (!std::strcmp(argv[1], "generate")) {
+    if (argc < 4) return Usage("generate needs <dataset> <elements>");
     return Generate(argv[2], std::atoll(argv[3]));
   }
-  return Usage();
+  if (!std::strcmp(argv[1], "verify")) {
+    if (argc < 3) return Usage("verify needs <file.xml>");
+    return Verify(argv[2], argc > 3 ? std::atoi(argv[3]) : 0);
+  }
+  return Usage("unknown subcommand");
 }
