@@ -1,64 +1,336 @@
 // Copyright 2026 The xmlsel Authors
 // SPDX-License-Identifier: Apache-2.0
 //
-// Reproduces the **§8.3 construction-cost comparison**: one-pass BPLEX
-// synopsis construction versus graph-synopsis clustering
-// (TreeSketch-lite) and the simpler statistics baselines, on XMark at
-// several scales.
+// Construction throughput (§8.3): text → synopsis, measured per stage
+// (parse, DAG, BPLEX, label maps, lossy, analysis) for both the DOM
+// pipeline and the fused streaming front end, on XMark at several
+// scales. Emits the machine-readable `construction` JSON section that
+// BENCH_throughput.json tracks across PRs:
 //
-// Paper reference: 8 s for a 5.4 MB XMark vs 7 minutes for TreeSketch
-// (and ~2 hours at 30 MB) — construction is 50–100× faster. The
-// reproduction target is the *orders-of-magnitude gap and its growth with
-// document size*, not the absolute numbers.
+//   ./bench_construction [--smoke] [output.json]
+//                                  (default BENCH_construction.json)
+//
+// The paper's reference point is 8 s for a 5.4 MB XMark versus
+// minutes-to-hours for graph-synopsis clustering; the full run therefore
+// also prints the TreeSketch-lite / Markov / path-tree comparison. The
+// reproduction target of this harness, though, is the *trajectory*: the
+// hardcoded `kBaseline` numbers are the pre-streaming pipeline measured
+// on this box (PR 4 tree), and every run reports its speedup against
+// them. Heap allocations are counted by a global operator new hook —
+// cold-build allocation totals are part of the tracked regression
+// surface.
+//
+// --smoke runs a tiny dataset, asserts every per-stage field is
+// populated and the streamed synopsis is byte-identical to and verifies
+// like the DOM-built one, then writes the same JSON shape. CI runs this.
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
 
 #include "baseline/markov_table.h"
 #include "baseline/path_tree.h"
 #include "baseline/treesketch_lite.h"
 #include "data/generator.h"
 #include "estimator/synopsis.h"
+#include "storage/packed.h"
+#include "verify/verify.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+#include "xmlsel/thread_pool.h"
+
+namespace {
+std::atomic<int64_t> g_heap_allocs{0};
+}  // namespace
+
+// Global allocation hook: counts every heap allocation in the process so
+// cold-build allocation totals are measurable without instrumenting the
+// library.
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace xmlsel {
 namespace {
 
-template <typename F>
-double TimeMs(F&& f) {
-  auto start = std::chrono::steady_clock::now();
-  f();
-  auto end = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::milli>(end - start).count();
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
 }
 
-void Run() {
-  std::printf("%10s %16s %18s %12s %12s %8s\n", "elements", "SLT build(ms)",
-              "TreeSketch(ms)", "Markov(ms)", "PathTree(ms)", "ratio");
-  for (int64_t n : {20000, 50000, 100000}) {
-    Document doc = GenerateDataset(DatasetId::kXmark, n, 3);
-    double slt_ms = TimeMs([&] {
-      SynopsisOptions opts;
-      opts.kappa = 0;
-      Synopsis s = Synopsis::Build(doc, opts);
-      (void)s;
-    });
-    double ts_ms = TimeMs([&] { TreeSketchLite ts(doc, 2000); });
-    double mk_ms = TimeMs([&] { MarkovTable mt(doc, 0); });
-    double pt_ms = TimeMs([&] { PathTree pt(doc, 400); });
-    std::printf("%10lld %16.1f %18.1f %12.1f %12.1f %7.1fx\n",
-                static_cast<long long>(doc.element_count()), slt_ms, ts_ms,
-                mk_ms, pt_ms, ts_ms / slt_ms);
+/// Pre-PR construction baseline, measured on this box with the seed
+/// DOM pipeline (unordered_map cons/digram tables, from-scratch digram
+/// recounts every pass): text → synopsis, XMark seed 3, kappa 0.
+struct BaselinePoint {
+  int64_t elements;
+  double total_ms;
+  double mb_per_s;
+  int64_t heap_allocs;
+  int64_t packed_bytes;
+};
+constexpr BaselinePoint kBaseline[] = {
+    {20000, 9.8, 24.98, 134890, 6565},
+    {50000, 14.8, 41.37, 235240, 12925},
+    {100000, 24.5, 49.75, 354656, 21400},
+};
+
+/// One measured construction: per-stage breakdown plus totals.
+struct RunResult {
+  const char* path = "dom";  // "dom" or "streaming"
+  int64_t scale = 0;  // requested target (keys the baseline table)
+  int64_t elements = 0;
+  int64_t xml_bytes = 0;
+  ConstructionStats stats;
+  double total_ms = 0;
+  double mb_per_s = 0;
+  int64_t heap_allocs = 0;
+  int64_t packed_bytes = 0;
+};
+
+/// Best-of-`reps` DOM construction (parse timed here; Build stages via
+/// ConstructionStats). Allocations are reported for the *first* (cold)
+/// repetition — later ones profit from allocator reuse.
+RunResult MeasureDom(const std::string& xml, const SynopsisOptions& opts,
+                     int reps) {
+  RunResult r;
+  r.path = "dom";
+  r.xml_bytes = static_cast<int64_t>(xml.size());
+  for (int rep = 0; rep < reps; ++rep) {
+    ConstructionStats stats;
+    int64_t allocs0 = g_heap_allocs.load(std::memory_order_relaxed);
+    Clock::time_point t0 = Clock::now();
+    Result<Document> doc = ParseXml(xml);
+    XMLSEL_CHECK(doc.ok());
+    stats.parse_seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    Synopsis s = Synopsis::Build(doc.value(), opts, &stats);
+    double total = MsSince(t0);
+    int64_t allocs = g_heap_allocs.load(std::memory_order_relaxed) - allocs0;
+    if (rep == 0 || total < r.total_ms) {
+      r.stats = stats;
+      r.total_ms = total;
+      r.elements = stats.element_count;
+      r.packed_bytes = s.PackedSizeBytes();
+    }
+    if (rep == 0) r.heap_allocs = allocs;
   }
+  r.mb_per_s = static_cast<double>(r.xml_bytes) / 1e6 / (r.total_ms / 1e3);
+  return r;
+}
+
+/// Best-of-`reps` streaming construction (fused parse → DAG).
+RunResult MeasureStreaming(const std::string& xml,
+                           const SynopsisOptions& opts, int reps) {
+  RunResult r;
+  r.path = "streaming";
+  r.xml_bytes = static_cast<int64_t>(xml.size());
+  for (int rep = 0; rep < reps; ++rep) {
+    ConstructionStats stats;
+    int64_t allocs0 = g_heap_allocs.load(std::memory_order_relaxed);
+    Clock::time_point t0 = Clock::now();
+    Result<Synopsis> s = Synopsis::BuildStreaming(xml, opts, {}, &stats);
+    double total = MsSince(t0);
+    XMLSEL_CHECK(s.ok());
+    int64_t allocs = g_heap_allocs.load(std::memory_order_relaxed) - allocs0;
+    if (rep == 0 || total < r.total_ms) {
+      r.stats = stats;
+      r.total_ms = total;
+      r.elements = stats.element_count;
+      r.packed_bytes = s.value().PackedSizeBytes();
+    }
+    if (rep == 0) r.heap_allocs = allocs;
+  }
+  r.mb_per_s = static_cast<double>(r.xml_bytes) / 1e6 / (r.total_ms / 1e3);
+  return r;
+}
+
+double BaselineTotalMs(int64_t elements) {
+  for (const BaselinePoint& b : kBaseline) {
+    if (b.elements == elements) return b.total_ms;
+  }
+  return 0;
+}
+
+void PrintRun(const RunResult& r, double baseline_ms) {
+  std::printf(
+      "%10lld %-10s parse %6.2f dag %6.2f bplex %6.2f maps %5.2f "
+      "lossy %5.2f analysis %5.2f | total %7.2fms %6.2f MB/s "
+      "allocs %8lld packed %7lld",
+      static_cast<long long>(r.elements), r.path,
+      (r.stats.parse_seconds + r.stats.parse_dag_seconds) * 1e3,
+      r.stats.dag_seconds * 1e3, r.stats.bplex_seconds * 1e3,
+      r.stats.label_maps_seconds * 1e3, r.stats.lossy_seconds * 1e3,
+      r.stats.analysis_seconds * 1e3, r.total_ms, r.mb_per_s,
+      static_cast<long long>(r.heap_allocs),
+      static_cast<long long>(r.packed_bytes));
+  if (baseline_ms > 0) {
+    std::printf("  (%.2fx vs baseline)", baseline_ms / r.total_ms);
+  }
+  std::printf("\n");
+}
+
+void WriteRunJson(FILE* f, const RunResult& r, double baseline_ms,
+                  bool last) {
+  std::fprintf(
+      f,
+      "      {\"elements\": %lld, \"path\": \"%s\", \"xml_bytes\": %lld, "
+      "\"parse_ms\": %.3f, \"parse_dag_ms\": %.3f, \"dag_ms\": %.3f, "
+      "\"bplex_ms\": %.3f, \"label_maps_ms\": %.3f, \"lossy_ms\": %.3f, "
+      "\"analysis_ms\": %.3f, \"total_ms\": %.3f, \"mb_per_s\": %.2f, "
+      "\"cold_heap_allocs\": %lld, \"packed_bytes\": %lld, "
+      "\"dag_rules\": %lld, \"final_rules\": %lld, "
+      "\"speedup_vs_baseline\": %.3f}%s\n",
+      static_cast<long long>(r.elements), r.path,
+      static_cast<long long>(r.xml_bytes), r.stats.parse_seconds * 1e3,
+      r.stats.parse_dag_seconds * 1e3, r.stats.dag_seconds * 1e3,
+      r.stats.bplex_seconds * 1e3, r.stats.label_maps_seconds * 1e3,
+      r.stats.lossy_seconds * 1e3, r.stats.analysis_seconds * 1e3,
+      r.total_ms, r.mb_per_s, static_cast<long long>(r.heap_allocs),
+      static_cast<long long>(r.packed_bytes),
+      static_cast<long long>(r.stats.dag_rules),
+      static_cast<long long>(r.stats.final_rules),
+      baseline_ms > 0 ? baseline_ms / r.total_ms : 0.0, last ? "" : ",");
+}
+
+/// Asserts the streaming path is byte-identical to the DOM path and
+/// passes the full synopsis verification — run in smoke mode and once
+/// per full run on the largest scale.
+void CheckStreamingIdentity(const std::string& xml,
+                            const SynopsisOptions& opts) {
+  Result<Document> doc = ParseXml(xml);
+  XMLSEL_CHECK(doc.ok());
+  Synopsis dom = Synopsis::Build(doc.value(), opts);
+  Result<Synopsis> streamed = Synopsis::BuildStreaming(xml, opts);
+  XMLSEL_CHECK(streamed.ok());
+  XMLSEL_CHECK(EncodePacked(dom.lossy(), dom.names().size()) ==
+               EncodePacked(streamed.value().lossy(),
+                            streamed.value().names().size()));
+  Status st = VerifySynopsis(streamed.value());
+  XMLSEL_CHECK(st.ok());
+}
+
+int Run(bool smoke, const char* out_path) {
+  FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  SynopsisOptions opts;
+  opts.kappa = 0;
+  const int reps = smoke ? 1 : 3;
+  std::vector<int64_t> scales =
+      smoke ? std::vector<int64_t>{500}
+            : std::vector<int64_t>{20000, 50000, 100000};
+
+  std::vector<RunResult> runs;
+  for (int64_t n : scales) {
+    Document doc = GenerateDataset(DatasetId::kXmark, n, 3);
+    std::string xml = WriteXml(doc);
+    RunResult dom = MeasureDom(xml, opts, reps);
+    RunResult streaming = MeasureStreaming(xml, opts, reps);
+    dom.scale = n;
+    streaming.scale = n;
+    double base = BaselineTotalMs(n);
+    PrintRun(dom, base);
+    PrintRun(streaming, base);
+    runs.push_back(dom);
+    runs.push_back(streaming);
+    if (smoke || n == scales.back()) CheckStreamingIdentity(xml, opts);
+  }
+
+  if (smoke) {
+    // Every per-stage field the CI job greps for must be populated.
+    const RunResult& dom = runs[0];
+    const RunResult& st = runs[1];
+    XMLSEL_CHECK(dom.stats.parse_seconds > 0 && dom.stats.dag_seconds > 0);
+    XMLSEL_CHECK(dom.stats.bplex_seconds > 0);
+    XMLSEL_CHECK(st.stats.parse_dag_seconds > 0 &&
+                 st.stats.bplex_seconds > 0);
+    XMLSEL_CHECK(dom.packed_bytes == st.packed_bytes);
+    XMLSEL_CHECK(dom.heap_allocs > 0 && st.heap_allocs > 0);
+    std::printf("smoke: per-stage fields populated, paths identical\n");
+  } else {
+    // §8.3 comparison at the largest scale: the SLT synopsis builds
+    // orders of magnitude faster than graph-synopsis clustering.
+    Document doc = GenerateDataset(DatasetId::kXmark, scales.back(), 3);
+    Clock::time_point t0 = Clock::now();
+    { TreeSketchLite ts(doc, 2000); }
+    double ts_ms = MsSince(t0);
+    t0 = Clock::now();
+    { MarkovTable mt(doc, 0); }
+    double mk_ms = MsSince(t0);
+    t0 = Clock::now();
+    { PathTree pt(doc, 400); }
+    double pt_ms = MsSince(t0);
+    double slt_ms = runs.back().total_ms;
+    std::printf(
+        "section 8.3 at %lld elements: SLT %.1fms, TreeSketch %.1fms "
+        "(%.0fx), Markov %.1fms, PathTree %.1fms\n",
+        static_cast<long long>(scales.back()), slt_ms, ts_ms,
+        ts_ms / slt_ms, mk_ms, pt_ms);
+  }
+
+  // --- JSON: the `construction` section tracked in BENCH_throughput.json.
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"construction\": {\n");
+  std::fprintf(f, "    \"dataset\": \"xmark\",\n");
+  std::fprintf(f, "    \"kappa\": %d,\n", opts.kappa);
+  std::fprintf(f, "    \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "    \"effective_threads\": %d,\n", DefaultThreadCount());
+  std::fprintf(f, "    \"baseline\": [\n");
+  constexpr size_t kBaselineCount =
+      sizeof(kBaseline) / sizeof(kBaseline[0]);
+  for (size_t i = 0; i < kBaselineCount; ++i) {
+    const BaselinePoint& b = kBaseline[i];
+    std::fprintf(f,
+                 "      {\"elements\": %lld, \"total_ms\": %.1f, "
+                 "\"mb_per_s\": %.2f, \"cold_heap_allocs\": %lld, "
+                 "\"packed_bytes\": %lld}%s\n",
+                 static_cast<long long>(b.elements), b.total_ms, b.mb_per_s,
+                 static_cast<long long>(b.heap_allocs),
+                 static_cast<long long>(b.packed_bytes),
+                 i + 1 < kBaselineCount ? "," : "");
+  }
+  std::fprintf(f, "    ],\n");
+  std::fprintf(f, "    \"runs\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    WriteRunJson(f, runs[i], BaselineTotalMs(runs[i].scale),
+                 i + 1 == runs.size());
+  }
+  std::fprintf(f, "    ]\n");
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return 0;
 }
 
 }  // namespace
 }  // namespace xmlsel
 
-int main() {
-  std::printf(
-      "Section 8.3 construction cost (XMark scale sweep).\n"
-      "Paper reference: the SLT synopsis builds 50-100x faster than the "
-      "graph-synopsis clustering.\n\n");
-  xmlsel::Run();
-  return 0;
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* out = "BENCH_construction.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out = argv[i];
+    }
+  }
+  return xmlsel::Run(smoke, out);
 }

@@ -27,6 +27,7 @@
 #include <cstdio>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "automaton/grammar_eval.h"
@@ -185,7 +186,9 @@ int Run(const char* out_path) {
   std::fprintf(f, "  \"kappa\": %d,\n", kKappa);
   std::fprintf(f, "  \"queries\": %zu,\n", queries.size());
   std::fprintf(f, "  \"rounds\": %d,\n", kRounds);
-  std::fprintf(f, "  \"hardware_concurrency\": %d,\n", DefaultThreadCount());
+  std::fprintf(f, "  \"hardware_concurrency\": %d,\n",
+               static_cast<int>(std::thread::hardware_concurrency()));
+  std::fprintf(f, "  \"effective_threads\": %d,\n", DefaultThreadCount());
   std::fprintf(f, "  \"scaling\": [\n");
   for (size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];

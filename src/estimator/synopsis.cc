@@ -3,39 +3,106 @@
 
 #include "estimator/synopsis.h"
 
+#include <chrono>
 #include <utility>
 
 #include "grammar/analysis.h"
+#include "grammar/dag.h"
+#include "grammar/streaming.h"
 #include "storage/packed.h"
 #include "verify/verify.h"
 
 namespace xmlsel {
 
-Synopsis Synopsis::Build(const Document& doc, const SynopsisOptions& options) {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+Synopsis Synopsis::Build(const Document& doc, const SynopsisOptions& options,
+                         ConstructionStats* stats) {
   Synopsis s;
   s.options_ = options;
   for (LabelId i = 1; i < doc.names().size(); ++i) {
     s.names_.Intern(doc.names().Name(i));
   }
-  s.lossless_ = BplexCompress(doc, options.bplex);
+  Clock::time_point t = Clock::now();
+  SltGrammar dag = BuildDagGrammar(doc);
+  if (stats != nullptr) {
+    stats->dag_seconds = SecondsSince(t);
+    stats->element_count = doc.element_count();
+    stats->dag_rules = dag.rule_count();
+    t = Clock::now();
+  }
+  s.lossless_ =
+      BplexCompressDagGrammar(std::move(dag), options.bplex,
+                              doc.names().size());
+  XMLSEL_VERIFY_STATUS(2, VerifyExpansion(s.lossless_, doc));
+  if (stats != nullptr) {
+    stats->bplex_seconds = SecondsSince(t);
+    stats->final_rules = s.lossless_.rule_count();
+    t = Clock::now();
+  }
   s.maps_ = ComputeLabelMaps(doc);
-  s.RecomputeLossy(options.kappa);
+  if (stats != nullptr) stats->label_maps_seconds = SecondsSince(t);
+  s.RecomputeLossy(options.kappa, stats);
   XMLSEL_VERIFY_STATUS(2, VerifySynopsis(s));
   return s;
 }
 
-void Synopsis::RecomputeLossy(int32_t kappa) {
+Result<Synopsis> Synopsis::BuildStreaming(std::string_view xml,
+                                          const SynopsisOptions& options,
+                                          const ParseOptions& parse_options,
+                                          ConstructionStats* stats) {
+  Clock::time_point t = Clock::now();
+  Result<StreamedDag> streamed = BuildDagGrammarStreaming(xml, parse_options);
+  if (!streamed.ok()) return streamed.status();
+  StreamedDag& sd = streamed.value();
+  Synopsis s;
+  s.options_ = options;
+  s.names_ = std::move(sd.names);
+  s.maps_ = std::move(sd.maps);
+  if (stats != nullptr) {
+    stats->parse_dag_seconds = SecondsSince(t);
+    stats->element_count = sd.element_count;
+    stats->dag_rules = sd.grammar.rule_count();
+    t = Clock::now();
+  }
+  s.lossless_ = BplexCompressDagGrammar(std::move(sd.grammar), options.bplex,
+                                        s.names_.size());
+  if (stats != nullptr) {
+    stats->bplex_seconds = SecondsSince(t);
+    stats->final_rules = s.lossless_.rule_count();
+  }
+  s.RecomputeLossy(options.kappa, stats);
+  XMLSEL_VERIFY_STATUS(2, VerifySynopsis(s));
+  return s;
+}
+
+void Synopsis::RecomputeLossy(int32_t kappa, ConstructionStats* stats) {
   InvalidateEvalCache();
   options_.kappa = kappa;
+  Clock::time_point t = Clock::now();
   RecomputeLabelTotals();
+  if (stats != nullptr) {
+    stats->analysis_seconds = SecondsSince(t);
+    t = Clock::now();
+  }
   if (kappa <= 0) {
     lossy_ = lossless_;
     deleted_ = 0;
+    if (stats != nullptr) stats->lossy_seconds = SecondsSince(t);
     return;
   }
   LossyGrammar lg = MakeLossy(lossless_, kappa);
   lossy_ = std::move(lg.grammar);
   deleted_ = lg.deleted;
+  if (stats != nullptr) stats->lossy_seconds = SecondsSince(t);
   XMLSEL_VERIFY_STATUS(1, VerifyGrammar(lossy_, names_.size()));
 }
 

@@ -18,6 +18,7 @@
 #include "grammar/lossy.h"
 #include "grammar/slt.h"
 #include "xml/document.h"
+#include "xml/parser.h"
 
 namespace xmlsel {
 
@@ -27,6 +28,25 @@ struct SynopsisOptions {
   /// Lossy threshold κ: number of productions to delete (§4.2). 0 keeps
   /// the grammar lossless (estimates are then exact).
   int32_t kappa = 0;
+};
+
+/// Per-stage wall-clock breakdown of one synopsis construction, filled by
+/// Build / BuildStreaming when the caller passes a stats sink (bench and
+/// tooling; estimation paths pass nullptr and pay nothing but the clock
+/// reads). The streaming path fuses parsing and DAG construction, so it
+/// reports the fused time under `parse_dag_seconds` and leaves the two
+/// split fields at zero; the DOM-driven Build does the opposite.
+struct ConstructionStats {
+  double parse_dag_seconds = 0;  ///< streaming only: fused parse → DAG
+  double parse_seconds = 0;      ///< DOM path: text → Document
+  double dag_seconds = 0;        ///< DOM path: Document → DAG grammar
+  double bplex_seconds = 0;      ///< pattern sharing + normalization
+  double label_maps_seconds = 0; ///< DOM path only; streaming fuses it
+  double lossy_seconds = 0;      ///< κ-lossy star deletion
+  double analysis_seconds = 0;   ///< label totals (grammar analysis)
+  int64_t element_count = 0;
+  int64_t dag_rules = 0;    ///< rules in the DAG grammar
+  int64_t final_rules = 0;  ///< rules after pattern sharing
 };
 
 /// A built synopsis. Copyable; the estimation layer is self-contained.
@@ -52,8 +72,21 @@ class Synopsis {
     return *this;
   }
 
-  /// Builds the synopsis from a document in one pass (§4).
-  static Synopsis Build(const Document& doc, const SynopsisOptions& options);
+  /// Builds the synopsis from a document in one pass (§4). `stats`, when
+  /// non-null, receives the per-stage timing breakdown.
+  static Synopsis Build(const Document& doc, const SynopsisOptions& options,
+                        ConstructionStats* stats = nullptr);
+
+  /// Builds the synopsis straight from XML text without materializing a
+  /// Document: the pull parser's events are hash-consed into the minimal
+  /// DAG as elements close (grammar/streaming.h). Produces bytes
+  /// identical to Build(ParseXml(xml), options) — same grammar, same
+  /// label ids, same packed encoding — while touching O(depth + fan-out)
+  /// live state instead of O(document).
+  static Result<Synopsis> BuildStreaming(std::string_view xml,
+                                         const SynopsisOptions& options,
+                                         const ParseOptions& parse_options = {},
+                                         ConstructionStats* stats = nullptr);
 
   const SltGrammar& lossless() const { return lossless_; }
   const SltGrammar& lossy() const { return lossy_; }
@@ -73,8 +106,9 @@ class Synopsis {
   const SynopsisEvalCache& eval_cache() const;
 
   /// Re-derives the lossy layer from the (possibly updated) lossless
-  /// layer; called after a batch of updates (§6).
-  void RecomputeLossy(int32_t kappa);
+  /// layer; called after a batch of updates (§6). `stats`, when non-null,
+  /// receives the lossy / analysis stage timings.
+  void RecomputeLossy(int32_t kappa, ConstructionStats* stats = nullptr);
 
   /// Direct access for the update engine. Mutation invalidates the eval
   /// cache and requires exclusive access to the synopsis.

@@ -4,12 +4,13 @@
 #include "grammar/bplex.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "grammar/dag.h"
 #include "verify/verify.h"
+#include "xmlsel/flat_table.h"
+#include "xmlsel/thread_pool.h"
 
 namespace xmlsel {
 
@@ -17,9 +18,14 @@ namespace {
 
 constexpr uint64_t kChildNull = 2;  // child kind code for ⊥
 
+// Probe-table value for a digram selected this pass whose rule has not
+// been materialized yet (rule indices are always >= 0).
+constexpr int32_t kCreateOnDemand = -1;
+
 /// Packs a digram (parent symbol, slot, child symbol) into a hash key.
 /// Parent kind: 0 terminal, 1 nonterminal. Child kind: 0 terminal,
-/// 1 nonterminal, 2 ⊥.
+/// 1 nonterminal, 2 ⊥. Bit 63 stays 0, so a key never collides with the
+/// flat tables' empty-slot sentinel.
 uint64_t MakeKey(uint64_t pkind, uint64_t psym, uint64_t slot, uint64_t ckind,
                  uint64_t csym) {
   XMLSEL_DCHECK(psym < (1ull << 28) && csym < (1ull << 28) && slot < 16);
@@ -68,8 +74,10 @@ class PatternSharer {
   void ComputePatternSizes() {
     pattern_sizes_.assign(static_cast<size_t>(g_->rule_count()), 0);
     for (int32_t i = 0; i < g_->rule_count(); ++i) {
+      const GrammarRule& r = g_->rule(i);
       int64_t size = 0;
-      for (const GrammarNode& n : LiveNodes(i)) {
+      for (int32_t id : CachedPostOrder(i)) {
+        const GrammarNode& n = r.nodes[static_cast<size_t>(id)];
         switch (n.kind) {
           case GrammarNode::Kind::kTerminal:
             ++size;
@@ -88,47 +96,60 @@ class PatternSharer {
     }
   }
 
-  /// Nodes of rule i reachable from its root (dead nodes skipped).
-  std::vector<GrammarNode> LiveNodes(int32_t i) const {
-    std::vector<GrammarNode> out;
-    for (int32_t id : LiveNodeIdsPostOrder(i)) {
-      out.push_back(g_->rule(i).nodes[static_cast<size_t>(id)]);
+  /// Grows the per-rule cache arrays to the current rule count (new rules
+  /// start invalid and are computed on first use).
+  void EnsureCacheArrays() {
+    size_t n = static_cast<size_t>(g_->rule_count());
+    if (post_cache_.size() < n) {
+      post_cache_.resize(n);
+      parent_cache_.resize(n);
+      cache_valid_.resize(n, 0);
     }
-    return out;
   }
 
-  std::vector<int32_t> LiveNodeIdsPostOrder(int32_t i) const {
+  /// Live-node ids of rule i in post-order, cached across passes (only
+  /// rewritten rules are recomputed). Also fills parent_cache_[i]:
+  /// in-rule parent node id per node, -1 for the root / dead nodes.
+  const std::vector<int32_t>& CachedPostOrder(int32_t i) {
+    EnsureCacheArrays();
+    size_t idx = static_cast<size_t>(i);
+    if (cache_valid_[idx]) return post_cache_[idx];
     const GrammarRule& r = g_->rule(i);
-    std::vector<int32_t> out;
-    if (r.root == kNullNode) return out;
-    struct Frame {
-      int32_t node;
-      size_t next_child;
-    };
-    std::vector<Frame> stack = {{r.root, 0}};
-    while (!stack.empty()) {
-      Frame& f = stack.back();
-      const GrammarNode& n = r.nodes[static_cast<size_t>(f.node)];
-      bool descended = false;
-      while (f.next_child < n.children.size()) {
-        int32_t c = n.children[f.next_child++];
-        if (c != kNullNode) {
-          stack.push_back({c, 0});
-          descended = true;
-          break;
+    std::vector<int32_t>& out = post_cache_[idx];
+    std::vector<int32_t>& parent = parent_cache_[idx];
+    out.clear();
+    parent.assign(r.nodes.size(), -1);
+    if (r.root != kNullNode) {
+      struct Frame {
+        int32_t node;
+        size_t next_child;
+      };
+      std::vector<Frame> stack = {{r.root, 0}};
+      while (!stack.empty()) {
+        Frame& f = stack.back();
+        const GrammarNode& n = r.nodes[static_cast<size_t>(f.node)];
+        bool descended = false;
+        while (f.next_child < n.children.size()) {
+          int32_t c = n.children[f.next_child++];
+          if (c != kNullNode) {
+            parent[static_cast<size_t>(c)] = f.node;
+            stack.push_back({c, 0});
+            descended = true;
+            break;
+          }
         }
+        if (descended) continue;
+        out.push_back(f.node);
+        stack.pop_back();
       }
-      if (descended) continue;
-      out.push_back(f.node);
-      stack.pop_back();
     }
+    cache_valid_[idx] = 1;
     return out;
   }
 
   /// Recognizes rules whose RHS is exactly one digram pattern and seeds
   /// the dictionary with them (used when re-compressing after updates).
   void BuildDictionary() {
-    dictionary_.clear();
     for (int32_t i = 0; i < g_->rule_count(); ++i) {
       const GrammarRule& r = g_->rule(i);
       if (r.root == kNullNode) continue;
@@ -180,77 +201,201 @@ class PatternSharer {
                       static_cast<uint64_t>(fixed_slot), ckind,
                       static_cast<uint64_t>(ch.sym));
       }
-      dictionary_.emplace(key, i);
+      if (dictionary_.Find(key) == nullptr) dictionary_[key] = i;
+    }
+  }
+
+  /// Adds `delta` to the counts of every digram whose *parent* is node
+  /// `id` of rule `r` — exactly the edges the counting pass attributes to
+  /// the node, so subtract-before / add-after around a rewrite keeps the
+  /// incremental table in lockstep with a from-scratch recount.
+  void AddNodeDigrams(const GrammarRule& r, int32_t id, int64_t delta,
+                      FlatMap64<int64_t>* counts) const {
+    const GrammarNode& u = r.nodes[static_cast<size_t>(id)];
+    if (u.kind != GrammarNode::Kind::kTerminal &&
+        u.kind != GrammarNode::Kind::kNonterminal) {
+      return;
+    }
+    uint64_t pkind = u.kind == GrammarNode::Kind::kTerminal ? 0 : 1;
+    for (size_t s = 0; s < u.children.size(); ++s) {
+      int32_t c = u.children[s];
+      if (c == kNullNode) {
+        (*counts)[MakeKey(pkind, static_cast<uint64_t>(u.sym), s, kChildNull,
+                          0)] += delta;
+        continue;
+      }
+      const GrammarNode& ch = r.nodes[static_cast<size_t>(c)];
+      if (ch.kind == GrammarNode::Kind::kTerminal ||
+          ch.kind == GrammarNode::Kind::kNonterminal) {
+        uint64_t ckind = ch.kind == GrammarNode::Kind::kTerminal ? 0 : 1;
+        (*counts)[MakeKey(pkind, static_cast<uint64_t>(u.sym), s, ckind,
+                          static_cast<uint64_t>(ch.sym))] += delta;
+      }
+    }
+  }
+
+  /// Adds `delta` to the count of the single digram (parent_id → child_id)
+  /// — the edge whose key changes when the child node is rewritten.
+  void AddParentEdgeDigram(const GrammarRule& r, int32_t parent_id,
+                           int32_t child_id, int64_t delta,
+                           FlatMap64<int64_t>* counts) const {
+    const GrammarNode& p = r.nodes[static_cast<size_t>(parent_id)];
+    if (p.kind != GrammarNode::Kind::kTerminal &&
+        p.kind != GrammarNode::Kind::kNonterminal) {
+      return;
+    }
+    const GrammarNode& ch = r.nodes[static_cast<size_t>(child_id)];
+    if (ch.kind != GrammarNode::Kind::kTerminal &&
+        ch.kind != GrammarNode::Kind::kNonterminal) {
+      return;
+    }
+    uint64_t pkind = p.kind == GrammarNode::Kind::kTerminal ? 0 : 1;
+    uint64_t ckind = ch.kind == GrammarNode::Kind::kTerminal ? 0 : 1;
+    for (size_t s = 0; s < p.children.size(); ++s) {
+      if (p.children[s] != child_id) continue;  // RHS is a tree: one match
+      (*counts)[MakeKey(pkind, static_cast<uint64_t>(p.sym), s, ckind,
+                        static_cast<uint64_t>(ch.sym))] += delta;
+    }
+  }
+
+  /// Counts every digram of rule i into `counts`.
+  void CountRuleInto(int32_t i, FlatMap64<int64_t>* counts) {
+    const GrammarRule& r = g_->rule(i);
+    for (int32_t id : CachedPostOrder(i)) {
+      AddNodeDigrams(r, id, 1, counts);
+    }
+  }
+
+  /// First full count over rules [0, rules_before), sharded across the
+  /// pool when opts_.threads allows. Per-shard tables are merged in a
+  /// fixed order and counts are plain sums, so the result is bit-identical
+  /// to the sequential count.
+  void InitialCount(int32_t rules_before) {
+    counts_.Clear();
+    int32_t threads = opts_.threads == 0 ? DefaultThreadCount() : opts_.threads;
+    if (threads <= 1 || rules_before < 2) {
+      for (int32_t i = 0; i < rules_before; ++i) CountRuleInto(i, &counts_);
+      return;
+    }
+    EnsureCacheArrays();
+    int32_t shards = std::min(threads * 4, rules_before);
+    std::vector<FlatMap64<int64_t>> partial(static_cast<size_t>(shards));
+    ThreadPool pool(threads);
+    for (int32_t s = 0; s < shards; ++s) {
+      int32_t begin = rules_before * s / shards;
+      int32_t end = rules_before * (s + 1) / shards;
+      pool.Submit([this, s, begin, end, &partial] {
+        for (int32_t i = begin; i < end; ++i) {
+          // Shards own disjoint rule ranges, so the cache fills race-free.
+          CountRuleInto(i, &partial[static_cast<size_t>(s)]);
+        }
+      });
+    }
+    pool.Wait();
+    for (const FlatMap64<int64_t>& p : partial) {
+      p.ForEach([this](uint64_t key, int64_t count) { counts_[key] += count; });
+    }
+  }
+
+#if XMLSEL_VERIFY_LEVEL >= 1
+  /// Debug cross-check: the incrementally maintained table must match a
+  /// from-scratch recount of the current grammar exactly.
+  void CheckIncrementalCounts() {
+    FlatMap64<int64_t> fresh;
+    for (int32_t i = 0; i < g_->rule_count(); ++i) CountRuleInto(i, &fresh);
+    fresh.ForEach([this](uint64_t key, int64_t count) {
+      const int64_t* have = counts_.Find(key);
+      XMLSEL_CHECK(have != nullptr && *have == count);
+    });
+    counts_.ForEach([&fresh](uint64_t key, int64_t count) {
+      if (count == 0) return;  // a digram whose occurrences all vanished
+      const int64_t* want = fresh.Find(key);
+      XMLSEL_CHECK(want != nullptr && *want == count);
+    });
+  }
+#endif
+
+  /// Applies thresholds / constraints and sorts candidates by (count
+  /// desc, key asc) — a total order, so selection does not depend on hash
+  /// table iteration order.
+  void CollectCandidates(
+      const FlatMap64<int64_t>& counts,
+      std::vector<std::pair<int64_t, uint64_t>>* candidates) {
+    counts.ForEach([&](uint64_t key, int64_t count) {
+      XMLSEL_DCHECK(count >= 0);
+      DigramParts d = SplitKey(key);
+      int64_t threshold = opts_.min_digram_count;
+      if (d.ckind == kChildNull) threshold = std::max<int64_t>(threshold, 3);
+      if (count < threshold) return;
+      if (dictionary_.Find(key) != nullptr) {
+        candidates->push_back({count, key});  // replay is always worthwhile
+        return;
+      }
+      if (DigramRank(d) > opts_.max_rank) return;
+      if (DigramPatternSize(d) > opts_.max_pattern_size) return;
+      candidates->push_back({count, key});
+    });
+    std::sort(candidates->begin(), candidates->end(),
+              [](const auto& a, const auto& b) {
+                return a.first != b.first ? a.first > b.first
+                                          : a.second < b.second;
+              });
+    if (static_cast<int64_t>(candidates->size()) > opts_.window_size) {
+      candidates->resize(static_cast<size_t>(opts_.window_size));
     }
   }
 
   /// One count-and-replace pass; returns true if anything was replaced.
   bool RunPass(int32_t only_rule) {
-    // --- Count digrams.
-    std::unordered_map<uint64_t, int64_t> counts;
-    auto count_rule = [&](int32_t i) {
-      const GrammarRule& r = g_->rule(i);
-      for (int32_t id : LiveNodeIdsPostOrder(i)) {
-        const GrammarNode& u = r.nodes[static_cast<size_t>(id)];
-        if (u.kind != GrammarNode::Kind::kTerminal &&
-            u.kind != GrammarNode::Kind::kNonterminal) {
-          continue;
-        }
-        uint64_t pkind = u.kind == GrammarNode::Kind::kTerminal ? 0 : 1;
-        for (size_t s = 0; s < u.children.size(); ++s) {
-          int32_t c = u.children[s];
-          if (c == kNullNode) {
-            ++counts[MakeKey(pkind, static_cast<uint64_t>(u.sym), s,
-                             kChildNull, 0)];
-            continue;
-          }
-          const GrammarNode& ch = r.nodes[static_cast<size_t>(c)];
-          if (ch.kind == GrammarNode::Kind::kTerminal ||
-              ch.kind == GrammarNode::Kind::kNonterminal) {
-            uint64_t ckind =
-                ch.kind == GrammarNode::Kind::kTerminal ? 0 : 1;
-            ++counts[MakeKey(pkind, static_cast<uint64_t>(u.sym), s, ckind,
-                             static_cast<uint64_t>(ch.sym))];
-          }
-        }
-      }
-    };
     int32_t rules_before = g_->rule_count();
-    if (only_rule >= 0) {
-      count_rule(only_rule);
-    } else {
-      for (int32_t i = 0; i < rules_before; ++i) count_rule(i);
-    }
+    EnsureCacheArrays();
 
-    // --- Select candidates: count threshold, rank/size constraints,
-    // bounded by the search window.
+    // --- Count digrams. The update path (only_rule >= 0) scans just that
+    // rule into a scratch table each pass; the full build counts once and
+    // then maintains counts_ incrementally around every rewrite.
     std::vector<std::pair<int64_t, uint64_t>> candidates;
-    for (const auto& [key, count] : counts) {
-      DigramParts d = SplitKey(key);
-      int64_t threshold = opts_.min_digram_count;
-      if (d.ckind == kChildNull) threshold = std::max<int64_t>(threshold, 3);
-      if (count < threshold) continue;
-      if (dictionary_.count(key)) {
-        candidates.push_back({count, key});  // replay is always worthwhile
-        continue;
+    FlatMap64<int64_t> scratch;
+    bool incremental = only_rule < 0;
+    if (incremental) {
+      if (!counts_ready_) {
+        InitialCount(rules_before);
+        counts_ready_ = true;
+      } else {
+#if XMLSEL_VERIFY_LEVEL >= 1
+        CheckIncrementalCounts();
+#endif
       }
-      if (DigramRank(d) > opts_.max_rank) continue;
-      if (DigramPatternSize(d) > opts_.max_pattern_size) continue;
-      candidates.push_back({count, key});
+      CollectCandidates(counts_, &candidates);
+    } else {
+      CountRuleInto(only_rule, &scratch);
+      CollectCandidates(scratch, &candidates);
     }
     if (candidates.empty()) return false;
-    std::sort(candidates.begin(), candidates.end(),
-              [](const auto& a, const auto& b) { return a.first > b.first; });
-    if (static_cast<int64_t>(candidates.size()) > opts_.window_size) {
-      candidates.resize(static_cast<size_t>(opts_.window_size));
+    // Merged per-pass probe table: every dictionary entry (value = its
+    // rule) plus this pass's selected digrams (kCreateOnDemand until first
+    // use). The scan below then needs one table probe per slot instead of
+    // dictionary-then-selected; dictionary precedence is preserved by
+    // inserting dictionary values first and never overwriting them.
+    FlatMap64<int32_t> probe;
+    probe.Reserve(dictionary_.size() + candidates.size());
+    dictionary_.ForEach(
+        [&probe](uint64_t key, int32_t rule) { probe[key] = rule; });
+    for (const auto& [count, key] : candidates) {
+      if (probe.Find(key) == nullptr) probe[key] = kCreateOnDemand;
     }
-    std::unordered_set<uint64_t> selected;
-    for (const auto& [count, key] : candidates) selected.insert(key);
 
     // --- Replace bottom-up.
     bool changed = false;
     auto replace_rule = [&](int32_t i) {
-      for (int32_t id : LiveNodeIdsPostOrder(i)) {
+      // Iterate the cached pre-pass post-order by index, re-fetching the
+      // vector each step: CreateDigramRule grows the cache arrays, which
+      // may move post_cache_[i] (its *contents* stay untouched until the
+      // rule is invalidated after the loop). Indexing avoids snapshotting
+      // the order into a fresh allocation for every rule every pass.
+      size_t order_size = CachedPostOrder(i).size();
+      bool rule_changed = false;
+      for (size_t oi = 0; oi < order_size; ++oi) {
+        int32_t id = post_cache_[static_cast<size_t>(i)][oi];
         // NOTE: re-fetch the rule/node on every access — CreateDigramRule
         // below appends to the rule vector and invalidates references.
         {
@@ -283,16 +428,31 @@ class PatternSharer {
             key = MakeKey(pkind, static_cast<uint64_t>(u.sym), s, ckind,
                           static_cast<uint64_t>(ch.sym));
           }
-          // Replay the dictionary first; only then new candidates (§6).
-          auto dict_it = dictionary_.find(key);
-          int32_t digram_rule;
-          if (dict_it != dictionary_.end()) {
-            if (dict_it->second == i) continue;  // a rule is its own RHS
-            digram_rule = dict_it->second;
-          } else if (selected.count(key)) {
+          // One probe resolves both cases: dictionary replay (value is
+          // the rule, §6) and first use of a selected digram (create the
+          // rule, then record it so later occurrences this pass reuse it
+          // — the same order the old dictionary-then-selected probes
+          // produced). Created rules always index past rules_before, so
+          // the self-RHS guard only ever fires on dictionary values.
+          int32_t* hit = probe.Find(key);
+          if (hit == nullptr) continue;
+          int32_t digram_rule = *hit;
+          if (digram_rule == kCreateOnDemand) {
             digram_rule = CreateDigramRule(key);  // may reallocate rules
-          } else {
-            continue;
+            *hit = digram_rule;
+          } else if (digram_rule == i) {
+            continue;  // a rule is its own RHS
+          }
+          // Maintain counts: remove the digrams anchored at u, at the
+          // absorbed child, and at u's parent edge; re-add u's and the
+          // parent edge's after the rewrite below.
+          if (incremental) {
+            const GrammarRule& r2 = g_->rule(i);
+            AddNodeDigrams(r2, id, -1, &counts_);
+            if (c != kNullNode) AddNodeDigrams(r2, c, -1, &counts_);
+            int32_t par = parent_cache_[static_cast<size_t>(i)]
+                                       [static_cast<size_t>(id)];
+            if (par != -1) AddParentEdgeDigram(r2, par, id, -1, &counts_);
           }
           // Rewrite u into a call of digram_rule (references re-fetched).
           GrammarRule& r2 = g_->mutable_rule(i);
@@ -312,10 +472,27 @@ class PatternSharer {
           u2.kind = GrammarNode::Kind::kNonterminal;
           u2.sym = digram_rule;
           u2.children = std::move(args);
+          if (incremental) {
+            const GrammarRule& r3 = g_->rule(i);
+            AddNodeDigrams(r3, id, 1, &counts_);
+            int32_t par = parent_cache_[static_cast<size_t>(i)]
+                                       [static_cast<size_t>(id)];
+            if (par != -1) AddParentEdgeDigram(r3, par, id, 1, &counts_);
+            // The spliced-in grandchildren now hang off u directly.
+            for (int32_t cc :
+                 r3.nodes[static_cast<size_t>(id)].children) {
+              if (cc != kNullNode) {
+                parent_cache_[static_cast<size_t>(i)]
+                             [static_cast<size_t>(cc)] = id;
+              }
+            }
+          }
           changed = true;
+          rule_changed = true;
           break;  // u rewritten; remaining slots belong to the new call
         }
       }
+      if (rule_changed) cache_valid_[static_cast<size_t>(i)] = 0;
     };
     if (only_rule >= 0) {
       replace_rule(only_rule);
@@ -345,7 +522,9 @@ class PatternSharer {
   }
 
   /// Materializes the rule A(y_1,…,y_k) → parent(..., child(...), ...) for
-  /// a selected digram; registers it in the dictionary.
+  /// a selected digram; registers it in the dictionary. In incremental
+  /// mode the fresh rule's own digrams enter the count table immediately
+  /// (a from-scratch recount would see them on the next pass).
   int32_t CreateDigramRule(uint64_t key) {
     DigramParts d = SplitKey(key);
     GrammarRule rule;
@@ -387,14 +566,28 @@ class PatternSharer {
     b.SetRoot(root);
     int32_t index = g_->AddRule(std::move(rule));
     pattern_sizes_.push_back(DigramPatternSize(d));
-    dictionary_.emplace(key, index);
+    dictionary_[key] = index;
+    EnsureCacheArrays();
+    if (counts_ready_) {
+      const GrammarRule& nr = g_->rule(index);
+      for (size_t id = 0; id < nr.nodes.size(); ++id) {
+        AddNodeDigrams(nr, static_cast<int32_t>(id), 1, &counts_);
+      }
+    }
     return index;
   }
 
   SltGrammar* g_;
   BplexOptions opts_;
-  std::unordered_map<uint64_t, int32_t> dictionary_;  // digram key -> rule
+  FlatMap64<int32_t> dictionary_;  // digram key -> rule
+  FlatMap64<int64_t> counts_;      // incrementally maintained (full mode)
+  bool counts_ready_ = false;
   std::vector<int64_t> pattern_sizes_;
+  // Per-rule live-node post-orders + in-rule parent links, valid until the
+  // rule is rewritten.
+  std::vector<std::vector<int32_t>> post_cache_;
+  std::vector<std::vector<int32_t>> parent_cache_;
+  std::vector<uint8_t> cache_valid_;
 };
 
 }  // namespace
@@ -497,14 +690,21 @@ SltGrammar NormalizedCopy(const SltGrammar& g, int32_t start) {
   return out;
 }
 
-SltGrammar BplexCompress(const Document& doc, const BplexOptions& options) {
-  SltGrammar g = BuildDagGrammar(doc);
-  if (g.rule_count() == 0) return g;
-  int32_t start = g.start_rule();  // SharePatterns appends behind it
-  SharePatterns(&g, options, -1);
-  SltGrammar out = NormalizedCopy(g, start);
-  XMLSEL_VERIFY_STATUS(1, VerifyGrammar(out, doc.names().size()));
+SltGrammar BplexCompressDagGrammar(SltGrammar dag_grammar,
+                                   const BplexOptions& options,
+                                   int32_t label_count) {
+  if (dag_grammar.rule_count() == 0) return dag_grammar;
+  int32_t start = dag_grammar.start_rule();  // SharePatterns appends behind
+  SharePatterns(&dag_grammar, options, -1);
+  SltGrammar out = NormalizedCopy(dag_grammar, start);
+  XMLSEL_VERIFY_STATUS(1, VerifyGrammar(out, label_count));
   XMLSEL_VERIFY_STATUS(1, VerifyAllRulesReachable(out));
+  return out;
+}
+
+SltGrammar BplexCompress(const Document& doc, const BplexOptions& options) {
+  SltGrammar out = BplexCompressDagGrammar(BuildDagGrammar(doc), options,
+                                           doc.names().size());
   XMLSEL_VERIFY_STATUS(2, VerifyExpansion(out, doc));
   return out;
 }

@@ -19,6 +19,14 @@
 // The sharer first replays patterns that already exist as rules of the
 // grammar and only then introduces new rules, exactly as §6 prescribes for
 // the incremental-update path.
+//
+// Hot-path engineering (see DESIGN.md, "Construction pipeline"): digram
+// counts and the rule dictionary live in open-addressed flat tables;
+// per-rule live-node post-orders are cached across passes and invalidated
+// only for rewritten rules; after the first pass, digram counts are
+// maintained incrementally around each rewrite instead of recounted from
+// scratch; the initial counting pass can be sharded across rules on a
+// ThreadPool with a deterministic merge.
 
 #ifndef XMLSEL_GRAMMAR_BPLEX_H_
 #define XMLSEL_GRAMMAR_BPLEX_H_
@@ -39,12 +47,25 @@ struct BplexOptions {
   int32_t max_passes = 64;
   /// Minimal occurrence count for introducing a pattern rule.
   int32_t min_digram_count = 2;
+  /// Workers for the initial digram-counting pass (sharded across rules,
+  /// merged deterministically — results are bit-identical to 1 thread).
+  /// 1 = sequential, 0 = DefaultThreadCount().
+  int32_t threads = 1;
 };
 
 /// One-pass construction of an SLT grammar for bin(D): DAG sharing
 /// followed by pattern sharing. The result is validated and normalized
 /// (rule references strictly decreasing, start rule last).
 SltGrammar BplexCompress(const Document& doc, const BplexOptions& options = {});
+
+/// Pattern sharing + normalization over an already-built DAG grammar
+/// (start rule last, as BuildDagGrammar and the streaming front end emit
+/// it). This is the document-free half of BplexCompress, used by the
+/// streaming construction path. `label_count` > 0 bounds terminal labels
+/// in the debug-level grammar audit.
+SltGrammar BplexCompressDagGrammar(SltGrammar dag_grammar,
+                                   const BplexOptions& options = {},
+                                   int32_t label_count = -1);
 
 /// In-place pattern sharing over an existing grammar. When `only_rule` is
 /// >= 0, both the pattern search and the replacement are restricted to

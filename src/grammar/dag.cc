@@ -3,84 +3,76 @@
 
 #include "grammar/dag.h"
 
-#include <unordered_map>
 #include <vector>
 
 #include "verify/verify.h"
 #include "xml/binary_tree.h"
+#include "xmlsel/common.h"
 
 namespace xmlsel {
 
 namespace {
 
-/// Hash-cons key: (label, left cons id, right cons id).
-struct ConsKey {
-  int64_t label, left, right;
-  bool operator==(const ConsKey& o) const {
-    return label == o.label && left == o.left && right == o.right;
-  }
-};
-
-struct ConsKeyHash {
-  size_t operator()(const ConsKey& k) const {
-    uint64_t h = 1469598103934665603ull;
-    for (int64_t v : {k.label, k.left, k.right}) {
-      h ^= static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ull;
-      h *= 1099511628211ull;
-    }
-    return static_cast<size_t>(h);
-  }
-};
-
-struct ConsNode {
-  LabelId label;
-  int64_t left;   // cons id or -1 (⊥)
-  int64_t right;  // cons id or -1
-  int64_t count = 0;
-};
+uint64_t ConsHash(LabelId label, int32_t left, int32_t right) {
+  uint32_t words[3] = {static_cast<uint32_t>(label),
+                       static_cast<uint32_t>(left),
+                       static_cast<uint32_t>(right)};
+  return HashSpan32(words, 3);
+}
 
 }  // namespace
 
-SltGrammar BuildDagGrammar(const Document& doc, int32_t min_occurrences) {
-  XMLSEL_CHECK(min_occurrences >= 2);
-  SltGrammar g;
-  std::vector<ConsNode> cons;
-  std::unordered_map<ConsKey, int64_t, ConsKeyHash> table;
-  std::vector<int64_t> cons_of(static_cast<size_t>(doc.arena_size()), -1);
+void DagBuilder::Reserve(size_t n) {
+  size_t cap = 1024;
+  while (cap * 3 < n * 4) cap *= 2;
+  if (cap > slots_.size()) Rehash(cap);
+  nodes_.reserve(n);
+}
 
-  // Hash-cons bottom-up: binary post-order guarantees children first.
-  int64_t root_cons = -1;
-  for (NodeId v : BinaryPostOrder(doc)) {
-    NodeId l = BinaryLeft(doc, v);
-    NodeId r = BinaryRight(doc, v);
-    ConsKey key{doc.label(v),
-                l == kNullNode ? -1 : cons_of[static_cast<size_t>(l)],
-                r == kNullNode ? -1 : cons_of[static_cast<size_t>(r)]};
-    auto it = table.find(key);
-    int64_t id;
-    if (it != table.end()) {
-      id = it->second;
-    } else {
-      id = static_cast<int64_t>(cons.size());
-      cons.push_back({static_cast<LabelId>(key.label), key.left, key.right, 0});
-      table.emplace(key, id);
-    }
-    ++cons[static_cast<size_t>(id)].count;
-    cons_of[static_cast<size_t>(v)] = id;
-    root_cons = id;  // post-order ends at the binary root
+void DagBuilder::Rehash(size_t new_cap) {
+  slots_.assign(new_cap, -1);
+  size_t mask = new_cap - 1;
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    size_t i = ConsHash(n.label, n.left, n.right) & mask;
+    while (slots_[i] != -1) i = (i + 1) & mask;
+    slots_[i] = static_cast<int32_t>(id);
   }
-  if (root_cons == -1) return g;  // empty document: no rules
+}
 
-  std::vector<int32_t> rule_of(cons.size(), -1);
+int32_t DagBuilder::Cons(LabelId label, int32_t left, int32_t right) {
+  if ((nodes_.size() + 1) * 4 > slots_.size() * 3) {
+    Rehash(slots_.empty() ? 1024 : slots_.size() * 2);
+  }
+  size_t mask = slots_.size() - 1;
+  size_t i = ConsHash(label, left, right) & mask;
+  while (slots_[i] != -1) {
+    Node& n = nodes_[static_cast<size_t>(slots_[i])];
+    if (n.label == label && n.left == left && n.right == right) {
+      ++n.count;
+      return slots_[i];
+    }
+    i = (i + 1) & mask;
+  }
+  int32_t id = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back({label, left, right, 1});
+  slots_[i] = id;
+  return id;
+}
+
+SltGrammar DagBuilder::BuildGrammar(int32_t root_cons,
+                                    int32_t min_occurrences) const {
+  SltGrammar g;
+  std::vector<int32_t> rule_of(nodes_.size(), -1);
 
   // Builds the RHS for the pattern rooted at cons node `top` into `rule`:
   // shared descendants become rank-0 rule references, everything else is
   // inlined (per occurrence — no aliasing). Iterative post-order so deep
   // right spines (flat XML) cannot overflow the C stack.
-  auto build_rhs = [&](GrammarRule* rule, int64_t top) -> int32_t {
+  auto build_rhs = [&](GrammarRule* rule, int32_t top) -> int32_t {
     RhsBuilder builder(rule);
     struct Frame {
-      int64_t cons_id;
+      int32_t cons_id;
       int stage;
       int32_t kids[2];
     };
@@ -88,11 +80,11 @@ SltGrammar BuildDagGrammar(const Document& doc, int32_t min_occurrences) {
     int32_t result = kNullNode;
     while (!stack.empty()) {
       Frame& f = stack.back();
-      const ConsNode& n = cons[static_cast<size_t>(f.cons_id)];
+      const Node& n = nodes_[static_cast<size_t>(f.cons_id)];
       if (f.stage < 2) {
-        int64_t ch = (f.stage == 0) ? n.left : n.right;
+        int32_t ch = (f.stage == 0) ? n.left : n.right;
         int slot = f.stage++;
-        if (ch == -1) {
+        if (ch == kNullNode) {
           f.kids[slot] = kNullNode;
           continue;
         }
@@ -118,12 +110,12 @@ SltGrammar BuildDagGrammar(const Document& doc, int32_t min_occurrences) {
 
   // Create rules for shared cons nodes in cons-id order (bottom-up), so
   // references always point to earlier rules.
-  for (size_t c = 0; c < cons.size(); ++c) {
-    if (static_cast<int64_t>(c) == root_cons) continue;
-    if (cons[c].count < min_occurrences) continue;
+  for (size_t c = 0; c < nodes_.size(); ++c) {
+    if (static_cast<int32_t>(c) == root_cons) continue;
+    if (nodes_[c].count < min_occurrences) continue;
     GrammarRule rule;
     rule.rank = 0;
-    rule.root = build_rhs(&rule, static_cast<int64_t>(c));
+    rule.root = build_rhs(&rule, static_cast<int32_t>(c));
     rule_of[c] = g.AddRule(std::move(rule));
   }
   // Start rule derives the whole of bin(D).
@@ -131,6 +123,30 @@ SltGrammar BuildDagGrammar(const Document& doc, int32_t min_occurrences) {
   start.rank = 0;
   start.root = build_rhs(&start, root_cons);
   g.AddRule(std::move(start));
+  return g;
+}
+
+SltGrammar BuildDagGrammar(const Document& doc, int32_t min_occurrences) {
+  XMLSEL_CHECK(min_occurrences >= 2);
+  DagBuilder dag;
+  dag.Reserve(static_cast<size_t>(doc.element_count()) / 2 + 16);
+  std::vector<int32_t> cons_of(static_cast<size_t>(doc.arena_size()),
+                               kNullNode);
+
+  // Hash-cons bottom-up: binary post-order guarantees children first.
+  int32_t root_cons = kNullNode;
+  for (NodeId v : BinaryPostOrder(doc)) {
+    NodeId l = BinaryLeft(doc, v);
+    NodeId r = BinaryRight(doc, v);
+    root_cons = dag.Cons(
+        doc.label(v),
+        l == kNullNode ? kNullNode : cons_of[static_cast<size_t>(l)],
+        r == kNullNode ? kNullNode : cons_of[static_cast<size_t>(r)]);
+    cons_of[static_cast<size_t>(v)] = root_cons;  // post-order ends at root
+  }
+  if (root_cons == kNullNode) return SltGrammar{};  // empty: no rules
+
+  SltGrammar g = dag.BuildGrammar(root_cons, min_occurrences);
   g.Validate();
   XMLSEL_VERIFY_STATUS(1, VerifyGrammar(g, doc.names().size()));
   XMLSEL_VERIFY_STATUS(2, VerifyExpansion(g, doc));

@@ -4,14 +4,62 @@
 // Minimal-DAG sharing of repeated subtrees (§4.1, first phase of BPLEX):
 // subtrees of bin(D) occurring more than once become rank-0 rules of an
 // SLT grammar, computed in one pass by hash consing.
+//
+// The hash-consing core is exposed as DagBuilder so the streaming front
+// end (grammar/streaming.h) can cons nodes directly from parser events
+// without materializing a Document; BuildDagGrammar drives the same
+// builder over an explicit bin(D) post-order.
 
 #ifndef XMLSEL_GRAMMAR_DAG_H_
 #define XMLSEL_GRAMMAR_DAG_H_
+
+#include <vector>
 
 #include "grammar/slt.h"
 #include "xml/document.h"
 
 namespace xmlsel {
+
+/// Incremental hash-consing of binary-tree nodes into a minimal DAG, plus
+/// emission of the corresponding SLT grammar. Cons ids are dense, assigned
+/// in first-encounter order; feeding the same cons sequence always yields
+/// the same ids and therefore the same grammar — this is what pins the
+/// streaming and DOM construction paths to identical output.
+///
+/// The cons table is open-addressed over the node array itself: slots hold
+/// node ids, key data (label, left, right) lives in the node, so probes
+/// touch one flat int32 array plus the candidate node — no per-entry
+/// allocation (unlike the unordered_map this replaces).
+class DagBuilder {
+ public:
+  struct Node {
+    LabelId label;
+    int32_t left;   // cons id or kNullNode (⊥)
+    int32_t right;  // cons id or kNullNode
+    int64_t count;  // occurrences in bin(D)
+  };
+
+  /// Returns the cons id for (label, left, right), creating a node on
+  /// first encounter, and counts the occurrence.
+  int32_t Cons(LabelId label, int32_t left, int32_t right);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Pre-sizes the table for roughly `n` distinct subtrees.
+  void Reserve(size_t n);
+
+  /// Emits the SLT grammar: every non-root cons node with count ≥
+  /// `min_occurrences` becomes a rank-0 rule (in cons-id order, so
+  /// references point backwards); the start rule derives `root_cons`
+  /// (the cons id of the binary root) and is added last.
+  SltGrammar BuildGrammar(int32_t root_cons, int32_t min_occurrences) const;
+
+ private:
+  void Rehash(size_t new_cap);
+
+  std::vector<Node> nodes_;
+  std::vector<int32_t> slots_;  // open-addressed; -1 = empty
+};
 
 /// Builds the DAG grammar of `doc`: every binary subtree that occurs at
 /// least `min_occurrences` times becomes a rank-0 rule; everything else is

@@ -1,0 +1,110 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "grammar/streaming.h"
+
+#include <vector>
+
+#include "grammar/dag.h"
+#include "verify/verify.h"
+#include "xml/sax.h"
+#include "xmlsel/flat_table.h"
+
+namespace xmlsel {
+
+Result<StreamedDag> BuildDagGrammarStreaming(std::string_view xml,
+                                             const ParseOptions& options,
+                                             int32_t min_occurrences) {
+  XMLSEL_CHECK(min_occurrences >= 2);
+  StreamedDag out;
+  XmlPullParser parser(xml, options);
+  DagBuilder dag;
+  dag.Reserve(xml.size() / 64 + 16);  // rough distinct-subtree guess
+
+  // Pending-children records, shared across all open elements as two flat
+  // stacks: frame_base_[d] marks where the children of open element d
+  // start. A closed element appends its (label, cons id of its folded
+  // child list) to its parent's segment.
+  std::vector<LabelId> child_labels;
+  std::vector<int32_t> child_cons;
+  std::vector<size_t> frame_base;
+  std::vector<LabelId> open_labels;
+  FlatMap64<uint8_t> edges;  // (parent label << 32 | child label) seen
+
+  // Folds the records in [base, end) right-to-left into one cons chain:
+  // the next_sibling spine of bin(D), built innermost-sibling first.
+  auto fold = [&](size_t base) {
+    int32_t c = kNullNode;
+    for (size_t i = child_labels.size(); i > base; --i) {
+      c = dag.Cons(child_labels[i - 1], child_cons[i - 1], c);
+    }
+    child_labels.resize(base);
+    child_cons.resize(base);
+    return c;
+  };
+
+  for (;;) {
+    Result<XmlPullParser::Event> event = parser.Next();
+    if (!event.ok()) return event.status();
+    if (event.value() == XmlPullParser::Event::kEndOfDocument) break;
+    if (event.value() == XmlPullParser::Event::kStartElement) {
+      LabelId label = out.names.Intern(parser.name());
+      LabelId pl = open_labels.empty() ? kRootLabel : open_labels.back();
+      edges[(static_cast<uint64_t>(static_cast<uint32_t>(pl)) << 32) |
+            static_cast<uint32_t>(label)] = 1;
+      open_labels.push_back(label);
+      frame_base.push_back(child_labels.size());
+      ++out.element_count;
+    } else {
+      int32_t first_child_cons = fold(frame_base.back());
+      frame_base.pop_back();
+      child_labels.push_back(open_labels.back());
+      child_cons.push_back(first_child_cons);
+      open_labels.pop_back();
+    }
+  }
+  // The parser guarantees exactly one top-level element; folding the
+  // virtual root's child list conses the document element last.
+  int32_t root_cons = fold(0);
+  XMLSEL_CHECK(root_cons != kNullNode);
+
+  out.grammar = dag.BuildGrammar(root_cons, min_occurrences);
+  out.grammar.Validate();
+
+  // Label maps, identical to ComputeLabelMaps over the equivalent DOM.
+  out.maps.label_count = out.names.size();
+  size_t n = static_cast<size_t>(out.maps.label_count);
+  out.maps.child.assign(n, std::vector<bool>(n, false));
+  out.maps.parent = out.maps.child;
+  edges.ForEach([&out](uint64_t key, uint8_t) {
+    size_t pl = static_cast<size_t>(key >> 32);
+    size_t cl = static_cast<size_t>(key & 0xffffffffu);
+    out.maps.child[pl][cl] = true;
+    out.maps.parent[cl][pl] = true;
+  });
+
+  XMLSEL_VERIFY_STATUS(1, VerifyGrammar(out.grammar, out.names.size()));
+  XMLSEL_VERIFY_STATUS(1, VerifyLabelMaps(out.maps));
+  if (2 <= XMLSEL_VERIFY_LEVEL) {
+    // Expansion identity without a Document: fingerprint the cons DAG
+    // (children have smaller ids, so one forward sweep memoizes it) and
+    // compare against the grammar's memoized expansion fingerprint.
+    const std::vector<DagBuilder::Node>& nodes = dag.nodes();
+    std::vector<BinaryTreeFp> fp(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      const DagBuilder::Node& nd = nodes[i];
+      fp[i] = CombineFp(
+          nd.label,
+          nd.left == kNullNode ? NullTreeFp()
+                               : fp[static_cast<size_t>(nd.left)],
+          nd.right == kNullNode ? NullTreeFp()
+                                : fp[static_cast<size_t>(nd.right)]);
+    }
+    XMLSEL_VERIFY_STATUS(
+        2, VerifyExpansionFp(out.grammar, fp[static_cast<size_t>(root_cons)],
+                             out.element_count));
+  }
+  return out;
+}
+
+}  // namespace xmlsel

@@ -1,0 +1,56 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Streaming construction front end: parse → minimal DAG in one fused pass.
+//
+// The DOM path materializes the full document tree, then hash-conses its
+// binary view bottom-up (dag.h). This module consumes the pull parser's
+// event stream directly: when an element closes, its recorded children
+// are folded right-to-left through DagBuilder::Cons — exactly the cons
+// sequence a binary post-order of bin(D) performs, in the same order — so
+// the resulting cons ids, DAG grammar, and ultimately the packed synopsis
+// are byte-identical to the DOM path's, while the peak live state is the
+// open-element stack plus pending sibling lists instead of the whole tree.
+//
+// Why the orders match: the binary post-order of a sibling chain v1…vk is
+// [post-order of v1's children] … [post-order of vk's children] vk … v1.
+// The event stream emits each child's subtree (and therefore, inductively,
+// its cons operations) between open(vi) and close(vi), and the close of
+// the *parent* then conses vk, vk-1, …, v1 — the right-to-left fold.
+
+#ifndef XMLSEL_GRAMMAR_STREAMING_H_
+#define XMLSEL_GRAMMAR_STREAMING_H_
+
+#include <string_view>
+
+#include "grammar/lossy.h"
+#include "grammar/slt.h"
+#include "xml/name_table.h"
+#include "xml/parser.h"
+#include "xmlsel/status.h"
+
+namespace xmlsel {
+
+/// Everything the synopsis pipeline needs from a document, produced
+/// without ever materializing one.
+struct StreamedDag {
+  /// The DAG grammar (start rule last), byte-identical to
+  /// BuildDagGrammar(ParseXml(xml)) on the same input.
+  SltGrammar grammar;
+  /// Labels interned in document order (same ids as the DOM parse).
+  NameTable names;
+  /// Parent/child label adjacency, identical to ComputeLabelMaps(doc).
+  LabelMaps maps;
+  /// Number of elements (size of bin(D)).
+  int64_t element_count = 0;
+};
+
+/// One-pass parse + DAG build. Enforces the same well-formedness rules as
+/// ParseXml (via the shared pull parser) and returns its errors verbatim.
+Result<StreamedDag> BuildDagGrammarStreaming(std::string_view xml,
+                                             const ParseOptions& options = {},
+                                             int32_t min_occurrences = 2);
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_GRAMMAR_STREAMING_H_

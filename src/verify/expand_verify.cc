@@ -29,28 +29,13 @@ namespace xmlsel {
 
 namespace {
 
-/// Fingerprint of a binary tree: a mixed hash plus the exact node count
-/// (the count doubles as a collision-independent size cross-check).
-struct Fp {
-  uint64_t hash = 0;
-  int64_t size = 0;
-  bool operator==(const Fp& o) const {
-    return hash == o.hash && size == o.size;
-  }
-};
-
 constexpr uint64_t kNullHash = 0x9ae16a3b2f90404full;
 
+// The internal code predates the public names; keep its shorthand.
+using Fp = BinaryTreeFp;
+
 Fp Combine(LabelId label, const Fp& left, const Fp& right) {
-  uint32_t words[6] = {
-      static_cast<uint32_t>(label),
-      static_cast<uint32_t>(left.hash),
-      static_cast<uint32_t>(left.hash >> 32),
-      static_cast<uint32_t>(right.hash),
-      static_cast<uint32_t>(right.hash >> 32),
-      0x5f3759dfu,  // domain separator: interior node
-  };
-  return Fp{HashSpan32(words, 6), 1 + left.size + right.size};
+  return CombineFp(label, left, right);
 }
 
 /// Fingerprint of bin(D): one post-order sweep over the live elements.
@@ -207,12 +192,27 @@ Fp GrammarFingerprint(const SltGrammar& g) {
 
 }  // namespace
 
-Status VerifyExpansion(const SltGrammar& g, const Document& doc) {
+BinaryTreeFp NullTreeFp() { return BinaryTreeFp{kNullHash, 0}; }
+
+BinaryTreeFp CombineFp(LabelId label, const BinaryTreeFp& left,
+                       const BinaryTreeFp& right) {
+  uint32_t words[6] = {
+      static_cast<uint32_t>(label),
+      static_cast<uint32_t>(left.hash),
+      static_cast<uint32_t>(left.hash >> 32),
+      static_cast<uint32_t>(right.hash),
+      static_cast<uint32_t>(right.hash >> 32),
+      0x5f3759dfu,  // domain separator: interior node
+  };
+  return BinaryTreeFp{HashSpan32(words, 6), 1 + left.size + right.size};
+}
+
+Status VerifyExpansionFp(const SltGrammar& g, const BinaryTreeFp& doc_fp,
+                         int64_t element_count) {
   if (g.IsLossy()) {
     return Status::InvalidArgument(
         "verify/expand: expansion witness requires a lossless grammar");
   }
-  Fp doc_fp = DocumentFingerprint(doc);
   Fp g_fp = GrammarFingerprint(g);
   if (g_fp.size != doc_fp.size) {
     return Status::Corruption(
@@ -230,14 +230,22 @@ Status VerifyExpansion(const SltGrammar& g, const Document& doc) {
   if (g.rule_count() > 0) {
     GrammarAnalysis a = AnalyzeGrammar(g);
     int64_t start_size = a.gen_size[static_cast<size_t>(g.start_rule())];
-    if (start_size != doc.element_count()) {
+    if (start_size != element_count) {
       return Status::Corruption(
           "grammar/analysis: gen_size[start]=" + std::to_string(start_size) +
-          " but the document has " + std::to_string(doc.element_count()) +
+          " but the document has " + std::to_string(element_count) +
           " elements");
     }
   }
   return Status::OK();
+}
+
+Status VerifyExpansion(const SltGrammar& g, const Document& doc) {
+  if (g.IsLossy()) {
+    return Status::InvalidArgument(
+        "verify/expand: expansion witness requires a lossless grammar");
+  }
+  return VerifyExpansionFp(g, DocumentFingerprint(doc), doc.element_count());
 }
 
 }  // namespace xmlsel

@@ -22,6 +22,7 @@
 #include "grammar/dag.h"
 #include "grammar/lossy.h"
 #include "grammar/slt.h"
+#include "storage/packed.h"
 #include "verify/verify.h"
 #include "workload/query_gen.h"
 #include "xml/document.h"
@@ -177,6 +178,46 @@ VerifyReport VerifyPipeline(const Document& doc,
     XMLSEL_RETURN_IF_ERROR(VerifyGrammar(g, doc.names().size()));
     XMLSEL_RETURN_IF_ERROR(VerifyAllRulesReachable(g));
     return VerifyExpansion(g, doc);
+  });
+
+  run("grammar/streaming", [&]() -> Status {
+    NodeId top = doc.document_element();
+    // The writer serializes one top-level element; skip degenerate shapes.
+    if (top == kNullNode || doc.next_sibling(top) != kNullNode) {
+      return Status::OK();
+    }
+    // Pin the streaming front end to the DOM pipeline over the same
+    // bytes: Build(Parse(text)) and BuildStreaming(text) must produce
+    // packed-identical synopses. (Comparing against a reparse, not
+    // `doc` itself, because a programmatically built document may have
+    // interned names out of document order.)
+    std::string text = WriteXml(doc);
+    Result<Document> reparsed = ParseXml(text);
+    if (!reparsed.ok()) {
+      return Status::Corruption("grammar/streaming: reparse failed: " +
+                                reparsed.status().ToString());
+    }
+    Synopsis dom = Synopsis::Build(reparsed.value(), options);
+    Result<Synopsis> streamed = Synopsis::BuildStreaming(text, options);
+    if (!streamed.ok()) {
+      return Status::Corruption("grammar/streaming: streaming build failed: " +
+                                streamed.status().ToString());
+    }
+    XMLSEL_RETURN_IF_ERROR(VerifySynopsis(streamed.value()));
+    const Synopsis& st = streamed.value();
+    if (EncodePacked(st.lossless(), st.names().size()) !=
+        EncodePacked(dom.lossless(), dom.names().size())) {
+      return Status::Corruption(
+          "grammar/streaming: streamed lossless layer differs from the DOM "
+          "pipeline's packed bytes");
+    }
+    if (EncodePacked(st.lossy(), st.names().size()) !=
+        EncodePacked(dom.lossy(), dom.names().size())) {
+      return Status::Corruption(
+          "grammar/streaming: streamed lossy layer differs from the DOM "
+          "pipeline's packed bytes");
+    }
+    return Status::OK();
   });
 
   Synopsis synopsis = Synopsis::Build(doc, options);

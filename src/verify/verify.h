@@ -70,6 +70,25 @@ Status VerifyAllRulesReachable(const SltGrammar& g);
 /// Returns a pinpointing diagnostic for the first difference.
 Status CompareGrammars(const SltGrammar& a, const SltGrammar& b);
 
+/// Fingerprint of a binary tree: a mixed hash plus the exact node count
+/// (the count doubles as a collision-independent size cross-check). Used
+/// by the expansion-identity witness; exposed so the streaming front end
+/// can fingerprint its cons DAG without ever materializing a Document.
+struct BinaryTreeFp {
+  uint64_t hash = 0;
+  int64_t size = 0;
+  bool operator==(const BinaryTreeFp& o) const {
+    return hash == o.hash && size == o.size;
+  }
+};
+
+/// fp(⊥) — the fingerprint of the empty binary tree.
+BinaryTreeFp NullTreeFp();
+
+/// fp(label(left, right)) — one interior-node mixing step.
+BinaryTreeFp CombineFp(LabelId label, const BinaryTreeFp& left,
+                       const BinaryTreeFp& right);
+
 /// DAG/BPLEX postcondition: the expansion of `g` is tree-identical to
 /// bin(D), established by a hash-based witness — per-call memoized
 /// fingerprints on the grammar side against a post-order fingerprint of
@@ -77,6 +96,13 @@ Status CompareGrammars(const SltGrammar& a, const SltGrammar& b);
 /// Also cross-checks the analysis layer: the start rule's generated size
 /// must equal the document's element count. `g` must be lossless.
 Status VerifyExpansion(const SltGrammar& g, const Document& doc);
+
+/// Same witness against a precomputed document-side fingerprint (the
+/// streaming build path computes `doc_fp` over its cons DAG, one
+/// CombineFp per distinct subtree). `element_count` feeds the analysis
+/// cross-check.
+Status VerifyExpansionFp(const SltGrammar& g, const BinaryTreeFp& doc_fp,
+                         int64_t element_count);
 
 /// κ-lossy soundness: `lossy` must be exactly what MakeLossy(lossless,
 /// kappa) derives — every star's (h, s) agrees with a recomputation over

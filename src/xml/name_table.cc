@@ -11,7 +11,7 @@ NameTable::NameTable() {
 }
 
 LabelId NameTable::Intern(std::string_view name) {
-  auto it = ids_.find(std::string(name));
+  auto it = ids_.find(name);
   if (it != ids_.end()) return it->second;
   LabelId id = static_cast<LabelId>(names_.size());
   names_.emplace_back(name);
@@ -20,7 +20,7 @@ LabelId NameTable::Intern(std::string_view name) {
 }
 
 LabelId NameTable::Lookup(std::string_view name) const {
-  auto it = ids_.find(std::string(name));
+  auto it = ids_.find(name);
   if (it == ids_.end()) return -1;
   return it->second;
 }

@@ -40,8 +40,20 @@ class NameTable {
   int32_t size() const { return static_cast<int32_t>(names_.size()); }
 
  private:
+  // Transparent hashing: Intern/Lookup probe with the string_view itself,
+  // never materializing a temporary std::string. Interning is on the
+  // streaming parse hot path (once per element), so the per-probe
+  // allocation the non-transparent API forces is measurable.
+  struct TransparentHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   std::vector<std::string> names_;
-  std::unordered_map<std::string, LabelId> ids_;
+  std::unordered_map<std::string, LabelId, TransparentHash, std::equal_to<>>
+      ids_;
 };
 
 }  // namespace xmlsel

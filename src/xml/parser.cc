@@ -3,201 +3,31 @@
 
 #include "xml/parser.h"
 
-#include "verify/verify.h"
-
-#include <cctype>
-#include <string>
 #include <vector>
+
+#include "verify/verify.h"
+#include "xml/sax.h"
 
 namespace xmlsel {
 
-namespace {
-
-bool IsNameStartChar(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
-}
-
-bool IsNameChar(char c) {
-  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
-         c == '-' || c == '.';
-}
-
-/// Cursor over the input with line tracking for error messages.
-class Cursor {
- public:
-  explicit Cursor(std::string_view input) : in_(input) {}
-
-  bool AtEnd() const { return pos_ >= in_.size(); }
-  char Peek() const { return in_[pos_]; }
-  char PeekAt(size_t off) const {
-    return pos_ + off < in_.size() ? in_[pos_ + off] : '\0';
-  }
-  void Advance() {
-    if (in_[pos_] == '\n') ++line_;
-    ++pos_;
-  }
-  bool StartsWith(std::string_view prefix) const {
-    return in_.substr(pos_, prefix.size()) == prefix;
-  }
-  void Skip(size_t n) {
-    for (size_t i = 0; i < n && !AtEnd(); ++i) Advance();
-  }
-  /// Advances past the first occurrence of `delim`; false if not found.
-  bool SkipPast(std::string_view delim) {
-    size_t found = in_.find(delim, pos_);
-    if (found == std::string_view::npos) return false;
-    while (pos_ < found + delim.size()) Advance();
-    return true;
-  }
-  void SkipWhitespace() {
-    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
-      Advance();
-    }
-  }
-  std::string_view ReadName() {
-    size_t start = pos_;
-    if (!AtEnd() && IsNameStartChar(Peek())) {
-      Advance();
-      while (!AtEnd() && IsNameChar(Peek())) Advance();
-    }
-    return in_.substr(start, pos_ - start);
-  }
-  int line() const { return line_; }
-
-  Status Error(const std::string& msg) const {
-    return Status::InvalidArgument("XML parse error at line " +
-                                   std::to_string(line_) + ": " + msg);
-  }
-
- private:
-  std::string_view in_;
-  size_t pos_ = 0;
-  int line_ = 1;
-};
-
-/// Skips attributes up to '>' or '/>'. Returns true in *self_closing* for
-/// empty-element tags.
-Status SkipTagRest(Cursor& cur, bool* self_closing) {
-  *self_closing = false;
-  while (!cur.AtEnd()) {
-    cur.SkipWhitespace();
-    if (cur.AtEnd()) break;
-    char c = cur.Peek();
-    if (c == '>') {
-      cur.Advance();
-      return Status::OK();
-    }
-    if (c == '/' && cur.PeekAt(1) == '>') {
-      cur.Skip(2);
-      *self_closing = true;
-      return Status::OK();
-    }
-    // Attribute: name = "value" | 'value'. We skip it entirely.
-    std::string_view name = cur.ReadName();
-    if (name.empty()) return cur.Error("malformed attribute name");
-    cur.SkipWhitespace();
-    if (cur.AtEnd() || cur.Peek() != '=') {
-      return cur.Error("expected '=' after attribute name");
-    }
-    cur.Advance();
-    cur.SkipWhitespace();
-    if (cur.AtEnd() || (cur.Peek() != '"' && cur.Peek() != '\'')) {
-      return cur.Error("expected quoted attribute value");
-    }
-    char quote = cur.Peek();
-    cur.Advance();
-    while (!cur.AtEnd() && cur.Peek() != quote) cur.Advance();
-    if (cur.AtEnd()) return cur.Error("unterminated attribute value");
-    cur.Advance();
-  }
-  return cur.Error("unterminated start tag");
-}
-
-}  // namespace
-
+// All tokenization and well-formedness checking lives in XmlPullParser
+// (xml/sax.h); this driver only materializes the Document tree. Callers
+// that need just the synopsis can skip the DOM entirely via
+// Synopsis::BuildStreaming, which consumes the same event stream.
 Result<Document> ParseXml(std::string_view input, const ParseOptions& options) {
   Document doc;
-  Cursor cur(input);
+  XmlPullParser parser(input, options);
   std::vector<NodeId> open = {doc.virtual_root()};
-  std::vector<std::string> open_names = {"#root"};
-  bool seen_top_element = false;
 
-  while (!cur.AtEnd()) {
-    if (cur.Peek() != '<') {
-      // Text content: skipped (paper §3 ignores values).
-      cur.Advance();
-      continue;
-    }
-    if (cur.StartsWith("<?")) {  // XML declaration / processing instruction
-      if (!cur.SkipPast("?>")) return cur.Error("unterminated PI");
-      continue;
-    }
-    if (cur.StartsWith("<!--")) {
-      if (!cur.SkipPast("-->")) return cur.Error("unterminated comment");
-      continue;
-    }
-    if (cur.StartsWith("<![CDATA[")) {
-      if (!cur.SkipPast("]]>")) return cur.Error("unterminated CDATA");
-      continue;
-    }
-    if (cur.StartsWith("<!")) {  // DOCTYPE and friends; skip to '>'
-      if (!cur.SkipPast(">")) return cur.Error("unterminated declaration");
-      continue;
-    }
-    if (cur.StartsWith("</")) {
-      cur.Skip(2);
-      std::string_view name = cur.ReadName();
-      if (name.empty()) return cur.Error("malformed end tag");
-      cur.SkipWhitespace();
-      if (cur.AtEnd() || cur.Peek() != '>') {
-        return cur.Error("expected '>' in end tag");
-      }
-      cur.Advance();
-      if (open.size() <= 1) {
-        return cur.Error("end tag </" + std::string(name) +
-                         "> with no open element");
-      }
-      if (open_names.back() != name) {
-        if (!options.lenient_end_tags) {
-          return cur.Error("end tag </" + std::string(name) +
-                           "> does not match open <" + open_names.back() +
-                           ">");
-        }
-        // Lenient recovery: pop until matching (or give up).
-        while (open.size() > 1 && open_names.back() != name) {
-          open.pop_back();
-          open_names.pop_back();
-        }
-        if (open.size() <= 1) continue;
-      }
+  for (;;) {
+    Result<XmlPullParser::Event> event = parser.Next();
+    if (!event.ok()) return event.status();
+    if (event.value() == XmlPullParser::Event::kEndOfDocument) break;
+    if (event.value() == XmlPullParser::Event::kStartElement) {
+      open.push_back(doc.AppendChild(open.back(), parser.name()));
+    } else {
       open.pop_back();
-      open_names.pop_back();
-      continue;
     }
-    // Start tag.
-    cur.Advance();  // consume '<'
-    std::string_view name = cur.ReadName();
-    if (name.empty()) return cur.Error("malformed start tag");
-    if (open.size() == 1) {
-      if (seen_top_element) {
-        return cur.Error("multiple top-level elements");
-      }
-      seen_top_element = true;
-    }
-    bool self_closing = false;
-    Status st = SkipTagRest(cur, &self_closing);
-    if (!st.ok()) return st;
-    NodeId node = doc.AppendChild(open.back(), name);
-    if (!self_closing) {
-      open.push_back(node);
-      open_names.emplace_back(name);
-    }
-  }
-  if (open.size() != 1) {
-    return cur.Error("unclosed element <" + open_names.back() + ">");
-  }
-  if (!seen_top_element) {
-    return cur.Error("document has no element");
   }
   XMLSEL_VERIFY_STATUS(2, VerifyDocument(doc));
   return doc;

@@ -1,0 +1,225 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "xml/sax.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <string>
+
+namespace xmlsel {
+
+namespace {
+
+// Byte classification tables: one L1 load per character instead of
+// multiple range compares / locale-aware ctype calls on the hot path.
+// Semantics match the historical isalpha/isdigit/isspace checks.
+struct CharTables {
+  std::array<uint8_t, 256> name_start{};
+  std::array<uint8_t, 256> name{};
+  std::array<uint8_t, 256> space{};
+  CharTables() {
+    for (int c = 0; c < 256; ++c) {
+      bool start = std::isalpha(c) != 0 || c == '_' || c == ':';
+      name_start[static_cast<size_t>(c)] = start ? 1 : 0;
+      name[static_cast<size_t>(c)] =
+          (start || std::isdigit(c) != 0 || c == '-' || c == '.') ? 1 : 0;
+      space[static_cast<size_t>(c)] = std::isspace(c) != 0 ? 1 : 0;
+    }
+  }
+};
+const CharTables kTables;
+
+bool IsNameStartChar(char c) {
+  return kTables.name_start[static_cast<uint8_t>(c)] != 0;
+}
+
+bool IsNameChar(char c) {
+  return kTables.name[static_cast<uint8_t>(c)] != 0;
+}
+
+bool IsSpaceChar(char c) {
+  return kTables.space[static_cast<uint8_t>(c)] != 0;
+}
+
+}  // namespace
+
+XmlPullParser::XmlPullParser(std::string_view input,
+                             const ParseOptions& options)
+    : in_(input), options_(options) {}
+
+int XmlPullParser::line() const {
+  // Diagnostics only: count newlines up to the cursor. Keeps the scan
+  // loops free of per-byte line bookkeeping.
+  return 1 + static_cast<int>(std::count(in_.begin(),
+                                         in_.begin() + static_cast<int64_t>(
+                                                           std::min(
+                                                               pos_,
+                                                               in_.size())),
+                                         '\n'));
+}
+
+bool XmlPullParser::SkipPast(std::string_view delim) {
+  size_t found = in_.find(delim, pos_);
+  if (found == std::string_view::npos) return false;
+  pos_ = found + delim.size();
+  return true;
+}
+
+void XmlPullParser::SkipWhitespace() {
+  while (!AtEnd() && IsSpaceChar(Peek())) ++pos_;
+}
+
+std::string_view XmlPullParser::ReadName() {
+  size_t start = pos_;
+  if (!AtEnd() && IsNameStartChar(Peek())) {
+    ++pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+  }
+  return in_.substr(start, pos_ - start);
+}
+
+Status XmlPullParser::Error(const std::string& msg) const {
+  return Status::InvalidArgument("XML parse error at line " +
+                                 std::to_string(line()) + ": " + msg);
+}
+
+/// Skips attributes up to '>' or '/>'. Returns true in *self_closing* for
+/// empty-element tags.
+Status XmlPullParser::SkipTagRest(bool* self_closing) {
+  *self_closing = false;
+  while (!AtEnd()) {
+    SkipWhitespace();
+    if (AtEnd()) break;
+    char c = Peek();
+    if (c == '>') {
+      ++pos_;
+      return Status::OK();
+    }
+    if (c == '/' && PeekAt(1) == '>') {
+      pos_ += 2;
+      *self_closing = true;
+      return Status::OK();
+    }
+    // Attribute: name = "value" | 'value'. We skip it entirely.
+    std::string_view attr = ReadName();
+    if (attr.empty()) return Error("malformed attribute name");
+    SkipWhitespace();
+    if (AtEnd() || Peek() != '=') {
+      return Error("expected '=' after attribute name");
+    }
+    ++pos_;
+    SkipWhitespace();
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected quoted attribute value");
+    }
+    char quote = Peek();
+    ++pos_;
+    size_t close = in_.find(quote, pos_);
+    if (close == std::string_view::npos) {
+      pos_ = in_.size();
+      return Error("unterminated attribute value");
+    }
+    pos_ = close + 1;
+  }
+  return Error("unterminated start tag");
+}
+
+Result<XmlPullParser::Event> XmlPullParser::Next() {
+  if (pending_ends_ > 0) {
+    --pending_ends_;
+    open_.pop_back();
+    return Event::kEndElement;
+  }
+  for (;;) {
+    // Text content is skipped wholesale (paper §3 ignores values):
+    // jump straight to the next markup character.
+    size_t lt = in_.find('<', pos_);
+    if (lt == std::string_view::npos) {
+      pos_ = in_.size();
+      break;
+    }
+    pos_ = lt;
+    // Dispatch on the single character after '<': the start-tag hot path
+    // takes one comparison instead of a chain of prefix checks.
+    char next = PeekAt(1);
+    if (next == '?') {  // XML declaration / processing instruction
+      if (!SkipPast("?>")) return Error("unterminated PI");
+      continue;
+    }
+    if (next == '!') {
+      if (StartsWith("<!--")) {
+        if (!SkipPast("-->")) return Error("unterminated comment");
+        continue;
+      }
+      if (StartsWith("<![CDATA[")) {
+        if (!SkipPast("]]>")) return Error("unterminated CDATA");
+        continue;
+      }
+      // DOCTYPE and friends; skip to '>'
+      if (!SkipPast(">")) return Error("unterminated declaration");
+      continue;
+    }
+    if (next == '/') {
+      pos_ += 2;
+      std::string_view name = ReadName();
+      if (name.empty()) return Error("malformed end tag");
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '>') {
+        return Error("expected '>' in end tag");
+      }
+      ++pos_;
+      if (open_.empty()) {
+        return Error("end tag </" + std::string(name) +
+                     "> with no open element");
+      }
+      if (open_.back() != name) {
+        if (!options_.lenient_end_tags) {
+          return Error("end tag </" + std::string(name) +
+                       "> does not match open <" +
+                       std::string(open_.back()) + ">");
+        }
+        // Lenient recovery: implicitly close up to and including the
+        // nearest matching open element, or everything if none matches
+        // (mirrors the recovery loop the DOM parser has always used).
+        size_t match = open_.size();
+        while (match > 0 && open_[match - 1] != name) --match;
+        pending_ends_ = match == 0
+                            ? static_cast<int32_t>(open_.size())
+                            : static_cast<int32_t>(open_.size() - match + 1);
+      } else {
+        pending_ends_ = 1;
+      }
+      --pending_ends_;
+      open_.pop_back();
+      return Event::kEndElement;
+    }
+    // Start tag.
+    ++pos_;  // consume '<'
+    std::string_view name = ReadName();
+    if (name.empty()) return Error("malformed start tag");
+    if (open_.empty()) {
+      if (seen_top_element_) {
+        return Error("multiple top-level elements");
+      }
+      seen_top_element_ = true;
+    }
+    bool self_closing = false;
+    Status st = SkipTagRest(&self_closing);
+    if (!st.ok()) return st;
+    name_ = name;
+    open_.push_back(name);
+    if (self_closing) pending_ends_ = 1;
+    return Event::kStartElement;
+  }
+  if (!open_.empty()) {
+    return Error("unclosed element <" + std::string(open_.back()) + ">");
+  }
+  if (!seen_top_element_) {
+    return Error("document has no element");
+  }
+  return Event::kEndOfDocument;
+}
+
+}  // namespace xmlsel

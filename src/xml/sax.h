@@ -1,0 +1,85 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Pull-based (StAX-style) XML tokenizer: the single-pass front end behind
+// both ParseXml (which materializes a Document) and the streaming synopsis
+// builder (which hash-conses the minimal DAG directly from the event
+// stream, never materializing a DOM). Per §3 of the paper, attributes,
+// text, namespaces, comments, PIs, DOCTYPEs, and CDATA are recognized and
+// skipped; only element structure is reported.
+//
+// The parser enforces the same well-formedness rules as ParseXml: one
+// top-level element, matched end tags (or lenient recovery), everything
+// closed at end of input. Element names are returned as views into the
+// input buffer — no per-element string allocation. Text between tags is
+// skipped with memchr-speed find, and line numbers are computed lazily
+// (only error paths pay for them), keeping the hot loop branch-light.
+
+#ifndef XMLSEL_XML_SAX_H_
+#define XMLSEL_XML_SAX_H_
+
+#include <string_view>
+#include <vector>
+
+#include "xml/parser.h"
+#include "xmlsel/status.h"
+
+namespace xmlsel {
+
+/// Pull parser over the element structure of an XML document. Call Next()
+/// until it returns kEndOfDocument (or an error Status). A self-closing
+/// tag reports kStartElement followed by kEndElement; in lenient mode one
+/// end tag may close several open elements (one kEndElement each).
+class XmlPullParser {
+ public:
+  enum class Event {
+    kStartElement,   ///< name() is the element's label
+    kEndElement,     ///< closes the most recent open element
+    kEndOfDocument,  ///< input exhausted, all elements closed
+  };
+
+  explicit XmlPullParser(std::string_view input,
+                         const ParseOptions& options = {});
+
+  /// Advances to the next structural event. After kEndOfDocument (or an
+  /// error) the parser must not be advanced again.
+  Result<Event> Next();
+
+  /// Name of the element just opened (valid after kStartElement, a view
+  /// into the input buffer).
+  std::string_view name() const { return name_; }
+
+  /// Number of currently open elements (after the returned event).
+  int32_t depth() const { return static_cast<int32_t>(open_.size()); }
+
+  /// Current line, for diagnostics. Computed on demand by counting
+  /// newlines up to the cursor (the hot path never tracks lines).
+  int line() const;
+
+ private:
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < in_.size() ? in_[pos_ + off] : '\0';
+  }
+  bool StartsWith(std::string_view prefix) const {
+    return in_.substr(pos_, prefix.size()) == prefix;
+  }
+  bool SkipPast(std::string_view delim);
+  void SkipWhitespace();
+  std::string_view ReadName();
+  Status SkipTagRest(bool* self_closing);
+  Status Error(const std::string& msg) const;
+
+  std::string_view in_;
+  ParseOptions options_;
+  size_t pos_ = 0;
+  std::vector<std::string_view> open_;  // names of open elements
+  std::string_view name_;
+  int32_t pending_ends_ = 0;  // kEndElement events owed before scanning on
+  bool seen_top_element_ = false;
+};
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_XML_SAX_H_

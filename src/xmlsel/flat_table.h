@@ -1,0 +1,127 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Open-addressed hash tables for the construction hot path (DAG hash
+// consing, BPLEX digram counting/dictionary). The same design as the
+// kernel's intern tables (PR 2): power-of-two capacity, linear probing,
+// HashSpan32 mixing, no per-entry allocation — one flat keys array and
+// one flat values array, resized together. Compared to unordered_map this
+// removes the per-node allocation, the bucket pointer chase, and the
+// hash-to-bucket division from every probe.
+//
+// Not thread-safe; the parallel counting pass gives each shard its own
+// table and merges deterministically.
+
+#ifndef XMLSEL_XMLSEL_FLAT_TABLE_H_
+#define XMLSEL_XMLSEL_FLAT_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "xmlsel/common.h"
+
+namespace xmlsel {
+
+/// Flat open-addressed map from uint64 keys to a small trivially-copyable
+/// value. The all-ones key is reserved as the empty-slot sentinel (digram
+/// keys and cons ids never reach it: their top bits are structurally 0).
+template <typename V>
+class FlatMap64 {
+ public:
+  static constexpr uint64_t kEmptyKey = ~uint64_t{0};
+
+  FlatMap64() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Clear() {
+    keys_.assign(keys_.size(), kEmptyKey);
+    size_ = 0;
+  }
+
+  /// Grows capacity so `n` entries fit without rehashing.
+  void Reserve(size_t n) {
+    size_t needed = NextPow2(n * 2);
+    if (needed > keys_.size()) Rehash(needed);
+  }
+
+  /// Pointer to the value for `key`, or nullptr.
+  V* Find(uint64_t key) {
+    if (keys_.empty()) return nullptr;
+    size_t mask = keys_.size() - 1;
+    for (size_t i = Hash(key) & mask;; i = (i + 1) & mask) {
+      if (keys_[i] == key) return &vals_[i];
+      if (keys_[i] == kEmptyKey) return nullptr;
+    }
+  }
+  const V* Find(uint64_t key) const {
+    return const_cast<FlatMap64*>(this)->Find(key);
+  }
+
+  /// Value reference for `key`, inserting `V{}` if absent.
+  V& operator[](uint64_t key) {
+    XMLSEL_DCHECK(key != kEmptyKey);
+    if (keys_.empty() || (size_ + 1) * 4 > keys_.size() * 3) {
+      Rehash(keys_.empty() ? 16 : keys_.size() * 2);
+    }
+    size_t mask = keys_.size() - 1;
+    size_t i = Hash(key) & mask;
+    while (keys_[i] != key) {
+      if (keys_[i] == kEmptyKey) {
+        keys_[i] = key;
+        vals_[i] = V{};
+        ++size_;
+        return vals_[i];
+      }
+      i = (i + 1) & mask;
+    }
+    return vals_[i];
+  }
+
+  /// Visits every (key, value) pair. Iteration order is the probe-table
+  /// layout — deterministic for a fixed operation sequence but not
+  /// meaningful; callers that need a canonical order must sort.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kEmptyKey) fn(keys_[i], vals_[i]);
+    }
+  }
+
+ private:
+  static uint64_t Hash(uint64_t key) {
+    uint32_t words[2] = {static_cast<uint32_t>(key),
+                         static_cast<uint32_t>(key >> 32)};
+    return HashSpan32(words, 2);
+  }
+
+  static size_t NextPow2(size_t n) {
+    size_t p = 16;
+    while (p < n) p *= 2;
+    return p;
+  }
+
+  void Rehash(size_t new_cap) {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<V> old_vals = std::move(vals_);
+    keys_.assign(new_cap, kEmptyKey);
+    vals_.assign(new_cap, V{});
+    size_t mask = new_cap - 1;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmptyKey) continue;
+      size_t j = Hash(old_keys[i]) & mask;
+      while (keys_[j] != kEmptyKey) j = (j + 1) & mask;
+      keys_[j] = old_keys[i];
+      vals_[j] = old_vals[i];
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<V> vals_;
+  size_t size_ = 0;
+};
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_XMLSEL_FLAT_TABLE_H_

@@ -4,6 +4,7 @@
 #include "xmlsel/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 
 #include "xmlsel/common.h"
@@ -11,7 +12,18 @@
 namespace xmlsel {
 
 int32_t DefaultThreadCount() {
-  return std::max(1, static_cast<int32_t>(std::thread::hardware_concurrency()));
+  // XMLSEL_THREADS overrides the detected concurrency (useful where
+  // hardware_concurrency() reports 1 — containers, CI — masking all
+  // scaling). Parsed once; invalid or non-positive values are ignored.
+  static const int32_t count = [] {
+    if (const char* env = std::getenv("XMLSEL_THREADS")) {
+      int32_t parsed = static_cast<int32_t>(std::strtol(env, nullptr, 10));
+      if (parsed > 0) return parsed;
+    }
+    return std::max(1,
+                    static_cast<int32_t>(std::thread::hardware_concurrency()));
+  }();
+  return count;
 }
 
 ThreadPool::ThreadPool(int32_t num_threads) {

@@ -22,7 +22,9 @@
 namespace xmlsel {
 
 /// Number of workers to use when the caller does not care: the hardware
-/// concurrency, floored at 1 (hardware_concurrency may report 0).
+/// concurrency, floored at 1 (hardware_concurrency may report 0). The
+/// XMLSEL_THREADS environment variable, when set to a positive integer,
+/// overrides the detected value (read once, cached for the process).
 int32_t DefaultThreadCount();
 
 /// Fixed-size pool. Submit() and Wait() may be called from one controller

@@ -1,0 +1,157 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Properties of the streaming construction path (grammar/streaming.h,
+// Synopsis::BuildStreaming): the streamed synopsis must be *byte
+// identical* to the DOM-built one — same interned names, same grammar,
+// same label maps, same packed encoding — on every dataset and every κ.
+// This is the contract that lets the streaming front end replace the
+// DOM pipeline wholesale.
+
+#include <string>
+#include <vector>
+
+#include "data/generator.h"
+#include "estimator/synopsis.h"
+#include "grammar/dag.h"
+#include "grammar/streaming.h"
+#include "gtest/gtest.h"
+#include "storage/packed.h"
+#include "tests/test_util.h"
+#include "verify/verify.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace xmlsel {
+namespace {
+
+constexpr DatasetId kDatasets[] = {DatasetId::kDblp, DatasetId::kSwissProt,
+                                   DatasetId::kXmark, DatasetId::kPsd,
+                                   DatasetId::kCatalog};
+
+// Builds a synopsis both ways from the same XML text and checks the
+// packed bytes (and everything that feeds them) agree exactly.
+void ExpectIdenticalSynopses(const std::string& xml, int32_t kappa) {
+  SynopsisOptions options;
+  options.kappa = kappa;
+
+  Result<Document> doc = ParseXml(xml);
+  ASSERT_TRUE(doc.ok()) << doc.status().message();
+  Synopsis dom = Synopsis::Build(doc.value(), options);
+
+  Result<Synopsis> streamed = Synopsis::BuildStreaming(xml, options);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().message();
+  const Synopsis& st = streamed.value();
+
+  // Name tables must intern in the same (document) order.
+  ASSERT_EQ(dom.names().size(), st.names().size());
+  for (LabelId i = 0; i < dom.names().size(); ++i) {
+    EXPECT_EQ(dom.names().Name(i), st.names().Name(i));
+  }
+
+  // Packed bytes of the lossy layer — the on-disk artifact — identical.
+  std::vector<uint8_t> dom_bytes = EncodePacked(dom.lossy(), dom.names().size());
+  std::vector<uint8_t> st_bytes = EncodePacked(st.lossy(), st.names().size());
+  EXPECT_EQ(dom_bytes, st_bytes);
+
+  // And the lossless layer too (the lossy pass only sees its input).
+  EXPECT_EQ(EncodePacked(dom.lossless(), dom.names().size()),
+            EncodePacked(st.lossless(), st.names().size()));
+
+  // Label maps drive the sharpened upper bounds; they must match.
+  const LabelMaps& dm = dom.label_maps();
+  const LabelMaps& sm = st.label_maps();
+  ASSERT_EQ(dm.label_count, sm.label_count);
+  EXPECT_EQ(dm.child, sm.child);
+  EXPECT_EQ(dm.parent, sm.parent);
+
+  EXPECT_EQ(dom.ElementTotal(), st.ElementTotal());
+  EXPECT_EQ(dom.deleted_productions(), st.deleted_productions());
+}
+
+TEST(StreamingConstructionTest, ByteIdenticalAcrossDatasetsAndKappa) {
+  for (DatasetId id : kDatasets) {
+    Document doc = GenerateDataset(id, 2000, 11);
+    std::string xml = WriteXml(doc);
+    for (int32_t kappa : {0, 20, 40}) {
+      SCOPED_TRACE(std::string(DatasetName(id)) + " kappa=" +
+                   std::to_string(kappa));
+      ExpectIdenticalSynopses(xml, kappa);
+    }
+  }
+}
+
+TEST(StreamingConstructionTest, ByteIdenticalOnRandomDocuments) {
+  Rng rng(29);
+  for (int trial = 0; trial < 20; ++trial) {
+    Document doc = testing_util::RandomDocument(&rng, 400, 6, 0.6);
+    std::string xml = WriteXml(doc);
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    ExpectIdenticalSynopses(xml, trial % 3 == 0 ? 10 : 0);
+  }
+}
+
+TEST(StreamingConstructionTest, TinyAndEdgeDocuments) {
+  for (const char* xml : {
+           "<a/>",
+           "<a></a>",
+           "<a><b/></a>",
+           "<a><b/><b/><b/></a>",
+           "<a><b><c/></b><b><c/></b></a>",
+       }) {
+    SCOPED_TRACE(xml);
+    ExpectIdenticalSynopses(xml, 0);
+  }
+}
+
+TEST(StreamingConstructionTest, StreamedDagMatchesDomDag) {
+  // The raw DAG grammars (pre-BPLEX) must already agree: streaming conses
+  // in the identical post-order, so cons ids and rule order coincide.
+  Document doc = GenerateDataset(DatasetId::kXmark, 3000, 5);
+  std::string xml = WriteXml(doc);
+  Result<Document> reparsed = ParseXml(xml);
+  ASSERT_TRUE(reparsed.ok());
+  SltGrammar dom_dag = BuildDagGrammar(reparsed.value());
+
+  Result<StreamedDag> streamed = BuildDagGrammarStreaming(xml);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().message();
+  EXPECT_EQ(EncodePacked(dom_dag, reparsed.value().names().size()),
+            EncodePacked(streamed.value().grammar,
+                         streamed.value().names.size()));
+  EXPECT_EQ(streamed.value().element_count, reparsed.value().element_count());
+}
+
+TEST(StreamingConstructionTest, ParseErrorsPropagate) {
+  for (const char* bad : {"", "<a>", "<a></b>", "<a/><b/>", "text only"}) {
+    SCOPED_TRACE(bad);
+    Result<StreamedDag> streamed = BuildDagGrammarStreaming(bad);
+    EXPECT_FALSE(streamed.ok());
+    Result<Synopsis> syn = Synopsis::BuildStreaming(bad, SynopsisOptions{});
+    EXPECT_FALSE(syn.ok());
+    // The streaming error must be the same one the DOM parser reports.
+    Result<Document> doc = ParseXml(bad);
+    ASSERT_FALSE(doc.ok());
+    EXPECT_EQ(streamed.status().message(), doc.status().message());
+  }
+}
+
+TEST(StreamingConstructionTest, LenientRecoveryMatchesDomParser) {
+  // The pull parser replicates the DOM parser's lenient recovery
+  // (mismatched end tags close intervening elements); the resulting
+  // synopses must still be byte-identical.
+  ParseOptions lenient;
+  lenient.lenient_end_tags = true;
+  const char* xml = "<a><b><c></b><d/></a>";
+  Result<Document> doc = ParseXml(xml, lenient);
+  ASSERT_TRUE(doc.ok()) << doc.status().message();
+  Synopsis dom = Synopsis::Build(doc.value(), SynopsisOptions{});
+  Result<Synopsis> streamed =
+      Synopsis::BuildStreaming(xml, SynopsisOptions{}, lenient);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().message();
+  EXPECT_EQ(EncodePacked(dom.lossy(), dom.names().size()),
+            EncodePacked(streamed.value().lossy(),
+                         streamed.value().names().size()));
+}
+
+}  // namespace
+}  // namespace xmlsel

@@ -14,6 +14,8 @@
 #include "data/generator.h"
 #include "estimator/estimator.h"
 #include "grammar/bplex.h"
+#include "grammar/dag.h"
+#include "grammar/streaming.h"
 #include "query/parser.h"
 #include "storage/packed.h"
 #include "tests/test_util.h"
@@ -42,6 +44,38 @@ TEST(RobustnessTest, DeepChainDocument) {
   // Serialization of the chain is likewise iterative.
   std::string xml = WriteXml(doc);
   EXPECT_GT(xml.size(), 200000u);
+}
+
+TEST(RobustnessTest, VeryDeepXmlTextRoundTrip) {
+  // 120k-deep element chain as *text*: the parser, the streaming
+  // front end, the writer, and the DAG builder must all hold up without
+  // touching the C stack proportionally to depth.
+  constexpr int kDepth = 120000;
+  std::string xml;
+  xml.reserve(static_cast<size_t>(kDepth) * 8);
+  for (int i = 0; i < kDepth; ++i) xml += i % 2 ? "<b>" : "<a>";
+  for (int i = kDepth - 1; i >= 0; --i) xml += i % 2 ? "</b>" : "</a>";
+  Result<Document> doc = ParseXml(xml);
+  ASSERT_TRUE(doc.ok()) << doc.status().message();
+  EXPECT_EQ(doc.value().element_count(), kDepth);
+  EXPECT_EQ(doc.value().SubtreeHeight(doc.value().document_element()),
+            kDepth);
+  // DAG construction over the chain (both the DOM-driven and the fused
+  // streaming builder) is iterative.
+  SltGrammar dag = BuildDagGrammar(doc.value());
+  Result<StreamedDag> streamed = BuildDagGrammarStreaming(xml);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().message();
+  EXPECT_EQ(EncodePacked(dag, doc.value().names().size()),
+            EncodePacked(streamed.value().grammar,
+                         streamed.value().names.size()));
+  // Serialization back to text is likewise iterative and round-trips
+  // (the writer self-closes the innermost empty element, so compare
+  // structurally, not byte-for-byte).
+  std::string rewritten = WriteXml(doc.value());
+  EXPECT_GT(rewritten.size(), static_cast<size_t>(kDepth) * 7 - 8);
+  Result<Document> reparsed = ParseXml(rewritten);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().message();
+  EXPECT_TRUE(reparsed.value().StructurallyEquals(doc.value()));
 }
 
 TEST(RobustnessTest, HugeFanoutDocument) {

@@ -387,7 +387,7 @@ TEST(VerifyPipelineTest, NoFalsePositivesAcrossDatasetsAndKappas) {
           << "dataset " << static_cast<int>(id) << " kappa " << kappa
           << ":\n"
           << report.ToString();
-      EXPECT_EQ(report.entries.size(), 7u);
+      EXPECT_EQ(report.entries.size(), 8u);
     }
   }
 }
@@ -398,7 +398,8 @@ TEST(VerifyPipelineTest, ReportListsEveryLayer) {
   std::string text = report.ToString();
   for (const char* layer :
        {"xml/document", "xml/roundtrip", "grammar/dag", "grammar/bplex",
-        "synopsis", "automaton/kernel", "storage/packed"}) {
+        "grammar/streaming", "synopsis", "automaton/kernel",
+        "storage/packed"}) {
     EXPECT_NE(text.find(layer), std::string::npos) << layer;
   }
   EXPECT_TRUE(report.ok()) << text;
