@@ -5,16 +5,37 @@
 // SSO add path (inline vs spilled), the pooled state registry's intern
 // probe, the transition function through reusable scratch, and a full
 // grammar evaluation split into cold (first) and steady-state (memo-warm)
-// passes. Counters report the kernel's own instrumentation — notably
-// heap_allocs, which must be 0 on the steady-state path.
+// passes, plus the compiled-query cache's miss (rewrite + compile) and hit
+// (rewrite + key probe) paths. Counters report the kernel's own
+// instrumentation — notably heap_allocs, which must be 0 on the
+// steady-state path.
+//
+// Besides the google-benchmark suite, the binary has a CI smoke mode:
+//
+//   ./bench_eval_kernel --smoke [output.json]
+//
+// which runs a small fixture through the cached batch path and a warm
+// evaluator, writes the kernel invariants as JSON, and exits nonzero if
+// the steady-state heap-allocation count is not 0 or the compiled-query
+// cache never hits.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "automaton/compiled_cache.h"
 #include "automaton/counting.h"
 #include "automaton/grammar_eval.h"
 #include "data/generator.h"
+#include "estimator/estimator.h"
 #include "estimator/synopsis.h"
 #include "query/parser.h"
+#include "workload/query_gen.h"
 #include "xmlsel/arena.h"
 
 namespace xmlsel {
@@ -163,7 +184,175 @@ void BM_GrammarEvalSteadyState(benchmark::State& state) {
 }
 BENCHMARK(BM_GrammarEvalSteadyState);
 
+void BM_PrepareCacheCold(benchmark::State& state) {
+  Fixture* f = GetFixture();
+  NameTable names = f->synopsis.names();
+  Result<Query> q = ParseQuery("//item[./mailbox]//keyword", &names);
+  XMLSEL_CHECK(q.ok());
+  CompiledQueryCache cache;
+  for (auto _ : state) {
+    cache.Clear();  // force the full rewrite → compile path every time
+    Result<std::shared_ptr<const PreparedQuery>> pq =
+        cache.Prepare(q.value());
+    XMLSEL_CHECK(pq.ok());
+    benchmark::DoNotOptimize(pq.value()->lower.size());
+  }
+}
+BENCHMARK(BM_PrepareCacheCold);
+
+void BM_PrepareCacheHit(benchmark::State& state) {
+  Fixture* f = GetFixture();
+  NameTable names = f->synopsis.names();
+  Result<Query> q = ParseQuery("//item[./mailbox]//keyword", &names);
+  XMLSEL_CHECK(q.ok());
+  CompiledQueryCache cache;
+  XMLSEL_CHECK(cache.Prepare(q.value()).ok());  // warm: one entry
+  for (auto _ : state) {
+    Result<std::shared_ptr<const PreparedQuery>> pq =
+        cache.Prepare(q.value());
+    XMLSEL_CHECK(pq.ok());
+    benchmark::DoNotOptimize(pq.value()->lower.size());
+  }
+  state.counters["hit_pct"] =
+      100.0 * static_cast<double>(cache.hits()) /
+      static_cast<double>(cache.hits() + cache.misses());
+}
+BENCHMARK(BM_PrepareCacheHit);
+
+/// CI smoke mode: exercises the cached batch path and a warm evaluator on
+/// a small fixture and writes the kernel invariants as JSON. Returns
+/// nonzero (after still writing the JSON) if an invariant is broken, so
+/// the CI job fails with the evidence on disk.
+int RunSmoke(const char* out_path) {
+  FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  using Clock = std::chrono::steady_clock;
+  auto seconds_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+
+  Document doc = GenerateDataset(DatasetId::kXmark, 8000, 3);
+  SynopsisOptions sopts;
+  sopts.kappa = 30;
+  SelectivityEstimator est = SelectivityEstimator::Build(doc, sopts);
+  const Synopsis& synopsis = est.synopsis();
+  CompiledQueryCache& cache = synopsis.query_cache();
+
+  WorkloadOptions wopts;
+  wopts.count = 24;
+  wopts.order_axis_prob = 0.2;
+  wopts.seed = 11;
+  std::vector<Query> queries = GenerateWorkload(doc, wopts);
+
+  // Cold pass: every distinct shape is a miss that pays rewrite + compile.
+  auto t0 = Clock::now();
+  std::shared_ptr<const PreparedQuery> probe;
+  for (const Query& q : queries) {
+    Result<std::shared_ptr<const PreparedQuery>> pq = cache.Prepare(q);
+    XMLSEL_CHECK(pq.ok());
+    if (probe == nullptr && !pq.value()->unsatisfiable) probe = pq.value();
+  }
+  double compile_seconds = seconds_since(t0);
+  int64_t misses = cache.misses();
+  XMLSEL_CHECK(probe != nullptr);
+
+  // Hit passes: the same shapes again, compile skipped entirely.
+  constexpr int32_t kHitRounds = 3;
+  t0 = Clock::now();
+  for (int32_t r = 0; r < kHitRounds; ++r) {
+    for (const Query& q : queries) {
+      XMLSEL_CHECK(cache.Prepare(q).ok());
+    }
+  }
+  double hit_seconds = seconds_since(t0);
+  int64_t hits = cache.hits();
+
+  // The batch estimator rides the same cache: one round, all hits.
+  est.EstimateBatch(std::span<const Query>(queries), 1);
+  int64_t batch_hits = cache.hits() - hits;
+
+  // Warm evaluator: the steady-state path must not touch the heap. The
+  // evaluator also surfaces the cache counters in its result.
+  GrammarEvaluator eval(&synopsis.lossy(), &probe->lower,
+                        &synopsis.label_maps(), BoundMode::kLower,
+                        &synopsis.eval_cache());
+  eval.SetCompileCacheStats(cache.hits(), cache.misses());
+  int64_t cold_count = eval.Evaluate().count;
+  constexpr int32_t kEvalRounds = 20;
+  int64_t steady_allocs = 0;
+  GrammarEvalResult last;
+  t0 = Clock::now();
+  for (int32_t r = 0; r < kEvalRounds; ++r) {
+    last = eval.Evaluate();
+    XMLSEL_CHECK(last.count == cold_count);
+    steady_allocs += last.heap_allocs;
+  }
+  double eval_seconds = seconds_since(t0) / kEvalRounds;
+
+  double hit_rate = 100.0 * static_cast<double>(cache.hits()) /
+                    static_cast<double>(cache.hits() + cache.misses());
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"eval_kernel_smoke\",\n");
+  std::fprintf(out, "  \"queries\": %zu,\n", queries.size());
+  std::fprintf(out, "  \"distinct_shapes\": %lld,\n",
+               static_cast<long long>(cache.size()));
+  std::fprintf(out, "  \"compile_cache_hits\": %lld,\n",
+               static_cast<long long>(cache.hits()));
+  std::fprintf(out, "  \"compile_cache_misses\": %lld,\n",
+               static_cast<long long>(misses));
+  std::fprintf(out, "  \"compile_cache_hit_pct\": %.1f,\n", hit_rate);
+  std::fprintf(out, "  \"batch_round_hits\": %lld,\n",
+               static_cast<long long>(batch_hits));
+  std::fprintf(out, "  \"cold_compile_seconds\": %.6f,\n", compile_seconds);
+  std::fprintf(out, "  \"hit_prepare_seconds_per_round\": %.6f,\n",
+               hit_seconds / kHitRounds);
+  std::fprintf(out, "  \"warm_eval_seconds\": %.6f,\n", eval_seconds);
+  std::fprintf(out, "  \"result_compile_cache_hits\": %lld,\n",
+               static_cast<long long>(last.compile_cache_hits));
+  std::fprintf(out, "  \"steady_state_heap_allocs\": %lld\n",
+               static_cast<long long>(steady_allocs));
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf(
+      "smoke: %zu queries, %lld shapes, hit rate %.1f%%, cold compile "
+      "%.4fs, hit round %.4fs, warm eval %.4fs, steady allocs %lld\n",
+      queries.size(), static_cast<long long>(cache.size()), hit_rate,
+      compile_seconds, hit_seconds / kHitRounds, eval_seconds,
+      static_cast<long long>(steady_allocs));
+  std::printf("wrote %s\n", out_path);
+
+  int rc = 0;
+  if (steady_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: steady-state heap allocs = %lld, want 0\n",
+                 static_cast<long long>(steady_allocs));
+    rc = 1;
+  }
+  if (cache.hits() <= 0) {
+    std::fprintf(stderr, "FAIL: compiled-query cache never hit\n");
+    rc = 1;
+  }
+  if (batch_hits <= 0) {
+    std::fprintf(stderr, "FAIL: EstimateBatch bypassed the cache\n");
+    rc = 1;
+  }
+  return rc;
+}
+
 }  // namespace
 }  // namespace xmlsel
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string_view(argv[1]) == "--smoke") {
+    return xmlsel::RunSmoke(argc > 2 ? argv[2]
+                                     : "BENCH_eval_kernel_smoke.json");
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -17,7 +17,9 @@
 // single-thread batch time against the last committed baseline, plus the
 // kernel counters of a representative evaluation — including the
 // steady-state heap-allocation count (a second Evaluate() on a warm
-// evaluator), which must stay at zero.
+// evaluator), which must stay at zero — and the compiled-query cache
+// counters of the batch runs above (k distinct shapes must compile
+// exactly k times across all rounds and thread counts).
 //
 // The "verify" section times one full cross-layer verification pass
 // (src/verify, xmlsel_tool verify) over the same fixture — the cost of a
@@ -30,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "automaton/compiled_cache.h"
 #include "automaton/grammar_eval.h"
 #include "data/generator.h"
 #include "estimator/estimator.h"
@@ -125,6 +128,18 @@ int Run(const char* out_path) {
     std::printf("threads=%d  %.3fs  %.0f q/s  (%.2fx)\n", threads, secs,
                 qps, qps / base_qps);
   }
+
+  // --- Compiled-query cache across all batch runs above: every distinct
+  // satisfiable shape compiled exactly once (on the sequential 1-thread
+  // warm-up), everything after was a hit.
+  const CompiledQueryCache& qcache = est.synopsis().query_cache();
+  XMLSEL_CHECK(qcache.misses() == qcache.size());
+  double qcache_hit_pct =
+      100.0 * static_cast<double>(qcache.hits()) /
+      static_cast<double>(qcache.hits() + qcache.misses());
+  std::printf("compiled-query cache: %lld shapes, %lld hits (%.1f%%)\n",
+              static_cast<long long>(qcache.size()),
+              static_cast<long long>(qcache.hits()), qcache_hit_pct);
 
   // --- Cache hoisting in isolation (single-thread bound evaluations).
   std::vector<CompiledQuery> compiled;
@@ -224,8 +239,15 @@ int Run(const char* out_path) {
                static_cast<long long>(agg.arena_bytes));
   std::fprintf(f, "    \"cold_heap_allocs\": %lld,\n",
                static_cast<long long>(agg.heap_allocs));
-  std::fprintf(f, "    \"steady_state_heap_allocs\": %lld\n",
+  std::fprintf(f, "    \"steady_state_heap_allocs\": %lld,\n",
                static_cast<long long>(steady_heap_allocs));
+  std::fprintf(f, "    \"compile_cache_shapes\": %lld,\n",
+               static_cast<long long>(qcache.size()));
+  std::fprintf(f, "    \"compile_cache_hits\": %lld,\n",
+               static_cast<long long>(qcache.hits()));
+  std::fprintf(f, "    \"compile_cache_misses\": %lld,\n",
+               static_cast<long long>(qcache.misses()));
+  std::fprintf(f, "    \"compile_cache_hit_pct\": %.1f\n", qcache_hit_pct);
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"verify\": {\n");
   std::fprintf(f, "    \"pipeline_seconds\": %.4f,\n", verify_seconds);

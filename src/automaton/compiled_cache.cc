@@ -1,0 +1,76 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "automaton/compiled_cache.h"
+
+#include <utility>
+#include <vector>
+
+#include "query/rewrite.h"
+
+namespace xmlsel {
+
+Result<std::shared_ptr<const PreparedQuery>> CompiledQueryCache::Prepare(
+    const Query& query) {
+  Result<RewriteOutcome> rewritten = RewriteReverseAxes(query);
+  if (!rewritten.ok()) return rewritten.status();
+  if (rewritten.value().unsatisfiable) {
+    // Provably empty: there is no forward AST to key on (the outcome's
+    // query is invalid), and callers answer [0, 0] without evaluating —
+    // nothing worth caching.
+    auto out = std::make_shared<PreparedQuery>();
+    out->unsatisfiable = true;
+    return std::shared_ptr<const PreparedQuery>(std::move(out));
+  }
+  const Query& fwd = rewritten.value().query;
+  std::vector<int32_t> words = CanonicalQueryKey(fwd);
+  std::string key(reinterpret_cast<const char*>(words.data()),
+                  words.size() * sizeof(int32_t));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  // Compile outside the lock: racing workers may compile the same shape
+  // concurrently; the first insert wins below.
+  auto pq = std::make_shared<PreparedQuery>();
+  pq->match_test = fwd.node(fwd.match_node()).test;
+  Result<CompiledQuery> compiled = CompiledQuery::Compile(fwd);
+  if (!compiled.ok()) return compiled.status();
+  pq->lower = std::move(compiled.value());
+  if (HasOrderAxes(fwd)) {
+    // Upper bound for order-sensitive queries: evaluate the order-relaxed
+    // query (the strict transition under-approximates deferred following
+    // witnesses, so the over-approximation drops ordering constraints).
+    Result<CompiledQuery> upper =
+        CompiledQuery::Compile(RelaxOrderConstraints(fwd));
+    if (!upper.ok()) return upper.status();
+    pq->upper = std::move(upper.value());
+  } else {
+    pq->shared_upper = true;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      entries_.emplace(std::move(key), std::move(pq));
+  return it->second;
+}
+
+void CompiledQueryCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+int64_t CompiledQueryCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+}  // namespace xmlsel

@@ -1,0 +1,93 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Compiled-query interning. Workloads are templated: the same handful of
+// query shapes recurs across a batch (and across batches), so taking every
+// query through rewrite → compile from scratch wastes the dominant part of
+// per-query setup. The cache keys compiled queries by the canonical
+// structural serialization of the *rewritten* (forward-only) AST — queries
+// that rewrite to the same forward tree share one PreparedQuery — and
+// hands out shared_ptr handles so concurrent batch workers can hold
+// entries without lifetime coordination.
+
+#ifndef XMLSEL_AUTOMATON_COMPILED_CACHE_H_
+#define XMLSEL_AUTOMATON_COMPILED_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "automaton/transition.h"
+#include "query/ast.h"
+#include "xmlsel/status.h"
+
+namespace xmlsel {
+
+/// A query taken through rewrite → compile, ready for bound evaluation.
+/// Immutable after construction; evaluators only read it (and borrow its
+/// CompiledQuery pair indexers), so one instance may serve any number of
+/// concurrent evaluations.
+struct PreparedQuery {
+  bool unsatisfiable = false;
+  CompiledQuery lower;
+  /// Upper-bound compilation. Order-free queries reuse `lower` (the
+  /// relaxation is the identity there), so this stays empty and
+  /// shared_upper is set.
+  CompiledQuery upper;
+  bool shared_upper = false;
+  LabelId match_test = kWildcardTest;
+};
+
+/// The compiled query to use for upper-bound evaluation.
+inline const CompiledQuery& UpperQueryOf(const PreparedQuery& pq) {
+  return pq.shared_upper ? pq.lower : pq.upper;
+}
+
+/// Thread-safe intern table for PreparedQuery objects.
+///
+/// Keying: CanonicalQueryKey of the rewritten AST (see query/rewrite.h) —
+/// node tests are label ids, so a cache is only valid for queries parsed
+/// against one NameTable. The table is append-only, which keeps entries
+/// valid across grammar mutations: a compiled query depends on nothing but
+/// the AST and those label ids. Owners that *replace* the NameTable (e.g.
+/// Synopsis copy/move) must Clear().
+///
+/// Concurrency: lookups and inserts take a short mutex; compilation runs
+/// outside the lock, so racing workers may compile the same shape once
+/// each — the first insert wins and the duplicates are dropped. Entries
+/// are handed out as shared_ptr<const PreparedQuery>, so Clear() never
+/// invalidates a handle an evaluation still holds.
+class CompiledQueryCache {
+ public:
+  CompiledQueryCache() = default;
+  CompiledQueryCache(const CompiledQueryCache&) = delete;
+  CompiledQueryCache& operator=(const CompiledQueryCache&) = delete;
+
+  /// Rewrites and (on first sight of the shape) compiles `query`.
+  /// Unsatisfiable queries return an uncached unsatisfiable-flagged
+  /// PreparedQuery and touch no counter; rewrite/compile failures return
+  /// the status. On a hit the compile work is skipped entirely.
+  Result<std::shared_ptr<const PreparedQuery>> Prepare(const Query& query);
+
+  /// Drops all entries and resets the counters. Outstanding shared_ptr
+  /// handles stay valid.
+  void Clear();
+
+  int64_t size() const;
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const PreparedQuery>>
+      entries_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+};
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_AUTOMATON_COMPILED_CACHE_H_

@@ -156,6 +156,43 @@ class LinearForm {
     size_ = static_cast<uint32_t>(front + written);
   }
 
+  /// Fused multiply-add: *this += k·o without materializing the scaled
+  /// copy (one backward in-place merge, same shape as Add). `k` must be
+  /// positive and `o` must not alias this form.
+  void AddScaled(const LinearForm& o, int64_t k) {
+    XMLSEL_DCHECK(this != &o);
+    XMLSEL_DCHECK(k > 0);
+    constant = SatAdd(constant, SatMul(o.constant, k));
+    if (o.size_ == 0) return;
+    uint32_t total = size_ + o.size_;
+    Reserve(total);
+    Term* d = mut_data();
+    const Term* od = o.data();
+    int32_t i = static_cast<int32_t>(size_) - 1;
+    int32_t j = static_cast<int32_t>(o.size_) - 1;
+    int32_t w = static_cast<int32_t>(total) - 1;
+    while (j >= 0) {
+      if (i >= 0 && d[i].first > od[j].first) {
+        d[w--] = d[i--];
+      } else if (i >= 0 && d[i].first == od[j].first) {
+        int64_t c = SatAdd(d[i].second, SatMul(od[j].second, k));
+        if (c != 0) d[w--] = Term{d[i].first, c};
+        --i;
+        --j;
+      } else {
+        d[w--] = Term{od[j].first, SatMul(od[j].second, k)};
+        --j;
+      }
+    }
+    int32_t front = i + 1;
+    int32_t written = static_cast<int32_t>(total) - 1 - w;
+    if (written > 0 && w + 1 != front) {
+      std::memmove(d + front, d + w + 1,
+                   static_cast<size_t>(written) * sizeof(Term));
+    }
+    size_ = static_cast<uint32_t>(front + written);
+  }
+
   /// Multiplies the whole form by `k` (saturating). k = 0 clears it.
   void ScaleBy(int64_t k) {
     if (k == 0) {
@@ -256,21 +293,40 @@ struct AnnState {
   StateId state = 0;  // the empty state by default
   std::vector<Counter> counts;
 
-  /// Counter of `pair`, or zero if absent.
-  Counter CountOf(const StateRegistry& reg, QPair pair) const {
+  /// Pointer to `pair`'s counter, or nullptr if absent. On a dense
+  /// registry this is a word test plus a popcount rank; otherwise a
+  /// binary search over the sorted span.
+  const Counter* FindCount(const StateRegistry& reg, QPair pair) const {
+    if (reg.dense()) {
+      if (!reg.indexer()->Indexable(pair)) return nullptr;
+      const StateBits& bits = reg.bits(state);
+      int32_t bit = reg.indexer()->IndexOf(pair);
+      if (!bits.Test(bit)) return nullptr;
+      return &counts[static_cast<size_t>(bits.RankBelow(bit))];
+    }
     std::span<const QPair> pairs = reg.pairs(state);
     auto it = std::lower_bound(pairs.begin(), pairs.end(), pair);
-    if (it == pairs.end() || *it != pair) return Counter{};
-    return counts[static_cast<size_t>(it - pairs.begin())];
+    if (it == pairs.end() || *it != pair) return nullptr;
+    return &counts[static_cast<size_t>(it - pairs.begin())];
+  }
+
+  /// Counter of `pair`, or zero if absent.
+  Counter CountOf(const StateRegistry& reg, QPair pair) const {
+    const Counter* c = FindCount(reg, pair);
+    return c == nullptr ? Counter{} : *c;
   }
 };
 
 namespace internal {
 
 /// Mutable working state during one transition: flat parallel vectors
-/// (states are tiny, so linear search beats hashing).
+/// (states are tiny, so linear search beats hashing). The fallback
+/// representation for queries whose pair space exceeds the dense budget.
 template <typename Counter>
 struct WorkState {
+  /// Entries come out of ForEachAll in insertion order, not sorted.
+  static constexpr bool kSorted = false;
+
   std::vector<QPair> keys;
   std::vector<Counter> vals;
 
@@ -295,6 +351,92 @@ struct WorkState {
     }
     Ops::Add(&vals[static_cast<size_t>(idx)], c);
   }
+  Counter& val(int32_t handle) { return vals[static_cast<size_t>(handle)]; }
+  /// Visits every entry of query node `node` as (pair, handle).
+  template <typename Fn>
+  void ForEachOfNode(int32_t node, Fn&& fn) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (QPairNode(keys[i]) == node) fn(keys[i], static_cast<int32_t>(i));
+    }
+  }
+  template <typename Fn>
+  void ForEachAll(Fn&& fn) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      fn(keys[i], static_cast<int32_t>(i));
+    }
+  }
+};
+
+/// Dense working state: a StateBits occupancy plus a flat counter array
+/// indexed by the query's PairIndexer. Insert/find/membership are word
+/// ops, per-node scans walk one bit block, and — because bit order equals
+/// sorted QPair order — ForEachAll yields the canonical sorted sequence,
+/// so the transition's output needs no sort at all.
+template <typename Counter>
+struct DenseWorkState {
+  static constexpr bool kSorted = true;
+
+  const PairIndexer* idx = nullptr;  // not owned
+  StateBits occ;
+  std::vector<Counter> vals;  // one slot per dense bit; zero when vacant
+
+  /// Points the bucket at `indexer` and sizes the slots (a one-time
+  /// allocation per scratch; the steady state never resizes).
+  void Bind(const PairIndexer* indexer) {
+    idx = indexer;
+    if (vals.size() < static_cast<size_t>(indexer->total_bits())) {
+      vals.resize(static_cast<size_t>(indexer->total_bits()));
+    }
+  }
+  void Clear() {
+    // Reset only the occupied slots; vacant ones are already zero.
+    for (int32_t wi = 0; wi < kStateWords; ++wi) {
+      uint64_t word = occ.w[wi];
+      while (word != 0) {
+        int32_t b = (wi << 6) + __builtin_ctzll(word);
+        vals[static_cast<size_t>(b)] = Counter{};
+        word &= word - 1;
+      }
+    }
+    occ = StateBits{};
+  }
+  int32_t Find(QPair p) const {
+    int32_t b = idx->IndexOf(p);
+    return occ.Test(b) ? b : -1;
+  }
+  template <typename Ops>
+  void Add(QPair p, const Counter& c, const Ops&) {
+    int32_t b = idx->IndexOf(p);
+    occ.Set(b);
+    Ops::Add(&vals[static_cast<size_t>(b)], c);
+  }
+  Counter& val(int32_t handle) { return vals[static_cast<size_t>(handle)]; }
+  template <typename Fn>
+  void ForEachOfNode(int32_t node, Fn&& fn) {
+    ForEachRange(idx->NodeBegin(node), idx->NodeEnd(node), fn);
+  }
+  template <typename Fn>
+  void ForEachAll(Fn&& fn) {
+    ForEachRange(0, idx->total_bits(), fn);
+  }
+
+ private:
+  /// Visits set bits in [lo, hi) in ascending order via ctz chipping.
+  template <typename Fn>
+  void ForEachRange(int32_t lo, int32_t hi, Fn&& fn) {
+    for (int32_t wi = lo >> 6; wi < kStateWords && (wi << 6) < hi; ++wi) {
+      uint64_t word = occ.w[wi];
+      if (wi == (lo >> 6) && (lo & 63) != 0) {
+        word &= ~uint64_t{0} << (lo & 63);
+      }
+      while (word != 0) {
+        int32_t b = (wi << 6) + __builtin_ctzll(word);
+        if (b >= hi) break;
+        fn(idx->PairAt(b), b);
+        word &= word - 1;
+      }
+    }
+  }
 };
 
 inline bool KeepInP1(Axis axis) {
@@ -310,14 +452,19 @@ inline bool KeepInP2(Axis axis) {
 /// Reusable per-evaluator scratch for the transition kernel: the work
 /// buckets and canonicalization buffers persist across calls, so a warm
 /// evaluator runs every transition without heap allocation. Owned by one
-/// evaluator — never shared across threads.
+/// evaluator — never shared across threads. Both bucket representations
+/// live here; a transition uses the dense set when the registry carries a
+/// dense indexer and the flat set otherwise.
 template <typename Counter>
 struct TransitionScratch {
   internal::WorkState<Counter> main_ws;
   internal::WorkState<Counter> right_ws;
   internal::WorkState<Counter> residual1;
   internal::WorkState<Counter> merged;
-  std::vector<size_t> order;        // restore_counts spine ordering
+  internal::DenseWorkState<Counter> main_d;
+  internal::DenseWorkState<Counter> right_d;
+  internal::DenseWorkState<Counter> residual_d;
+  internal::DenseWorkState<Counter> merged_d;
   std::vector<uint32_t> sort_idx;   // canonicalization index sort
   std::vector<QPair> sorted_keys;   // canonical key buffer for interning
 };
@@ -340,12 +487,26 @@ struct TransitionScratch {
 ///
 /// Writes the result into `*out` (which must not alias p1 or p2); the
 /// counts vector's capacity is reused, so steady-state callers that keep
-/// their output slots alive allocate nothing.
-template <typename Ops>
-void CountingTransitionInto(const CompiledQuery& cq, StateRegistry* reg,
+/// their output slots alive allocate nothing. When the registry carries a
+/// dense PairIndexer (StateRegistry::AttachIndexer), the transition runs
+/// on StateBits word buckets and emits its canonical state without a
+/// sort; otherwise it runs on the flat sorted-span buckets. Both paths
+/// produce bit-identical results (see CountingTransitionImpl).
+namespace internal {
+
+/// The transition body, shared by both work-state representations (Work
+/// = WorkState for the sorted-span fallback, DenseWorkState for the
+/// bitset kernel). The two representations must choose identical
+/// witnesses: the SATISFIED scan picks the strict (popcount, mask)
+/// lexicographic maximum, which is iteration-order independent, so both
+/// paths produce bit-identical states, counters, and state-id sequences.
+template <typename Ops, typename Work>
+void CountingTransitionImpl(const CompiledQuery& cq, StateRegistry* reg,
                             const AnnState<typename Ops::Counter>& p1,
                             const AnnState<typename Ops::Counter>& p2,
-                            LabelId label, bool dedup,
+                            LabelId label, bool dedup, Work* main_bkt,
+                            Work* right_bkt, Work* residual_bkt,
+                            Work* merged_bkt,
                             TransitionScratch<typename Ops::Counter>* scratch,
                             AnnState<typename Ops::Counter>* out) {
   using Counter = typename Ops::Counter;
@@ -369,13 +530,13 @@ void CountingTransitionInto(const CompiledQuery& cq, StateRegistry* reg,
   //   right    — p'2-propagated pairs (matched strictly to the right),
   //              the only legal witnesses for following-sibling/following
   //              children;
-  //   residual1 — p1 pairs dropped by p'1 (child/self/following-sibling
+  //   residual — p1 pairs dropped by p'1 (child/self/following-sibling
   //              axes); their counters remain consumable (Algorithm 2's
   //              counter array spans them) and flow through
   //              RESTORE-COUNTS.
-  internal::WorkState<Counter>& main_ws = scratch->main_ws;
-  internal::WorkState<Counter>& right_ws = scratch->right_ws;
-  internal::WorkState<Counter>& residual1 = scratch->residual1;
+  Work& main_ws = *main_bkt;
+  Work& right_ws = *right_bkt;
+  Work& residual1 = *residual_bkt;
   main_ws.Clear();
   right_ws.Clear();
   residual1.Clear();
@@ -406,64 +567,54 @@ void CountingTransitionInto(const CompiledQuery& cq, StateRegistry* reg,
   // the match loop (so a re-match of the dropped node's own parent at
   // this node can consume the restored counts — the pseudocode's
   // after-the-loop placement strands them) and again afterwards for
-  // counts whose target pair only appears during the loop.
+  // counts whose target pair only appears during the loop. Walking the
+  // spine shallow-to-deep visits residual pairs grouped by node; the
+  // transfers themselves are independent (targets live in main/right),
+  // so within-node order does not matter.
   auto restore_counts = [&](bool before_loop) {
-    // Process shallow spine pairs first so a transfer into a deeper
-    // residual pair cascades onward within the same pass.
-    std::vector<size_t>& order = scratch->order;
-    order.clear();
-    for (size_t i = 0; i < residual1.keys.size(); ++i) {
-      if (cq.spine_index(QPairNode(residual1.keys[i])) >= 0) {
-        order.push_back(i);
-      }
-    }
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return cq.spine_index(QPairNode(residual1.keys[a])) <
-             cq.spine_index(QPairNode(residual1.keys[b]));
-    });
-    for (size_t i : order) {
-      int32_t c = QPairNode(residual1.keys[i]);
-      int32_t si = cq.spine_index(c);
-      if (si < 0) continue;  // m_Q is not a descendant of c
-      if (before_loop) {
-        // The pair's parent may still match at this node and consume the
-        // counter directly (line 9); only pour early when it cannot.
-        int32_t parent = q.node(c).parent;
-        if (parent >= 0 && cq.TestMatches(parent, label)) continue;
-      }
-      uint32_t s = QPairMask(residual1.keys[i]);
-      for (size_t j = static_cast<size_t>(si) + 1; j < cq.spine().size();
-           ++j) {
-        int32_t qi = cq.spine()[j];
-        Axis qi_axis = q.node(qi).axis;
-        // A target must be able to re-expose the restored matches to a
-        // future consumer without positional claims the matches cannot
-        // honour: only descendant-or-self / following pairs qualify —
-        // their region covers the whole forest, so any consumer's claim
-        // ("somewhere below", "somewhere after a preceding node") holds
-        // for the restored matches' own embeddings. Child-axis targets
-        // are NOT safe: a future parent consuming them asserts a specific
-        // parent/child position the restored embeddings need not have
-        // (this undercounts some deep wildcard re-embedding chains; the
-        // result stays a guaranteed lower bound).
-        if (qi_axis != Axis::kDescendantOrSelf &&
-            qi_axis != Axis::kFollowing) {
-          continue;
+    for (size_t si = 0; si < cq.spine().size(); ++si) {
+      int32_t c = cq.spine()[si];
+      residual1.ForEachOfNode(c, [&](QPair key, int32_t handle) {
+        if (before_loop) {
+          // The pair's parent may still match at this node and consume
+          // the counter directly (line 9); only pour early when it
+          // cannot.
+          int32_t parent = q.node(c).parent;
+          if (parent >= 0 && cq.TestMatches(parent, label)) return;
         }
-        QPair target = MakeQPair(qi, s & cq.following_mask(qi));
-        int32_t idx = main_ws.Find(target);
-        internal::WorkState<Counter>* bucket = &main_ws;
-        if (idx < 0) {
-          idx = right_ws.Find(target);
-          bucket = &right_ws;
+        uint32_t s = QPairMask(key);
+        for (size_t j = si + 1; j < cq.spine().size(); ++j) {
+          int32_t qi = cq.spine()[j];
+          Axis qi_axis = q.node(qi).axis;
+          // A target must be able to re-expose the restored matches to a
+          // future consumer without positional claims the matches cannot
+          // honour: only descendant-or-self / following pairs qualify —
+          // their region covers the whole forest, so any consumer's
+          // claim ("somewhere below", "somewhere after a preceding
+          // node") holds for the restored matches' own embeddings.
+          // Child-axis targets are NOT safe: a future parent consuming
+          // them asserts a specific parent/child position the restored
+          // embeddings need not have (this undercounts some deep
+          // wildcard re-embedding chains; the result stays a guaranteed
+          // lower bound).
+          if (qi_axis != Axis::kDescendantOrSelf &&
+              qi_axis != Axis::kFollowing) {
+            continue;
+          }
+          QPair target = MakeQPair(qi, s & cq.following_mask(qi));
+          int32_t idx = main_ws.Find(target);
+          Work* bucket = &main_ws;
+          if (idx < 0) {
+            idx = right_ws.Find(target);
+            bucket = &right_ws;
+          }
+          if (idx >= 0) {
+            Ops::Add(&bucket->val(idx), residual1.val(handle));
+            residual1.val(handle) = Counter{};
+            break;
+          }
         }
-        if (idx >= 0) {
-          Ops::Add(&bucket->vals[static_cast<size_t>(idx)],
-                   residual1.vals[i]);
-          residual1.vals[i] = Counter{};
-          break;
-        }
-      }
+      });
     }
   };
   if (dedup) restore_counts(/*before_loop=*/true);
@@ -485,45 +636,49 @@ void CountingTransitionInto(const CompiledQuery& cq, StateRegistry* reg,
     // Chosen pair (per child) whose counter will be consumed. Child
     // count is bounded by the query size, so a fixed array suffices.
     struct Chosen {
-      internal::WorkState<Counter>* source;
+      Work* source;
       int32_t idx;
     };
     Chosen chosen[kMaxQueryNodes];
     int32_t chosen_n = 0;
     for (int32_t c : q.node(qa).children) {
       uint32_t need = fmask & cq.following_mask(c);
-      internal::WorkState<Counter>* source = nullptr;
+      Work* primary = nullptr;
       switch (q.node(c).axis) {
         case Axis::kChild:
-          source = &residual1;  // matched strictly below this node
+          primary = &residual1;  // matched strictly below this node
           break;
         case Axis::kDescendantOrSelf:
         case Axis::kSelf:
-          source = &main_ws;  // matched here or below
+          primary = &main_ws;  // matched here or below
           break;
         case Axis::kFollowingSibling:
         case Axis::kFollowing:
-          source = &right_ws;  // matched strictly to the right
+          primary = &right_ws;  // matched strictly to the right
           break;
         default:
           XMLSEL_CHECK(false && "unexpanded axis in compiled query");
       }
+      Work* source = nullptr;
       int32_t best = -1;
       int best_bits = -1;
-      auto scan = [&](internal::WorkState<Counter>* bucket) {
-        for (size_t k = 0; k < bucket->keys.size(); ++k) {
-          if (QPairNode(bucket->keys[k]) != c) continue;
-          uint32_t s = QPairMask(bucket->keys[k]);
-          if ((s & need) != need) continue;  // not a superset of F's view
+      uint32_t best_mask = 0;
+      auto scan = [&](Work* bucket) {
+        bucket->ForEachOfNode(c, [&](QPair key, int32_t handle) {
+          uint32_t s = QPairMask(key);
+          if ((s & need) != need) return;  // not a superset of F's view
           int bits = __builtin_popcount(s);
-          if (bits > best_bits) {
-            best = static_cast<int32_t>(k);
+          // Deterministic witness: strict (popcount, mask) lexicographic
+          // maximum — independent of bucket iteration order, so the
+          // dense and sorted-span paths agree bit for bit.
+          if (bits > best_bits || (bits == best_bits && s > best_mask)) {
+            best = handle;
             best_bits = bits;
+            best_mask = s;
             source = bucket;
           }
-        }
+        });
       };
-      internal::WorkState<Counter>* primary = source;
       scan(primary);
       if (!dedup) {
         // Optimistic discipline: kept pairs over-approximate positions,
@@ -536,7 +691,7 @@ void CountingTransitionInto(const CompiledQuery& cq, StateRegistry* reg,
         ok = false;
         break;
       }
-      inherited |= QPairMask(source->keys[static_cast<size_t>(best)]);
+      inherited |= best_mask;
       chosen[chosen_n++] = {source, best};
     }
     if (!ok) continue;
@@ -546,8 +701,8 @@ void CountingTransitionInto(const CompiledQuery& cq, StateRegistry* reg,
     // Consume-and-zero the chosen child counters (lines 9 and 13).
     for (int32_t ci = 0; ci < chosen_n; ++ci) {
       const Chosen& ch = chosen[ci];
-      Ops::Add(&sum, ch.source->vals[static_cast<size_t>(ch.idx)]);
-      ch.source->vals[static_cast<size_t>(ch.idx)] = Counter{};
+      Ops::Add(&sum, ch.source->val(ch.idx));
+      ch.source->val(ch.idx) = Counter{};
     }
     if (qa == cq.match_node()) {
       Ops::Add(&sum, Ops::One());  // lines 10-11
@@ -558,14 +713,13 @@ void CountingTransitionInto(const CompiledQuery& cq, StateRegistry* reg,
   if (dedup) restore_counts(/*before_loop=*/false);  // leftovers
 
   // Lines 15-16: carry over p2 \ p'2 unchanged, and merge the buckets.
-  internal::WorkState<Counter>& m = scratch->merged;
+  Work& m = *merged_bkt;
   m.Clear();
-  for (size_t i = 0; i < main_ws.keys.size(); ++i) {
-    m.Add(main_ws.keys[i], main_ws.vals[i], ops);
-  }
-  for (size_t i = 0; i < right_ws.keys.size(); ++i) {
-    m.Add(right_ws.keys[i], right_ws.vals[i], ops);
-  }
+  main_ws.ForEachAll(
+      [&](QPair key, int32_t handle) { m.Add(key, main_ws.val(handle), ops); });
+  right_ws.ForEachAll([&](QPair key, int32_t handle) {
+    m.Add(key, right_ws.val(handle), ops);
+  });
   for (size_t i = 0; i < pairs2.size(); ++i) {
     int32_t n = QPairNode(pairs2[i]);
     if (internal::KeepInP2(q.node(n).axis)) continue;
@@ -575,27 +729,62 @@ void CountingTransitionInto(const CompiledQuery& cq, StateRegistry* reg,
     // Optimistic discipline: keep the pairs p'1 dropped, with whatever
     // counts their consumers left them. Restoration is unnecessary —
     // unconsumed counts ride along in the kept pair itself.
-    for (size_t i = 0; i < residual1.keys.size(); ++i) {
-      m.Add(residual1.keys[i], residual1.vals[i], ops);
-    }
+    residual1.ForEachAll([&](QPair key, int32_t handle) {
+      m.Add(key, residual1.val(handle), ops);
+    });
   }
 
-  // Canonicalize: sort pairs (with their counters) and intern.
-  std::vector<uint32_t>& idx = scratch->sort_idx;
-  idx.resize(m.keys.size());
-  for (uint32_t i = 0; i < idx.size(); ++i) idx[i] = i;
-  std::sort(idx.begin(), idx.end(),
-            [&m](uint32_t a, uint32_t b) { return m.keys[a] < m.keys[b]; });
+  // Canonicalize and intern. The dense representation iterates in bit
+  // order, which IS sorted QPair order — no sort. The flat fallback
+  // index-sorts as before.
   std::vector<QPair>& sorted_keys = scratch->sorted_keys;
   sorted_keys.clear();
   out->counts.clear();
-  for (uint32_t i : idx) {
-    sorted_keys.push_back(m.keys[i]);
-    out->counts.push_back(std::move(m.vals[i]));
+  if constexpr (Work::kSorted) {
+    m.ForEachAll([&](QPair key, int32_t handle) {
+      sorted_keys.push_back(key);
+      out->counts.push_back(std::move(m.val(handle)));
+    });
+  } else {
+    std::vector<uint32_t>& idx = scratch->sort_idx;
+    idx.resize(m.keys.size());
+    for (uint32_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(), [&m](uint32_t a, uint32_t b) {
+      return m.keys[a] < m.keys[b];
+    });
+    for (uint32_t i : idx) {
+      sorted_keys.push_back(m.keys[i]);
+      out->counts.push_back(std::move(m.vals[i]));
+    }
   }
   // InternSorted probes the flat pool; only an unseen state copies the
   // keys in (the steady-state path is a pure probe).
   out->state = reg->InternSorted(sorted_keys);
+}
+
+}  // namespace internal
+
+template <typename Ops>
+void CountingTransitionInto(const CompiledQuery& cq, StateRegistry* reg,
+                            const AnnState<typename Ops::Counter>& p1,
+                            const AnnState<typename Ops::Counter>& p2,
+                            LabelId label, bool dedup,
+                            TransitionScratch<typename Ops::Counter>* scratch,
+                            AnnState<typename Ops::Counter>* out) {
+  if (reg->dense()) {
+    const PairIndexer* ix = reg->indexer();
+    scratch->main_d.Bind(ix);
+    scratch->right_d.Bind(ix);
+    scratch->residual_d.Bind(ix);
+    scratch->merged_d.Bind(ix);
+    internal::CountingTransitionImpl<Ops>(
+        cq, reg, p1, p2, label, dedup, &scratch->main_d, &scratch->right_d,
+        &scratch->residual_d, &scratch->merged_d, scratch, out);
+  } else {
+    internal::CountingTransitionImpl<Ops>(
+        cq, reg, p1, p2, label, dedup, &scratch->main_ws, &scratch->right_ws,
+        &scratch->residual1, &scratch->merged, scratch, out);
+  }
 }
 
 /// Convenience wrapper with local scratch and a returned result — for

@@ -8,8 +8,10 @@
 namespace xmlsel {
 
 DocEvalResult EvaluateOnDocument(const CompiledQuery& cq,
-                                 const Document& doc, bool dedup) {
+                                 const Document& doc, bool dedup,
+                                 bool use_dense_states) {
   StateRegistry reg;
+  if (use_dense_states) reg.AttachIndexer(&cq.indexer());
   TransitionScratch<int64_t> scratch;
   DocEvalResult out;
   using Ann = AnnState<int64_t>;

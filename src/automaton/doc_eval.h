@@ -24,9 +24,12 @@ struct DocEvalResult {
 /// Evaluates the compiled query bottom-up over bin(D), including the final
 /// virtual-root transition. `dedup` selects the counting discipline (see
 /// CountingTransition): true yields the exact/lower-bound count, false the
-/// embedding-counting upper bound.
+/// embedding-counting upper bound. `use_dense_states` lets tests force the
+/// sorted-span kernel even for dense-indexable queries, so the bitset path
+/// can be checked against the flat oracle; both produce identical results.
 DocEvalResult EvaluateOnDocument(const CompiledQuery& cq,
-                                 const Document& doc, bool dedup = true);
+                                 const Document& doc, bool dedup = true,
+                                 bool use_dense_states = true);
 
 }  // namespace xmlsel
 

@@ -28,9 +28,9 @@ LinearForm Substitute(const LinearForm& f,
   for (const LinearForm::Term& t : f) {
     int32_t arg = static_cast<int32_t>(t.first >> 32);
     QPair pair = static_cast<QPair>(t.first & 0xffffffffull);
-    LinearForm sub = args[static_cast<size_t>(arg)]->CountOf(reg, pair);
-    sub.ScaleBy(t.second);
-    out.Add(sub);
+    const LinearForm* sub =
+        args[static_cast<size_t>(arg)]->FindCount(reg, pair);
+    if (sub != nullptr) out.AddScaled(*sub, t.second);
   }
   return out;
 }
@@ -114,7 +114,11 @@ GrammarEvaluator::GrammarEvaluator(const SltGrammar* grammar,
                  ? cache
                  : nullptr),
       memo_(&arena_),
-      star_(cq, &reg_, maps, &scratch_, &arena_) {}
+      star_(cq, &reg_, maps, &scratch_, &arena_) {
+  // The compiled query outlives the evaluator, so its pair indexer can be
+  // borrowed; dense queries then run on the bitset state kernel.
+  reg_.AttachIndexer(&cq_->indexer());
+}
 
 const std::vector<std::vector<LabelId>>& GrammarEvaluator::StarRootLabels(
     int32_t rule) {
@@ -286,6 +290,8 @@ GrammarEvalResult GrammarEvaluator::Evaluate() {
   result.pool_pairs = reg_.pool_pairs();
   result.arena_bytes = arena_.bytes_allocated();
   result.heap_allocs = HotLoopHeapAllocs() - heap0;
+  result.compile_cache_hits = compile_cache_hits_;
+  result.compile_cache_misses = compile_cache_misses_;
   XMLSEL_VERIFY_STATUS(2, VerifyStateRegistry(reg_, cq_));
   XMLSEL_VERIFY_STATUS(2, VerifySigmaMemo(memo_, *g_, reg_, cq_));
   return result;

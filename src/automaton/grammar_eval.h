@@ -52,6 +52,13 @@ struct GrammarEvalResult {
   int64_t arena_bytes = 0;      ///< bytes bump-allocated by this evaluator
   int64_t heap_allocs = 0;      ///< hot-loop heap allocations (spills,
                                 ///< pool/table growth) during Evaluate()
+  // --- Compiled-query cache counters ---
+  // The evaluator itself never compiles; callers that obtained `cq` from
+  // a CompiledQueryCache forward the cache's counters here
+  // (GrammarEvaluator::SetCompileCacheStats) so batch workloads can
+  // report compile-vs-eval behaviour alongside the kernel counters.
+  int64_t compile_cache_hits = 0;
+  int64_t compile_cache_misses = 0;
 };
 
 /// σ result for one (rule, parameter states…) key: the root state plus
@@ -148,6 +155,13 @@ class GrammarEvaluator {
   StateRegistry* TestOnlyMutableRegistry() { return &reg_; }
   SigmaMemo* TestOnlyMutableMemo() { return &memo_; }
 
+  /// Records compiled-query-cache counters to copy into every Evaluate()
+  /// result (the cache lives a layer above; see GrammarEvalResult).
+  void SetCompileCacheStats(int64_t hits, int64_t misses) {
+    compile_cache_hits_ = hits;
+    compile_cache_misses_ = misses;
+  }
+
  private:
   using Ann = AnnState<LinearForm>;
 
@@ -192,6 +206,8 @@ class GrammarEvaluator {
   std::unordered_map<int32_t, std::vector<std::vector<LabelId>>>
       star_roots_cache_;
   std::unordered_map<int32_t, std::vector<int32_t>> post_order_cache_;
+  int64_t compile_cache_hits_ = 0;
+  int64_t compile_cache_misses_ = 0;
 };
 
 }  // namespace xmlsel

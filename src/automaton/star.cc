@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <type_traits>
 
 namespace xmlsel {
 
@@ -138,34 +139,6 @@ void StarEvaluator::Upper(std::span<const Ann* const> children,
     feasible[n] = ok && dn <= stats.height && sn <= stats.size;
   }
 
-  // --- Assemble the upper state: child pairs with all F-superset
-  // variants, plus all-F variants of feasible hidden pairs.
-  internal::WorkState<LinearForm>& m = assemble_;
-  m.Clear();
-  LinearOps ops;
-  auto add_supersets = [&](int32_t n, uint32_t base, const LinearForm& c) {
-    uint32_t follow = cq_->following_mask(n);
-    base &= follow;
-    uint32_t free = follow & ~base;
-    // Enumerate sub ⊆ free (standard submask walk, including 0).
-    uint32_t sub = free;
-    while (true) {
-      m.Add(MakeQPair(n, base | sub), c, ops);
-      if (sub == 0) break;
-      sub = (sub - 1) & free;
-    }
-  };
-  for (const Ann* c : children) {
-    std::span<const QPair> pairs = reg_->pairs(c->state);
-    for (size_t i = 0; i < pairs.size(); ++i) {
-      add_supersets(QPairNode(pairs[i]), QPairMask(pairs[i]), c->counts[i]);
-    }
-  }
-  for (int32_t n = 1; n < q.size(); ++n) {
-    if (feasible[n]) {
-      add_supersets(n, 0, LinearForm{});
-    }
-  }
   // Count flow into hidden spine matches. The hidden region's internal
   // consumption chain never replays, so every spine pair that hidden
   // nodes could satisfy must carry (a) the match counts already pending
@@ -189,28 +162,76 @@ void StarEvaluator::Upper(std::span<const Ann* const> children,
     }
   }
   bool hidden_match = feasible[cq_->match_node()];
-  for (size_t i = 0; i < spine.size(); ++i) {
-    int32_t qi = spine[i];
-    if (qi == 0) continue;  // the virtual root is never hidden
-    if (!feasible[qi]) continue;
-    LinearForm credit = suffix_flow_[i + 1];
-    if (hidden_match) credit.Add(LinearForm::Constant(stats.size));
-    if (credit.IsConstant() && credit.constant == 0) continue;
-    add_supersets(qi, 0, credit);
-  }
 
-  std::vector<uint32_t>& idx = sort_idx_;
-  idx.resize(m.keys.size());
-  for (uint32_t i = 0; i < idx.size(); ++i) idx[i] = i;
-  std::sort(idx.begin(), idx.end(),
-            [&m](uint32_t a, uint32_t b) { return m.keys[a] < m.keys[b]; });
-  sorted_keys_.clear();
-  out->counts.clear();
-  for (uint32_t i : idx) {
-    sorted_keys_.push_back(m.keys[i]);
-    out->counts.push_back(std::move(m.vals[i]));
+  // --- Assemble the upper state: child pairs with all F-superset
+  // variants, plus all-F variants of feasible hidden pairs. Generic over
+  // the work-state representation: the dense bitset bucket emits its
+  // canonical sorted span directly, the flat bucket sorts on emit.
+  auto assemble_emit = [&](auto& m) {
+    using Work = std::remove_reference_t<decltype(m)>;
+    m.Clear();
+    LinearOps ops;
+    auto add_supersets = [&](int32_t n, uint32_t base, const LinearForm& c) {
+      uint32_t follow = cq_->following_mask(n);
+      base &= follow;
+      uint32_t free = follow & ~base;
+      // Enumerate sub ⊆ free (standard submask walk, including 0).
+      uint32_t sub = free;
+      while (true) {
+        m.Add(MakeQPair(n, base | sub), c, ops);
+        if (sub == 0) break;
+        sub = (sub - 1) & free;
+      }
+    };
+    for (const Ann* c : children) {
+      std::span<const QPair> pairs = reg_->pairs(c->state);
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        add_supersets(QPairNode(pairs[i]), QPairMask(pairs[i]),
+                      c->counts[i]);
+      }
+    }
+    for (int32_t n = 1; n < q.size(); ++n) {
+      if (feasible[n]) {
+        add_supersets(n, 0, LinearForm{});
+      }
+    }
+    for (size_t i = 0; i < spine.size(); ++i) {
+      int32_t qi = spine[i];
+      if (qi == 0) continue;  // the virtual root is never hidden
+      if (!feasible[qi]) continue;
+      LinearForm credit = suffix_flow_[i + 1];
+      if (hidden_match) credit.Add(LinearForm::Constant(stats.size));
+      if (credit.IsConstant() && credit.constant == 0) continue;
+      add_supersets(qi, 0, credit);
+    }
+
+    sorted_keys_.clear();
+    out->counts.clear();
+    if constexpr (Work::kSorted) {
+      m.ForEachAll([&](QPair key, int32_t handle) {
+        sorted_keys_.push_back(key);
+        out->counts.push_back(std::move(m.val(handle)));
+      });
+    } else {
+      std::vector<uint32_t>& idx = sort_idx_;
+      idx.resize(m.keys.size());
+      for (uint32_t i = 0; i < idx.size(); ++i) idx[i] = i;
+      std::sort(idx.begin(), idx.end(), [&m](uint32_t a, uint32_t b) {
+        return m.keys[a] < m.keys[b];
+      });
+      for (uint32_t i : idx) {
+        sorted_keys_.push_back(m.keys[i]);
+        out->counts.push_back(std::move(m.vals[i]));
+      }
+    }
+    out->state = reg_->InternSorted(sorted_keys_);
+  };
+  if (reg_->dense()) {
+    assemble_d_.Bind(reg_->indexer());
+    assemble_emit(assemble_d_);
+  } else {
+    assemble_emit(assemble_);
   }
-  out->state = reg_->InternSorted(sorted_keys_);
 }
 
 }  // namespace xmlsel

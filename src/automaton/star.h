@@ -71,6 +71,7 @@ class StarEvaluator {
   Ann fold_a_;
   Ann fold_b_;
   internal::WorkState<LinearForm> assemble_;
+  internal::DenseWorkState<LinearForm> assemble_d_;
   std::vector<LinearForm> suffix_flow_;
   std::vector<uint32_t> sort_idx_;
   std::vector<QPair> sorted_keys_;

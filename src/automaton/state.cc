@@ -13,10 +13,47 @@ namespace {
 constexpr size_t kInitialTableSize = 64;  // power of two
 }  // namespace
 
+PairIndexer::PairIndexer(std::span<const uint32_t> following_masks) {
+  offset_.reserve(following_masks.size());
+  mask_.assign(following_masks.begin(), following_masks.end());
+  int64_t total = 0;
+  for (uint32_t m : following_masks) {
+    offset_.push_back(static_cast<int32_t>(total));
+    total += int64_t{1} << __builtin_popcount(m);
+  }
+  dense_ = total <= kStateBitsCapacity;
+  if (!dense_) return;
+  total_bits_ = static_cast<int32_t>(total);
+  pair_at_.reserve(static_cast<size_t>(total));
+  for (size_t n = 0; n < mask_.size(); ++n) {
+    // Submasks of FOLLOWING(n) in increasing order; Pext16 preserves that
+    // order, so the block's bits come out sorted by packed QPair.
+    uint32_t m = mask_[n];
+    uint32_t s = 0;
+    while (true) {
+      pair_at_.push_back(MakeQPair(static_cast<int32_t>(n), s));
+      if (s == m) break;
+      s = (s - m) & m;
+    }
+  }
+  XMLSEL_DCHECK_EQ(static_cast<int64_t>(pair_at_.size()), total);
+}
+
 StateRegistry::StateRegistry() {
   table_.assign(kInitialTableSize, -1);
   table_mask_ = kInitialTableSize - 1;
   Intern(std::span<const QPair>{});  // id 0 = ∅
+}
+
+void StateRegistry::AttachIndexer(const PairIndexer* indexer) {
+  XMLSEL_CHECK(indexer != nullptr);
+  // Attach before real use: only the empty state may exist, so every
+  // record from here on gets its word image computed at insert time.
+  XMLSEL_CHECK_EQ(records_.size(), 1u);
+  indexer_ = indexer;
+  if (indexer_->dense()) {
+    words_.assign(records_.size(), StateBits{});
+  }
 }
 
 StateId StateRegistry::FindSlot(std::span<const QPair> pairs, uint64_t hash,
@@ -47,6 +84,11 @@ StateId StateRegistry::Insert(std::span<const QPair> pairs, uint64_t hash,
   r.hash = hash;
   pool_.insert(pool_.end(), pairs.begin(), pairs.end());
   records_.push_back(r);
+  if (dense()) {
+    StateBits bits;
+    for (QPair p : pairs) bits.Set(indexer_->IndexOf(p));
+    words_.push_back(bits);
+  }
   table_[slot] = id;
   // Grow at ~70% load so probe chains stay short.
   if (records_.size() * 10 >= table_.size() * 7) GrowTable();
@@ -96,6 +138,9 @@ StateId StateRegistry::Find(std::span<const QPair> pairs) const {
 }
 
 bool StateRegistry::Contains(StateId id, QPair pair) const {
+  if (dense() && indexer_->Indexable(pair)) {
+    return words_[static_cast<size_t>(id)].Test(indexer_->IndexOf(pair));
+  }
   std::span<const QPair> v = pairs(id);
   return std::binary_search(v.begin(), v.end(), pair);
 }

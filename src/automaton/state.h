@@ -24,6 +24,12 @@
 
 namespace xmlsel {
 
+/// Number of 64-bit words in a dense state bitset. 256 bits cover every
+/// query whose per-node F-set spaces (Σ_q 2^|FOLLOWING(q)|) fit the
+/// budget; larger queries fall back to the sorted-span representation.
+inline constexpr int32_t kStateWords = 4;
+inline constexpr int32_t kStateBitsCapacity = kStateWords * 64;
+
 /// Maximum number of nodes in a compiled query (pair packing uses 16-bit
 /// F-set bitmasks indexed by query-node id).
 inline constexpr int32_t kMaxQueryNodes = 16;
@@ -40,6 +46,122 @@ inline uint32_t QPairMask(QPair p) { return p & 0xffffu; }
 
 /// Interned automaton state id. Id 0 is always the empty state.
 using StateId = int32_t;
+
+/// A state as a fixed-width occupancy bitset: bit i set ⇔ the pair
+/// PairIndexer::PairAt(i) belongs to the state. Union/intersection/
+/// membership become word-wide OR/AND/test, and because the indexer's
+/// bit order equals QPair sorted order, iterating set bits low-to-high
+/// re-derives the canonical sorted span with no sort.
+struct StateBits {
+  uint64_t w[kStateWords] = {0, 0, 0, 0};
+
+  void Set(int32_t bit) {
+    XMLSEL_DCHECK(bit >= 0 && bit < kStateBitsCapacity);
+    w[bit >> 6] |= uint64_t{1} << (bit & 63);
+  }
+  bool Test(int32_t bit) const {
+    XMLSEL_DCHECK(bit >= 0 && bit < kStateBitsCapacity);
+    return (w[bit >> 6] >> (bit & 63)) & 1u;
+  }
+  void OrWith(const StateBits& o) {
+    for (int32_t i = 0; i < kStateWords; ++i) w[i] |= o.w[i];
+  }
+  void AndWith(const StateBits& o) {
+    for (int32_t i = 0; i < kStateWords; ++i) w[i] &= o.w[i];
+  }
+  bool Any() const {
+    return (w[0] | w[1] | w[2] | w[3]) != 0;
+  }
+  int32_t Popcount() const {
+    int32_t n = 0;
+    for (int32_t i = 0; i < kStateWords; ++i) {
+      n += __builtin_popcountll(w[i]);
+    }
+    return n;
+  }
+  /// Number of set bits strictly below `bit` — the rank that maps a dense
+  /// bit to its position in the state's sorted pair span.
+  int32_t RankBelow(int32_t bit) const {
+    XMLSEL_DCHECK(bit >= 0 && bit < kStateBitsCapacity);
+    int32_t word = bit >> 6;
+    int32_t n = 0;
+    for (int32_t i = 0; i < word; ++i) n += __builtin_popcountll(w[i]);
+    uint64_t below = (uint64_t{1} << (bit & 63)) - 1;
+    return n + __builtin_popcountll(w[word] & below);
+  }
+  friend bool operator==(const StateBits& a, const StateBits& b) {
+    return a.w[0] == b.w[0] && a.w[1] == b.w[1] && a.w[2] == b.w[2] &&
+           a.w[3] == b.w[3];
+  }
+};
+
+/// Parallel-extract of `value`'s bits selected by `mask` (software PEXT
+/// over 16-bit masks). Strictly monotonic over submasks of `mask`, which
+/// is what keeps dense bit order equal to sorted QPair order.
+inline uint32_t Pext16(uint32_t value, uint32_t mask) {
+  uint32_t out = 0;
+  uint32_t bit = 1;
+  while (mask != 0) {
+    uint32_t low = mask & (0u - mask);  // lowest set bit
+    if (value & low) out |= bit;
+    bit <<= 1;
+    mask &= mask - 1;
+  }
+  return out;
+}
+
+/// Per-query dense numbering of the legal ⟨q, S⟩ pairs. Every pair a
+/// transition can produce satisfies S ⊆ FOLLOWING(q), so node q owns a
+/// contiguous block of 2^|FOLLOWING(q)| bits and a pair's bit is
+/// offset(q) + Pext16(S, FOLLOWING(q)). The numbering is order-
+/// preserving: bit i < bit j ⇔ PairAt(i) < PairAt(j) as packed QPairs.
+/// Queries whose blocks exceed kStateBitsCapacity are not dense-capable
+/// and evaluate on the sorted-span path unchanged.
+class PairIndexer {
+ public:
+  PairIndexer() = default;
+  /// Builds the numbering from per-node FOLLOWING masks.
+  explicit PairIndexer(std::span<const uint32_t> following_masks);
+
+  /// Whether the whole pair space fits kStateBitsCapacity bits.
+  bool dense() const { return dense_; }
+  int32_t total_bits() const { return total_bits_; }
+  int32_t size() const { return static_cast<int32_t>(offset_.size()); }
+
+  /// Whether `p` is a legal pair of this query (node in range, mask a
+  /// submask of the node's FOLLOWING frontier).
+  bool Indexable(QPair p) const {
+    int32_t n = QPairNode(p);
+    return n < size() && (QPairMask(p) & ~mask_[static_cast<size_t>(n)]) == 0;
+  }
+  int32_t IndexOf(QPair p) const {
+    XMLSEL_DCHECK(dense_ && Indexable(p));
+    int32_t n = QPairNode(p);
+    return offset_[static_cast<size_t>(n)] +
+           static_cast<int32_t>(
+               Pext16(QPairMask(p), mask_[static_cast<size_t>(n)]));
+  }
+  /// Inverse of IndexOf.
+  QPair PairAt(int32_t bit) const {
+    return pair_at_[static_cast<size_t>(bit)];
+  }
+  /// Dense bit range [NodeBegin(n), NodeEnd(n)) holding node n's pairs.
+  int32_t NodeBegin(int32_t n) const {
+    return offset_[static_cast<size_t>(n)];
+  }
+  int32_t NodeEnd(int32_t n) const {
+    return static_cast<size_t>(n) + 1 < offset_.size()
+               ? offset_[static_cast<size_t>(n) + 1]
+               : total_bits_;
+  }
+
+ private:
+  bool dense_ = false;
+  int32_t total_bits_ = 0;
+  std::vector<int32_t> offset_;   // per node, start of its bit block
+  std::vector<uint32_t> mask_;    // per node, FOLLOWING mask
+  std::vector<QPair> pair_at_;    // bit → pair (dense only)
+};
 
 /// Registry of canonical states. Not thread-safe (one per evaluation).
 class StateRegistry {
@@ -65,8 +187,25 @@ class StateRegistry {
     return {pool_.data() + r.offset, static_cast<size_t>(r.len)};
   }
 
-  /// Whether `pair` belongs to state `id` (binary search).
+  /// Whether `pair` belongs to state `id` (a word test when a dense
+  /// indexer is attached, binary search otherwise).
   bool Contains(StateId id, QPair pair) const;
+
+  /// Attaches the compiled query's pair numbering. When it is dense, the
+  /// registry maintains a StateBits word image next to every record's
+  /// span (derived at insert time, so the two views never diverge — the
+  /// verify layer audits exactly that). Must be called before any state
+  /// beyond the empty one is interned; `indexer` must outlive the
+  /// registry's use.
+  void AttachIndexer(const PairIndexer* indexer);
+  /// Whether states carry dense word images.
+  bool dense() const { return indexer_ != nullptr && indexer_->dense(); }
+  const PairIndexer* indexer() const { return indexer_; }
+  /// The word image of a state (dense registries only).
+  const StateBits& bits(StateId id) const {
+    XMLSEL_DCHECK(dense());
+    return words_[static_cast<size_t>(id)];
+  }
 
   /// Pure const probe: the id of the state with exactly this sorted pair
   /// span, or -1 if absent. The verifier uses it to prove every record is
@@ -76,6 +215,12 @@ class StateRegistry {
   /// Mutation-test hook: overwrites one pool word in place, corrupting
   /// every invariant downstream of it. Never called outside tests.
   void TestOnlyCorruptPool(size_t index, QPair value) { pool_[index] = value; }
+
+  /// Mutation-test hook: corrupts one word of a state's dense image so
+  /// the verifier's span-vs-words audit can be exercised.
+  void TestOnlyCorruptWords(StateId id, int32_t word, uint64_t value) {
+    words_[static_cast<size_t>(id)].w[word] = value;
+  }
 
   StateId empty_state() const { return 0; }
   int64_t size() const { return static_cast<int64_t>(records_.size()); }
@@ -105,6 +250,8 @@ class StateRegistry {
   std::vector<StateId> table_;    // open addressing; -1 = empty slot
   size_t table_mask_ = 0;         // table_.size() - 1 (power of two)
   std::vector<QPair> sort_buf_;   // scratch for the unsorted Intern path
+  const PairIndexer* indexer_ = nullptr;  // not owned
+  std::vector<StateBits> words_;  // per-state dense image (dense() only)
   mutable int64_t probes_ = 0;
   mutable int64_t hits_ = 0;
 };

@@ -188,6 +188,7 @@ Result<CompiledQuery> CompiledQuery::Compile(const Query& original) {
     cq.spine_index_[static_cast<size_t>(cq.spine_[i])] =
         static_cast<int32_t>(i);
   }
+  cq.indexer_ = PairIndexer(cq.following_mask_);
   return cq;
 }
 

@@ -71,6 +71,13 @@ class CompiledQuery {
   /// query nodes); used by the upper-bound star to enumerate variants.
   uint32_t all_following_bits() const { return all_following_bits_; }
 
+  /// Dense numbering of this query's legal ⟨q, S⟩ pairs. Evaluators
+  /// attach it to their StateRegistry (StateRegistry::AttachIndexer) to
+  /// enable the bitset state kernel; when the query's pair space exceeds
+  /// kStateBitsCapacity the indexer reports !dense() and evaluation
+  /// stays on the sorted-span path.
+  const PairIndexer& indexer() const { return indexer_; }
+
  private:
   Query query_;
   std::vector<uint32_t> following_mask_;
@@ -78,6 +85,7 @@ class CompiledQuery {
   std::vector<int32_t> spine_;
   std::vector<int32_t> spine_index_;
   uint32_t all_following_bits_ = 0;
+  PairIndexer indexer_;
 };
 
 }  // namespace xmlsel

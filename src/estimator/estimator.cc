@@ -3,62 +3,23 @@
 
 #include "estimator/estimator.h"
 
+#include "automaton/compiled_cache.h"
 #include "automaton/grammar_eval.h"
 #include "query/parser.h"
-#include "query/rewrite.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 namespace xmlsel {
 
 namespace {
 
-/// A query taken through parse → rewrite → compile, ready for bound
-/// evaluation. Compilation happens once on the controller thread; the
-/// bound evaluations only read it.
-struct PreparedQuery {
-  bool unsatisfiable = false;
-  CompiledQuery lower;
-  /// Upper-bound compilation. Order-free queries reuse `lower` (the
-  /// relaxation is the identity there), so this stays empty and
-  /// shared_upper is set — the previous implementation compiled the
-  /// same query twice.
-  CompiledQuery upper;
-  bool shared_upper = false;
-  LabelId match_test = kWildcardTest;
-};
-
-Result<PreparedQuery> PrepareQuery(const Query& query) {
-  Result<RewriteOutcome> rewritten = RewriteReverseAxes(query);
-  if (!rewritten.ok()) return rewritten.status();
-  PreparedQuery out;
-  if (rewritten.value().unsatisfiable) {
-    out.unsatisfiable = true;
-    return out;
-  }
-  const Query& fwd = rewritten.value().query;
-  Result<CompiledQuery> compiled = CompiledQuery::Compile(fwd);
-  if (!compiled.ok()) return compiled.status();
-  out.match_test = fwd.node(fwd.match_node()).test;
-  out.lower = std::move(compiled.value());
-  if (HasOrderAxes(fwd)) {
-    // Upper bound for order-sensitive queries: evaluate the order-relaxed
-    // query (the strict transition under-approximates deferred following
-    // witnesses, so the over-approximation drops ordering constraints).
-    Result<CompiledQuery> upper = CompiledQuery::Compile(
-        RelaxOrderConstraints(fwd));
-    if (!upper.ok()) return upper.status();
-    out.upper = std::move(upper.value());
-  } else {
-    out.shared_upper = true;
-  }
-  return out;
-}
-
-const CompiledQuery& UpperQueryOf(const PreparedQuery& pq) {
-  return pq.shared_upper ? pq.lower : pq.upper;
-}
+/// Shared handle to an interned compiled query. Preparation (rewrite +
+/// compile, served from the synopsis's CompiledQueryCache on repeated
+/// shapes) happens on the controller thread; the bound evaluations only
+/// read through the handle.
+using PreparedHandle = std::shared_ptr<const PreparedQuery>;
 
 int64_t EvaluateBound(const Synopsis& synopsis, const CompiledQuery& cq,
                       BoundMode mode, const SynopsisEvalCache* cache) {
@@ -98,9 +59,9 @@ Result<SelectivityEstimate> SelectivityEstimator::Estimate(
 
 Result<SelectivityEstimate> SelectivityEstimator::EstimateQuery(
     const Query& query) {
-  Result<PreparedQuery> prepared = PrepareQuery(query);
+  Result<PreparedHandle> prepared = synopsis_.query_cache().Prepare(query);
   if (!prepared.ok()) return prepared.status();
-  const PreparedQuery& pq = prepared.value();
+  const PreparedQuery& pq = *prepared.value();
   if (pq.unsatisfiable) {
     return SelectivityEstimate{0, 0};  // provably empty: exact answer
   }
@@ -155,10 +116,14 @@ std::vector<Result<SelectivityEstimate>> SelectivityEstimator::EstimateBatch(
   if (threads <= 0) threads = DefaultThreadCount();
   const size_t n = queries.size();
 
-  // Phase 1 (controller thread): rewrite + compile every query.
-  std::vector<Result<PreparedQuery>> prepared;
+  // Phase 1 (controller thread): rewrite every query and intern its
+  // compilation — k distinct shapes in the batch cost exactly k compiles,
+  // however many queries share them.
+  std::vector<Result<PreparedHandle>> prepared;
   prepared.reserve(n);
-  for (const Query& q : queries) prepared.push_back(PrepareQuery(q));
+  for (const Query& q : queries) {
+    prepared.push_back(synopsis_.query_cache().Prepare(q));
+  }
 
   // Phase 2: evaluate both bounds of every compiled query. Each task
   // owns its evaluator (registry + memo); the synopsis and its eval
@@ -168,7 +133,7 @@ std::vector<Result<SelectivityEstimate>> SelectivityEstimator::EstimateBatch(
   std::vector<int64_t> lower_counts(n, 0);
   std::vector<int64_t> upper_counts(n, 0);
   auto eval_one = [&](size_t i, BoundMode mode) {
-    const PreparedQuery& pq = prepared[i].value();
+    const PreparedQuery& pq = *prepared[i].value();
     if (mode == BoundMode::kLower) {
       lower_counts[i] =
           EvaluateBound(synopsis_, pq.lower, BoundMode::kLower, cache);
@@ -180,14 +145,14 @@ std::vector<Result<SelectivityEstimate>> SelectivityEstimator::EstimateBatch(
   };
   if (threads == 1) {
     for (size_t i = 0; i < n; ++i) {
-      if (!prepared[i].ok() || prepared[i].value().unsatisfiable) continue;
+      if (!prepared[i].ok() || prepared[i].value()->unsatisfiable) continue;
       eval_one(i, BoundMode::kLower);
       eval_one(i, BoundMode::kUpper);
     }
   } else {
     ThreadPool* p = pool(threads);
     for (size_t i = 0; i < n; ++i) {
-      if (!prepared[i].ok() || prepared[i].value().unsatisfiable) continue;
+      if (!prepared[i].ok() || prepared[i].value()->unsatisfiable) continue;
       p->Submit([&eval_one, i] { eval_one(i, BoundMode::kLower); });
       p->Submit([&eval_one, i] { eval_one(i, BoundMode::kUpper); });
     }
@@ -200,10 +165,10 @@ std::vector<Result<SelectivityEstimate>> SelectivityEstimator::EstimateBatch(
   for (size_t i = 0; i < n; ++i) {
     if (!prepared[i].ok()) {
       out.push_back(Result<SelectivityEstimate>(prepared[i].status()));
-    } else if (prepared[i].value().unsatisfiable) {
+    } else if (prepared[i].value()->unsatisfiable) {
       out.push_back(SelectivityEstimate{0, 0});
     } else {
-      out.push_back(FinalizeEstimate(synopsis_, prepared[i].value(),
+      out.push_back(FinalizeEstimate(synopsis_, *prepared[i].value(),
                                      lower_counts[i], upper_counts[i]));
     }
   }

@@ -130,8 +130,10 @@ void Synopsis::CopyFrom(const Synopsis& o) {
   options_ = o.options_;
   deleted_ = o.deleted_;
   // The cache points into the source's members; this copy rebuilds its
-  // own lazily on first use.
+  // own lazily on first use. The compiled-query cache keys on label ids
+  // of the replaced NameTable, so it must restart empty too.
   InvalidateEvalCache();
+  query_cache_.Clear();
 }
 
 void Synopsis::MoveFrom(Synopsis* o) {
@@ -144,7 +146,9 @@ void Synopsis::MoveFrom(Synopsis* o) {
   options_ = o->options_;
   deleted_ = o->deleted_;
   o->InvalidateEvalCache();
+  o->query_cache_.Clear();
   InvalidateEvalCache();
+  query_cache_.Clear();
 }
 
 int64_t Synopsis::PackedSizeBytes() const {

@@ -13,6 +13,7 @@
 #include <mutex>
 #include <vector>
 
+#include "automaton/compiled_cache.h"
 #include "automaton/eval_cache.h"
 #include "grammar/bplex.h"
 #include "grammar/lossy.h"
@@ -105,6 +106,14 @@ class Synopsis {
   /// synopsis (RecomputeLossy / updates), which invalidates the cache.
   const SynopsisEvalCache& eval_cache() const;
 
+  /// The compiled-query intern table for queries parsed against this
+  /// synopsis's NameTable. Thread-safe; shared by all estimators over
+  /// this synopsis. Unlike the eval cache it survives grammar mutations
+  /// (compiled queries depend only on the AST and the append-only label
+  /// ids), but copy/move reset it — the source's NameTable is replaced,
+  /// so old keys would alias unrelated labels.
+  CompiledQueryCache& query_cache() const { return query_cache_; }
+
   /// Re-derives the lossy layer from the (possibly updated) lossless
   /// layer; called after a batch of updates (§6). `stats`, when non-null,
   /// receives the lossy / analysis stage timings.
@@ -149,6 +158,9 @@ class Synopsis {
   /// synopses — it points into this object's lossy_/maps_.
   mutable std::mutex cache_mu_;
   mutable std::shared_ptr<const SynopsisEvalCache> eval_cache_;
+  /// Compiled-query intern table; Clear()ed by CopyFrom/MoveFrom (the
+  /// NameTable — and with it the meaning of label ids — changes).
+  mutable CompiledQueryCache query_cache_;
 };
 
 }  // namespace xmlsel

@@ -223,4 +223,25 @@ Result<RewriteOutcome> RewriteReverseAxes(const Query& in) {
   return out;
 }
 
+std::vector<int32_t> CanonicalQueryKey(const Query& query) {
+  std::vector<int32_t> key;
+  key.reserve(static_cast<size_t>(query.size()) * 4);
+  std::vector<int32_t> stack;
+  stack.push_back(query.root());
+  while (!stack.empty()) {
+    int32_t n = stack.back();
+    stack.pop_back();
+    const QueryNode& qn = query.node(n);
+    key.push_back(static_cast<int32_t>(qn.axis));
+    key.push_back(qn.test);
+    key.push_back(static_cast<int32_t>(qn.children.size()));
+    key.push_back(n == query.match_node() ? 1 : 0);
+    // Reverse push keeps siblings in document order in the serialization.
+    for (auto it = qn.children.rbegin(); it != qn.children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return key;
+}
+
 }  // namespace xmlsel

@@ -20,6 +20,9 @@
 #ifndef XMLSEL_QUERY_REWRITE_H_
 #define XMLSEL_QUERY_REWRITE_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "query/ast.h"
 #include "xmlsel/status.h"
 
@@ -34,6 +37,16 @@ struct RewriteOutcome {
 /// Rewrites `in` into an equivalent forward-only query, or reports
 /// kUnsupported when the query needs the (union-producing) general rewrite.
 Result<RewriteOutcome> RewriteReverseAxes(const Query& in);
+
+/// Canonical structural key of a query: a preorder serialization of
+/// (axis, test, child-count, is-match-node) per node. Two queries get the
+/// same key iff their trees are identical node-for-node in document order.
+/// Sibling order is deliberately *not* normalized — following /
+/// following-sibling axes make sibling order semantically meaningful, so
+/// reordering would conflate distinct queries. Node tests are label ids
+/// from a specific NameTable; keys are only comparable for queries parsed
+/// against the same table (the compiled-query cache's invariant).
+std::vector<int32_t> CanonicalQueryKey(const Query& query);
 
 }  // namespace xmlsel
 

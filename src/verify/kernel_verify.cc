@@ -67,6 +67,29 @@ Status VerifyStateRegistry(const StateRegistry& reg,
           " is not rehashable (probe resolves to " + std::to_string(found) +
           "; stale hash, table slot, or duplicate span)");
     }
+    if (reg.dense()) {
+      // The bitset image is derived data: every record's words must
+      // re-derive exactly from its sorted span through the attached
+      // indexer. A mismatch means the two state representations have
+      // diverged (membership tests and rank lookups would disagree with
+      // the span the packed layers and the σ-memo see).
+      const PairIndexer& idx = *reg.indexer();
+      StateBits want;
+      for (QPair p : pairs) {
+        if (!idx.Indexable(p)) {
+          return Status::Corruption(
+              "automaton/state: state " + std::to_string(id) +
+              " carries a pair outside the dense indexer's pair space");
+        }
+        want.Set(idx.IndexOf(p));
+      }
+      if (!(want == reg.bits(id))) {
+        return Status::Corruption(
+            "automaton/state: state " + std::to_string(id) +
+            " bitset words do not re-derive from its sorted span "
+            "(dense/flat representations diverged)");
+      }
+    }
   }
   if (expected_offset != reg.pool_pairs()) {
     return Status::Corruption(

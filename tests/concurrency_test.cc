@@ -10,13 +10,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "automaton/compiled_cache.h"
 #include "automaton/grammar_eval.h"
 #include "baseline/exact.h"
 #include "data/generator.h"
@@ -205,6 +208,80 @@ TEST(ConcurrencyTest, SharedCacheEvaluatorsRaceCleanly) {
   }
   for (int t = 0; t < 8; ++t) {
     EXPECT_EQ(warm_allocs[static_cast<size_t>(t)], 0) << "thread " << t;
+  }
+}
+
+TEST(ConcurrencyTest, CompiledQueryCacheHammeredFromEightThreads) {
+  ConcurrencyFixture f = ConcurrencyFixture::Make(/*kappa=*/20,
+                                                  /*order_axis_prob=*/0.2);
+  const Synopsis& synopsis = f.estimator.synopsis();
+  CompiledQueryCache& cache = synopsis.query_cache();
+  const size_t kShapes = std::min<size_t>(12, f.queries.size());
+  // Single-thread reference: prepare every shape once, cold.
+  std::vector<std::shared_ptr<const PreparedQuery>> reference;
+  CompiledQueryCache cold;
+  for (size_t i = 0; i < kShapes; ++i) {
+    Result<std::shared_ptr<const PreparedQuery>> pq =
+        cold.Prepare(f.queries[i]);
+    ASSERT_TRUE(pq.ok());
+    reference.push_back(pq.value());
+  }
+  // Hammer the shared cache: 8 threads × many rounds over the same
+  // shapes, all hitting Prepare concurrently. Every handle must carry a
+  // compilation identical to the cold reference, and evaluating through
+  // it must match the reference evaluation exactly.
+  std::vector<std::vector<int64_t>> per_thread(8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<int64_t>& trace = per_thread[static_cast<size_t>(t)];
+      for (int round = 0; round < 6; ++round) {
+        for (size_t i = 0; i < kShapes; ++i) {
+          Result<std::shared_ptr<const PreparedQuery>> pq =
+              cache.Prepare(f.queries[i]);
+          ASSERT_TRUE(pq.ok());
+          const PreparedQuery& got = *pq.value();
+          const PreparedQuery& want = *reference[i];
+          ASSERT_EQ(got.unsatisfiable, want.unsatisfiable);
+          ASSERT_EQ(got.shared_upper, want.shared_upper);
+          ASSERT_EQ(got.match_test, want.match_test);
+          if (got.unsatisfiable) continue;
+          GrammarEvaluator eval(&synopsis.lossy(), &got.lower,
+                                &synopsis.label_maps(), BoundMode::kLower,
+                                &synopsis.eval_cache());
+          trace.push_back(eval.Evaluate().count);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 1; t < 8; ++t) {
+    EXPECT_EQ(per_thread[0], per_thread[static_cast<size_t>(t)]);
+  }
+  // Whatever the interleaving: one interned entry per distinct shape,
+  // every satisfiable Prepare counted as a hit or a miss, and at most 8
+  // racing first-touch compiles per distinct shape.
+  int64_t satisfiable = 0;
+  for (const auto& pq : reference) {
+    if (!pq->unsatisfiable) ++satisfiable;
+  }
+  const int64_t distinct = cold.size();
+  EXPECT_EQ(cache.size(), distinct);
+  EXPECT_EQ(cache.hits() + cache.misses(), 8 * 6 * satisfiable);
+  EXPECT_LE(cache.misses(), 8 * distinct);
+  EXPECT_GE(cache.misses(), distinct);
+  // Reference check against the sequential estimator path too: a cached
+  // handle estimates exactly what a fresh estimator computes.
+  std::vector<Result<SelectivityEstimate>> cached_run = f.estimator.EstimateBatch(
+      std::span<const Query>(f.queries.data(), kShapes), 1);
+  SelectivityEstimator fresh(synopsis);
+  std::vector<Result<SelectivityEstimate>> fresh_run = fresh.EstimateBatch(
+      std::span<const Query>(f.queries.data(), kShapes), 1);
+  for (size_t i = 0; i < kShapes; ++i) {
+    ASSERT_EQ(cached_run[i].ok(), fresh_run[i].ok());
+    if (!cached_run[i].ok()) continue;
+    EXPECT_EQ(cached_run[i].value().lower, fresh_run[i].value().lower);
+    EXPECT_EQ(cached_run[i].value().upper, fresh_run[i].value().upper);
   }
 }
 

@@ -9,13 +9,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
+#include <string_view>
 #include <vector>
 
+#include "automaton/compiled_cache.h"
 #include "automaton/counting.h"
+#include "automaton/doc_eval.h"
 #include "automaton/grammar_eval.h"
 #include "data/generator.h"
+#include "estimator/estimator.h"
 #include "estimator/synopsis.h"
 #include "query/parser.h"
 #include "tests/test_util.h"
@@ -355,6 +360,251 @@ TEST(KernelTest, WarmEvaluatorReRunsWithoutHeapAllocation) {
       EXPECT_GT(cold.pool_pairs, 0) << text;
     }
   }
+}
+
+// --------------------------------------------------------------------
+// Dense bitset states vs. the sorted-span oracle
+
+/// Random per-node FOLLOWING masks over `size` query nodes, each with at
+/// most 3 bits so the pair space always stays dense.
+std::vector<uint32_t> RandomFollowingMasks(Rng* rng, int32_t size) {
+  std::vector<uint32_t> masks(static_cast<size_t>(size), 0);
+  for (int32_t n = 1; n < size; ++n) {
+    for (int b = 0; b < 3; ++b) {
+      if (rng->Chance(0.3)) {
+        masks[static_cast<size_t>(n)] |=
+            1u << rng->Uniform(1, static_cast<int64_t>(size) - 1);
+      }
+    }
+  }
+  return masks;
+}
+
+TEST(PairIndexerTest, RoundTripsAndPreservesSortedOrder) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 100; ++trial) {
+    int32_t size = static_cast<int32_t>(rng.Uniform(2, 9));
+    std::vector<uint32_t> masks = RandomFollowingMasks(&rng, size);
+    PairIndexer idx{std::span<const uint32_t>(masks)};
+    ASSERT_TRUE(idx.dense());
+    QPair prev = 0;
+    for (int32_t bit = 0; bit < idx.total_bits(); ++bit) {
+      QPair p = idx.PairAt(bit);
+      // Bit order equals packed-QPair sorted order (this is what lets the
+      // dense kernel emit canonical spans without sorting).
+      if (bit > 0) EXPECT_LT(prev, p);
+      prev = p;
+      ASSERT_TRUE(idx.Indexable(p));
+      EXPECT_EQ(idx.IndexOf(p), bit);  // PairAt/IndexOf are inverse
+    }
+    // Node blocks tile [0, total_bits) with 2^|FOLLOWING(n)| bits each.
+    int32_t expect_begin = 0;
+    for (int32_t n = 0; n < size; ++n) {
+      EXPECT_EQ(idx.NodeBegin(n), expect_begin);
+      EXPECT_EQ(idx.NodeEnd(n) - idx.NodeBegin(n),
+                1 << __builtin_popcount(masks[static_cast<size_t>(n)]));
+      expect_begin = idx.NodeEnd(n);
+    }
+    EXPECT_EQ(expect_begin, idx.total_bits());
+  }
+}
+
+TEST(StateBitsPropertyTest, WordOpsMatchSortedSpanOracle) {
+  Rng rng(20260808);
+  for (int trial = 0; trial < 30; ++trial) {
+    int32_t size = static_cast<int32_t>(rng.Uniform(2, 8));
+    std::vector<uint32_t> masks = RandomFollowingMasks(&rng, size);
+    PairIndexer idx{std::span<const uint32_t>(masks)};
+    ASSERT_TRUE(idx.dense());
+
+    StateRegistry dense_reg;
+    dense_reg.AttachIndexer(&idx);
+    StateRegistry flat_reg;  // oracle: identical insertions, span path only
+    ASSERT_TRUE(dense_reg.dense());
+    ASSERT_FALSE(flat_reg.dense());
+
+    std::vector<std::vector<QPair>> spans = {{}};
+    for (int step = 0; step < 60; ++step) {
+      // Random indexable sorted pair set: a subset of the dense bits.
+      std::vector<QPair> pairs;
+      for (int32_t bit = 0; bit < idx.total_bits(); ++bit) {
+        if (rng.Chance(0.25)) pairs.push_back(idx.PairAt(bit));
+      }
+      StateId a = dense_reg.InternSorted(pairs);
+      StateId b = flat_reg.InternSorted(pairs);
+      ASSERT_EQ(a, b);  // dense images never perturb id assignment
+      if (a == static_cast<StateId>(spans.size())) spans.push_back(pairs);
+
+      const StateBits& bits = dense_reg.bits(a);
+      EXPECT_EQ(bits.Popcount(), static_cast<int32_t>(pairs.size()));
+      EXPECT_EQ(bits.Any(), !pairs.empty());
+      for (int32_t bit = 0; bit < idx.total_bits(); ++bit) {
+        QPair p = idx.PairAt(bit);
+        bool in_span = std::binary_search(pairs.begin(), pairs.end(), p);
+        EXPECT_EQ(bits.Test(bit), in_span);
+        EXPECT_EQ(dense_reg.Contains(a, p), flat_reg.Contains(b, p));
+        if (in_span) {
+          // Rank == position in the sorted span: the lookup the dense
+          // FindCount path uses in place of binary search.
+          auto it = std::lower_bound(pairs.begin(), pairs.end(), p);
+          EXPECT_EQ(bits.RankBelow(bit),
+                    static_cast<int32_t>(it - pairs.begin()));
+        }
+      }
+      // Pairs outside the indexer's space fall back to the span path.
+      EXPECT_FALSE(dense_reg.Contains(a, MakeQPair(kMaxQueryNodes - 1, 0)));
+    }
+
+    // Word-wide union/intersection vs. std::set_union/set_intersection.
+    int64_t max_id = static_cast<int64_t>(spans.size()) - 1;
+    for (int step = 0; step < 40; ++step) {
+      StateId i = static_cast<StateId>(rng.Uniform(0, max_id));
+      StateId j = static_cast<StateId>(rng.Uniform(0, max_id));
+      StateBits u = dense_reg.bits(i);
+      u.OrWith(dense_reg.bits(j));
+      StateBits n = dense_reg.bits(i);
+      n.AndWith(dense_reg.bits(j));
+      std::vector<QPair> want_u;
+      std::vector<QPair> want_n;
+      const auto& si = spans[static_cast<size_t>(i)];
+      const auto& sj = spans[static_cast<size_t>(j)];
+      std::set_union(si.begin(), si.end(), sj.begin(), sj.end(),
+                     std::back_inserter(want_u));
+      std::set_intersection(si.begin(), si.end(), sj.begin(), sj.end(),
+                            std::back_inserter(want_n));
+      std::vector<QPair> got_u;
+      std::vector<QPair> got_n;
+      for (int32_t bit = 0; bit < idx.total_bits(); ++bit) {
+        if (u.Test(bit)) got_u.push_back(idx.PairAt(bit));
+        if (n.Test(bit)) got_n.push_back(idx.PairAt(bit));
+      }
+      EXPECT_EQ(got_u, want_u);
+      EXPECT_EQ(got_n, want_n);
+      EXPECT_EQ(u.Popcount(), static_cast<int32_t>(want_u.size()));
+      EXPECT_EQ(n.Popcount(), static_cast<int32_t>(want_n.size()));
+    }
+  }
+}
+
+TEST(KernelTest, DenseBitsetKernelMatchesSortedSpanOracle) {
+  Rng rng(31337);
+  int dense_seen = 0;
+  for (int iter = 0; iter < 60; ++iter) {
+    Document doc = testing_util::RandomDocument(&rng, 60, 3, 0.5);
+    Query q = testing_util::RandomQuery(&rng, doc, 5,
+                                        /*with_order_axes=*/true);
+    Result<CompiledQuery> cq = CompiledQuery::Compile(q);
+    if (!cq.ok()) continue;  // too large after descendant expansion
+    if (cq.value().indexer().dense()) ++dense_seen;
+    for (bool dedup : {true, false}) {
+      DocEvalResult dense = EvaluateOnDocument(cq.value(), doc, dedup,
+                                               /*use_dense_states=*/true);
+      DocEvalResult flat = EvaluateOnDocument(cq.value(), doc, dedup,
+                                              /*use_dense_states=*/false);
+      // Bit-identical outputs including the state-id space: the dense
+      // kernel must reproduce the span kernel's interning order exactly.
+      EXPECT_EQ(dense.count, flat.count);
+      EXPECT_EQ(dense.accepted, flat.accepted);
+      EXPECT_EQ(dense.distinct_states, flat.distinct_states);
+    }
+  }
+  EXPECT_GT(dense_seen, 30);  // the trials actually exercised the bitset path
+}
+
+// --------------------------------------------------------------------
+// Compiled-query cache
+
+TEST(CompiledCacheTest, RepeatedShapesHitAndStayBitIdentical) {
+  struct Case {
+    DatasetId dataset;
+    const char* queries[3];
+  };
+  const Case kCases[] = {
+      {DatasetId::kXmark,
+       {"//item[./mailbox]//keyword", "//person//name",
+        "//open_auction[./bidder]//increase"}},
+      {DatasetId::kDblp,
+       {"//article//author", "//inproceedings[./title]",
+        "//article[./title]//author"}},
+  };
+  for (const Case& c : kCases) {
+    Document doc = GenerateDataset(c.dataset, 1500, 3);
+    for (int32_t kappa : {0, 30}) {
+      SynopsisOptions sopts;
+      sopts.kappa = kappa;
+      SelectivityEstimator est(Synopsis::Build(doc, sopts));
+      const CompiledQueryCache& cache = est.synopsis().query_cache();
+      std::vector<SelectivityEstimate> cold;
+      for (const char* text : c.queries) {
+        Result<SelectivityEstimate> r = est.Estimate(text);
+        ASSERT_TRUE(r.ok()) << text;
+        cold.push_back(r.value());
+      }
+      EXPECT_EQ(cache.misses(), 3);
+      EXPECT_EQ(cache.hits(), 0);
+      EXPECT_EQ(cache.size(), 3);
+      // Every repeat is served from the cache and reproduces the cold
+      // compile's estimate bit for bit.
+      for (int round = 0; round < 3; ++round) {
+        for (size_t i = 0; i < 3; ++i) {
+          Result<SelectivityEstimate> r = est.Estimate(c.queries[i]);
+          ASSERT_TRUE(r.ok());
+          EXPECT_EQ(r.value().lower, cold[i].lower) << c.queries[i];
+          EXPECT_EQ(r.value().upper, cold[i].upper) << c.queries[i];
+        }
+      }
+      EXPECT_EQ(cache.misses(), 3);
+      EXPECT_EQ(cache.hits(), 9);
+    }
+  }
+}
+
+TEST(CompiledCacheTest, BatchCompilesEachDistinctShapeOnce) {
+  Document doc = GenerateDataset(DatasetId::kXmark, 2000, 3);
+  SynopsisOptions sopts;
+  sopts.kappa = 20;
+  SelectivityEstimator est(Synopsis::Build(doc, sopts));
+  const char* kShapes[] = {"//item//keyword", "//person//name"};
+  std::vector<std::string_view> batch;
+  for (int i = 0; i < 12; ++i) batch.push_back(kShapes[i % 2]);
+  std::vector<Result<SelectivityEstimate>> out =
+      est.EstimateBatch(std::span<const std::string_view>(batch), 1);
+  ASSERT_EQ(out.size(), batch.size());
+  for (const auto& r : out) ASSERT_TRUE(r.ok());
+  // k distinct shapes in the batch cost exactly k compiles.
+  EXPECT_EQ(est.synopsis().query_cache().misses(), 2);
+  EXPECT_EQ(est.synopsis().query_cache().hits(), 10);
+  EXPECT_EQ(est.synopsis().query_cache().size(), 2);
+  for (size_t i = 2; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].value().lower, out[i % 2].value().lower);
+    EXPECT_EQ(out[i].value().upper, out[i % 2].value().upper);
+  }
+}
+
+TEST(CompiledCacheTest, UnsatisfiableAndCopySemantics) {
+  Document doc = GenerateDataset(DatasetId::kXmark, 800, 3);
+  SynopsisOptions sopts;
+  Synopsis synopsis = Synopsis::Build(doc, sopts);
+  NameTable names = synopsis.names();
+  // An unsatisfiable query (conflicting tests on a parent-merged node)
+  // answers [0, 0] without polluting the cache.
+  Result<Query> unsat = ParseQuery("//item/keyword[./parent::person]", &names);
+  ASSERT_TRUE(unsat.ok());
+  Result<std::shared_ptr<const PreparedQuery>> pq =
+      synopsis.query_cache().Prepare(unsat.value());
+  ASSERT_TRUE(pq.ok());
+  EXPECT_TRUE(pq.value()->unsatisfiable);
+  EXPECT_EQ(synopsis.query_cache().size(), 0);
+  // Warm the cache, then copy: the copy starts cold (its NameTable is a
+  // different object, so cached keys must not carry over).
+  Result<Query> ok_q = ParseQuery("//item//keyword", &names);
+  ASSERT_TRUE(ok_q.ok());
+  ASSERT_TRUE(synopsis.query_cache().Prepare(ok_q.value()).ok());
+  EXPECT_EQ(synopsis.query_cache().size(), 1);
+  Synopsis copy = synopsis;
+  EXPECT_EQ(copy.query_cache().size(), 0);
+  EXPECT_EQ(copy.query_cache().hits(), 0);
+  EXPECT_EQ(synopsis.query_cache().size(), 1);  // source keeps its entries
 }
 
 TEST(KernelTest, CountersSeparateColdFromWarm) {

@@ -327,6 +327,22 @@ TEST(VerifyKernelTest, DetectsRegistryPoolCorruption) {
                    "out of range");
 }
 
+TEST(VerifyKernelTest, DetectsDenseWordCorruption) {
+  KernelFixture f;
+  ASSERT_TRUE(f.cq.ok());
+  GrammarEvaluator eval(&f.synopsis.lossy(), &f.cq.value(),
+                        &f.synopsis.label_maps(), BoundMode::kLower, nullptr);
+  eval.Evaluate();
+  ASSERT_TRUE(eval.registry().dense());
+  ASSERT_TRUE(VerifyStateRegistry(eval.registry(), &f.cq.value()).ok());
+  ASSERT_GT(eval.registry().size(), 1);
+  // Flip bits in one state's dense image: its words no longer re-derive
+  // from the sorted span, and the audit must say exactly that.
+  eval.TestOnlyMutableRegistry()->TestOnlyCorruptWords(1, 0, ~uint64_t{0});
+  ExpectDiagnostic(VerifyStateRegistry(eval.registry(), &f.cq.value()),
+                   "do not re-derive");
+}
+
 TEST(VerifyKernelTest, DetectsSigmaMemoKeyCorruption) {
   KernelFixture f;
   ASSERT_TRUE(f.cq.ok());
