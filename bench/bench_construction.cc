@@ -36,6 +36,7 @@
 #include "baseline/markov_table.h"
 #include "baseline/path_tree.h"
 #include "baseline/treesketch_lite.h"
+#include "bench_env.h"
 #include "data/generator.h"
 #include "estimator/synopsis.h"
 #include "storage/packed.h"
@@ -87,6 +88,9 @@ constexpr BaselinePoint kBaseline[] = {
     {50000, 14.8, 41.37, 235240, 12925},
     {100000, 24.5, 49.75, 354656, 21400},
 };
+/// Host fingerprint (bench_env.h) of the box that measured kBaseline;
+/// speedup-vs-baseline figures are flagged when run elsewhere.
+constexpr uint64_t kBaselineHostHash = 0x08cf3707b570dbecULL;
 
 /// One measured construction: per-stage breakdown plus totals.
 struct RunResult {
@@ -284,9 +288,18 @@ int Run(bool smoke, const char* out_path) {
         ts_ms / slt_ms, mk_ms, pt_ms);
   }
 
+  bool foreign_baseline =
+      bench::WarnIfForeignBaseline(kBaselineHostHash, "construction");
+
   // --- JSON: the `construction` section tracked in BENCH_throughput.json.
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"construction\": {\n");
+  bench::WriteHostFingerprintJson(f, "    ",
+                                  bench::CurrentHostFingerprint());
+  std::fprintf(f, "    \"baseline_host_hash\": \"%016llx\",\n",
+               static_cast<unsigned long long>(kBaselineHostHash));
+  std::fprintf(f, "    \"baseline_is_foreign_host\": %s,\n",
+               foreign_baseline ? "true" : "false");
   std::fprintf(f, "    \"dataset\": \"xmark\",\n");
   std::fprintf(f, "    \"kappa\": %d,\n", opts.kappa);
   std::fprintf(f, "    \"smoke\": %s,\n", smoke ? "true" : "false");

@@ -1,0 +1,91 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Host fingerprinting for the tracked bench JSON. Every bench section
+// records *where* its numbers came from — a hash of the hostname, the
+// hardware concurrency, and a timestamp — so that speedup-vs-baseline
+// comparisons can detect when the baseline was measured on a different
+// machine. The hardcoded baseline tables in the benches carry the
+// fingerprint of the box that produced them; `WarnIfForeignBaseline`
+// prints a loud warning (and flags the JSON) when the current host does
+// not match, because cross-machine speedups are noise, not signal.
+
+#ifndef XMLSEL_BENCH_BENCH_ENV_H_
+#define XMLSEL_BENCH_BENCH_ENV_H_
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <thread>
+
+namespace xmlsel {
+namespace bench {
+
+/// FNV-1a 64-bit over a byte string (same constants as the storage-layer
+/// checksum, reimplemented here so the bench harness stays header-only).
+inline uint64_t FingerprintHash(const char* data, size_t size) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Identity of the machine a measurement ran on.
+struct HostFingerprint {
+  uint64_t host_hash = 0;            ///< FNV-1a 64 of the hostname
+  uint32_t hardware_concurrency = 0; ///< std::thread::hardware_concurrency
+  int64_t unix_time = 0;             ///< seconds since the epoch
+};
+
+inline HostFingerprint CurrentHostFingerprint() {
+  HostFingerprint fp;
+  char name[256] = {0};
+  if (::gethostname(name, sizeof(name) - 1) != 0) {
+    std::strncpy(name, "unknown", sizeof(name) - 1);
+  }
+  fp.host_hash = FingerprintHash(name, std::strlen(name));
+  fp.hardware_concurrency = std::thread::hardware_concurrency();
+  fp.unix_time = static_cast<int64_t>(std::time(nullptr));
+  return fp;
+}
+
+/// Emits the `host_fingerprint` JSON object (with a trailing comma) at
+/// the given indentation. Every tracked bench section includes one.
+inline void WriteHostFingerprintJson(FILE* f, const char* indent,
+                                     const HostFingerprint& fp) {
+  std::fprintf(f,
+               "%s\"host_fingerprint\": {\"host_hash\": \"%016llx\", "
+               "\"hardware_concurrency\": %u, \"unix_time\": %lld},\n",
+               indent, static_cast<unsigned long long>(fp.host_hash),
+               fp.hardware_concurrency,
+               static_cast<long long>(fp.unix_time));
+}
+
+/// Compares the current host against the fingerprint baked into a
+/// hardcoded baseline table. Returns true (and warns on stderr) when they
+/// differ — any speedup-vs-baseline figure derived from that table is
+/// then a cross-machine comparison and should not be trusted.
+inline bool WarnIfForeignBaseline(uint64_t baseline_host_hash,
+                                  const char* what) {
+  HostFingerprint fp = CurrentHostFingerprint();
+  if (baseline_host_hash == 0 || baseline_host_hash == fp.host_hash) {
+    return false;
+  }
+  std::fprintf(stderr,
+               "WARNING: %s baseline was measured on host %016llx but this "
+               "host is %016llx; speedup-vs-baseline figures below are "
+               "cross-machine comparisons and not meaningful.\n",
+               what, static_cast<unsigned long long>(baseline_host_hash),
+               static_cast<unsigned long long>(fp.host_hash));
+  return true;
+}
+
+}  // namespace bench
+}  // namespace xmlsel
+
+#endif  // XMLSEL_BENCH_BENCH_ENV_H_

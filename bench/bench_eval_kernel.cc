@@ -30,6 +30,7 @@
 
 #include "automaton/compiled_cache.h"
 #include "automaton/counting.h"
+#include "bench_env.h"
 #include "automaton/grammar_eval.h"
 #include "data/generator.h"
 #include "estimator/estimator.h"
@@ -296,6 +297,8 @@ int RunSmoke(const char* out_path) {
                     static_cast<double>(cache.hits() + cache.misses());
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"eval_kernel_smoke\",\n");
+  bench::WriteHostFingerprintJson(out, "  ",
+                                  bench::CurrentHostFingerprint());
   std::fprintf(out, "  \"queries\": %zu,\n", queries.size());
   std::fprintf(out, "  \"distinct_shapes\": %lld,\n",
                static_cast<long long>(cache.size()));

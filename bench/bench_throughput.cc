@@ -34,6 +34,7 @@
 
 #include "automaton/compiled_cache.h"
 #include "automaton/grammar_eval.h"
+#include "bench_env.h"
 #include "data/generator.h"
 #include "estimator/estimator.h"
 #include "query/rewrite.h"
@@ -52,6 +53,9 @@ constexpr int32_t kRounds = 5;
 /// Single-thread batch seconds of the committed BENCH_throughput.json
 /// baseline (PR 1, pre-kernel) — the yardstick for the kernel speedup.
 constexpr double kBaselineSingleThreadSeconds = 1.7477;
+/// Host fingerprint (bench_env.h) of the box that measured the baseline;
+/// the speedup-vs-baseline figure is flagged when run elsewhere.
+constexpr uint64_t kBaselineHostHash = 0x08cf3707b570dbecULL;
 
 double SecondsSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -186,6 +190,8 @@ int Run(const char* out_path) {
   std::printf("verify: full pipeline audit %.3fs over %zu layers\n",
               verify_seconds, verify_report.entries.size());
 
+  bool foreign_baseline = bench::WarnIfForeignBaseline(
+      kBaselineHostHash, "kernel single-thread");
   double kernel_speedup = kBaselineSingleThreadSeconds / points[0].seconds;
   std::printf(
       "kernel: 1-thread %.3fs vs %.4fs baseline (%.2fx); steady-state "
@@ -195,6 +201,7 @@ int Run(const char* out_path) {
 
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"throughput\",\n");
+  bench::WriteHostFingerprintJson(f, "  ", bench::CurrentHostFingerprint());
   std::fprintf(f, "  \"dataset\": \"xmark\",\n");
   std::fprintf(f, "  \"elements\": %lld,\n",
                static_cast<long long>(kElements));
@@ -222,6 +229,10 @@ int Run(const char* out_path) {
   std::fprintf(f, "  \"kernel\": {\n");
   std::fprintf(f, "    \"baseline_single_thread_seconds\": %.4f,\n",
                kBaselineSingleThreadSeconds);
+  std::fprintf(f, "    \"baseline_host_hash\": \"%016llx\",\n",
+               static_cast<unsigned long long>(kBaselineHostHash));
+  std::fprintf(f, "    \"baseline_is_foreign_host\": %s,\n",
+               foreign_baseline ? "true" : "false");
   std::fprintf(f, "    \"single_thread_seconds\": %.4f,\n",
                points[0].seconds);
   std::fprintf(f, "    \"speedup_vs_baseline\": %.3f,\n", kernel_speedup);

@@ -33,8 +33,7 @@ std::vector<int32_t> RulePostOrder(const GrammarRule& rule) {
 }
 
 std::vector<std::vector<LabelId>> ComputeStarRootLabels(
-    const SltGrammar& grammar, int32_t rule, const LabelMaps* maps) {
-  const GrammarRule& r = grammar.rule(rule);
+    const GrammarRule& r, const LabelMaps* maps) {
   std::vector<std::vector<LabelId>> roots(r.nodes.size());
   if (maps == nullptr) return roots;
   for (const GrammarNode& n : r.nodes) {
@@ -88,9 +87,22 @@ SynopsisEvalCache SynopsisEvalCache::Build(const SltGrammar* grammar,
   cache.star_roots_.reserve(static_cast<size_t>(rules));
   for (int32_t i = 0; i < rules; ++i) {
     cache.post_orders_.push_back(RulePostOrder(grammar->rule(i)));
-    cache.star_roots_.push_back(ComputeStarRootLabels(*grammar, i, maps));
+    cache.star_roots_.push_back(
+        ComputeStarRootLabels(grammar->rule(i), maps));
   }
   return cache;
+}
+
+RuleEvalData LocalRuleProvider::Rule(int32_t rule) const {
+  auto it = entries_.find(rule);
+  if (it == entries_.end()) {
+    Entry e;
+    e.post_order = RulePostOrder(grammar_->rule(rule));
+    e.star_roots = ComputeStarRootLabels(grammar_->rule(rule), maps_);
+    it = entries_.emplace(rule, std::move(e)).first;
+  }
+  return {&grammar_->rule(rule), &it->second.post_order,
+          &it->second.star_roots};
 }
 
 }  // namespace xmlsel

@@ -8,14 +8,23 @@
 // the label maps. Neither depends on the query, so a SynopsisEvalCache is
 // built once per (grammar, maps) pair and then shared read-only across
 // any number of concurrent evaluator threads.
+//
+// The evaluator itself consumes rules through the RuleProvider interface,
+// which decouples it from how rules are materialized: the eager path hands
+// out pointers into a fully decoded SltGrammar (SynopsisEvalCache /
+// LocalRuleProvider below), while the serving path decodes rules lazily
+// out of an mmap-ed packed image on first touch (storage/mapped.h).
 
 #ifndef XMLSEL_AUTOMATON_EVAL_CACHE_H_
 #define XMLSEL_AUTOMATON_EVAL_CACHE_H_
 
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "grammar/lossy.h"
 #include "grammar/slt.h"
+#include "xmlsel/status.h"
 
 namespace xmlsel {
 
@@ -28,16 +37,54 @@ std::vector<int32_t> RulePostOrder(const GrammarRule& rule);
 /// from the empty set, which the upper bound reads as "unrestricted").
 /// `maps` may be null; all sets are then empty (unrestricted).
 std::vector<std::vector<LabelId>> ComputeStarRootLabels(
-    const SltGrammar& grammar, int32_t rule, const LabelMaps* maps);
+    const GrammarRule& rule, const LabelMaps* maps);
 
-/// Immutable per-synopsis cache. After Build returns, the cache is safe
-/// for unsynchronized concurrent reads; it holds non-owning pointers to
-/// the grammar and maps it was derived from, so it must be rebuilt (not
-/// reused) when either changes or moves.
-class SynopsisEvalCache {
+/// Everything the evaluator needs about one rule. The pointers stay valid
+/// for the lifetime of the provider that handed them out; `rule == nullptr`
+/// signals a provider failure (a lazily decoded rule that turned out to be
+/// corrupt) — consult RuleProvider::error() for the diagnostic.
+struct RuleEvalData {
+  const GrammarRule* rule = nullptr;
+  const std::vector<int32_t>* post_order = nullptr;
+  const std::vector<std::vector<LabelId>>* star_roots = nullptr;
+};
+
+/// Source of rules for a GrammarEvaluator. Implementations must tolerate
+/// concurrent Rule() calls from any number of evaluator threads and hand
+/// out address-stable data.
+class RuleProvider {
+ public:
+  virtual ~RuleProvider() = default;
+
+  virtual int32_t rule_count() const = 0;
+  /// Star (h, s) lookup table shared by all rules.
+  virtual std::span<const StarStats> star_stats() const = 0;
+  /// The rule plus its query-independent eval data. A failure (lazy decode
+  /// of corrupt bytes) returns a null `rule`.
+  virtual RuleEvalData Rule(int32_t rule) const = 0;
+  /// Diagnostic for the most recent Rule() failure; OK when none occurred.
+  virtual Status error() const { return Status::OK(); }
+
+  int32_t start_rule() const { return rule_count() - 1; }
+};
+
+/// Immutable per-synopsis cache — the eager RuleProvider. After Build
+/// returns, the cache is safe for unsynchronized concurrent reads; it
+/// holds non-owning pointers to the grammar and maps it was derived from,
+/// so it must be rebuilt (not reused) when either changes or moves.
+class SynopsisEvalCache : public RuleProvider {
  public:
   static SynopsisEvalCache Build(const SltGrammar* grammar,
                                  const LabelMaps* maps);
+
+  int32_t rule_count() const override { return grammar_->rule_count(); }
+  std::span<const StarStats> star_stats() const override {
+    return grammar_->star_stats();
+  }
+  RuleEvalData Rule(int32_t rule) const override {
+    return {&grammar_->rule(rule), &rule_post_order(rule),
+            &star_roots(rule)};
+  }
 
   const std::vector<int32_t>& rule_post_order(int32_t rule) const {
     return post_orders_[static_cast<size_t>(rule)];
@@ -56,6 +103,34 @@ class SynopsisEvalCache {
   const LabelMaps* maps_ = nullptr;
   std::vector<std::vector<int32_t>> post_orders_;
   std::vector<std::vector<std::vector<LabelId>>> star_roots_;
+};
+
+/// Fallback provider over an eager grammar when no shared cache exists:
+/// post-orders and star-root sets are computed on first touch and kept
+/// for the provider's lifetime. Not thread-safe — each evaluator owns its
+/// own instance, like the rest of its mutable state.
+class LocalRuleProvider final : public RuleProvider {
+ public:
+  LocalRuleProvider() = default;
+  LocalRuleProvider(const SltGrammar* grammar, const LabelMaps* maps)
+      : grammar_(grammar), maps_(maps) {}
+
+  int32_t rule_count() const override { return grammar_->rule_count(); }
+  std::span<const StarStats> star_stats() const override {
+    return grammar_->star_stats();
+  }
+  RuleEvalData Rule(int32_t rule) const override;
+
+ private:
+  struct Entry {
+    std::vector<int32_t> post_order;
+    std::vector<std::vector<LabelId>> star_roots;
+  };
+
+  const SltGrammar* grammar_ = nullptr;
+  const LabelMaps* maps_ = nullptr;
+  // node_hash_map-style stability: unordered_map never moves its values.
+  mutable std::unordered_map<int32_t, Entry> entries_;
 };
 
 }  // namespace xmlsel

@@ -108,11 +108,12 @@ GrammarEvaluator::GrammarEvaluator(const SltGrammar* grammar,
                                    const CompiledQuery* cq,
                                    const LabelMaps* maps, BoundMode mode,
                                    const SynopsisEvalCache* cache)
-    : g_(grammar), cq_(cq), maps_(maps), mode_(mode),
-      cache_(cache != nullptr && cache->grammar() == grammar &&
-                     cache->maps() == maps
-                 ? cache
-                 : nullptr),
+    : src_(cache != nullptr && cache->grammar() == grammar &&
+                   cache->maps() == maps
+               ? static_cast<const RuleProvider*>(cache)
+               : &local_),
+      cq_(cq), maps_(maps), mode_(mode),
+      local_(grammar, maps),
       memo_(&arena_),
       star_(cq, &reg_, maps, &scratch_, &arena_) {
   // The compiled query outlives the evaluator, so its pair indexer can be
@@ -120,37 +121,33 @@ GrammarEvaluator::GrammarEvaluator(const SltGrammar* grammar,
   reg_.AttachIndexer(&cq_->indexer());
 }
 
-const std::vector<std::vector<LabelId>>& GrammarEvaluator::StarRootLabels(
-    int32_t rule) {
-  if (cache_ != nullptr) return cache_->star_roots(rule);
-  auto it = star_roots_cache_.find(rule);
-  if (it != star_roots_cache_.end()) return it->second;
-  return star_roots_cache_
-      .emplace(rule, ComputeStarRootLabels(*g_, rule, maps_))
-      .first->second;
+GrammarEvaluator::GrammarEvaluator(const RuleProvider* provider,
+                                   const CompiledQuery* cq,
+                                   const LabelMaps* maps, BoundMode mode)
+    : src_(provider), cq_(cq), maps_(maps), mode_(mode),
+      memo_(&arena_),
+      star_(cq, &reg_, maps, &scratch_, &arena_) {
+  reg_.AttachIndexer(&cq_->indexer());
 }
 
-const std::vector<int32_t>& GrammarEvaluator::PostOrderOf(int32_t rule) {
-  if (cache_ != nullptr) return cache_->rule_post_order(rule);
-  auto it = post_order_cache_.find(rule);
-  if (it != post_order_cache_.end()) return it->second;
-  return post_order_cache_.emplace(rule, RulePostOrder(g_->rule(rule)))
-      .first->second;
-}
-
-void GrammarEvaluator::PushTask(int32_t memo_id,
+bool GrammarEvaluator::PushTask(int32_t memo_id,
                                 std::span<const int32_t> key) {
+  // Rule data is query-independent: served from the shared synopsis cache
+  // (or decoded on first touch by a mapped provider), else computed once
+  // per rule in this evaluator. All providers hand out stable references.
+  RuleEvalData d = src_->Rule(key[0]);
+  if (d.rule == nullptr) return false;
   if (live_tasks_ == tasks_.size()) tasks_.emplace_back();
   Task& t = tasks_[live_tasks_++];
   t.memo_id = memo_id;
   t.rule = key[0];
-  // Post-orders are query-independent: served from the shared synopsis
-  // cache when present, else computed once per rule in this evaluator
-  // (both stores hand out stable references).
-  t.order = &PostOrderOf(t.rule);
-  size_t nodes = g_->rule(t.rule).nodes.size();
+  t.rhs = d.rule;
+  t.order = d.post_order;
+  t.star_roots = d.star_roots;
+  size_t nodes = d.rule->nodes.size();
   if (t.value.size() < nodes) t.value.resize(nodes);
   t.next = 0;
+  return true;
 }
 
 GrammarEvalResult GrammarEvaluator::Evaluate() {
@@ -165,21 +162,23 @@ GrammarEvalResult GrammarEvaluator::Evaluate() {
   Ann& top = top_scratch_;  // empty grammar ⇒ empty state
   top.state = reg_.empty_state();
   top.counts.clear();
-  if (g_->rule_count() > 0) {
+  bool provider_failed = false;
+  if (src_->rule_count() > 0) {
     key_scratch_.clear();
-    key_scratch_.push_back(g_->start_rule());
+    key_scratch_.push_back(src_->start_rule());
     bool inserted = false;
     int32_t root_id = memo_.InternKey(key_scratch_, &inserted);
     // Iterative evaluation: a stack of pooled rule-evaluation tasks. Each
     // task walks its RHS in post-order; when it reaches an unmemoized
     // nonterminal call it pushes a sub-task and retries the node later.
     // A warm memo (re-run on the same evaluator) skips the stack wholly.
-    if (!memo_.sigma(root_id).ready) {
-      PushTask(root_id, memo_.key(root_id));
+    if (!memo_.sigma(root_id).ready &&
+        !PushTask(root_id, memo_.key(root_id))) {
+      provider_failed = true;
     }
-    while (live_tasks_ > 0) {
+    while (!provider_failed && live_tasks_ > 0) {
       Task& t = tasks_[live_tasks_ - 1];
-      const GrammarRule& r = g_->rule(t.rule);
+      const GrammarRule& r = *t.rhs;
       if (t.next == t.order->size()) {
         // Rule done: record σ and retire the task (its slots persist).
         Sigma& sigma = memo_.sigma(t.memo_id);
@@ -232,11 +231,11 @@ GrammarEvalResult GrammarEvaluator::Evaluate() {
             star_.Lower(args_scratch_, &t.value[static_cast<size_t>(id)]);
           } else {
             static const std::vector<LabelId> kNoRoots;
-            const auto& roots = StarRootLabels(t.rule);
+            const auto& roots = *t.star_roots;
             const std::vector<LabelId>& root_set =
                 roots.empty() ? kNoRoots : roots[static_cast<size_t>(id)];
             star_.Upper(args_scratch_,
-                        g_->star_stats()[static_cast<size_t>(n.sym)],
+                        src_->star_stats()[static_cast<size_t>(n.sym)],
                         root_set, &t.value[static_cast<size_t>(id)]);
           }
           ++t.next;
@@ -253,7 +252,7 @@ GrammarEvalResult GrammarEvaluator::Evaluate() {
           }
           int32_t mid = memo_.InternKey(key_scratch_, &inserted);
           if (!memo_.sigma(mid).ready) {
-            PushTask(mid, memo_.key(mid));
+            if (!PushTask(mid, memo_.key(mid))) provider_failed = true;
             // Retry this node once the sub-task has filled the memo.
             // (PushTask may have moved the task pool — touch nothing.)
             break;
@@ -269,6 +268,17 @@ GrammarEvalResult GrammarEvaluator::Evaluate() {
           break;
         }
       }
+    }
+    if (provider_failed) {
+      // Abandon the stack (retired tasks leave not-ready memo entries; a
+      // later Evaluate() on this evaluator simply re-pushes them) and
+      // surface the provider's diagnostic instead of a bogus count.
+      live_tasks_ = 0;
+      result.status = src_->error();
+      if (result.status.ok()) {
+        result.status = Status::Corruption("rule provider failed");
+      }
+      return result;
     }
     const Sigma& s = memo_.sigma(root_id);
     XMLSEL_CHECK(s.ready);
@@ -293,7 +303,7 @@ GrammarEvalResult GrammarEvaluator::Evaluate() {
   result.compile_cache_hits = compile_cache_hits_;
   result.compile_cache_misses = compile_cache_misses_;
   XMLSEL_VERIFY_STATUS(2, VerifyStateRegistry(reg_, cq_));
-  XMLSEL_VERIFY_STATUS(2, VerifySigmaMemo(memo_, *g_, reg_, cq_));
+  XMLSEL_VERIFY_STATUS(2, VerifySigmaMemo(memo_, *src_, reg_, cq_));
   return result;
 }
 

@@ -17,7 +17,6 @@
 #define XMLSEL_AUTOMATON_GRAMMAR_EVAL_H_
 
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "automaton/counting.h"
@@ -41,6 +40,10 @@ enum class BoundMode {
 struct GrammarEvalResult {
   bool accepted = false;
   int64_t count = 0;
+  /// Non-OK when the rule provider failed mid-evaluation (a lazily
+  /// decoded rule was corrupt). `accepted`/`count` are then meaningless;
+  /// eager providers never fail.
+  Status status = Status::OK();
   int64_t sigma_entries = 0;    ///< memoized σ_i evaluations performed
   int64_t distinct_states = 0;  ///< automaton states materialized
   // --- Kernel counters ---
@@ -141,6 +144,14 @@ class GrammarEvaluator {
                    const LabelMaps* maps, BoundMode mode,
                    const SynopsisEvalCache* cache = nullptr);
 
+  /// Serving-path constructor: rules and their query-independent eval
+  /// data come from an abstract provider (e.g. a MappedSynopsis's lazy
+  /// decode cache) instead of a fully decoded grammar. The provider must
+  /// outlive the evaluator. Provider failures (corrupt lazily-decoded
+  /// rules) abort Evaluate() with a non-OK GrammarEvalResult::status.
+  GrammarEvaluator(const RuleProvider* provider, const CompiledQuery* cq,
+                   const LabelMaps* maps, BoundMode mode);
+
   /// Runs the automaton over the whole grammar, including the final
   /// virtual-root transition. Re-running on a warm evaluator serves
   /// every rule from the memo (the steady-state path).
@@ -167,31 +178,28 @@ class GrammarEvaluator {
 
   /// One rule-evaluation task. Tasks are pooled: popping retires the
   /// task object, whose per-node Ann slots (and their counts capacity)
-  /// are reused by the next push.
+  /// are reused by the next push. The rule pointers are resolved once at
+  /// push time (one provider lookup per task, not per node visit).
   struct Task {
     int32_t memo_id = -1;              // σ entry this task will fill
     int32_t rule = -1;
+    const GrammarRule* rhs = nullptr;
     const std::vector<int32_t>* order = nullptr;  // post-order RHS ids
+    const std::vector<std::vector<LabelId>>* star_roots = nullptr;
     size_t next = 0;
     std::vector<Ann> value;            // per RHS node (indexed by id)
   };
 
-  /// Root label sets for star nodes of a rule, derived from their parent
-  /// position in the RHS and the label maps. Served from the shared
-  /// cache when available, else computed and cached per evaluator.
-  const std::vector<std::vector<LabelId>>& StarRootLabels(int32_t rule);
+  /// Pushes a (pooled) task for the memo entry `memo_id`. Returns false
+  /// when the provider could not produce the rule (lazy decode failure);
+  /// the evaluation must then abort.
+  bool PushTask(int32_t memo_id, std::span<const int32_t> key);
 
-  /// Post-order of a rule's RHS; shared-cache-backed like StarRootLabels.
-  const std::vector<int32_t>& PostOrderOf(int32_t rule);
-
-  /// Pushes a (pooled) task for the memo entry `memo_id`.
-  void PushTask(int32_t memo_id, std::span<const int32_t> key);
-
-  const SltGrammar* g_;
+  const RuleProvider* src_;
   const CompiledQuery* cq_;
   const LabelMaps* maps_;
   BoundMode mode_;
-  const SynopsisEvalCache* cache_;  // null when no valid shared cache
+  LocalRuleProvider local_;  // backs src_ when no shared cache was usable
   StateRegistry reg_;
   Arena arena_;
   SigmaMemo memo_;
@@ -203,9 +211,6 @@ class GrammarEvaluator {
   std::vector<const Ann*> args_scratch_;
   Ann top_scratch_;                  // start-rule state for the final step
   Ann final_scratch_;                // virtual-root transition output
-  std::unordered_map<int32_t, std::vector<std::vector<LabelId>>>
-      star_roots_cache_;
-  std::unordered_map<int32_t, std::vector<int32_t>> post_order_cache_;
   int64_t compile_cache_hits_ = 0;
   int64_t compile_cache_misses_ = 0;
 };

@@ -15,32 +15,18 @@ namespace xmlsel {
 
 namespace {
 
-/// Shared handle to an interned compiled query. Preparation (rewrite +
-/// compile, served from the synopsis's CompiledQueryCache on repeated
-/// shapes) happens on the controller thread; the bound evaluations only
-/// read through the handle.
-using PreparedHandle = std::shared_ptr<const PreparedQuery>;
-
-int64_t EvaluateBound(const Synopsis& synopsis, const CompiledQuery& cq,
-                      BoundMode mode, const SynopsisEvalCache* cache) {
-  GrammarEvaluator eval(&synopsis.lossy(), &cq, &synopsis.label_maps(),
-                        mode, cache);
-  return eval.Evaluate().count;
-}
-
-SelectivityEstimate FinalizeEstimate(const Synopsis& synopsis,
-                                     const PreparedQuery& pq, int64_t lower,
-                                     int64_t upper) {
-  SelectivityEstimate est;
-  est.lower = lower;
-  est.upper = upper;
-  // Global cap (§5.4's spirit, "the total contribution is bounded"): no
-  // query can select more nodes than carry the match node's label.
-  int64_t cap = pq.match_test > 0 ? synopsis.LabelTotal(pq.match_test)
-                                  : synopsis.ElementTotal();
-  est.upper = std::min(est.upper, cap);
-  est.upper = std::max(est.upper, est.lower);
-  return est;
+/// The serving view over an eager synopsis: rules come from the shared
+/// SynopsisEvalCache (forcing its lazy build), everything else straight
+/// from the Synopsis members. The estimate pipeline itself lives in
+/// estimator/serving.cc, shared with the mmap-backed MappedEstimator.
+ServingView ViewOf(const Synopsis& synopsis) {
+  ServingView view;
+  view.provider = &synopsis.eval_cache();
+  view.maps = &synopsis.label_maps();
+  view.query_cache = &synopsis.query_cache();
+  view.label_totals = synopsis.label_totals();
+  view.element_total = synopsis.ElementTotal();
+  return view;
 }
 
 }  // namespace
@@ -59,18 +45,7 @@ Result<SelectivityEstimate> SelectivityEstimator::Estimate(
 
 Result<SelectivityEstimate> SelectivityEstimator::EstimateQuery(
     const Query& query) {
-  Result<PreparedHandle> prepared = synopsis_.query_cache().Prepare(query);
-  if (!prepared.ok()) return prepared.status();
-  const PreparedQuery& pq = *prepared.value();
-  if (pq.unsatisfiable) {
-    return SelectivityEstimate{0, 0};  // provably empty: exact answer
-  }
-  const SynopsisEvalCache* cache = &synopsis_.eval_cache();
-  int64_t lower =
-      EvaluateBound(synopsis_, pq.lower, BoundMode::kLower, cache);
-  int64_t upper =
-      EvaluateBound(synopsis_, UpperQueryOf(pq), BoundMode::kUpper, cache);
-  return FinalizeEstimate(synopsis_, pq, lower, upper);
+  return EstimateQueryOnView(ViewOf(synopsis_), query);
 }
 
 ThreadPool* SelectivityEstimator::pool(int32_t threads) {
@@ -114,65 +89,11 @@ std::vector<Result<SelectivityEstimate>> SelectivityEstimator::EstimateBatch(
 std::vector<Result<SelectivityEstimate>> SelectivityEstimator::EstimateBatch(
     std::span<const Query> queries, int32_t threads) {
   if (threads <= 0) threads = DefaultThreadCount();
-  const size_t n = queries.size();
-
-  // Phase 1 (controller thread): rewrite every query and intern its
-  // compilation — k distinct shapes in the batch cost exactly k compiles,
-  // however many queries share them.
-  std::vector<Result<PreparedHandle>> prepared;
-  prepared.reserve(n);
-  for (const Query& q : queries) {
-    prepared.push_back(synopsis_.query_cache().Prepare(q));
-  }
-
-  // Phase 2: evaluate both bounds of every compiled query. Each task
-  // owns its evaluator (registry + memo); the synopsis and its eval
-  // cache are shared read-only. Build the cache eagerly so workers
-  // never contend on the lazy-init mutex.
-  const SynopsisEvalCache* cache = &synopsis_.eval_cache();
-  std::vector<int64_t> lower_counts(n, 0);
-  std::vector<int64_t> upper_counts(n, 0);
-  auto eval_one = [&](size_t i, BoundMode mode) {
-    const PreparedQuery& pq = *prepared[i].value();
-    if (mode == BoundMode::kLower) {
-      lower_counts[i] =
-          EvaluateBound(synopsis_, pq.lower, BoundMode::kLower, cache);
-    } else {
-      upper_counts[i] =
-          EvaluateBound(synopsis_, UpperQueryOf(pq), BoundMode::kUpper,
-                        cache);
-    }
-  };
-  if (threads == 1) {
-    for (size_t i = 0; i < n; ++i) {
-      if (!prepared[i].ok() || prepared[i].value()->unsatisfiable) continue;
-      eval_one(i, BoundMode::kLower);
-      eval_one(i, BoundMode::kUpper);
-    }
-  } else {
-    ThreadPool* p = pool(threads);
-    for (size_t i = 0; i < n; ++i) {
-      if (!prepared[i].ok() || prepared[i].value()->unsatisfiable) continue;
-      p->Submit([&eval_one, i] { eval_one(i, BoundMode::kLower); });
-      p->Submit([&eval_one, i] { eval_one(i, BoundMode::kUpper); });
-    }
-    p->Wait();
-  }
-
-  // Phase 3 (controller thread): caps and assembly.
-  std::vector<Result<SelectivityEstimate>> out;
-  out.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    if (!prepared[i].ok()) {
-      out.push_back(Result<SelectivityEstimate>(prepared[i].status()));
-    } else if (prepared[i].value()->unsatisfiable) {
-      out.push_back(SelectivityEstimate{0, 0});
-    } else {
-      out.push_back(FinalizeEstimate(synopsis_, *prepared[i].value(),
-                                     lower_counts[i], upper_counts[i]));
-    }
-  }
-  return out;
+  // Build the eval cache eagerly so workers never contend on the
+  // lazy-init mutex.
+  ServingView view = ViewOf(synopsis_);
+  return EstimateBatchOnView(view, queries, threads,
+                             threads == 1 ? nullptr : pool(threads));
 }
 
 Status SelectivityEstimator::ApplyUpdate(const UpdateOp& op) {

@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "estimator/serving.h"
 #include "estimator/synopsis.h"
 #include "estimator/update.h"
 #include "query/ast.h"
@@ -28,20 +29,9 @@
 
 namespace xmlsel {
 
-/// A guaranteed selectivity range (§5.4): lower ≤ |Q(D)| ≤ upper.
-struct SelectivityEstimate {
-  int64_t lower = 0;
-  int64_t upper = 0;
-
-  /// The range collapses to the exact answer.
-  bool exact() const { return lower == upper; }
-  /// Midpoint, the natural point estimate.
-  double midpoint() const {
-    return (static_cast<double>(lower) + static_cast<double>(upper)) / 2.0;
-  }
-  /// Range width — the implicit confidence measure: smaller is better.
-  int64_t width() const { return upper - lower; }
-};
+// SelectivityEstimate lives in estimator/serving.h (shared with the
+// mmap-backed MappedEstimator); it is re-exported here for the library's
+// historical public surface.
 
 /// The estimator: synopsis + query front end + automaton evaluation.
 ///

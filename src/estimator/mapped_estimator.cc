@@ -1,0 +1,84 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "estimator/mapped_estimator.h"
+
+#include <utility>
+
+#include "query/parser.h"
+
+namespace xmlsel {
+
+Result<MappedEstimator> MappedEstimator::Open(
+    const std::string& path, const MappedOpenOptions& options) {
+  Result<std::unique_ptr<MappedSynopsis>> image =
+      MappedSynopsis::Open(path, options);
+  if (!image.ok()) return image.status();
+  return MappedEstimator(
+      std::shared_ptr<const MappedSynopsis>(std::move(image).value()));
+}
+
+ServingView MappedEstimator::View() const {
+  ServingView view;
+  view.provider = &image_->serving_provider();
+  view.maps = &image_->label_maps();
+  view.query_cache = &query_cache_;
+  view.label_totals = image_->label_totals();
+  view.element_total = image_->element_total();
+  return view;
+}
+
+Result<SelectivityEstimate> MappedEstimator::Estimate(std::string_view xpath) {
+  Result<Query> parsed = ParseQuery(xpath, &names_);
+  if (!parsed.ok()) return parsed.status();
+  return EstimateQuery(parsed.value());
+}
+
+Result<SelectivityEstimate> MappedEstimator::EstimateQuery(
+    const Query& query) {
+  return EstimateQueryOnView(View(), query);
+}
+
+ThreadPool* MappedEstimator::pool(int32_t threads) {
+  if (pool_ == nullptr || pool_->size() != threads) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  return pool_.get();
+}
+
+std::vector<Result<SelectivityEstimate>> MappedEstimator::EstimateBatch(
+    std::span<const std::string_view> xpaths, int32_t threads) {
+  // Parsing interns labels into the estimator's NameTable, so it stays on
+  // the calling thread; evaluation parallelism comes from the Query
+  // overload. (Same placeholder protocol as SelectivityEstimator.)
+  std::vector<Query> queries;
+  queries.reserve(xpaths.size());
+  std::vector<std::pair<size_t, Status>> parse_failures;
+  for (size_t i = 0; i < xpaths.size(); ++i) {
+    Result<Query> parsed = ParseQuery(xpaths[i], &names_);
+    if (parsed.ok()) {
+      queries.push_back(std::move(parsed).value());
+    } else {
+      parse_failures.emplace_back(i, parsed.status());
+      Query placeholder;
+      placeholder.SetMatchNode(
+          placeholder.AddNode(0, Axis::kChild, kWildcardTest));
+      queries.push_back(std::move(placeholder));
+    }
+  }
+  std::vector<Result<SelectivityEstimate>> out =
+      EstimateBatch(std::span<const Query>(queries), threads);
+  for (const auto& [i, status] : parse_failures) {
+    out[i] = Result<SelectivityEstimate>(status);
+  }
+  return out;
+}
+
+std::vector<Result<SelectivityEstimate>> MappedEstimator::EstimateBatch(
+    std::span<const Query> queries, int32_t threads) {
+  if (threads <= 0) threads = DefaultThreadCount();
+  return EstimateBatchOnView(View(), queries, threads,
+                             threads == 1 ? nullptr : pool(threads));
+}
+
+}  // namespace xmlsel

@@ -1,0 +1,100 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Query estimation directly over an mmap-ed synopsis image
+// (storage/mapped.h) — the serving counterpart of SelectivityEstimator.
+// No Synopsis is ever materialized: rules are decoded lazily out of the
+// image as the evaluator touches them, and results are bit-identical to
+// the eager path (both run the shared serving core, estimator/serving.h).
+//
+// The estimator owns the mutable per-process state the immutable image
+// cannot hold: a NameTable copy that grows as queries intern unseen
+// labels, the compiled-query intern table, and the batch thread pool.
+
+#ifndef XMLSEL_ESTIMATOR_MAPPED_ESTIMATOR_H_
+#define XMLSEL_ESTIMATOR_MAPPED_ESTIMATOR_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "automaton/compiled_cache.h"
+#include "estimator/serving.h"
+#include "query/ast.h"
+#include "storage/mapped.h"
+#include "xml/name_table.h"
+#include "xmlsel/status.h"
+#include "xmlsel/thread_pool.h"
+
+namespace xmlsel {
+
+/// Estimator over a shared read-only image. Copies are cheap (they share
+/// the image) but each owns its query cache and name table.
+///
+/// Concurrency model mirrors SelectivityEstimator: one estimator serves
+/// one batch at a time; the underlying image may be shared by any number
+/// of estimators across threads.
+class MappedEstimator {
+ public:
+  /// Opens `path` and wraps it.
+  static Result<MappedEstimator> Open(const std::string& path,
+                                      const MappedOpenOptions& options = {});
+
+  explicit MappedEstimator(std::shared_ptr<const MappedSynopsis> image)
+      : image_(std::move(image)), names_(image_->names()) {}
+
+  MappedEstimator(const MappedEstimator& o)
+      : image_(o.image_), names_(o.names_) {}
+  MappedEstimator& operator=(const MappedEstimator& o) {
+    if (this != &o) {
+      image_ = o.image_;
+      names_ = o.names_;
+      query_cache_.Clear();
+      pool_.reset();
+    }
+    return *this;
+  }
+  MappedEstimator(MappedEstimator&&) noexcept = default;
+  MappedEstimator& operator=(MappedEstimator&&) noexcept = default;
+
+  /// Parses, rewrites, compiles, and evaluates an XPath string against
+  /// the image's lossy layer.
+  Result<SelectivityEstimate> Estimate(std::string_view xpath);
+
+  /// Evaluates an already-built query tree.
+  Result<SelectivityEstimate> EstimateQuery(const Query& query);
+
+  /// Batch estimation, same contract as SelectivityEstimator's: parsing
+  /// and compilation on the calling thread, bounds fan out over a
+  /// reusable pool, results positionally aligned and bit-identical to
+  /// sequential calls.
+  std::vector<Result<SelectivityEstimate>> EstimateBatch(
+      std::span<const std::string_view> xpaths, int32_t threads = 0);
+  std::vector<Result<SelectivityEstimate>> EstimateBatch(
+      std::span<const Query> queries, int32_t threads = 0);
+
+  const MappedSynopsis& image() const { return *image_; }
+  std::shared_ptr<const MappedSynopsis> shared_image() const { return image_; }
+  NameTable& names() { return names_; }
+  const NameTable& names() const { return names_; }
+
+  /// Decode-cache counters of the serving (lossy) layer.
+  MappedCacheStats cache_stats() const {
+    return image_->lossy_layer().cache_stats();
+  }
+
+ private:
+  ServingView View() const;
+  ThreadPool* pool(int32_t threads);
+
+  std::shared_ptr<const MappedSynopsis> image_;
+  NameTable names_;
+  mutable CompiledQueryCache query_cache_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_ESTIMATOR_MAPPED_ESTIMATOR_H_

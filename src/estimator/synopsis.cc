@@ -84,6 +84,23 @@ Result<Synopsis> Synopsis::BuildStreaming(std::string_view xml,
   return s;
 }
 
+Synopsis Synopsis::FromParts(SltGrammar lossless, SltGrammar lossy,
+                             LabelMaps maps, NameTable names,
+                             std::vector<int64_t> label_totals,
+                             int64_t element_total, SynopsisOptions options,
+                             int32_t deleted) {
+  Synopsis s;
+  s.lossless_ = std::move(lossless);
+  s.lossy_ = std::move(lossy);
+  s.maps_ = std::move(maps);
+  s.names_ = std::move(names);
+  s.label_totals_ = std::move(label_totals);
+  s.element_total_ = element_total;
+  s.options_ = options;
+  s.deleted_ = deleted;
+  return s;
+}
+
 void Synopsis::RecomputeLossy(int32_t kappa, ConstructionStats* stats) {
   InvalidateEvalCache();
   options_.kappa = kappa;

@@ -89,6 +89,17 @@ class Synopsis {
                                          const ParseOptions& parse_options = {},
                                          ConstructionStats* stats = nullptr);
 
+  /// Reassembles a synopsis from already-built parts (thawing a packed
+  /// image, storage/mapped.h). The parts must be mutually consistent:
+  /// `deleted` records how many productions the original lossy pass
+  /// removed, and `label_totals` / `element_total` were derived from
+  /// `lossless` at pack time.
+  static Synopsis FromParts(SltGrammar lossless, SltGrammar lossy,
+                            LabelMaps maps, NameTable names,
+                            std::vector<int64_t> label_totals,
+                            int64_t element_total, SynopsisOptions options,
+                            int32_t deleted);
+
   const SltGrammar& lossless() const { return lossless_; }
   const SltGrammar& lossy() const { return lossy_; }
   const LabelMaps& label_maps() const { return maps_; }
@@ -137,6 +148,9 @@ class Synopsis {
   /// lossless grammar; refreshed by RecomputeLossy). Used to cap upper
   /// bounds: |Q(D)| never exceeds the population of the match label.
   int64_t LabelTotal(LabelId label) const;
+  /// All per-label populations, indexed by LabelId (serving views borrow
+  /// this span).
+  const std::vector<int64_t>& label_totals() const { return label_totals_; }
   /// Total number of elements.
   int64_t ElementTotal() const { return element_total_; }
 

@@ -40,11 +40,11 @@ Result<uint64_t> BitReader::ReadBits(int width) {
   uint64_t out = 0;
   for (int i = 0; i < width; ++i) {
     int64_t byte = pos_ >> 3;
-    if (byte >= static_cast<int64_t>(bytes_->size())) {
+    if (byte >= static_cast<int64_t>(size_)) {
       return Status::Corruption("bit stream truncated");
     }
     int bit_in_byte = static_cast<int>(pos_ & 7);
-    uint64_t bit = ((*bytes_)[static_cast<size_t>(byte)] >>
+    uint64_t bit = (data_[static_cast<size_t>(byte)] >>
                     (7 - bit_in_byte)) & 1;
     out = (out << 1) | bit;
     ++pos_;

@@ -8,6 +8,7 @@
 #ifndef XMLSEL_STORAGE_BITIO_H_
 #define XMLSEL_STORAGE_BITIO_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -40,10 +41,15 @@ class BitWriter {
   int64_t bit_count_ = 0;
 };
 
-/// Sequential bit source over a byte buffer.
+/// Sequential bit source over a borrowed byte range. The range may live in
+/// a vector, a file mapping, or any other stable buffer — the reader never
+/// copies and never writes, so it can run directly over an mmap-ed
+/// synopsis image.
 class BitReader {
  public:
-  explicit BitReader(const std::vector<uint8_t>& bytes) : bytes_(&bytes) {}
+  explicit BitReader(const std::vector<uint8_t>& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+  BitReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
 
   /// Reads `width` bits; fails with kCorruption past the end.
   Result<uint64_t> ReadBits(int width);
@@ -57,7 +63,8 @@ class BitReader {
   int64_t position() const { return pos_; }
 
  private:
-  const std::vector<uint8_t>* bytes_;
+  const uint8_t* data_;
+  size_t size_;
   int64_t pos_ = 0;
 };
 

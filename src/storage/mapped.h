@@ -1,0 +1,279 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Zero-copy packed serving (§7 taken to disk): a versioned, mmap-able
+// synopsis image whose rules stay in their packed E(R_i) form until a
+// query actually touches them. The file holds both synopsis layers —
+// the lossless grammar (large; only read when thawing or verifying) and
+// the κ-lossy serving grammar — each as a fixed-width rule directory
+// plus a byte-aligned per-rule payload, so opening a synopsis is one
+// mmap + O(header) validation instead of a full decode. A MappedSynopsis
+// owns nothing but the mapping and a lazily populated per-rule decode
+// cache; the evaluator consumes it through the RuleProvider interface
+// (automaton/eval_cache.h) and produces results bit-identical to the
+// eager path.
+//
+// Image layout (all integers little-endian; sections 4096-aligned):
+//
+//   MappedImageHeader                     magic, version, counts, checksum
+//   section 0  names        label_count × (u32 length + bytes)
+//   section 1  label_totals label_count × i64
+//   section 2  label_maps   child bit-matrix, one row per label
+//   section 3  stars[0]     lossless star table (empty in practice)
+//   section 4  dir[0]       lossless rule directory (16 B entries)
+//   section 5  payload[0]   lossless per-rule E(R_i) streams
+//   section 6  stars[1]     lossy star table {height, pad, size}
+//   section 7  dir[1]       lossy rule directory
+//   section 8  payload[1]   lossy per-rule E(R_i) streams
+//
+// The payload checksum (FNV-1a 64 over everything after the header) is
+// verified on demand (MappedOpenOptions::verify_checksum or
+// VerifyMappedImage), not on every open — the per-rule decoder
+// bounds-checks every read, so a flipped payload bit surfaces as a
+// kCorruption status at first touch, never as UB.
+
+#ifndef XMLSEL_STORAGE_MAPPED_H_
+#define XMLSEL_STORAGE_MAPPED_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "automaton/eval_cache.h"
+#include "estimator/synopsis.h"
+#include "grammar/lossy.h"
+#include "grammar/slt.h"
+#include "xml/name_table.h"
+#include "xmlsel/status.h"
+
+namespace xmlsel {
+
+/// Section indices within MappedImageHeader's offset/size tables.
+enum MappedSection : int {
+  kSecNames = 0,
+  kSecLabelTotals = 1,
+  kSecLabelMaps = 2,
+  kSecStars0 = 3,    ///< lossless layer
+  kSecDir0 = 4,
+  kSecPayload0 = 5,
+  kSecStars1 = 6,    ///< lossy (serving) layer
+  kSecDir1 = 7,
+  kSecPayload1 = 8,
+  kMappedSectionCount = 9,
+};
+
+/// On-disk header. Plain trivially-copyable struct so it can be memcpy-ed
+/// out of the (arbitrarily aligned) mapping; never read in place.
+struct MappedImageHeader {
+  char magic[8];           ///< "XSELSYN1"
+  uint32_t version;        ///< format version, currently 1
+  uint32_t header_bytes;   ///< sizeof(MappedImageHeader) at write time
+  int32_t kappa;           ///< SynopsisOptions::kappa at pack time
+  int32_t deleted;         ///< productions deleted by the lossy pass
+  int32_t label_count;     ///< NameTable size incl. the reserved root
+  int32_t maps_label_count;  ///< LabelMaps dimension (≤ label_count)
+  int32_t rule_count[2];   ///< [0] lossless, [1] lossy
+  int32_t star_count[2];   ///< star-table sizes per layer
+  int64_t element_total;   ///< Σ label_totals
+  uint64_t file_bytes;     ///< total image size; must equal the file size
+  uint64_t payload_checksum;  ///< FNV-1a 64 over [header_bytes, file_bytes)
+  uint64_t section_offset[kMappedSectionCount];
+  uint64_t section_bytes[kMappedSectionCount];
+};
+static_assert(sizeof(MappedImageHeader) == 216,
+              "on-disk header layout changed — bump the format version");
+static_assert(std::is_trivially_copyable_v<MappedImageHeader>);
+
+/// One rule-directory entry: where the rule's E(R_i) stream lives inside
+/// its layer's payload section, how many bits it spans, and its rank
+/// (redundant with the stream's unary prefix; the decoder cross-checks
+/// them, and the directory alone suffices to key the σ-memo).
+struct MappedRuleEntry {
+  uint64_t offset;   ///< byte offset within the payload section
+  uint32_t bit_len;  ///< exact stream length in bits
+  int32_t rank;
+};
+static_assert(sizeof(MappedRuleEntry) == 16);
+static_assert(std::is_trivially_copyable_v<MappedRuleEntry>);
+
+/// One star-table entry on disk.
+struct MappedStarEntry {
+  int32_t height;
+  int32_t pad;  ///< always 0
+  int64_t size;
+};
+static_assert(sizeof(MappedStarEntry) == 16);
+static_assert(std::is_trivially_copyable_v<MappedStarEntry>);
+
+struct MappedOpenOptions {
+  /// Verify the payload checksum at open (one sequential pass over the
+  /// file — defeats the lazy-open win, so off by default; corruption is
+  /// still caught structurally at first decode).
+  bool verify_checksum = false;
+};
+
+/// Decode-cache counters of one layer.
+struct MappedCacheStats {
+  int64_t hits = 0;           ///< Rule() calls served from the cache
+  int64_t misses = 0;         ///< Rule() calls that had to decode
+  int64_t decoded_rules = 0;  ///< distinct rules currently decoded
+  int64_t resident_bytes = 0; ///< approx. heap held by decoded rules
+  int64_t total_rules = 0;
+};
+
+/// Serializes a synopsis into a complete image (header + all sections).
+std::vector<uint8_t> BuildMappedImage(const Synopsis& synopsis);
+
+/// Writes BuildMappedImage(synopsis) to `path` (atomically via a
+/// temporary + rename, so a crashed pack never leaves a torn image).
+Status PackSynopsisToFile(const Synopsis& synopsis, const std::string& path);
+
+/// One lazily decoded rule: the grammar rule plus the query-independent
+/// eval data a GrammarEvaluator needs (what SynopsisEvalCache precomputes
+/// eagerly for every rule, built here only for rules actually touched).
+struct MappedDecodedRule {
+  GrammarRule rule;
+  std::vector<int32_t> post_order;
+  std::vector<std::vector<LabelId>> star_roots;
+  int64_t resident_bytes = 0;
+};
+
+/// An opened synopsis image. Immutable and internally synchronized: any
+/// number of threads may evaluate queries against it concurrently. Not
+/// movable (the decode-cache slots are atomics and the layers hand out
+/// interior pointers), so it lives behind unique_ptr/shared_ptr.
+class MappedSynopsis {
+ public:
+  /// One grammar layer served straight from the mapping. Rule() decodes
+  /// on first touch and caches the decoded rule for the image's lifetime
+  /// (first-writer-wins slots; a losing racer's copy is discarded).
+  class Layer final : public RuleProvider {
+   public:
+    ~Layer() override;
+
+    int32_t rule_count() const override {
+      return static_cast<int32_t>(ranks_.size());
+    }
+    std::span<const StarStats> star_stats() const override { return stars_; }
+    RuleEvalData Rule(int32_t rule) const override;
+    Status error() const override;
+
+    /// Decodes one rule without touching the cache (verification and
+    /// thawing). `out`'s rule/post_order/star_roots are freshly built.
+    Status DecodeRuleFresh(int32_t rule, MappedDecodedRule* out) const;
+
+    MappedCacheStats cache_stats() const;
+
+    /// Directory access for auditing.
+    uint64_t rule_offset(int32_t rule) const {
+      return offsets_[static_cast<size_t>(rule)];
+    }
+    uint32_t rule_bit_len(int32_t rule) const {
+      return bit_lens_[static_cast<size_t>(rule)];
+    }
+    int32_t rule_rank(int32_t rule) const {
+      return ranks_[static_cast<size_t>(rule)];
+    }
+    std::span<const uint8_t> payload() const {
+      return {payload_, static_cast<size_t>(payload_bytes_)};
+    }
+
+   private:
+    friend class MappedSynopsis;
+    Layer() = default;
+
+    void SetError(const Status& st) const;
+
+    const uint8_t* payload_ = nullptr;
+    uint64_t payload_bytes_ = 0;
+    int32_t label_count_ = 0;
+    const LabelMaps* maps_ = nullptr;  ///< null for the lossless layer
+    std::vector<uint64_t> offsets_;
+    std::vector<uint32_t> bit_lens_;
+    std::vector<int32_t> ranks_;
+    std::vector<StarStats> stars_;
+
+    mutable std::vector<std::atomic<const MappedDecodedRule*>> slots_;
+    mutable std::atomic<int64_t> hits_{0};
+    mutable std::atomic<int64_t> misses_{0};
+    mutable std::atomic<int64_t> decoded_rules_{0};
+    mutable std::atomic<int64_t> resident_bytes_{0};
+    mutable std::mutex error_mu_;
+    mutable Status error_;
+  };
+
+  ~MappedSynopsis();
+  MappedSynopsis(const MappedSynopsis&) = delete;
+  MappedSynopsis& operator=(const MappedSynopsis&) = delete;
+
+  /// mmaps `path` (falling back to a plain read if mmap is unavailable)
+  /// and validates the header, section bounds, names, directories, and
+  /// star tables. Never trusts the bytes: every malformed input yields a
+  /// kCorruption status.
+  static Result<std::unique_ptr<MappedSynopsis>> Open(
+      const std::string& path, const MappedOpenOptions& options = {});
+
+  /// Same validation over an in-memory image (tests, corruption drills).
+  /// The buffer is moved in and owned by the returned object.
+  static Result<std::unique_ptr<MappedSynopsis>> FromBuffer(
+      std::vector<uint8_t> bytes, const MappedOpenOptions& options = {});
+
+  const MappedImageHeader& header() const { return header_; }
+  const NameTable& names() const { return names_; }
+  const LabelMaps& label_maps() const { return maps_; }
+  const std::vector<int64_t>& label_totals() const { return label_totals_; }
+  int64_t element_total() const { return header_.element_total; }
+  int32_t kappa() const { return header_.kappa; }
+  int32_t deleted_productions() const { return header_.deleted; }
+  uint64_t file_bytes() const { return header_.file_bytes; }
+
+  const Layer& lossless_layer() const { return layers_[0]; }
+  const Layer& lossy_layer() const { return layers_[1]; }
+  /// The provider queries are served from (the lossy layer).
+  const RuleProvider& serving_provider() const { return layers_[1]; }
+
+  /// Recomputes the payload checksum and compares it to the header.
+  Status VerifyChecksum() const;
+
+  /// Eagerly decodes one layer into a grammar (0 = lossless, 1 = lossy),
+  /// bypassing the decode cache.
+  Result<SltGrammar> AssembleGrammar(int layer) const;
+
+  /// Full eager rehydration into an in-memory Synopsis (both layers,
+  /// maps, names, totals) — the escape hatch back to the mutable world
+  /// (updates, RecomputeLossy).
+  Result<Synopsis> Thaw() const;
+
+ private:
+  MappedSynopsis() = default;
+
+  /// Parses + validates `data` (which outlives the object) and wires the
+  /// layers. Shared by Open and FromBuffer.
+  Status Init(const uint8_t* data, size_t size,
+              const MappedOpenOptions& options);
+  Status VerifyChecksumOver(const uint8_t* data, size_t size) const;
+
+  MappedImageHeader header_{};
+  NameTable names_;
+  LabelMaps maps_;
+  std::vector<int64_t> label_totals_;
+  Layer layers_[2];
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  void* mmap_base_ = nullptr;  ///< non-null when `data_` is a mapping
+  size_t mmap_bytes_ = 0;
+  std::vector<uint8_t> owned_;  ///< read/FromBuffer fallback storage
+};
+
+/// FNV-1a 64-bit over a byte range (the image checksum).
+uint64_t Fnv1a64(const uint8_t* data, size_t size);
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_STORAGE_MAPPED_H_

@@ -17,9 +17,11 @@
 #ifndef XMLSEL_STORAGE_PACKED_H_
 #define XMLSEL_STORAGE_PACKED_H_
 
+#include <span>
 #include <vector>
 
 #include "grammar/slt.h"
+#include "storage/bitio.h"
 #include "xmlsel/status.h"
 
 namespace xmlsel {
@@ -43,6 +45,25 @@ std::vector<std::vector<uint8_t>> EncodePackedPerRule(const SltGrammar& g,
 /// Size in bytes of the naive pointer-based in-memory representation, for
 /// the §7 comparison ("this simple scheme slashes the space requirements").
 int64_t PointerRepresentationSize(const SltGrammar& g);
+
+// ---------------------------------------------------------------------------
+// Per-rule codec. One rule's E(R_i) stream is self-contained given the
+// global context (label count, star-table size) plus the ranks of earlier
+// rules — the mmap-ed serving store (storage/mapped.h) uses this to decode
+// individual rules on first touch without materializing the grammar.
+
+/// Appends rule `rule_index`'s E(R_i) stream (unary rank + pre-order
+/// symbols) to `w`. No byte alignment is performed.
+void EncodePackedRule(const SltGrammar& g, int32_t rule_index,
+                      int32_t label_count, BitWriter* w);
+
+/// Decodes one E(R_i) stream from `r` into `*out`. `ranks` must supply the
+/// rank of every rule with index < `rule_index` (rule calls in the stream
+/// reference only earlier rules); `star_count` bounds star-stats indices.
+/// Every structural error in the stream yields kCorruption, never UB.
+Status DecodePackedRule(BitReader* r, int32_t rule_index, int32_t label_count,
+                        int64_t star_count, std::span<const int32_t> ranks,
+                        GrammarRule* out);
 
 }  // namespace xmlsel
 

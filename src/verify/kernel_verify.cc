@@ -99,8 +99,14 @@ Status VerifyStateRegistry(const StateRegistry& reg,
   return Status::OK();
 }
 
-Status VerifySigmaMemo(const SigmaMemo& memo, const SltGrammar& g,
-                       const StateRegistry& reg, const CompiledQuery* cq) {
+namespace {
+
+/// Shared σ-memo audit body; `rank_of` resolves a rule's rank (returning
+/// -1 on a provider failure, which then fails the arity check).
+template <typename RankFn>
+Status VerifySigmaMemoImpl(const SigmaMemo& memo, int32_t rule_count,
+                           RankFn rank_of, const StateRegistry& reg,
+                           const CompiledQuery* cq) {
   for (int32_t id = 0; id < memo.size(); ++id) {
     std::span<const int32_t> key = memo.key(id);
     std::string at = "automaton/sigma: entry " + std::to_string(id);
@@ -108,12 +114,12 @@ Status VerifySigmaMemo(const SigmaMemo& memo, const SltGrammar& g,
       return Status::Corruption(at + " has an empty key");
     }
     int32_t rule = key[0];
-    if (rule < 0 || rule >= g.rule_count()) {
+    if (rule < 0 || rule >= rule_count) {
       return Status::Corruption(at + " keys rule A" + std::to_string(rule) +
                                 ", grammar has " +
-                                std::to_string(g.rule_count()) + " rules");
+                                std::to_string(rule_count) + " rules");
     }
-    int32_t rank = g.rule(rule).rank;
+    int32_t rank = rank_of(rule);
     if (static_cast<int32_t>(key.size()) != 1 + rank) {
       return Status::Corruption(
           at + " keys A" + std::to_string(rule) + " with " +
@@ -193,6 +199,26 @@ Status VerifySigmaMemo(const SigmaMemo& memo, const SltGrammar& g,
     }
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status VerifySigmaMemo(const SigmaMemo& memo, const SltGrammar& g,
+                       const StateRegistry& reg, const CompiledQuery* cq) {
+  return VerifySigmaMemoImpl(
+      memo, g.rule_count(), [&g](int32_t r) { return g.rule(r).rank; }, reg,
+      cq);
+}
+
+Status VerifySigmaMemo(const SigmaMemo& memo, const RuleProvider& provider,
+                       const StateRegistry& reg, const CompiledQuery* cq) {
+  return VerifySigmaMemoImpl(
+      memo, provider.rule_count(),
+      [&provider](int32_t r) {
+        RuleEvalData d = provider.Rule(r);
+        return d.rule != nullptr ? d.rule->rank : -1;
+      },
+      reg, cq);
 }
 
 }  // namespace xmlsel

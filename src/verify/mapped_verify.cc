@@ -1,0 +1,198 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Mapped-image audits (storage/mapped.h). Two entry points:
+//
+//  - VerifyMappedImage: audits an opened image in place — checksum,
+//    per-rule agreement between the lazy decode path and an independent
+//    eager decode, byte-exact re-encoding of every rule against its
+//    payload slice, grammar well-formedness of both layers, label-map
+//    and label-total consistency.
+//  - VerifyMappedRoundTrip: the end-to-end witness used by the pipeline
+//    verifier — build an image from a synopsis, open it with checksum
+//    verification, audit it, thaw it, and require the thawed synopsis to
+//    be structurally identical to the original.
+
+#include <string>
+#include <vector>
+
+#include "estimator/synopsis.h"
+#include "storage/bitio.h"
+#include "storage/mapped.h"
+#include "storage/packed.h"
+#include "verify/verify.h"
+
+namespace xmlsel {
+
+namespace {
+
+/// Audits one layer: assemble it eagerly, check well-formedness, then
+/// require (a) every lazily served rule to agree with the eager decode
+/// and (b) re-encoding every rule to reproduce its payload slice
+/// bit-exactly (so the directory's offsets/bit lengths are honest).
+Status VerifyMappedLayer(const MappedSynopsis& image, int layer) {
+  const MappedSynopsis::Layer& L =
+      layer == 0 ? image.lossless_layer() : image.lossy_layer();
+  const std::string at = "mapped: layer " + std::to_string(layer);
+
+  Result<SltGrammar> assembled = image.AssembleGrammar(layer);
+  if (!assembled.ok()) return assembled.status();
+  const SltGrammar& g = assembled.value();
+  XMLSEL_RETURN_IF_ERROR(VerifyGrammar(g, image.header().label_count));
+  if (layer == 0 && g.IsLossy()) {
+    return Status::Corruption(at + " (lossless) contains star nodes");
+  }
+
+  // Re-encode every rule and compare against the mapped payload slice.
+  std::span<const uint8_t> payload = L.payload();
+  for (int32_t i = 0; i < g.rule_count(); ++i) {
+    BitWriter w;
+    EncodePackedRule(g, i, image.header().label_count, &w);
+    if (w.bit_count() != static_cast<int64_t>(L.rule_bit_len(i))) {
+      return Status::Corruption(
+          at + " rule " + std::to_string(i) + " re-encodes to " +
+          std::to_string(w.bit_count()) + " bits, directory declares " +
+          std::to_string(L.rule_bit_len(i)));
+    }
+    std::vector<uint8_t> bytes = w.Finish();
+    uint64_t off = L.rule_offset(i);
+    if (off > payload.size() || bytes.size() > payload.size() - off) {
+      return Status::Corruption(at + " rule " + std::to_string(i) +
+                                " escapes its payload section");
+    }
+    for (size_t b = 0; b < bytes.size(); ++b) {
+      if (bytes[b] != payload[static_cast<size_t>(off) + b]) {
+        return Status::Corruption(
+            at + " rule " + std::to_string(i) +
+            " payload differs from its re-encoding at byte " +
+            std::to_string(b));
+      }
+    }
+  }
+
+  // The lazy path must serve exactly what the eager decode produced.
+  for (int32_t i = 0; i < L.rule_count(); ++i) {
+    RuleEvalData d = L.Rule(i);
+    if (d.rule == nullptr) {
+      return Status::Corruption(at + " rule " + std::to_string(i) +
+                                " failed lazy decode: " +
+                                L.error().ToString());
+    }
+    SltGrammar lazy_one;
+    for (const StarStats& s : g.star_stats()) {
+      lazy_one.InternStarStats(s);
+    }
+    // CompareGrammars walks rule-by-rule; wrap the single rules in
+    // grammars sharing the star table. Earlier-rule references are
+    // compared symbolically, so single-rule grammars suffice.
+    SltGrammar eager_one = lazy_one;
+    GrammarRule lazy_copy = *d.rule;
+    GrammarRule eager_copy = g.rule(i);
+    lazy_one.AddRule(std::move(lazy_copy));
+    eager_one.AddRule(std::move(eager_copy));
+    Status cmp = CompareGrammars(lazy_one, eager_one);
+    if (!cmp.ok()) {
+      return Status::Corruption(at + " rule " + std::to_string(i) +
+                                " lazy decode disagrees with eager decode: " +
+                                cmp.message());
+    }
+  }
+  Status provider_error = L.error();
+  if (!provider_error.ok()) return provider_error;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status VerifyMappedImage(const MappedSynopsis& image) {
+  XMLSEL_RETURN_IF_ERROR(image.VerifyChecksum());
+  XMLSEL_RETURN_IF_ERROR(VerifyLabelMaps(image.label_maps()));
+
+  int64_t sum = 0;
+  for (int64_t t : image.label_totals()) {
+    if (t < 0) {
+      return Status::Corruption("mapped: negative label total");
+    }
+    sum += t;
+  }
+  if (sum != image.element_total()) {
+    return Status::Corruption(
+        "mapped: label totals sum to " + std::to_string(sum) +
+        ", header declares element total " +
+        std::to_string(image.element_total()));
+  }
+  if (image.names().size() != image.header().label_count) {
+    return Status::Corruption("mapped: name table size disagrees with the "
+                              "header label count");
+  }
+
+  XMLSEL_RETURN_IF_ERROR(VerifyMappedLayer(image, 0));
+  XMLSEL_RETURN_IF_ERROR(VerifyMappedLayer(image, 1));
+  return Status::OK();
+}
+
+Status VerifyMappedRoundTrip(const Synopsis& synopsis) {
+  std::vector<uint8_t> image_bytes = BuildMappedImage(synopsis);
+  MappedOpenOptions options;
+  options.verify_checksum = true;
+  Result<std::unique_ptr<MappedSynopsis>> opened =
+      MappedSynopsis::FromBuffer(std::move(image_bytes), options);
+  if (!opened.ok()) {
+    return Status::Corruption("mapped: freshly built image failed to open: " +
+                              opened.status().ToString());
+  }
+  const MappedSynopsis& image = *opened.value();
+  XMLSEL_RETURN_IF_ERROR(VerifyMappedImage(image));
+
+  Result<Synopsis> thawed = image.Thaw();
+  if (!thawed.ok()) {
+    return Status::Corruption("mapped: image failed to thaw: " +
+                              thawed.status().ToString());
+  }
+  const Synopsis& t = thawed.value();
+  Status cmp = CompareGrammars(t.lossless(), synopsis.lossless());
+  if (!cmp.ok()) {
+    return Status::Corruption(
+        "mapped: thawed lossless layer differs from the original: " +
+        cmp.message());
+  }
+  cmp = CompareGrammars(t.lossy(), synopsis.lossy());
+  if (!cmp.ok()) {
+    return Status::Corruption(
+        "mapped: thawed lossy layer differs from the original: " +
+        cmp.message());
+  }
+  if (t.names().size() != synopsis.names().size()) {
+    return Status::Corruption("mapped: thawed name table size differs");
+  }
+  for (LabelId l = 0; l < synopsis.names().size(); ++l) {
+    if (t.names().Name(l) != synopsis.names().Name(l)) {
+      return Status::Corruption("mapped: thawed name " + std::to_string(l) +
+                                " differs");
+    }
+    if (t.LabelTotal(l) != synopsis.LabelTotal(l)) {
+      return Status::Corruption("mapped: thawed LabelTotal(" +
+                                std::to_string(l) + ") differs");
+    }
+  }
+  if (t.ElementTotal() != synopsis.ElementTotal() ||
+      t.options().kappa != synopsis.options().kappa ||
+      t.deleted_productions() != synopsis.deleted_productions()) {
+    return Status::Corruption(
+        "mapped: thawed totals/kappa/deleted differ from the original");
+  }
+  XMLSEL_RETURN_IF_ERROR(VerifyLabelMaps(t.label_maps()));
+  if (t.label_maps().label_count != synopsis.label_maps().label_count) {
+    return Status::Corruption("mapped: thawed label maps dimension differs");
+  }
+  for (int32_t a = 0; a < t.label_maps().label_count; ++a) {
+    if (t.label_maps().child[static_cast<size_t>(a)] !=
+        synopsis.label_maps().child[static_cast<size_t>(a)]) {
+      return Status::Corruption("mapped: thawed label maps row " +
+                                std::to_string(a) + " differs");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xmlsel

@@ -290,6 +290,8 @@ VerifyReport VerifyPipeline(const Document& doc,
     return VerifyPackedRoundTrip(synopsis.lossy(), synopsis.names().size());
   });
 
+  run("storage/mapped", [&] { return VerifyMappedRoundTrip(synopsis); });
+
   return report;
 }
 

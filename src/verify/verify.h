@@ -31,6 +31,8 @@ namespace xmlsel {
 
 class CompiledQuery;
 class Document;
+class MappedSynopsis;
+class RuleProvider;
 class SigmaMemo;
 class SltGrammar;
 class StateRegistry;
@@ -144,6 +146,14 @@ Status VerifySigmaMemo(const SigmaMemo& memo, const SltGrammar& g,
                        const StateRegistry& reg,
                        const CompiledQuery* cq = nullptr);
 
+/// Same audit with rule ranks resolved through a RuleProvider — the form
+/// used after serving-path evaluations, where the grammar may never have
+/// been materialized (memoized rules are already in the provider's decode
+/// cache, so rank lookups are cheap).
+Status VerifySigmaMemo(const SigmaMemo& memo, const RuleProvider& provider,
+                       const StateRegistry& reg,
+                       const CompiledQuery* cq = nullptr);
+
 // ---------------------------------------------------------------------------
 // storage layer
 
@@ -151,6 +161,19 @@ Status VerifySigmaMemo(const SigmaMemo& memo, const SltGrammar& g,
 /// re-encoding the decoded grammar reproduces the byte stream bit-exactly,
 /// and PackedEncodedSize agrees with the actual encoding.
 Status VerifyPackedRoundTrip(const SltGrammar& g, int32_t label_count);
+
+/// Mapped-image audit (storage/mapped.h): header and section bounds,
+/// payload checksum, rule-directory entries, byte-exact agreement of every
+/// lazily decoded rule with an independent eager decode (re-encoding each
+/// rule must reproduce its payload slice bit-exactly), both grammar layers
+/// well-formed, label maps intrinsic invariants, and label totals summing
+/// to the element total.
+Status VerifyMappedImage(const MappedSynopsis& image);
+
+/// End-to-end mapped round-trip: BuildMappedImage(synopsis) must open,
+/// pass VerifyMappedImage, and thaw back into a synopsis whose layers,
+/// maps, names, and totals are identical to the original.
+Status VerifyMappedRoundTrip(const Synopsis& synopsis);
 
 // ---------------------------------------------------------------------------
 // synopsis / pipeline

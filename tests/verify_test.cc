@@ -403,7 +403,7 @@ TEST(VerifyPipelineTest, NoFalsePositivesAcrossDatasetsAndKappas) {
           << "dataset " << static_cast<int>(id) << " kappa " << kappa
           << ":\n"
           << report.ToString();
-      EXPECT_EQ(report.entries.size(), 8u);
+      EXPECT_EQ(report.entries.size(), 9u);
     }
   }
 }
@@ -415,7 +415,7 @@ TEST(VerifyPipelineTest, ReportListsEveryLayer) {
   for (const char* layer :
        {"xml/document", "xml/roundtrip", "grammar/dag", "grammar/bplex",
         "grammar/streaming", "synopsis", "automaton/kernel",
-        "storage/packed"}) {
+        "storage/packed", "storage/mapped"}) {
     EXPECT_NE(text.find(layer), std::string::npos) << layer;
   }
   EXPECT_TRUE(report.ok()) << text;

@@ -15,6 +15,12 @@
 //   xmlsel_tool verify   <file.xml> [kappa]
 //       Run the cross-layer invariant verifier (src/verify) over every
 //       pipeline stage built from the document; print a per-layer report.
+//   xmlsel_tool pack     <file.xml> <out.synopsis> [kappa]
+//       Build the synopsis (streaming) and write the mmap-able packed
+//       image; audit the written file before reporting success.
+//   xmlsel_tool serve-file <file.synopsis> <xpath> [xpath ...]
+//       Estimate queries straight off the packed image — no document, no
+//       full decode; report bounds plus decode-cache occupancy.
 
 #include <cstdio>
 #include <cstring>
@@ -26,8 +32,10 @@
 #include "data/fb_index.h"
 #include "data/generator.h"
 #include "estimator/estimator.h"
+#include "estimator/mapped_estimator.h"
 #include "query/parser.h"
 #include "query/rewrite.h"
+#include "storage/mapped.h"
 #include "verify/verify.h"
 #include "xml/parser.h"
 #include "xml/stats.h"
@@ -43,7 +51,10 @@ int Usage(const char* error) {
                "  xmlsel_tool compress <file.xml> [kappa]\n"
                "  xmlsel_tool estimate <file.xml> <xpath> [kappa]\n"
                "  xmlsel_tool generate <dataset> <elements>\n"
-               "  xmlsel_tool verify   <file.xml> [kappa]\n");
+               "  xmlsel_tool verify   <file.xml> [kappa]\n"
+               "  xmlsel_tool pack     <file.xml> <out.synopsis> [kappa]\n"
+               "  xmlsel_tool serve-file <file.synopsis> <xpath> "
+               "[xpath ...]\n");
   return 2;
 }
 
@@ -154,6 +165,79 @@ int Generate(const char* name, int64_t elements) {
   return 0;
 }
 
+int Pack(const char* xml_path, const char* out_path, int kappa) {
+  auto doc = Load(xml_path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  xmlsel::SynopsisOptions options;
+  options.kappa = kappa;
+  xmlsel::Synopsis s = xmlsel::Synopsis::Build(doc.value(), options);
+  xmlsel::Status st = xmlsel::PackSynopsisToFile(s, out_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  // Re-open what was actually written and audit it before claiming success.
+  xmlsel::MappedOpenOptions mopts;
+  mopts.verify_checksum = true;
+  auto image = xmlsel::MappedSynopsis::Open(out_path, mopts);
+  if (!image.ok()) {
+    std::fprintf(stderr, "packed image fails to re-open: %s\n",
+                 image.status().ToString().c_str());
+    return 1;
+  }
+  st = xmlsel::VerifyMappedImage(*image.value());
+  if (!st.ok()) {
+    std::fprintf(stderr, "packed image fails verification: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  const xmlsel::MappedSynopsis& m = *image.value();
+  std::printf("%s: %lld bytes (kappa=%d, %lld elements)\n", out_path,
+              static_cast<long long>(m.file_bytes()), m.kappa(),
+              static_cast<long long>(m.element_total()));
+  std::printf("  lossless layer: %lld rules\n",
+              static_cast<long long>(m.lossless_layer().rule_count()));
+  std::printf("  lossy layer:    %lld rules (%d productions deleted)\n",
+              static_cast<long long>(m.lossy_layer().rule_count()),
+              m.deleted_productions());
+  return 0;
+}
+
+int ServeFile(const char* syn_path, char** xpaths, int count) {
+  xmlsel::MappedOpenOptions options;
+  options.verify_checksum = true;
+  auto est = xmlsel::MappedEstimator::Open(syn_path, options);
+  if (!est.ok()) {
+    std::fprintf(stderr, "%s\n", est.status().ToString().c_str());
+    return 1;
+  }
+  int failures = 0;
+  for (int i = 0; i < count; ++i) {
+    auto r = est.value().Estimate(xpaths[i]);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s: %s\n", xpaths[i],
+                   r.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("%s -> [%lld, %lld]\n", xpaths[i],
+                static_cast<long long>(r.value().lower),
+                static_cast<long long>(r.value().upper));
+  }
+  xmlsel::MappedCacheStats stats = est.value().cache_stats();
+  std::printf("decode cache: %lld/%lld rules decoded, %lld bytes resident, "
+              "%lld hits / %lld misses\n",
+              static_cast<long long>(stats.decoded_rules),
+              static_cast<long long>(stats.total_rules),
+              static_cast<long long>(stats.resident_bytes),
+              static_cast<long long>(stats.hits),
+              static_cast<long long>(stats.misses));
+  return failures == 0 ? 0 : 1;
+}
+
 int Verify(const char* path, int kappa) {
   auto doc = Load(path);
   if (!doc.ok()) {
@@ -195,6 +279,14 @@ int main(int argc, char** argv) {
   if (!std::strcmp(argv[1], "verify")) {
     if (argc < 3) return Usage("verify needs <file.xml>");
     return Verify(argv[2], argc > 3 ? std::atoi(argv[3]) : 0);
+  }
+  if (!std::strcmp(argv[1], "pack")) {
+    if (argc < 4) return Usage("pack needs <file.xml> <out.synopsis>");
+    return Pack(argv[2], argv[3], argc > 4 ? std::atoi(argv[4]) : 0);
+  }
+  if (!std::strcmp(argv[1], "serve-file")) {
+    if (argc < 4) return Usage("serve-file needs <file.synopsis> <xpath>");
+    return ServeFile(argv[2], argv + 3, argc - 3);
   }
   return Usage("unknown subcommand");
 }
