@@ -66,6 +66,27 @@ inline void WriteHostFingerprintJson(FILE* f, const char* indent,
                static_cast<long long>(fp.unix_time));
 }
 
+/// True when thread- or shard-scaling measurements on this host can mean
+/// anything at all: with a single effective core, every concurrency level
+/// collapses to time-slicing of one CPU and "speedup vs 1 thread" is
+/// noise around 1.0×. Benches must emit this as `scaling_valid` next to
+/// any scaling table and skip speedup claims when it is false.
+inline bool ScalingValid() {
+  return std::thread::hardware_concurrency() > 1;
+}
+
+/// Prints the standard warning when ScalingValid() is false. Returns the
+/// validity so call sites can gate their claims on it.
+inline bool WarnIfScalingInvalid(const char* what) {
+  if (ScalingValid()) return true;
+  std::fprintf(stderr,
+               "WARNING: this host exposes a single effective core; the %s "
+               "scaling figures below do not measure parallel speedup and "
+               "are recorded with \"scaling_valid\": false.\n",
+               what);
+  return false;
+}
+
 /// Compares the current host against the fingerprint baked into a
 /// hardcoded baseline table. Returns true (and warns on stderr) when they
 /// differ — any speedup-vs-baseline figure derived from that table is

@@ -7,7 +7,10 @@
 // sets) into the shared SynopsisEvalCache. Emits JSON so the perf
 // trajectory is tracked across PRs:
 //
-//   ./bench_throughput [output.json]     (default BENCH_throughput.json)
+//   ./bench_throughput [output.json] [serving.json]
+//                       (defaults BENCH_throughput.json BENCH_serving.json;
+//                        the serving bench's JSON, when present, is embedded
+//                        verbatim as the "serving" section)
 //
 // Thread scaling is hardware-bound: on a single-core host all thread
 // counts collapse to ~1×, so the JSON records hardware_concurrency
@@ -96,7 +99,33 @@ double MeasureEvalSeconds(const Synopsis& synopsis,
   return SecondsSince(t0);
 }
 
-int Run(const char* out_path) {
+/// Embeds the serving bench's tracked JSON (bench_serving.cc) verbatim as
+/// the `"serving"` section, so one file carries the whole perf trajectory.
+/// Quietly skipped when the file is absent (serving bench not run yet).
+bool EmbedServingSection(FILE* f, const char* serving_path) {
+  FILE* sf = std::fopen(serving_path, "r");
+  if (sf == nullptr) return false;
+  std::string body;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), sf)) > 0) {
+    body.append(buf, n);
+  }
+  std::fclose(sf);
+  while (!body.empty() &&
+         (body.back() == '\n' || body.back() == ' ' || body.back() == '\r')) {
+    body.pop_back();
+  }
+  if (body.empty() || body.front() != '{' || body.back() != '}') {
+    std::fprintf(stderr, "WARNING: %s is not a JSON object; not embedded\n",
+                 serving_path);
+    return false;
+  }
+  std::fprintf(f, "  \"serving\": %s,\n", body.c_str());
+  return true;
+}
+
+int Run(const char* out_path, const char* serving_path) {
   // Open the output first so a bad path fails before minutes of work.
   FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
@@ -124,13 +153,18 @@ int Run(const char* out_path) {
   };
   std::vector<Point> points;
   double base_qps = 0.0;
+  const bool scaling_valid = bench::WarnIfScalingInvalid("thread");
   for (int32_t threads : {1, 2, 4, 8}) {
     double secs = MeasureBatchSeconds(&est, queries, threads, kRounds);
     double qps = static_cast<double>(queries.size()) * kRounds / secs;
     if (threads == 1) base_qps = qps;
     points.push_back({threads, secs, qps});
-    std::printf("threads=%d  %.3fs  %.0f q/s  (%.2fx)\n", threads, secs,
-                qps, qps / base_qps);
+    if (scaling_valid) {
+      std::printf("threads=%d  %.3fs  %.0f q/s  (%.2fx)\n", threads, secs,
+                  qps, qps / base_qps);
+    } else {
+      std::printf("threads=%d  %.3fs  %.0f q/s\n", threads, secs, qps);
+    }
   }
 
   // --- Compiled-query cache across all batch runs above: every distinct
@@ -211,14 +245,19 @@ int Run(const char* out_path) {
   std::fprintf(f, "  \"hardware_concurrency\": %d,\n",
                static_cast<int>(std::thread::hardware_concurrency()));
   std::fprintf(f, "  \"effective_threads\": %d,\n", DefaultThreadCount());
+  // speedup_vs_1 is a parallel-speedup claim; it is omitted entirely when
+  // the host cannot support one (scaling_valid false).
+  std::fprintf(f, "  \"scaling_valid\": %s,\n",
+               scaling_valid ? "true" : "false");
   std::fprintf(f, "  \"scaling\": [\n");
   for (size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
-    std::fprintf(f,
-                 "    {\"threads\": %d, \"seconds\": %.4f, \"qps\": %.1f, "
-                 "\"speedup_vs_1\": %.3f}%s\n",
-                 p.threads, p.seconds, p.qps, p.qps / base_qps,
-                 i + 1 < points.size() ? "," : "");
+    std::fprintf(f, "    {\"threads\": %d, \"seconds\": %.4f, \"qps\": %.1f",
+                 p.threads, p.seconds, p.qps);
+    if (scaling_valid) {
+      std::fprintf(f, ", \"speedup_vs_1\": %.3f", p.qps / base_qps);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"cache_hoisting\": {\n");
@@ -260,6 +299,9 @@ int Run(const char* out_path) {
                static_cast<long long>(qcache.misses()));
   std::fprintf(f, "    \"compile_cache_hit_pct\": %.1f\n", qcache_hit_pct);
   std::fprintf(f, "  },\n");
+  if (EmbedServingSection(f, serving_path)) {
+    std::printf("embedded %s as the \"serving\" section\n", serving_path);
+  }
   std::fprintf(f, "  \"verify\": {\n");
   std::fprintf(f, "    \"pipeline_seconds\": %.4f,\n", verify_seconds);
   std::fprintf(f, "    \"layers\": [\n");
@@ -281,5 +323,6 @@ int Run(const char* out_path) {
 }  // namespace xmlsel
 
 int main(int argc, char** argv) {
-  return xmlsel::Run(argc > 1 ? argv[1] : "BENCH_throughput.json");
+  return xmlsel::Run(argc > 1 ? argv[1] : "BENCH_throughput.json",
+                     argc > 2 ? argv[2] : "BENCH_serving.json");
 }

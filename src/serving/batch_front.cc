@@ -1,0 +1,152 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "serving/batch_front.h"
+
+#include <string_view>
+#include <utility>
+
+#include "serving/snapshot.h"
+#include "xmlsel/common.h"
+
+namespace xmlsel {
+
+Result<BatchOutcome> BatchFuture::Wait() const {
+  XMLSEL_CHECK(state_ != nullptr);
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+  return state_->result;
+}
+
+bool BatchFuture::Ready() const {
+  XMLSEL_CHECK(state_ != nullptr);
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+ServingFront::ServingFront(const ServingCatalog* catalog, ThreadPool* pool,
+                           FrontOptions options)
+    : catalog_(catalog), pool_(pool), options_(options) {
+  XMLSEL_CHECK(catalog_ != nullptr);
+  XMLSEL_CHECK(pool_ != nullptr);
+  if (options_.lanes <= 0) options_.lanes = catalog_->shard_count();
+  if (options_.max_batches_per_drain <= 0) options_.max_batches_per_drain = 1;
+  lanes_.reserve(static_cast<size_t>(options_.lanes));
+  for (int32_t i = 0; i < options_.lanes; ++i) {
+    lanes_.push_back(std::make_unique<Lane>(options_.queue_capacity,
+                                            "lane-" + std::to_string(i)));
+  }
+}
+
+ServingFront::~ServingFront() { Drain(); }
+
+int32_t ServingFront::LaneIndex(std::string_view tenant) const {
+  return catalog_->ShardIndex(tenant) % lane_count();
+}
+
+Result<BatchFuture> ServingFront::Submit(std::string tenant,
+                                         std::vector<std::string> xpaths) {
+  Lane* lane = lanes_[static_cast<size_t>(LaneIndex(tenant))].get();
+  auto state = std::make_shared<BatchFuture::State>();
+  Request req{std::move(tenant), std::move(xpaths), state};
+  if (options_.block_on_full) {
+    lane->queue.Push(std::move(req));
+  } else if (!lane->queue.TryPush(std::move(req))) {
+    lane->rejected.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted("lane " + lane->tag +
+                                     " queue full (capacity " +
+                                     std::to_string(lane->queue.capacity()) +
+                                     ")");
+  }
+  lane->submitted.fetch_add(1, std::memory_order_relaxed);
+  // Push happened-before this claim attempt — see the protocol note in
+  // the header for why no request can be stranded.
+  ScheduleDrain(lane);
+  return BatchFuture(std::move(state));
+}
+
+void ServingFront::ScheduleDrain(Lane* lane) {
+  if (lane->draining.exchange(true)) return;  // a task already owns it
+  pool_->Submit([this, lane] { DrainLane(lane); }, lane->tag.c_str());
+}
+
+void ServingFront::DrainLane(Lane* lane) {
+  int32_t processed = 0;
+  Request req;
+  while (processed < options_.max_batches_per_drain &&
+         lane->queue.TryPop(&req)) {
+    ProcessRequest(lane, &req);
+    req = Request();  // release the fulfilled future before the next pop
+    ++processed;
+  }
+  lane->draining.store(false);
+  // Re-check after releasing the strand: a producer that pushed while we
+  // were finishing (and lost the claim) is now our responsibility.
+  if (!lane->queue.Empty()) ScheduleDrain(lane);
+}
+
+void ServingFront::ProcessRequest(Lane* lane, Request* req) {
+  Result<BatchOutcome> result = Status::Internal("unprocessed");
+  std::shared_ptr<const ServingSnapshot> snap = catalog_->Acquire(req->tenant);
+  if (snap == nullptr) {
+    result = Status::NotFound("unknown tenant: " + req->tenant);
+  } else {
+    // Refresh the lane's scratch table when the tenant or version under
+    // it changed; otherwise keep it warm — repeated shapes then hit the
+    // snapshot's compiled-query cache with zero re-interning.
+    if (lane->scratch == nullptr || lane->scratch_tenant != req->tenant ||
+        lane->scratch_version != snap->version()) {
+      lane->scratch = std::make_unique<NameTable>(snap->base_names());
+      lane->scratch_tenant = req->tenant;
+      lane->scratch_version = snap->version();
+    }
+    std::vector<std::string_view> views(req->xpaths.begin(),
+                                        req->xpaths.end());
+    BatchOutcome out;
+    out.snapshot_version = snap->version();
+    // Inline evaluation: parallelism comes from lanes running on distinct
+    // pool workers, not from fanning one batch out (which would deadlock
+    // a pool saturated with drain tasks).
+    out.results = EstimateStringsOnSnapshot(*snap, views, lane->scratch.get(),
+                                            /*threads=*/1, /*pool=*/nullptr);
+    result = std::move(out);
+  }
+  // Counted before the future is fulfilled so that a Stats() read after a
+  // successful Wait() is guaranteed to see this request as completed.
+  lane->completed.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(req->state->mu);
+    req->state->result = std::move(result);
+    req->state->done = true;
+  }
+  req->state->cv.notify_all();
+}
+
+void ServingFront::Drain() {
+  // Every queued request has a drain task responsible for it (protocol in
+  // the header), and drain tasks reschedule before returning — so the
+  // pool running idle means every lane is empty and quiescent.
+  pool_->Wait();
+}
+
+FrontStats ServingFront::Stats() const {
+  FrontStats out;
+  out.lanes.reserve(lanes_.size());
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    const Lane& lane = *lanes_[i];
+    LaneStats s;
+    s.lane = static_cast<int32_t>(i);
+    s.submitted = lane.submitted.load(std::memory_order_relaxed);
+    s.completed = lane.completed.load(std::memory_order_relaxed);
+    s.rejected = lane.rejected.load(std::memory_order_relaxed);
+    s.queue_depth = static_cast<int64_t>(lane.queue.size());
+    out.submitted += s.submitted;
+    out.completed += s.completed;
+    out.rejected += s.rejected;
+    out.queue_depth += s.queue_depth;
+    out.lanes.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace xmlsel

@@ -1,0 +1,160 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Asynchronous batch submission in front of the serving catalog. Callers
+// enqueue (tenant, xpath-batch) requests and get a future; per-shard
+// lanes drain the queues on the shared ThreadPool with strand semantics —
+// at most one drain task per lane at a time — so each lane's warm state
+// (the scratch NameTable queries are parsed against, and through it the
+// snapshot's compiled-query cache and lazy-decode slots) stays hot across
+// consecutive batches for the same tenant without any locking around it.
+//
+// Backpressure is the bounded submission queue: FrontOptions picks
+// between caller-blocks (Push waits for room — overload is absorbed by
+// the producers) and reject-with-status (TryPush failure surfaces as
+// kResourceExhausted and the caller decides). Either way the server's
+// memory is bounded by lanes × queue_capacity requests.
+//
+// Lane scheduling protocol (race argument): a producer always pushes its
+// request *before* trying to claim the lane's draining flag; a drain task
+// always clears the flag *before* re-checking the queue. So if a producer
+// loses the claim (flag already set), the task that owns the flag either
+// pops the request in its current sweep, or clears the flag, re-checks,
+// finds the queue non-empty, and reschedules itself. No request is ever
+// left behind with no task responsible for it.
+
+#ifndef XMLSEL_SERVING_BATCH_FRONT_H_
+#define XMLSEL_SERVING_BATCH_FRONT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serving/catalog.h"
+#include "xmlsel/bounded_queue.h"
+#include "xmlsel/status.h"
+#include "xmlsel/thread_pool.h"
+
+namespace xmlsel {
+
+struct FrontOptions {
+  /// Number of lanes; ≤ 0 uses the catalog's shard count. Tenants map to
+  /// lanes by shard index, so lanes ≥ shards gives perfect affinity.
+  int32_t lanes = 0;
+  /// Requests each lane's queue holds before backpressure engages.
+  size_t queue_capacity = 256;
+  /// true: Submit blocks until there is room. false: Submit returns
+  /// kResourceExhausted and the request is dropped.
+  bool block_on_full = true;
+  /// Batches one drain task processes before yielding the worker (bounds
+  /// how long one lane can monopolize a pool thread).
+  int32_t max_batches_per_drain = 8;
+};
+
+/// Completion handle for one submitted batch.
+class BatchFuture {
+ public:
+  /// Blocks until the batch is processed; returns its outcome (kNotFound
+  /// when the tenant was unknown at drain time).
+  Result<BatchOutcome> Wait() const;
+  bool Ready() const;
+
+ private:
+  friend class ServingFront;
+  struct State {
+    mutable std::mutex mu;
+    mutable std::condition_variable cv;
+    bool done = false;
+    Result<BatchOutcome> result = Status::Internal("pending");
+  };
+  explicit BatchFuture(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+struct LaneStats {
+  int32_t lane = 0;
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t rejected = 0;
+  int64_t queue_depth = 0;  ///< requests waiting right now
+};
+
+struct FrontStats {
+  std::vector<LaneStats> lanes;
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t rejected = 0;
+  int64_t queue_depth = 0;
+};
+
+/// The async front. Submit may be called from any number of producer
+/// threads; Drain and destruction require no concurrent Submits. The
+/// catalog and pool are borrowed and must outlive the front; concurrent
+/// catalog Publish*/Remove while the front drains is the intended mode.
+class ServingFront {
+ public:
+  ServingFront(const ServingCatalog* catalog, ThreadPool* pool,
+               FrontOptions options = {});
+  ~ServingFront();
+
+  ServingFront(const ServingFront&) = delete;
+  ServingFront& operator=(const ServingFront&) = delete;
+
+  int32_t lane_count() const { return static_cast<int32_t>(lanes_.size()); }
+  int32_t LaneIndex(std::string_view tenant) const;
+
+  /// Enqueues one batch. Blocks or rejects per FrontOptions when the
+  /// tenant's lane is full.
+  Result<BatchFuture> Submit(std::string tenant,
+                             std::vector<std::string> xpaths);
+
+  /// Blocks until every submitted request has completed (the shared pool
+  /// runs idle). Call with no Submits in flight.
+  void Drain();
+
+  FrontStats Stats() const;
+
+ private:
+  struct Request {
+    std::string tenant;
+    std::vector<std::string> xpaths;
+    std::shared_ptr<BatchFuture::State> state;
+  };
+
+  struct Lane {
+    explicit Lane(size_t capacity, std::string tag_name)
+        : queue(capacity), tag(std::move(tag_name)) {}
+    BoundedQueue<Request> queue;
+    /// Strand token: set while a drain task is scheduled or running.
+    std::atomic<bool> draining{false};
+    std::atomic<int64_t> submitted{0};
+    std::atomic<int64_t> completed{0};
+    std::atomic<int64_t> rejected{0};
+    const std::string tag;  ///< pool task tag, "lane-N"
+
+    // Warm drain-side state. Only the task holding `draining` touches it;
+    // the flag's release/acquire edge orders successive owners.
+    std::string scratch_tenant;
+    uint64_t scratch_version = 0;
+    std::unique_ptr<NameTable> scratch;
+  };
+
+  void ScheduleDrain(Lane* lane);
+  void DrainLane(Lane* lane);
+  void ProcessRequest(Lane* lane, Request* req);
+
+  const ServingCatalog* catalog_;
+  ThreadPool* pool_;
+  FrontOptions options_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_SERVING_BATCH_FRONT_H_

@@ -126,6 +126,24 @@ struct MappedCacheStats {
   int64_t total_rules = 0;
 };
 
+/// Residency of one opened image: what the lazy decoder has actually
+/// materialized, per layer. This is the per-tenant memory answer the
+/// serving catalog and `xmlsel_tool serve` report — a mostly-cold tenant
+/// shows decoded_rules ≪ total_rules and a few KB resident while its
+/// image may be megabytes on disk.
+struct MappedSynopsisStats {
+  MappedCacheStats lossless;
+  MappedCacheStats lossy;
+  uint64_t file_bytes = 0;
+
+  int64_t decoded_rules() const {
+    return lossless.decoded_rules + lossy.decoded_rules;
+  }
+  int64_t resident_bytes() const {
+    return lossless.resident_bytes + lossy.resident_bytes;
+  }
+};
+
 /// Serializes a synopsis into a complete image (header + all sections).
 std::vector<uint8_t> BuildMappedImage(const Synopsis& synopsis);
 
@@ -236,6 +254,14 @@ class MappedSynopsis {
   const Layer& lossy_layer() const { return layers_[1]; }
   /// The provider queries are served from (the lossy layer).
   const RuleProvider& serving_provider() const { return layers_[1]; }
+
+  /// Decode-cache residency of both layers plus the image size — the
+  /// public per-tenant memory accounting surface (the per-layer counters
+  /// were previously reachable only through the layer objects).
+  MappedSynopsisStats Stats() const {
+    return {layers_[0].cache_stats(), layers_[1].cache_stats(),
+            header_.file_bytes};
+  }
 
   /// Recomputes the payload checksum and compares it to the header.
   Status VerifyChecksum() const;

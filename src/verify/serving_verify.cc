@@ -1,0 +1,128 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Serving-catalog audit (serving/catalog.h). Checks the directory's
+// reader-visible state rather than its internals: every listed tenant
+// must resolve through the same Acquire path queries use, the resolved
+// snapshot's totals must be internally consistent, a `//*` probe must
+// bracket the element total (the query matches every element, so its
+// true cardinality IS the element total and the §5.4 guarantee pins it
+// between the bounds), and — the structural claim the whole design rests
+// on — the reader fast path must have taken zero mutex acquisitions
+// across all of the above, measured by the counted-lock audit rather
+// than asserted.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/ast.h"
+#include "serving/catalog.h"
+#include "serving/snapshot.h"
+#include "verify/verify.h"
+#include "xmlsel/rcu.h"
+
+namespace xmlsel {
+
+namespace {
+
+/// The query `//*` — a descendant-axis wildcard from the virtual root,
+/// matching every element. Built directly (no parser, no NameTable
+/// mutation) so it keys the shared compiled-query cache on every
+/// snapshot: its only tests are kRootLabel and kWildcardTest.
+Query MatchAllQuery() {
+  Query q;
+  q.SetMatchNode(q.AddNode(0, Axis::kDescendant, kWildcardTest));
+  return q;
+}
+
+Status VerifyOneTenant(const ServingCatalog& catalog,
+                       const std::string& tenant, const Query& probe) {
+  const std::string at = "serving: tenant '" + tenant + "'";
+  std::shared_ptr<const ServingSnapshot> snap = catalog.Acquire(tenant);
+  if (snap == nullptr) {
+    return Status::Corruption(at + " is listed but Acquire found nothing");
+  }
+  if (snap->version() == 0) {
+    return Status::Corruption(at + " serves version 0 (versions start at 1)");
+  }
+  const int32_t shard = catalog.ShardIndex(tenant);
+  if (shard < 0 || shard >= catalog.shard_count()) {
+    return Status::Corruption(at + " hashes to out-of-range shard " +
+                              std::to_string(shard));
+  }
+  if (snap->base_label_count() != snap->base_names().size()) {
+    return Status::Corruption(
+        at + " base label count " +
+        std::to_string(snap->base_label_count()) +
+        " disagrees with its name table (" +
+        std::to_string(snap->base_names().size()) + ")");
+  }
+  const ServingView view = snap->View();
+  if (view.provider == nullptr) {
+    return Status::Corruption(at + " serves a view with no rule provider");
+  }
+  int64_t total = 0;
+  for (int64_t t : view.label_totals) {
+    if (t < 0) {
+      return Status::Corruption(at + " has a negative label total");
+    }
+    total += t;
+  }
+  if (total != snap->element_total()) {
+    return Status::Corruption(
+        at + " label totals sum to " + std::to_string(total) +
+        ", element total is " + std::to_string(snap->element_total()));
+  }
+
+  Result<SelectivityEstimate> est = EstimateOnSnapshot(*snap, probe);
+  if (!est.ok()) {
+    return Status::Corruption(at + " failed the //* probe: " +
+                              est.status().ToString());
+  }
+  const SelectivityEstimate& e = est.value();
+  if (e.lower > e.upper) {
+    return Status::Corruption(at + " //* probe inverted: lower " +
+                              std::to_string(e.lower) + " > upper " +
+                              std::to_string(e.upper));
+  }
+  if (e.lower > snap->element_total() || e.upper < snap->element_total()) {
+    return Status::Corruption(
+        at + " //* probe [" + std::to_string(e.lower) + ", " +
+        std::to_string(e.upper) + "] fails to bracket the element total " +
+        std::to_string(snap->element_total()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status VerifyServingCatalog(const ServingCatalog& catalog) {
+  if (catalog.shard_count() <= 0) {
+    return Status::Corruption("serving: catalog has no shards");
+  }
+  const Query probe = MatchAllQuery();
+  for (const std::string& tenant : catalog.Tenants()) {
+    XMLSEL_RETURN_IF_ERROR(VerifyOneTenant(catalog, tenant, probe));
+  }
+  // The probes above went through Acquire on this thread; the counted
+  // fast-path audit must not have observed a single lock acquisition.
+  const CatalogStats stats = catalog.Stats();
+  if (stats.reader_fast_path_locks != 0) {
+    return Status::Corruption(
+        "serving: reader fast path took " +
+        std::to_string(stats.reader_fast_path_locks) +
+        " lock acquisition(s); the lock-free contract is broken");
+  }
+  int64_t tenants_in_shards = 0;
+  for (const ShardStats& s : stats.shards) tenants_in_shards += s.tenants;
+  if (tenants_in_shards != stats.tenants) {
+    return Status::Corruption("serving: shard tenant counts sum to " +
+                              std::to_string(tenants_in_shards) +
+                              ", catalog total is " +
+                              std::to_string(stats.tenants));
+  }
+  return Status::OK();
+}
+
+}  // namespace xmlsel

@@ -33,6 +33,7 @@ class CompiledQuery;
 class Document;
 class MappedSynopsis;
 class RuleProvider;
+class ServingCatalog;
 class SigmaMemo;
 class SltGrammar;
 class StateRegistry;
@@ -176,7 +177,17 @@ Status VerifyMappedImage(const MappedSynopsis& image);
 Status VerifyMappedRoundTrip(const Synopsis& synopsis);
 
 // ---------------------------------------------------------------------------
-// synopsis / pipeline
+// serving layer
+
+/// Serving-catalog audit: every listed tenant resolves through Acquire to
+/// a snapshot with a positive version and internally consistent totals
+/// (label totals sum to the element total, the name table covers the
+/// base label count); a `//*` probe query estimated on each snapshot
+/// brackets the element total (lower ≤ total ≤ upper — the §5.4
+/// guarantee applied to the query matching every element); and the
+/// reader fast path took zero lock acquisitions across all the probes
+/// (the counted-mutex audit, same gate the serving bench enforces).
+Status VerifyServingCatalog(const ServingCatalog& catalog);
 
 /// Audits a built synopsis: both grammar layers well-formed, the lossless
 /// layer star-free, the lossy layer consistent with a recomputation (so

@@ -1,0 +1,90 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// A small bounded multi-producer/multi-consumer queue — the submission
+// primitive of the async serving front. Deliberately mutex-based: the
+// queue is the *admission* side of the system, where blocking producers
+// is the backpressure contract, not a scalability bug (the lock-free
+// claims of the serving layer are about snapshot acquisition, which never
+// touches a queue). Capacity is fixed at construction; TryPush gives the
+// reject-with-status policy, Push the caller-blocks policy.
+
+#ifndef XMLSEL_XMLSEL_BOUNDED_QUEUE_H_
+#define XMLSEL_XMLSEL_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "xmlsel/common.h"
+
+namespace xmlsel {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    XMLSEL_CHECK(capacity_ > 0);
+  }
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues if there is room; returns false (item untouched) when full.
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Enqueues, blocking while the queue is full (backpressure: the caller
+  /// absorbs the overload instead of the server).
+  void Push(T&& item) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock, [this] { return items_.size() < capacity_; });
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+  }
+
+  /// Dequeues into `*out`; returns false when empty.
+  bool TryPop(T* out) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) return false;
+      *out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  bool Empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.empty();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  const size_t capacity_;
+};
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_XMLSEL_BOUNDED_QUEUE_H_

@@ -1,0 +1,88 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "xmlsel/rcu.h"
+
+namespace xmlsel {
+
+namespace internal {
+
+int64_t& ThreadMutexAcquisitions() {
+  thread_local int64_t count = 0;
+  return count;
+}
+
+}  // namespace internal
+
+RcuDomain& RcuDomain::Global() {
+  static RcuDomain* domain = new RcuDomain();  // never destroyed: slots may
+  return *domain;                              // outlive static teardown
+}
+
+namespace {
+
+/// Claims a slot on construction, releases it when the thread exits so a
+/// later thread can recycle it. The slot itself is never freed — the
+/// grow-only list is bounded by the peak thread count.
+struct ThreadSlotHandle {
+  RcuDomain::Slot* slot = nullptr;
+
+  ~ThreadSlotHandle() {
+    if (slot != nullptr) {
+      slot->epoch.store(RcuDomain::kIdle, std::memory_order_release);
+      slot->claimed.store(false, std::memory_order_release);
+    }
+  }
+};
+
+}  // namespace
+
+RcuDomain::Slot* RcuDomain::SlotForThisThread() {
+  thread_local ThreadSlotHandle handle;
+  if (handle.slot != nullptr) return handle.slot;
+  // Recycle a released slot if one exists.
+  for (Slot* s = head_.load(std::memory_order_acquire); s != nullptr;
+       s = s->next.load(std::memory_order_acquire)) {
+    bool expected = false;
+    if (s->claimed.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+      handle.slot = s;
+      return s;
+    }
+  }
+  // Push a fresh slot (lock-free; contention only at thread birth).
+  Slot* s = new Slot();
+  s->claimed.store(true, std::memory_order_relaxed);
+  Slot* old_head = head_.load(std::memory_order_relaxed);
+  do {
+    s->next.store(old_head, std::memory_order_relaxed);
+  } while (!head_.compare_exchange_weak(old_head, s,
+                                        std::memory_order_acq_rel));
+  handle.slot = s;
+  return s;
+}
+
+uint64_t RcuDomain::SafeEpoch() const {
+  uint64_t min_active = global_epoch_.load(std::memory_order_seq_cst);
+  for (Slot* s = head_.load(std::memory_order_seq_cst); s != nullptr;
+       s = s->next.load(std::memory_order_seq_cst)) {
+    uint64_t e = s->epoch.load(std::memory_order_seq_cst);
+    if (e != kIdle && e < min_active) min_active = e;
+  }
+  return min_active;
+}
+
+RcuDomain::ReadGuard::ReadGuard() : slot_(Global().SlotForThisThread()) {
+  if (slot_->depth++ == 0) {
+    uint64_t e = Global().global_epoch_.load(std::memory_order_seq_cst);
+    slot_->epoch.store(e, std::memory_order_seq_cst);
+  }
+}
+
+RcuDomain::ReadGuard::~ReadGuard() {
+  if (--slot_->depth == 0) {
+    slot_->epoch.store(kIdle, std::memory_order_release);
+  }
+}
+
+}  // namespace xmlsel

@@ -1,0 +1,239 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Epoch-based read-copy-update for the serving catalog: a published value
+// behind an atomic pointer, where readers acquire a consistent snapshot
+// with two atomic operations and zero lock acquisitions, and writers
+// publish a fully built replacement and retire the old version only after
+// a grace period (no reader that could still see it remains inside its
+// read-side critical section).
+//
+// The scheme is classic EBR with a global epoch counter and one
+// announcement slot per thread:
+//
+//   reader   announce(global_epoch); v = current.load(); ... ; announce(idle)
+//   writer   old = current.exchange(new); stamp old with fetch_add(epoch);
+//            reclaim retired versions whose stamp < min(active announcements)
+//
+// All the ordering-critical operations are seq_cst, so the safety argument
+// is a total-order case split: if the reader's value load preceded the
+// writer's exchange, the writer's slot scan happens after the reader's
+// announcement and observes it (the version is kept); if it followed the
+// exchange, the reader holds the *new* version and the old one's fate is
+// irrelevant to it. Writer-side cost is irrelevant here — versions swap a
+// handful of times per second at most, reads happen per query.
+//
+// Readers may additionally Pin() the published shared_ptr: copying it is
+// safe inside the critical section (the Version node holding it cannot be
+// reclaimed mid-guard) and extends the value's lifetime past any number of
+// subsequent swaps — this is how in-flight batches keep their synopsis,
+// eval cache, and compiled-query handles alive while the catalog moves on.
+
+#ifndef XMLSEL_XMLSEL_RCU_H_
+#define XMLSEL_XMLSEL_RCU_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "xmlsel/common.h"
+
+namespace xmlsel {
+
+namespace internal {
+/// Thread-local count of mutex acquisitions taken through the serving
+/// layer's counted-lock helpers (RcuCell writers, catalog writers). The
+/// reader fast path probes this before and after: a nonzero delta is a
+/// broken lock-freedom claim, surfaced as a counter the bench and CI gate
+/// at zero rather than an assumption in a comment.
+int64_t& ThreadMutexAcquisitions();
+}  // namespace internal
+
+/// std::lock_guard that records itself in the thread-local acquisition
+/// counter. Every serving-layer mutex must be taken through this.
+class CountedMutexLock {
+ public:
+  explicit CountedMutexLock(std::mutex& mu) : lock_(mu) {
+    ++internal::ThreadMutexAcquisitions();
+  }
+  CountedMutexLock(const CountedMutexLock&) = delete;
+  CountedMutexLock& operator=(const CountedMutexLock&) = delete;
+
+ private:
+  std::lock_guard<std::mutex> lock_;
+};
+
+/// Process-wide epoch domain shared by every RcuCell. Threads register an
+/// announcement slot on first use (a lock-free push onto a grow-only
+/// list; slots are recycled across thread exits via a claim flag, so the
+/// list is bounded by the peak number of concurrent threads).
+class RcuDomain {
+ public:
+  static RcuDomain& Global();
+
+  struct Slot {
+    std::atomic<uint64_t> epoch{kIdle};  ///< kIdle or the announced epoch
+    std::atomic<bool> claimed{false};
+    std::atomic<Slot*> next{nullptr};
+    int32_t depth = 0;  ///< read-guard nesting; owner thread only
+  };
+  static constexpr uint64_t kIdle = 0;
+
+  /// Read-side critical section. Re-entrant per thread (nested guards
+  /// share the outermost announcement). No locks, no allocation after the
+  /// thread's first use.
+  class ReadGuard {
+   public:
+    ReadGuard();
+    ~ReadGuard();
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+   private:
+    Slot* slot_;
+  };
+
+  /// Writer side: returns the epoch to stamp a retiring version with and
+  /// advances the global epoch past it.
+  uint64_t Retire() { return global_epoch_.fetch_add(1); }
+
+  /// Writer side: versions stamped strictly below the returned epoch are
+  /// unreachable by every present and future reader.
+  uint64_t SafeEpoch() const;
+
+  /// The calling thread's slot, registering one if needed.
+  Slot* SlotForThisThread();
+
+ private:
+  RcuDomain() = default;
+
+  std::atomic<uint64_t> global_epoch_{1};
+  std::atomic<Slot*> head_{nullptr};
+};
+
+/// A single RCU-published value of type T. Readers never block and never
+/// take a lock; writers serialize on an internal mutex, publish
+/// fully-built values, and retire superseded versions after the grace
+/// period. Destruction requires external quiescence: no concurrent
+/// readers or writers (the owning catalog guarantees this by keeping
+/// cells alive through shared_ptr until their last reader's guard ends).
+template <typename T>
+class RcuCell {
+ public:
+  RcuCell() = default;
+  RcuCell(const RcuCell&) = delete;
+  RcuCell& operator=(const RcuCell&) = delete;
+
+  ~RcuCell() {
+    Version* v = current_.exchange(nullptr);
+    delete v;
+    Version* r = retired_;
+    while (r != nullptr) {
+      Version* next = r->next_retired;
+      delete r;
+      r = next;
+    }
+  }
+
+ private:
+  struct Version;
+
+ public:
+  /// Borrowed view of the current version, valid while the guard lives.
+  class Ref {
+   public:
+    const T* get() const { return v_ == nullptr ? nullptr : v_->value.get(); }
+    const T& operator*() const { return *get(); }
+    const T* operator->() const { return get(); }
+    explicit operator bool() const { return get() != nullptr; }
+
+    /// Copies the published shared_ptr, extending the value's lifetime
+    /// beyond this guard (and beyond any number of later swaps).
+    std::shared_ptr<const T> Pin() const {
+      return v_ == nullptr ? nullptr : v_->value;
+    }
+
+   private:
+    friend class RcuCell;
+    explicit Ref(const RcuCell* cell)
+        : v_(cell->current_.load(std::memory_order_seq_cst)) {}
+
+    RcuDomain::ReadGuard guard_;  // entered before v_ is loaded
+    const Version* v_;
+  };
+
+  /// Reader fast path: two atomics (epoch announcement + pointer load),
+  /// zero locks. Returns an empty Ref when nothing was published yet.
+  Ref Read() const { return Ref(this); }
+
+  /// Publishes `next` (may be null to clear) and retires the previous
+  /// version; reclaims every retired version past its grace period.
+  /// Returns the superseded value, if any.
+  std::shared_ptr<const T> Publish(std::shared_ptr<const T> next) {
+    Version* nv =
+        next == nullptr ? nullptr : new Version{std::move(next), 0, nullptr};
+    CountedMutexLock lock(mu_);
+    Version* old = current_.exchange(nv, std::memory_order_seq_cst);
+    published_.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<const T> prev;
+    if (old != nullptr) {
+      prev = old->value;
+      old->retire_epoch = RcuDomain::Global().Retire();
+      old->next_retired = retired_;
+      retired_ = old;
+    }
+    ReclaimLocked();
+    return prev;
+  }
+
+  /// Writer-side housekeeping: drops retired versions whose grace period
+  /// has passed (Publish does this too; exposed for deterministic tests).
+  void Reclaim() {
+    CountedMutexLock lock(mu_);
+    ReclaimLocked();
+  }
+
+  int64_t published() const {
+    return published_.load(std::memory_order_relaxed);
+  }
+  /// Versions currently awaiting their grace period.
+  int64_t retired_pending() const {
+    return retired_pending_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Version {
+    std::shared_ptr<const T> value;
+    uint64_t retire_epoch;
+    Version* next_retired;
+  };
+
+  void ReclaimLocked() {
+    uint64_t safe = RcuDomain::Global().SafeEpoch();
+    Version** link = &retired_;
+    int64_t pending = 0;
+    while (*link != nullptr) {
+      Version* v = *link;
+      if (v->retire_epoch < safe) {
+        *link = v->next_retired;
+        delete v;
+      } else {
+        ++pending;
+        link = &v->next_retired;
+      }
+    }
+    retired_pending_.store(pending, std::memory_order_relaxed);
+  }
+
+  std::atomic<Version*> current_{nullptr};
+  std::mutex mu_;          ///< writers only; counted
+  Version* retired_ = nullptr;           ///< guarded by mu_
+  std::atomic<int64_t> published_{0};
+  std::atomic<int64_t> retired_pending_{0};
+};
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_XMLSEL_RCU_H_

@@ -25,6 +25,7 @@ enum class StatusCode {
   kNotFound,          // e.g. bindd path does not resolve to a node
   kCorruption,        // packed synopsis failed to decode
   kInternal,          // invariant violation surfaced as an error
+  kResourceExhausted, // bounded queue full, admission rejected
 };
 
 /// Returns a short human-readable name for a status code.
@@ -51,6 +52,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

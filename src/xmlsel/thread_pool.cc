@@ -4,6 +4,7 @@
 #include "xmlsel/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <utility>
 
@@ -43,10 +44,11 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Submit(std::function<void()> task, const char* tag) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(
+        Task{std::move(task), tag == nullptr ? std::string() : tag});
   }
   work_cv_.notify_one();
 }
@@ -56,9 +58,20 @@ void ThreadPool::Wait() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+int64_t ThreadPool::QueueDepth() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size()) + active_;
+}
+
+std::vector<std::pair<std::string, ThreadPoolTagStats>> ThreadPool::TagStats()
+    const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return {tag_stats_.begin(), tag_stats_.end()};
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -67,7 +80,19 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    if (task.tag.empty()) {
+      task.fn();
+    } else {
+      auto t0 = std::chrono::steady_clock::now();
+      task.fn();
+      double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      std::unique_lock<std::mutex> lock(mu_);
+      ThreadPoolTagStats& stats = tag_stats_[task.tag];
+      ++stats.tasks;
+      stats.seconds += secs;
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       --active_;

@@ -7,6 +7,12 @@
 // batches without re-spawning threads. The pool is deliberately minimal —
 // no futures, no work stealing — because estimation tasks are coarse
 // (one bound evaluation each) and independent.
+//
+// Tasks may carry a name tag ("lane-3", "update-pipeline"); the pool
+// accumulates per-tag task counts and wall time so the serving bench and
+// the update pipeline can attribute pool time per shard without
+// re-instrumenting their call sites. QueueDepth() exposes the backlog
+// (queued + running) for backpressure and saturation monitoring.
 
 #ifndef XMLSEL_XMLSEL_THREAD_POOL_H_
 #define XMLSEL_XMLSEL_THREAD_POOL_H_
@@ -15,8 +21,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace xmlsel {
@@ -27,8 +36,16 @@ namespace xmlsel {
 /// overrides the detected value (read once, cached for the process).
 int32_t DefaultThreadCount();
 
+/// Accumulated cost of one task tag.
+struct ThreadPoolTagStats {
+  int64_t tasks = 0;
+  double seconds = 0.0;
+};
+
 /// Fixed-size pool. Submit() and Wait() may be called from one controller
-/// thread at a time; tasks themselves must not call back into the pool.
+/// thread at a time; tasks themselves must not call back into the pool's
+/// Wait() (Submit from within a task is allowed — the serving front's
+/// drain tasks reschedule themselves).
 class ThreadPool {
  public:
   explicit ThreadPool(int32_t num_threads);
@@ -37,24 +54,37 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution on some worker.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task for execution on some worker. A non-null `tag`
+  /// attributes the task's count and wall time to that name.
+  void Submit(std::function<void()> task, const char* tag = nullptr);
 
   /// Blocks until the queue is empty and no task is running. Establishes
   /// a happens-before edge with every completed task, so results written
   /// by tasks are visible to the caller afterwards.
   void Wait();
 
+  /// Tasks queued plus tasks currently running — the pool's backlog.
+  int64_t QueueDepth() const;
+
+  /// Snapshot of the per-tag accounting, sorted by tag name.
+  std::vector<std::pair<std::string, ThreadPoolTagStats>> TagStats() const;
+
   int32_t size() const { return static_cast<int32_t>(workers_.size()); }
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    std::string tag;  ///< empty = untagged (no timing overhead)
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;  // signalled when work arrives / stop
   std::condition_variable idle_cv_;  // signalled when the pool drains
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
+  std::map<std::string, ThreadPoolTagStats> tag_stats_;  // guarded by mu_
   int32_t active_ = 0;  // tasks currently executing
   bool stop_ = false;
 };

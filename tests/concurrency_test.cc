@@ -26,6 +26,10 @@
 #include "estimator/estimator.h"
 #include "query/parser.h"
 #include "query/rewrite.h"
+#include "serving/batch_front.h"
+#include "serving/catalog.h"
+#include "serving/snapshot.h"
+#include "verify/verify.h"
 #include "workload/query_gen.h"
 #include "workload/runner.h"
 #include "xmlsel/thread_pool.h"
@@ -318,6 +322,223 @@ TEST(ConcurrencyTest, UpdateInvalidatesEvalCache) {
   ASSERT_TRUE(after[0].ok());
   EXPECT_LE(after[0].value().lower, before[0].value().lower);
   EXPECT_GE(after[0].value().upper, before[0].value().upper);
+}
+
+// Two published versions of one tenant that provably estimate
+// differently (the second re-derives the lossy layer with a huge kappa,
+// widening bounds), plus queries parsed against their common label ids
+// and the exact per-version reference results.
+struct SwapFixture {
+  std::shared_ptr<const Synopsis> version_a;  // kappa = 0 (exact)
+  std::shared_ptr<const Synopsis> version_b;  // kappa = 1 << 20 (very lossy)
+  std::vector<Query> queries;
+  std::vector<SelectivityEstimate> expect_a;
+  std::vector<SelectivityEstimate> expect_b;
+
+  static SwapFixture Make() {
+    Document doc = GenerateDataset(DatasetId::kDblp, 1200, 3);
+    SynopsisOptions options;
+    options.kappa = 0;
+    auto a = std::make_shared<Synopsis>(Synopsis::Build(doc, options));
+    // The copy shares label ids with the original (NameTable copies
+    // preserve ids), so queries key both versions identically.
+    auto b = std::make_shared<Synopsis>(*a);
+    b->RecomputeLossy(1 << 20);
+
+    SwapFixture f;
+    f.version_a = a;
+    f.version_b = b;
+    NameTable names = a->names();
+    for (std::string_view text :
+         {"//article", "//article/author", "//inproceedings[./title]",
+          "/dblp/article/title"}) {
+      Result<Query> q = ParseQuery(text, &names);
+      EXPECT_TRUE(q.ok()) << text;
+      f.queries.push_back(std::move(q).value());
+    }
+    auto reference = [&f](const std::shared_ptr<const Synopsis>& s) {
+      auto snap = ServingSnapshot::FromSynopsis(s, 1);
+      std::vector<SelectivityEstimate> out;
+      for (const auto& r :
+           EstimateBatchOnSnapshot(*snap, std::span<const Query>(f.queries))) {
+        EXPECT_TRUE(r.ok());
+        out.push_back(r.value());
+      }
+      return out;
+    };
+    f.expect_a = reference(f.version_a);
+    f.expect_b = reference(f.version_b);
+    // The torture tests are vacuous unless the versions disagree.
+    bool differs = false;
+    for (size_t i = 0; i < f.expect_a.size(); ++i) {
+      if (f.expect_a[i].lower != f.expect_b[i].lower ||
+          f.expect_a[i].upper != f.expect_b[i].upper) {
+        differs = true;
+      }
+    }
+    EXPECT_TRUE(differs);
+    return f;
+  }
+
+  /// True when `results` is bit-identical to one published version's
+  /// reference — the no-mixing contract for a batch that raced a swap.
+  bool MatchesOneVersion(
+      const std::vector<Result<SelectivityEstimate>>& results) const {
+    auto matches = [&](const std::vector<SelectivityEstimate>& want) {
+      for (size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].ok()) return false;
+        if (results[i].value().lower != want[i].lower ||
+            results[i].value().upper != want[i].upper) {
+          return false;
+        }
+      }
+      return true;
+    };
+    return matches(expect_a) || matches(expect_b);
+  }
+};
+
+// The tentpole hammer (run under TSan via tools/check.sh): 8 readers
+// racing EstimateBatch against 2 writers swapping the tenant's snapshot
+// 100 times. Every batch must come out bit-identical to ONE published
+// version — a reader that pinned version N mid-swap keeps N's synopsis,
+// eval cache, and compiled-query cache to the last query of its batch,
+// never a mix of N and N+1.
+TEST(ConcurrencyTest, ServingCatalogHammerEightReadersTwoWritersHundredSwaps) {
+  SwapFixture f = SwapFixture::Make();
+  ServingCatalog catalog;
+  catalog.PublishSynopsis("t", f.version_a);
+
+  constexpr int kReaders = 8;
+  constexpr int kWriters = 2;
+  constexpr int kSwapsPerWriter = 50;  // 100 total
+  std::atomic<int> writers_done{0};
+  std::atomic<int64_t> batches{0};
+  std::atomic<bool> all_consistent{true};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kSwapsPerWriter; ++i) {
+        catalog.PublishSynopsis("t",
+                                (i + w) % 2 == 0 ? f.version_b : f.version_a);
+      }
+      writers_done.fetch_add(1);
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      int rounds = 0;
+      while (writers_done.load() < kWriters || rounds < 3) {
+        auto outcome =
+            catalog.EstimateBatch("t", std::span<const Query>(f.queries));
+        if (!outcome.ok() || !f.MatchesOneVersion(outcome.value().results)) {
+          all_consistent.store(false);
+          break;
+        }
+        batches.fetch_add(1);
+        ++rounds;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_TRUE(all_consistent.load());
+  EXPECT_GE(batches.load(), kReaders * 3);
+  CatalogStats cs = catalog.Stats();
+  EXPECT_EQ(cs.publishes, kWriters * kSwapsPerWriter + 1);
+  EXPECT_EQ(cs.reader_fast_path_locks, 0);
+  Status audit = VerifyServingCatalog(catalog);
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+  // With all readers quiescent, one housekeeping publish reclaims every
+  // version the swaps retired — including the one it retires itself (no
+  // announcement holds the epoch back anymore).
+  catalog.PublishSynopsis("t", f.version_a);
+  EXPECT_EQ(catalog.Stats().shards[catalog.ShardIndex("t")].retired_pending,
+            0);
+}
+
+// Satellite (c): a reader pins a snapshot and holds compiled-query-cache
+// handles across a swap — deliberately, via shared_ptr — then the tenant
+// is removed outright. Both the pinned snapshot and the handles must
+// keep working and keep producing the pinned version's exact results.
+TEST(ConcurrencyTest, PinnedSnapshotAndCompiledHandlesOutliveSwapAndRemoval) {
+  SwapFixture f = SwapFixture::Make();
+  ServingCatalog catalog(2);
+  catalog.PublishSynopsis("t", f.version_a);
+
+  std::shared_ptr<const ServingSnapshot> pinned = catalog.Acquire("t");
+  ASSERT_NE(pinned, nullptr);
+  std::vector<std::shared_ptr<const PreparedQuery>> handles;
+  for (const Query& q : f.queries) {
+    auto pq = pinned->query_cache().Prepare(q);
+    ASSERT_TRUE(pq.ok());
+    handles.push_back(pq.value());
+  }
+
+  for (int i = 0; i < 10; ++i) {
+    catalog.PublishSynopsis("t", i % 2 == 0 ? f.version_b : f.version_a);
+  }
+  ASSERT_TRUE(catalog.Remove("t"));
+  EXPECT_EQ(catalog.Acquire("t"), nullptr);
+
+  // The pinned snapshot still serves version 1 exactly.
+  EXPECT_EQ(pinned->version(), 1u);
+  auto results =
+      EstimateBatchOnSnapshot(*pinned, std::span<const Query>(f.queries));
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok());
+    EXPECT_EQ(results[i].value().lower, f.expect_a[i].lower);
+    EXPECT_EQ(results[i].value().upper, f.expect_a[i].upper);
+  }
+  // And the old handles still drive evaluators directly.
+  for (size_t i = 0; i < handles.size(); ++i) {
+    if (handles[i]->unsatisfiable) continue;
+    GrammarEvaluator eval(&f.version_a->lossy(), &handles[i]->lower,
+                          &f.version_a->label_maps(), BoundMode::kLower,
+                          &f.version_a->eval_cache());
+    EXPECT_EQ(eval.Evaluate().count, f.expect_a[i].lower);
+  }
+}
+
+// The async front under the same writer pressure: batches submitted as
+// strings through lanes while writers swap versions. Each completed
+// batch must match one published version bit-for-bit, and the front must
+// account every submission.
+TEST(ConcurrencyTest, ServingFrontSubmissionsRaceWritersCleanly) {
+  SwapFixture f = SwapFixture::Make();
+  ServingCatalog catalog;
+  catalog.PublishSynopsis("t", f.version_a);
+  ThreadPool pool(4);
+  ServingFront front(&catalog, &pool);
+
+  const std::vector<std::string> xpaths = {
+      "//article", "//article/author", "//inproceedings[./title]",
+      "/dblp/article/title"};
+  constexpr int kBatches = 48;
+  std::vector<BatchFuture> futures;
+  std::thread writer([&] {
+    for (int i = 0; i < 25; ++i) {
+      catalog.PublishSynopsis("t", i % 2 == 0 ? f.version_b : f.version_a);
+    }
+  });
+  for (int i = 0; i < kBatches; ++i) {
+    auto fut = front.Submit("t", xpaths);
+    ASSERT_TRUE(fut.ok());
+    futures.push_back(fut.value());
+  }
+  for (const BatchFuture& fut : futures) {
+    auto outcome = fut.Wait();
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(f.MatchesOneVersion(outcome.value().results));
+  }
+  writer.join();
+  front.Drain();
+  FrontStats fs = front.Stats();
+  EXPECT_EQ(fs.submitted, kBatches);
+  EXPECT_EQ(fs.completed, kBatches);
+  EXPECT_EQ(fs.queue_depth, 0);
+  EXPECT_EQ(catalog.Stats().reader_fast_path_locks, 0);
 }
 
 }  // namespace

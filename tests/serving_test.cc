@@ -1,0 +1,374 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Serving-layer coverage: snapshot unification of the eager and mapped
+// forms, catalog publish/acquire/remove lifecycle, the lock-free reader
+// fast-path audit, version attribution, the fresh-label compiled-cache
+// bypass, the async batch front (affinity, stats, deterministic
+// backpressure rejection), the RCU cell's retire/reclaim lifecycle, the
+// thread pool's tag accounting, and the serving-catalog verifier.
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "data/generator.h"
+#include "estimator/synopsis.h"
+#include "query/parser.h"
+#include "serving/batch_front.h"
+#include "serving/catalog.h"
+#include "serving/snapshot.h"
+#include "storage/mapped.h"
+#include "verify/verify.h"
+#include "xmlsel/bounded_queue.h"
+#include "xmlsel/rcu.h"
+#include "xmlsel/thread_pool.h"
+
+namespace xmlsel {
+namespace {
+
+struct ServingFixture {
+  std::shared_ptr<const Synopsis> synopsis;
+  std::shared_ptr<const MappedSynopsis> image;
+  NameTable names;  // copy of the synopsis table, for parsing
+  std::vector<Query> queries;
+
+  static ServingFixture Make(int64_t elements = 1500, int32_t kappa = 6) {
+    Document doc = GenerateDataset(DatasetId::kDblp, elements, 3);
+    SynopsisOptions options;
+    options.kappa = kappa;
+    auto synopsis =
+        std::make_shared<const Synopsis>(Synopsis::Build(doc, options));
+    auto image = MappedSynopsis::FromBuffer(BuildMappedImage(*synopsis));
+    EXPECT_TRUE(image.ok()) << image.status().ToString();
+    ServingFixture f;
+    f.synopsis = synopsis;
+    f.image = std::shared_ptr<const MappedSynopsis>(std::move(image).value());
+    f.names = synopsis->names();
+    for (std::string_view text :
+         {"//article", "//article/author", "//inproceedings[./title]",
+          "//article//author", "/dblp/article/title"}) {
+      Result<Query> q = ParseQuery(text, &f.names);
+      EXPECT_TRUE(q.ok()) << text;
+      f.queries.push_back(std::move(q).value());
+    }
+    return f;
+  }
+};
+
+TEST(ServingSnapshotTest, EagerAndMappedFormsEstimateIdentically) {
+  ServingFixture f = ServingFixture::Make();
+  auto eager = ServingSnapshot::FromSynopsis(f.synopsis, 1);
+  auto mapped = ServingSnapshot::FromMapped(f.image, 1);
+  EXPECT_FALSE(eager->is_mapped());
+  EXPECT_TRUE(mapped->is_mapped());
+  EXPECT_EQ(eager->element_total(), mapped->element_total());
+  EXPECT_EQ(eager->base_label_count(), mapped->base_label_count());
+
+  std::span<const Query> span(f.queries);
+  auto a = EstimateBatchOnSnapshot(*eager, span);
+  auto b = EstimateBatchOnSnapshot(*mapped, span);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i].ok());
+    ASSERT_TRUE(b[i].ok());
+    EXPECT_EQ(a[i].value().lower, b[i].value().lower);
+    EXPECT_EQ(a[i].value().upper, b[i].value().upper);
+  }
+}
+
+TEST(ServingSnapshotTest, StatsExposeResidencyAndCompileCounters) {
+  ServingFixture f = ServingFixture::Make();
+  auto mapped = ServingSnapshot::FromMapped(f.image, 7);
+  SnapshotStats cold = mapped->Stats();
+  EXPECT_EQ(cold.version, 7u);
+  EXPECT_TRUE(cold.mapped);
+  EXPECT_EQ(cold.residency.decoded_rules(), 0);
+  EXPECT_EQ(cold.compile_cache_size, 0);
+  EXPECT_GT(cold.residency.file_bytes, 0u);
+
+  auto out = EstimateBatchOnSnapshot(*mapped, std::span<const Query>(f.queries));
+  for (const auto& r : out) ASSERT_TRUE(r.ok());
+  SnapshotStats warm = mapped->Stats();
+  EXPECT_GT(warm.residency.decoded_rules(), 0);
+  EXPECT_GT(warm.residency.resident_bytes(), 0);
+  EXPECT_GT(warm.compile_cache_size, 0);
+  // MappedSynopsis::Stats is the same public surface, layer by layer.
+  MappedSynopsisStats ms = f.image->Stats();
+  EXPECT_EQ(ms.decoded_rules(), warm.residency.decoded_rules());
+  EXPECT_EQ(ms.lossless.decoded_rules + ms.lossy.decoded_rules,
+            ms.decoded_rules());
+}
+
+TEST(ServingSnapshotTest, FreshLabelQueriesBypassTheSharedCompiledCache) {
+  ServingFixture f = ServingFixture::Make();
+  auto snap = ServingSnapshot::FromSynopsis(f.synopsis, 1);
+  // A label the synopsis never saw: interned into the caller's scratch
+  // copy, its id is >= base_label_count and caller-local.
+  NameTable scratch = snap->base_names();
+  Result<Query> fresh = ParseQuery("//zzz_not_in_corpus", &scratch);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(QueryWithinBaseLabels(*snap, fresh.value()));
+  EXPECT_TRUE(QueryWithinBaseLabels(*snap, f.queries[0]));
+
+  const int64_t shared_before = snap->query_cache().size();
+  Result<SelectivityEstimate> est = EstimateOnSnapshot(*snap, fresh.value());
+  ASSERT_TRUE(est.ok());
+  // Nothing matches a nonexistent label, so the guaranteed lower bound is
+  // 0; the upper bound may stay positive (unknown labels fall back to
+  // conservative caps — lossy stars cannot rule them out).
+  EXPECT_EQ(est.value().lower, 0);
+  EXPECT_LE(est.value().lower, est.value().upper);
+  // The shared table must not have interned a caller-local key.
+  EXPECT_EQ(snap->query_cache().size(), shared_before);
+}
+
+TEST(ServingCatalogTest, PublishAcquireRemoveLifecycle) {
+  ServingFixture f = ServingFixture::Make();
+  ServingCatalog catalog(4);
+  EXPECT_EQ(catalog.Acquire("docs"), nullptr);
+
+  EXPECT_EQ(catalog.PublishSynopsis("docs", f.synopsis), 1u);
+  EXPECT_EQ(catalog.PublishMapped("docs", f.image), 2u);
+  auto snap = catalog.Acquire("docs");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->version(), 2u);
+  EXPECT_TRUE(snap->is_mapped());
+
+  EXPECT_EQ(catalog.Tenants(), std::vector<std::string>{"docs"});
+  auto stats = catalog.TenantStats("docs");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().version, 2u);
+
+  EXPECT_TRUE(catalog.Remove("docs"));
+  EXPECT_FALSE(catalog.Remove("docs"));
+  EXPECT_EQ(catalog.Acquire("docs"), nullptr);
+  // The pinned snapshot survives removal: estimates still work on it.
+  auto post = EstimateBatchOnSnapshot(*snap, std::span<const Query>(f.queries));
+  for (const auto& r : post) EXPECT_TRUE(r.ok());
+
+  CatalogStats cs = catalog.Stats();
+  EXPECT_EQ(cs.tenants, 0);
+  EXPECT_EQ(cs.publishes, 2);
+  EXPECT_EQ(cs.reader_fast_path_locks, 0);
+}
+
+TEST(ServingCatalogTest, BatchOutcomeAttributesTheServedVersion) {
+  ServingFixture f = ServingFixture::Make();
+  ServingCatalog catalog(2);
+  catalog.PublishSynopsis("t", f.synopsis);
+  auto first = catalog.EstimateBatch("t", std::span<const Query>(f.queries));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().snapshot_version, 1u);
+
+  catalog.PublishMapped("t", f.image);
+  auto second = catalog.EstimateBatch("t", std::span<const Query>(f.queries));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().snapshot_version, 2u);
+  // Both forms wrap the same synopsis bytes: identical results.
+  for (size_t i = 0; i < f.queries.size(); ++i) {
+    EXPECT_EQ(first.value().results[i].value().lower,
+              second.value().results[i].value().lower);
+    EXPECT_EQ(first.value().results[i].value().upper,
+              second.value().results[i].value().upper);
+  }
+  EXPECT_FALSE(catalog.EstimateBatch("ghost", std::span<const Query>(f.queries))
+                   .ok());
+}
+
+TEST(ServingCatalogTest, ReaderFastPathTakesZeroLocksAcrossManyAcquires) {
+  ServingFixture f = ServingFixture::Make();
+  ServingCatalog catalog;
+  catalog.PublishSynopsis("a", f.synopsis);
+  catalog.PublishMapped("b", f.image);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_NE(catalog.Acquire("a"), nullptr);
+    ASSERT_NE(catalog.Acquire("b"), nullptr);
+    ASSERT_EQ(catalog.Acquire("missing"), nullptr);
+  }
+  CatalogStats cs = catalog.Stats();
+  EXPECT_EQ(cs.reader_fast_path_locks, 0);
+  EXPECT_EQ(cs.hits, 2000);
+  EXPECT_EQ(cs.misses, 1000);
+}
+
+TEST(ServingCatalogTest, VerifierAuditsThePopulatedCatalog) {
+  ServingFixture f = ServingFixture::Make();
+  ServingCatalog catalog(3);
+  EXPECT_TRUE(VerifyServingCatalog(catalog).ok());  // empty is fine
+  catalog.PublishSynopsis("eager", f.synopsis);
+  catalog.PublishMapped("mapped", f.image);
+  Status audit = VerifyServingCatalog(catalog);
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+}
+
+TEST(ServingFrontTest, SubmittedBatchesCompleteWithWarmLaneAffinity) {
+  ServingFixture f = ServingFixture::Make();
+  ServingCatalog catalog(4);
+  catalog.PublishSynopsis("docs", f.synopsis);
+  ThreadPool pool(2);
+  ServingFront front(&catalog, &pool);
+  EXPECT_EQ(front.lane_count(), catalog.shard_count());
+  EXPECT_EQ(front.LaneIndex("docs"), catalog.ShardIndex("docs"));
+
+  std::vector<std::string> xpaths = {"//article", "//article/author"};
+  std::vector<BatchFuture> futures;
+  for (int i = 0; i < 16; ++i) {
+    auto fut = front.Submit("docs", xpaths);
+    ASSERT_TRUE(fut.ok());
+    futures.push_back(fut.value());
+  }
+  auto reference = catalog.EstimateStrings(
+      "docs", std::vector<std::string_view>{"//article", "//article/author"});
+  ASSERT_TRUE(reference.ok());
+  for (const BatchFuture& fut : futures) {
+    auto outcome = fut.Wait();
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.value().snapshot_version, 1u);
+    ASSERT_EQ(outcome.value().results.size(), 2u);
+    for (size_t i = 0; i < 2; ++i) {
+      ASSERT_TRUE(outcome.value().results[i].ok());
+      EXPECT_EQ(outcome.value().results[i].value().lower,
+                reference.value().results[i].value().lower);
+      EXPECT_EQ(outcome.value().results[i].value().upper,
+                reference.value().results[i].value().upper);
+    }
+  }
+  front.Drain();
+  FrontStats fs = front.Stats();
+  EXPECT_EQ(fs.submitted, 16);
+  EXPECT_EQ(fs.completed, 16);
+  EXPECT_EQ(fs.rejected, 0);
+  EXPECT_EQ(fs.queue_depth, 0);
+  // All 16 batches rode one lane; its tag shows up in the pool's books.
+  bool found_lane_tag = false;
+  for (const auto& [tag, stats] : pool.TagStats()) {
+    if (tag.rfind("lane-", 0) == 0 && stats.tasks > 0) found_lane_tag = true;
+  }
+  EXPECT_TRUE(found_lane_tag);
+  EXPECT_EQ(pool.QueueDepth(), 0);
+}
+
+TEST(ServingFrontTest, UnknownTenantSurfacesAsNotFoundPerBatch) {
+  ServingFixture f = ServingFixture::Make();
+  ServingCatalog catalog(2);
+  catalog.PublishSynopsis("real", f.synopsis);
+  ThreadPool pool(1);
+  ServingFront front(&catalog, &pool);
+  auto fut = front.Submit("ghost", {"//article"});
+  ASSERT_TRUE(fut.ok());
+  auto outcome = fut.value().Wait();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ServingFrontTest, RejectPolicySurfacesResourceExhaustedDeterministically) {
+  ServingFixture f = ServingFixture::Make();
+  ServingCatalog catalog(1);
+  catalog.PublishSynopsis("docs", f.synopsis);
+  ThreadPool pool(1);
+  // Wedge the pool's only worker so no drain task can run, making the
+  // queue state deterministic.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+
+  FrontOptions options;
+  options.queue_capacity = 1;
+  options.block_on_full = false;
+  ServingFront rejecting(&catalog, &pool, options);
+  auto first = rejecting.Submit("docs", {"//article"});
+  ASSERT_TRUE(first.ok());
+  auto second = rejecting.Submit("docs", {"//article"});
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(rejecting.Stats().rejected, 1);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  auto outcome = first.value().Wait();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome.value().results[0].ok());
+}
+
+TEST(RcuCellTest, PublishRetireReclaimLifecycle) {
+  RcuCell<int> cell;
+  EXPECT_FALSE(cell.Read());
+  cell.Publish(std::make_shared<const int>(1));
+  {
+    RcuCell<int>::Ref ref = cell.Read();
+    ASSERT_TRUE(ref);
+    EXPECT_EQ(*ref, 1);
+    std::shared_ptr<const int> pinned = ref.Pin();
+    // Swap while a reader is inside its critical section: the superseded
+    // version must survive at least until the guard ends.
+    cell.Publish(std::make_shared<const int>(2));
+    EXPECT_EQ(*ref, 1);  // the guard's view is immutable
+    EXPECT_GE(cell.retired_pending(), 1);
+    EXPECT_EQ(*pinned, 1);
+  }
+  // Reader gone: the writer's next housekeeping pass reclaims.
+  cell.Reclaim();
+  EXPECT_EQ(cell.retired_pending(), 0);
+  EXPECT_EQ(*cell.Read(), 2);
+  EXPECT_EQ(cell.published(), 2);
+
+  // A pin outlives both the swap and the cell's own retired list.
+  std::shared_ptr<const int> survivor = cell.Read().Pin();
+  cell.Publish(std::make_shared<const int>(3));
+  cell.Publish(nullptr);
+  cell.Reclaim();
+  EXPECT_EQ(*survivor, 2);
+  EXPECT_FALSE(cell.Read());
+}
+
+TEST(BoundedQueueTest, TryPushRejectsWhenFullAndPopMakesRoom) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+  EXPECT_EQ(q.size(), 2u);
+  int out = 0;
+  EXPECT_TRUE(q.TryPop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.TryPush(3));
+  EXPECT_TRUE(q.TryPop(&out));
+  EXPECT_TRUE(q.TryPop(&out));
+  EXPECT_EQ(out, 3);
+  EXPECT_FALSE(q.TryPop(&out));
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(ThreadPoolTest, TagStatsAttributeTasksAndQueueDepthDrains) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 5; ++i) pool.Submit([] {}, "alpha");
+  for (int i = 0; i < 3; ++i) pool.Submit([] {}, "beta");
+  pool.Submit([] {});  // untagged: no accounting
+  pool.Wait();
+  EXPECT_EQ(pool.QueueDepth(), 0);
+  int64_t alpha = 0, beta = 0;
+  for (const auto& [tag, stats] : pool.TagStats()) {
+    if (tag == "alpha") alpha = stats.tasks;
+    if (tag == "beta") beta = stats.tasks;
+    EXPECT_GE(stats.seconds, 0.0);
+  }
+  EXPECT_EQ(alpha, 5);
+  EXPECT_EQ(beta, 3);
+}
+
+}  // namespace
+}  // namespace xmlsel

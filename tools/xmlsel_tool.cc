@@ -21,12 +21,22 @@
 //   xmlsel_tool serve-file <file.synopsis> <xpath> [xpath ...]
 //       Estimate queries straight off the packed image — no document, no
 //       full decode; report bounds plus decode-cache occupancy.
+//   xmlsel_tool serve <tenant=file> [tenant=file ...]
+//       Multi-tenant serving: publish each file into the sharded catalog
+//       (.synopsis images are mmap-served with lazy decode, anything else
+//       is parsed as XML and served eagerly), then read "tenant xpath"
+//       lines from stdin, estimate them through the async batch front,
+//       and report per-tenant versions, cache stats, and residency.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baseline/exact.h"
 #include "data/fb_index.h"
@@ -35,6 +45,8 @@
 #include "estimator/mapped_estimator.h"
 #include "query/parser.h"
 #include "query/rewrite.h"
+#include "serving/batch_front.h"
+#include "serving/catalog.h"
 #include "storage/mapped.h"
 #include "verify/verify.h"
 #include "xml/parser.h"
@@ -54,7 +66,9 @@ int Usage(const char* error) {
                "  xmlsel_tool verify   <file.xml> [kappa]\n"
                "  xmlsel_tool pack     <file.xml> <out.synopsis> [kappa]\n"
                "  xmlsel_tool serve-file <file.synopsis> <xpath> "
-               "[xpath ...]\n");
+               "[xpath ...]\n"
+               "  xmlsel_tool serve    <tenant=file> [tenant=file ...]\n"
+               "      (then \"tenant xpath\" lines on stdin)\n");
   return 2;
 }
 
@@ -238,6 +252,128 @@ int ServeFile(const char* syn_path, char** xpaths, int count) {
   return failures == 0 ? 0 : 1;
 }
 
+bool EndsWith(const char* s, const char* suffix) {
+  size_t n = std::strlen(s), m = std::strlen(suffix);
+  return n >= m && std::strcmp(s + (n - m), suffix) == 0;
+}
+
+int Serve(char** specs, int count) {
+  xmlsel::ServingCatalog catalog;
+  for (int i = 0; i < count; ++i) {
+    const char* eq = std::strchr(specs[i], '=');
+    if (eq == nullptr || eq == specs[i] || eq[1] == '\0') {
+      return Usage("serve wants tenant=file specs");
+    }
+    std::string tenant(specs[i], static_cast<size_t>(eq - specs[i]));
+    const char* path = eq + 1;
+    if (EndsWith(path, ".synopsis")) {
+      auto version = catalog.PublishFile(tenant, path);
+      if (!version.ok()) {
+        std::fprintf(stderr, "%s: %s\n", path,
+                     version.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("published '%s' v%llu (mapped, %s)\n", tenant.c_str(),
+                  static_cast<unsigned long long>(version.value()), path);
+    } else {
+      auto doc = Load(path);
+      if (!doc.ok()) {
+        std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+        return 1;
+      }
+      auto synopsis = std::make_shared<xmlsel::Synopsis>(
+          xmlsel::Synopsis::Build(doc.value(), xmlsel::SynopsisOptions{}));
+      uint64_t version = catalog.PublishSynopsis(tenant, std::move(synopsis));
+      std::printf("published '%s' v%llu (eager, %s)\n", tenant.c_str(),
+                  static_cast<unsigned long long>(version), path);
+    }
+  }
+  xmlsel::Status audit = xmlsel::VerifyServingCatalog(catalog);
+  if (!audit.ok()) {
+    std::fprintf(stderr, "catalog audit failed: %s\n",
+                 audit.ToString().c_str());
+    return 1;
+  }
+
+  xmlsel::ThreadPool pool(xmlsel::DefaultThreadCount());
+  xmlsel::ServingFront front(&catalog, &pool);
+  struct Pending {
+    std::string tenant;
+    std::string xpath;
+    xmlsel::BatchFuture future;
+  };
+  std::vector<Pending> pending;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    size_t sep = line.find_first_of(" \t");
+    if (line.empty() || sep == std::string::npos) continue;
+    std::string tenant = line.substr(0, sep);
+    std::string xpath = line.substr(line.find_first_not_of(" \t", sep));
+    auto future = front.Submit(tenant, {xpath});
+    if (!future.ok()) {
+      std::fprintf(stderr, "%s: %s\n", tenant.c_str(),
+                   future.status().ToString().c_str());
+      continue;
+    }
+    pending.push_back(
+        Pending{std::move(tenant), std::move(xpath), future.value()});
+  }
+  int failures = 0;
+  for (const Pending& p : pending) {
+    auto outcome = p.future.Wait();
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "%s %s: %s\n", p.tenant.c_str(), p.xpath.c_str(),
+                   outcome.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    const auto& r = outcome.value().results[0];
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s %s: %s\n", p.tenant.c_str(), p.xpath.c_str(),
+                   r.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("%s %s -> [%lld, %lld] (v%llu)\n", p.tenant.c_str(),
+                p.xpath.c_str(), static_cast<long long>(r.value().lower),
+                static_cast<long long>(r.value().upper),
+                static_cast<unsigned long long>(
+                    outcome.value().snapshot_version));
+  }
+  front.Drain();
+
+  for (const std::string& tenant : catalog.Tenants()) {
+    auto stats = catalog.TenantStats(tenant);
+    if (!stats.ok()) continue;
+    const xmlsel::SnapshotStats& s = stats.value();
+    std::printf("tenant '%s': v%llu %s, %lld elements, compiled cache "
+                "%lld entries (%lld hits / %lld misses)",
+                tenant.c_str(), static_cast<unsigned long long>(s.version),
+                s.mapped ? "mapped" : "eager",
+                static_cast<long long>(s.element_total),
+                static_cast<long long>(s.compile_cache_size),
+                static_cast<long long>(s.compile_cache_hits),
+                static_cast<long long>(s.compile_cache_misses));
+    if (s.mapped) {
+      std::printf(", %lld rules decoded / %lld bytes resident of %llu on "
+                  "disk",
+                  static_cast<long long>(s.residency.decoded_rules()),
+                  static_cast<long long>(s.residency.resident_bytes()),
+                  static_cast<unsigned long long>(s.residency.file_bytes));
+    }
+    std::printf("\n");
+  }
+  xmlsel::CatalogStats cs = catalog.Stats();
+  std::printf("catalog: %lld tenants over %d shards, %lld hits / %lld "
+              "misses, %lld publishes, %lld reader fast-path locks\n",
+              static_cast<long long>(cs.tenants), catalog.shard_count(),
+              static_cast<long long>(cs.hits),
+              static_cast<long long>(cs.misses),
+              static_cast<long long>(cs.publishes),
+              static_cast<long long>(cs.reader_fast_path_locks));
+  return failures == 0 ? 0 : 1;
+}
+
 int Verify(const char* path, int kappa) {
   auto doc = Load(path);
   if (!doc.ok()) {
@@ -287,6 +423,10 @@ int main(int argc, char** argv) {
   if (!std::strcmp(argv[1], "serve-file")) {
     if (argc < 4) return Usage("serve-file needs <file.synopsis> <xpath>");
     return ServeFile(argv[2], argv + 3, argc - 3);
+  }
+  if (!std::strcmp(argv[1], "serve")) {
+    if (argc < 3) return Usage("serve needs at least one tenant=file");
+    return Serve(argv + 2, argc - 2);
   }
   return Usage("unknown subcommand");
 }
