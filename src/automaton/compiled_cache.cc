@@ -27,7 +27,7 @@ Result<std::shared_ptr<const PreparedQuery>> CompiledQueryCache::Prepare(
   std::string key(reinterpret_cast<const char*>(words.data()),
                   words.size() * sizeof(int32_t));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -55,21 +55,21 @@ Result<std::shared_ptr<const PreparedQuery>> CompiledQueryCache::Prepare(
     pq->shared_upper = true;
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] =
       entries_.emplace(std::move(key), std::move(pq));
   return it->second;
 }
 
 void CompiledQueryCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
 }
 
 int64_t CompiledQueryCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<int64_t>(entries_.size());
 }
 

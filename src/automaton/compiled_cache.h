@@ -16,13 +16,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "automaton/transition.h"
 #include "query/ast.h"
+#include "xmlsel/mutex.h"
 #include "xmlsel/status.h"
+#include "xmlsel/thread_annotations.h"
 
 namespace xmlsel {
 
@@ -70,20 +71,21 @@ class CompiledQueryCache {
   /// Unsatisfiable queries return an uncached unsatisfiable-flagged
   /// PreparedQuery and touch no counter; rewrite/compile failures return
   /// the status. On a hit the compile work is skipped entirely.
-  Result<std::shared_ptr<const PreparedQuery>> Prepare(const Query& query);
+  Result<std::shared_ptr<const PreparedQuery>> Prepare(const Query& query)
+      XMLSEL_EXCLUDES(mu_);
 
   /// Drops all entries and resets the counters. Outstanding shared_ptr
   /// handles stay valid.
-  void Clear();
+  void Clear() XMLSEL_EXCLUDES(mu_);
 
-  int64_t size() const;
+  int64_t size() const XMLSEL_EXCLUDES(mu_);
   int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<const PreparedQuery>>
-      entries_;
+      entries_ XMLSEL_GUARDED_BY(mu_);
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
 };

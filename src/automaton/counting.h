@@ -765,12 +765,12 @@ void CountingTransitionImpl(const CompiledQuery& cq, StateRegistry* reg,
 }  // namespace internal
 
 template <typename Ops>
-void CountingTransitionInto(const CompiledQuery& cq, StateRegistry* reg,
-                            const AnnState<typename Ops::Counter>& p1,
-                            const AnnState<typename Ops::Counter>& p2,
-                            LabelId label, bool dedup,
-                            TransitionScratch<typename Ops::Counter>* scratch,
-                            AnnState<typename Ops::Counter>* out) {
+XMLSEL_HOT void CountingTransitionInto(
+    const CompiledQuery& cq, StateRegistry* reg,
+    const AnnState<typename Ops::Counter>& p1,
+    const AnnState<typename Ops::Counter>& p2, LabelId label, bool dedup,
+    TransitionScratch<typename Ops::Counter>* scratch,
+    AnnState<typename Ops::Counter>* out) {
   if (reg->dense()) {
     const PairIndexer* ix = reg->indexer();
     scratch->main_d.Bind(ix);

@@ -7,9 +7,9 @@
 
 namespace xmlsel {
 
-DocEvalResult EvaluateOnDocument(const CompiledQuery& cq,
-                                 const Document& doc, bool dedup,
-                                 bool use_dense_states) {
+XMLSEL_HOT DocEvalResult EvaluateOnDocument(const CompiledQuery& cq,
+                                            const Document& doc, bool dedup,
+                                            bool use_dense_states) {
   StateRegistry reg;
   if (use_dense_states) reg.AttachIndexer(&cq.indexer());
   TransitionScratch<int64_t> scratch;
@@ -18,6 +18,7 @@ DocEvalResult EvaluateOnDocument(const CompiledQuery& cq,
   const Ann empty;
   Ann root_ann;  // empty document ⇒ empty state
   if (doc.document_element() != kNullNode) {
+    // xmlsel-lint: allow(hot-alloc): one per-document value table, O(|D|)
     std::vector<Ann> value(static_cast<size_t>(doc.arena_size()));
     for (NodeId v : BinaryPostOrder(doc)) {
       NodeId l = BinaryLeft(doc, v);

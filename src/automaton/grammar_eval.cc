@@ -21,9 +21,9 @@ uint64_t HashKey(std::span<const int32_t> key) {
 /// Substitutes argument counter forms into a σ result form: the callee's
 /// variables (arg index, pair) are replaced by the argument's own linear
 /// form for that pair (which is expressed over the *caller's* parameters).
-LinearForm Substitute(const LinearForm& f,
-                      std::span<const AnnState<LinearForm>* const> args,
-                      const StateRegistry& reg) {
+XMLSEL_HOT LinearForm Substitute(
+    const LinearForm& f, std::span<const AnnState<LinearForm>* const> args,
+    const StateRegistry& reg) {
   LinearForm out = LinearForm::Constant(f.constant);
   for (const LinearForm::Term& t : f) {
     int32_t arg = static_cast<int32_t>(t.first >> 32);
@@ -42,8 +42,8 @@ SigmaMemo::SigmaMemo(Arena* arena) : arena_(arena) {
   table_mask_ = kMemoInitialSize - 1;
 }
 
-int32_t SigmaMemo::FindSlot(std::span<const int32_t> key, uint64_t hash,
-                            size_t* slot) const {
+XMLSEL_HOT int32_t SigmaMemo::FindSlot(std::span<const int32_t> key,
+                                       uint64_t hash, size_t* slot) const {
   ++probes_;
   for (size_t s = static_cast<size_t>(hash) & table_mask_;;
        s = (s + 1) & table_mask_) {
@@ -77,7 +77,8 @@ void SigmaMemo::GrowTable() {
   }
 }
 
-int32_t SigmaMemo::InternKey(std::span<const int32_t> key, bool* inserted) {
+XMLSEL_HOT int32_t SigmaMemo::InternKey(std::span<const int32_t> key,
+                                        bool* inserted) {
   uint64_t hash = HashKey(key);
   size_t slot = 0;
   int32_t id = FindSlot(key, hash, &slot);
@@ -90,7 +91,9 @@ int32_t SigmaMemo::InternKey(std::span<const int32_t> key, bool* inserted) {
   r.key = arena_->CopySpan<int32_t>(key).data();
   r.len = static_cast<uint32_t>(key.size());
   r.hash = hash;
+  // xmlsel-lint: allow(hot-alloc): intern growth, cold after warmup
   keys_.push_back(r);
+  // xmlsel-lint: allow(hot-alloc): intern growth, cold after warmup
   sigmas_.emplace_back();
   table_[slot] = id;
   // Grow at ~70% load so probe chains stay short.
@@ -130,13 +133,14 @@ GrammarEvaluator::GrammarEvaluator(const RuleProvider* provider,
   reg_.AttachIndexer(&cq_->indexer());
 }
 
-bool GrammarEvaluator::PushTask(int32_t memo_id,
-                                std::span<const int32_t> key) {
+XMLSEL_HOT bool GrammarEvaluator::PushTask(int32_t memo_id,
+                                           std::span<const int32_t> key) {
   // Rule data is query-independent: served from the shared synopsis cache
   // (or decoded on first touch by a mapped provider), else computed once
   // per rule in this evaluator. All providers hand out stable references.
   RuleEvalData d = src_->Rule(key[0]);
   if (d.rule == nullptr) return false;
+  // xmlsel-lint: allow(hot-alloc): pool grows to peak stack depth once
   if (live_tasks_ == tasks_.size()) tasks_.emplace_back();
   Task& t = tasks_[live_tasks_++];
   t.memo_id = memo_id;
@@ -145,12 +149,13 @@ bool GrammarEvaluator::PushTask(int32_t memo_id,
   t.order = d.post_order;
   t.star_roots = d.star_roots;
   size_t nodes = d.rule->nodes.size();
+  // xmlsel-lint: allow(hot-alloc): slot grows to the widest rule once
   if (t.value.size() < nodes) t.value.resize(nodes);
   t.next = 0;
   return true;
 }
 
-GrammarEvalResult GrammarEvaluator::Evaluate() {
+XMLSEL_HOT GrammarEvalResult GrammarEvaluator::Evaluate() {
   GrammarEvalResult result;
   const int64_t heap0 = HotLoopHeapAllocs();
   const int64_t mprobes0 = memo_.probes();
@@ -165,6 +170,7 @@ GrammarEvalResult GrammarEvaluator::Evaluate() {
   bool provider_failed = false;
   if (src_->rule_count() > 0) {
     key_scratch_.clear();
+    // xmlsel-lint: allow(hot-alloc): retained scratch, capacity kept
     key_scratch_.push_back(src_->start_rule());
     bool inserted = false;
     int32_t root_id = memo_.InternKey(key_scratch_, &inserted);
@@ -209,6 +215,7 @@ GrammarEvalResult GrammarEvaluator::Evaluate() {
           a.state = memo_.key(t.memo_id)[static_cast<size_t>(n.sym) + 1];
           a.counts.clear();
           for (QPair pr : reg_.pairs(a.state)) {
+            // xmlsel-lint: allow(hot-alloc): pooled slot, counted by probe
             a.counts.push_back(LinearForm::Var(n.sym, pr));
           }
           ++t.next;
@@ -225,6 +232,7 @@ GrammarEvalResult GrammarEvaluator::Evaluate() {
         case GrammarNode::Kind::kStar: {
           args_scratch_.clear();
           for (int32_t c : n.children) {
+            // xmlsel-lint: allow(hot-alloc): retained scratch, capacity kept
             args_scratch_.push_back(&child_ann(c));
           }
           if (mode_ == BoundMode::kLower) {
@@ -243,11 +251,14 @@ GrammarEvalResult GrammarEvaluator::Evaluate() {
         }
         case GrammarNode::Kind::kNonterminal: {
           key_scratch_.clear();
+          // xmlsel-lint: allow(hot-alloc): retained scratch, capacity kept
           key_scratch_.push_back(n.sym);
           args_scratch_.clear();
           for (int32_t c : n.children) {
             const Ann& a = child_ann(c);
+            // xmlsel-lint: allow(hot-alloc): retained scratch, capacity kept
             args_scratch_.push_back(&a);
+            // xmlsel-lint: allow(hot-alloc): retained scratch, capacity kept
             key_scratch_.push_back(a.state);
           }
           int32_t mid = memo_.InternKey(key_scratch_, &inserted);
@@ -262,6 +273,7 @@ GrammarEvalResult GrammarEvaluator::Evaluate() {
           a.state = sigma.state;
           a.counts.clear();
           for (const LinearForm& f : sigma.counts) {
+            // xmlsel-lint: allow(hot-alloc): pooled slot, counted by probe
             a.counts.push_back(Substitute(f, args_scratch_, reg_));
           }
           ++t.next;

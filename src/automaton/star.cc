@@ -9,7 +9,8 @@
 
 namespace xmlsel {
 
-void StarEvaluator::Lower(std::span<const Ann* const> children, Ann* out) {
+XMLSEL_HOT void StarEvaluator::Lower(std::span<const Ann* const> children,
+                                     Ann* out) {
   if (children.empty()) {
     fold_a_.state = reg_->empty_state();
     fold_a_.counts.clear();
@@ -36,7 +37,7 @@ void StarEvaluator::Lower(std::span<const Ann* const> children, Ann* out) {
   }
 }
 
-void StarEvaluator::Upper(std::span<const Ann* const> children,
+XMLSEL_HOT void StarEvaluator::Upper(std::span<const Ann* const> children,
                           const StarStats& stats,
                           const std::vector<LabelId>& root_labels,
                           Ann* out) {
@@ -149,6 +150,7 @@ void StarEvaluator::Upper(std::span<const Ann* const> children,
   const std::vector<int32_t>& spine = cq_->spine();
   // suffix_flow[i] = Σ child-state counters of pairs for spine[j], j ≥ i.
   suffix_flow_.clear();
+  // xmlsel-lint: allow(hot-alloc): retained scratch, capacity kept
   suffix_flow_.resize(spine.size() + 1);
   for (size_t i = spine.size(); i-- > 0;) {
     suffix_flow_[i] = suffix_flow_[i + 1];
@@ -209,18 +211,23 @@ void StarEvaluator::Upper(std::span<const Ann* const> children,
     out->counts.clear();
     if constexpr (Work::kSorted) {
       m.ForEachAll([&](QPair key, int32_t handle) {
+        // xmlsel-lint: allow(hot-alloc): retained scratch, capacity kept
         sorted_keys_.push_back(key);
+        // xmlsel-lint: allow(hot-alloc): pooled slot, counted by probe
         out->counts.push_back(std::move(m.val(handle)));
       });
     } else {
       std::vector<uint32_t>& idx = sort_idx_;
+      // xmlsel-lint: allow(hot-alloc): retained scratch, capacity kept
       idx.resize(m.keys.size());
       for (uint32_t i = 0; i < idx.size(); ++i) idx[i] = i;
       std::sort(idx.begin(), idx.end(), [&m](uint32_t a, uint32_t b) {
         return m.keys[a] < m.keys[b];
       });
       for (uint32_t i : idx) {
+        // xmlsel-lint: allow(hot-alloc): retained scratch, capacity kept
         sorted_keys_.push_back(m.keys[i]);
+        // xmlsel-lint: allow(hot-alloc): pooled slot, counted by probe
         out->counts.push_back(std::move(m.vals[i]));
       }
     }

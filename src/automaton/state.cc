@@ -56,8 +56,8 @@ void StateRegistry::AttachIndexer(const PairIndexer* indexer) {
   }
 }
 
-StateId StateRegistry::FindSlot(std::span<const QPair> pairs, uint64_t hash,
-                                size_t* slot) const {
+XMLSEL_HOT StateId StateRegistry::FindSlot(std::span<const QPair> pairs,
+                                           uint64_t hash, size_t* slot) const {
   ++probes_;
   for (size_t s = static_cast<size_t>(hash) & table_mask_;;
        s = (s + 1) & table_mask_) {
@@ -75,18 +75,21 @@ StateId StateRegistry::FindSlot(std::span<const QPair> pairs, uint64_t hash,
   }
 }
 
-StateId StateRegistry::Insert(std::span<const QPair> pairs, uint64_t hash,
-                              size_t slot) {
+XMLSEL_HOT StateId StateRegistry::Insert(std::span<const QPair> pairs,
+                                         uint64_t hash, size_t slot) {
   StateId id = static_cast<StateId>(records_.size());
   Record r;
   r.offset = static_cast<uint32_t>(pool_.size());
   r.len = static_cast<uint32_t>(pairs.size());
   r.hash = hash;
+  // xmlsel-lint: allow(hot-alloc): intern growth, cold after warmup
   pool_.insert(pool_.end(), pairs.begin(), pairs.end());
+  // xmlsel-lint: allow(hot-alloc): intern growth, cold after warmup
   records_.push_back(r);
   if (dense()) {
     StateBits bits;
     for (QPair p : pairs) bits.Set(indexer_->IndexOf(p));
+    // xmlsel-lint: allow(hot-alloc): intern growth, cold after warmup
     words_.push_back(bits);
   }
   table_[slot] = id;
@@ -111,8 +114,9 @@ void StateRegistry::GrowTable() {
   }
 }
 
-StateId StateRegistry::Intern(std::span<const QPair> pairs) {
+XMLSEL_HOT StateId StateRegistry::Intern(std::span<const QPair> pairs) {
   if (!std::is_sorted(pairs.begin(), pairs.end())) {
+    // xmlsel-lint: allow(hot-alloc): retained scratch, capacity kept
     sort_buf_.assign(pairs.begin(), pairs.end());
     std::sort(sort_buf_.begin(), sort_buf_.end());
     return InternSorted(sort_buf_);
@@ -120,7 +124,7 @@ StateId StateRegistry::Intern(std::span<const QPair> pairs) {
   return InternSorted(pairs);
 }
 
-StateId StateRegistry::InternSorted(std::span<const QPair> pairs) {
+XMLSEL_HOT StateId StateRegistry::InternSorted(std::span<const QPair> pairs) {
   XMLSEL_DCHECK(std::is_sorted(pairs.begin(), pairs.end()));
   XMLSEL_DCHECK(std::adjacent_find(pairs.begin(), pairs.end()) ==
                 pairs.end());
@@ -131,13 +135,13 @@ StateId StateRegistry::InternSorted(std::span<const QPair> pairs) {
   return Insert(pairs, hash, slot);
 }
 
-StateId StateRegistry::Find(std::span<const QPair> pairs) const {
+XMLSEL_HOT StateId StateRegistry::Find(std::span<const QPair> pairs) const {
   uint64_t hash = HashSpan32(pairs.data(), pairs.size());
   size_t slot = 0;
   return FindSlot(pairs, hash, &slot);
 }
 
-bool StateRegistry::Contains(StateId id, QPair pair) const {
+XMLSEL_HOT bool StateRegistry::Contains(StateId id, QPair pair) const {
   if (dense() && indexer_->Indexable(pair)) {
     return words_[static_cast<size_t>(id)].Test(indexer_->IndexOf(pair));
   }

@@ -124,7 +124,7 @@ void Synopsis::RecomputeLossy(int32_t kappa, ConstructionStats* stats) {
 }
 
 const SynopsisEvalCache& Synopsis::eval_cache() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   if (eval_cache_ == nullptr) {
     eval_cache_ = std::make_shared<const SynopsisEvalCache>(
         SynopsisEvalCache::Build(&lossy_, &maps_));
@@ -133,7 +133,7 @@ const SynopsisEvalCache& Synopsis::eval_cache() const {
 }
 
 void Synopsis::InvalidateEvalCache() {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   eval_cache_.reset();
 }
 

@@ -10,7 +10,6 @@
 #define XMLSEL_ESTIMATOR_SYNOPSIS_H_
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "automaton/compiled_cache.h"
@@ -20,6 +19,8 @@
 #include "grammar/slt.h"
 #include "xml/document.h"
 #include "xml/parser.h"
+#include "xmlsel/mutex.h"
+#include "xmlsel/thread_annotations.h"
 
 namespace xmlsel {
 
@@ -115,7 +116,7 @@ class Synopsis {
   /// use, thread-safe, and shared read-only by concurrent evaluators.
   /// The returned reference stays valid until the next mutation of this
   /// synopsis (RecomputeLossy / updates), which invalidates the cache.
-  const SynopsisEvalCache& eval_cache() const;
+  const SynopsisEvalCache& eval_cache() const XMLSEL_EXCLUDES(cache_mu_);
 
   /// The compiled-query intern table for queries parsed against this
   /// synopsis's NameTable. Thread-safe; shared by all estimators over
@@ -156,7 +157,7 @@ class Synopsis {
 
  private:
   void RecomputeLabelTotals();
-  void InvalidateEvalCache();
+  void InvalidateEvalCache() XMLSEL_EXCLUDES(cache_mu_);
   void CopyFrom(const Synopsis& o);
   void MoveFrom(Synopsis* o);
 
@@ -170,8 +171,9 @@ class Synopsis {
   int32_t deleted_ = 0;
   /// Lazily built; guarded by cache_mu_. Never copied or moved between
   /// synopses — it points into this object's lossy_/maps_.
-  mutable std::mutex cache_mu_;
-  mutable std::shared_ptr<const SynopsisEvalCache> eval_cache_;
+  mutable Mutex cache_mu_;
+  mutable std::shared_ptr<const SynopsisEvalCache> eval_cache_
+      XMLSEL_GUARDED_BY(cache_mu_);
   /// Compiled-query intern table; Clear()ed by CopyFrom/MoveFrom (the
   /// NameTable — and with it the meaning of label ids — changes).
   mutable CompiledQueryCache query_cache_;

@@ -13,14 +13,16 @@ namespace xmlsel {
 
 Result<BatchOutcome> BatchFuture::Wait() const {
   XMLSEL_CHECK(state_ != nullptr);
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->cv.wait(lock, [this] { return state_->done; });
+  MutexLock lock(state_->mu);
+  state_->cv.Wait(state_->mu, [this]() XMLSEL_REQUIRES(state_->mu) {
+    return state_->done;
+  });
   return state_->result;
 }
 
 bool BatchFuture::Ready() const {
   XMLSEL_CHECK(state_ != nullptr);
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->done;
 }
 
@@ -115,11 +117,11 @@ void ServingFront::ProcessRequest(Lane* lane, Request* req) {
   // successful Wait() is guaranteed to see this request as completed.
   lane->completed.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(req->state->mu);
+    MutexLock lock(req->state->mu);
     req->state->result = std::move(result);
     req->state->done = true;
   }
-  req->state->cv.notify_all();
+  req->state->cv.NotifyAll();
 }
 
 void ServingFront::Drain() {

@@ -27,16 +27,16 @@
 #define XMLSEL_SERVING_BATCH_FRONT_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "serving/catalog.h"
 #include "xmlsel/bounded_queue.h"
+#include "xmlsel/mutex.h"
 #include "xmlsel/status.h"
+#include "xmlsel/thread_annotations.h"
 #include "xmlsel/thread_pool.h"
 
 namespace xmlsel {
@@ -66,10 +66,11 @@ class BatchFuture {
  private:
   friend class ServingFront;
   struct State {
-    mutable std::mutex mu;
-    mutable std::condition_variable cv;
-    bool done = false;
-    Result<BatchOutcome> result = Status::Internal("pending");
+    mutable Mutex mu;
+    mutable CondVar cv;
+    bool done XMLSEL_GUARDED_BY(mu) = false;
+    Result<BatchOutcome> result XMLSEL_GUARDED_BY(mu) =
+        Status::Internal("pending");
   };
   explicit BatchFuture(std::shared_ptr<State> state)
       : state_(std::move(state)) {}

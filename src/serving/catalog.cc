@@ -101,8 +101,8 @@ bool ServingCatalog::Remove(std::string_view tenant) {
   return true;
 }
 
-std::shared_ptr<const ServingSnapshot> ServingCatalog::Acquire(
-    std::string_view tenant) const {
+XMLSEL_LOCK_FREE_READ std::shared_ptr<const ServingSnapshot>
+ServingCatalog::Acquire(std::string_view tenant) const {
   Shard& shard = ShardFor(tenant);
   const int64_t locks_before = internal::ThreadMutexAcquisitions();
   std::shared_ptr<const ServingSnapshot> pinned;

@@ -39,8 +39,10 @@
 #include <vector>
 
 #include "serving/snapshot.h"
+#include "xmlsel/mutex.h"
 #include "xmlsel/rcu.h"
 #include "xmlsel/status.h"
+#include "xmlsel/thread_annotations.h"
 
 namespace xmlsel {
 
@@ -114,7 +116,10 @@ class ServingCatalog {
   bool Remove(std::string_view tenant);
 
   /// Reader fast path: the currently served snapshot of `tenant`, pinned
-  /// (null when unknown). Zero lock acquisitions — probed, not assumed.
+  /// (null when unknown). Zero lock acquisitions — probed at runtime
+  /// (CountedMutexLock delta), banned lexically (XMLSEL_LOCK_FREE_READ on
+  /// the definition), and excluded statically (RcuCell::Read carries
+  /// EXCLUDES on its writer mutex).
   std::shared_ptr<const ServingSnapshot> Acquire(std::string_view tenant) const;
 
   /// Acquire + batch estimation on the pinned snapshot. kNotFound when
@@ -154,7 +159,7 @@ class ServingCatalog {
 
   struct Shard {
     RcuCell<TenantMap> directory;
-    std::mutex writer_mu;  ///< serializes Publish*/Remove; counted
+    Mutex writer_mu;  ///< serializes Publish*/Remove; counted
     std::atomic<int64_t> hits{0};
     std::atomic<int64_t> misses{0};
     std::atomic<int64_t> publishes{0};

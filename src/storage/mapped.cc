@@ -77,6 +77,7 @@ std::vector<uint8_t> BuildStarsSection(const SltGrammar& g) {
   std::vector<uint8_t> out;
   for (const StarStats& s : g.star_stats()) {
     MappedStarEntry e{s.height, 0, s.size};
+    // xmlsel-lint: allow(cast): trivially-copyable struct viewed as bytes
     const uint8_t* p = reinterpret_cast<const uint8_t*>(&e);
     out.insert(out.end(), p, p + sizeof(e));
   }
@@ -94,6 +95,7 @@ void BuildLayerSections(const SltGrammar& g, int32_t label_count,
     e.offset = payload->size();
     e.bit_len = static_cast<uint32_t>(w.bit_count());
     e.rank = g.rule(i).rank;
+    // xmlsel-lint: allow(cast): trivially-copyable struct viewed as bytes
     const uint8_t* p = reinterpret_cast<const uint8_t*>(&e);
     dir->insert(dir->end(), p, p + sizeof(e));
     std::vector<uint8_t> bytes = w.Finish();
@@ -200,12 +202,12 @@ MappedSynopsis::Layer::~Layer() {
 }
 
 void MappedSynopsis::Layer::SetError(const Status& st) const {
-  std::lock_guard<std::mutex> lock(error_mu_);
+  MutexLock lock(error_mu_);
   if (error_.ok()) error_ = st;
 }
 
 Status MappedSynopsis::Layer::error() const {
-  std::lock_guard<std::mutex> lock(error_mu_);
+  MutexLock lock(error_mu_);
   return error_;
 }
 
@@ -443,6 +445,7 @@ Status MappedSynopsis::Init(const uint8_t* data, size_t size,
         return SectionError(kSecNames, "label " + std::to_string(i) +
                                            " length escapes the section");
       }
+      // xmlsel-lint: allow(cast): uint8_t->char view, bounds checked above
       std::string_view name(reinterpret_cast<const char*>(sec.data() + pos),
                             len);
       pos += len;

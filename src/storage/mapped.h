@@ -38,7 +38,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <type_traits>
@@ -49,7 +48,9 @@
 #include "grammar/lossy.h"
 #include "grammar/slt.h"
 #include "xml/name_table.h"
+#include "xmlsel/mutex.h"
 #include "xmlsel/status.h"
+#include "xmlsel/thread_annotations.h"
 
 namespace xmlsel {
 
@@ -179,7 +180,7 @@ class MappedSynopsis {
     }
     std::span<const StarStats> star_stats() const override { return stars_; }
     RuleEvalData Rule(int32_t rule) const override;
-    Status error() const override;
+    Status error() const override XMLSEL_EXCLUDES(error_mu_);
 
     /// Decodes one rule without touching the cache (verification and
     /// thawing). `out`'s rule/post_order/star_roots are freshly built.
@@ -205,7 +206,7 @@ class MappedSynopsis {
     friend class MappedSynopsis;
     Layer() = default;
 
-    void SetError(const Status& st) const;
+    void SetError(const Status& st) const XMLSEL_EXCLUDES(error_mu_);
 
     const uint8_t* payload_ = nullptr;
     uint64_t payload_bytes_ = 0;
@@ -221,8 +222,8 @@ class MappedSynopsis {
     mutable std::atomic<int64_t> misses_{0};
     mutable std::atomic<int64_t> decoded_rules_{0};
     mutable std::atomic<int64_t> resident_bytes_{0};
-    mutable std::mutex error_mu_;
-    mutable Status error_;
+    mutable Mutex error_mu_;
+    mutable Status error_ XMLSEL_GUARDED_BY(error_mu_);
   };
 
   ~MappedSynopsis();

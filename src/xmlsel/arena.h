@@ -35,8 +35,11 @@ class Arena {
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
 
-  /// Bump-allocates `bytes` aligned to `align` (a power of two).
-  void* Allocate(size_t bytes, size_t align) {
+  /// Bump-allocates `bytes` aligned to `align` (a power of two). The fast
+  /// path is pure pointer arithmetic; chunk acquisition lives in the
+  /// out-of-line cold path (AllocateSlow), which also counts itself in
+  /// HotLoopHeapAllocs().
+  XMLSEL_HOT void* Allocate(size_t bytes, size_t align) {
     XMLSEL_DCHECK(align != 0 && (align & (align - 1)) == 0);
     if (current_ < chunks_.size()) {
       Chunk& c = chunks_[current_];

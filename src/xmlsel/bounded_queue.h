@@ -12,13 +12,13 @@
 #ifndef XMLSEL_XMLSEL_BOUNDED_QUEUE_H_
 #define XMLSEL_XMLSEL_BOUNDED_QUEUE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
 
 #include "xmlsel/common.h"
+#include "xmlsel/mutex.h"
+#include "xmlsel/thread_annotations.h"
 
 namespace xmlsel {
 
@@ -32,56 +32,58 @@ class BoundedQueue {
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   /// Enqueues if there is room; returns false (item untouched) when full.
-  bool TryPush(T&& item) {
+  bool TryPush(T&& item) XMLSEL_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Enqueues, blocking while the queue is full (backpressure: the caller
   /// absorbs the overload instead of the server).
-  void Push(T&& item) {
+  void Push(T&& item) XMLSEL_EXCLUDES(mu_) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_full_.wait(lock, [this] { return items_.size() < capacity_; });
+      MutexLock lock(mu_);
+      not_full_.Wait(mu_, [this]() XMLSEL_REQUIRES(mu_) {
+        return items_.size() < capacity_;
+      });
       items_.push_back(std::move(item));
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
   }
 
   /// Dequeues into `*out`; returns false when empty.
-  bool TryPop(T* out) {
+  bool TryPop(T* out) XMLSEL_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (items_.empty()) return false;
       *out = std::move(items_.front());
       items_.pop_front();
     }
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return true;
   }
 
-  bool Empty() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool Empty() const XMLSEL_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.empty();
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const XMLSEL_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
   size_t capacity() const { return capacity_; }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ XMLSEL_GUARDED_BY(mu_);
   const size_t capacity_;
 };
 

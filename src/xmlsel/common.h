@@ -12,6 +12,21 @@
 
 namespace xmlsel {
 
+/// Marks an evaluation-kernel hot function (the Alg. 1/Alg. 2 inner
+/// loops and the intern-table probes they drive). Two enforcers hang off
+/// the marker: the compiler's `hot` attribute (optimizes for speed,
+/// groups hot code for locality), and tools/xmlsel_lint rule `hot-alloc`,
+/// which bans heap-allocating calls inside marked function bodies unless
+/// the line carries an explicit `xmlsel-lint: allow(hot-alloc)`
+/// justification — the lexical complement of the runtime
+/// HotLoopHeapAllocs() counter (steady state must stay at zero; growth
+/// paths must be visibly amortized).
+#if defined(__GNUC__) || defined(__clang__)
+#define XMLSEL_HOT [[gnu::hot]]
+#else
+#define XMLSEL_HOT
+#endif
+
 /// Interned element-label identifier. Labels are interned in a NameTable;
 /// label 0 is reserved for the virtual document root ("#root"), which can
 /// never appear as an element name in a parsed document.

@@ -1,0 +1,15 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "xmlsel/mutex.h"
+
+namespace xmlsel {
+namespace internal {
+
+int64_t& ThreadMutexAcquisitions() {
+  thread_local int64_t count = 0;
+  return count;
+}
+
+}  // namespace internal
+}  // namespace xmlsel

@@ -1,0 +1,123 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Annotated synchronization wrappers — the only place in src/ where the
+// raw std:: synchronization types may appear (tools/xmlsel_lint rule
+// `raw-mutex` enforces this). The wrappers carry Clang Thread Safety
+// Analysis capability attributes (xmlsel/thread_annotations.h), so the
+// ThreadSafety build can prove, per field and per function, that every
+// GUARDED_BY member is only touched under its mutex and that no lock
+// leaks out of a scope. On non-Clang compilers the attributes vanish and
+// the wrappers compile down to exactly the std types they hold.
+//
+// CountedMutexLock additionally records every acquisition in a
+// thread-local counter: the serving layer takes all of its mutexes
+// through it, and reader fast paths (ServingCatalog::Acquire) probe the
+// counter delta to turn "readers take zero locks" from a comment into a
+// measured, CI-gated number. The same claim is visible statically — the
+// reader paths are annotated XMLSEL_EXCLUDES on the writer mutexes and
+// marked XMLSEL_LOCK_FREE_READ for the linter.
+
+#ifndef XMLSEL_XMLSEL_MUTEX_H_
+#define XMLSEL_XMLSEL_MUTEX_H_
+
+#include <condition_variable>  // xmlsel-lint: allow(raw-mutex): the one wrapping site
+#include <mutex>               // xmlsel-lint: allow(raw-mutex): the one wrapping site
+
+#include "xmlsel/thread_annotations.h"
+
+namespace xmlsel {
+
+namespace internal {
+/// Thread-local count of mutex acquisitions taken through
+/// CountedMutexLock. Reader fast paths probe this before and after: a
+/// nonzero delta is a broken lock-freedom claim, surfaced as a counter
+/// the bench and CI gate at zero rather than an assumption in a comment.
+int64_t& ThreadMutexAcquisitions();
+}  // namespace internal
+
+/// Annotated std::mutex. Prefer the scoped holders (MutexLock /
+/// CountedMutexLock) over manual Lock/Unlock pairs.
+class XMLSEL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() XMLSEL_ACQUIRE() { mu_.lock(); }
+  bool TryLock() XMLSEL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Unlock() XMLSEL_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Scoped exclusive hold of a Mutex (std::lock_guard with capability
+/// tracking).
+class XMLSEL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) XMLSEL_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() XMLSEL_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped hold that records itself in the thread-local acquisition
+/// counter. Every serving-layer mutex must be taken through this — the
+/// reader fast path's zero-lock probe depends on it.
+class XMLSEL_SCOPED_CAPABILITY CountedMutexLock {
+ public:
+  explicit CountedMutexLock(Mutex& mu) XMLSEL_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+    ++internal::ThreadMutexAcquisitions();
+  }
+  ~CountedMutexLock() XMLSEL_RELEASE() { mu_.Unlock(); }
+
+  CountedMutexLock(const CountedMutexLock&) = delete;
+  CountedMutexLock& operator=(const CountedMutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to Mutex. Wait releases and reacquires the
+/// mutex, so callers must hold it (XMLSEL_REQUIRES) — the capability is
+/// continuously held from the analysis's point of view, matching the
+/// std::condition_variable contract.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified. Spurious wakeups possible; prefer the
+  /// predicate overload.
+  void Wait(Mutex& mu) XMLSEL_REQUIRES(mu) {
+    std::unique_lock<std::mutex> held(mu.mu_, std::adopt_lock);
+    cv_.wait(held);
+    held.release();  // the caller's scoped holder still owns the mutex
+  }
+
+  /// Blocks until `pred()` is true, re-checking on every wakeup.
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) XMLSEL_REQUIRES(mu) {
+    std::unique_lock<std::mutex> held(mu.mu_, std::adopt_lock);
+    cv_.wait(held, std::move(pred));
+    held.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace xmlsel
+
+#endif  // XMLSEL_XMLSEL_MUTEX_H_

@@ -3,16 +3,19 @@
 
 #include "xmlsel/rcu.h"
 
+#include <cassert>
+
 namespace xmlsel {
 
-namespace internal {
+RcuReadSectionCapability rcu_read_section;
 
-int64_t& ThreadMutexAcquisitions() {
-  thread_local int64_t count = 0;
-  return count;
+void AssertInRcuReadSection() {
+  // The announcement slot's nesting depth is the runtime truth; a zero
+  // depth here means the caller borrowed RCU-protected state without a
+  // ReadGuard anywhere up its stack.
+  assert(RcuDomain::Global().SlotForThisThread()->depth > 0 &&
+         "not inside an RCU read-side critical section");
 }
-
-}  // namespace internal
 
 RcuDomain& RcuDomain::Global() {
   static RcuDomain* domain = new RcuDomain();  // never destroyed: slots may

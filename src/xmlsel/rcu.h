@@ -28,6 +28,15 @@
 // reclaimed mid-guard) and extends the value's lifetime past any number of
 // subsequent swaps — this is how in-flight batches keep their synopsis,
 // eval cache, and compiled-query handles alive while the catalog moves on.
+//
+// Static discipline (xmlsel/thread_annotations.h): the read-side critical
+// section is itself a capability — `rcu_read_section`, a fictitious
+// shared capability acquired by ReadGuard and assertable with
+// AssertInRcuReadSection() — so functions that are only safe inside a
+// read-side pin can say so in their signature. The writer mutex of each
+// RcuCell is an annotated Mutex; the retired list is GUARDED_BY it, and
+// the reader fast path (Read) is annotated EXCLUDES on it and marked
+// XMLSEL_LOCK_FREE_READ for tools/xmlsel_lint.
 
 #ifndef XMLSEL_XMLSEL_RCU_H_
 #define XMLSEL_XMLSEL_RCU_H_
@@ -35,35 +44,30 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "xmlsel/common.h"
+#include "xmlsel/mutex.h"
+#include "xmlsel/thread_annotations.h"
 
 namespace xmlsel {
 
-namespace internal {
-/// Thread-local count of mutex acquisitions taken through the serving
-/// layer's counted-lock helpers (RcuCell writers, catalog writers). The
-/// reader fast path probes this before and after: a nonzero delta is a
-/// broken lock-freedom claim, surfaced as a counter the bench and CI gate
-/// at zero rather than an assumption in a comment.
-int64_t& ThreadMutexAcquisitions();
-}  // namespace internal
+/// Fictitious capability naming "inside an RCU read-side critical
+/// section". Never locked at runtime — ReadGuard's epoch announcement is
+/// the real mechanism — but the Thread Safety Analysis tracks it like any
+/// shared capability, so borrowing APIs can require it statically.
+class XMLSEL_CAPABILITY("rcu_read_section") RcuReadSectionCapability {};
 
-/// std::lock_guard that records itself in the thread-local acquisition
-/// counter. Every serving-layer mutex must be taken through this.
-class CountedMutexLock {
- public:
-  explicit CountedMutexLock(std::mutex& mu) : lock_(mu) {
-    ++internal::ThreadMutexAcquisitions();
-  }
-  CountedMutexLock(const CountedMutexLock&) = delete;
-  CountedMutexLock& operator=(const CountedMutexLock&) = delete;
+/// The process-wide instance the annotations refer to (zero bytes of
+/// state; defined in rcu.cc).
+extern RcuReadSectionCapability rcu_read_section;
 
- private:
-  std::lock_guard<std::mutex> lock_;
-};
+/// Runtime + static assertion that the calling thread is inside an RCU
+/// read-side critical section: checks the thread's announcement-slot
+/// nesting depth, and tells the analysis to assume the capability is held
+/// from here on (the ASSERT_CAPABILITY idiom for code whose guard is held
+/// indirectly, e.g. through an embedded ReadGuard member).
+void AssertInRcuReadSection() XMLSEL_ASSERT_SHARED_CAPABILITY(rcu_read_section);
 
 /// Process-wide epoch domain shared by every RcuCell. Threads register an
 /// announcement slot on first use (a lock-free push onto a grow-only
@@ -83,11 +87,12 @@ class RcuDomain {
 
   /// Read-side critical section. Re-entrant per thread (nested guards
   /// share the outermost announcement). No locks, no allocation after the
-  /// thread's first use.
-  class ReadGuard {
+  /// thread's first use. Holds `rcu_read_section` (shared) for its
+  /// lifetime, so the analysis can see which scopes are pinned.
+  class XMLSEL_SCOPED_CAPABILITY ReadGuard {
    public:
-    ReadGuard();
-    ~ReadGuard();
+    ReadGuard() XMLSEL_ACQUIRE_SHARED(rcu_read_section);
+    ~ReadGuard() XMLSEL_RELEASE_GENERIC(rcu_read_section);
     ReadGuard(const ReadGuard&) = delete;
     ReadGuard& operator=(const ReadGuard&) = delete;
 
@@ -107,6 +112,7 @@ class RcuDomain {
   Slot* SlotForThisThread();
 
  private:
+  friend class ReadGuard;
   RcuDomain() = default;
 
   std::atomic<uint64_t> global_epoch_{1};
@@ -126,7 +132,9 @@ class RcuCell {
   RcuCell(const RcuCell&) = delete;
   RcuCell& operator=(const RcuCell&) = delete;
 
-  ~RcuCell() {
+  // Destruction is externally quiesced (see class comment), so the
+  // guarded-field accesses here are race-free without taking mu_.
+  ~RcuCell() XMLSEL_NO_THREAD_SAFETY_ANALYSIS {
     Version* v = current_.exchange(nullptr);
     delete v;
     Version* r = retired_;
@@ -150,7 +158,8 @@ class RcuCell {
     explicit operator bool() const { return get() != nullptr; }
 
     /// Copies the published shared_ptr, extending the value's lifetime
-    /// beyond this guard (and beyond any number of later swaps).
+    /// beyond this guard (and beyond any number of later swaps). Safe
+    /// exactly because the embedded guard pins the Version node.
     std::shared_ptr<const T> Pin() const {
       return v_ == nullptr ? nullptr : v_->value;
     }
@@ -165,13 +174,17 @@ class RcuCell {
   };
 
   /// Reader fast path: two atomics (epoch announcement + pointer load),
-  /// zero locks. Returns an empty Ref when nothing was published yet.
-  Ref Read() const { return Ref(this); }
+  /// zero locks — statically EXCLUDES the writer mutex and lexically
+  /// lock-free (xmlsel_lint `lock-free-read`).
+  XMLSEL_LOCK_FREE_READ Ref Read() const XMLSEL_EXCLUDES(mu_) {
+    return Ref(this);
+  }
 
   /// Publishes `next` (may be null to clear) and retires the previous
   /// version; reclaims every retired version past its grace period.
   /// Returns the superseded value, if any.
-  std::shared_ptr<const T> Publish(std::shared_ptr<const T> next) {
+  std::shared_ptr<const T> Publish(std::shared_ptr<const T> next)
+      XMLSEL_EXCLUDES(mu_) {
     Version* nv =
         next == nullptr ? nullptr : new Version{std::move(next), 0, nullptr};
     CountedMutexLock lock(mu_);
@@ -190,7 +203,7 @@ class RcuCell {
 
   /// Writer-side housekeeping: drops retired versions whose grace period
   /// has passed (Publish does this too; exposed for deterministic tests).
-  void Reclaim() {
+  void Reclaim() XMLSEL_EXCLUDES(mu_) {
     CountedMutexLock lock(mu_);
     ReclaimLocked();
   }
@@ -210,7 +223,7 @@ class RcuCell {
     Version* next_retired;
   };
 
-  void ReclaimLocked() {
+  void ReclaimLocked() XMLSEL_REQUIRES(mu_) {
     uint64_t safe = RcuDomain::Global().SafeEpoch();
     Version** link = &retired_;
     int64_t pending = 0;
@@ -228,8 +241,8 @@ class RcuCell {
   }
 
   std::atomic<Version*> current_{nullptr};
-  std::mutex mu_;          ///< writers only; counted
-  Version* retired_ = nullptr;           ///< guarded by mu_
+  Mutex mu_;  ///< writers only; counted
+  Version* retired_ XMLSEL_GUARDED_BY(mu_) = nullptr;
   std::atomic<int64_t> published_{0};
   std::atomic<int64_t> retired_pending_{0};
 };

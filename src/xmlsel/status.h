@@ -32,7 +32,12 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// Outcome of an operation that can fail in a recoverable way.
-class Status {
+/// [[nodiscard]] at class level: any call returning a Status whose result
+/// is dropped on the floor is a compile warning (-Werror in the Warnings
+/// build) — an ignored error is a bug, not a style choice. Intentional
+/// discards must say so: assign to a named variable or use
+/// XMLSEL_RETURN_IF_ERROR.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -73,8 +78,9 @@ class Status {
 };
 
 /// A value or an error Status. `ok()` must be checked before `value()`.
+/// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : v_(std::move(value)) {}            // NOLINT(runtime/explicit)
   Result(Status status) : v_(std::move(status)) {      // NOLINT(runtime/explicit)

@@ -1,0 +1,118 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// Clang Thread Safety Analysis attribute macros — the compile-time side
+// of the concurrency discipline (DESIGN.md "Verification & static
+// analysis"). Lock-holding components declare their capabilities with
+// these macros; the ThreadSafety build type (Clang,
+// -Wthread-safety -Wthread-safety-beta -Werror) then turns every
+// unguarded field access, missing-lock call, and leaked lock into a
+// build failure. Under non-Clang compilers every macro expands to
+// nothing, so the annotations cost no portability.
+//
+// The macro set mirrors the names of the underlying Clang attributes
+// (capability, guarded_by, acquire_capability, …); see
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html. Use the
+// wrappers in xmlsel/mutex.h (Mutex / MutexLock / CondVar /
+// CountedMutexLock) rather than annotating std types directly — the
+// std:: types cannot carry capability attributes, and tools/xmlsel_lint
+// bans them outside that header (rule `raw-mutex`).
+
+#ifndef XMLSEL_XMLSEL_THREAD_ANNOTATIONS_H_
+#define XMLSEL_XMLSEL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define XMLSEL_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define XMLSEL_THREAD_ANNOTATION__(x)  // no-op on GCC/MSVC
+#endif
+
+/// Declares a class to be a capability (a lockable resource).
+#define XMLSEL_CAPABILITY(x) XMLSEL_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII class whose lifetime equals a capability hold.
+#define XMLSEL_SCOPED_CAPABILITY XMLSEL_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field/variable may only be accessed while holding `x`.
+#define XMLSEL_GUARDED_BY(x) XMLSEL_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointed-to data may only be accessed while holding `x`.
+#define XMLSEL_PT_GUARDED_BY(x) XMLSEL_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function acquires the capability (exclusively) and holds it on return.
+#define XMLSEL_ACQUIRE(...) \
+  XMLSEL_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the capability in shared mode.
+#define XMLSEL_ACQUIRE_SHARED(...) \
+  XMLSEL_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (must hold it on entry).
+#define XMLSEL_RELEASE(...) \
+  XMLSEL_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function releases a capability held in shared mode.
+#define XMLSEL_RELEASE_SHARED(...) \
+  XMLSEL_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// Function releases a capability whether it was held shared or exclusive.
+#define XMLSEL_RELEASE_GENERIC(...) \
+  XMLSEL_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+/// Function attempts to acquire; first argument is the success value.
+#define XMLSEL_TRY_ACQUIRE(...) \
+  XMLSEL_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must hold the capability exclusively for the call's duration.
+#define XMLSEL_REQUIRES(...) \
+  XMLSEL_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the capability at least in shared mode.
+#define XMLSEL_REQUIRES_SHARED(...) \
+  XMLSEL_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability — the static form of the
+/// serving layer's "readers take zero locks" claim: a function annotated
+/// EXCLUDES on a mutex fails the ThreadSafety build if any path into it
+/// holds that mutex, and cannot itself be (transitively) annotated as
+/// taking it.
+#define XMLSEL_EXCLUDES(...) \
+  XMLSEL_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the calling thread holds the capability, and
+/// tells the analysis to assume so afterwards. Used for the RCU
+/// read-side pin (xmlsel/rcu.h AssertInRcuReadSection).
+#define XMLSEL_ASSERT_CAPABILITY(x) \
+  XMLSEL_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Shared-mode form of XMLSEL_ASSERT_CAPABILITY.
+#define XMLSEL_ASSERT_SHARED_CAPABILITY(x) \
+  XMLSEL_THREAD_ANNOTATION__(assert_shared_capability(x))
+
+/// Function returns a reference to the capability `x` guards.
+#define XMLSEL_RETURN_CAPABILITY(x) \
+  XMLSEL_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Documents lock-ordering: this capability must be acquired before `...`.
+#define XMLSEL_ACQUIRED_BEFORE(...) \
+  XMLSEL_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+
+/// Documents lock-ordering: this capability must be acquired after `...`.
+#define XMLSEL_ACQUIRED_AFTER(...) \
+  XMLSEL_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Escape hatch: turns the analysis off for one function. Every use must
+/// carry a comment explaining why the invariant holds anyway.
+#define XMLSEL_NO_THREAD_SAFETY_ANALYSIS \
+  XMLSEL_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+/// Marker (not a Clang attribute): the function is a reader fast path
+/// that must not take any lock, directly or through anything it inlines.
+/// tools/xmlsel_lint rule `lock-free-read` bans every lock-taking token
+/// (MutexLock, CountedMutexLock, lock_guard, .Lock(), …) inside the body
+/// of a function carrying this marker — the lexical complement of the
+/// runtime CountedMutexLock zero-delta probe and the per-member
+/// XMLSEL_EXCLUDES annotations.
+#define XMLSEL_LOCK_FREE_READ
+
+#endif  // XMLSEL_XMLSEL_THREAD_ANNOTATIONS_H_

@@ -4,8 +4,10 @@
 #include "xmlsel/thread_pool.h"
 
 #include <algorithm>
+#include <charconv>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "xmlsel/common.h"
@@ -15,11 +17,15 @@ namespace xmlsel {
 int32_t DefaultThreadCount() {
   // XMLSEL_THREADS overrides the detected concurrency (useful where
   // hardware_concurrency() reports 1 — containers, CI — masking all
-  // scaling). Parsed once; invalid or non-positive values are ignored.
+  // scaling). Parsed once; invalid, trailing-garbage, or non-positive
+  // values are ignored. from_chars rather than strtol: no errno
+  // protocol, no silent overflow saturation (banned-function lint rule).
   static const int32_t count = [] {
     if (const char* env = std::getenv("XMLSEL_THREADS")) {
-      int32_t parsed = static_cast<int32_t>(std::strtol(env, nullptr, 10));
-      if (parsed > 0) return parsed;
+      int32_t parsed = 0;
+      const char* end = env + std::strlen(env);
+      auto [ptr, ec] = std::from_chars(env, end, parsed);
+      if (ec == std::errc() && ptr == end && parsed > 0) return parsed;
     }
     return std::max(1,
                     static_cast<int32_t>(std::thread::hardware_concurrency()));
@@ -37,35 +43,37 @@ ThreadPool::ThreadPool(int32_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task, const char* tag) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(
         Task{std::move(task), tag == nullptr ? std::string() : tag});
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  idle_cv_.Wait(mu_, [this]() XMLSEL_REQUIRES(mu_) {
+    return queue_.empty() && active_ == 0;
+  });
 }
 
 int64_t ThreadPool::QueueDepth() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<int64_t>(queue_.size()) + active_;
 }
 
 std::vector<std::pair<std::string, ThreadPoolTagStats>> ThreadPool::TagStats()
     const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return {tag_stats_.begin(), tag_stats_.end()};
 }
 
@@ -73,8 +81,9 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      work_cv_.Wait(
+          mu_, [this]() XMLSEL_REQUIRES(mu_) { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -88,15 +97,15 @@ void ThreadPool::WorkerLoop() {
       double secs =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count();
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ThreadPoolTagStats& stats = tag_stats_[task.tag];
       ++stats.tasks;
       stats.seconds += secs;
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      if (queue_.empty() && active_ == 0) idle_cv_.NotifyAll();
     }
   }
 }

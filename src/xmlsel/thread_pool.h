@@ -17,16 +17,17 @@
 #ifndef XMLSEL_XMLSEL_THREAD_POOL_H_
 #define XMLSEL_XMLSEL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "xmlsel/mutex.h"
+#include "xmlsel/thread_annotations.h"
 
 namespace xmlsel {
 
@@ -56,18 +57,20 @@ class ThreadPool {
 
   /// Enqueues a task for execution on some worker. A non-null `tag`
   /// attributes the task's count and wall time to that name.
-  void Submit(std::function<void()> task, const char* tag = nullptr);
+  void Submit(std::function<void()> task, const char* tag = nullptr)
+      XMLSEL_EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and no task is running. Establishes
   /// a happens-before edge with every completed task, so results written
   /// by tasks are visible to the caller afterwards.
-  void Wait();
+  void Wait() XMLSEL_EXCLUDES(mu_);
 
   /// Tasks queued plus tasks currently running — the pool's backlog.
-  int64_t QueueDepth() const;
+  int64_t QueueDepth() const XMLSEL_EXCLUDES(mu_);
 
   /// Snapshot of the per-tag accounting, sorted by tag name.
-  std::vector<std::pair<std::string, ThreadPoolTagStats>> TagStats() const;
+  std::vector<std::pair<std::string, ThreadPoolTagStats>> TagStats() const
+      XMLSEL_EXCLUDES(mu_);
 
   int32_t size() const { return static_cast<int32_t>(workers_.size()); }
 
@@ -77,16 +80,16 @@ class ThreadPool {
     std::string tag;  ///< empty = untagged (no timing overhead)
   };
 
-  void WorkerLoop();
+  void WorkerLoop() XMLSEL_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // signalled when work arrives / stop
-  std::condition_variable idle_cv_;  // signalled when the pool drains
-  std::deque<Task> queue_;
-  std::map<std::string, ThreadPoolTagStats> tag_stats_;  // guarded by mu_
-  int32_t active_ = 0;  // tasks currently executing
-  bool stop_ = false;
+  mutable Mutex mu_;
+  CondVar work_cv_;  // signalled when work arrives / stop
+  CondVar idle_cv_;  // signalled when the pool drains
+  std::deque<Task> queue_ XMLSEL_GUARDED_BY(mu_);
+  std::map<std::string, ThreadPoolTagStats> tag_stats_ XMLSEL_GUARDED_BY(mu_);
+  int32_t active_ XMLSEL_GUARDED_BY(mu_) = 0;  // tasks currently executing
+  bool stop_ XMLSEL_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace xmlsel

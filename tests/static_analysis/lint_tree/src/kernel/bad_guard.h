@@ -1,0 +1,11 @@
+// Seeded violation for xmlsel_lint rule `include-guard`: the guard does
+// not match the canonical XMLSEL_<PATH>_H_ spelling for this path
+// (expected XMLSEL_KERNEL_BAD_GUARD_H_).
+#ifndef FIXTURE_WRONG_GUARD_H
+#define FIXTURE_WRONG_GUARD_H
+
+namespace fixture {
+inline int One() { return 1; }
+}  // namespace fixture
+
+#endif  // FIXTURE_WRONG_GUARD_H

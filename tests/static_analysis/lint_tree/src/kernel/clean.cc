@@ -1,0 +1,16 @@
+// Positive control for the xmlsel_lint leg: obeys every rule, including
+// a justified hot-path allocation. Linting exactly this file must exit 0;
+// if it does not, the harness invocation is broken and the seeded
+// violations above would pass vacuously.
+#include <vector>
+
+namespace fixture {
+
+XMLSEL_HOT void Accumulate(std::vector<int>& out, int v) {
+  // xmlsel-lint: allow(hot-alloc): grows to peak size once, then amortized
+  out.push_back(v);
+}
+
+void Cold(std::vector<int>& out) { out.push_back(0); }
+
+}  // namespace fixture

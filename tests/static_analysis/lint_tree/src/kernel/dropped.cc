@@ -1,0 +1,12 @@
+// Seeded violation for xmlsel_lint rule `discarded-status`: a
+// bare-statement call to a function this tree declares as returning
+// Status.
+namespace fixture {
+
+Status Flush();
+
+void Tick() {
+  Flush();  // BAD: Status discarded as a bare statement
+}
+
+}  // namespace fixture

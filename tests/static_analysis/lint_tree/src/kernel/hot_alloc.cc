@@ -1,0 +1,11 @@
+// Seeded violation for xmlsel_lint rule `hot-alloc`: heap-allocating
+// call inside an XMLSEL_HOT body with no allow() justification.
+#include <vector>
+
+namespace fixture {
+
+XMLSEL_HOT void Accumulate(std::vector<int>& out, int v) {
+  out.push_back(v);  // BAD: allocation token in a hot body
+}
+
+}  // namespace fixture

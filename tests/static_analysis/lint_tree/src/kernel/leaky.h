@@ -1,0 +1,14 @@
+// Seeded violations for xmlsel_lint rules `using-namespace` and
+// `iostream-header`: both leak into every includer.
+#ifndef XMLSEL_KERNEL_LEAKY_H_
+#define XMLSEL_KERNEL_LEAKY_H_
+
+#include <iostream>  // BAD: iostream in a src/ header
+
+using namespace std;  // BAD: using-directive in a header
+
+namespace fixture {
+inline void Hello() { cout << "hello\n"; }
+}  // namespace fixture
+
+#endif  // XMLSEL_KERNEL_LEAKY_H_

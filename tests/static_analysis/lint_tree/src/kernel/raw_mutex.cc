@@ -1,0 +1,12 @@
+// Seeded violation for xmlsel_lint rule `raw-mutex`: uses std::mutex
+// directly instead of the annotated xmlsel wrappers.
+#include <mutex>
+
+namespace fixture {
+
+struct Registry {
+  std::mutex mu;  // BAD: raw primitive outside src/xmlsel/mutex.h
+  int entries = 0;
+};
+
+}  // namespace fixture

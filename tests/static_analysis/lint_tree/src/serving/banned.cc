@@ -1,0 +1,11 @@
+// Seeded violation for xmlsel_lint rule `banned-function`: strtol on a
+// serving path (use std::from_chars with explicit validation instead).
+#include <cstdlib>
+
+namespace fixture {
+
+long ParseEnv(const char* s) {
+  return std::strtol(s, nullptr, 10);  // BAD: banned on serving paths
+}
+
+}  // namespace fixture

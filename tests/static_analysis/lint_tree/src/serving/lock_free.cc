@@ -1,0 +1,12 @@
+// Seeded violation for xmlsel_lint rule `lock-free-read`: a function
+// marked XMLSEL_LOCK_FREE_READ takes a lock.
+namespace fixture {
+
+struct Catalog {
+  XMLSEL_LOCK_FREE_READ int Acquire() const {
+    MutexLock lock(mu_);  // BAD: lock on a declared lock-free reader path
+    return generation_;
+  }
+};
+
+}  // namespace fixture

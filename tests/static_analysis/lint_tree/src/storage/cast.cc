@@ -1,0 +1,16 @@
+// Seeded violation for xmlsel_lint rule `unguarded-cast`:
+// reinterpret_cast on a storage path with no allow(cast) justification
+// arguing its bounds.
+#include <cstdint>
+
+namespace fixture {
+
+struct Header {
+  uint32_t magic;
+};
+
+const Header* View(const uint8_t* bytes) {
+  return reinterpret_cast<const Header*>(bytes);  // BAD: no justification
+}
+
+}  // namespace fixture

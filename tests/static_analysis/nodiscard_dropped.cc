@@ -1,0 +1,19 @@
+// Seeded violation: drops a Status return on the floor. Status and
+// Result<T> are class-level [[nodiscard]] (src/xmlsel/status.h), so the
+// host compiler must reject this under -Werror=unused-result — on GCC
+// and Clang alike. static_analysis_test asserts the compile FAILS.
+#include "xmlsel/status.h"
+
+namespace {
+
+xmlsel::Status Persist();
+
+void Tick() {
+  Persist();  // BAD: Status discarded
+}
+
+}  // namespace
+
+int main() {
+  Tick();
+}

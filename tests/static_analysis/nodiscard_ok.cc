@@ -1,0 +1,19 @@
+// Positive control for the [[nodiscard]] leg: consumes the Status, so a
+// -Werror=unused-result compile must SUCCEED. Guards the harness against
+// vacuous passes from broken flags or include paths.
+#include "xmlsel/status.h"
+
+namespace {
+
+xmlsel::Status Persist();
+
+bool Tick() {
+  xmlsel::Status s = Persist();
+  return s.ok();
+}
+
+}  // namespace
+
+int main() {
+  return Tick() ? 0 : 1;
+}

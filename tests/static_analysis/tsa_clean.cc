@@ -1,0 +1,42 @@
+// Positive control for the ThreadSafety negative-compile harness: uses
+// the capability wrappers correctly, so a -Wthread-safety -Werror
+// compile must SUCCEED. If this file fails, the harness flags are wrong
+// (bad include path, typo'd warning flag, …) and every "expected
+// failure" above it would be vacuous.
+#include "xmlsel/mutex.h"
+#include "xmlsel/rcu.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() XMLSEL_EXCLUDES(mu_) {
+    xmlsel::MutexLock lock(mu_);
+    ++n_;
+  }
+
+  int Get() XMLSEL_EXCLUDES(mu_) {
+    xmlsel::MutexLock lock(mu_);
+    return n_;
+  }
+
+ private:
+  xmlsel::Mutex mu_;
+  int n_ XMLSEL_GUARDED_BY(mu_) = 0;
+};
+
+int ReadSharedState() XMLSEL_REQUIRES_SHARED(xmlsel::rcu_read_section);
+int ReadSharedState() { return 42; }
+
+int Good() {
+  xmlsel::RcuDomain::ReadGuard guard;
+  return ReadSharedState();
+}
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return c.Get() == 1 && Good() == 42 ? 0 : 1;
+}

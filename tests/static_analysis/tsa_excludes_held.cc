@@ -1,0 +1,31 @@
+// Seeded violation: calls a XMLSEL_EXCLUDES(mu_) method while already
+// holding mu_ — the self-deadlock shape the annotation exists to ban.
+// static_analysis_test asserts that a ThreadSafety compile of this file
+// FAILS.
+#include "xmlsel/mutex.h"
+
+namespace {
+
+class Cache {
+ public:
+  void Refresh() XMLSEL_EXCLUDES(mu_) {
+    xmlsel::MutexLock lock(mu_);
+    entries_ = 0;
+  }
+
+  void Outer() XMLSEL_EXCLUDES(mu_) {
+    xmlsel::MutexLock lock(mu_);
+    Refresh();  // BAD: Refresh excludes mu_, which is held here
+  }
+
+ private:
+  xmlsel::Mutex mu_;
+  int entries_ XMLSEL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Cache c;
+  c.Outer();
+}

@@ -1,0 +1,27 @@
+// Seeded violation: takes a Mutex with a bare Lock() and returns without
+// Unlock(), so the capability is still held at end of function.
+// static_analysis_test asserts that a ThreadSafety compile of this file
+// FAILS.
+#include "xmlsel/mutex.h"
+
+namespace {
+
+class Leaky {
+ public:
+  void Leak() {
+    mu_.Lock();
+    n_ = 1;
+    // BAD: no mu_.Unlock() on this path
+  }
+
+ private:
+  xmlsel::Mutex mu_;
+  int n_ XMLSEL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Leaky l;
+  l.Leak();
+}

@@ -1,0 +1,19 @@
+// Seeded violation: calls a function annotated
+// XMLSEL_REQUIRES_SHARED(rcu_read_section) without an RcuDomain::ReadGuard
+// pinning the epoch — the use-after-reclaim shape the RCU capability
+// exists to ban. static_analysis_test asserts that a ThreadSafety compile
+// of this file FAILS.
+#include "xmlsel/rcu.h"
+
+namespace {
+
+int ReadSharedState() XMLSEL_REQUIRES_SHARED(xmlsel::rcu_read_section);
+int ReadSharedState() { return 42; }
+
+int Bad() {
+  return ReadSharedState();  // BAD: no ReadGuard in scope
+}
+
+}  // namespace
+
+int main() { return Bad() == 42 ? 0 : 1; }

@@ -1,0 +1,24 @@
+// Seeded violation: calls a XMLSEL_REQUIRES(mu_) method without holding
+// mu_. static_analysis_test asserts that a ThreadSafety compile of this
+// file FAILS.
+#include "xmlsel/mutex.h"
+
+namespace {
+
+class Queue {
+ public:
+  void Tick() { DrainLocked(); }  // BAD: DrainLocked requires mu_
+
+ private:
+  void DrainLocked() XMLSEL_REQUIRES(mu_) { pending_ = 0; }
+
+  xmlsel::Mutex mu_;
+  int pending_ XMLSEL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.Tick();
+}

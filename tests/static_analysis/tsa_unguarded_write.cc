@@ -1,0 +1,22 @@
+// Seeded violation: writes a XMLSEL_GUARDED_BY field without holding the
+// guarding mutex. static_analysis_test asserts that a ThreadSafety
+// compile of this file FAILS.
+#include "xmlsel/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() { ++n_; }  // BAD: no MutexLock on mu_
+
+ private:
+  xmlsel::Mutex mu_;
+  int n_ XMLSEL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+}

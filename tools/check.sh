@@ -1,34 +1,54 @@
 #!/usr/bin/env bash
 # Static and dynamic checks, strictest first:
-#  1. Warnings wall — the whole tree at -Wall -Wextra -Wshadow
+#  1. Lint — xmlsel_lint (project invariants: hot-path allocations,
+#     lock-free-read markers, raw mutexes, banned functions, discarded
+#     Status, header hygiene) plus clang-tidy over src/ (tools/lint.sh;
+#     the clang-tidy layer skips when not installed).
+#  2. Warnings wall — the whole tree at -Wall -Wextra -Wshadow
 #     -Wconversion -Werror (Warnings build type, -O1 to dodge libstdc++
 #     false positives at -O3).
-#  2. Lint — clang-tidy over src/ (tools/lint.sh; skips when clang-tidy
-#     is not installed).
-#  3. ThreadSanitizer — races in the concurrent batch engine (most
+#  3. Thread safety — Clang Thread Safety Analysis over the annotated
+#     Mutex/CondVar/RCU capability wrappers (ThreadSafety build type,
+#     -Wthread-safety -Wthread-safety-beta -Werror). Clang-only; skipped
+#     with a notice when clang++ is absent (the annotations are inert
+#     under GCC, so a GCC pass would prove nothing).
+#  4. ThreadSanitizer — races in the concurrent batch engine (most
 #     importantly concurrency_test, which races evaluators over the
 #     shared synopsis and eval cache).
-#  4. AddressSanitizer + UBSan — memory errors in the allocation-heavy
+#  5. AddressSanitizer + UBSan — memory errors in the allocation-heavy
 #     evaluation kernel (bump arena, pooled state registry, SSO linear
 #     forms) across the full test suite.
 # Sanitizer builds lack -DNDEBUG, so the src/verify invariant hooks
 # (XMLSEL_VERIFY_LEVEL=1) are live during both test runs.
-# Any warning, lint finding, data race, or memory error fails this script.
+# Any warning, lint finding, thread-safety diagnostic, data race, or
+# memory error fails this script.
 #
 # Usage: tools/check.sh [tsan-build-dir] [asan-build-dir] [warn-build-dir]
-#        (defaults: build-tsan build-asan build-warn)
+#        (defaults: build-tsan build-asan build-warn; the ThreadSafety
+#        build uses build-threadsafety)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 TSAN_DIR="${1:-build-tsan}"
 ASAN_DIR="${2:-build-asan}"
 WARN_DIR="${3:-build-warn}"
+TSA_DIR="${TSA_DIR:-build-threadsafety}"
+
+tools/lint.sh
 
 cmake -B "$WARN_DIR" -S . -DCMAKE_BUILD_TYPE=Warnings
 cmake --build "$WARN_DIR" -j "$(nproc)"
 echo "Warnings wall passed."
 
-tools/lint.sh
+if command -v clang++ > /dev/null 2>&1; then
+  cmake -B "$TSA_DIR" -S . -DCMAKE_BUILD_TYPE=ThreadSafety \
+      -DCMAKE_CXX_COMPILER=clang++
+  cmake --build "$TSA_DIR" -j "$(nproc)"
+  echo "Thread-safety analysis passed."
+else
+  echo "Thread-safety analysis skipped: clang++ not installed" \
+       "(annotations are inert under GCC; install LLVM to enable)."
+fi
 
 cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=Tsan
 cmake --build "$TSAN_DIR" -j "$(nproc)"

@@ -1,10 +1,20 @@
 #!/usr/bin/env bash
-# clang-tidy over src/ using the repo's .clang-tidy (WarningsAsErrors: '*',
-# so any finding fails the script). Needs a compile_commands.json, which
-# the Release configure produces.
+# Project lint, two layers:
 #
-# Skips gracefully (exit 0 with a notice) when clang-tidy is not
-# installed, so tools/check.sh can run on boxes without LLVM.
+#  1. xmlsel_lint — the in-tree invariant linter (tools/xmlsel_lint.cc):
+#     hot-path allocation bans, lock-free-read markers, raw-mutex and
+#     banned-function rules, discarded Status, header hygiene. Built from
+#     source here, so this layer runs on any box with a C++ compiler —
+#     no LLVM needed.
+#  2. clang-tidy over src/ using the repo's .clang-tidy
+#     (WarningsAsErrors: '*', so any finding fails the script). Uses
+#     run-clang-tidy for parallelism when available, falling back to a
+#     single clang-tidy invocation. Skips gracefully (with a notice)
+#     when clang-tidy is not installed, so tools/check.sh can run on
+#     boxes without LLVM.
+#
+# Both layers need a compile_commands.json, which the Release configure
+# produces.
 #
 # Usage: tools/lint.sh [build-dir]    (default: build)
 set -euo pipefail
@@ -12,16 +22,27 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+fi
+
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target xmlsel_lint > /dev/null
+echo "lint: xmlsel_lint over src/"
+"$BUILD_DIR/tools/xmlsel_lint" --root . \
+    --compdb "$BUILD_DIR/compile_commands.json"
+
 if ! command -v clang-tidy > /dev/null 2>&1; then
   echo "lint: clang-tidy not installed; skipping (install LLVM to enable)."
   exit 0
 fi
 
-if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
-  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
-fi
-
 mapfile -t SOURCES < <(find src -name '*.cc' | sort)
 echo "lint: clang-tidy over ${#SOURCES[@]} files in src/"
-clang-tidy -p "$BUILD_DIR" --quiet "${SOURCES[@]}"
+if command -v run-clang-tidy > /dev/null 2>&1; then
+  # run-clang-tidy parallelizes across files; its regex positional args
+  # select which compdb entries to check.
+  run-clang-tidy -p "$BUILD_DIR" -quiet -j "$(nproc)" 'src/.*\.cc$'
+else
+  clang-tidy -p "$BUILD_DIR" --quiet "${SOURCES[@]}"
+fi
 echo "lint: clean."

@@ -1,0 +1,762 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+//
+// xmlsel_lint — the project-invariant linter (DESIGN.md "Verification &
+// static analysis"). Enforces the rules generic clang-tidy cannot: they
+// are *project* contracts, not C++ style. A finding is a build failure
+// (tools/lint.sh, the `tree-lint` ctest, and the xmlsel-lint CI job all
+// gate on exit 0).
+//
+// Rules (table also in DESIGN.md):
+//
+//   hot-alloc        no heap-allocating call (new/make_unique/push_back/
+//                    resize/…) inside a function marked XMLSEL_HOT
+//   lock-free-read   no lock-taking token (MutexLock/lock_guard/.Lock()/…)
+//                    inside a function marked XMLSEL_LOCK_FREE_READ
+//   raw-mutex        no std:: synchronization primitives outside
+//                    src/xmlsel/mutex.h (use the annotated wrappers)
+//   banned-function  no strtol/atoi/sprintf/strcpy family on serving
+//                    paths (src/serving, src/storage, src/xmlsel)
+//   unguarded-cast   no reinterpret_cast on serving/storage paths without
+//                    an explicit justification comment (mmap'd bytes are
+//                    untrusted input; every cast must argue its bounds)
+//   discarded-status no bare-statement call to a function this tree
+//                    declares as returning Status/Result (belt-and-braces
+//                    under the [[nodiscard]] class attribute)
+//   include-guard    src/ headers carry the canonical XMLSEL_<PATH>_H_
+//                    guard
+//   using-namespace  no `using namespace` at any scope in a header
+//   iostream-header  no <iostream> in src/ headers (static-init order +
+//                    code bloat; use <cstdio> in the library)
+//
+// Any finding can be suppressed — visibly, per line — with a trailing or
+// preceding comment `// xmlsel-lint: allow(<rule>): <reason>`. The reason
+// is mandatory prose: the point of the linter is that every exception to
+// a kernel invariant reads as a justified decision.
+//
+// The tool is deliberately lexical (scrubbed + tokenized source, no
+// libclang dependency): it must build and run anywhere the library does,
+// including boxes with no clang toolchain. The price is that it checks
+// tokens, not semantics — rules are designed so the lexical form is the
+// invariant (markers name functions; banned identifiers are banned
+// spellings).
+//
+// Usage:
+//   xmlsel_lint --root <repo-root> [--compdb <compile_commands.json>]
+//               [file...]
+// With --compdb, lints every compdb entry under <root>/src plus all
+// headers under <root>/src; with explicit files, lints exactly those.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Source preparation
+// ---------------------------------------------------------------------------
+
+/// Per-line `xmlsel-lint: allow(rule)` markers, collected from the raw
+/// text before comments are scrubbed away.
+using AllowMap = std::map<int, std::set<std::string>>;
+
+AllowMap CollectAllows(const std::string& src) {
+  AllowMap allows;
+  int line = 1;
+  size_t pos = 0;
+  while (pos < src.size()) {
+    size_t eol = src.find('\n', pos);
+    if (eol == std::string::npos) eol = src.size();
+    std::string_view l(src.data() + pos, eol - pos);
+    size_t at = l.find("xmlsel-lint: allow(");
+    while (at != std::string_view::npos) {
+      size_t open = at + std::strlen("xmlsel-lint: allow(");
+      size_t close = l.find(')', open);
+      if (close != std::string_view::npos) {
+        allows[line].insert(std::string(l.substr(open, close - open)));
+      }
+      at = l.find("xmlsel-lint: allow(", open);
+    }
+    pos = eol + 1;
+    ++line;
+  }
+  return allows;
+}
+
+bool Allowed(const AllowMap& allows, int line, const std::string& rule) {
+  // The allow comment may sit on the offending line or the line above.
+  for (int l : {line, line - 1}) {
+    auto it = allows.find(l);
+    if (it != allows.end() && it->second.count(rule) != 0) return true;
+  }
+  return false;
+}
+
+/// Blanks comments, string literals, and char literals (newlines kept so
+/// line numbers survive). Handles raw strings well enough for this tree.
+std::string Scrub(const std::string& src) {
+  std::string out = src;
+  enum class St { kCode, kLine, kBlock, kStr, kChar, kRaw } st = St::kCode;
+  std::string raw_delim;
+  for (size_t i = 0; i < src.size(); ++i) {
+    char c = src[i];
+    char n = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && n == '/') {
+          st = St::kLine;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && n == '*') {
+          st = St::kBlock;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && n == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   src[i - 1])) &&
+                               src[i - 1] != '_'))) {
+          size_t p = i + 2;
+          while (p < src.size() && src[p] != '(') ++p;
+          raw_delim = ")" + src.substr(i + 2, p - (i + 2)) + "\"";
+          for (size_t k = i; k <= p && k < src.size(); ++k) out[k] = ' ';
+          i = p;
+          st = St::kRaw;
+        } else if (c == '"') {
+          st = St::kStr;
+          out[i] = ' ';
+        } else if (c == '\'') {
+          st = St::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case St::kLine:
+        if (c == '\n') {
+          st = St::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case St::kBlock:
+        if (c == '*' && n == '/') {
+          st = St::kCode;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kStr:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (n != '\n') {
+            if (i + 1 < src.size()) out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          st = St::kCode;
+          out[i] = ' ';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < src.size()) out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+          out[i] = ' ';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kRaw:
+        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t k = 0; k < raw_delim.size(); ++k) out[i + k] = ' ';
+          i += raw_delim.size() - 1;
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+/// Tokenizes scrubbed source into identifiers/numbers and single-char
+/// punctuation (enough structure for brace matching and token rules).
+std::vector<Token> Tokenize(const std::string& scrubbed) {
+  std::vector<Token> toks;
+  int line = 1;
+  size_t i = 0;
+  while (i < scrubbed.size()) {
+    char c = scrubbed[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < scrubbed.size() &&
+             (std::isalnum(static_cast<unsigned char>(scrubbed[j])) ||
+              scrubbed[j] == '_')) {
+        ++j;
+      }
+      toks.push_back({scrubbed.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < scrubbed.size() &&
+             (std::isalnum(static_cast<unsigned char>(scrubbed[j])) ||
+              scrubbed[j] == '.' || scrubbed[j] == '\'')) {
+        ++j;
+      }
+      toks.push_back({scrubbed.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    toks.push_back({std::string(1, c), line});
+    ++i;
+  }
+  return toks;
+}
+
+struct SourceFile {
+  std::string path;      ///< as given
+  std::string rel;       ///< path relative to root, '/'-separated
+  std::string raw;
+  std::string scrubbed;
+  std::vector<Token> tokens;
+  AllowMap allows;
+  bool is_header = false;
+};
+
+// ---------------------------------------------------------------------------
+// Rule helpers
+// ---------------------------------------------------------------------------
+
+/// Finds the token ranges of function bodies whose heads carry `marker`.
+/// A head is the marker token up to the first top-level `{` (or `;`,
+/// which means declaration-only — skipped). Returns (open, close) index
+/// pairs into `toks` for each body, braces included.
+std::vector<std::pair<size_t, size_t>> MarkedBodies(
+    const std::vector<Token>& toks, const std::string& marker) {
+  std::vector<std::pair<size_t, size_t>> bodies;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].text != marker) continue;
+    int paren = 0;
+    size_t j = i + 1;
+    for (; j < toks.size(); ++j) {
+      const std::string& t = toks[j].text;
+      if (t == "(") {
+        ++paren;
+      } else if (t == ")") {
+        --paren;
+      } else if (paren == 0 && t == ";") {
+        break;  // declaration without body
+      } else if (paren == 0 && t == "{") {
+        int depth = 1;
+        size_t k = j + 1;
+        for (; k < toks.size() && depth > 0; ++k) {
+          if (toks[k].text == "{") ++depth;
+          if (toks[k].text == "}") --depth;
+        }
+        bodies.emplace_back(j, k);
+        break;
+      }
+    }
+  }
+  return bodies;
+}
+
+bool PathStartsWith(const std::string& rel, std::string_view prefix) {
+  return rel.rfind(prefix, 0) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+const std::set<std::string>& HotAllocTokens() {
+  static const std::set<std::string> kSet = {
+      "new",       "make_unique", "make_shared", "malloc",       "calloc",
+      "realloc",   "strdup",      "push_back",   "emplace_back", "emplace",
+      "resize",    "reserve",     "assign",      "insert",       "append",
+      "to_string", "operator_new"};
+  return kSet;
+}
+
+const std::set<std::string>& LockTokens() {
+  static const std::set<std::string> kSet = {
+      "MutexLock",  "CountedMutexLock", "lock_guard", "unique_lock",
+      "scoped_lock", "shared_lock",     "Lock",       "TryLock",
+      "lock",        "try_lock",        "Wait",       "wait"};
+  return kSet;
+}
+
+void CheckMarkedBodies(const SourceFile& f, const std::string& marker,
+                       const std::set<std::string>& banned,
+                       const std::string& rule, const char* what,
+                       std::vector<Finding>* out) {
+  for (auto [open, close] : MarkedBodies(f.tokens, marker)) {
+    for (size_t i = open; i < close && i < f.tokens.size(); ++i) {
+      const Token& t = f.tokens[i];
+      if (banned.count(t.text) == 0) continue;
+      if (Allowed(f.allows, t.line, rule)) continue;
+      out->push_back({f.path, t.line, rule,
+                      "'" + t.text + "' " + what + " (function marked " +
+                          marker + ")"});
+    }
+  }
+}
+
+void CheckRawMutex(const SourceFile& f, std::vector<Finding>* out) {
+  // The wrapper header is the one sanctioned site.
+  if (f.rel == "src/xmlsel/mutex.h") return;
+  static const std::set<std::string> kStdSync = {
+      "mutex",        "timed_mutex",        "recursive_mutex",
+      "shared_mutex", "condition_variable", "condition_variable_any",
+      "lock_guard",   "unique_lock",        "scoped_lock",
+      "shared_lock"};
+  const auto& toks = f.tokens;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].text == "std" && toks[i + 1].text == ":" &&
+        toks[i + 2].text == ":" && i + 3 < toks.size() &&
+        kStdSync.count(toks[i + 3].text) != 0) {
+      if (Allowed(f.allows, toks[i].line, "raw-mutex")) continue;
+      out->push_back({f.path, toks[i].line, "raw-mutex",
+                      "raw std::" + toks[i + 3].text +
+                          "; use the annotated wrappers in xmlsel/mutex.h"});
+    }
+  }
+  // Includes of the raw headers are equally banned.
+  std::istringstream in(f.raw);
+  std::string line;
+  int ln = 0;
+  while (std::getline(in, line)) {
+    ++ln;
+    for (const char* hdr : {"<mutex>", "<condition_variable>",
+                            "<shared_mutex>"}) {
+      if (line.find("#include") != std::string::npos &&
+          line.find(hdr) != std::string::npos &&
+          !Allowed(f.allows, ln, "raw-mutex")) {
+        out->push_back({f.path, ln, "raw-mutex",
+                        std::string("#include ") + hdr +
+                            "; use xmlsel/mutex.h"});
+      }
+    }
+  }
+}
+
+void CheckBannedFunctions(const SourceFile& f, std::vector<Finding>* out) {
+  if (!PathStartsWith(f.rel, "src/serving/") &&
+      !PathStartsWith(f.rel, "src/storage/") &&
+      !PathStartsWith(f.rel, "src/xmlsel/")) {
+    return;
+  }
+  static const std::map<std::string, const char*> kBanned = {
+      {"strtol", "use std::from_chars (no errno protocol, no saturation)"},
+      {"strtoul", "use std::from_chars"},
+      {"strtoll", "use std::from_chars"},
+      {"strtoull", "use std::from_chars"},
+      {"atoi", "use std::from_chars"},
+      {"atol", "use std::from_chars"},
+      {"sprintf", "use snprintf"},
+      {"strcpy", "use bounded copies"},
+      {"strcat", "use bounded copies"},
+      {"gets", "never"},
+  };
+  for (size_t i = 0; i < f.tokens.size(); ++i) {
+    const Token& t = f.tokens[i];
+    auto it = kBanned.find(t.text);
+    if (it == kBanned.end()) continue;
+    // Only calls: next token must open the argument list.
+    if (i + 1 >= f.tokens.size() || f.tokens[i + 1].text != "(") continue;
+    if (Allowed(f.allows, t.line, "banned-function")) continue;
+    out->push_back({f.path, t.line, "banned-function",
+                    "'" + t.text + "' is banned on serving paths: " +
+                        it->second});
+  }
+}
+
+void CheckUnguardedCasts(const SourceFile& f, std::vector<Finding>* out) {
+  if (!PathStartsWith(f.rel, "src/serving/") &&
+      !PathStartsWith(f.rel, "src/storage/")) {
+    return;
+  }
+  for (const Token& t : f.tokens) {
+    if (t.text != "reinterpret_cast") continue;
+    if (Allowed(f.allows, t.line, "cast")) continue;
+    out->push_back({f.path, t.line, "unguarded-cast",
+                    "reinterpret_cast on a serving/storage path needs an "
+                    "'xmlsel-lint: allow(cast): <why bounds hold>' comment"});
+  }
+}
+
+std::string ExpectedGuard(const std::string& rel) {
+  // src/estimator/synopsis.h -> XMLSEL_ESTIMATOR_SYNOPSIS_H_
+  std::string tail = rel.substr(std::strlen("src/"));
+  std::string guard = "XMLSEL_";
+  for (char c : tail) {
+    if (c == '/' || c == '.') {
+      guard += '_';
+    } else {
+      guard += static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+void CheckHeaderHygiene(const SourceFile& f, std::vector<Finding>* out) {
+  if (!f.is_header || !PathStartsWith(f.rel, "src/")) return;
+
+  const std::string guard = ExpectedGuard(f.rel);
+  bool ifndef_ok = false, define_ok = false;
+  std::istringstream in(f.raw);
+  std::string line;
+  int ln = 0;
+  int first_directive_line = 0;
+  while (std::getline(in, line)) {
+    ++ln;
+    if (line.find("#ifndef") != std::string::npos) {
+      if (first_directive_line == 0) first_directive_line = ln;
+      if (line.find(guard) != std::string::npos) ifndef_ok = true;
+    } else if (line.find("#define") != std::string::npos && ifndef_ok &&
+               line.find(guard) != std::string::npos) {
+      define_ok = true;
+    }
+    if (line.find("#include <iostream>") != std::string::npos &&
+        !Allowed(f.allows, ln, "iostream-header")) {
+      out->push_back({f.path, ln, "iostream-header",
+                      "<iostream> in a library header; use <cstdio>"});
+    }
+  }
+  if ((!ifndef_ok || !define_ok) &&
+      !Allowed(f.allows, first_directive_line, "include-guard")) {
+    out->push_back({f.path, first_directive_line == 0 ? 1
+                                                      : first_directive_line,
+                    "include-guard",
+                    "header must use the canonical guard " + guard});
+  }
+
+  for (size_t i = 0; i + 1 < f.tokens.size(); ++i) {
+    if (f.tokens[i].text == "using" && f.tokens[i + 1].text == "namespace" &&
+        !Allowed(f.allows, f.tokens[i].line, "using-namespace")) {
+      out->push_back({f.path, f.tokens[i].line, "using-namespace",
+                      "'using namespace' in a header leaks into every "
+                      "includer"});
+    }
+  }
+}
+
+/// Collects names of functions declared in this tree with return type
+/// Status or Result<...> (token patterns `Status Name (` and
+/// `Result < ... > Name (`). Qualified declarations contribute their last
+/// identifier. Used by the discarded-status rule.
+void CollectStatusReturners(const SourceFile& f, std::set<std::string>* names,
+                            std::set<std::string>* other_returners) {
+  const auto& toks = f.tokens;
+  auto is_ident = [](const std::string& t) {
+    return std::isalpha(static_cast<unsigned char>(t[0])) || t[0] == '_';
+  };
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].text == "Status" && is_ident(toks[i + 1].text) &&
+        toks[i + 2].text == "(") {
+      // Over-collection (e.g. the factory idiom `Status OK()`) is
+      // harmless: it only makes the rule watch more call shapes.
+      names->insert(toks[i + 1].text);
+      continue;
+    }
+    if (toks[i].text == "Result" && toks[i + 1].text == "<") {
+      int depth = 1;
+      size_t j = i + 2;
+      for (; j < toks.size() && depth > 0; ++j) {
+        if (toks[j].text == "<") ++depth;
+        if (toks[j].text == ">") --depth;
+      }
+      if (j + 1 < toks.size() && is_ident(toks[j].text) &&
+          toks[j + 1].text == "(") {
+        names->insert(toks[j].text);
+      }
+      continue;
+    }
+    // Any other `Type [*&] Name (` shape marks Name as having a non-Status
+    // declaration somewhere; such overloaded names are excluded from the
+    // rule (the [[nodiscard]] attribute still covers them soundly).
+    if (is_ident(toks[i].text)) {
+      size_t j = i + 1;
+      while (j < toks.size() &&
+             (toks[j].text == "*" || toks[j].text == "&")) {
+        ++j;
+      }
+      if (j + 1 < toks.size() && is_ident(toks[j].text) &&
+          toks[j + 1].text == "(") {
+        other_returners->insert(toks[j].text);
+      }
+    }
+  }
+}
+
+void CheckDiscardedStatus(const SourceFile& f,
+                          const std::set<std::string>& returners,
+                          std::vector<Finding>* out) {
+  const auto& toks = f.tokens;
+  for (size_t i = 1; i + 1 < toks.size(); ++i) {
+    if (returners.count(toks[i].text) == 0) continue;
+    if (toks[i + 1].text != "(") continue;
+    // Statement-initial call: previous token ends a statement or opens a
+    // block. (`obj.Foo(...)` as a full statement is matched via the
+    // preceding `.`/`->` by walking back over the receiver chain — kept
+    // simple: only flag receiver-less and `x.Foo()` forms.)
+    size_t b = i;
+    if (b >= 2 && (toks[b - 1].text == "." ||
+                   (toks[b - 1].text == ">" && toks[b - 2].text == "-"))) {
+      b = toks[b - 1].text == "." ? b - 2 : b - 3;
+      // Walk back over a simple receiver: identifier or `)`-less chain.
+      // Keywords end the chain — `return x.F();` consumes the result.
+      static const std::set<std::string> kStmtKeywords = {
+          "return", "co_return", "co_yield", "throw", "goto", "case"};
+      while (b > 0 && kStmtKeywords.count(toks[b].text) == 0 &&
+             (std::isalnum(static_cast<unsigned char>(toks[b].text[0])) ||
+              toks[b].text[0] == '_' || toks[b].text == "." ||
+              toks[b].text == "-" || toks[b].text == ">")) {
+        --b;
+      }
+      ++b;
+    }
+    if (b == 0) continue;
+    if (toks[b - 1].text == "return" || toks[b - 1].text == "co_return" ||
+        toks[b - 1].text == "throw") {
+      continue;
+    }
+    const std::string& prev = toks[b - 1].text;
+    if (prev != ";" && prev != "{" && prev != "}") continue;
+    // Find the end of the call; a discard ends the statement right there.
+    int depth = 1;
+    size_t j = i + 2;
+    for (; j < toks.size() && depth > 0; ++j) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")") --depth;
+    }
+    if (j < toks.size() && toks[j].text == ";") {
+      if (Allowed(f.allows, toks[i].line, "discarded-status")) continue;
+      out->push_back({f.path, toks[i].line, "discarded-status",
+                      "result of '" + toks[i].text +
+                          "' (Status/Result) is discarded"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// Pulls the "file" entries out of compile_commands.json. The format is
+/// machine-written and flat, so a targeted scan beats a JSON dependency.
+std::vector<std::string> CompdbFiles(const std::string& json) {
+  std::vector<std::string> files;
+  size_t pos = 0;
+  while ((pos = json.find("\"file\"", pos)) != std::string::npos) {
+    size_t colon = json.find(':', pos);
+    size_t q1 = json.find('"', colon + 1);
+    size_t q2 = json.find('"', q1 + 1);
+    if (colon == std::string::npos || q1 == std::string::npos ||
+        q2 == std::string::npos) {
+      break;
+    }
+    files.push_back(json.substr(q1 + 1, q2 - q1 - 1));
+    pos = q2 + 1;
+  }
+  return files;
+}
+
+std::string RelPath(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  std::string s = (ec ? p : rel).generic_string();
+  return s;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: xmlsel_lint --root <dir> [--compdb <json>] "
+               "[file...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root_arg = ".";
+  std::string compdb;
+  std::vector<std::string> file_args;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--root" && i + 1 < argc) {
+      root_arg = argv[++i];
+    } else if (a == "--compdb" && i + 1 < argc) {
+      compdb = argv[++i];
+    } else if (a == "--help" || a == "-h") {
+      return Usage();
+    } else if (!a.empty() && a[0] == '-') {
+      return Usage();
+    } else {
+      file_args.push_back(a);
+    }
+  }
+
+  std::error_code ec;
+  fs::path root = fs::canonical(root_arg, ec);
+  if (ec) {
+    std::fprintf(stderr, "xmlsel_lint: bad --root '%s'\n", root_arg.c_str());
+    return 2;
+  }
+
+  std::set<std::string> paths;  // absolute, deduped
+  if (!compdb.empty()) {
+    std::string json;
+    if (!ReadFile(compdb, &json)) {
+      std::fprintf(stderr, "xmlsel_lint: cannot read compdb '%s'\n",
+                   compdb.c_str());
+      return 2;
+    }
+    for (const std::string& fpath : CompdbFiles(json)) {
+      fs::path p = fs::path(fpath);
+      if (!p.is_absolute()) p = root / p;
+      std::string rel = RelPath(p, root);
+      if (rel.rfind("src/", 0) == 0 && fs::exists(p)) {
+        paths.insert(p.generic_string());
+      }
+    }
+    // Headers never appear in a compdb; sweep them from the tree.
+    fs::path src = root / "src";
+    if (fs::exists(src)) {
+      for (const auto& e : fs::recursive_directory_iterator(src)) {
+        if (e.is_regular_file() && e.path().extension() == ".h") {
+          paths.insert(e.path().generic_string());
+        }
+      }
+    }
+  }
+  for (const std::string& a : file_args) {
+    fs::path p = fs::path(a);
+    if (!p.is_absolute()) p = fs::current_path() / p;
+    paths.insert(p.lexically_normal().generic_string());
+  }
+  if (paths.empty()) {
+    // Default: the whole src/ tree under root.
+    fs::path src = root / "src";
+    if (!fs::exists(src)) return Usage();
+    for (const auto& e : fs::recursive_directory_iterator(src)) {
+      if (!e.is_regular_file()) continue;
+      fs::path ext = e.path().extension();
+      if (ext == ".h" || ext == ".cc") {
+        paths.insert(e.path().generic_string());
+      }
+    }
+  }
+
+  std::vector<SourceFile> files;
+  for (const std::string& p : paths) {
+    SourceFile f;
+    f.path = p;
+    if (!ReadFile(p, &f.raw)) {
+      std::fprintf(stderr, "xmlsel_lint: cannot read '%s'\n", p.c_str());
+      return 2;
+    }
+    f.rel = RelPath(fs::path(p), root);
+    f.is_header = fs::path(p).extension() == ".h";
+    f.allows = CollectAllows(f.raw);
+    f.scrubbed = Scrub(f.raw);
+    f.tokens = Tokenize(f.scrubbed);
+    files.push_back(std::move(f));
+  }
+
+  // Cross-file pass: names that return Status/Result somewhere and are
+  // never declared with any other return type (overloaded names would
+  // make the lexical rule guess; [[nodiscard]] still covers those).
+  std::set<std::string> status_names, other_names, returners;
+  for (const SourceFile& f : files) {
+    CollectStatusReturners(f, &status_names, &other_names);
+  }
+  std::set_difference(status_names.begin(), status_names.end(),
+                      other_names.begin(), other_names.end(),
+                      std::inserter(returners, returners.begin()));
+
+  std::vector<Finding> findings;
+  for (const SourceFile& f : files) {
+    CheckMarkedBodies(f, "XMLSEL_HOT", HotAllocTokens(), "hot-alloc",
+                      "may heap-allocate on the kernel hot path", &findings);
+    CheckMarkedBodies(f, "XMLSEL_LOCK_FREE_READ", LockTokens(),
+                      "lock-free-read", "takes a lock on a reader fast path",
+                      &findings);
+    CheckRawMutex(f, &findings);
+    CheckBannedFunctions(f, &findings);
+    CheckUnguardedCasts(f, &findings);
+    CheckHeaderHygiene(f, &findings);
+    CheckDiscardedStatus(f, returners, &findings);
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  for (const Finding& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::printf("xmlsel_lint: %zu finding(s) in %zu file(s)\n",
+                findings.size(), files.size());
+    return 1;
+  }
+  std::printf("xmlsel_lint: clean (%zu files)\n", files.size());
+  return 0;
+}
