@@ -13,7 +13,10 @@
 //   (1) every reader fast path took zero lock acquisitions,
 //   (2) reader QPS is nonzero with tenants spread across multiple shards,
 //   (3) every batch completed OK while a writer swapped snapshots
-//       underneath (swap-under-load).
+//       underneath (swap-under-load),
+//   (4) an N-mapped-image catalog served under a fixed decode budget
+//       stays within the budget (exact resident_bytes accounting) with
+//       real evictions and every batch still OK.
 //
 // Shard scaling and writer-induced p99 are parallel measurements; on a
 // single-effective-core host they collapse to time-slicing, so the JSON
@@ -39,6 +42,7 @@
 #include "serving/batch_front.h"
 #include "serving/catalog.h"
 #include "serving/snapshot.h"
+#include "storage/mapped.h"
 #include "verify/verify.h"
 #include "xmlsel/thread_pool.h"
 
@@ -192,6 +196,100 @@ RunResult RunSaturation(const Fixture& f, int32_t shards, int32_t readers,
   return out;
 }
 
+/// One budget point: every tenant serves its own mapped image (N
+/// independent decode caches), readers hammer batches while — when a
+/// budget is set — an enforcer thread keeps the catalog-wide decode
+/// residency bounded and reclaims grace-expired rules. budget == 0 runs
+/// the same workload unbounded, as the throughput baseline.
+struct BudgetResult {
+  int64_t budget = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  int64_t batches = 0;
+  int64_t evictions = 0;
+  int64_t resident_bytes = 0;  ///< after the final quiesced enforcement
+  int64_t peak_resident_bytes = 0;  ///< max seen by the enforcer
+  bool all_ok = false;
+  bool within_budget = false;
+};
+
+BudgetResult RunBudget(const Fixture& f, int64_t budget, int32_t readers,
+                       int32_t batches_per_reader) {
+  ServingCatalog catalog(4);
+  for (int32_t t = 0; t < kTenants; ++t) {
+    Result<std::unique_ptr<MappedSynopsis>> image =
+        MappedSynopsis::FromBuffer(BuildMappedImage(*f.version_a));
+    XMLSEL_CHECK(image.ok());
+    catalog.PublishMapped(
+        TenantName(t),
+        std::shared_ptr<const MappedSynopsis>(std::move(image).value()));
+  }
+  if (budget > 0) catalog.SetDecodeBudget(budget);
+  std::span<const Query> span(f.queries);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+  std::atomic<int64_t> peak{0};
+  std::thread enforcer;
+  if (budget > 0) {
+    enforcer = std::thread([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        catalog.EnforceDecodeBudget();
+        catalog.ReclaimEvictedRules();
+        int64_t now = catalog.Stats().decode_resident_bytes;
+        int64_t prev = peak.load(std::memory_order_relaxed);
+        while (now > prev &&
+               !peak.compare_exchange_weak(prev, now,
+                                           std::memory_order_relaxed)) {
+        }
+      }
+    });
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  for (int32_t r = 0; r < readers; ++r) {
+    pool.emplace_back([&, r] {
+      for (int32_t i = 0; i < batches_per_reader; ++i) {
+        std::string tenant = TenantName((r * 31 + i) % kTenants);
+        Result<BatchOutcome> out = catalog.EstimateBatch(tenant, span);
+        if (!out.ok()) {
+          ok.store(false, std::memory_order_relaxed);
+          continue;
+        }
+        for (const auto& res : out.value().results) {
+          if (!res.ok()) ok.store(false, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  double seconds = SecondsSince(t0);
+  stop.store(true, std::memory_order_relaxed);
+  if (enforcer.joinable()) enforcer.join();
+
+  BudgetResult out;
+  out.budget = budget;
+  out.seconds = seconds;
+  out.batches = static_cast<int64_t>(readers) * batches_per_reader;
+  out.qps = static_cast<double>(out.batches) *
+            static_cast<double>(f.queries.size()) / seconds;
+  // Quiesce: one final enforcement brings any post-enforcer decodes back
+  // under the budget; unbounded runs just report what accumulated.
+  if (budget > 0) {
+    catalog.EnforceDecodeBudget();
+    catalog.ReclaimEvictedRules();
+  }
+  CatalogStats stats = catalog.Stats();
+  out.evictions = stats.decode_evictions;
+  out.resident_bytes = stats.decode_resident_bytes;
+  out.peak_resident_bytes =
+      std::max(peak.load(std::memory_order_relaxed), out.resident_bytes);
+  out.all_ok = ok.load();
+  out.within_budget = budget <= 0 || out.resident_bytes <= budget;
+  return out;
+}
+
 /// End-to-end throughput of the async batch front (string parsing, lane
 /// affinity, futures) over the largest catalog, one submitter.
 struct FrontResult {
@@ -273,6 +371,25 @@ int Run(bool smoke, const char* out_path) {
               front.lanes, front.seconds, front.qps,
               static_cast<long long>(front.completed));
 
+  // Byte-budget case: the same workload over N independent mapped images,
+  // first unbounded (baseline residency + qps), then with a catalog-wide
+  // decode budget at half the unbounded residency and a live enforcer.
+  BudgetResult unbounded = RunBudget(fixture, 0, readers, batches_per_reader);
+  int64_t budget_bytes = std::max<int64_t>(unbounded.resident_bytes / 2, 1);
+  BudgetResult bounded =
+      RunBudget(fixture, budget_bytes, readers, batches_per_reader);
+  double qps_factor = unbounded.qps > 0.0 ? bounded.qps / unbounded.qps : 0.0;
+  std::printf(
+      "budget: %d mapped images, unbounded %lld B resident @ %.0f q/s; "
+      "budget %lld B -> %lld B resident (peak %lld B), %lld evictions "
+      "@ %.0f q/s (%.2fx)%s\n",
+      kTenants, static_cast<long long>(unbounded.resident_bytes),
+      unbounded.qps, static_cast<long long>(budget_bytes),
+      static_cast<long long>(bounded.resident_bytes),
+      static_cast<long long>(bounded.peak_resident_bytes),
+      static_cast<long long>(bounded.evictions), bounded.qps, qps_factor,
+      bounded.within_budget ? "" : "  OVER BUDGET");
+
   // Writer impact at the widest catalog: p99 with a concurrent writer vs
   // the no-writer p99 of the same shard count.
   const RunResult& quiet = runs[runs.size() - 2];
@@ -294,11 +411,14 @@ int Run(bool smoke, const char* out_path) {
     if (r.writer && r.publishes <= 0) gate_swap = false;
     if (r.writer && !r.all_ok) gate_swap = false;
   }
-  bool gates_ok = gate_locks && gate_qps && gate_swap;
+  bool gate_budget = bounded.within_budget && bounded.all_ok &&
+                     unbounded.all_ok && bounded.evictions > 0;
+  bool gates_ok = gate_locks && gate_qps && gate_swap && gate_budget;
   std::printf(
-      "gates: reader_locks_zero=%s cross_shard_qps=%s swap_under_load=%s\n",
+      "gates: reader_locks_zero=%s cross_shard_qps=%s swap_under_load=%s "
+      "resident_within_budget=%s\n",
       gate_locks ? "ok" : "FAIL", gate_qps ? "ok" : "FAIL",
-      gate_swap ? "ok" : "FAIL");
+      gate_swap ? "ok" : "FAIL", gate_budget ? "ok" : "FAIL");
 
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"serving\",\n");
@@ -338,6 +458,24 @@ int Run(bool smoke, const char* out_path) {
   std::fprintf(f, "    \"within_2x\": %s\n",
                p99_ratio <= 2.0 ? "true" : "false");
   std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"budget\": {\n");
+  std::fprintf(f, "    \"mapped_images\": %d,\n", kTenants);
+  std::fprintf(f, "    \"budget_bytes\": %lld,\n",
+               static_cast<long long>(budget_bytes));
+  std::fprintf(f, "    \"unbounded_resident_bytes\": %lld,\n",
+               static_cast<long long>(unbounded.resident_bytes));
+  std::fprintf(f, "    \"resident_bytes\": %lld,\n",
+               static_cast<long long>(bounded.resident_bytes));
+  std::fprintf(f, "    \"peak_resident_bytes\": %lld,\n",
+               static_cast<long long>(bounded.peak_resident_bytes));
+  std::fprintf(f, "    \"evictions\": %lld,\n",
+               static_cast<long long>(bounded.evictions));
+  std::fprintf(f, "    \"unbounded_qps\": %.1f,\n", unbounded.qps);
+  std::fprintf(f, "    \"qps\": %.1f,\n", bounded.qps);
+  std::fprintf(f, "    \"qps_factor\": %.3f,\n", qps_factor);
+  std::fprintf(f, "    \"within_budget\": %s\n",
+               bounded.within_budget ? "true" : "false");
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"front\": {\n");
   std::fprintf(f, "    \"lanes\": %d,\n", front.lanes);
   std::fprintf(f, "    \"batches\": %lld,\n",
@@ -352,8 +490,10 @@ int Run(bool smoke, const char* out_path) {
                gate_locks ? "true" : "false");
   std::fprintf(f, "    \"cross_shard_qps_nonzero\": %s,\n",
                gate_qps ? "true" : "false");
-  std::fprintf(f, "    \"swap_under_load_ok\": %s\n",
+  std::fprintf(f, "    \"swap_under_load_ok\": %s,\n",
                gate_swap ? "true" : "false");
+  std::fprintf(f, "    \"resident_within_budget\": %s\n",
+               gate_budget ? "true" : "false");
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);

@@ -7,10 +7,13 @@
 // sets) into the shared SynopsisEvalCache. Emits JSON so the perf
 // trajectory is tracked across PRs:
 //
-//   ./bench_throughput [output.json] [serving.json]
-//                       (defaults BENCH_throughput.json BENCH_serving.json;
-//                        the serving bench's JSON, when present, is embedded
-//                        verbatim as the "serving" section)
+//   ./bench_throughput [output.json] [serving.json] [storage.json]
+//                       (defaults BENCH_throughput.json BENCH_serving.json
+//                        BENCH_storage.json; each bench's JSON, when
+//                        present, is embedded verbatim as the "serving" /
+//                        "storage" section — carrying its own host
+//                        fingerprint, scaling_valid flag, and the
+//                        packed_direct / budget sections)
 //
 // Thread scaling is hardware-bound: on a single-core host all thread
 // counts collapse to ~1×, so the JSON records hardware_concurrency
@@ -99,11 +102,12 @@ double MeasureEvalSeconds(const Synopsis& synopsis,
   return SecondsSince(t0);
 }
 
-/// Embeds the serving bench's tracked JSON (bench_serving.cc) verbatim as
-/// the `"serving"` section, so one file carries the whole perf trajectory.
-/// Quietly skipped when the file is absent (serving bench not run yet).
-bool EmbedServingSection(FILE* f, const char* serving_path) {
-  FILE* sf = std::fopen(serving_path, "r");
+/// Embeds another bench's tracked JSON verbatim as the `"<key>"` section,
+/// so one file carries the whole perf trajectory. Each embedded object
+/// keeps its own host fingerprint and scaling_valid stamp. Quietly skipped
+/// when the file is absent (that bench not run yet).
+bool EmbedSection(FILE* f, const char* key, const char* path) {
+  FILE* sf = std::fopen(path, "r");
   if (sf == nullptr) return false;
   std::string body;
   char buf[4096];
@@ -118,14 +122,15 @@ bool EmbedServingSection(FILE* f, const char* serving_path) {
   }
   if (body.empty() || body.front() != '{' || body.back() != '}') {
     std::fprintf(stderr, "WARNING: %s is not a JSON object; not embedded\n",
-                 serving_path);
+                 path);
     return false;
   }
-  std::fprintf(f, "  \"serving\": %s,\n", body.c_str());
+  std::fprintf(f, "  \"%s\": %s,\n", key, body.c_str());
   return true;
 }
 
-int Run(const char* out_path, const char* serving_path) {
+int Run(const char* out_path, const char* serving_path,
+        const char* storage_path) {
   // Open the output first so a bad path fails before minutes of work.
   FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
@@ -299,8 +304,11 @@ int Run(const char* out_path, const char* serving_path) {
                static_cast<long long>(qcache.misses()));
   std::fprintf(f, "    \"compile_cache_hit_pct\": %.1f\n", qcache_hit_pct);
   std::fprintf(f, "  },\n");
-  if (EmbedServingSection(f, serving_path)) {
+  if (EmbedSection(f, "serving", serving_path)) {
     std::printf("embedded %s as the \"serving\" section\n", serving_path);
+  }
+  if (EmbedSection(f, "storage", storage_path)) {
+    std::printf("embedded %s as the \"storage\" section\n", storage_path);
   }
   std::fprintf(f, "  \"verify\": {\n");
   std::fprintf(f, "    \"pipeline_seconds\": %.4f,\n", verify_seconds);
@@ -324,5 +332,6 @@ int Run(const char* out_path, const char* serving_path) {
 
 int main(int argc, char** argv) {
   return xmlsel::Run(argc > 1 ? argv[1] : "BENCH_throughput.json",
-                     argc > 2 ? argv[2] : "BENCH_serving.json");
+                     argc > 2 ? argv[2] : "BENCH_serving.json",
+                     argc > 3 ? argv[3] : "BENCH_storage.json");
 }

@@ -9,15 +9,22 @@
 // built once per (grammar, maps) pair and then shared read-only across
 // any number of concurrent evaluator threads.
 //
-// The evaluator itself consumes rules through the RuleProvider interface,
-// which decouples it from how rules are materialized: the eager path hands
-// out pointers into a fully decoded SltGrammar (SynopsisEvalCache /
-// LocalRuleProvider below), while the serving path decodes rules lazily
-// out of an mmap-ed packed image on first touch (storage/mapped.h).
+// The evaluator consumes rules through the RuleProvider interface in a
+// *flat* form (RuleEvalData): node records plus contiguous child/post-order
+// /star-root arrays, all exposed as spans. The flat form is the common
+// currency of every provider — the eager SynopsisEvalCache/LocalRuleProvider
+// flatten decoded GrammarRules, the mapped decode cache (storage/mapped.h)
+// stores flattened rules in its slots, and the packed-direct path
+// (storage/packed_cursor.h) emits the flat form straight from a rule's
+// bit-stream without ever materializing a GrammarRule. Because the node
+// ids, walk order, and star-root sets are identical across providers, the
+// evaluator's kernel-counter traces are bit-identical no matter where the
+// rules came from.
 
 #ifndef XMLSEL_AUTOMATON_EVAL_CACHE_H_
 #define XMLSEL_AUTOMATON_EVAL_CACHE_H_
 
+#include <cstdint>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -39,15 +46,119 @@ std::vector<int32_t> RulePostOrder(const GrammarRule& rule);
 std::vector<std::vector<LabelId>> ComputeStarRootLabels(
     const GrammarRule& rule, const LabelMaps* maps);
 
-/// Everything the evaluator needs about one rule. The pointers stay valid
-/// for the lifetime of the provider that handed them out; `rule == nullptr`
-/// signals a provider failure (a lazily decoded rule that turned out to be
-/// corrupt) — consult RuleProvider::error() for the diagnostic.
-struct RuleEvalData {
-  const GrammarRule* rule = nullptr;
-  const std::vector<int32_t>* post_order = nullptr;
-  const std::vector<std::vector<LabelId>>* star_roots = nullptr;
+/// One RHS node in flat form. `sym` carries the same payload as
+/// GrammarNode::sym (label / star-stats index / callee / param index);
+/// children live in the owning rule's contiguous child array at
+/// [child_begin, child_begin + child_count), ⊥ slots as kNullNode.
+struct RuleNodeView {
+  GrammarNode::Kind kind = GrammarNode::Kind::kTerminal;
+  int32_t sym = 0;
+  int32_t child_begin = 0;
+  int32_t child_count = 0;
 };
+
+/// Everything the evaluator needs about one rule, as spans into storage
+/// owned by the provider that handed it out (stable for the provider's
+/// lifetime). `valid == false` signals a provider failure (a lazily
+/// decoded rule that turned out to be corrupt) — consult
+/// RuleProvider::error() for the diagnostic.
+struct RuleEvalData {
+  bool valid = false;
+  int32_t rank = 0;
+  int32_t root = kNullNode;
+  std::span<const RuleNodeView> nodes;
+  std::span<const int32_t> children;    ///< all nodes' child ids, packed
+  std::span<const int32_t> post_order;  ///< RHS node ids, children first
+  /// Star-root directory: empty = every star unrestricted (no maps);
+  /// otherwise nodes.size() + 1 offsets into `star_root_labels`.
+  std::span<const int32_t> star_root_begin;
+  std::span<const LabelId> star_root_labels;
+
+  std::span<const int32_t> children_of(int32_t id) const {
+    const RuleNodeView& n = nodes[static_cast<size_t>(id)];
+    return children.subspan(static_cast<size_t>(n.child_begin),
+                            static_cast<size_t>(n.child_count));
+  }
+  /// Root label set of star node `id`; empty = unrestricted, {-1} = no
+  /// label possible (same convention as ComputeStarRootLabels).
+  std::span<const LabelId> star_roots_of(int32_t id) const {
+    if (star_root_begin.empty()) return {};
+    const size_t i = static_cast<size_t>(id);
+    return star_root_labels.subspan(
+        static_cast<size_t>(star_root_begin[i]),
+        static_cast<size_t>(star_root_begin[i + 1] - star_root_begin[i]));
+  }
+};
+
+/// Owning storage behind one rule's RuleEvalData. Clear() keeps the
+/// vectors' capacity so a pooled instance can be refilled without
+/// reallocating (the packed cursor and the decode cache both reuse these).
+struct FlatRuleData {
+  int32_t rank = 0;
+  int32_t root = kNullNode;
+  std::vector<RuleNodeView> nodes;
+  std::vector<int32_t> children;
+  std::vector<int32_t> post_order;
+  std::vector<int32_t> star_root_begin;
+  std::vector<LabelId> star_root_labels;
+
+  void Clear() {
+    rank = 0;
+    root = kNullNode;
+    nodes.clear();
+    children.clear();
+    post_order.clear();
+    star_root_begin.clear();
+    star_root_labels.clear();
+  }
+
+  RuleEvalData View() const {
+    RuleEvalData d;
+    d.valid = true;
+    d.rank = rank;
+    d.root = root;
+    d.nodes = nodes;
+    d.children = children;
+    d.post_order = post_order;
+    d.star_root_begin = star_root_begin;
+    d.star_root_labels = star_root_labels;
+    return d;
+  }
+
+  /// Exact heap footprint of the owned arrays: every vector charged at
+  /// its *capacity* (what the allocator actually handed out), not its
+  /// size. The budget accounting in storage/mapped.h relies on this.
+  int64_t HeapBytes() const {
+    return static_cast<int64_t>(nodes.capacity() * sizeof(RuleNodeView) +
+                                children.capacity() * sizeof(int32_t) +
+                                post_order.capacity() * sizeof(int32_t) +
+                                star_root_begin.capacity() * sizeof(int32_t) +
+                                star_root_labels.capacity() * sizeof(LabelId));
+  }
+};
+
+/// Appends the post-order of the flat structure rooted at `root` to
+/// `*out` (⊥ children skipped) — the flat mirror of RulePostOrder, used
+/// by both the flattener below and the packed-direct cursor so every
+/// provider serves an identical walk order.
+void AppendFlatPostOrder(std::span<const RuleNodeView> nodes,
+                         std::span<const int32_t> children, int32_t root,
+                         std::vector<int32_t>* out);
+
+/// Flat mirror of ComputeStarRootLabels: fills the star-root directory
+/// (`begin` gets nodes.size() + 1 offsets) over the flat structure.
+/// `maps == nullptr` leaves both outputs empty (all stars unrestricted).
+void ComputeFlatStarRoots(std::span<const RuleNodeView> nodes,
+                          std::span<const int32_t> children,
+                          const LabelMaps* maps, std::vector<int32_t>* begin,
+                          std::vector<LabelId>* labels);
+
+/// Flattens one decoded rule into the evaluator's flat form, preserving
+/// node ids. The result is identical to what the packed-direct cursor
+/// emits for the same rule's bit-stream (verify/mapped_verify.cc checks
+/// this identity rule by rule).
+void FlattenRule(const GrammarRule& rule, const LabelMaps* maps,
+                 FlatRuleData* out);
 
 /// Source of rules for a GrammarEvaluator. Implementations must tolerate
 /// concurrent Rule() calls from any number of evaluator threads and hand
@@ -59,8 +170,8 @@ class RuleProvider {
   virtual int32_t rule_count() const = 0;
   /// Star (h, s) lookup table shared by all rules.
   virtual std::span<const StarStats> star_stats() const = 0;
-  /// The rule plus its query-independent eval data. A failure (lazy decode
-  /// of corrupt bytes) returns a null `rule`.
+  /// The rule in flat form. A failure (lazy decode of corrupt bytes)
+  /// returns `valid == false`.
   virtual RuleEvalData Rule(int32_t rule) const = 0;
   /// Diagnostic for the most recent Rule() failure; OK when none occurred.
   virtual Status error() const { return Status::OK(); }
@@ -82,15 +193,7 @@ class SynopsisEvalCache : public RuleProvider {
     return grammar_->star_stats();
   }
   RuleEvalData Rule(int32_t rule) const override {
-    return {&grammar_->rule(rule), &rule_post_order(rule),
-            &star_roots(rule)};
-  }
-
-  const std::vector<int32_t>& rule_post_order(int32_t rule) const {
-    return post_orders_[static_cast<size_t>(rule)];
-  }
-  const std::vector<std::vector<LabelId>>& star_roots(int32_t rule) const {
-    return star_roots_[static_cast<size_t>(rule)];
+    return rules_[static_cast<size_t>(rule)].View();
   }
 
   /// Identity of the inputs the cache was built from; evaluators check
@@ -101,14 +204,13 @@ class SynopsisEvalCache : public RuleProvider {
  private:
   const SltGrammar* grammar_ = nullptr;
   const LabelMaps* maps_ = nullptr;
-  std::vector<std::vector<int32_t>> post_orders_;
-  std::vector<std::vector<std::vector<LabelId>>> star_roots_;
+  std::vector<FlatRuleData> rules_;
 };
 
 /// Fallback provider over an eager grammar when no shared cache exists:
-/// post-orders and star-root sets are computed on first touch and kept
-/// for the provider's lifetime. Not thread-safe — each evaluator owns its
-/// own instance, like the rest of its mutable state.
+/// rules are flattened on first touch and kept for the provider's
+/// lifetime. Not thread-safe — each evaluator owns its own instance,
+/// like the rest of its mutable state.
 class LocalRuleProvider final : public RuleProvider {
  public:
   LocalRuleProvider() = default;
@@ -122,15 +224,10 @@ class LocalRuleProvider final : public RuleProvider {
   RuleEvalData Rule(int32_t rule) const override;
 
  private:
-  struct Entry {
-    std::vector<int32_t> post_order;
-    std::vector<std::vector<LabelId>> star_roots;
-  };
-
   const SltGrammar* grammar_ = nullptr;
   const LabelMaps* maps_ = nullptr;
   // node_hash_map-style stability: unordered_map never moves its values.
-  mutable std::unordered_map<int32_t, Entry> entries_;
+  mutable std::unordered_map<int32_t, FlatRuleData> entries_;
 };
 
 }  // namespace xmlsel

@@ -139,16 +139,14 @@ XMLSEL_HOT bool GrammarEvaluator::PushTask(int32_t memo_id,
   // (or decoded on first touch by a mapped provider), else computed once
   // per rule in this evaluator. All providers hand out stable references.
   RuleEvalData d = src_->Rule(key[0]);
-  if (d.rule == nullptr) return false;
+  if (!d.valid) return false;
   // xmlsel-lint: allow(hot-alloc): pool grows to peak stack depth once
   if (live_tasks_ == tasks_.size()) tasks_.emplace_back();
   Task& t = tasks_[live_tasks_++];
   t.memo_id = memo_id;
   t.rule = key[0];
-  t.rhs = d.rule;
-  t.order = d.post_order;
-  t.star_roots = d.star_roots;
-  size_t nodes = d.rule->nodes.size();
+  t.data = d;
+  size_t nodes = d.nodes.size();
   // xmlsel-lint: allow(hot-alloc): slot grows to the widest rule once
   if (t.value.size() < nodes) t.value.resize(nodes);
   t.next = 0;
@@ -184,8 +182,8 @@ XMLSEL_HOT GrammarEvalResult GrammarEvaluator::Evaluate() {
     }
     while (!provider_failed && live_tasks_ > 0) {
       Task& t = tasks_[live_tasks_ - 1];
-      const GrammarRule& r = *t.rhs;
-      if (t.next == t.order->size()) {
+      const RuleEvalData& r = t.data;
+      if (t.next == r.post_order.size()) {
         // Rule done: record σ and retire the task (its slots persist).
         Sigma& sigma = memo_.sigma(t.memo_id);
         if (r.root != kNullNode) {
@@ -201,8 +199,8 @@ XMLSEL_HOT GrammarEvalResult GrammarEvaluator::Evaluate() {
         --live_tasks_;
         continue;
       }
-      int32_t id = (*t.order)[t.next];
-      const GrammarNode& n = r.nodes[static_cast<size_t>(id)];
+      int32_t id = r.post_order[t.next];
+      const RuleNodeView& n = r.nodes[static_cast<size_t>(id)];
       auto child_ann = [&](int32_t c) -> const Ann& {
         if (c == kNullNode) return kEmpty;
         return t.value[static_cast<size_t>(c)];
@@ -222,8 +220,9 @@ XMLSEL_HOT GrammarEvalResult GrammarEvaluator::Evaluate() {
           break;
         }
         case GrammarNode::Kind::kTerminal: {
+          std::span<const int32_t> kids = r.children_of(id);
           CountingTransitionInto<LinearOps>(
-              *cq_, &reg_, child_ann(n.children[0]), child_ann(n.children[1]),
+              *cq_, &reg_, child_ann(kids[0]), child_ann(kids[1]),
               n.sym, /*dedup=*/mode_ == BoundMode::kLower, &scratch_,
               &t.value[static_cast<size_t>(id)]);
           ++t.next;
@@ -231,20 +230,16 @@ XMLSEL_HOT GrammarEvalResult GrammarEvaluator::Evaluate() {
         }
         case GrammarNode::Kind::kStar: {
           args_scratch_.clear();
-          for (int32_t c : n.children) {
+          for (int32_t c : r.children_of(id)) {
             // xmlsel-lint: allow(hot-alloc): retained scratch, capacity kept
             args_scratch_.push_back(&child_ann(c));
           }
           if (mode_ == BoundMode::kLower) {
             star_.Lower(args_scratch_, &t.value[static_cast<size_t>(id)]);
           } else {
-            static const std::vector<LabelId> kNoRoots;
-            const auto& roots = *t.star_roots;
-            const std::vector<LabelId>& root_set =
-                roots.empty() ? kNoRoots : roots[static_cast<size_t>(id)];
             star_.Upper(args_scratch_,
                         src_->star_stats()[static_cast<size_t>(n.sym)],
-                        root_set, &t.value[static_cast<size_t>(id)]);
+                        r.star_roots_of(id), &t.value[static_cast<size_t>(id)]);
           }
           ++t.next;
           break;
@@ -254,7 +249,7 @@ XMLSEL_HOT GrammarEvalResult GrammarEvaluator::Evaluate() {
           // xmlsel-lint: allow(hot-alloc): retained scratch, capacity kept
           key_scratch_.push_back(n.sym);
           args_scratch_.clear();
-          for (int32_t c : n.children) {
+          for (int32_t c : r.children_of(id)) {
             const Ann& a = child_ann(c);
             // xmlsel-lint: allow(hot-alloc): retained scratch, capacity kept
             args_scratch_.push_back(&a);

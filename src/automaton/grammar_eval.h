@@ -178,14 +178,12 @@ class GrammarEvaluator {
 
   /// One rule-evaluation task. Tasks are pooled: popping retires the
   /// task object, whose per-node Ann slots (and their counts capacity)
-  /// are reused by the next push. The rule pointers are resolved once at
-  /// push time (one provider lookup per task, not per node visit).
+  /// are reused by the next push. The rule's flat view is resolved once
+  /// at push time (one provider lookup per task, not per node visit).
   struct Task {
     int32_t memo_id = -1;              // σ entry this task will fill
     int32_t rule = -1;
-    const GrammarRule* rhs = nullptr;
-    const std::vector<int32_t>* order = nullptr;  // post-order RHS ids
-    const std::vector<std::vector<LabelId>>* star_roots = nullptr;
+    RuleEvalData data;                 // flat spans into provider storage
     size_t next = 0;
     std::vector<Ann> value;            // per RHS node (indexed by id)
   };

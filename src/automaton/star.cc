@@ -39,7 +39,7 @@ XMLSEL_HOT void StarEvaluator::Lower(std::span<const Ann* const> children,
 
 XMLSEL_HOT void StarEvaluator::Upper(std::span<const Ann* const> children,
                           const StarStats& stats,
-                          const std::vector<LabelId>& root_labels,
+                          std::span<const LabelId> root_labels,
                           Ann* out) {
   const Query& q = cq_->query();
 

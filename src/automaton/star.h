@@ -57,9 +57,9 @@ class StarEvaluator {
   void Lower(std::span<const Ann* const> children, Ann* out);
 
   /// Upper-bound state. `root_labels` is the set of labels the hidden
-  /// roots may carry (empty vector = unrestricted).
+  /// roots may carry (empty span = unrestricted; {-1} = none possible).
   void Upper(std::span<const Ann* const> children, const StarStats& stats,
-             const std::vector<LabelId>& root_labels, Ann* out);
+             std::span<const LabelId> root_labels, Ann* out);
 
  private:
   const CompiledQuery* cq_;

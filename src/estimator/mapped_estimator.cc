@@ -25,6 +25,7 @@ ServingView MappedEstimator::View() const {
   view.query_cache = &query_cache_;
   view.label_totals = image_->label_totals();
   view.element_total = image_->element_total();
+  if (direct_) view.direct_layer = &image_->lossy_layer();
   return view;
 }
 

@@ -46,11 +46,12 @@ class MappedEstimator {
       : image_(std::move(image)), names_(image_->names()) {}
 
   MappedEstimator(const MappedEstimator& o)
-      : image_(o.image_), names_(o.names_) {}
+      : image_(o.image_), names_(o.names_), direct_(o.direct_) {}
   MappedEstimator& operator=(const MappedEstimator& o) {
     if (this != &o) {
       image_ = o.image_;
       names_ = o.names_;
+      direct_ = o.direct_;
       query_cache_.Clear();
       pool_.reset();
     }
@@ -85,12 +86,21 @@ class MappedEstimator {
     return image_->lossy_layer().cache_stats();
   }
 
+  /// Packed-direct mode: evaluate straight over the mmap'd bits through
+  /// per-call DirectRuleProviders instead of the image's shared decode
+  /// cache. Results are bit-identical; the image's decoded_rules stays 0
+  /// for queries served by this estimator. Copied along with the
+  /// estimator.
+  void set_direct(bool direct) { direct_ = direct; }
+  bool direct() const { return direct_; }
+
  private:
   ServingView View() const;
   ThreadPool* pool(int32_t threads);
 
   std::shared_ptr<const MappedSynopsis> image_;
   NameTable names_;
+  bool direct_ = false;
   mutable CompiledQueryCache query_cache_;
   std::unique_ptr<ThreadPool> pool_;
 };

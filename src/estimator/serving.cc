@@ -5,9 +5,11 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "automaton/grammar_eval.h"
+#include "xmlsel/rcu.h"
 
 namespace xmlsel {
 
@@ -16,9 +18,31 @@ namespace {
 using PreparedHandle = std::shared_ptr<const PreparedQuery>;
 
 /// One bound evaluation; the count is meaningful only when the returned
-/// status is OK.
+/// status is OK. The RCU guard pins any decode-cache rules the evaluator
+/// borrows, so a concurrent EnforceDecodeBudget on the underlying image
+/// can never free them mid-evaluation.
+///
+/// On the packed-direct path, `direct_scratch` (optional) is a provider
+/// shared by the caller across both bounds of one query so each reached
+/// rule streams off the bits once per query instead of once per bound.
+/// It must be confined to the calling thread; pass nullptr when the two
+/// bounds may run on different threads and each call builds its own.
 Result<int64_t> EvaluateBound(const ServingView& view, const CompiledQuery& cq,
-                              BoundMode mode) {
+                              BoundMode mode,
+                              DirectRuleProvider* direct_scratch = nullptr) {
+  RcuDomain::ReadGuard guard;
+  if (view.direct_layer != nullptr) {
+    std::optional<DirectRuleProvider> local;
+    DirectRuleProvider* direct = direct_scratch;
+    if (direct == nullptr) {
+      local.emplace(view.direct_layer);
+      direct = &*local;
+    }
+    GrammarEvaluator eval(direct, &cq, view.maps, mode);
+    GrammarEvalResult r = eval.Evaluate();
+    if (!r.status.ok()) return r.status;
+    return r.count;
+  }
   GrammarEvaluator eval(view.provider, &cq, view.maps, mode);
   GrammarEvalResult r = eval.Evaluate();
   if (!r.status.ok()) return r.status;
@@ -41,6 +65,29 @@ SelectivityEstimate Finalize(const ServingView& view, const PreparedQuery& pq,
 
 }  // namespace
 
+RuleEvalData DirectRuleProvider::Rule(int32_t rule) const {
+  if (rule < 0 || rule >= rule_count()) {
+    if (error_.ok()) {
+      error_ = Status::Corruption("direct: rule index " +
+                                  std::to_string(rule) + " out of range");
+    }
+    return {};
+  }
+  const size_t r = static_cast<size_t>(rule);
+  if (rules_[r] == nullptr) {
+    auto fresh = std::make_unique<FlatRuleData>();
+    Status st = cursor_.DecodeFlat(rule, layer_->rule_offset(rule),
+                                   layer_->rule_bit_len(rule), fresh.get());
+    if (!st.ok()) {
+      if (error_.ok()) error_ = st;
+      return {};
+    }
+    layer_->CountDirectDecode();
+    rules_[r] = std::move(fresh);
+  }
+  return rules_[r]->View();
+}
+
 int64_t ServingLabelTotal(const ServingView& view, LabelId label) {
   if (label < 0 || label >= static_cast<LabelId>(view.label_totals.size())) {
     return view.element_total;
@@ -56,10 +103,16 @@ Result<SelectivityEstimate> EstimateQueryOnView(const ServingView& view,
   if (pq.unsatisfiable) {
     return SelectivityEstimate{0, 0};  // provably empty: exact answer
   }
-  Result<int64_t> lower = EvaluateBound(view, pq.lower, BoundMode::kLower);
+  // Both bounds run on this thread, so on the direct path they can share
+  // one provider: each reached rule streams off the mmap'd bits once.
+  std::optional<DirectRuleProvider> shared;
+  if (view.direct_layer != nullptr) shared.emplace(view.direct_layer);
+  DirectRuleProvider* scratch = shared ? &*shared : nullptr;
+  Result<int64_t> lower =
+      EvaluateBound(view, pq.lower, BoundMode::kLower, scratch);
   if (!lower.ok()) return lower.status();
   Result<int64_t> upper =
-      EvaluateBound(view, UpperQueryOf(pq), BoundMode::kUpper);
+      EvaluateBound(view, UpperQueryOf(pq), BoundMode::kUpper, scratch);
   if (!upper.ok()) return upper.status();
   return Finalize(view, pq, lower.value(), upper.value());
 }
@@ -87,15 +140,17 @@ std::vector<Result<SelectivityEstimate>> EstimateBatchOnView(
   std::vector<int64_t> upper_counts(n, 0);
   std::vector<Status> lower_status(n);
   std::vector<Status> upper_status(n);
-  auto eval_one = [&](size_t i, BoundMode mode) {
+  auto eval_one = [&](size_t i, BoundMode mode,
+                      DirectRuleProvider* scratch) {
     const PreparedQuery& pq = *prepared[i].value();
     if (mode == BoundMode::kLower) {
-      Result<int64_t> r = EvaluateBound(view, pq.lower, BoundMode::kLower);
+      Result<int64_t> r =
+          EvaluateBound(view, pq.lower, BoundMode::kLower, scratch);
       if (r.ok()) lower_counts[i] = r.value();
       else lower_status[i] = r.status();
     } else {
       Result<int64_t> r =
-          EvaluateBound(view, UpperQueryOf(pq), BoundMode::kUpper);
+          EvaluateBound(view, UpperQueryOf(pq), BoundMode::kUpper, scratch);
       if (r.ok()) upper_counts[i] = r.value();
       else upper_status[i] = r.status();
     }
@@ -103,14 +158,23 @@ std::vector<Result<SelectivityEstimate>> EstimateBatchOnView(
   if (threads == 1 || pool == nullptr) {
     for (size_t i = 0; i < n; ++i) {
       if (!prepared[i].ok() || prepared[i].value()->unsatisfiable) continue;
-      eval_one(i, BoundMode::kLower);
-      eval_one(i, BoundMode::kUpper);
+      // Inline: both bounds run here, so the direct path shares one
+      // provider per query (same trick as EstimateQueryOnView).
+      std::optional<DirectRuleProvider> shared;
+      if (view.direct_layer != nullptr) shared.emplace(view.direct_layer);
+      DirectRuleProvider* scratch = shared ? &*shared : nullptr;
+      eval_one(i, BoundMode::kLower, scratch);
+      eval_one(i, BoundMode::kUpper, scratch);
     }
   } else {
     for (size_t i = 0; i < n; ++i) {
       if (!prepared[i].ok() || prepared[i].value()->unsatisfiable) continue;
-      pool->Submit([&eval_one, i] { eval_one(i, BoundMode::kLower); });
-      pool->Submit([&eval_one, i] { eval_one(i, BoundMode::kUpper); });
+      // Pooled: the two bounds may land on different threads, so each
+      // task builds its own thread-confined direct provider.
+      pool->Submit(
+          [&eval_one, i] { eval_one(i, BoundMode::kLower, nullptr); });
+      pool->Submit(
+          [&eval_one, i] { eval_one(i, BoundMode::kUpper, nullptr); });
     }
     pool->Wait();
   }

@@ -33,31 +33,39 @@ int32_t ServingCatalog::ShardIndex(std::string_view tenant) const {
 template <typename Factory>
 uint64_t ServingCatalog::PublishWith(std::string_view tenant,
                                      Factory&& snapshot_factory) {
-  Shard& shard = ShardFor(tenant);
-  CountedMutexLock lock(shard.writer_mu);
-  std::shared_ptr<const TenantMap> current = shard.directory.Read().Pin();
-  std::shared_ptr<TenantState> state;
-  if (current != nullptr) {
-    auto it = current->find(tenant);
-    if (it != current->end()) state = it->second;
+  uint64_t version;
+  {
+    Shard& shard = ShardFor(tenant);
+    CountedMutexLock lock(shard.writer_mu);
+    std::shared_ptr<const TenantMap> current = shard.directory.Read().Pin();
+    std::shared_ptr<TenantState> state;
+    if (current != nullptr) {
+      auto it = current->find(tenant);
+      if (it != current->end()) state = it->second;
+    }
+    const bool fresh = state == nullptr;
+    if (fresh) state = std::make_shared<TenantState>(std::string(tenant));
+    version = state->next_version.fetch_add(1, std::memory_order_relaxed);
+    // Snapshot construction (eval-cache build for the eager form) happens
+    // here, on the writer — the published pointer is fully built before
+    // any reader can load it.
+    state->cell.Publish(snapshot_factory(version));
+    if (fresh) {
+      // Copy-on-write directory update, *after* the snapshot is in place:
+      // a reader that finds the tenant always finds a served version.
+      auto next = current == nullptr ? std::make_shared<TenantMap>()
+                                     : std::make_shared<TenantMap>(*current);
+      (*next)[state->id] = state;
+      shard.directory.Publish(std::move(next));
+    }
+    shard.publishes.fetch_add(1, std::memory_order_relaxed);
   }
-  const bool fresh = state == nullptr;
-  if (fresh) state = std::make_shared<TenantState>(std::string(tenant));
-  uint64_t version =
-      state->next_version.fetch_add(1, std::memory_order_relaxed);
-  // Snapshot construction (eval-cache build for the eager form) happens
-  // here, on the writer — the published pointer is fully built before any
-  // reader can load it.
-  state->cell.Publish(snapshot_factory(version));
-  if (fresh) {
-    // Copy-on-write directory update, *after* the snapshot is in place:
-    // a reader that finds the tenant always finds a served version.
-    auto next = current == nullptr ? std::make_shared<TenantMap>()
-                                   : std::make_shared<TenantMap>(*current);
-    (*next)[state->id] = state;
-    shard.directory.Publish(std::move(next));
+  // Budget enforcement walks every shard's directory and takes each
+  // image's evict mutex — strictly after the shard writer lock is
+  // released, so publish and enforcement never nest locks.
+  if (decode_budget_.load(std::memory_order_relaxed) > 0) {
+    EnforceDecodeBudget();
   }
-  shard.publishes.fetch_add(1, std::memory_order_relaxed);
   return version;
 }
 
@@ -180,6 +188,70 @@ Result<SnapshotStats> ServingCatalog::TenantStats(
   return snap->Stats();
 }
 
+std::vector<std::shared_ptr<const MappedSynopsis>>
+ServingCatalog::ServedImages() const {
+  // Directory walk, not Acquire: budget enforcement and stats must not
+  // pollute the hit/miss counters the serving bench gates on. Pinning the
+  // snapshot inside the directory read guard keeps its image alive after
+  // the guard drops; several tenants may serve the same image, so dedupe
+  // by the raw image pointer.
+  std::vector<std::shared_ptr<const MappedSynopsis>> images;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    RcuCell<TenantMap>::Ref dir = shard->directory.Read();
+    if (!dir) continue;
+    for (const auto& [id, state] : *dir) {
+      std::shared_ptr<const ServingSnapshot> snap = state->cell.Read().Pin();
+      if (snap == nullptr || !snap->is_mapped()) continue;
+      const std::shared_ptr<const MappedSynopsis>& image = snap->mapped_image();
+      if (image == nullptr) continue;
+      bool seen = false;
+      for (const auto& have : images) {
+        if (have.get() == image.get()) { seen = true; break; }
+      }
+      if (!seen) images.push_back(image);
+    }
+  }
+  return images;
+}
+
+int64_t ServingCatalog::EnforceDecodeBudget() const {
+  const int64_t budget = decode_budget_.load(std::memory_order_relaxed);
+  if (budget <= 0) return 0;
+  std::vector<std::shared_ptr<const MappedSynopsis>> images = ServedImages();
+  int64_t total = 0;
+  for (const auto& image : images) {
+    total += image->Stats().resident_bytes();
+  }
+  if (total <= budget) return 0;
+  // Largest-resident images shed first: one pass over the sorted order
+  // reaches the budget while touching as few images as possible. Each
+  // image's target is its share after the catalog-wide excess is taken
+  // out of it; the running total is refreshed from the image's actual
+  // post-eviction residency, so concurrent decodes are accounted for.
+  std::sort(images.begin(), images.end(),
+            [](const auto& a, const auto& b) {
+              return a->Stats().resident_bytes() > b->Stats().resident_bytes();
+            });
+  int64_t evicted = 0;
+  for (const auto& image : images) {
+    if (total <= budget) break;
+    const int64_t before = image->Stats().resident_bytes();
+    const int64_t excess = total - budget;
+    const int64_t target = before > excess ? before - excess : 0;
+    evicted += image->EnforceDecodeBudget(target);
+    total += image->Stats().resident_bytes() - before;
+  }
+  return evicted;
+}
+
+int64_t ServingCatalog::ReclaimEvictedRules() const {
+  int64_t freed = 0;
+  for (const auto& image : ServedImages()) {
+    freed += image->ReclaimEvictedRules();
+  }
+  return freed;
+}
+
 CatalogStats ServingCatalog::Stats() const {
   CatalogStats out;
   out.shards.reserve(shards_.size());
@@ -208,6 +280,14 @@ CatalogStats ServingCatalog::Stats() const {
     out.publishes += s.publishes;
     out.reader_fast_path_locks += s.reader_fast_path_locks;
     out.shards.push_back(s);
+  }
+  out.decode_budget_bytes = decode_budget_.load(std::memory_order_relaxed);
+  for (const auto& image : ServedImages()) {
+    MappedSynopsisStats residency = image->Stats();
+    out.decoded_rules += residency.decoded_rules();
+    out.decode_resident_bytes += residency.resident_bytes();
+    out.decode_evictions += residency.lossless.evictions +
+                            residency.lossy.evictions;
   }
   return out;
 }

@@ -66,6 +66,12 @@ struct CatalogStats {
   int64_t misses = 0;
   int64_t publishes = 0;
   int64_t reader_fast_path_locks = 0;
+  /// Decode-cache aggregates over the distinct mapped images currently
+  /// served (deduplicated — several tenants may share one image).
+  int64_t decoded_rules = 0;
+  int64_t decode_resident_bytes = 0;
+  int64_t decode_evictions = 0;
+  int64_t decode_budget_bytes = 0;  ///< 0 = unbounded
 };
 
 /// One batch's results plus the version that produced them. Every result
@@ -145,6 +151,30 @@ class ServingCatalog {
 
   CatalogStats Stats() const;
 
+  /// Sets the catalog-wide decode-cache budget in bytes (≤ 0 = unbounded).
+  /// The budget covers the summed decode-cache residency of every distinct
+  /// mapped image currently served. Takes effect on the next publish or
+  /// explicit EnforceDecodeBudget call.
+  void SetDecodeBudget(int64_t budget_bytes) {
+    decode_budget_.store(budget_bytes < 0 ? 0 : budget_bytes,
+                         std::memory_order_relaxed);
+  }
+  int64_t decode_budget() const {
+    return decode_budget_.load(std::memory_order_relaxed);
+  }
+
+  /// Walks every served mapped image (deduplicated) and evicts decoded
+  /// rules — largest-resident images first — until the summed residency
+  /// fits the budget. No-op when unbounded. Readers mid-batch keep any
+  /// rule they borrowed until the RCU grace period expires; re-decodes
+  /// repopulate evicted slots on demand with bit-identical contents.
+  /// Returns the number of rules evicted.
+  int64_t EnforceDecodeBudget() const;
+
+  /// Frees evicted rules whose RCU grace period has expired, across all
+  /// served images. Returns the number of rules freed.
+  int64_t ReclaimEvictedRules() const;
+
  private:
   struct TenantState {
     explicit TenantState(std::string id) : id(std::move(id)) {}
@@ -171,11 +201,17 @@ class ServingCatalog {
   }
 
   /// Finds-or-creates the tenant state under the shard writer lock and
-  /// publishes `snapshot_factory(version)` into its cell.
+  /// publishes `snapshot_factory(version)` into its cell. Enforces the
+  /// decode budget (if bounded) after the lock is released.
   template <typename Factory>
   uint64_t PublishWith(std::string_view tenant, Factory&& snapshot_factory);
 
+  /// Distinct mapped images currently served, pinned (directory walk, no
+  /// Acquire — hit/miss counters stay untouched).
+  std::vector<std::shared_ptr<const MappedSynopsis>> ServedImages() const;
+
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int64_t> decode_budget_{0};  ///< 0 = unbounded
 };
 
 }  // namespace xmlsel

@@ -15,6 +15,7 @@
 
 #include "storage/bitio.h"
 #include "storage/packed.h"
+#include "xmlsel/rcu.h"
 
 namespace xmlsel {
 
@@ -199,6 +200,10 @@ MappedSynopsis::Layer::~Layer() {
   for (auto& slot : slots_) {
     delete slot.load(std::memory_order_acquire);
   }
+  MutexLock lock(evict_mu_);
+  for (const RetiredRule& r : retired_) {
+    delete r.rule;
+  }
 }
 
 void MappedSynopsis::Layer::SetError(const Status& st) const {
@@ -211,8 +216,8 @@ Status MappedSynopsis::Layer::error() const {
   return error_;
 }
 
-Status MappedSynopsis::Layer::DecodeRuleFresh(int32_t rule,
-                                              MappedDecodedRule* out) const {
+Status MappedSynopsis::Layer::DecodeRuleEager(int32_t rule,
+                                              GrammarRule* out) const {
   if (rule < 0 || rule >= rule_count()) {
     return Status::Corruption("mapped: rule index " + std::to_string(rule) +
                               " out of range (layer has " +
@@ -248,22 +253,20 @@ Status MappedSynopsis::Layer::DecodeRuleFresh(int32_t rule,
         std::to_string(reader.position()) + " bits, directory declares " +
         std::to_string(bit_len));
   }
-  out->rule = std::move(decoded);
-  out->post_order = RulePostOrder(out->rule);
-  out->star_roots = ComputeStarRootLabels(out->rule, maps_);
-  int64_t bytes = static_cast<int64_t>(sizeof(MappedDecodedRule));
-  bytes += static_cast<int64_t>(out->rule.nodes.size() * sizeof(GrammarNode));
-  for (const GrammarNode& n : out->rule.nodes) {
-    bytes += static_cast<int64_t>(n.children.size() * sizeof(int32_t));
-  }
-  bytes += static_cast<int64_t>(out->post_order.size() * sizeof(int32_t));
-  bytes += static_cast<int64_t>(out->star_roots.size() *
-                                sizeof(std::vector<LabelId>));
-  for (const auto& roots : out->star_roots) {
-    bytes += static_cast<int64_t>(roots.size() * sizeof(LabelId));
-  }
-  out->resident_bytes = bytes;
+  *out = std::move(decoded);
   return Status::OK();
+}
+
+Status MappedSynopsis::Layer::DecodeRuleFlat(int32_t rule,
+                                             FlatRuleData* out) const {
+  if (rule < 0 || rule >= rule_count()) {
+    return Status::Corruption("mapped: rule index " + std::to_string(rule) +
+                              " out of range (layer has " +
+                              std::to_string(rule_count()) + " rules)");
+  }
+  const size_t r = static_cast<size_t>(rule);
+  PackedRuleCursor cursor = MakeCursor();
+  return cursor.DecodeFlat(rule, offsets_[r], bit_lens_[r], out);
 }
 
 RuleEvalData MappedSynopsis::Layer::Rule(int32_t rule) const {
@@ -272,20 +275,24 @@ RuleEvalData MappedSynopsis::Layer::Rule(int32_t rule) const {
                                 " out of range"));
     return {};
   }
-  std::atomic<const MappedDecodedRule*>& slot =
-      slots_[static_cast<size_t>(rule)];
+  const size_t r = static_cast<size_t>(rule);
+  std::atomic<const MappedDecodedRule*>& slot = slots_[r];
   const MappedDecodedRule* d = slot.load(std::memory_order_acquire);
   if (d != nullptr) {
     hits_.fetch_add(1, std::memory_order_relaxed);
-    return {&d->rule, &d->post_order, &d->star_roots};
+    ref_bits_[r].store(1, std::memory_order_relaxed);
+    return d->data.View();
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   auto fresh = std::make_unique<MappedDecodedRule>();
-  Status st = DecodeRuleFresh(rule, fresh.get());
+  Status st = DecodeRuleFlat(rule, &fresh->data);
   if (!st.ok()) {
     SetError(st);
     return {};
   }
+  fresh->resident_bytes =
+      static_cast<int64_t>(sizeof(MappedDecodedRule)) +
+      fresh->data.HeapBytes();
   const MappedDecodedRule* expected = nullptr;
   if (slot.compare_exchange_strong(expected, fresh.get(),
                                    std::memory_order_acq_rel,
@@ -293,10 +300,11 @@ RuleEvalData MappedSynopsis::Layer::Rule(int32_t rule) const {
     d = fresh.release();
     decoded_rules_.fetch_add(1, std::memory_order_relaxed);
     resident_bytes_.fetch_add(d->resident_bytes, std::memory_order_relaxed);
+    ref_bits_[r].store(1, std::memory_order_relaxed);
   } else {
     d = expected;  // another thread installed first; drop our copy
   }
-  return {&d->rule, &d->post_order, &d->star_roots};
+  return d->data.View();
 }
 
 MappedCacheStats MappedSynopsis::Layer::cache_stats() const {
@@ -305,8 +313,158 @@ MappedCacheStats MappedSynopsis::Layer::cache_stats() const {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.decoded_rules = decoded_rules_.load(std::memory_order_relaxed);
   s.resident_bytes = resident_bytes_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.direct_decodes = direct_decodes_.load(std::memory_order_relaxed);
   s.total_rules = rule_count();
   return s;
+}
+
+void MappedSynopsis::Layer::EnsureSweepOrderLocked() const {
+  const int32_t n = rule_count();
+  if (!sweep_order_.empty() || n == 0) return;
+  std::vector<char> reach(static_cast<size_t>(n), 0);
+  std::vector<int32_t> work;
+  std::vector<int32_t> callees;
+  PackedRuleCursor cursor = MakeCursor();
+  const int32_t start = n - 1;
+  reach[static_cast<size_t>(start)] = 1;
+  work.push_back(start);
+  bool scanned_ok = true;
+  while (!work.empty()) {
+    const int32_t r = work.back();
+    work.pop_back();
+    callees.clear();
+    Status st = cursor.ScanCalls(r, offsets_[static_cast<size_t>(r)],
+                                 bit_lens_[static_cast<size_t>(r)], &callees);
+    if (!st.ok()) {
+      SetError(st);
+      scanned_ok = false;
+      break;
+    }
+    for (int32_t c : callees) {
+      if (!reach[static_cast<size_t>(c)]) {
+        reach[static_cast<size_t>(c)] = 1;
+        work.push_back(c);
+      }
+    }
+  }
+  sweep_order_.reserve(static_cast<size_t>(n));
+  if (!scanned_ok) {
+    // Corrupt call graph: fall back to plain ascending order and treat
+    // everything as reachable (never under-evict because of bad bytes).
+    for (int32_t i = 0; i < n; ++i) sweep_order_.push_back(i);
+    reachable_count_ = n;
+    return;
+  }
+  int32_t reachable = 0;
+  for (int32_t i = 0; i < n; ++i) {
+    if (!reach[static_cast<size_t>(i)]) sweep_order_.push_back(i);
+  }
+  for (int32_t i = 0; i < n; ++i) {
+    if (reach[static_cast<size_t>(i)]) {
+      sweep_order_.push_back(i);
+      ++reachable;
+    }
+  }
+  reachable_count_ = reachable;
+}
+
+int64_t MappedSynopsis::Layer::EvictToBudget(int64_t target_bytes) const {
+  MutexLock lock(evict_mu_);
+  const int32_t n = rule_count();
+  if (n == 0) return 0;
+  EnsureSweepOrderLocked();
+  int64_t evicted = 0;
+  // Two full revolutions bound the sweep: the first clears every ref
+  // bit, the second may then evict every slot — so with quiesced
+  // readers the loop provably reaches any feasible target.
+  const size_t limit = 2 * static_cast<size_t>(n);
+  size_t scanned = 0;
+  while (resident_bytes_.load(std::memory_order_relaxed) > target_bytes &&
+         scanned < limit) {
+    const size_t r = static_cast<size_t>(
+        sweep_order_[clock_hand_ % sweep_order_.size()]);
+    ++clock_hand_;
+    ++scanned;
+    std::atomic<const MappedDecodedRule*>& slot = slots_[r];
+    if (slot.load(std::memory_order_acquire) == nullptr) continue;
+    if (ref_bits_[r].exchange(0, std::memory_order_acq_rel) != 0) {
+      continue;  // second chance: referenced since the last sweep
+    }
+    const MappedDecodedRule* victim =
+        slot.exchange(nullptr, std::memory_order_acq_rel);
+    if (victim == nullptr) continue;
+    decoded_rules_.fetch_sub(1, std::memory_order_relaxed);
+    resident_bytes_.fetch_sub(victim->resident_bytes,
+                              std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    ++evicted;
+    // Readers inside an RCU guard may still hold views into the victim:
+    // stamp it and free it only once the grace period has passed.
+    retired_.push_back({victim, RcuDomain::Global().Retire()});
+  }
+  ReclaimLocked();
+  return evicted;
+}
+
+int64_t MappedSynopsis::Layer::ReclaimLocked() const {
+  const uint64_t safe = RcuDomain::Global().SafeEpoch();
+  int64_t freed = 0;
+  size_t keep = 0;
+  for (size_t i = 0; i < retired_.size(); ++i) {
+    if (retired_[i].epoch < safe) {
+      delete retired_[i].rule;
+      ++freed;
+    } else {
+      retired_[keep++] = retired_[i];
+    }
+  }
+  retired_.resize(keep);
+  return freed;
+}
+
+int64_t MappedSynopsis::Layer::ReclaimEvicted() const {
+  MutexLock lock(evict_mu_);
+  return ReclaimLocked();
+}
+
+int32_t MappedSynopsis::Layer::ReachableRuleCount() const {
+  MutexLock lock(evict_mu_);
+  EnsureSweepOrderLocked();
+  return reachable_count_;
+}
+
+Status MappedSynopsis::Layer::AuditDecodeCache() const {
+  MutexLock lock(evict_mu_);
+  int64_t count = 0;
+  int64_t bytes = 0;
+  for (size_t r = 0; r < slots_.size(); ++r) {
+    const MappedDecodedRule* d = slots_[r].load(std::memory_order_acquire);
+    if (d == nullptr) continue;
+    const int64_t exact = static_cast<int64_t>(sizeof(MappedDecodedRule)) +
+                          d->data.HeapBytes();
+    if (d->resident_bytes != exact) {
+      return Status::Corruption(
+          "mapped: rule " + std::to_string(r) + " charged " +
+          std::to_string(d->resident_bytes) +
+          " resident bytes, exact footprint is " + std::to_string(exact));
+    }
+    ++count;
+    bytes += d->resident_bytes;
+  }
+  const int64_t counted = decoded_rules_.load(std::memory_order_relaxed);
+  if (count != counted) {
+    return Status::Corruption(
+        "mapped: decode cache holds " + std::to_string(count) +
+        " rules, counter says " + std::to_string(counted));
+  }
+  const int64_t resident = resident_bytes_.load(std::memory_order_relaxed);
+  if (bytes != resident) {
+    return Status::Corruption(
+        "mapped: decode cache holds " + std::to_string(bytes) +
+        " resident bytes, counter says " + std::to_string(resident));
+  }
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -569,6 +727,8 @@ Status MappedSynopsis::Init(const uint8_t* data, size_t size,
     std::vector<std::atomic<const MappedDecodedRule*>> slots(
         static_cast<size_t>(rules));
     L.slots_ = std::move(slots);
+    std::vector<std::atomic<uint8_t>> ref_bits(static_cast<size_t>(rules));
+    L.ref_bits_ = std::move(ref_bits);
   }
   return Status::OK();
 }
@@ -603,11 +763,31 @@ Result<SltGrammar> MappedSynopsis::AssembleGrammar(int layer) const {
     }
   }
   for (int32_t i = 0; i < L.rule_count(); ++i) {
-    MappedDecodedRule d;
-    XMLSEL_RETURN_IF_ERROR(L.DecodeRuleFresh(i, &d));
-    g.AddRule(std::move(d.rule));
+    GrammarRule r;
+    XMLSEL_RETURN_IF_ERROR(L.DecodeRuleEager(i, &r));
+    g.AddRule(std::move(r));
   }
   return g;
+}
+
+int64_t MappedSynopsis::EnforceDecodeBudget(int64_t budget_bytes) const {
+  if (budget_bytes < 0) budget_bytes = 0;
+  const int64_t resident =
+      layers_[0].cache_stats().resident_bytes +
+      layers_[1].cache_stats().resident_bytes;
+  if (resident <= budget_bytes) return 0;
+  // The lossless layer is cold by design (only thaw/verify touch it);
+  // drain it first so the serving layer keeps as much budget as possible.
+  int64_t evicted = layers_[0].EvictToBudget(0);
+  const int64_t lossless_left = layers_[0].cache_stats().resident_bytes;
+  int64_t lossy_target = budget_bytes - lossless_left;
+  if (lossy_target < 0) lossy_target = 0;
+  evicted += layers_[1].EvictToBudget(lossy_target);
+  return evicted;
+}
+
+int64_t MappedSynopsis::ReclaimEvictedRules() const {
+  return layers_[0].ReclaimEvicted() + layers_[1].ReclaimEvicted();
 }
 
 Result<Synopsis> MappedSynopsis::Thaw() const {

@@ -31,6 +31,24 @@
 // VerifyMappedImage), not on every open — the per-rule decoder
 // bounds-checks every read, so a flipped payload bit surfaces as a
 // kCorruption status at first touch, never as UB.
+//
+// Two consumption modes share each layer:
+//
+//  * Decode cache — Rule() materializes a rule's flat eval form
+//    (FlatRuleData) on first touch into a per-rule slot. Slots are no
+//    longer grow-only: EvictToBudget runs a CLOCK (second-chance) sweep
+//    in reachability-pruned order — statically unreachable rules first,
+//    then reachable ones leaf-to-root — and retires victims through the
+//    global RCU domain (xmlsel/rcu.h), so readers holding an
+//    RcuDomain::ReadGuard (every EvaluateBound does) can keep using a
+//    view across a concurrent eviction. resident_bytes accounting is
+//    exact: every decoded rule is charged sizeof(MappedDecodedRule) plus
+//    its vectors' *capacities* (AuditDecodeCache re-derives the totals).
+//  * Packed-direct — MakeCursor() hands out a PackedRuleCursor that
+//    walks E(R_i) streams in place; the DirectRuleProvider serving path
+//    (estimator/serving.h) decodes into provider-local storage and never
+//    touches the shared slots, so a direct-only tenant keeps
+//    decoded_rules == 0 for the image's whole lifetime.
 
 #ifndef XMLSEL_STORAGE_MAPPED_H_
 #define XMLSEL_STORAGE_MAPPED_H_
@@ -47,6 +65,7 @@
 #include "estimator/synopsis.h"
 #include "grammar/lossy.h"
 #include "grammar/slt.h"
+#include "storage/packed_cursor.h"
 #include "xml/name_table.h"
 #include "xmlsel/mutex.h"
 #include "xmlsel/status.h"
@@ -123,7 +142,9 @@ struct MappedCacheStats {
   int64_t hits = 0;           ///< Rule() calls served from the cache
   int64_t misses = 0;         ///< Rule() calls that had to decode
   int64_t decoded_rules = 0;  ///< distinct rules currently decoded
-  int64_t resident_bytes = 0; ///< approx. heap held by decoded rules
+  int64_t resident_bytes = 0; ///< exact heap held by decoded rules
+  int64_t evictions = 0;      ///< rules evicted by EvictToBudget, lifetime
+  int64_t direct_decodes = 0; ///< packed-direct decodes (bypassed the cache)
   int64_t total_rules = 0;
 };
 
@@ -152,13 +173,12 @@ std::vector<uint8_t> BuildMappedImage(const Synopsis& synopsis);
 /// temporary + rename, so a crashed pack never leaves a torn image).
 Status PackSynopsisToFile(const Synopsis& synopsis, const std::string& path);
 
-/// One lazily decoded rule: the grammar rule plus the query-independent
-/// eval data a GrammarEvaluator needs (what SynopsisEvalCache precomputes
-/// eagerly for every rule, built here only for rules actually touched).
+/// One lazily decoded rule: the flat eval form a GrammarEvaluator needs
+/// (what SynopsisEvalCache precomputes eagerly for every rule, built here
+/// only for rules actually touched), plus its exact heap footprint —
+/// sizeof(MappedDecodedRule) + data.HeapBytes(), frozen at install time.
 struct MappedDecodedRule {
-  GrammarRule rule;
-  std::vector<int32_t> post_order;
-  std::vector<std::vector<LabelId>> star_roots;
+  FlatRuleData data;
   int64_t resident_bytes = 0;
 };
 
@@ -169,8 +189,11 @@ struct MappedDecodedRule {
 class MappedSynopsis {
  public:
   /// One grammar layer served straight from the mapping. Rule() decodes
-  /// on first touch and caches the decoded rule for the image's lifetime
-  /// (first-writer-wins slots; a losing racer's copy is discarded).
+  /// on first touch and caches the decoded rule in a per-rule slot
+  /// (first-writer-wins; a losing racer's copy is discarded). Slots may
+  /// be evicted by EvictToBudget; concurrent readers survive an eviction
+  /// only while inside an RcuDomain::ReadGuard — callers outside a guard
+  /// (tests, verification, Thaw) must not race eviction.
   class Layer final : public RuleProvider {
    public:
     ~Layer() override;
@@ -182,11 +205,55 @@ class MappedSynopsis {
     RuleEvalData Rule(int32_t rule) const override;
     Status error() const override XMLSEL_EXCLUDES(error_mu_);
 
-    /// Decodes one rule without touching the cache (verification and
-    /// thawing). `out`'s rule/post_order/star_roots are freshly built.
-    Status DecodeRuleFresh(int32_t rule, MappedDecodedRule* out) const;
+    /// Eagerly decodes one rule into a GrammarRule, bypassing the cache
+    /// (thawing, grammar assembly, verification).
+    Status DecodeRuleEager(int32_t rule, GrammarRule* out) const;
+
+    /// Decodes one rule into caller-owned flat storage, bypassing the
+    /// cache (the packed-direct miss path and verification use this).
+    Status DecodeRuleFlat(int32_t rule, FlatRuleData* out) const;
+
+    /// A cursor over this layer's payload for packed-direct walks. The
+    /// cursor borrows the layer's mapping and directory and must not
+    /// outlive the image.
+    PackedRuleCursor MakeCursor() const {
+      return PackedRuleCursor(payload(), label_count_,
+                              static_cast<int64_t>(stars_.size()), ranks_,
+                              maps_);
+    }
 
     MappedCacheStats cache_stats() const;
+
+    /// Evicts decoded rules (CLOCK second-chance, reachability-pruned
+    /// sweep order) until resident_bytes <= target_bytes or every slot
+    /// has been given its second chance. Victims are RCU-retired, not
+    /// freed: guarded readers stay safe; memory returns via
+    /// ReclaimEvicted once the grace period passes. Returns the number
+    /// of rules evicted.
+    int64_t EvictToBudget(int64_t target_bytes) const
+        XMLSEL_EXCLUDES(evict_mu_);
+
+    /// Frees retired rules whose RCU grace period has passed. Returns
+    /// the number freed.
+    int64_t ReclaimEvicted() const XMLSEL_EXCLUDES(evict_mu_);
+
+    /// Rules statically reachable from the start rule, computed from the
+    /// packed bits (ScanCalls) on first use. Evaluation of any
+    /// satisfiable query touches exactly this set, so the lazy decoder's
+    /// decoded_rules converges to it.
+    int32_t ReachableRuleCount() const XMLSEL_EXCLUDES(evict_mu_);
+
+    /// Audits the decode cache: recounts slots and re-derives every
+    /// resident rule's exact footprint, comparing both against the
+    /// atomic counters. Only meaningful when no decode/eviction is in
+    /// flight (the caller quiesces; the lock here only excludes the
+    /// enforcer).
+    Status AuditDecodeCache() const XMLSEL_EXCLUDES(evict_mu_);
+
+    /// Counts a packed-direct decode (DirectRuleProvider bookkeeping).
+    void CountDirectDecode() const {
+      direct_decodes_.fetch_add(1, std::memory_order_relaxed);
+    }
 
     /// Directory access for auditing.
     uint64_t rule_offset(int32_t rule) const {
@@ -201,29 +268,51 @@ class MappedSynopsis {
     std::span<const uint8_t> payload() const {
       return {payload_, static_cast<size_t>(payload_bytes_)};
     }
+    int32_t label_count() const { return label_count_; }
+    const LabelMaps* maps() const { return maps_; }
+    std::span<const int32_t> ranks() const { return ranks_; }
 
    private:
     friend class MappedSynopsis;
     Layer() = default;
 
+    struct RetiredRule {
+      const MappedDecodedRule* rule;
+      uint64_t epoch;  ///< RcuDomain retire stamp
+    };
+
     void SetError(const Status& st) const XMLSEL_EXCLUDES(error_mu_);
+    /// Computes sweep_order_/reachable_count_ on first use: BFS over the
+    /// packed call graph from the start rule, then unreachable rules
+    /// (ascending) followed by reachable ones (ascending = leaves before
+    /// the start rule, since calls only reference earlier rules).
+    void EnsureSweepOrderLocked() const XMLSEL_REQUIRES(evict_mu_);
+    int64_t ReclaimLocked() const XMLSEL_REQUIRES(evict_mu_);
 
     const uint8_t* payload_ = nullptr;
     uint64_t payload_bytes_ = 0;
     int32_t label_count_ = 0;
-    const LabelMaps* maps_ = nullptr;  ///< null for the lossless layer
+    const LabelMaps* maps_ = nullptr;
     std::vector<uint64_t> offsets_;
     std::vector<uint32_t> bit_lens_;
     std::vector<int32_t> ranks_;
     std::vector<StarStats> stars_;
 
     mutable std::vector<std::atomic<const MappedDecodedRule*>> slots_;
+    mutable std::vector<std::atomic<uint8_t>> ref_bits_;  ///< CLOCK bits
     mutable std::atomic<int64_t> hits_{0};
     mutable std::atomic<int64_t> misses_{0};
     mutable std::atomic<int64_t> decoded_rules_{0};
     mutable std::atomic<int64_t> resident_bytes_{0};
+    mutable std::atomic<int64_t> evictions_{0};
+    mutable std::atomic<int64_t> direct_decodes_{0};
     mutable Mutex error_mu_;
     mutable Status error_ XMLSEL_GUARDED_BY(error_mu_);
+    mutable Mutex evict_mu_;  ///< serializes enforcers, not readers
+    mutable std::vector<int32_t> sweep_order_ XMLSEL_GUARDED_BY(evict_mu_);
+    mutable int32_t reachable_count_ XMLSEL_GUARDED_BY(evict_mu_) = -1;
+    mutable size_t clock_hand_ XMLSEL_GUARDED_BY(evict_mu_) = 0;
+    mutable std::vector<RetiredRule> retired_ XMLSEL_GUARDED_BY(evict_mu_);
   };
 
   ~MappedSynopsis();
@@ -263,6 +352,17 @@ class MappedSynopsis {
     return {layers_[0].cache_stats(), layers_[1].cache_stats(),
             header_.file_bytes};
   }
+
+  /// Evicts decoded rules across both layers until the image's total
+  /// resident_bytes fits `budget_bytes`. The lossless layer (cold by
+  /// design — only thaw/verify ever touch it) is drained first; the
+  /// serving layer absorbs whatever budget remains. Returns the number
+  /// of rules evicted. Thread-safe against concurrent guarded readers.
+  int64_t EnforceDecodeBudget(int64_t budget_bytes) const;
+
+  /// Frees evicted rules whose RCU grace period has passed (both
+  /// layers). Returns the number freed.
+  int64_t ReclaimEvictedRules() const;
 
   /// Recomputes the payload checksum and compares it to the header.
   Status VerifyChecksum() const;

@@ -10,29 +10,23 @@ namespace xmlsel {
 
 namespace {
 
-// Symbol ids within rule i's stream:
-//   0                      star
-//   1                      parameter (index implicit, pre-order)
-//   2                      ⊥ (the paper's A_0)
-//   2 + l                  label l, 1 ≤ l < label_count
-//   label_count + 2 + j    call to rule j, 0 ≤ j < i
-constexpr uint64_t kSymStar = 0;
-constexpr uint64_t kSymParam = 1;
-constexpr uint64_t kSymBottom = 2;
+using packed::kSymBottom;
+using packed::kSymParam;
+using packed::kSymStar;
 
-int SymbolWidth(int32_t label_count, int32_t rule_index) {
+}  // namespace
+
+int PackedSymbolWidth(int32_t label_count, int32_t rule_index) {
   // Symbols: star, param, ⊥, labels 1..label_count-1, rules 0..rule_index-1
   // → label_count + 2 + rule_index distinct ids.
   return BitsFor(static_cast<int64_t>(label_count) + 2 +
                  static_cast<int64_t>(rule_index));
 }
 
-}  // namespace
-
 void EncodePackedRule(const SltGrammar& g, int32_t rule_index,
                       int32_t label_count, BitWriter* w) {
   const GrammarRule& r = g.rule(rule_index);
-  const int width = SymbolWidth(label_count, rule_index);
+  const int width = PackedSymbolWidth(label_count, rule_index);
   const int star_width =
       BitsFor(static_cast<int64_t>(g.star_stats().size()));
   w->WriteUnary(r.rank);
@@ -91,7 +85,7 @@ void EncodePackedRule(const SltGrammar& g, int32_t rule_index,
 Status DecodePackedRule(BitReader* r, int32_t rule_index, int32_t label_count,
                         int64_t star_count, std::span<const int32_t> ranks,
                         GrammarRule* out) {
-  const int width = SymbolWidth(label_count, rule_index);
+  const int width = PackedSymbolWidth(label_count, rule_index);
   const int star_width = BitsFor(star_count);
   Result<int64_t> rank = r->ReadUnary();
   if (!rank.ok()) return rank.status();

@@ -52,6 +52,23 @@ int64_t PointerRepresentationSize(const SltGrammar& g);
 // rules — the mmap-ed serving store (storage/mapped.h) uses this to decode
 // individual rules on first touch without materializing the grammar.
 
+// Symbol ids within rule i's stream (shared by the decoder here and the
+// packed-direct cursor, storage/packed_cursor.h):
+//   0                      star
+//   1                      parameter (index implicit, pre-order)
+//   2                      ⊥ (the paper's A_0)
+//   2 + l                  label l, 1 ≤ l < label_count
+//   label_count + 2 + j    call to rule j, 0 ≤ j < i
+namespace packed {
+inline constexpr uint64_t kSymStar = 0;
+inline constexpr uint64_t kSymParam = 1;
+inline constexpr uint64_t kSymBottom = 2;
+}  // namespace packed
+
+/// Bit width of one symbol in rule `rule_index`'s stream:
+/// ⌈log₂(label_count + 2 + rule_index)⌉.
+int PackedSymbolWidth(int32_t label_count, int32_t rule_index);
+
 /// Appends rule `rule_index`'s E(R_i) stream (unary rank + pre-order
 /// symbols) to `w`. No byte alignment is performed.
 void EncodePackedRule(const SltGrammar& g, int32_t rule_index,

@@ -1,0 +1,281 @@
+// Copyright 2026 The xmlsel Authors
+// SPDX-License-Identifier: Apache-2.0
+
+#include "storage/packed_cursor.h"
+
+#include "storage/bitio.h"
+#include "storage/packed.h"
+
+namespace xmlsel {
+
+namespace {
+
+Status RuleCorruption(int32_t rule, const std::string& what) {
+  return Status::Corruption("packed cursor: rule " + std::to_string(rule) +
+                            " " + what);
+}
+
+// Cold-path formatters, kept out of the XMLSEL_HOT cursor bodies.
+Status RankMismatch(int32_t rule, int32_t got, int32_t want) {
+  return RuleCorruption(rule, "stream rank " + std::to_string(got) +
+                                  " disagrees with directory rank " +
+                                  std::to_string(want));
+}
+
+Status StreamLengthMismatch(int32_t rule, int64_t got, uint32_t want) {
+  return RuleCorruption(rule, "stream consumed " + std::to_string(got) +
+                                  " bits, directory declares " +
+                                  std::to_string(want));
+}
+
+}  // namespace
+
+XMLSEL_HOT Status PackedRuleCursor::DecodeFlat(int32_t rule_index,
+                                               uint64_t offset,
+                                               uint32_t bit_len,
+                                               FlatRuleData* out) {
+  const uint64_t nbytes = (static_cast<uint64_t>(bit_len) + 7) / 8;
+  if (offset > payload_.size() || nbytes > payload_.size() - offset) {
+    return RuleCorruption(rule_index, "stream escapes its payload section");
+  }
+  BitReader reader(payload_.data() + offset, static_cast<size_t>(nbytes));
+  const int width = PackedSymbolWidth(label_count_, rule_index);
+  const int star_width = BitsFor(star_count_);
+  Result<int64_t> rank = reader.ReadUnary();
+  if (!rank.ok()) return rank.status();
+  out->Clear();
+  out->rank = static_cast<int32_t>(rank.value());
+  if (rule_index < static_cast<int32_t>(ranks_.size()) &&
+      out->rank != ranks_[static_cast<size_t>(rule_index)]) {
+    return RankMismatch(rule_index, out->rank,
+                        ranks_[static_cast<size_t>(rule_index)]);
+  }
+  int32_t next_param = 0;
+  frames_.clear();
+  kids_.clear();
+  int32_t root = kNullNode;
+  bool done_root = false;
+
+  // Mirror of DecodePackedRule's frame algorithm, emitting flat nodes at
+  // frame completion — the same moment RhsBuilder would assign the id, so
+  // the flat ids coincide with the eager decoder's.
+  auto emit = [&](GrammarNode::Kind kind, int32_t sym,
+                  size_t kids_begin) -> int32_t {
+    int32_t id = static_cast<int32_t>(out->nodes.size());
+    RuleNodeView v;
+    v.kind = kind;
+    v.sym = sym;
+    v.child_begin = static_cast<int32_t>(out->children.size());
+    v.child_count = static_cast<int32_t>(kids_.size() - kids_begin);
+    // xmlsel-lint: allow(hot-alloc): retained output, capacity kept
+    out->children.insert(out->children.end(), kids_.begin() + kids_begin,
+                         kids_.end());
+    // xmlsel-lint: allow(hot-alloc): shrink only, never reallocates
+    kids_.resize(kids_begin);
+    // xmlsel-lint: allow(hot-alloc): retained output, capacity kept
+    out->nodes.push_back(v);
+    return id;
+  };
+  auto deposit = [&](int32_t id) {
+    if (frames_.empty()) {
+      root = id;
+      done_root = true;
+    } else {
+      // xmlsel-lint: allow(hot-alloc): retained cursor scratch, capacity kept
+      kids_.push_back(id);
+      ++frames_.back().child_done;
+    }
+  };
+  auto finish_ready = [&]() {
+    while (!frames_.empty()) {
+      Frame& f = frames_.back();
+      if (f.child_total < 0) return;  // star: list still open
+      if (f.child_done < f.child_total) return;
+      int32_t id = emit(f.kind, f.sym, f.kids_begin);
+      frames_.pop_back();
+      deposit(id);
+    }
+  };
+
+  while (!done_root) {
+    // If the innermost frame is an open star list, consume its control
+    // bit first.
+    if (!frames_.empty() && frames_.back().child_total < 0) {
+      Result<uint64_t> more = reader.ReadBits(1);
+      if (!more.ok()) return more.status();
+      if (more.value() == 0) {
+        Frame f = frames_.back();
+        frames_.pop_back();
+        deposit(emit(GrammarNode::Kind::kStar, f.sym, f.kids_begin));
+        finish_ready();
+        continue;
+      }
+      // Fall through to decode the next star child symbol.
+    }
+    Result<uint64_t> sym = reader.ReadBits(width);
+    if (!sym.ok()) return sym.status();
+    uint64_t s = sym.value();
+    if (s == packed::kSymParam) {
+      if (next_param >= out->rank) {
+        return RuleCorruption(rule_index, "carries too many parameters");
+      }
+      deposit(emit(GrammarNode::Kind::kParam, next_param++, kids_.size()));
+      finish_ready();
+    } else if (s == packed::kSymBottom) {
+      deposit(kNullNode);
+      finish_ready();
+    } else if (s == packed::kSymStar) {
+      Result<uint64_t> stats = reader.ReadBits(star_width);
+      if (!stats.ok()) return stats.status();
+      if (stats.value() >= static_cast<uint64_t>(star_count_)) {
+        return RuleCorruption(rule_index, "star stats index out of range");
+      }
+      Frame f;
+      f.kind = GrammarNode::Kind::kStar;
+      f.sym = static_cast<int32_t>(stats.value());
+      f.child_total = -1;
+      f.kids_begin = kids_.size();
+      // xmlsel-lint: allow(hot-alloc): retained cursor scratch, capacity kept
+      frames_.push_back(f);
+    } else if (s < static_cast<uint64_t>(label_count_) + 2) {
+      LabelId label = static_cast<LabelId>(s - packed::kSymBottom);
+      if (label <= 0 || label >= label_count_) {
+        return RuleCorruption(rule_index, "label symbol out of range");
+      }
+      Frame f;
+      f.kind = GrammarNode::Kind::kTerminal;
+      f.sym = label;
+      f.child_total = 2;
+      f.kids_begin = kids_.size();
+      // xmlsel-lint: allow(hot-alloc): retained cursor scratch, capacity kept
+      frames_.push_back(f);
+    } else {
+      int32_t callee = static_cast<int32_t>(
+          s - static_cast<uint64_t>(label_count_) - 2);
+      if (callee < 0 || callee >= rule_index ||
+          callee >= static_cast<int32_t>(ranks_.size())) {
+        return RuleCorruption(rule_index, "references a rule out of range");
+      }
+      int32_t callee_rank = ranks_[static_cast<size_t>(callee)];
+      if (callee_rank == 0) {
+        deposit(emit(GrammarNode::Kind::kNonterminal, callee, kids_.size()));
+        finish_ready();
+      } else {
+        Frame f;
+        f.kind = GrammarNode::Kind::kNonterminal;
+        f.sym = callee;
+        f.child_total = callee_rank;
+        f.kids_begin = kids_.size();
+        // xmlsel-lint: allow(hot-alloc): retained cursor scratch, capacity kept
+        frames_.push_back(f);
+      }
+    }
+  }
+  if (next_param != out->rank) {
+    return RuleCorruption(rule_index, "parameter count mismatch");
+  }
+  if (reader.position() != static_cast<int64_t>(bit_len)) {
+    return StreamLengthMismatch(rule_index, reader.position(), bit_len);
+  }
+  out->root = root;
+  AppendFlatPostOrder(out->nodes, out->children, root, &out->post_order);
+  ComputeFlatStarRoots(out->nodes, out->children, maps_,
+                       &out->star_root_begin, &out->star_root_labels);
+  return Status::OK();
+}
+
+XMLSEL_HOT Status PackedRuleCursor::ScanCalls(int32_t rule_index,
+                                              uint64_t offset,
+                                              uint32_t bit_len,
+                                              std::vector<int32_t>* callees) {
+  const uint64_t nbytes = (static_cast<uint64_t>(bit_len) + 7) / 8;
+  if (offset > payload_.size() || nbytes > payload_.size() - offset) {
+    return RuleCorruption(rule_index, "stream escapes its payload section");
+  }
+  BitReader reader(payload_.data() + offset, static_cast<size_t>(nbytes));
+  const int width = PackedSymbolWidth(label_count_, rule_index);
+  const int star_width = BitsFor(star_count_);
+  Result<int64_t> rank = reader.ReadUnary();
+  if (!rank.ok()) return rank.status();
+  const int32_t rule_rank = static_cast<int32_t>(rank.value());
+  int32_t next_param = 0;
+  // The scan keeps only remaining-children counts (-1 = open star list):
+  // no node is ever materialized.
+  scan_stack_.clear();
+  bool done_root = false;
+  auto complete = [&]() {
+    for (;;) {
+      if (scan_stack_.empty()) {
+        done_root = true;
+        return;
+      }
+      int32_t& top = scan_stack_.back();
+      if (top == -1) return;    // open star list swallows the child
+      if (--top > 0) return;    // siblings still pending
+      scan_stack_.pop_back();   // node complete; bubble upward
+    }
+  };
+  while (!done_root) {
+    if (!scan_stack_.empty() && scan_stack_.back() == -1) {
+      Result<uint64_t> more = reader.ReadBits(1);
+      if (!more.ok()) return more.status();
+      if (more.value() == 0) {
+        scan_stack_.pop_back();  // the star node itself completes
+        complete();
+        continue;
+      }
+    }
+    Result<uint64_t> sym = reader.ReadBits(width);
+    if (!sym.ok()) return sym.status();
+    uint64_t s = sym.value();
+    if (s == packed::kSymParam) {
+      if (next_param >= rule_rank) {
+        return RuleCorruption(rule_index, "carries too many parameters");
+      }
+      ++next_param;
+      complete();
+    } else if (s == packed::kSymBottom) {
+      complete();
+    } else if (s == packed::kSymStar) {
+      Result<uint64_t> stats = reader.ReadBits(star_width);
+      if (!stats.ok()) return stats.status();
+      if (stats.value() >= static_cast<uint64_t>(star_count_)) {
+        return RuleCorruption(rule_index, "star stats index out of range");
+      }
+      // xmlsel-lint: allow(hot-alloc): retained cursor scratch, capacity kept
+      scan_stack_.push_back(-1);
+    } else if (s < static_cast<uint64_t>(label_count_) + 2) {
+      LabelId label = static_cast<LabelId>(s - packed::kSymBottom);
+      if (label <= 0 || label >= label_count_) {
+        return RuleCorruption(rule_index, "label symbol out of range");
+      }
+      // xmlsel-lint: allow(hot-alloc): retained cursor scratch, capacity kept
+      scan_stack_.push_back(2);
+    } else {
+      int32_t callee = static_cast<int32_t>(
+          s - static_cast<uint64_t>(label_count_) - 2);
+      if (callee < 0 || callee >= rule_index ||
+          callee >= static_cast<int32_t>(ranks_.size())) {
+        return RuleCorruption(rule_index, "references a rule out of range");
+      }
+      // xmlsel-lint: allow(hot-alloc): caller-owned output, capacity kept
+      callees->push_back(callee);
+      int32_t callee_rank = ranks_[static_cast<size_t>(callee)];
+      if (callee_rank == 0) {
+        complete();
+      } else {
+        // xmlsel-lint: allow(hot-alloc): retained cursor scratch, capacity kept
+        scan_stack_.push_back(callee_rank);
+      }
+    }
+  }
+  if (next_param != rule_rank) {
+    return RuleCorruption(rule_index, "parameter count mismatch");
+  }
+  if (reader.position() != static_cast<int64_t>(bit_len)) {
+    return StreamLengthMismatch(rule_index, reader.position(), bit_len);
+  }
+  return Status::OK();
+}
+
+}  // namespace xmlsel

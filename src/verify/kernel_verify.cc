@@ -216,7 +216,7 @@ Status VerifySigmaMemo(const SigmaMemo& memo, const RuleProvider& provider,
       memo, provider.rule_count(),
       [&provider](int32_t r) {
         RuleEvalData d = provider.Rule(r);
-        return d.rule != nullptr ? d.rule->rank : -1;
+        return d.valid ? d.rank : -1;
       },
       reg, cq);
 }

@@ -26,6 +26,62 @@ namespace xmlsel {
 
 namespace {
 
+/// Element-for-element comparison of two flat rule forms — the identity
+/// the packed-direct path rests on: decode-cache slots, packed-direct
+/// cursor output, and the eager flattener must be indistinguishable to
+/// the evaluator.
+Status CompareFlatRules(const RuleEvalData& got, const RuleEvalData& want) {
+  if (!got.valid) return Status::Corruption("rule is invalid");
+  if (got.rank != want.rank) {
+    return Status::Corruption("rank " + std::to_string(got.rank) + " != " +
+                              std::to_string(want.rank));
+  }
+  if (got.root != want.root) {
+    return Status::Corruption("root " + std::to_string(got.root) + " != " +
+                              std::to_string(want.root));
+  }
+  if (got.nodes.size() != want.nodes.size()) {
+    return Status::Corruption("node count " +
+                              std::to_string(got.nodes.size()) + " != " +
+                              std::to_string(want.nodes.size()));
+  }
+  for (size_t i = 0; i < got.nodes.size(); ++i) {
+    const RuleNodeView& a = got.nodes[i];
+    const RuleNodeView& b = want.nodes[i];
+    if (a.kind != b.kind || a.sym != b.sym || a.child_begin != b.child_begin ||
+        a.child_count != b.child_count) {
+      return Status::Corruption("node " + std::to_string(i) + " differs");
+    }
+  }
+  auto compare_ints = [](std::span<const int32_t> a,
+                         std::span<const int32_t> b,
+                         const char* what) -> Status {
+    if (a.size() != b.size()) {
+      return Status::Corruption(std::string(what) + " size " +
+                                std::to_string(a.size()) + " != " +
+                                std::to_string(b.size()));
+    }
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != b[i]) {
+        return Status::Corruption(std::string(what) + " entry " +
+                                  std::to_string(i) + " differs");
+      }
+    }
+    return Status::OK();
+  };
+  XMLSEL_RETURN_IF_ERROR(
+      compare_ints(got.children, want.children, "children"));
+  XMLSEL_RETURN_IF_ERROR(
+      compare_ints(got.post_order, want.post_order, "post_order"));
+  XMLSEL_RETURN_IF_ERROR(compare_ints(got.star_root_begin,
+                                      want.star_root_begin,
+                                      "star_root_begin"));
+  XMLSEL_RETURN_IF_ERROR(compare_ints(got.star_root_labels,
+                                      want.star_root_labels,
+                                      "star_root_labels"));
+  return Status::OK();
+}
+
 /// Audits one layer: assemble it eagerly, check well-formedness, then
 /// require (a) every lazily served rule to agree with the eager decode
 /// and (b) re-encoding every rule to reproduce its payload slice
@@ -70,32 +126,44 @@ Status VerifyMappedLayer(const MappedSynopsis& image, int layer) {
     }
   }
 
-  // The lazy path must serve exactly what the eager decode produced.
+  // Both lazy paths — the decode cache and the packed-direct cursor —
+  // must serve exactly the flattening of the eager decode, rule by rule.
+  FlatRuleData reference;
+  FlatRuleData direct;
   for (int32_t i = 0; i < L.rule_count(); ++i) {
+    FlattenRule(g.rule(i), L.maps(), &reference);
     RuleEvalData d = L.Rule(i);
-    if (d.rule == nullptr) {
+    if (!d.valid) {
       return Status::Corruption(at + " rule " + std::to_string(i) +
                                 " failed lazy decode: " +
                                 L.error().ToString());
     }
-    SltGrammar lazy_one;
-    for (const StarStats& s : g.star_stats()) {
-      lazy_one.InternStarStats(s);
-    }
-    // CompareGrammars walks rule-by-rule; wrap the single rules in
-    // grammars sharing the star table. Earlier-rule references are
-    // compared symbolically, so single-rule grammars suffice.
-    SltGrammar eager_one = lazy_one;
-    GrammarRule lazy_copy = *d.rule;
-    GrammarRule eager_copy = g.rule(i);
-    lazy_one.AddRule(std::move(lazy_copy));
-    eager_one.AddRule(std::move(eager_copy));
-    Status cmp = CompareGrammars(lazy_one, eager_one);
+    Status cmp = CompareFlatRules(d, reference.View());
     if (!cmp.ok()) {
       return Status::Corruption(at + " rule " + std::to_string(i) +
                                 " lazy decode disagrees with eager decode: " +
                                 cmp.message());
     }
+    Status st = L.DecodeRuleFlat(i, &direct);
+    if (!st.ok()) {
+      return Status::Corruption(at + " rule " + std::to_string(i) +
+                                " failed packed-direct decode: " +
+                                st.ToString());
+    }
+    cmp = CompareFlatRules(direct.View(), reference.View());
+    if (!cmp.ok()) {
+      return Status::Corruption(
+          at + " rule " + std::to_string(i) +
+          " packed-direct decode disagrees with eager decode: " +
+          cmp.message());
+    }
+  }
+  // Every rule is now decoded; the cache counters must agree with an
+  // exact recount (resident bytes charged at vector capacities).
+  Status audit = L.AuditDecodeCache();
+  if (!audit.ok()) {
+    return Status::Corruption(at + " decode-cache audit failed: " +
+                              audit.message());
   }
   Status provider_error = L.error();
   if (!provider_error.ok()) return provider_error;

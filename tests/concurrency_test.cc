@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <span>
 #include <string>
@@ -24,11 +25,13 @@
 #include "baseline/exact.h"
 #include "data/generator.h"
 #include "estimator/estimator.h"
+#include "estimator/mapped_estimator.h"
 #include "query/parser.h"
 #include "query/rewrite.h"
 #include "serving/batch_front.h"
 #include "serving/catalog.h"
 #include "serving/snapshot.h"
+#include "storage/mapped.h"
 #include "verify/verify.h"
 #include "workload/query_gen.h"
 #include "workload/runner.h"
@@ -539,6 +542,124 @@ TEST(ConcurrencyTest, ServingFrontSubmissionsRaceWritersCleanly) {
   EXPECT_EQ(fs.completed, kBatches);
   EXPECT_EQ(fs.queue_depth, 0);
   EXPECT_EQ(catalog.Stats().reader_fast_path_locks, 0);
+}
+
+// The packed-direct and budgeted-eviction hammer (run under TSan via
+// tools/check.sh): readers batch-estimate a mapped tenant through the
+// catalog's shared decode cache, a packed-direct reader estimates
+// straight off the mmap'd bits, and an enforcer thread concurrently
+// evicts the cache down to a tight byte budget and reclaims
+// grace-expired rules. Every batch — cache-served or direct, before,
+// during, and after evictions — must be bit-identical to the eager
+// oracle, and the exact residency accounting must audit cleanly once
+// quiescent.
+TEST(ConcurrencyTest, DecodeBudgetEnforcerRacesReadersBitIdentically) {
+  Document doc = GenerateDataset(DatasetId::kDblp, 1200, 3);
+  SynopsisOptions sopts;
+  sopts.kappa = 4;
+  auto synopsis = std::make_shared<Synopsis>(Synopsis::Build(doc, sopts));
+  Result<std::unique_ptr<MappedSynopsis>> opened =
+      MappedSynopsis::FromBuffer(BuildMappedImage(*synopsis));
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::shared_ptr<const MappedSynopsis> image(std::move(opened).value());
+
+  NameTable names = synopsis->names();
+  std::vector<Query> queries;
+  for (std::string_view text :
+       {"//article", "//article/author", "//inproceedings[./title]",
+        "/dblp/article/title", "//author", "//*"}) {
+    Result<Query> q = ParseQuery(text, &names);
+    ASSERT_TRUE(q.ok()) << text;
+    queries.push_back(std::move(q).value());
+  }
+  SelectivityEstimator eager(*synopsis);
+  std::vector<SelectivityEstimate> expect;
+  for (const Query& q : queries) {
+    Result<SelectivityEstimate> r = eager.EstimateQuery(q);
+    ASSERT_TRUE(r.ok());
+    expect.push_back(r.value());
+  }
+  auto matches = [&expect](
+                     const std::vector<Result<SelectivityEstimate>>& results) {
+    if (results.size() != expect.size()) return false;
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok()) return false;
+      if (results[i].value().lower != expect[i].lower ||
+          results[i].value().upper != expect[i].upper) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  ServingCatalog catalog;
+  catalog.PublishMapped("m", image);
+  // Warm the cache once, then budget a fraction of the warm residency so
+  // the enforcer has real evictions to do on every pass.
+  ASSERT_TRUE(
+      catalog.EstimateBatch("m", std::span<const Query>(queries)).ok());
+  const int64_t warm = image->Stats().resident_bytes();
+  ASSERT_GT(warm, 0);
+  catalog.SetDecodeBudget(std::max<int64_t>(warm / 4, 1));
+
+  constexpr int kReaders = 6;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> all_identical{true};
+  std::atomic<int64_t> batches{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      while (!stop.load()) {
+        auto outcome =
+            catalog.EstimateBatch("m", std::span<const Query>(queries));
+        if (!outcome.ok() || !matches(outcome.value().results)) {
+          all_identical.store(false);
+          stop.store(true);
+          return;
+        }
+        batches.fetch_add(1);
+      }
+    });
+  }
+  // The packed-direct reader shares the image but never the cache: its
+  // per-call providers decode off the bits, immune to the evictions
+  // racing underneath.
+  threads.emplace_back([&] {
+    MappedEstimator direct(image);
+    direct.set_direct(true);
+    while (!stop.load()) {
+      std::vector<Result<SelectivityEstimate>> results =
+          direct.EstimateBatch(std::span<const Query>(queries), 1);
+      if (!matches(results)) {
+        all_identical.store(false);
+        stop.store(true);
+        return;
+      }
+      batches.fetch_add(1);
+    }
+  });
+  threads.emplace_back([&] {
+    while (!stop.load()) {
+      catalog.EnforceDecodeBudget();
+      catalog.ReclaimEvictedRules();
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  stop.store(true);
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_TRUE(all_identical.load());
+  EXPECT_GE(batches.load(), kReaders);
+  CatalogStats cs = catalog.Stats();
+  EXPECT_GT(cs.decode_evictions, 0);
+  EXPECT_EQ(cs.reader_fast_path_locks, 0);
+  // Quiesced: one final enforce + reclaim brings residency within budget
+  // with the exact accounting intact.
+  catalog.EnforceDecodeBudget();
+  catalog.ReclaimEvictedRules();
+  EXPECT_LE(catalog.Stats().decode_resident_bytes, catalog.decode_budget());
+  Status audit = image->lossy_layer().AuditDecodeCache();
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
 }
 
 }  // namespace

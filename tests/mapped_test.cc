@@ -20,6 +20,7 @@
 #include "data/generator.h"
 #include "estimator/estimator.h"
 #include "estimator/mapped_estimator.h"
+#include "estimator/serving.h"
 #include "estimator/synopsis.h"
 #include "storage/mapped.h"
 #include "verify/verify.h"
@@ -94,6 +95,11 @@ TEST(MappedPropertyTest, EagerAndMappedEstimatesAreIdentical) {
 TEST(MappedPropertyTest, KernelCounterTracesAreIdentical) {
   Synopsis synopsis = BuildSynopsis(DatasetId::kXmark, 1200, 8);
   std::shared_ptr<const MappedSynopsis> image = OpenImage(synopsis);
+  // A second image of the same synopsis serves the packed-direct
+  // evaluator, so its decode-cache counters stay untouched by the lazy
+  // provider above and the direct path's "never decodes into the cache"
+  // claim can be asserted exactly.
+  std::shared_ptr<const MappedSynopsis> direct_image = OpenImage(synopsis);
   std::vector<Query> queries = Workload(synopsis, 12);
   const SynopsisEvalCache& cache = synopsis.eval_cache();
   CompiledQueryCache compile_cache;
@@ -108,22 +114,80 @@ TEST(MappedPropertyTest, KernelCounterTracesAreIdentical) {
       GrammarEvaluator eager(&cache, &cq, &synopsis.label_maps(), mode);
       GrammarEvaluator lazy(&image->serving_provider(), &cq,
                             &image->label_maps(), mode);
+      DirectRuleProvider direct_rules(&direct_image->lossy_layer());
+      GrammarEvaluator direct(&direct_rules, &cq,
+                              &direct_image->label_maps(), mode);
       // Cold mapped cache on the first query, warm later — the trace must
       // be independent of that.
       GrammarEvalResult a = eager.Evaluate();
       GrammarEvalResult b = lazy.Evaluate();
+      GrammarEvalResult c = direct.Evaluate();
       ASSERT_TRUE(a.status.ok());
       ASSERT_TRUE(b.status.ok()) << b.status.ToString();
-      EXPECT_EQ(a.accepted, b.accepted) << "query " << qi;
-      EXPECT_EQ(a.count, b.count) << "query " << qi;
-      EXPECT_EQ(a.sigma_entries, b.sigma_entries) << "query " << qi;
-      EXPECT_EQ(a.distinct_states, b.distinct_states) << "query " << qi;
-      EXPECT_EQ(a.memo_probes, b.memo_probes) << "query " << qi;
-      EXPECT_EQ(a.memo_hits, b.memo_hits) << "query " << qi;
-      EXPECT_EQ(a.intern_probes, b.intern_probes) << "query " << qi;
-      EXPECT_EQ(a.intern_hits, b.intern_hits) << "query " << qi;
-      EXPECT_EQ(a.pool_pairs, b.pool_pairs) << "query " << qi;
-      EXPECT_EQ(a.arena_bytes, b.arena_bytes) << "query " << qi;
+      ASSERT_TRUE(c.status.ok()) << c.status.ToString();
+      auto check = [&](const GrammarEvalResult& x, const char* path) {
+        EXPECT_EQ(a.accepted, x.accepted) << path << " query " << qi;
+        EXPECT_EQ(a.count, x.count) << path << " query " << qi;
+        EXPECT_EQ(a.sigma_entries, x.sigma_entries) << path << " query " << qi;
+        EXPECT_EQ(a.distinct_states, x.distinct_states)
+            << path << " query " << qi;
+        EXPECT_EQ(a.memo_probes, x.memo_probes) << path << " query " << qi;
+        EXPECT_EQ(a.memo_hits, x.memo_hits) << path << " query " << qi;
+        EXPECT_EQ(a.intern_probes, x.intern_probes) << path << " query " << qi;
+        EXPECT_EQ(a.intern_hits, x.intern_hits) << path << " query " << qi;
+        EXPECT_EQ(a.pool_pairs, x.pool_pairs) << path << " query " << qi;
+        EXPECT_EQ(a.arena_bytes, x.arena_bytes) << path << " query " << qi;
+      };
+      check(b, "lazy");
+      check(c, "direct");
+    }
+  }
+  // The entire direct workload ran without a single shared-cache decode.
+  MappedCacheStats direct_lossy = direct_image->lossy_layer().cache_stats();
+  EXPECT_EQ(direct_lossy.decoded_rules, 0);
+  EXPECT_EQ(direct_lossy.resident_bytes, 0);
+  EXPECT_GT(direct_lossy.direct_decodes, 0);
+}
+
+TEST(MappedPropertyTest, DirectPathMatchesEagerAndDecoded) {
+  const DatasetId kDatasets[] = {DatasetId::kXmark, DatasetId::kDblp,
+                                 DatasetId::kCatalog};
+  for (DatasetId id : kDatasets) {
+    for (int32_t kappa : {0, 4, 16}) {
+      Synopsis synopsis = BuildSynopsis(id, 900, kappa);
+      SelectivityEstimator eager(synopsis);
+      MappedEstimator decoded(OpenImage(synopsis));
+      MappedEstimator direct(OpenImage(synopsis));
+      direct.set_direct(true);
+      std::vector<Query> queries = Workload(synopsis, 16);
+      for (int pass = 0; pass < 2; ++pass) {
+        for (size_t qi = 0; qi < queries.size(); ++qi) {
+          Result<SelectivityEstimate> a = eager.EstimateQuery(queries[qi]);
+          Result<SelectivityEstimate> b = decoded.EstimateQuery(queries[qi]);
+          Result<SelectivityEstimate> c = direct.EstimateQuery(queries[qi]);
+          ASSERT_EQ(a.ok(), b.ok());
+          ASSERT_EQ(a.ok(), c.ok())
+              << "dataset " << static_cast<int>(id) << " kappa " << kappa
+              << " query " << qi << " pass " << pass;
+          if (!a.ok()) continue;
+          EXPECT_EQ(a.value().lower, c.value().lower)
+              << "dataset " << static_cast<int>(id) << " kappa " << kappa
+              << " query " << qi << " pass " << pass;
+          EXPECT_EQ(a.value().upper, c.value().upper)
+              << "dataset " << static_cast<int>(id) << " kappa " << kappa
+              << " query " << qi << " pass " << pass;
+          EXPECT_EQ(b.value().lower, c.value().lower);
+          EXPECT_EQ(b.value().upper, c.value().upper);
+        }
+      }
+      // The direct estimator's image never materialized a cache entry —
+      // the packed-direct headline: cold start to first query with
+      // decoded_rules == 0.
+      EXPECT_EQ(direct.image().Stats().decoded_rules(), 0);
+      EXPECT_GT(direct.image().lossy_layer().cache_stats().direct_decodes, 0);
+      // The shared-cache estimator did decode (same queries, same image
+      // format) — the two modes differ only in where decodes land.
+      EXPECT_GT(decoded.image().Stats().decoded_rules(), 0);
     }
   }
 }
@@ -192,6 +256,89 @@ TEST(MappedTest, UnsatisfiableQueriesDecodeNothing) {
   EXPECT_EQ(r.value().lower, 0);
   EXPECT_EQ(r.value().upper, 0);
   EXPECT_EQ(mapped.cache_stats().decoded_rules, 0);
+}
+
+// --- Residency accounting & eviction -------------------------------------
+
+TEST(MappedTest, ResidentBytesAccountingIsExact) {
+  Synopsis synopsis = BuildSynopsis(DatasetId::kDblp, 1000, 6);
+  MappedEstimator mapped(OpenImage(synopsis));
+  ASSERT_TRUE(mapped.Estimate("//article//author").ok());
+  MappedCacheStats lossy = mapped.cache_stats();
+  EXPECT_GT(lossy.decoded_rules, 0);
+  EXPECT_GT(lossy.resident_bytes, 0);
+  // The audit recounts every decoded slot's exact footprint —
+  // sizeof(MappedDecodedRule) + the flat form's capacity-based HeapBytes —
+  // and cross-checks both counters. Any drift (a slot whose vectors grew
+  // after install, a missed charge) fails here.
+  Status audit = mapped.image().lossy_layer().AuditDecodeCache();
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+  audit = mapped.image().lossless_layer().AuditDecodeCache();
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+}
+
+TEST(MappedTest, FirstQueryDecodesOnlyReachableRules) {
+  Synopsis synopsis = BuildSynopsis(DatasetId::kXmark, 1500, 12);
+  MappedEstimator mapped(OpenImage(synopsis));
+  const MappedSynopsis::Layer& lossy = mapped.image().lossy_layer();
+  const int32_t reachable = lossy.ReachableRuleCount();
+  ASSERT_GT(reachable, 0);
+  ASSERT_LE(reachable, lossy.rule_count());
+  // The first satisfiable query walks the whole call graph below the
+  // start rule — and nothing else. Rules the directory stores but the
+  // start rule cannot reach must never decode, however wholesale the
+  // first query is.
+  ASSERT_TRUE(mapped.Estimate("//*").ok());
+  EXPECT_EQ(mapped.cache_stats().decoded_rules, reachable);
+  // Further queries stay within the reachable set by construction.
+  ASSERT_TRUE(mapped.Estimate("//listitem//keyword").ok());
+  EXPECT_EQ(mapped.cache_stats().decoded_rules, reachable);
+}
+
+TEST(MappedTest, BudgetEvictionRedecodesBitIdentically) {
+  Synopsis synopsis = BuildSynopsis(DatasetId::kXmark, 1200, 8);
+  std::shared_ptr<const MappedSynopsis> image = OpenImage(synopsis);
+  MappedEstimator mapped(image);
+  std::vector<Query> queries = Workload(synopsis, 12);
+  std::span<const Query> span(queries);
+  std::vector<Result<SelectivityEstimate>> warm_run =
+      mapped.EstimateBatch(span, 1);
+  MappedSynopsisStats warm = image->Stats();
+  ASSERT_GT(warm.resident_bytes(), 0);
+
+  // Partial eviction: enforce half the warm residency. CLOCK needs one
+  // revolution to strip the just-used ref bits and a second to evict, so
+  // a single call suffices from quiescence.
+  const int64_t half = warm.resident_bytes() / 2;
+  int64_t evicted = image->EnforceDecodeBudget(half);
+  EXPECT_GT(evicted, 0);
+  EXPECT_LE(image->Stats().resident_bytes(), half);
+  EXPECT_EQ(image->lossy_layer().cache_stats().evictions, evicted);
+  Status audit = image->lossy_layer().AuditDecodeCache();
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+
+  // Full eviction drains the cache entirely; with no readers announced
+  // the grace period has already passed, so reclamation leaves nothing
+  // pending.
+  image->EnforceDecodeBudget(0);
+  EXPECT_EQ(image->Stats().decoded_rules(), 0);
+  EXPECT_EQ(image->Stats().resident_bytes(), 0);
+  image->ReclaimEvictedRules();
+
+  // Re-decoding evicted slots reproduces the exact same estimates.
+  std::vector<Result<SelectivityEstimate>> again =
+      mapped.EstimateBatch(span, 1);
+  ASSERT_EQ(again.size(), warm_run.size());
+  for (size_t i = 0; i < warm_run.size(); ++i) {
+    ASSERT_EQ(warm_run[i].ok(), again[i].ok()) << "query " << i;
+    if (!warm_run[i].ok()) continue;
+    EXPECT_EQ(warm_run[i].value().lower, again[i].value().lower)
+        << "query " << i;
+    EXPECT_EQ(warm_run[i].value().upper, again[i].value().upper)
+        << "query " << i;
+  }
+  audit = image->lossy_layer().AuditDecodeCache();
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
 }
 
 // --- Round trips ---------------------------------------------------------

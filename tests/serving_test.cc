@@ -209,6 +209,63 @@ TEST(ServingCatalogTest, VerifierAuditsThePopulatedCatalog) {
   EXPECT_TRUE(audit.ok()) << audit.ToString();
 }
 
+TEST(ServingCatalogTest, DecodeBudgetCapsResidencyAcrossTenants) {
+  ServingFixture f = ServingFixture::Make();
+  // Two more images of the same synopsis bytes: three tenants, three
+  // independent decode caches competing for one catalog-wide budget.
+  auto open = [&f]() {
+    auto image = MappedSynopsis::FromBuffer(BuildMappedImage(*f.synopsis));
+    EXPECT_TRUE(image.ok()) << image.status().ToString();
+    return std::shared_ptr<const MappedSynopsis>(std::move(image).value());
+  };
+  ServingCatalog catalog(2);
+  catalog.PublishMapped("a", f.image);
+  catalog.PublishMapped("b", open());
+  catalog.PublishMapped("c", open());
+
+  std::span<const Query> span(f.queries);
+  Result<BatchOutcome> first_a = catalog.EstimateBatch("a", span);
+  ASSERT_TRUE(first_a.ok());
+  for (const char* t : {"b", "c"}) {
+    Result<BatchOutcome> out = catalog.EstimateBatch(t, span);
+    ASSERT_TRUE(out.ok());
+    for (const auto& r : out.value().results) ASSERT_TRUE(r.ok());
+  }
+  CatalogStats warm = catalog.Stats();
+  ASSERT_GT(warm.decode_resident_bytes, 0);
+  EXPECT_GT(warm.decoded_rules, 0);
+  EXPECT_EQ(warm.decode_budget_bytes, 0);  // unbounded by default
+  EXPECT_EQ(warm.decode_evictions, 0);
+
+  // Budget at half the warm residency: enforcement sheds largest images
+  // first until the catalog-wide total fits.
+  const int64_t budget = warm.decode_resident_bytes / 2;
+  catalog.SetDecodeBudget(budget);
+  EXPECT_EQ(catalog.decode_budget(), budget);
+  EXPECT_GT(catalog.EnforceDecodeBudget(), 0);
+  CatalogStats bounded = catalog.Stats();
+  EXPECT_LE(bounded.decode_resident_bytes, budget);
+  EXPECT_GT(bounded.decode_evictions, 0);
+  EXPECT_EQ(bounded.decode_budget_bytes, budget);
+
+  // Evicted slots re-decode on demand with identical results...
+  Result<BatchOutcome> again_a = catalog.EstimateBatch("a", span);
+  ASSERT_TRUE(again_a.ok());
+  for (size_t i = 0; i < f.queries.size(); ++i) {
+    ASSERT_TRUE(again_a.value().results[i].ok());
+    EXPECT_EQ(first_a.value().results[i].value().lower,
+              again_a.value().results[i].value().lower);
+    EXPECT_EQ(first_a.value().results[i].value().upper,
+              again_a.value().results[i].value().upper);
+  }
+  // ...and the next publish re-enforces the budget automatically.
+  catalog.PublishMapped("a", f.image);
+  EXPECT_LE(catalog.Stats().decode_resident_bytes, budget);
+  catalog.ReclaimEvictedRules();
+  Status audit = VerifyServingCatalog(catalog);
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+}
+
 TEST(ServingFrontTest, SubmittedBatchesCompleteWithWarmLaneAffinity) {
   ServingFixture f = ServingFixture::Make();
   ServingCatalog catalog(4);

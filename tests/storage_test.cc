@@ -310,7 +310,7 @@ TEST(MappedCorruptionTest, DirectoryRankMismatchIsCaughtAtDecode) {
   ASSERT_TRUE(opened.ok()) << opened.status().ToString();
   const MappedSynopsis::Layer& lossy = opened.value()->lossy_layer();
   RuleEvalData d = lossy.Rule(0);
-  EXPECT_EQ(d.rule, nullptr);
+  EXPECT_FALSE(d.valid);
   EXPECT_EQ(lossy.error().code(), StatusCode::kCorruption);
 }
 

@@ -21,12 +21,17 @@
 //   xmlsel_tool serve-file <file.synopsis> <xpath> [xpath ...]
 //       Estimate queries straight off the packed image — no document, no
 //       full decode; report bounds plus decode-cache occupancy.
-//   xmlsel_tool serve <tenant=file> [tenant=file ...]
+//   xmlsel_tool serve [--memory-budget=BYTES] <tenant=file> [...]
 //       Multi-tenant serving: publish each file into the sharded catalog
 //       (.synopsis images are mmap-served with lazy decode, anything else
 //       is parsed as XML and served eagerly), then read "tenant xpath"
 //       lines from stdin, estimate them through the async batch front,
 //       and report per-tenant versions, cache stats, and residency.
+//       --memory-budget caps the summed decode-cache residency of all
+//       mapped tenants: the catalog evicts decoded rules (largest images
+//       first, CLOCK within each) back under the budget on every publish
+//       and before the final report, and the report includes the
+//       catalog-wide residency and eviction counters.
 
 #include <cstdio>
 #include <cstring>
@@ -67,7 +72,8 @@ int Usage(const char* error) {
                "  xmlsel_tool pack     <file.xml> <out.synopsis> [kappa]\n"
                "  xmlsel_tool serve-file <file.synopsis> <xpath> "
                "[xpath ...]\n"
-               "  xmlsel_tool serve    <tenant=file> [tenant=file ...]\n"
+               "  xmlsel_tool serve    [--memory-budget=BYTES] "
+               "<tenant=file> [tenant=file ...]\n"
                "      (then \"tenant xpath\" lines on stdin)\n");
   return 2;
 }
@@ -259,6 +265,18 @@ bool EndsWith(const char* s, const char* suffix) {
 
 int Serve(char** specs, int count) {
   xmlsel::ServingCatalog catalog;
+  int64_t budget = 0;
+  if (count > 0 && !std::strncmp(specs[0], "--memory-budget=", 16)) {
+    char* end = nullptr;
+    budget = std::strtoll(specs[0] + 16, &end, 10);
+    if (end == specs[0] + 16 || *end != '\0' || budget <= 0) {
+      return Usage("--memory-budget wants a positive byte count");
+    }
+    catalog.SetDecodeBudget(budget);
+    ++specs;
+    --count;
+  }
+  if (count < 1) return Usage("serve needs at least one tenant=file");
   for (int i = 0; i < count; ++i) {
     const char* eq = std::strchr(specs[i], '=');
     if (eq == nullptr || eq == specs[i] || eq[1] == '\0') {
@@ -342,6 +360,12 @@ int Serve(char** specs, int count) {
   }
   front.Drain();
 
+  // With a budget set, bring residency back under it before the report
+  // (stdin-driven estimation re-decodes freely between publishes).
+  if (budget > 0) {
+    catalog.EnforceDecodeBudget();
+    catalog.ReclaimEvictedRules();
+  }
   for (const std::string& tenant : catalog.Tenants()) {
     auto stats = catalog.TenantStats(tenant);
     if (!stats.ok()) continue;
@@ -371,6 +395,14 @@ int Serve(char** specs, int count) {
               static_cast<long long>(cs.misses),
               static_cast<long long>(cs.publishes),
               static_cast<long long>(cs.reader_fast_path_locks));
+  std::printf("decode cache: %lld rules / %lld bytes resident across "
+              "images, %lld evictions, budget %s\n",
+              static_cast<long long>(cs.decoded_rules),
+              static_cast<long long>(cs.decode_resident_bytes),
+              static_cast<long long>(cs.decode_evictions),
+              cs.decode_budget_bytes > 0
+                  ? (std::to_string(cs.decode_budget_bytes) + " bytes").c_str()
+                  : "unbounded");
   return failures == 0 ? 0 : 1;
 }
 
